@@ -1,0 +1,214 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! 1. deflection ranking policy (random vs. oldest-first),
+//! 2. drop-based vs. deflection-based backpressureless routing,
+//! 3. AFC contention-threshold scaling,
+//! 4. AFC EWMA weight,
+//! 5. AFC lazy-VC buffer sizing,
+//! 6. backpressured router design options (XY vs. YX routing, atomic vs.
+//!    back-to-back VC reallocation).
+
+use afc_bench::experiments::{closed_loop_matrix, latency_throughput_sweep, saturation_throughput};
+use afc_bench::mechanisms::Mechanism;
+use afc_bench::report::{percent, ratio, Table};
+use afc_core::{AfcConfig, AfcFactory, ClassThresholds};
+use afc_netsim::config::NetworkConfig;
+use afc_routers::{
+    BackpressuredFactory, BackpressuredOptions, DeflectionFactory, DropFactory, RoutingAlgorithm,
+};
+use afc_traffic::openloop::PacketMix;
+use afc_traffic::synthetic::Pattern;
+use afc_traffic::workloads;
+
+fn scaled_thresholds(scale: f64) -> ClassThresholds {
+    let base = ClassThresholds::paper();
+    let s = |t: (f64, f64)| (t.0 * scale, t.1 * scale);
+    ClassThresholds {
+        corner: s(base.corner),
+        edge: s(base.edge),
+        center: s(base.center),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = NetworkConfig::paper_3x3();
+    let (warmup, measure) = if quick { (100, 400) } else { (300, 1_500) };
+    let (ol_warm, ol_meas) = if quick { (1_000, 4_000) } else { (3_000, 12_000) };
+    let rates = [0.1, 0.3, 0.5, 0.7];
+
+    // 1 + 2: backpressureless variants under open-loop sweep.
+    println!("Ablation 1-2: backpressureless variants (uniform random open loop)\n");
+    let variants = vec![
+        Mechanism {
+            label: "deflect-random",
+            factory: Box::new(DeflectionFactory::new()),
+        },
+        Mechanism {
+            label: "deflect-oldest",
+            factory: Box::new(DeflectionFactory::oldest_first()),
+        },
+        Mechanism {
+            label: "drop-nack",
+            factory: Box::new(DropFactory::new()),
+        },
+    ];
+    let mut t = Table::new(vec!["variant", "lat@0.1", "lat@0.3", "lat@0.5", "lat@0.7", "sat thpt"]);
+    for m in &variants {
+        let pts = latency_throughput_sweep(
+            m,
+            &rates,
+            &cfg,
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            ol_warm,
+            ol_meas,
+            1,
+        );
+        let mut cells = vec![m.label.to_string()];
+        for p in &pts {
+            cells.push(p.latency.map(|l| format!("{l:.0}")).unwrap_or_else(|| "-".into()));
+        }
+        cells.push(format!("{:.2}", saturation_throughput(&pts)));
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    // 3: threshold scaling on the mixed-load workload (ocean).
+    println!("Ablation 3: AFC contention-threshold scaling (ocean)\n");
+    let mut t = Table::new(vec!["threshold scale", "bp cycles", "cycles", "fwd switches"]);
+    for scale in [0.5, 1.0, 2.0] {
+        let mech = Mechanism {
+            label: "afc",
+            factory: Box::new(AfcFactory::new(AfcConfig {
+                thresholds: scaled_thresholds(scale),
+                ..AfcConfig::paper()
+            })),
+        };
+        let rows = closed_loop_matrix(
+            std::slice::from_ref(&mech),
+            &[workloads::ocean()],
+            &cfg,
+            warmup,
+            measure,
+            50_000_000,
+            1,
+        );
+        t.row(vec![
+            format!("{scale:.1}x"),
+            percent(rows[0].backpressured_fraction),
+            rows[0].cycles.to_string(),
+            rows[0].mode_switches.0.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // 4: EWMA weight on ocean (smoothing vs. thrash).
+    println!("Ablation 4: EWMA weight (ocean)\n");
+    let mut t = Table::new(vec!["weight", "fwd switches", "rev switches", "cycles"]);
+    for weight in [0.90, 0.99, 0.999] {
+        let mech = Mechanism {
+            label: "afc",
+            factory: Box::new(AfcFactory::new(AfcConfig {
+                ewma_weight: weight,
+                ..AfcConfig::paper()
+            })),
+        };
+        let rows = closed_loop_matrix(
+            std::slice::from_ref(&mech),
+            &[workloads::ocean()],
+            &cfg,
+            warmup,
+            measure,
+            50_000_000,
+            1,
+        );
+        t.row(vec![
+            format!("{weight}"),
+            rows[0].mode_switches.0.to_string(),
+            rows[0].mode_switches.1.to_string(),
+            rows[0].cycles.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // 5: lazy-VC buffer sizing on apache (performance/energy trade).
+    println!("Ablation 5: AFC lazy-VC buffer sizing (apache, always-backpressured)\n");
+    let mut t = Table::new(vec!["VCs (ctrl/data)", "flits/port", "cycles", "energy (uJ)"]);
+    for (c, d) in [(6, 8), (8, 16), (16, 32)] {
+        let afc_cfg = AfcConfig {
+            control_vcs: c,
+            data_vcs: d,
+            always_backpressured: true,
+            ..AfcConfig::paper()
+        };
+        let flits = afc_cfg.buffer_flits_per_port(&cfg);
+        let mech = Mechanism {
+            label: "afc-always-bp",
+            factory: Box::new(AfcFactory::new(afc_cfg)),
+        };
+        let rows = closed_loop_matrix(
+            std::slice::from_ref(&mech),
+            &[workloads::apache()],
+            &cfg,
+            warmup,
+            measure,
+            50_000_000,
+            1,
+        );
+        t.row(vec![
+            format!("{c}/{d}"),
+            flits.to_string(),
+            rows[0].cycles.to_string(),
+            ratio(rows[0].energy.total() / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // 6: backpressured design options under transpose traffic, where the
+    // dimension order matters most.
+    println!("Ablation 6: backpressured options (transpose open loop @ 0.4 flits/node/cycle)\n");
+    let mut t = Table::new(vec!["options", "mean latency", "throughput"]);
+    let variants: Vec<(&str, BackpressuredOptions)> = vec![
+        ("xy, back-to-back", BackpressuredOptions::default()),
+        (
+            "yx, back-to-back",
+            BackpressuredOptions {
+                routing: RoutingAlgorithm::YFirst,
+                ..BackpressuredOptions::default()
+            },
+        ),
+        (
+            "xy, atomic VCs",
+            BackpressuredOptions {
+                atomic_vc_reallocation: true,
+                ..BackpressuredOptions::default()
+            },
+        ),
+    ];
+    for (label, options) in variants {
+        let mech = Mechanism {
+            label: "backpressured",
+            factory: Box::new(BackpressuredFactory::with_options(options)),
+        };
+        let pts = latency_throughput_sweep(
+            &mech,
+            &[0.4],
+            &cfg,
+            Pattern::Transpose,
+            PacketMix::paper(),
+            ol_warm,
+            ol_meas,
+            1,
+        );
+        t.row(vec![
+            label.to_string(),
+            pts[0]
+                .latency
+                .map(|l| format!("{l:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.2}", pts[0].throughput),
+        ]);
+    }
+    println!("{}", t.render());
+}

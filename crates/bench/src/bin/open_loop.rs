@@ -1,0 +1,132 @@
+//! "Other results" (Section V-A): open-loop uniform-random
+//! latency-throughput curves.
+//!
+//! Expected shape per the paper: (1) all mechanisms achieve similar latency
+//! at low loads; (2) AFC and backpressured saturate at near-identical
+//! offered loads, while backpressureless saturates earlier.
+
+use afc_bench::experiments::{latency_throughput_sweep, saturation_throughput};
+use afc_bench::mechanisms::all_mechanisms;
+use afc_bench::report::Table;
+use afc_netsim::config::NetworkConfig;
+use afc_traffic::openloop::PacketMix;
+use afc_traffic::synthetic::Pattern;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // `--svg <path>` additionally writes the latency-throughput curves as
+    // an SVG figure.
+    let svg_path = args
+        .iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let (warmup, measure) = if quick { (1_000, 4_000) } else { (3_000, 15_000) };
+    let rates: Vec<f64> = if quick {
+        vec![0.05, 0.20, 0.35, 0.50, 0.65]
+    } else {
+        vec![0.02, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90]
+    };
+    let cfg = NetworkConfig::paper_3x3();
+    let mechs = all_mechanisms();
+
+    println!("Open-loop uniform random traffic, mean packet latency (cycles) by offered load");
+    println!("(flits/node/cycle; '-' = saturated: latency diverging / nothing measurable)\n");
+    let mut t = Table::new(
+        std::iter::once("mechanism")
+            .chain(rates.iter().map(|_| "").take(0))
+            .collect::<Vec<_>>(),
+    );
+    // Build headers manually: mechanism + one column per rate.
+    let mut headers = vec!["mechanism".to_string()];
+    headers.extend(rates.iter().map(|r| format!("{r:.2}")));
+    headers.push("sat. thpt".into());
+    let mut t2 = Table::new(headers.iter().map(String::as_str).collect());
+    let _ = &mut t; // the manual header table replaces the placeholder
+
+    let mut chart = afc_bench::plot::LineChart::new(
+        "Open-loop uniform random: mean latency vs offered load",
+        "offered load (flits/node/cycle)",
+        "mean packet latency (cycles)",
+    );
+    for m in &mechs {
+        let points = latency_throughput_sweep(
+            m,
+            &rates,
+            &cfg,
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            warmup,
+            measure,
+            1,
+        );
+        if svg_path.is_some() {
+            chart.series(
+                m.label,
+                points
+                    .iter()
+                    .filter(|p| p.throughput >= p.offered * 0.85)
+                    .filter_map(|p| p.latency.map(|l| (p.offered, l)))
+                    .collect(),
+            );
+        }
+        let mut cells = vec![m.label.to_string()];
+        for p in &points {
+            // Declare saturation when accepted throughput falls more than
+            // 15% below offered load.
+            let saturated = p.throughput < p.offered * 0.85;
+            match (p.latency, saturated) {
+                (Some(l), false) => cells.push(format!("{l:.0}")),
+                (Some(l), true) => cells.push(format!("({l:.0})")),
+                (None, _) => cells.push("-".into()),
+            }
+        }
+        cells.push(format!("{:.2}", saturation_throughput(&points)));
+        t2.row(cells);
+    }
+    println!("{}", t2.render());
+    println!("(values in parentheses: offered load exceeds accepted throughput — past saturation)");
+    if let Some(path) = &svg_path {
+        std::fs::write(path, chart.render_svg()).expect("writable svg path");
+        println!("wrote {path}");
+    }
+
+    // Tail-latency view at a light and a heavy (pre-saturation) load.
+    println!("\nLatency percentiles (cycles) at representative loads:\n");
+    let mut t3 = Table::new(vec![
+        "mechanism",
+        "p50@0.10",
+        "p95@0.10",
+        "p99@0.10",
+        "p50@0.45",
+        "p95@0.45",
+        "p99@0.45",
+    ]);
+    for m in &mechs {
+        let mut cells = vec![m.label.to_string()];
+        for rate in [0.10, 0.45] {
+            let out = afc_traffic::runner::run_open_loop(
+                m.factory.as_ref(),
+                &cfg,
+                afc_traffic::openloop::RateSpec::Uniform(rate),
+                Pattern::UniformRandom,
+                PacketMix::paper(),
+                warmup,
+                measure,
+                1,
+            )
+            .expect("valid configuration");
+            let hist = &out.stats.network_latency_hist;
+            for p in [0.50, 0.95, 0.99] {
+                cells.push(
+                    hist.percentile(p)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+        }
+        t3.row(cells);
+    }
+    println!("{}", t3.render());
+}

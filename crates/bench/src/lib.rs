@@ -1,0 +1,30 @@
+//! # afc-bench — the experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md's per-experiment index):
+//!
+//! | binary       | paper artifact |
+//! |--------------|----------------|
+//! | `table1`     | Table I router pipelines + Tables II-IV configuration |
+//! | `fig2`       | Figure 2(a-d): performance & energy, low & high load |
+//! | `fig3`       | Figure 3(a,b): network energy breakdown |
+//! | `duty_cycle` | Section V-A mode duty cycle |
+//! | `open_loop`  | "Other results": latency-throughput sweep |
+//! | `spatial`    | Section V-B open-loop spatial variation (8x8 quadrants) |
+//! | `gossip`     | Section V-A gossip observation (open-loop hotspots) |
+//! | `ablation`   | Design-choice ablations (ranking policy, thresholds, buffers) |
+//! | `calibrate`  | Workload-calibration report (Table III injection rates) |
+//!
+//! The library half hosts the reusable experiment drivers so binaries stay
+//! thin and the integration tests can assert on the same numbers the
+//! binaries print.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod mechanisms;
+pub mod plot;
+pub mod report;
+
+pub use experiments::{ClosedLoopRow, SweepPoint};
+pub use mechanisms::{all_mechanisms, fig2_mechanisms, Mechanism};

@@ -1,0 +1,74 @@
+//! The flow-control mechanisms under comparison.
+
+use afc_core::AfcFactory;
+use afc_netsim::router::RouterFactory;
+use afc_routers::{BackpressuredFactory, DeflectionFactory, DropFactory};
+
+/// A named mechanism: a router factory boxed for table-driven experiments.
+pub struct Mechanism {
+    /// Display label used in reports (matches the paper's figure legends).
+    pub label: &'static str,
+    /// The factory.
+    pub factory: Box<dyn RouterFactory>,
+}
+
+impl Mechanism {
+    fn new(label: &'static str, factory: Box<dyn RouterFactory>) -> Mechanism {
+        Mechanism { label, factory }
+    }
+}
+
+impl std::fmt::Debug for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mechanism").field("label", &self.label).finish()
+    }
+}
+
+/// The four bars of Figure 2, in paper order: Backpressured,
+/// Backpressureless, AFC always-backpressured, AFC.
+pub fn fig2_mechanisms() -> Vec<Mechanism> {
+    vec![
+        Mechanism::new("backpressured", Box::new(BackpressuredFactory::new())),
+        Mechanism::new("backpressureless", Box::new(DeflectionFactory::new())),
+        Mechanism::new("afc-always-bp", Box::new(AfcFactory::always_backpressured())),
+        Mechanism::new("afc", Box::new(AfcFactory::paper())),
+    ]
+}
+
+/// Figure 2 mechanisms plus the buffer-energy-optimization baselines
+/// (real read bypass and the ideal bound) and the drop router.
+pub fn all_mechanisms() -> Vec<Mechanism> {
+    let mut v = fig2_mechanisms();
+    v.push(Mechanism::new(
+        "bp-read-bypass",
+        Box::new(BackpressuredFactory::read_bypass()),
+    ));
+    v.push(Mechanism::new(
+        "bp-ideal-bypass",
+        Box::new(BackpressuredFactory::ideal_bypass()),
+    ));
+    v.push(Mechanism::new("drop", Box::new(DropFactory::new())));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_order_matches_paper() {
+        let labels: Vec<&str> = fig2_mechanisms().iter().map(|m| m.label).collect();
+        assert_eq!(
+            labels,
+            vec!["backpressured", "backpressureless", "afc-always-bp", "afc"]
+        );
+    }
+
+    #[test]
+    fn all_mechanisms_are_distinct() {
+        let mut names: Vec<&str> = all_mechanisms().iter().map(|m| m.factory.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

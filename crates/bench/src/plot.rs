@@ -1,0 +1,324 @@
+//! Minimal dependency-free SVG chart rendering, for figure artifacts that
+//! can go straight into a report.
+
+use std::fmt::Write as _;
+
+/// Fixed series palette (colorblind-safe-ish).
+const PALETTE: [&str; 6] = [
+    "#3465a4", "#cc0000", "#4e9a06", "#f57900", "#75507b", "#555753",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// An XY line chart with one or more named series.
+///
+/// # Examples
+///
+/// ```
+/// use afc_bench::plot::LineChart;
+/// let mut c = LineChart::new("latency vs load", "offered", "cycles");
+/// c.series("afc", vec![(0.1, 17.0), (0.5, 32.0)]);
+/// let svg = c.render_svg();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("afc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> LineChart {
+        LineChart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series (points need not be sorted; they are drawn in
+    /// order).
+    pub fn series(&mut self, name: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.to_string(), points));
+        self
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for (_, pts) in &self.series {
+            for (x, y) in pts {
+                if x.is_finite() && y.is_finite() {
+                    xs.push(*x);
+                    ys.push(*y);
+                }
+            }
+        }
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if xs.is_empty() {
+            (0.0, 1.0, 0.0, 1.0)
+        } else {
+            let (x0, x1) = (min(&xs), max(&xs));
+            let (y0, y1) = (0.0f64.min(min(&ys)), max(&ys));
+            (x0, if x1 > x0 { x1 } else { x0 + 1.0 }, y0, if y1 > y0 { y1 } else { y0 + 1.0 })
+        }
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn render_svg(&self) -> String {
+        const W: f64 = 640.0;
+        const H: f64 = 420.0;
+        const ML: f64 = 60.0; // margins
+        const MR: f64 = 140.0;
+        const MT: f64 = 40.0;
+        const MB: f64 = 50.0;
+        let (x0, x1, y0, y1) = self.bounds();
+        let sx = |x: f64| ML + (x - x0) / (x1 - x0) * (W - ML - MR);
+        let sy = |y: f64| H - MB - (y - y0) / (y1 - y0) * (H - MT - MB);
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        );
+        let _ = write!(
+            s,
+            r#"<rect width="{W}" height="{H}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="15">{}</text>"#,
+            W / 2.0,
+            esc(&self.title)
+        );
+        // Axes.
+        let _ = write!(
+            s,
+            r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/><line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+            H - MB,
+            W - MR,
+            H - MB,
+            H - MB
+        );
+        // Axis labels and min/max ticks.
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 12.0,
+            esc(&self.x_label)
+        );
+        let _ = write!(
+            s,
+            r#"<text x="16" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            esc(&self.y_label)
+        );
+        for (v, x, y, anchor) in [
+            (x0, sx(x0), H - MB + 16.0, "middle"),
+            (x1, sx(x1), H - MB + 16.0, "middle"),
+            (y0, ML - 6.0, sy(y0) + 4.0, "end"),
+            (y1, ML - 6.0, sy(y1) + 4.0, "end"),
+        ] {
+            let _ = write!(
+                s,
+                r#"<text x="{x}" y="{y}" text-anchor="{anchor}" font-family="sans-serif" font-size="11">{v:.2}</text>"#
+            );
+        }
+        // Series.
+        for (i, (name, pts)) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> = pts
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
+                .collect();
+            if !path.is_empty() {
+                let _ = write!(
+                    s,
+                    r#"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>"#,
+                    path.join(" ")
+                );
+            }
+            for p in &path {
+                let (px, py) = p.split_once(',').expect("formatted above");
+                let _ = write!(s, r#"<circle cx="{px}" cy="{py}" r="3" fill="{color}"/>"#);
+            }
+            let ly = MT + 16.0 * i as f64;
+            let _ = write!(
+                s,
+                r#"<rect x="{}" y="{}" width="12" height="12" fill="{color}"/><text x="{}" y="{}" font-family="sans-serif" font-size="12">{}</text>"#,
+                W - MR + 10.0,
+                ly,
+                W - MR + 28.0,
+                ly + 10.0,
+                esc(name)
+            );
+        }
+        s.push_str("</svg>");
+        s
+    }
+}
+
+/// A grouped vertical bar chart (one group per category, one bar per
+/// series).
+#[derive(Debug, Clone)]
+pub struct GroupedBars {
+    title: String,
+    groups: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl GroupedBars {
+    /// Creates a chart over the given group (category) names.
+    pub fn new(title: &str, groups: Vec<String>) -> GroupedBars {
+        GroupedBars {
+            title: title.to_string(),
+            groups,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series; `values` must have one entry per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn series(&mut self, name: &str, values: Vec<f64>) -> &mut Self {
+        assert_eq!(values.len(), self.groups.len(), "one value per group");
+        self.series.push((name.to_string(), values));
+        self
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn render_svg(&self) -> String {
+        const W: f64 = 640.0;
+        const H: f64 = 420.0;
+        const ML: f64 = 60.0;
+        const MR: f64 = 150.0;
+        const MT: f64 = 40.0;
+        const MB: f64 = 50.0;
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let plot_w = W - ML - MR;
+        let plot_h = H - MT - MB;
+        let groups = self.groups.len().max(1) as f64;
+        let bars = self.series.len().max(1) as f64;
+        let group_w = plot_w / groups;
+        let bar_w = (group_w * 0.8) / bars;
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        );
+        let _ = write!(
+            s,
+            r#"<rect width="{W}" height="{H}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="15">{}</text>"#,
+            W / 2.0,
+            esc(&self.title)
+        );
+        let _ = write!(
+            s,
+            r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        for (g, gname) in self.groups.iter().enumerate() {
+            let gx = ML + g as f64 * group_w;
+            let _ = write!(
+                s,
+                r#"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12">{}</text>"#,
+                gx + group_w / 2.0,
+                H - MB + 18.0,
+                esc(gname)
+            );
+            for (i, (_, values)) in self.series.iter().enumerate() {
+                let v = values[g];
+                let h = (v / max) * plot_h;
+                let x = gx + group_w * 0.1 + i as f64 * bar_w;
+                let _ = write!(
+                    s,
+                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}"/>"#,
+                    x,
+                    H - MB - h,
+                    bar_w * 0.9,
+                    h,
+                    PALETTE[i % PALETTE.len()]
+                );
+            }
+        }
+        for (i, (name, _)) in self.series.iter().enumerate() {
+            let ly = MT + 16.0 * i as f64;
+            let _ = write!(
+                s,
+                r#"<rect x="{}" y="{}" width="12" height="12" fill="{}"/><text x="{}" y="{}" font-family="sans-serif" font-size="12">{}</text>"#,
+                W - MR + 10.0,
+                ly,
+                PALETTE[i % PALETTE.len()],
+                W - MR + 28.0,
+                ly + 10.0,
+                esc(name)
+            );
+        }
+        s.push_str("</svg>");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced(svg: &str) -> bool {
+        svg.matches("<svg").count() == svg.matches("</svg>").count()
+            && svg.matches("<text").count() == svg.matches("</text>").count()
+    }
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let mut c = LineChart::new("t<&>", "x", "y");
+        c.series("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        c.series("b", vec![(0.0, 2.0), (1.0, 1.0)]);
+        let svg = c.render_svg();
+        assert!(balanced(&svg));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("t&lt;&amp;&gt;"), "title is escaped");
+    }
+
+    #[test]
+    fn line_chart_skips_non_finite_points() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.series("a", vec![(0.0, f64::INFINITY), (1.0, 2.0)]);
+        let svg = c.render_svg();
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn grouped_bars_render_one_rect_per_cell() {
+        let mut c = GroupedBars::new("e", vec!["w1".into(), "w2".into()]);
+        c.series("m1", vec![1.0, 2.0]);
+        c.series("m2", vec![2.0, 1.0]);
+        let svg = c.render_svg();
+        assert!(balanced(&svg));
+        // 1 background + 4 bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per group")]
+    fn grouped_bars_length_mismatch_panics() {
+        let mut c = GroupedBars::new("e", vec!["w1".into()]);
+        c.series("m1", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple aligned-column table printer.
+///
+/// # Examples
+///
+/// ```
+/// use afc_bench::report::Table;
+/// let mut t = Table::new(vec!["workload", "perf"]);
+/// t.row(vec!["water".into(), "1.00".into()]);
+/// let s = t.render();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("water"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Table {
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (headers first; cells containing commas or
+    /// quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (w, h) in widths.iter_mut().zip(&self.headers) {
+            *w = (*w).max(h.len());
+        }
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A grouped horizontal ASCII bar chart — the textual rendering of the
+/// paper's grouped-bar figures.
+///
+/// # Examples
+///
+/// ```
+/// use afc_bench::report::BarChart;
+/// let mut c = BarChart::new("Energy (normalized)", 40);
+/// c.group("water")
+///     .bar("backpressured", 1.0)
+///     .bar("bufferless", 0.70);
+/// let s = c.render();
+/// assert!(s.contains("water"));
+/// assert!(s.contains("bufferless"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    groups: Vec<(String, Vec<(String, f64)>)>,
+}
+
+/// Builder handle for one group of bars.
+#[derive(Debug)]
+pub struct GroupBuilder<'a> {
+    bars: &'a mut Vec<(String, f64)>,
+}
+
+impl GroupBuilder<'_> {
+    /// Adds a bar to the group.
+    pub fn bar(self, label: &str, value: f64) -> Self {
+        self.bars.push((label.to_string(), value));
+        self
+    }
+}
+
+impl BarChart {
+    /// Creates a chart; `width` is the maximum bar length in characters.
+    pub fn new(title: &str, width: usize) -> BarChart {
+        BarChart {
+            title: title.to_string(),
+            width: width.max(10),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Starts a new group (e.g. one benchmark).
+    pub fn group(&mut self, name: &str) -> GroupBuilder<'_> {
+        self.groups.push((name.to_string(), Vec::new()));
+        GroupBuilder {
+            bars: &mut self.groups.last_mut().expect("just pushed").1,
+        }
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|(_, bars)| bars.iter().map(|(_, v)| *v))
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let label_w = self
+            .groups
+            .iter()
+            .flat_map(|(_, bars)| bars.iter().map(|(l, _)| l.len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (name, bars) in &self.groups {
+            out.push_str(&format!("{name}:\n"));
+            for (label, value) in bars {
+                let len = ((value / max) * self.width as f64).round() as usize;
+                out.push_str(&format!(
+                    "  {label:<label_w$}  {:<width$} {value:.2}\n",
+                    "#".repeat(len),
+                    width = self.width,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Formats a ratio to two decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage.
+pub fn percent(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "metric"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.50".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and separator exist and every data line mentions its cell.
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].starts_with("longer"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn bar_chart_scales_to_longest_bar() {
+        let mut c = BarChart::new("t", 10);
+        c.group("g").bar("a", 2.0).bar("b", 1.0);
+        let s = c.render();
+        let a_bar = s.lines().find(|l| l.trim_start().starts_with('a')).unwrap();
+        let b_bar = s.lines().find(|l| l.trim_start().starts_with('b')).unwrap();
+        let hashes = |l: &str| l.matches('#').count();
+        assert_eq!(hashes(a_bar), 10);
+        assert_eq!(hashes(b_bar), 5);
+    }
+
+    #[test]
+    fn bar_chart_handles_empty_and_zero() {
+        let c = BarChart::new("empty", 10);
+        assert!(c.render().contains("empty"));
+        let mut c = BarChart::new("z", 10);
+        c.group("g").bar("a", 0.0);
+        assert!(c.render().contains("0.00"));
+    }
+
+    #[test]
+    fn csv_escapes_only_when_needed() {
+        let mut t = Table::new(vec!["name", "note"]);
+        t.row(vec!["plain".into(), "a,b".into()]);
+        t.row(vec!["quoted\"q".into(), "ok".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,note");
+        assert_eq!(lines[1], "plain,\"a,b\"");
+        assert_eq!(lines[2], "\"quoted\"\"q\",ok");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(1.2345), "1.23");
+        assert_eq!(percent(0.425), "42.5%");
+    }
+}

@@ -1,0 +1,66 @@
+//! # afc-core — the Adaptive Flow Control router
+//!
+//! This crate implements the primary contribution of *Adaptive Flow Control
+//! for Robust Performance and Energy* (Jafri, Hong, Thottethodi, Vijaykumar
+//! — MICRO 2010): a router that dynamically adapts between **backpressured**
+//! (credit-based, buffered) and **backpressureless** (deflection, bufferless)
+//! flow control, approaching the better of the two across the whole load
+//! spectrum.
+//!
+//! The three novel mechanisms of the paper:
+//!
+//! 1. **Local contention thresholds** ([`contention`]) — each router
+//!    measures local traffic intensity (flits traversing per cycle, averaged
+//!    over a 4-cycle window, smoothed by an EWMA with weight 0.99) and
+//!    compares it against design-time thresholds scaled by router class
+//!    (corner/edge/center). Crossing the high threshold triggers a forward
+//!    switch to backpressured mode; falling below the (lower) reverse
+//!    threshold with empty buffers switches back. The two thresholds form a
+//!    hysteresis band.
+//! 2. **Gossip-induced mode switch** ([`router`]) — a backpressureless
+//!    router tracks the credits of neighbors that have switched to
+//!    backpressured mode; when a neighbor's free buffering falls to the
+//!    threshold `X`, the router force-switches forward even without local
+//!    contention, guaranteeing that backpressured buffers are never
+//!    overwritten.
+//! 3. **Lazy VC allocation** ([`router`]) — because AFC routes flit-by-flit
+//!    even in backpressured mode, VC allocation degenerates: the input
+//!    buffer is organized as `K` one-flit VCs per port, credits are tracked
+//!    per *virtual network*, and the downstream router assigns the VC at
+//!    buffer-write time. This removes the VC-allocation pipeline stage and
+//!    halves total buffering (32 vs. 64 flits per port in the paper's
+//!    configuration).
+//!
+//! ## Timing note
+//!
+//! The `afc-netsim` channel model charges `L + 2` cycles between a switch
+//! arbitration and the downstream arbitration eligibility (switch traversal,
+//! then `L` wire cycles, with the buffer write overlapped). The paper's `2L`-cycle
+//! mode-transition window and `X = 2L` gossip threshold therefore become
+//! `2L + 2` here; the overflow-freedom argument of Section III-D carries
+//! over unchanged with the widened constants.
+//!
+//! ## Example
+//!
+//! ```
+//! use afc_core::{AfcConfig, AfcFactory};
+//! use afc_netsim::prelude::*;
+//!
+//! let net_cfg = NetworkConfig::paper_3x3();
+//! let factory = AfcFactory::new(AfcConfig::paper());
+//! let network = Network::new(net_cfg, &factory, 42)?;
+//! assert_eq!(network.mechanism(), "afc");
+//! assert_eq!(network.buffer_flits_per_port(), 32); // half the baseline's 64
+//! # Ok::<(), afc_netsim::error::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod contention;
+pub mod router;
+
+pub use config::{AfcConfig, ClassThresholds};
+pub use contention::ContentionMonitor;
+pub use router::{AfcFactory, AfcMode, AfcRouter, AfcSnapshot};

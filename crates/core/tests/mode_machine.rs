@@ -1,0 +1,194 @@
+//! Property tests for the AFC router's mode machine: under arbitrary
+//! sequences of flit arrivals, credits, and control signals, the router
+//! never loses a flit, never exceeds buffer capacity, and its transition
+//! timing stays within bounds.
+
+use afc_core::{AfcConfig, AfcMode, AfcRouter};
+use afc_netsim::channel::{ControlSignal, Credit};
+use afc_netsim::config::NetworkConfig;
+use afc_netsim::flit::{Flit, PacketId, VirtualNetwork};
+use afc_netsim::geom::{Coord, Direction, NodeId, PortId};
+use afc_netsim::router::{Router, RouterMode, RouterOutputs};
+use afc_netsim::rng::SimRng;
+use proptest::prelude::*;
+
+/// One scripted stimulus for a cycle.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Deliver a flit on a port (port index 0..4, vnet 0..3, dest 0..9).
+    Flit { port: usize, vnet: u8, dest: usize },
+    /// Deliver a vnet credit on an output port.
+    Credit { port: usize, vnet: u8 },
+    /// Deliver a control signal.
+    Control { port: usize, start: bool },
+    /// Quiet cycle.
+    Idle,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0usize..4, 0u8..3, 0usize..9)
+            .prop_map(|(port, vnet, dest)| Event::Flit { port, vnet, dest }),
+        (0usize..4, 0u8..3).prop_map(|(port, vnet)| Event::Credit { port, vnet }),
+        (0usize..4, any::<bool>()).prop_map(|(port, start)| Event::Control { port, start }),
+        Just(Event::Idle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_event_sequences_preserve_flits(
+        events in prop::collection::vec(event_strategy(), 1..400),
+        seed in 0u64..1_000,
+    ) {
+        let net = NetworkConfig::paper_3x3();
+        let mesh = net.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap(); // center: all ports
+        let mut r = AfcRouter::new(node, &mesh, &net, AfcConfig::paper());
+        let mut rng = SimRng::seed_from(seed);
+        let mut out = RouterOutputs::new();
+        let mut inbound: u64 = 0;
+        let mut outbound: u64 = 0;
+        let mut packet_id = 0u64;
+
+        for (now, ev) in events.iter().enumerate() {
+            let now = now as u64;
+            match ev {
+                Event::Flit { port, vnet, dest } => {
+                    let dir = Direction::ALL[*port];
+                    // Respect the router's admission discipline exactly as
+                    // the engine does: in buffered states an arrival needs
+                    // a free lazy VC (upstream credits guarantee this in a
+                    // real network; the script just checks occupancy).
+                    let mut flit = Flit::test_flit(
+                        PacketId(packet_id),
+                        NodeId::new(0),
+                        NodeId::new(*dest),
+                    );
+                    packet_id += 1;
+                    flit.vnet = VirtualNetwork(*vnet);
+                    // Only deliver if the router is in a state where a
+                    // correct upstream would have sent it. We approximate:
+                    // always allowed while deflecting; in buffered states
+                    // require spare capacity in the vnet at that port.
+                    let occ_before = r.occupancy();
+                    let buffered_mode =
+                        matches!(r.mode(), RouterMode::Backpressured);
+                    if buffered_mode {
+                        // Probe capacity through the public occupancy/
+                        // capacity invariants: 8/8/16 lazy VCs per port.
+                        // We simply skip delivery when a prior fill made it
+                        // risky; precise per-vnet occupancy is not public.
+                        if occ_before >= 28 {
+                            continue;
+                        }
+                    } else if occ_before >= 4 {
+                        // At most one latched flit per port per cycle.
+                        continue;
+                    }
+                    r.receive_flit(PortId::Net(dir), flit, now);
+                    inbound += 1;
+                }
+                Event::Credit { port, vnet } => {
+                    r.receive_credit(
+                        PortId::Net(Direction::ALL[*port]),
+                        Credit::Vnet(VirtualNetwork(*vnet)),
+                        now,
+                    );
+                }
+                Event::Control { port, start } => {
+                    let sig = if *start {
+                        ControlSignal::StartCreditTracking
+                    } else {
+                        ControlSignal::StopCreditTracking
+                    };
+                    r.receive_control(PortId::Net(Direction::ALL[*port]), sig, now);
+                }
+                Event::Idle => {}
+            }
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            outbound += out.flits_sent() as u64 + out.ejected.len() as u64;
+        }
+
+        // Drain with generous credits on all ports.
+        let start = events.len() as u64;
+        for now in start..start + 2_000 {
+            for d in Direction::ALL {
+                for v in 0..3u8 {
+                    r.receive_credit(PortId::Net(d), Credit::Vnet(VirtualNetwork(v)), now);
+                }
+            }
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            outbound += out.flits_sent() as u64 + out.ejected.len() as u64;
+            if r.occupancy() == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(r.occupancy(), 0, "router must drain");
+        prop_assert_eq!(inbound, outbound, "no flit may vanish or duplicate");
+    }
+
+    /// Transition windows always last exactly 2L + 2 cycles and the mode
+    /// sequence is sane (no Backpressureless -> Backpressured jump without
+    /// a transition).
+    #[test]
+    fn transitions_have_fixed_length(seed in 0u64..500) {
+        let net = NetworkConfig::paper_3x3();
+        let mesh = net.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let mut r = AfcRouter::new(node, &mesh, &net, AfcConfig {
+            reverse_dwell: 0,
+            ..AfcConfig::paper()
+        });
+        let mut rng = SimRng::seed_from(seed);
+        let mut stim = SimRng::seed_from(seed ^ 0xABCD);
+        let mut out = RouterOutputs::new();
+        let mut last = r.afc_mode();
+        let mut transition_started = None;
+        for now in 0..4_000u64 {
+            // Random bursty arrivals drive mode churn.
+            let burst = (now / 250) % 2 == 0;
+            let p = if burst { 0.9 } else { 0.02 };
+            for d in Direction::ALL {
+                if stim.gen_bool(p) && r.occupancy() < 3 {
+                    let mut f = Flit::test_flit(
+                        PacketId(now * 10 + d.index() as u64),
+                        NodeId::new(0),
+                        NodeId::new(stim.gen_index(9)),
+                    );
+                    f.vnet = VirtualNetwork(stim.gen_index(3) as u8);
+                    if matches!(r.mode(), RouterMode::Backpressured) {
+                        continue; // keep the script simple: no buffered fills
+                    }
+                    r.receive_flit(PortId::Net(d), f, now);
+                }
+            }
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            let mode = r.afc_mode();
+            match (last, mode) {
+                (AfcMode::Backpressureless, AfcMode::Backpressured) => {
+                    prop_assert!(false, "must pass through the transition state");
+                }
+                (AfcMode::Backpressureless, AfcMode::SwitchingForward { since, complete_at }) => {
+                    prop_assert_eq!(complete_at - since, 6); // 2L + 2 with L = 2
+                    transition_started = Some(since);
+                }
+                (AfcMode::SwitchingForward { .. }, AfcMode::Backpressured) => {
+                    let started = transition_started.expect("saw the start");
+                    prop_assert!(now >= started + 6);
+                    prop_assert!(now <= started + 7);
+                }
+                (AfcMode::SwitchingForward { .. }, AfcMode::Backpressureless) => {
+                    prop_assert!(false, "transitions never abort");
+                }
+                _ => {}
+            }
+            last = mode;
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Pipelined inter-router channels.
+//!
+//! Each directed adjacency in the mesh is realized by a [`Channel`]: a
+//! forward lane carrying at most one flit per cycle downstream, and a reverse
+//! lane carrying credits and control signals upstream. Both lanes are modeled
+//! as shift registers so that multi-cycle link latency is cycle-exact.
+//!
+//! The forward lane has delay `L + 2`: one cycle of switch traversal at the
+//! sender, `L` cycles of wire, with the downstream buffer write overlapped
+//! with the last wire cycle (Table I of the paper). The reverse lane has
+//! delay `L` — credits and the one-bit credit-tracking control line are pure
+//! wires.
+
+use crate::flit::{Flit, VcId, VirtualNetwork};
+use std::collections::VecDeque;
+
+/// A buffer-release token flowing upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Credit {
+    /// Frees one slot of a specific downstream VC (classic per-VC credit
+    /// flow control, used by the backpressured baseline).
+    Vc(VcId),
+    /// Frees one slot anywhere in a downstream virtual network (AFC's lazy
+    /// VC allocation tracks credits at virtual-network granularity,
+    /// Section III-E).
+    Vnet(VirtualNetwork),
+}
+
+/// A control signal on the one-bit sideband line (paper Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlSignal {
+    /// The downstream router is switching to backpressured mode: start
+    /// counting its credits now (arrives `L` cycles after the switch began).
+    StartCreditTracking,
+    /// The downstream router has switched to backpressureless mode: stop
+    /// counting credits and treat its buffers as empty.
+    StopCreditTracking,
+}
+
+/// What a channel delivers at the start of a cycle.
+#[derive(Debug, Clone, Default)]
+pub struct Delivery {
+    /// Flit arriving at the downstream router, if any.
+    pub flit: Option<Flit>,
+    /// Credits arriving back at the upstream router.
+    pub credits: Vec<Credit>,
+    /// Control signals arriving back at the upstream router.
+    pub control: Vec<ControlSignal>,
+}
+
+impl Delivery {
+    /// True if nothing arrived.
+    pub fn is_empty(&self) -> bool {
+        self.flit.is_none() && self.credits.is_empty() && self.control.is_empty()
+    }
+}
+
+/// A directed channel between two adjacent routers.
+///
+/// # Examples
+///
+/// ```
+/// use afc_netsim::channel::Channel;
+/// use afc_netsim::flit::{Flit, PacketId};
+/// use afc_netsim::geom::NodeId;
+///
+/// let mut ch = Channel::new(2); // L = 2 => flit delay 4, credit delay 2
+/// ch.push_flit(Flit::test_flit(PacketId(0), NodeId::new(0), NodeId::new(1)));
+/// let mut arrived_after = 0;
+/// for cycle in 1..=10 {
+///     let d = ch.advance();
+///     if d.flit.is_some() {
+///         arrived_after = cycle;
+///         break;
+///     }
+/// }
+/// assert_eq!(arrived_after, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Forward lane; index 0 is the next slot to be delivered.
+    flits: VecDeque<Option<Flit>>,
+    /// Reverse lane for credits.
+    credits: VecDeque<Vec<Credit>>,
+    /// Reverse lane for control signals.
+    control: VecDeque<Vec<ControlSignal>>,
+}
+
+impl Channel {
+    /// Extra forward-lane delay on top of the wire latency: one cycle of
+    /// switch traversal plus the (overlapped) downstream buffer write.
+    pub const ROUTER_OVERHEAD: u64 = 2;
+
+    /// Creates a channel for a link of latency `link_latency` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_latency` is zero (validated earlier by
+    /// [`NetworkConfig::validate`](crate::config::NetworkConfig::validate)).
+    pub fn new(link_latency: u64) -> Channel {
+        assert!(link_latency >= 1, "link latency must be >= 1");
+        let fwd = (link_latency + Self::ROUTER_OVERHEAD) as usize;
+        let rev = link_latency as usize;
+        Channel {
+            flits: std::iter::repeat_with(|| None).take(fwd).collect(),
+            credits: std::iter::repeat_with(Vec::new).take(rev).collect(),
+            control: std::iter::repeat_with(Vec::new).take(rev).collect(),
+        }
+    }
+
+    /// Total forward delay (cycles from arbitration win to downstream
+    /// arbitration eligibility).
+    pub fn forward_delay(&self) -> u64 {
+        self.flits.len() as u64
+    }
+
+    /// Reverse (credit/control) delay in cycles.
+    pub fn reverse_delay(&self) -> u64 {
+        self.credits.len() as u64
+    }
+
+    /// Sends a flit downstream. At most one flit may be pushed per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry slot is already occupied — that would mean two
+    /// flits crossed the same link in the same cycle, a router bug.
+    pub fn push_flit(&mut self, flit: Flit) {
+        let back = self.flits.back_mut().expect("channel has slots");
+        assert!(
+            back.is_none(),
+            "link overdriven: two flits pushed in one cycle ({} then {})",
+            back.unwrap(),
+            flit
+        );
+        *back = Some(flit);
+    }
+
+    /// Whether a flit has already been pushed this cycle.
+    pub fn entry_occupied(&self) -> bool {
+        self.flits.back().expect("channel has slots").is_some()
+    }
+
+    /// Sends a credit upstream.
+    pub fn push_credit(&mut self, credit: Credit) {
+        self.credits.back_mut().expect("channel has slots").push(credit);
+    }
+
+    /// Sends a control signal upstream.
+    pub fn push_control(&mut self, signal: ControlSignal) {
+        self.control.back_mut().expect("channel has slots").push(signal);
+    }
+
+    /// Advances both lanes one cycle and returns what arrives.
+    pub fn advance(&mut self) -> Delivery {
+        let flit = self.flits.pop_front().expect("channel has slots");
+        self.flits.push_back(None);
+        let credits = self.credits.pop_front().expect("channel has slots");
+        self.credits.push_back(Vec::new());
+        let control = self.control.pop_front().expect("channel has slots");
+        self.control.push_back(Vec::new());
+        Delivery {
+            flit,
+            credits,
+            control,
+        }
+    }
+
+    /// Number of flits currently in flight on the forward lane.
+    pub fn flits_in_flight(&self) -> usize {
+        self.flits.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Whether both lanes are completely empty.
+    pub fn is_drained(&self) -> bool {
+        self.flits_in_flight() == 0
+            && self.credits.iter().all(Vec::is_empty)
+            && self.control.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::PacketId;
+    use crate::geom::NodeId;
+
+    fn flit(n: u64) -> Flit {
+        Flit::test_flit(PacketId(n), NodeId::new(0), NodeId::new(1))
+    }
+
+    #[test]
+    fn forward_delay_is_latency_plus_two() {
+        for latency in 1..=4 {
+            let mut ch = Channel::new(latency);
+            assert_eq!(ch.forward_delay(), latency + 2);
+            ch.push_flit(flit(1));
+            let mut cycles = 0;
+            loop {
+                cycles += 1;
+                if ch.advance().flit.is_some() {
+                    break;
+                }
+                assert!(cycles < 100);
+            }
+            assert_eq!(cycles, latency + 2);
+        }
+    }
+
+    #[test]
+    fn reverse_delay_is_latency() {
+        let mut ch = Channel::new(3);
+        ch.push_credit(Credit::Vc(VcId(2)));
+        ch.push_control(ControlSignal::StartCreditTracking);
+        let mut cycles = 0;
+        loop {
+            cycles += 1;
+            let d = ch.advance();
+            if !d.credits.is_empty() {
+                assert_eq!(d.credits, vec![Credit::Vc(VcId(2))]);
+                assert_eq!(d.control, vec![ControlSignal::StartCreditTracking]);
+                break;
+            }
+            assert!(cycles < 100);
+        }
+        assert_eq!(cycles, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "link overdriven")]
+    fn double_push_panics() {
+        let mut ch = Channel::new(1);
+        ch.push_flit(flit(1));
+        ch.push_flit(flit(2));
+    }
+
+    #[test]
+    fn pipelining_allows_one_flit_per_cycle() {
+        let mut ch = Channel::new(2);
+        let mut received = 0;
+        for i in 0..20u64 {
+            ch.push_flit(flit(i));
+            if ch.advance().flit.is_some() {
+                received += 1;
+            }
+        }
+        // A flit pushed on iteration `i` pops on the 4th advance, i.e. on
+        // iteration `i + 3` (the network engine then delivers it at the
+        // start of the next cycle, completing the 4-cycle delay).
+        assert_eq!(received, 20 - 3);
+        assert_eq!(ch.flits_in_flight(), 3);
+        assert!(!ch.is_drained());
+    }
+
+    #[test]
+    fn drains_to_empty() {
+        let mut ch = Channel::new(2);
+        ch.push_flit(flit(0));
+        ch.push_credit(Credit::Vnet(VirtualNetwork(1)));
+        for _ in 0..10 {
+            ch.advance();
+        }
+        assert!(ch.is_drained());
+    }
+
+    #[test]
+    fn credits_and_control_share_fifo_order() {
+        // The reverse lane is one wire bundle: a credit sent the cycle
+        // before a control signal must arrive the cycle before it. AFC's
+        // correctness argument for the reverse switch relies on this.
+        let mut ch = Channel::new(2);
+        ch.push_credit(Credit::Vc(VcId(1)));
+        let d1 = ch.advance();
+        assert!(d1.credits.is_empty());
+        ch.push_control(ControlSignal::StopCreditTracking);
+        let d2 = ch.advance();
+        assert_eq!(d2.credits, vec![Credit::Vc(VcId(1))]);
+        assert!(d2.control.is_empty());
+        let d3 = ch.advance();
+        assert_eq!(d3.control, vec![ControlSignal::StopCreditTracking]);
+    }
+
+    #[test]
+    fn flits_preserve_order() {
+        let mut ch = Channel::new(1);
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            ch.push_flit(flit(i));
+            if let Some(f) = ch.advance().flit {
+                out.push(f.packet.0);
+            }
+        }
+        for _ in 0..6 {
+            if let Some(f) = ch.advance().flit {
+                out.push(f.packet.0);
+            }
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Network-wide configuration shared by every router implementation.
+
+use crate::error::ConfigError;
+use crate::topology::Mesh;
+
+/// Message class carried by a virtual network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VnetClass {
+    /// Short control messages (coherence requests/acknowledgements).
+    Control,
+    /// Multi-flit data messages (cache blocks).
+    Data,
+}
+
+/// Per-virtual-network buffering configuration of a router input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VnetConfig {
+    /// Message class.
+    pub class: VnetClass,
+    /// Virtual channels per input port in this vnet.
+    pub vcs: usize,
+    /// Buffer depth (flits) of each VC.
+    pub buffer_depth: usize,
+}
+
+impl VnetConfig {
+    /// Total flit slots this vnet contributes per input port.
+    pub fn flit_slots(&self) -> usize {
+        self.vcs * self.buffer_depth
+    }
+}
+
+/// Complete static configuration of a simulated network.
+///
+/// The same configuration drives all router implementations; routers that do
+/// not use buffers (the backpressureless baseline) ignore the buffering
+/// fields, and the AFC router reinterprets them through its lazy-VC layout
+/// (see `afc-core`).
+///
+/// # Examples
+///
+/// ```
+/// use afc_netsim::config::NetworkConfig;
+/// let cfg = NetworkConfig::paper_3x3();
+/// assert_eq!(cfg.vnets.len(), 3);
+/// assert_eq!(cfg.buffer_flits_per_port(), 64); // 2*2*8 + 4*8 (Table II)
+/// cfg.validate().expect("paper preset is valid");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Mesh width (columns).
+    pub width: u16,
+    /// Mesh height (rows).
+    pub height: u16,
+    /// Link latency `L` in cycles.
+    pub link_latency: u64,
+    /// Virtual networks, in index order.
+    pub vnets: Vec<VnetConfig>,
+    /// Flits the local ejection port can deliver per cycle.
+    pub eject_bandwidth: usize,
+    /// Watchdog: a flit older than this many cycles in the network aborts the
+    /// simulation (livelock/starvation detector). `0` disables the check.
+    pub max_flit_age: u64,
+}
+
+impl NetworkConfig {
+    /// The paper's simulated machine (Table II): 3x3 mesh, 2-cycle links,
+    /// two control vnets with 2 VCs each and one data vnet with 4 VCs, all
+    /// 8 flits deep (2*2*8 + 4*8 = 64 flits per port).
+    pub fn paper_3x3() -> NetworkConfig {
+        NetworkConfig {
+            width: 3,
+            height: 3,
+            link_latency: 2,
+            vnets: vec![
+                VnetConfig {
+                    class: VnetClass::Control,
+                    vcs: 2,
+                    buffer_depth: 8,
+                },
+                VnetConfig {
+                    class: VnetClass::Control,
+                    vcs: 2,
+                    buffer_depth: 8,
+                },
+                VnetConfig {
+                    class: VnetClass::Data,
+                    vcs: 4,
+                    buffer_depth: 8,
+                },
+            ],
+            eject_bandwidth: 1,
+            max_flit_age: 200_000,
+        }
+    }
+
+    /// The 8x8 consolidation-workload mesh of the paper's Section V-B
+    /// open-loop spatial-variation experiment (same per-port buffering as
+    /// [`NetworkConfig::paper_3x3`]).
+    pub fn paper_8x8() -> NetworkConfig {
+        NetworkConfig {
+            width: 8,
+            height: 8,
+            ..NetworkConfig::paper_3x3()
+        }
+    }
+
+    /// Builds the [`Mesh`] described by this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptyMesh`] for zero dimensions.
+    pub fn mesh(&self) -> Result<Mesh, ConfigError> {
+        Mesh::new(self.width, self.height)
+    }
+
+    /// Number of virtual networks.
+    pub fn vnet_count(&self) -> usize {
+        self.vnets.len()
+    }
+
+    /// Total VCs per input port across all vnets.
+    pub fn total_vcs_per_port(&self) -> usize {
+        self.vnets.iter().map(|v| v.vcs).sum()
+    }
+
+    /// Total buffer flit slots per input port across all vnets.
+    pub fn buffer_flits_per_port(&self) -> usize {
+        self.vnets.iter().map(|v| v.flit_slots()).sum()
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: nonzero mesh, at least one
+    /// vnet, nonzero VCs/depths, nonzero link latency, nonzero ejection
+    /// bandwidth.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        Mesh::new(self.width, self.height)?;
+        if self.vnets.is_empty() {
+            return Err(ConfigError::NoVnets);
+        }
+        for (i, v) in self.vnets.iter().enumerate() {
+            if v.vcs == 0 {
+                return Err(ConfigError::ZeroVcs { vnet: i });
+            }
+            if v.buffer_depth == 0 {
+                return Err(ConfigError::ZeroBufferDepth { vnet: i });
+            }
+        }
+        if self.link_latency == 0 {
+            return Err(ConfigError::ZeroLinkLatency);
+        }
+        if self.eject_bandwidth == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "eject_bandwidth",
+                range: ">= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::paper_3x3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_table_ii() {
+        let cfg = NetworkConfig::paper_3x3();
+        assert_eq!(cfg.width, 3);
+        assert_eq!(cfg.height, 3);
+        assert_eq!(cfg.link_latency, 2);
+        assert_eq!(cfg.total_vcs_per_port(), 8); // 2+2+4
+        assert_eq!(cfg.buffer_flits_per_port(), 64);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = NetworkConfig::paper_3x3();
+        cfg.vnets.clear();
+        assert_eq!(cfg.validate(), Err(ConfigError::NoVnets));
+
+        let mut cfg = NetworkConfig::paper_3x3();
+        cfg.vnets[1].vcs = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroVcs { vnet: 1 }));
+
+        let mut cfg = NetworkConfig::paper_3x3();
+        cfg.vnets[2].buffer_depth = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroBufferDepth { vnet: 2 }));
+
+        let mut cfg = NetworkConfig::paper_3x3();
+        cfg.link_latency = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroLinkLatency));
+
+        let mut cfg = NetworkConfig::paper_3x3();
+        cfg.eject_bandwidth = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn eight_by_eight_preset() {
+        let cfg = NetworkConfig::paper_8x8();
+        assert_eq!((cfg.width, cfg.height), (8, 8));
+        assert_eq!(cfg.buffer_flits_per_port(), 64);
+    }
+}

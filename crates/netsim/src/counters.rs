@@ -1,0 +1,140 @@
+//! Per-router activity counters consumed by the energy model.
+//!
+//! Routers record *what happened* (buffer reads, crossbar traversals, link
+//! traversals, cycles with buffers power-gated, ...); the `afc-energy` crate
+//! converts counts into joules under a technology preset. This separation
+//! lets one simulation run be re-priced under different energy parameters.
+
+/// Event and state counts accumulated by one router over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Flits written into input buffers (backpressured operation).
+    pub buffer_writes: u64,
+    /// Flits read out of input buffers.
+    pub buffer_reads: u64,
+    /// Flits written into pipeline input latches (backpressureless
+    /// operation).
+    pub latch_writes: u64,
+    /// Flits that crossed the crossbar.
+    pub crossbar_traversals: u64,
+    /// Flits sent onto an outgoing link (counted at the sender).
+    pub link_traversals: u64,
+    /// Flits ejected to the local node interface.
+    pub ejections: u64,
+    /// Flits accepted from the local node interface.
+    pub injections: u64,
+    /// Arbitration operations performed (switch and port allocation).
+    pub arbitrations: u64,
+    /// Virtual-channel allocation operations (backpressured baseline only;
+    /// AFC's lazy allocation is folded into the buffer write).
+    pub vc_allocations: u64,
+    /// Credits sent upstream.
+    pub credits_sent: u64,
+    /// Control-signal transitions on the credit-tracking sideband line.
+    pub control_sends: u64,
+    /// Flits deflected to a non-productive output port.
+    pub deflections: u64,
+    /// Flits dropped (drop-based backpressureless router only).
+    pub drops: u64,
+    /// Retransmissions of previously dropped flits.
+    pub retransmissions: u64,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Cycles during which the input buffers were power-gated.
+    pub cycles_buffers_gated: u64,
+    /// Cycles in which buffered flits were present but none could compete
+    /// for the switch (all blocked on downstream credits).
+    pub credit_stall_cycles: u64,
+    /// Sum over cycles of buffered-flit occupancy (divide by `cycles` for
+    /// the mean).
+    pub buffer_occupancy_sum: u64,
+    /// Forward (backpressureless -> backpressured) mode switches.
+    pub mode_switches_forward: u64,
+    /// Reverse (backpressured -> backpressureless) mode switches.
+    pub mode_switches_reverse: u64,
+    /// Forward switches forced by gossip (neighbor credit exhaustion).
+    pub mode_switches_gossip: u64,
+}
+
+impl ActivityCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> ActivityCounters {
+        ActivityCounters::default()
+    }
+
+    /// Adds `other` into `self` (used to aggregate network-wide totals).
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.latch_writes += other.latch_writes;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.link_traversals += other.link_traversals;
+        self.ejections += other.ejections;
+        self.injections += other.injections;
+        self.arbitrations += other.arbitrations;
+        self.vc_allocations += other.vc_allocations;
+        self.credits_sent += other.credits_sent;
+        self.control_sends += other.control_sends;
+        self.deflections += other.deflections;
+        self.drops += other.drops;
+        self.retransmissions += other.retransmissions;
+        self.cycles += other.cycles;
+        self.cycles_buffers_gated += other.cycles_buffers_gated;
+        self.credit_stall_cycles += other.credit_stall_cycles;
+        self.buffer_occupancy_sum += other.buffer_occupancy_sum;
+        self.mode_switches_forward += other.mode_switches_forward;
+        self.mode_switches_reverse += other.mode_switches_reverse;
+        self.mode_switches_gossip += other.mode_switches_gossip;
+    }
+
+    /// Fraction of cycles with buffers gated (0 if no cycles recorded).
+    pub fn gated_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.cycles_buffers_gated as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean buffered-flit occupancy per cycle (0 if no cycles recorded).
+    pub fn mean_buffer_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.buffer_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = ActivityCounters {
+            buffer_writes: 1,
+            link_traversals: 2,
+            cycles: 10,
+            cycles_buffers_gated: 5,
+            ..ActivityCounters::new()
+        };
+        let b = ActivityCounters {
+            buffer_writes: 3,
+            link_traversals: 4,
+            cycles: 10,
+            cycles_buffers_gated: 10,
+            ..ActivityCounters::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.buffer_writes, 4);
+        assert_eq!(a.link_traversals, 6);
+        assert_eq!(a.cycles, 20);
+        assert!((a.gated_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gated_fraction_handles_zero_cycles() {
+        assert_eq!(ActivityCounters::new().gated_fraction(), 0.0);
+    }
+}

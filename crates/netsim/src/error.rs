@@ -1,0 +1,113 @@
+//! Error types for configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid network or router configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Mesh has a zero dimension.
+    EmptyMesh {
+        /// Requested width.
+        width: u16,
+        /// Requested height.
+        height: u16,
+    },
+    /// No virtual networks configured.
+    NoVnets,
+    /// A virtual network has zero virtual channels.
+    ZeroVcs {
+        /// Offending virtual network index.
+        vnet: usize,
+    },
+    /// A virtual network has zero buffer depth.
+    ZeroBufferDepth {
+        /// Offending virtual network index.
+        vnet: usize,
+    },
+    /// Link latency must be at least one cycle.
+    ZeroLinkLatency,
+    /// Per-vnet buffering is too small for the gossip threshold `X = 2L`
+    /// to guarantee overflow-freedom during AFC mode transitions.
+    BufferTooSmallForGossip {
+        /// Offending virtual network index.
+        vnet: usize,
+        /// Available flit slots in that vnet.
+        capacity: usize,
+        /// Required minimum (`2 * link_latency`).
+        required: usize,
+    },
+    /// A parameter fell outside its valid range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable description of the valid range.
+        range: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyMesh { width, height } => {
+                write!(f, "mesh dimensions must be nonzero (got {width}x{height})")
+            }
+            ConfigError::NoVnets => write!(f, "at least one virtual network is required"),
+            ConfigError::ZeroVcs { vnet } => {
+                write!(f, "virtual network {vnet} must have at least one VC")
+            }
+            ConfigError::ZeroBufferDepth { vnet } => {
+                write!(f, "virtual network {vnet} must have nonzero buffer depth")
+            }
+            ConfigError::ZeroLinkLatency => write!(f, "link latency must be at least 1 cycle"),
+            ConfigError::BufferTooSmallForGossip {
+                vnet,
+                capacity,
+                required,
+            } => write!(
+                f,
+                "vnet {vnet} has {capacity} flit slots but the gossip threshold requires at least {required}"
+            ),
+            ConfigError::OutOfRange { what, range } => {
+                write!(f, "{what} out of range (expected {range})")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs = [
+            ConfigError::EmptyMesh {
+                width: 0,
+                height: 2,
+            },
+            ConfigError::NoVnets,
+            ConfigError::ZeroVcs { vnet: 1 },
+            ConfigError::ZeroBufferDepth { vnet: 0 },
+            ConfigError::ZeroLinkLatency,
+            ConfigError::BufferTooSmallForGossip {
+                vnet: 0,
+                capacity: 2,
+                required: 4,
+            },
+            ConfigError::OutOfRange {
+                what: "ewma weight",
+                range: "0.0..1.0",
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

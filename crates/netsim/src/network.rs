@@ -1,0 +1,445 @@
+//! The network engine: wires routers, channels and network interfaces
+//! together and advances them cycle by cycle.
+
+use crate::channel::Channel;
+use crate::config::NetworkConfig;
+use crate::counters::ActivityCounters;
+use crate::flit::{Cycle, PacketId};
+use crate::geom::{DirMap, Direction, NodeId, PortId};
+use crate::ni::NodeInterface;
+use crate::packet::{DeliveredPacket, PacketDescriptor, PacketInput};
+use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};
+use crate::rng::SimRng;
+use crate::stats::NetworkStats;
+use crate::topology::Mesh;
+
+/// Endpoints of one directed channel.
+#[derive(Debug, Clone, Copy)]
+struct ChannelEnds {
+    from: NodeId,
+    dir: Direction,
+    to: NodeId,
+}
+
+/// A complete simulated network: routers, channels and network interfaces.
+///
+/// Construct via [`Network::new`] with a [`RouterFactory`] selecting the
+/// flow-control mechanism, then drive with [`Network::step`] — usually
+/// indirectly through [`Simulation`](crate::sim::Simulation).
+pub struct Network {
+    mesh: Mesh,
+    config: NetworkConfig,
+    mechanism: &'static str,
+    flit_width_bits: u32,
+    buffer_flits_per_port: usize,
+    routers: Vec<Box<dyn Router>>,
+    nis: Vec<NodeInterface>,
+    channels: Vec<Channel>,
+    ends: Vec<ChannelEnds>,
+    /// Outgoing channel index per (node, direction).
+    out_chan: Vec<DirMap<Option<usize>>>,
+    /// Incoming channel index per (node, direction of the input port).
+    in_chan: Vec<DirMap<Option<usize>>>,
+    pending: Vec<crate::channel::Delivery>,
+    now: Cycle,
+    rng: SimRng,
+    stats: NetworkStats,
+    next_packet_id: u64,
+    scratch: RouterOutputs,
+    /// Dropped flits in flight on the modeled NACK circuit:
+    /// `(retransmission-ready cycle, flit)`.
+    nack_queue: Vec<(Cycle, crate::flit::Flit)>,
+    /// Flits that were already in flight when metrics were last reset
+    /// (anchors the conservation audit).
+    audit_baseline: usize,
+    /// When enabled, every offered packet is logged for trace capture.
+    offer_log: Option<Vec<(Cycle, NodeId, PacketInput)>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("mechanism", &self.mechanism)
+            .field("mesh", &self.mesh)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Builds a network from a validated configuration, a router factory and
+    /// an RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`](crate::error::ConfigError) from
+    /// [`NetworkConfig::validate`].
+    pub fn new(
+        config: NetworkConfig,
+        factory: &dyn RouterFactory,
+        seed: u64,
+    ) -> Result<Network, crate::error::ConfigError> {
+        config.validate()?;
+        let mesh = config.mesh()?;
+        let n = mesh.node_count();
+        let buffer_flits_per_port = factory.buffer_flits_per_port(&config);
+
+        let routers: Vec<Box<dyn Router>> = mesh
+            .nodes()
+            .map(|node| factory.build(node, &mesh, &config))
+            .collect();
+        let nis: Vec<NodeInterface> = mesh
+            .nodes()
+            .map(|node| NodeInterface::new(node, config.vnet_count()))
+            .collect();
+
+        let mut channels = Vec::new();
+        let mut ends = Vec::new();
+        let mut out_chan: Vec<DirMap<Option<usize>>> = vec![DirMap::default(); n];
+        let mut in_chan: Vec<DirMap<Option<usize>>> = vec![DirMap::default(); n];
+        for node in mesh.nodes() {
+            for dir in Direction::ALL {
+                if let Some(nb) = mesh.neighbor(node, dir) {
+                    let idx = channels.len();
+                    channels.push(Channel::new(config.link_latency));
+                    ends.push(ChannelEnds {
+                        from: node,
+                        dir,
+                        to: nb,
+                    });
+                    out_chan[node.index()][dir] = Some(idx);
+                    in_chan[nb.index()][dir.opposite()] = Some(idx);
+                }
+            }
+        }
+        let pending = vec![crate::channel::Delivery::default(); channels.len()];
+
+        Ok(Network {
+            mesh,
+            config,
+            mechanism: factory.name(),
+            flit_width_bits: factory.flit_width_bits(),
+            buffer_flits_per_port,
+            routers,
+            nis,
+            channels,
+            ends,
+            out_chan,
+            in_chan,
+            pending,
+            now: 0,
+            rng: SimRng::seed_from(seed),
+            stats: NetworkStats::new(),
+            next_packet_id: 0,
+            scratch: RouterOutputs::new(),
+            nack_queue: Vec::new(),
+            audit_baseline: 0,
+            offer_log: None,
+        })
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The mesh topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Mechanism name from the router factory.
+    pub fn mechanism(&self) -> &'static str {
+        self.mechanism
+    }
+
+    /// Flit width in bits (for energy accounting).
+    pub fn flit_width_bits(&self) -> u32 {
+        self.flit_width_bits
+    }
+
+    /// Instantiated buffer capacity per input port in flits (for energy
+    /// accounting; 0 for bufferless mechanisms).
+    pub fn buffer_flits_per_port(&self) -> usize {
+        self.buffer_flits_per_port
+    }
+
+    /// Cumulative run statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Read access to a node's router (e.g. for mode inspection).
+    pub fn router(&self, node: NodeId) -> &dyn Router {
+        self.routers[node.index()].as_ref()
+    }
+
+    /// Read access to a node's network interface.
+    pub fn ni(&self, node: NodeId) -> &NodeInterface {
+        &self.nis[node.index()]
+    }
+
+    /// Enqueues a packet for injection at `src`, assigning its id and
+    /// creation timestamp. Returns the id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len == 0` or the vnet is out of range (both
+    /// indicate traffic-model bugs).
+    pub fn offer_packet(&mut self, src: NodeId, input: PacketInput) -> PacketId {
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        let desc = PacketDescriptor {
+            id,
+            src,
+            dest: input.dest,
+            vnet: input.vnet,
+            len: input.len,
+            created_at: self.now,
+            kind: input.kind,
+            tag: input.tag,
+        };
+        if let Some(log) = &mut self.offer_log {
+            log.push((self.now, src, input));
+        }
+        self.nis[src.index()].enqueue(desc, &mut self.stats);
+        id
+    }
+
+    /// Starts logging every offered packet (for trace capture).
+    pub fn enable_offer_recording(&mut self) {
+        self.offer_log = Some(Vec::new());
+    }
+
+    /// Takes the offered-packet log recorded since
+    /// [`Network::enable_offer_recording`]; recording continues.
+    pub fn take_offer_log(&mut self) -> Vec<(Cycle, NodeId, PacketInput)> {
+        self.offer_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Advances the simulation one cycle (four phases — see crate docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the livelock watchdog fires (a flit exceeded
+    /// `max_flit_age` cycles in the network) or a router violates a
+    /// channel invariant.
+    pub fn step(&mut self) {
+        let now = self.now;
+
+        // Phase 1: deliver staged channel arrivals.
+        for c in 0..self.channels.len() {
+            let delivery = std::mem::take(&mut self.pending[c]);
+            if delivery.is_empty() {
+                continue;
+            }
+            let ends = self.ends[c];
+            if let Some(flit) = delivery.flit {
+                if self.config.max_flit_age > 0 {
+                    let age = now.saturating_sub(flit.injected_at);
+                    assert!(
+                        age <= self.config.max_flit_age,
+                        "livelock watchdog: flit {flit} is {age} cycles old at {} (mechanism {})",
+                        ends.to,
+                        self.mechanism
+                    );
+                }
+                self.routers[ends.to.index()].receive_flit(
+                    PortId::Net(ends.dir.opposite()),
+                    flit,
+                    now,
+                );
+            }
+            for credit in delivery.credits {
+                self.routers[ends.from.index()].receive_credit(
+                    PortId::Net(ends.dir),
+                    credit,
+                    now,
+                );
+            }
+            for signal in delivery.control {
+                self.routers[ends.from.index()].receive_control(
+                    PortId::Net(ends.dir),
+                    signal,
+                    now,
+                );
+            }
+        }
+
+        // Phase 2a: NACKs that have reached their source become pending
+        // retransmissions.
+        if !self.nack_queue.is_empty() {
+            let mut i = 0;
+            while i < self.nack_queue.len() {
+                if self.nack_queue[i].0 <= now {
+                    let (_, flit) = self.nack_queue.swap_remove(i);
+                    self.nis[flit.src.index()].enqueue_retransmit(flit);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Phase 2b: injection attempts.
+        for i in 0..self.nis.len() {
+            self.nis[i].try_inject(self.routers[i].as_mut(), now, &mut self.stats);
+        }
+
+        // Phase 3: router pipeline steps.
+        for i in 0..self.routers.len() {
+            self.scratch.clear();
+            let mut rng = self.rng.fork((now << 16) ^ i as u64);
+            self.routers[i].step(now, &mut rng, &mut self.scratch);
+
+            for dir in Direction::ALL {
+                if let Some(flit) = self.scratch.flits[PortId::Net(dir)] {
+                    let chan = self.out_chan[i][dir].unwrap_or_else(|| {
+                        panic!("router n{i} sent flit {flit} off-mesh toward {dir}")
+                    });
+                    self.channels[chan].push_flit(flit);
+                }
+                for &credit in &self.scratch.credits[PortId::Net(dir)] {
+                    if let Some(chan) = self.in_chan[i][dir] {
+                        self.channels[chan].push_credit(credit);
+                    }
+                }
+            }
+            assert!(
+                self.scratch.flits[PortId::Local].is_none(),
+                "routers must use `ejected`, not the Local flit slot"
+            );
+            for &signal in &self.scratch.control {
+                for dir in Direction::ALL {
+                    if let Some(chan) = self.in_chan[i][dir] {
+                        self.channels[chan].push_control(signal);
+                    }
+                }
+            }
+            let ejected = std::mem::take(&mut self.scratch.ejected);
+            self.nis[i].receive_flits(ejected, now, &mut self.stats);
+
+            // Dropped flits ride the modeled NACK circuit back to their
+            // source: latency proportional to the Manhattan distance, plus a
+            // small fixed processing cost.
+            for flit in self.scratch.dropped.drain(..) {
+                let dist = self.mesh.distance(NodeId::new(i), flit.src) as u64;
+                let ready = now + dist * self.config.link_latency + 2;
+                self.nack_queue.push((ready, flit));
+            }
+
+            match self.routers[i].mode() {
+                RouterMode::Backpressured => self.stats.cycles_backpressured += 1,
+                RouterMode::Backpressureless => self.stats.cycles_backpressureless += 1,
+                RouterMode::Transitioning => self.stats.cycles_transitioning += 1,
+            }
+        }
+
+        // Phase 4: advance channels; stage next cycle's deliveries.
+        for c in 0..self.channels.len() {
+            self.pending[c] = self.channels[c].advance();
+        }
+        self.now += 1;
+        self.stats.cycles += 1;
+        self.stats.reassembly_high_water = self
+            .stats
+            .reassembly_high_water
+            .max(self.nis.iter().map(|ni| ni.reassembly_high_water()).max().unwrap_or(0));
+    }
+
+    /// Drains all completed packets from every network interface.
+    pub fn take_delivered(&mut self) -> Vec<DeliveredPacket> {
+        let mut out = Vec::new();
+        for ni in &mut self.nis {
+            out.extend(ni.take_delivered());
+        }
+        out
+    }
+
+    /// Flits currently inside routers and channels (not counting NI queues).
+    pub fn flits_in_network(&self) -> usize {
+        let in_routers: usize = self.routers.iter().map(|r| r.occupancy()).sum();
+        let in_channels: usize = self.channels.iter().map(Channel::flits_in_flight).sum();
+        let staged: usize = self
+            .pending
+            .iter()
+            .filter(|d| d.flit.is_some())
+            .count();
+        in_routers + in_channels + staged
+    }
+
+    /// True when no flit is anywhere in the system and all NIs are idle.
+    pub fn is_drained(&self) -> bool {
+        self.flits_in_network() == 0
+            && self.nack_queue.is_empty()
+            && self.nis.iter().all(NodeInterface::is_idle)
+    }
+
+    /// Aggregated activity counters over all routers.
+    pub fn total_counters(&self) -> ActivityCounters {
+        let mut total = ActivityCounters::new();
+        for r in &self.routers {
+            total.merge(r.counters());
+        }
+        total
+    }
+
+    /// Activity counters of a single router.
+    pub fn router_counters(&self, node: NodeId) -> &ActivityCounters {
+        self.routers[node.index()].counters()
+    }
+
+    /// Zeroes statistics and router activity counters (end-of-warmup reset).
+    /// Simulation time and in-flight state are preserved.
+    pub fn reset_metrics(&mut self) {
+        self.stats = NetworkStats::new();
+        for r in &mut self.routers {
+            *r.counters_mut() = ActivityCounters::new();
+        }
+        self.audit_baseline = self.unaccounted_flits();
+    }
+
+    /// Flits currently in limbo between injection and delivery: inside
+    /// routers/channels, riding the NACK circuit, or queued for
+    /// retransmission.
+    fn unaccounted_flits(&self) -> usize {
+        self.flits_in_network()
+            + self.nack_queue.len()
+            + self
+                .nis
+                .iter()
+                .map(NodeInterface::pending_retransmits)
+                .sum::<usize>()
+    }
+
+    /// Verifies flit conservation: every flit injected since the last
+    /// metrics reset is either delivered or still in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the imbalance — which would
+    /// indicate a router silently losing or duplicating flits.
+    pub fn audit(&self) -> Result<(), String> {
+        let injected = self.stats.flits_injected as i128;
+        let delivered = self.stats.flits_delivered as i128;
+        let in_flight = self.unaccounted_flits() as i128;
+        let baseline = self.audit_baseline as i128;
+        if injected + baseline == delivered + in_flight {
+            Ok(())
+        } else {
+            Err(format!(
+                "flit conservation violated: injected {injected} + baseline {baseline} \
+                 != delivered {delivered} + in-flight {in_flight}"
+            ))
+        }
+    }
+
+    /// Per-node modes right now (useful for spatial-variation analysis).
+    pub fn modes(&self) -> Vec<RouterMode> {
+        self.routers.iter().map(|r| r.mode()).collect()
+    }
+}

@@ -1,0 +1,491 @@
+//! Network interfaces: injection queues and MSHR-style reassembly buffers.
+//!
+//! Each node has one [`NodeInterface`] sitting between the traffic model and
+//! its router. On the send side it holds per-virtual-network packet queues
+//! and feeds the router one flit per cycle (the local port has unit
+//! bandwidth, like every other port). On the receive side it reassembles
+//! flits — which may arrive in arbitrary order and arbitrarily interleaved
+//! across packets under flit-by-flit routing — into packets, modeling the
+//! MSHR receive-side buffering the paper argues is already present in
+//! coherence controllers (Section II).
+
+use crate::flit::{Cycle, Flit, PacketId};
+use crate::geom::NodeId;
+use crate::packet::{DeliveredPacket, PacketDescriptor};
+use crate::router::Router;
+use crate::stats::NetworkStats;
+use std::collections::{HashMap, VecDeque};
+
+/// In-progress injection of one packet on one virtual network.
+#[derive(Debug, Clone)]
+struct InjectProgress {
+    desc: PacketDescriptor,
+    next_seq: u16,
+    first_injected_at: Cycle,
+}
+
+/// Reassembly state for one partially received packet.
+#[derive(Debug, Clone)]
+struct Reassembly {
+    desc: PacketDescriptor,
+    received: Vec<bool>,
+    received_count: u16,
+    min_injected_at: Cycle,
+    total_hops: u32,
+    total_deflections: u32,
+}
+
+/// The per-node injection/ejection endpoint.
+#[derive(Debug)]
+pub struct NodeInterface {
+    node: NodeId,
+    /// Per-vnet queues of packets waiting to start injection.
+    queues: Vec<VecDeque<PacketDescriptor>>,
+    /// Per-vnet packet currently being injected flit-by-flit.
+    in_progress: Vec<Option<InjectProgress>>,
+    /// Round-robin pointer over vnets for injection fairness.
+    rr_next: usize,
+    /// Dropped flits awaiting retransmission (drop-based routers only);
+    /// served ahead of fresh packets.
+    retransmit: VecDeque<Flit>,
+    /// Open reassembly buffers.
+    reassembly: HashMap<PacketId, Reassembly>,
+    /// Fully reassembled packets awaiting pickup by the traffic model.
+    delivered: Vec<DeliveredPacket>,
+    /// High-water mark of simultaneously open reassembly buffers.
+    reassembly_high_water: usize,
+}
+
+impl NodeInterface {
+    /// Creates the interface for `node` with `vnet_count` virtual networks.
+    pub fn new(node: NodeId, vnet_count: usize) -> NodeInterface {
+        NodeInterface {
+            node,
+            queues: (0..vnet_count).map(|_| VecDeque::new()).collect(),
+            in_progress: (0..vnet_count).map(|_| None).collect(),
+            rr_next: 0,
+            retransmit: VecDeque::new(),
+            reassembly: HashMap::new(),
+            delivered: Vec::new(),
+            reassembly_high_water: 0,
+        }
+    }
+
+    /// Node this interface belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Enqueues a packet for injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the descriptor's vnet index is out of range, its source is
+    /// not this node, or its length is zero.
+    pub fn enqueue(&mut self, desc: PacketDescriptor, stats: &mut NetworkStats) {
+        assert_eq!(desc.src, self.node, "packet source must match NI node");
+        assert!(desc.len >= 1, "packets must have at least one flit");
+        let q = self
+            .queues
+            .get_mut(desc.vnet.index())
+            .unwrap_or_else(|| panic!("vnet {} out of range", desc.vnet));
+        q.push_back(desc);
+        stats.packets_offered += 1;
+    }
+
+    /// Packets queued or mid-injection on the send side.
+    pub fn pending_packets(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum::<usize>()
+            + self.in_progress.iter().flatten().count()
+    }
+
+    /// Flits still owed to the network by queued/in-progress packets.
+    pub fn pending_flits(&self) -> usize {
+        let queued: usize = self
+            .queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|d| d.len as usize)
+            .sum();
+        let in_flight: usize = self
+            .in_progress
+            .iter()
+            .flatten()
+            .map(|p| (p.desc.len - p.next_seq) as usize)
+            .sum();
+        queued + in_flight
+    }
+
+    /// Queues a previously dropped flit for retransmission. Retransmissions
+    /// take priority over fresh packets and preserve the flit's original
+    /// injection timestamp so latency statistics include the drop penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit's source is not this node.
+    pub fn enqueue_retransmit(&mut self, flit: Flit) {
+        assert_eq!(flit.src, self.node, "retransmit must return to the source");
+        self.retransmit.push_back(flit);
+    }
+
+    /// Flits waiting for retransmission.
+    pub fn pending_retransmits(&self) -> usize {
+        self.retransmit.len()
+    }
+
+    /// Attempts to inject one flit into `router` this cycle, round-robin
+    /// across virtual networks. Retransmissions go first.
+    pub fn try_inject(&mut self, router: &mut dyn Router, now: Cycle, stats: &mut NetworkStats) {
+        if let Some(&flit) = self.retransmit.front() {
+            if router.injection_ready(&flit, now) {
+                router.inject(flit, now);
+                self.retransmit.pop_front();
+                stats.flits_retransmitted += 1;
+            }
+            // The local port carries at most one flit per cycle either way.
+            return;
+        }
+        let vnets = self.queues.len();
+        for offset in 0..vnets {
+            let v = (self.rr_next + offset) % vnets;
+            // Promote the next queued packet if this vnet is idle.
+            if self.in_progress[v].is_none() {
+                if let Some(desc) = self.queues[v].pop_front() {
+                    self.in_progress[v] = Some(InjectProgress {
+                        desc,
+                        next_seq: 0,
+                        first_injected_at: 0,
+                    });
+                }
+            }
+            let Some(progress) = self.in_progress[v].as_mut() else {
+                continue;
+            };
+            let flit = progress.desc.flit(progress.next_seq, now);
+            if !router.injection_ready(&flit, now) {
+                continue;
+            }
+            if progress.next_seq == 0 {
+                progress.first_injected_at = now;
+                stats.packets_injected += 1;
+            }
+            router.inject(flit, now);
+            stats.flits_injected += 1;
+            progress.next_seq += 1;
+            if progress.next_seq == progress.desc.len {
+                self.in_progress[v] = None;
+            }
+            // One flit per cycle through the local port; resume fairness
+            // from the next vnet.
+            self.rr_next = (v + 1) % vnets;
+            return;
+        }
+    }
+
+    /// Receives ejected flits from the router, reassembling packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate flits or flits not addressed to this node —
+    /// either indicates a router bug.
+    pub fn receive_flits(
+        &mut self,
+        flits: impl IntoIterator<Item = Flit>,
+        now: Cycle,
+        stats: &mut NetworkStats,
+    ) {
+        for flit in flits {
+            assert_eq!(
+                flit.dest, self.node,
+                "flit {flit} ejected at wrong node {}",
+                self.node
+            );
+            stats.flits_delivered += 1;
+            stats.flit_hops.record(flit.hops as u64);
+            stats.flit_deflections.record(flit.deflections as u64);
+            let entry = self
+                .reassembly
+                .entry(flit.packet)
+                .or_insert_with(|| Reassembly {
+                    desc: PacketDescriptor {
+                        id: flit.packet,
+                        src: flit.src,
+                        dest: flit.dest,
+                        vnet: flit.vnet,
+                        len: flit.len,
+                        created_at: flit.created_at,
+                        kind: flit.kind,
+                        tag: flit.tag,
+                    },
+                    received: vec![false; flit.len as usize],
+                    received_count: 0,
+                    min_injected_at: flit.injected_at,
+                    total_hops: 0,
+                    total_deflections: 0,
+                });
+            assert!(
+                !entry.received[flit.seq as usize],
+                "duplicate flit {flit} delivered"
+            );
+            entry.received[flit.seq as usize] = true;
+            entry.received_count += 1;
+            entry.min_injected_at = entry.min_injected_at.min(flit.injected_at);
+            entry.total_hops += flit.hops as u32;
+            entry.total_deflections += flit.deflections as u32;
+
+            if entry.received_count == entry.desc.len {
+                let entry = self.reassembly.remove(&flit.packet).expect("just inserted");
+                let delivered = DeliveredPacket {
+                    descriptor: entry.desc,
+                    injected_at: entry.min_injected_at,
+                    delivered_at: now,
+                    total_hops: entry.total_hops,
+                    total_deflections: entry.total_deflections,
+                };
+                stats.packets_delivered += 1;
+                stats.network_latency.record(delivered.network_latency());
+                stats.network_latency_hist.record(delivered.network_latency());
+                stats.total_latency.record(delivered.total_latency());
+                self.delivered.push(delivered);
+            }
+        }
+        self.reassembly_high_water = self.reassembly_high_water.max(self.reassembly.len());
+    }
+
+    /// Takes the packets completed since the last call.
+    pub fn take_delivered(&mut self) -> Vec<DeliveredPacket> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Open (incomplete) reassembly buffers right now.
+    pub fn open_reassemblies(&self) -> usize {
+        self.reassembly.len()
+    }
+
+    /// High-water mark of simultaneously open reassembly buffers.
+    pub fn reassembly_high_water(&self) -> usize {
+        self.reassembly_high_water
+    }
+
+    /// True when the send side is fully drained and no packet is partially
+    /// reassembled or undelivered.
+    pub fn is_idle(&self) -> bool {
+        self.pending_packets() == 0
+            && self.retransmit.is_empty()
+            && self.reassembly.is_empty()
+            && self.delivered.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ControlSignal, Credit};
+    use crate::counters::ActivityCounters;
+    use crate::flit::{PacketKind, VirtualNetwork};
+    use crate::geom::PortId;
+    use crate::router::{RouterMode, RouterOutputs};
+    use crate::rng::SimRng;
+
+    /// A router stub that accepts everything and remembers injections.
+    #[derive(Default)]
+    struct SinkRouter {
+        injected: Vec<Flit>,
+        accept: bool,
+        counters: ActivityCounters,
+    }
+
+    impl Router for SinkRouter {
+        fn receive_flit(&mut self, _input: PortId, _flit: Flit, _now: Cycle) {}
+        fn receive_credit(&mut self, _output: PortId, _credit: Credit, _now: Cycle) {}
+        fn receive_control(&mut self, _output: PortId, _signal: ControlSignal, _now: Cycle) {}
+        fn injection_ready(&self, _flit: &Flit, _now: Cycle) -> bool {
+            self.accept
+        }
+        fn inject(&mut self, flit: Flit, _now: Cycle) {
+            self.injected.push(flit);
+        }
+        fn step(&mut self, _now: Cycle, _rng: &mut SimRng, _out: &mut RouterOutputs) {}
+        fn counters(&self) -> &ActivityCounters {
+            &self.counters
+        }
+        fn counters_mut(&mut self) -> &mut ActivityCounters {
+            &mut self.counters
+        }
+        fn mode(&self) -> RouterMode {
+            RouterMode::Backpressured
+        }
+        fn occupancy(&self) -> usize {
+            0
+        }
+    }
+
+    fn desc(id: u64, src: usize, dest: usize, vnet: u8, len: u16) -> PacketDescriptor {
+        PacketDescriptor {
+            id: PacketId(id),
+            src: NodeId::new(src),
+            dest: NodeId::new(dest),
+            vnet: VirtualNetwork(vnet),
+            len,
+            created_at: 0,
+            kind: PacketKind::Synthetic,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn injects_one_flit_per_cycle_in_order() {
+        let mut ni = NodeInterface::new(NodeId::new(0), 3);
+        let mut stats = NetworkStats::new();
+        let mut router = SinkRouter {
+            accept: true,
+            ..SinkRouter::default()
+        };
+        ni.enqueue(desc(1, 0, 5, 0, 3), &mut stats);
+        assert_eq!(ni.pending_flits(), 3);
+        for now in 0..3 {
+            ni.try_inject(&mut router, now, &mut stats);
+        }
+        assert_eq!(router.injected.len(), 3);
+        assert_eq!(
+            router.injected.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(stats.packets_injected, 1);
+        assert_eq!(stats.flits_injected, 3);
+        assert!(ni.is_idle());
+    }
+
+    #[test]
+    fn round_robins_across_vnets() {
+        let mut ni = NodeInterface::new(NodeId::new(0), 2);
+        let mut stats = NetworkStats::new();
+        let mut router = SinkRouter {
+            accept: true,
+            ..SinkRouter::default()
+        };
+        ni.enqueue(desc(1, 0, 5, 0, 2), &mut stats);
+        ni.enqueue(desc(2, 0, 5, 1, 2), &mut stats);
+        for now in 0..4 {
+            ni.try_inject(&mut router, now, &mut stats);
+        }
+        let vnets: Vec<u8> = router.injected.iter().map(|f| f.vnet.0).collect();
+        assert_eq!(vnets, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn refusal_stalls_injection() {
+        let mut ni = NodeInterface::new(NodeId::new(0), 1);
+        let mut stats = NetworkStats::new();
+        let mut router = SinkRouter::default(); // accept = false
+        ni.enqueue(desc(1, 0, 5, 0, 1), &mut stats);
+        ni.try_inject(&mut router, 0, &mut stats);
+        assert!(router.injected.is_empty());
+        assert_eq!(ni.pending_flits(), 1);
+        router.accept = true;
+        ni.try_inject(&mut router, 1, &mut stats);
+        assert_eq!(router.injected.len(), 1);
+    }
+
+    #[test]
+    fn reassembles_out_of_order_flits() {
+        let mut ni = NodeInterface::new(NodeId::new(5), 1);
+        let mut stats = NetworkStats::new();
+        let d = desc(9, 0, 5, 0, 3);
+        let mut f0 = d.flit(0, 10);
+        let mut f1 = d.flit(1, 11);
+        let f2 = d.flit(2, 12);
+        f0.hops = 2;
+        f1.deflections = 1;
+        ni.receive_flits([f2, f0], 20, &mut stats);
+        assert_eq!(ni.open_reassemblies(), 1);
+        assert!(ni.take_delivered().is_empty());
+        ni.receive_flits([f1], 25, &mut stats);
+        let delivered = ni.take_delivered();
+        assert_eq!(delivered.len(), 1);
+        let p = delivered[0];
+        assert_eq!(p.descriptor.id, PacketId(9));
+        assert_eq!(p.injected_at, 10);
+        assert_eq!(p.delivered_at, 25);
+        assert_eq!(p.total_hops, 2);
+        assert_eq!(p.total_deflections, 1);
+        assert_eq!(stats.packets_delivered, 1);
+        assert_eq!(stats.flits_delivered, 3);
+        assert!(ni.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flit")]
+    fn duplicate_flit_detected() {
+        let mut ni = NodeInterface::new(NodeId::new(5), 1);
+        let mut stats = NetworkStats::new();
+        let d = desc(9, 0, 5, 0, 2);
+        let f = d.flit(0, 0);
+        ni.receive_flits([f, f], 1, &mut stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node")]
+    fn misdelivered_flit_detected() {
+        let mut ni = NodeInterface::new(NodeId::new(4), 1);
+        let mut stats = NetworkStats::new();
+        let d = desc(9, 0, 5, 0, 1);
+        ni.receive_flits([d.flit(0, 0)], 1, &mut stats);
+    }
+
+    #[test]
+    fn retransmissions_preempt_fresh_packets() {
+        let mut ni = NodeInterface::new(NodeId::new(0), 1);
+        let mut stats = NetworkStats::new();
+        let mut router = SinkRouter {
+            accept: true,
+            ..SinkRouter::default()
+        };
+        ni.enqueue(desc(1, 0, 5, 0, 1), &mut stats);
+        let dropped = desc(9, 0, 7, 0, 1).flit(0, 3);
+        ni.enqueue_retransmit(dropped);
+        assert_eq!(ni.pending_retransmits(), 1);
+        ni.try_inject(&mut router, 10, &mut stats);
+        // The retransmission went first and kept its original timestamp.
+        assert_eq!(router.injected.len(), 1);
+        assert_eq!(router.injected[0].packet, PacketId(9));
+        assert_eq!(router.injected[0].injected_at, 3);
+        assert_eq!(stats.flits_retransmitted, 1);
+        assert_eq!(ni.pending_retransmits(), 0);
+        // The fresh packet follows on the next cycle.
+        ni.try_inject(&mut router, 11, &mut stats);
+        assert_eq!(router.injected[1].packet, PacketId(1));
+    }
+
+    #[test]
+    fn retransmit_blocks_until_router_accepts() {
+        let mut ni = NodeInterface::new(NodeId::new(0), 1);
+        let mut stats = NetworkStats::new();
+        let mut router = SinkRouter::default(); // refuses
+        ni.enqueue_retransmit(desc(9, 0, 7, 0, 1).flit(0, 3));
+        ni.try_inject(&mut router, 0, &mut stats);
+        assert!(router.injected.is_empty());
+        assert_eq!(ni.pending_retransmits(), 1);
+        assert!(!ni.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "return to the source")]
+    fn retransmit_at_wrong_node_panics() {
+        let mut ni = NodeInterface::new(NodeId::new(4), 1);
+        ni.enqueue_retransmit(desc(9, 0, 7, 0, 1).flit(0, 3));
+    }
+
+    #[test]
+    fn tracks_reassembly_high_water() {
+        let mut ni = NodeInterface::new(NodeId::new(5), 1);
+        let mut stats = NetworkStats::new();
+        let d1 = desc(1, 0, 5, 0, 2);
+        let d2 = desc(2, 1, 5, 0, 2);
+        ni.receive_flits([d1.flit(0, 0), d2.flit(0, 0)], 1, &mut stats);
+        assert_eq!(ni.reassembly_high_water(), 2);
+        ni.receive_flits([d1.flit(1, 0), d2.flit(1, 0)], 2, &mut stats);
+        assert_eq!(ni.open_reassemblies(), 0);
+        assert_eq!(ni.reassembly_high_water(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! The [`Router`] abstraction implemented by every flow-control mechanism.
+
+use crate::channel::{ControlSignal, Credit};
+use crate::config::NetworkConfig;
+use crate::counters::ActivityCounters;
+use crate::flit::{Cycle, Flit};
+use crate::geom::{NodeId, PortId, PortMap};
+use crate::rng::SimRng;
+use crate::topology::Mesh;
+
+/// The flow-control mode a router is currently operating in.
+///
+/// Fixed-mechanism routers report a constant mode; the AFC router moves
+/// between all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterMode {
+    /// Credit-based backpressured operation.
+    Backpressured,
+    /// Deflection (or drop) based backpressureless operation.
+    Backpressureless,
+    /// Mid-flight forward mode switch (the 2L-cycle window of Section III-B).
+    Transitioning,
+}
+
+/// Everything a router emits during one pipeline step.
+///
+/// The network engine routes these into channels: `flits` onto forward
+/// lanes, `credits` onto the reverse lanes of the corresponding *input*
+/// ports, `control` broadcast to every upstream neighbor, and `ejected`
+/// flits to the local network interface.
+#[derive(Debug, Clone, Default)]
+pub struct RouterOutputs {
+    /// Flit sent on each network output port this cycle, if any.
+    pub flits: PortMap<Option<Flit>>,
+    /// Credits returned upstream, keyed by the *input* port whose buffer
+    /// freed up.
+    pub credits: PortMap<Vec<Credit>>,
+    /// Control signals broadcast to all upstream neighbors.
+    pub control: Vec<ControlSignal>,
+    /// Flits delivered to the local node interface.
+    pub ejected: Vec<Flit>,
+    /// Flits dropped by a drop-based backpressureless router. The network
+    /// engine models the NACK circuit: each dropped flit is re-enqueued for
+    /// retransmission at its source after a distance-proportional delay.
+    pub dropped: Vec<Flit>,
+}
+
+impl RouterOutputs {
+    /// Creates empty outputs.
+    pub fn new() -> RouterOutputs {
+        RouterOutputs::default()
+    }
+
+    /// Clears all outputs for reuse in the next cycle.
+    pub fn clear(&mut self) {
+        for (_, f) in self.flits.iter_mut() {
+            *f = None;
+        }
+        for (_, c) in self.credits.iter_mut() {
+            c.clear();
+        }
+        self.control.clear();
+        self.ejected.clear();
+        self.dropped.clear();
+    }
+
+    /// Total flits leaving on network ports this cycle.
+    pub fn flits_sent(&self) -> usize {
+        self.flits.iter().filter(|(_, f)| f.is_some()).count()
+    }
+}
+
+/// A router: one per mesh node, implementing a flow-control mechanism.
+///
+/// The network engine drives implementations through four phases per cycle —
+/// see the crate-level documentation. Implementations must uphold:
+///
+/// * at most one flit per output port per [`Router::step`] call,
+/// * flits are never silently lost (they are buffered, forwarded, deflected,
+///   ejected, or — for the drop router — counted as dropped and NACKed),
+/// * [`Router::occupancy`] reflects every flit currently held inside the
+///   router (buffers, latches, pipeline registers).
+pub trait Router {
+    /// Delivers a flit arriving on network input port `input`.
+    fn receive_flit(&mut self, input: PortId, flit: Flit, now: Cycle);
+
+    /// Delivers a credit returned on output port `output` (i.e. from the
+    /// downstream router reached through that port).
+    fn receive_credit(&mut self, output: PortId, credit: Credit, now: Cycle);
+
+    /// Delivers a control signal from the downstream router reached through
+    /// `output`.
+    fn receive_control(&mut self, output: PortId, signal: ControlSignal, now: Cycle);
+
+    /// Whether the router can accept `flit` from the local injection port
+    /// this cycle. Even backpressureless routers refuse injection when no
+    /// output port would be free (paper, footnote 3).
+    fn injection_ready(&self, flit: &Flit, now: Cycle) -> bool;
+
+    /// Accepts a flit from the local injection port. Callers must have
+    /// checked [`Router::injection_ready`] in the same cycle.
+    fn inject(&mut self, flit: Flit, now: Cycle);
+
+    /// Executes one pipeline step, writing outputs into `out` (already
+    /// cleared by the caller).
+    fn step(&mut self, now: Cycle, rng: &mut SimRng, out: &mut RouterOutputs);
+
+    /// Activity counters accumulated so far.
+    fn counters(&self) -> &ActivityCounters;
+
+    /// Mutable access to the counters (used by the network engine to reset
+    /// metrics after warmup).
+    fn counters_mut(&mut self) -> &mut ActivityCounters;
+
+    /// Current flow-control mode.
+    fn mode(&self) -> RouterMode;
+
+    /// Number of flits currently held inside the router.
+    fn occupancy(&self) -> usize;
+
+    /// The router's smoothed local-load estimate (flits/cycle), if it
+    /// measures one. Adaptive routers override this; fixed-mechanism
+    /// routers return `None`.
+    fn load_estimate(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Builds one router per node; implemented by each mechanism and handed to
+/// [`Network::new`](crate::network::Network::new).
+///
+/// Factories are plain configuration data, so the trait requires
+/// `Send + Sync`: harnesses share one factory set across worker threads
+/// when replicating runs over seeds.
+pub trait RouterFactory: Send + Sync {
+    /// Constructs the router for `node`.
+    fn build(&self, node: NodeId, mesh: &Mesh, config: &NetworkConfig) -> Box<dyn Router>;
+
+    /// Short mechanism name (`"backpressured"`, `"bless"`, `"afc"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Total flit width in bits (payload + control), used by the energy
+    /// model: the paper reports 41 (backpressured), 45 (backpressureless)
+    /// and 49 (AFC) bits for a 32-bit payload.
+    fn flit_width_bits(&self) -> u32;
+
+    /// Buffer capacity in flits per input port that this mechanism actually
+    /// instantiates (0 for bufferless; AFC halves the baseline).
+    fn buffer_flits_per_port(&self, config: &NetworkConfig) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::PacketId;
+
+    #[test]
+    fn outputs_clear_resets_everything() {
+        let mut out = RouterOutputs::new();
+        let f = Flit::test_flit(PacketId(1), NodeId::new(0), NodeId::new(1));
+        out.flits[PortId::Local] = Some(f);
+        out.credits[PortId::Local].push(Credit::Vc(crate::flit::VcId(0)));
+        out.control.push(ControlSignal::StopCreditTracking);
+        out.ejected.push(f);
+        assert_eq!(out.flits_sent(), 1);
+        out.clear();
+        assert_eq!(out.flits_sent(), 0);
+        assert!(out.credits[PortId::Local].is_empty());
+        assert!(out.control.is_empty());
+        assert!(out.ejected.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! The simulation driver: couples a [`Network`] with a [`TrafficModel`].
+
+use crate::flit::Cycle;
+use crate::network::Network;
+use crate::packet::DeliveredPacket;
+
+/// A source (and, for closed-loop models, sink) of network traffic.
+///
+/// Implementations offer packets via [`Network::offer_packet`] during
+/// [`TrafficModel::pre_cycle`] and observe completions in
+/// [`TrafficModel::on_delivered`], which may itself offer new packets — this
+/// is how the closed-loop memory model generates replies and how the
+/// network's feedback on execution time is preserved.
+pub trait TrafficModel {
+    /// Called at the start of every cycle, before the network advances.
+    fn pre_cycle(&mut self, now: Cycle, net: &mut Network);
+
+    /// Called once per packet completed during the previous
+    /// [`Network::step`].
+    fn on_delivered(&mut self, packet: &DeliveredPacket, now: Cycle, net: &mut Network);
+
+    /// For closed-loop models: true once the workload's transaction budget
+    /// is exhausted. Open-loop models never finish on their own.
+    fn is_finished(&self, _now: Cycle) -> bool {
+        false
+    }
+}
+
+/// A network plus the traffic model driving it.
+///
+/// # Examples
+///
+/// See the `afc-traffic` crate for concrete traffic models and the
+/// workspace `examples/` directory for end-to-end runs.
+pub struct Simulation<T> {
+    /// The simulated network.
+    pub network: Network,
+    /// The traffic model.
+    pub traffic: T,
+}
+
+impl<T: TrafficModel> Simulation<T> {
+    /// Couples a network with a traffic model.
+    pub fn new(network: Network, traffic: T) -> Simulation<T> {
+        Simulation { network, traffic }
+    }
+
+    /// Advances one cycle: traffic generation, network step, delivery
+    /// callbacks.
+    pub fn step(&mut self) {
+        let now = self.network.now();
+        self.traffic.pre_cycle(now, &mut self.network);
+        self.network.step();
+        let now = self.network.now();
+        for packet in self.network.take_delivered() {
+            self.traffic.on_delivered(&packet, now, &mut self.network);
+        }
+    }
+
+    /// Runs exactly `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until the traffic model reports completion or `max_cycles`
+    /// elapse. Returns `true` if the model finished.
+    pub fn run_until_finished(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.traffic.is_finished(self.network.now()) {
+                return true;
+            }
+            self.step();
+        }
+        self.traffic.is_finished(self.network.now())
+    }
+
+    /// Stops offering new traffic is the caller's job; this runs until every
+    /// in-flight flit has been delivered or `max_cycles` elapse. Returns
+    /// `true` if fully drained.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.network.is_drained() {
+                return true;
+            }
+            self.step();
+        }
+        self.network.is_drained()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Simulation<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("network", &self.network)
+            .field("traffic", &self.traffic)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::flit::{PacketKind, VirtualNetwork};
+    use crate::geom::NodeId;
+    use crate::packet::PacketInput;
+    use crate::testutil::FifoFactory;
+
+    /// Offers one packet per cycle for the first `count` cycles, then goes
+    /// quiet; counts deliveries.
+    #[derive(Debug)]
+    struct Burst {
+        count: u64,
+        delivered: u64,
+    }
+
+    impl TrafficModel for Burst {
+        fn pre_cycle(&mut self, now: Cycle, net: &mut Network) {
+            if now < self.count {
+                net.offer_packet(
+                    NodeId::new(0),
+                    PacketInput {
+                        dest: NodeId::new(8),
+                        vnet: VirtualNetwork(0),
+                        len: 1,
+                        kind: PacketKind::Synthetic,
+                        tag: now,
+                    },
+                );
+            }
+        }
+        fn on_delivered(&mut self, p: &DeliveredPacket, now: Cycle, _net: &mut Network) {
+            assert!(p.delivered_at <= now);
+            self.delivered += 1;
+        }
+        fn is_finished(&self, _now: Cycle) -> bool {
+            self.delivered >= self.count
+        }
+    }
+
+    fn sim(count: u64) -> Simulation<Burst> {
+        let net = Network::new(NetworkConfig::paper_3x3(), &FifoFactory { lossy: false }, 1)
+            .expect("valid");
+        Simulation::new(net, Burst { count, delivered: 0 })
+    }
+
+    #[test]
+    fn run_advances_exactly_n_cycles() {
+        let mut s = sim(3);
+        s.run(25);
+        assert_eq!(s.network.now(), 25);
+        assert_eq!(s.traffic.delivered, 3);
+    }
+
+    #[test]
+    fn run_until_finished_stops_at_the_target() {
+        let mut s = sim(5);
+        assert!(s.run_until_finished(10_000));
+        assert_eq!(s.traffic.delivered, 5);
+        assert!(s.network.now() < 100, "finishes promptly");
+        // An unreachable target reports failure without hanging.
+        let mut s = sim(u64::MAX);
+        assert!(!s.run_until_finished(50));
+    }
+
+    #[test]
+    fn drain_runs_until_empty() {
+        let mut s = sim(4);
+        s.run(4); // all offers made, flits in flight
+        assert!(s.drain(1_000));
+        assert!(s.network.is_drained());
+        assert_eq!(s.traffic.delivered, 4);
+    }
+}

@@ -1,0 +1,483 @@
+//! Run-wide statistics: latency accounting, load measurement utilities
+//! (sliding window + EWMA, as used by AFC's contention monitor), and the
+//! aggregate [`NetworkStats`] snapshot.
+
+use crate::flit::Cycle;
+
+/// Streaming summary of a latency (or any nonnegative) distribution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl LatencyStats {
+    /// Creates an empty summary.
+    pub fn new() -> LatencyStats {
+        LatencyStats::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A fixed-bucket latency histogram with percentile queries.
+///
+/// Buckets are linear with the given width; samples beyond the last bucket
+/// land in an overflow bucket (counted, and reported as the overflow
+/// boundary by percentile queries).
+///
+/// # Examples
+///
+/// ```
+/// use afc_netsim::stats::Histogram;
+/// let mut h = Histogram::new(10, 10); // 10 buckets of width 10
+/// for v in [5, 15, 15, 95, 1000] { h.record(v); }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.percentile(0.5), Some(10)); // bucket lower bound
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` linear buckets of `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(buckets: usize, bucket_width: u64) -> Histogram {
+        assert!(buckets > 0 && bucket_width > 0, "histogram must be nonempty");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        match self.buckets.get_mut(idx) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower bound of the bucket containing the `p`-quantile
+    /// (`0.0 <= p <= 1.0`), or `None` if empty. Overflowing quantiles
+    /// report the overflow boundary.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = ((self.count as f64 * p).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(i as u64 * self.bucket_width);
+            }
+        }
+        Some(self.buckets.len() as u64 * self.bucket_width)
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` for nonempty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i as u64 * self.bucket_width, *c))
+    }
+
+    /// Merges another histogram (must have identical geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+impl Default for Histogram {
+    /// 256 buckets of width 8 cycles — covers latencies up to 2048 cycles
+    /// before overflowing, which suits on-chip networks.
+    fn default() -> Self {
+        Histogram::new(256, 8)
+    }
+}
+
+/// Exponentially weighted moving average:
+/// `m_new = weight * m_old + (1 - weight) * sample`.
+///
+/// The paper smooths AFC's 4-cycle traffic-intensity window with weight 0.99
+/// (Section IV).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    weight: f64,
+    value: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with the given weight on the *old* value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not in `[0, 1)`.
+    pub fn new(weight: f64) -> Ewma {
+        assert!(
+            (0.0..1.0).contains(&weight),
+            "ewma weight must be in [0, 1)"
+        );
+        Ewma { weight, value: 0.0 }
+    }
+
+    /// Feeds one sample and returns the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        self.value = self.weight * self.value + (1.0 - self.weight) * sample;
+        self.value
+    }
+
+    /// Current average.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Resets the average to zero.
+    pub fn reset(&mut self) {
+        self.value = 0.0;
+    }
+}
+
+/// Fixed-length sliding window over integer samples, reporting their mean.
+///
+/// AFC measures local traffic intensity as the flit count averaged over the
+/// previous 4 cycles (Section III-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlidingWindow {
+    buf: Vec<u32>,
+    next: usize,
+    sum: u64,
+    filled: usize,
+}
+
+impl SlidingWindow {
+    /// Creates a window of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> SlidingWindow {
+        assert!(len > 0, "window length must be positive");
+        SlidingWindow {
+            buf: vec![0; len],
+            next: 0,
+            sum: 0,
+            filled: 0,
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest once full.
+    pub fn push(&mut self, sample: u32) {
+        self.sum -= self.buf[self.next] as u64;
+        self.buf[self.next] = sample;
+        self.sum += sample as u64;
+        self.next = (self.next + 1) % self.buf.len();
+        if self.filled < self.buf.len() {
+            self.filled += 1;
+        }
+    }
+
+    /// Mean over the window (over samples seen so far if not yet full;
+    /// zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.filled == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.filled as f64
+        }
+    }
+}
+
+/// Aggregate statistics for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    /// Packets enqueued at network interfaces.
+    pub packets_offered: u64,
+    /// Packets whose first flit entered the network.
+    pub packets_injected: u64,
+    /// Packets fully reassembled at their destination.
+    pub packets_delivered: u64,
+    /// Flits injected into the network.
+    pub flits_injected: u64,
+    /// Flits delivered (ejected and reassembled).
+    pub flits_delivered: u64,
+    /// Flits re-injected after being dropped (drop-based routers only).
+    pub flits_retransmitted: u64,
+    /// Network latency of delivered packets: first-flit injection to
+    /// last-flit delivery.
+    pub network_latency: LatencyStats,
+    /// Histogram of network latencies (for percentile reporting).
+    pub network_latency_hist: Histogram,
+    /// Total latency of delivered packets: enqueue (packet creation) to
+    /// last-flit delivery — includes source queueing delay.
+    pub total_latency: LatencyStats,
+    /// Hops taken by delivered flits.
+    pub flit_hops: LatencyStats,
+    /// Deflections suffered by delivered flits.
+    pub flit_deflections: LatencyStats,
+    /// Router-cycles spent in backpressured mode.
+    pub cycles_backpressured: u64,
+    /// Router-cycles spent in backpressureless mode.
+    pub cycles_backpressureless: u64,
+    /// Router-cycles spent transitioning between modes.
+    pub cycles_transitioning: u64,
+    /// High-water mark of simultaneously open reassembly buffers, across all
+    /// network interfaces.
+    pub reassembly_high_water: usize,
+    /// Cycles simulated.
+    pub cycles: Cycle,
+}
+
+impl NetworkStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> NetworkStats {
+        NetworkStats::default()
+    }
+
+    /// Delivered throughput in flits per node per cycle.
+    pub fn throughput(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 || nodes == 0 {
+            0.0
+        } else {
+            self.flits_delivered as f64 / (self.cycles as f64 * nodes as f64)
+        }
+    }
+
+    /// Offered injection rate in flits per node per cycle.
+    pub fn injection_rate(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 || nodes == 0 {
+            0.0
+        } else {
+            self.flits_injected as f64 / (self.cycles as f64 * nodes as f64)
+        }
+    }
+
+    /// Fraction of router-cycles spent in backpressured mode (including
+    /// transitions, which run backpressureless hardware but are attributed
+    /// separately).
+    pub fn backpressured_fraction(&self) -> f64 {
+        let total =
+            self.cycles_backpressured + self.cycles_backpressureless + self.cycles_transitioning;
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_backpressured as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_basic() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), None);
+        s.record(4);
+        s.record(8);
+        s.record(6);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(6.0));
+        assert_eq!(s.min(), Some(4));
+        assert_eq!(s.max(), Some(8));
+    }
+
+    #[test]
+    fn latency_stats_merge() {
+        let mut a = LatencyStats::new();
+        a.record(1);
+        let mut b = LatencyStats::new();
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(9));
+        let empty = LatencyStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn histogram_records_and_queries_percentiles() {
+        let mut h = Histogram::new(10, 5);
+        for v in [0, 4, 7, 12, 49] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(0.5), Some(5)); // third sample: bucket [5,10)
+        assert_eq!(h.percentile(1.0), Some(45));
+        assert_eq!(h.iter().count(), 4);
+    }
+
+    #[test]
+    fn histogram_overflow_and_merge() {
+        let mut a = Histogram::new(4, 10);
+        a.record(100); // overflow
+        a.record(5);
+        let mut b = Histogram::new(4, 10);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.percentile(1.0), Some(40)); // overflow boundary
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn histogram_merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(4, 10);
+        let b = Histogram::new(4, 20);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_empty_percentile_is_none() {
+        assert_eq!(Histogram::new(4, 10).percentile(0.5), None);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.99);
+        for _ in 0..2000 {
+            e.update(2.0);
+        }
+        assert!((e.value() - 2.0).abs() < 0.01);
+        e.reset();
+        assert_eq!(e.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ewma weight")]
+    fn ewma_rejects_bad_weight() {
+        let _ = Ewma::new(1.0);
+    }
+
+    #[test]
+    fn sliding_window_mean() {
+        let mut w = SlidingWindow::new(4);
+        assert_eq!(w.mean(), 0.0);
+        w.push(4);
+        assert_eq!(w.mean(), 4.0);
+        w.push(0);
+        w.push(0);
+        w.push(4);
+        assert_eq!(w.mean(), 2.0);
+        // Evicts the first 4.
+        w.push(0);
+        assert_eq!(w.mean(), 1.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let stats = NetworkStats {
+            flits_delivered: 900,
+            flits_injected: 1000,
+            cycles: 100,
+            ..NetworkStats::new()
+        };
+        assert!((stats.throughput(9) - 1.0).abs() < 1e-12);
+        assert!((stats.injection_rate(10) - 1.0).abs() < 1e-12);
+        assert_eq!(NetworkStats::new().throughput(9), 0.0);
+    }
+
+    #[test]
+    fn mode_fraction() {
+        let stats = NetworkStats {
+            cycles_backpressured: 75,
+            cycles_backpressureless: 25,
+            ..NetworkStats::new()
+        };
+        assert!((stats.backpressured_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(NetworkStats::new().backpressured_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Round-robin arbitration primitives used by the switch allocators.
+
+/// A rotating-priority (round-robin) arbiter over `n` requesters.
+///
+/// Grants are strongly fair: after requester `i` wins, priority rotates to
+/// `i + 1`, so no continuously requesting input can be starved.
+///
+/// # Examples
+///
+/// ```
+/// use afc_routers::arbiter::RoundRobin;
+/// let mut arb = RoundRobin::new(3);
+/// assert_eq!(arb.grant(|i| i != 1), Some(0));
+/// assert_eq!(arb.grant(|i| i != 1), Some(2));
+/// assert_eq!(arb.grant(|i| i != 1), Some(0));
+/// assert_eq!(arb.grant(|_| false), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRobin {
+    n: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates an arbiter over `n` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> RoundRobin {
+        assert!(n > 0, "arbiter needs at least one requester");
+        RoundRobin { n, next: 0 }
+    }
+
+    /// Number of requesters.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false — an arbiter has at least one requester.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Grants the highest-priority requester for which `requesting` returns
+    /// true, rotating priority past the winner. Returns `None` if nobody
+    /// requests (priority unchanged).
+    pub fn grant(&mut self, mut requesting: impl FnMut(usize) -> bool) -> Option<usize> {
+        for offset in 0..self.n {
+            let i = (self.next + offset) % self.n;
+            if requesting(i) {
+                self.next = (i + 1) % self.n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Like [`RoundRobin::grant`] but does not rotate priority — useful for
+    /// "peek" style eligibility checks.
+    pub fn peek(&self, mut requesting: impl FnMut(usize) -> bool) -> Option<usize> {
+        for offset in 0..self.n {
+            let i = (self.next + offset) % self.n;
+            if requesting(i) {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_fairly_under_full_load() {
+        let mut arb = RoundRobin::new(4);
+        let grants: Vec<usize> = (0..8).map(|_| arb.grant(|_| true).unwrap()).collect();
+        assert_eq!(grants, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_non_requesters() {
+        let mut arb = RoundRobin::new(4);
+        assert_eq!(arb.grant(|i| i == 2), Some(2));
+        assert_eq!(arb.grant(|i| i == 2), Some(2));
+    }
+
+    #[test]
+    fn none_when_idle_and_priority_preserved() {
+        let mut arb = RoundRobin::new(3);
+        assert_eq!(arb.grant(|_| true), Some(0));
+        assert_eq!(arb.grant(|_| false), None);
+        assert_eq!(arb.grant(|_| true), Some(1));
+    }
+
+    #[test]
+    fn peek_does_not_rotate() {
+        let mut arb = RoundRobin::new(3);
+        assert_eq!(arb.peek(|_| true), Some(0));
+        assert_eq!(arb.peek(|_| true), Some(0));
+        assert_eq!(arb.grant(|_| true), Some(0));
+        assert_eq!(arb.peek(|_| true), Some(1));
+    }
+
+    #[test]
+    fn no_starvation_with_competing_requesters() {
+        let mut arb = RoundRobin::new(5);
+        let mut wins = [0u32; 5];
+        for _ in 0..500 {
+            let g = arb.grant(|_| true).unwrap();
+            wins[g] += 1;
+        }
+        assert!(wins.iter().all(|w| *w == 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requester")]
+    fn zero_requesters_rejected() {
+        let _ = RoundRobin::new(0);
+    }
+}

@@ -1,0 +1,956 @@
+//! The canonical input-queued, credit-based **backpressured** virtual-channel
+//! router (the paper's primary baseline).
+//!
+//! Pipeline (Table I, row 1): a generous two-stage router — stage 1 performs
+//! switch arbitration with lookahead routing in parallel and an *idealized
+//! zero-cycle* VC allocation; stage 2 is switch traversal overlapping the
+//! start of link traversal. The buffer write overlaps the end of link
+//! traversal. Route computation, VC allocation and both arbitration stages
+//! therefore all happen within one simulated cycle, and a flit's per-hop
+//! latency is `2 + L`.
+//!
+//! Datapath per input port (one of five: N/S/E/W/Local):
+//!
+//! ```text
+//!             ┌─ input VCs (per vnet: paper config 2+2+4, 8 deep) ─┐
+//!  link ──BW──► vc0 ─┐                                             │
+//!             │ vc1 ─┼─ input arb (RR) ──► candidate ─┐            │
+//!             │ ...  ┘   eligibility:                 │ output arb │
+//!             └────────  route + out-VC + credits ────┼──(RR/port)─┼──► ST ─► link
+//!                                                     │            │
+//!  credits ◄── one per flit leaving an input VC ◄─────┘            │
+//! ```
+//!
+//! Key properties:
+//!
+//! * VCs are allocated per **packet**: a packet holds its downstream VC from
+//!   head to tail so its flits are never intermingled with another packet's
+//!   (rules R1/R2 of Section III-E).
+//! * Credits are tracked per (output port, VC); a flit may only be sent when
+//!   its packet's allocated VC has a free downstream slot. Buffer writes
+//!   assert the credit invariant: an overflow indicates an upstream bug and
+//!   panics the simulation.
+//! * VC reallocation is back-to-back by default (a freed VC may host the
+//!   next packet while the previous one's flits still drain downstream, in
+//!   FIFO order); [`BackpressuredOptions::atomic_vc_reallocation`] selects
+//!   the conservative policy instead.
+//! * Dimension-ordered (XY by default, YX optional) routing gives
+//!   deadlock freedom; virtual networks separate request/reply traffic for
+//!   protocol-level deadlock freedom.
+//! * Arbitration is separable and round-robin at both stages, so no input
+//!   port or VC can be starved while it keeps requesting (asserted by the
+//!   fairness unit test).
+
+use afc_netsim::channel::{ControlSignal, Credit};
+use afc_netsim::config::NetworkConfig;
+use afc_netsim::counters::ActivityCounters;
+use afc_netsim::flit::{Cycle, Flit, VcId};
+use afc_netsim::geom::{NodeId, PortId, PortMap};
+use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
+use afc_netsim::rng::SimRng;
+use afc_netsim::topology::Mesh;
+use std::collections::VecDeque;
+
+use crate::arbiter::RoundRobin;
+
+/// Flit width in bits for this mechanism (32-bit payload + 9 control bits,
+/// Section IV).
+pub const FLIT_WIDTH_BITS: u32 = 41;
+
+/// Deterministic dimension-ordered routing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingAlgorithm {
+    /// Correct X before Y (the paper's DOR).
+    #[default]
+    XFirst,
+    /// Correct Y before X (ablation alternative).
+    YFirst,
+}
+
+/// Tunable design choices of the backpressured router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackpressuredOptions {
+    /// Which dimension order to route in.
+    pub routing: RoutingAlgorithm,
+    /// When true, a downstream VC may be reallocated to a new packet only
+    /// once it has fully drained (conservative/atomic buffers). When false
+    /// (default, and what this implementation models as the baseline), the
+    /// VC is reallocatable as soon as the previous packet's tail has been
+    /// *sent*, letting packets queue back-to-back.
+    pub atomic_vc_reallocation: bool,
+    /// Wang et al.'s buffer-read bypass (the paper's reference [1]): when a
+    /// departing flit is alone in its VC, the read comes from the bypass
+    /// latch instead of the SRAM, eliding the buffer-read energy. Timing is
+    /// unchanged; only the energy accounting differs.
+    pub read_bypass: bool,
+}
+
+/// Maps global VC indices to virtual networks (VCs are laid out vnet by
+/// vnet, in configuration order).
+#[derive(Debug, Clone)]
+pub(crate) struct VcLayout {
+    /// Vnet index of each global VC.
+    pub vnet_of: Vec<u8>,
+    /// Buffer depth of each global VC.
+    pub depth_of: Vec<usize>,
+    /// `[start, end)` global-VC range of each vnet.
+    pub range_of: Vec<std::ops::Range<usize>>,
+}
+
+impl VcLayout {
+    pub fn new(config: &NetworkConfig) -> VcLayout {
+        let mut vnet_of = Vec::new();
+        let mut depth_of = Vec::new();
+        let mut range_of = Vec::new();
+        for (v, vc) in config.vnets.iter().enumerate() {
+            let start = vnet_of.len();
+            for _ in 0..vc.vcs {
+                vnet_of.push(v as u8);
+                depth_of.push(vc.buffer_depth);
+            }
+            range_of.push(start..vnet_of.len());
+        }
+        VcLayout {
+            vnet_of,
+            depth_of,
+            range_of,
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.vnet_of.len()
+    }
+}
+
+/// One input virtual channel: a FIFO plus the per-packet routing state of
+/// the packet currently at its head.
+#[derive(Debug, Clone)]
+struct InputVc {
+    queue: VecDeque<Flit>,
+    depth: usize,
+    /// Output port of the packet at the head of the queue.
+    route: Option<PortId>,
+    /// Downstream VC allocated to that packet (network routes only).
+    out_vc: Option<usize>,
+}
+
+impl InputVc {
+    fn new(depth: usize) -> InputVc {
+        InputVc {
+            queue: VecDeque::with_capacity(depth),
+            depth,
+            route: None,
+            out_vc: None,
+        }
+    }
+}
+
+/// Downstream state of one output VC: whether some packet holds it, and how
+/// many downstream buffer slots are free.
+#[derive(Debug, Clone, Copy)]
+struct OutVc {
+    allocated: bool,
+    credits: usize,
+}
+
+/// The backpressured virtual-channel router.
+pub struct BackpressuredRouter {
+    node: NodeId,
+    mesh: Mesh,
+    layout: VcLayout,
+    eject_bandwidth: usize,
+    /// Input VCs, for each present port.
+    inputs: PortMap<Option<Vec<InputVc>>>,
+    /// Output VC state, for each present network port.
+    outputs: PortMap<Option<Vec<OutVc>>>,
+    /// Per-input-port VC-selection arbiters.
+    input_arb: PortMap<Option<RoundRobin>>,
+    /// Per-output-port (and Local) input-selection arbiters.
+    output_arb: PortMap<RoundRobin>,
+    /// Local input VC currently open for each vnet's mid-flight packet.
+    inject_vc: Vec<Option<usize>>,
+    /// Round-robin start for choosing a local VC for new packets, per vnet.
+    inject_rr: Vec<usize>,
+    options: BackpressuredOptions,
+    counters: ActivityCounters,
+}
+
+impl BackpressuredRouter {
+    /// Builds the router for `node` with default options.
+    pub fn new(node: NodeId, mesh: &Mesh, config: &NetworkConfig) -> BackpressuredRouter {
+        BackpressuredRouter::with_options(node, mesh, config, BackpressuredOptions::default())
+    }
+
+    /// Builds the router for `node` with explicit design options.
+    pub fn with_options(
+        node: NodeId,
+        mesh: &Mesh,
+        config: &NetworkConfig,
+        options: BackpressuredOptions,
+    ) -> BackpressuredRouter {
+        let layout = VcLayout::new(config);
+        let make_vcs = |layout: &VcLayout| -> Vec<InputVc> {
+            layout.depth_of.iter().map(|d| InputVc::new(*d)).collect()
+        };
+        let inputs = PortMap::from_fn(|p| match p {
+            PortId::Local => Some(make_vcs(&layout)),
+            PortId::Net(d) => mesh.neighbor(node, d).map(|_| make_vcs(&layout)),
+        });
+        let outputs = PortMap::from_fn(|p| match p {
+            PortId::Local => None,
+            PortId::Net(d) => mesh.neighbor(node, d).map(|_| {
+                layout
+                    .depth_of
+                    .iter()
+                    .map(|d| OutVc {
+                        allocated: false,
+                        credits: *d,
+                    })
+                    .collect()
+            }),
+        });
+        let total = layout.total();
+        let input_arb = PortMap::from_fn(|p| match p {
+            PortId::Local => Some(RoundRobin::new(total)),
+            PortId::Net(d) => mesh.neighbor(node, d).map(|_| RoundRobin::new(total)),
+        });
+        let output_arb = PortMap::from_fn(|_| RoundRobin::new(PortId::ALL.len()));
+        BackpressuredRouter {
+            node,
+            mesh: mesh.clone(),
+            eject_bandwidth: config.eject_bandwidth,
+            inputs,
+            outputs,
+            input_arb,
+            output_arb,
+            inject_vc: vec![None; config.vnet_count()],
+            inject_rr: vec![0; config.vnet_count()],
+            options,
+            counters: ActivityCounters::new(),
+            layout,
+        }
+    }
+
+
+    /// The node this router serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Zero-cycle VC allocation + route computation for every head-of-queue
+    /// flit; returns nothing, marks eligibility state in the input VCs.
+    fn allocate_routes_and_vcs(&mut self) {
+        for port in PortId::ALL {
+            let Some(vcs) = self.inputs[port].as_mut() else {
+                continue;
+            };
+            for vc in vcs.iter_mut() {
+                let Some(hoq) = vc.queue.front() else {
+                    continue;
+                };
+                if vc.route.is_none() {
+                    debug_assert!(
+                        hoq.is_head(),
+                        "non-head flit {hoq} at HoQ without a route (VC hold violated)"
+                    );
+                    let dir = match hoq.dest == self.node {
+                        true => None,
+                        false => Some(match self.options.routing {
+                            RoutingAlgorithm::XFirst => self
+                                .mesh
+                                .dor_route(self.node, hoq.dest)
+                                .expect("non-local destination has a DOR direction"),
+                            RoutingAlgorithm::YFirst => self
+                                .mesh
+                                .dor_route_yx(self.node, hoq.dest)
+                                .expect("non-local destination has a DOR direction"),
+                        }),
+                    };
+                    vc.route = Some(dir.map(PortId::Net).unwrap_or(PortId::Local));
+                }
+                if let Some(PortId::Net(d)) = vc.route {
+                    if vc.out_vc.is_none() {
+                        let vnet = hoq.vnet.index();
+                        let range = self.layout.range_of[vnet].clone();
+                        let out = self.outputs[PortId::Net(d)]
+                            .as_mut()
+                            .expect("route goes to an existing neighbor");
+                        let atomic = self.options.atomic_vc_reallocation;
+                        let depth_of = &self.layout.depth_of;
+                        if let Some(free) = range.clone().find(|i| {
+                            !out[*i].allocated
+                                && (!atomic || out[*i].credits == depth_of[*i])
+                        }) {
+                            out[free].allocated = true;
+                            vc.out_vc = Some(free);
+                            self.counters.vc_allocations += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether input VC `vc` of `port` may compete for the switch this
+    /// cycle.
+    fn eligible(&self, port: PortId, vc: usize) -> bool {
+        let Some(vcs) = self.inputs[port].as_ref() else {
+            return false;
+        };
+        let ivc = &vcs[vc];
+        if ivc.queue.is_empty() {
+            return false;
+        }
+        match ivc.route {
+            Some(PortId::Local) => true,
+            Some(PortId::Net(d)) => match ivc.out_vc {
+                Some(ovc) => {
+                    self.outputs[PortId::Net(d)]
+                        .as_ref()
+                        .map(|out| out[ovc].credits > 0)
+                        .unwrap_or(false)
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+}
+
+impl Router for BackpressuredRouter {
+    fn receive_flit(&mut self, input: PortId, flit: Flit, _now: Cycle) {
+        let vc = flit
+            .vc
+            .expect("backpressured arrivals carry their VC id")
+            .index();
+        let vcs = self.inputs[input]
+            .as_mut()
+            .unwrap_or_else(|| panic!("flit {flit} arrived on absent port {input}"));
+        assert!(
+            vcs[vc].queue.len() < vcs[vc].depth,
+            "credit violation: VC {vc} overflow at {} port {input}",
+            self.node
+        );
+        vcs[vc].queue.push_back(flit);
+        self.counters.buffer_writes += 1;
+    }
+
+    fn receive_credit(&mut self, output: PortId, credit: Credit, _now: Cycle) {
+        let Credit::Vc(vc) = credit else {
+            panic!("backpressured router expects per-VC credits");
+        };
+        let out = self.outputs[output]
+            .as_mut()
+            .unwrap_or_else(|| panic!("credit on absent port {output}"));
+        out[vc.index()].credits += 1;
+        assert!(
+            out[vc.index()].credits <= self.layout.depth_of[vc.index()],
+            "credit overflow on {output} {vc}"
+        );
+    }
+
+    fn receive_control(&mut self, _output: PortId, _signal: ControlSignal, _now: Cycle) {
+        // Credit-tracking control lines are an AFC mechanism; a homogeneous
+        // backpressured network never sees them.
+    }
+
+    fn injection_ready(&self, flit: &Flit, _now: Cycle) -> bool {
+        let vcs = self.inputs[PortId::Local].as_ref().expect("local port");
+        let vnet = flit.vnet.index();
+        match self.inject_vc[vnet] {
+            Some(vc) => vcs[vc].queue.len() < vcs[vc].depth,
+            None => {
+                debug_assert!(flit.is_head(), "mid-packet injection without open VC");
+                self.layout.range_of[vnet]
+                    .clone()
+                    .any(|vc| vcs[vc].queue.len() < vcs[vc].depth)
+            }
+        }
+    }
+
+    fn inject(&mut self, mut flit: Flit, _now: Cycle) {
+        let vnet = flit.vnet.index();
+        let vc = match self.inject_vc[vnet] {
+            Some(vc) => vc,
+            None => {
+                let range = self.layout.range_of[vnet].clone();
+                let n = range.len();
+                let start = self.inject_rr[vnet];
+                let vcs = self.inputs[PortId::Local].as_ref().expect("local port");
+                let vc = (0..n)
+                    .map(|i| range.start + (start + i) % n)
+                    .find(|vc| vcs[*vc].queue.len() < vcs[*vc].depth)
+                    .expect("injection_ready checked");
+                self.inject_rr[vnet] = (vc - range.start + 1) % n;
+                vc
+            }
+        };
+        self.inject_vc[vnet] = if flit.is_tail() { None } else { Some(vc) };
+        flit.vc = Some(VcId(vc as u8));
+        let vcs = self.inputs[PortId::Local].as_mut().expect("local port");
+        vcs[vc].queue.push_back(flit);
+        self.counters.buffer_writes += 1;
+        self.counters.injections += 1;
+    }
+
+    fn step(&mut self, _now: Cycle, _rng: &mut SimRng, out: &mut RouterOutputs) {
+        self.counters.cycles += 1;
+        self.counters.buffer_occupancy_sum += self.occupancy() as u64;
+        self.allocate_routes_and_vcs();
+
+        // Stage 1 of separable switch allocation: each input port nominates
+        // one eligible VC.
+        let mut any_candidate = false;
+        let mut candidates: PortMap<Option<usize>> = PortMap::default();
+        for port in PortId::ALL {
+            if self.inputs[port].is_none() {
+                continue;
+            }
+            // Split borrows: evaluate eligibility immutably, then rotate.
+            let eligible: Vec<bool> = (0..self.layout.total())
+                .map(|vc| self.eligible(port, vc))
+                .collect();
+            if !eligible.iter().any(|e| *e) {
+                continue;
+            }
+            let arb = self.input_arb[port].as_mut().expect("arb exists with port");
+            candidates[port] = arb.grant(|vc| eligible[vc]);
+            any_candidate |= candidates[port].is_some();
+            self.counters.arbitrations += 1;
+        }
+        if !any_candidate && self.occupancy() > 0 {
+            // Flits are buffered, but every one of them is blocked on
+            // downstream credits.
+            self.counters.credit_stall_cycles += 1;
+        }
+
+        // Stage 2: each output port grants among nominating input ports.
+        // The local (ejection) port can grant up to `eject_bandwidth` times.
+        let mut winners: Vec<(PortId, usize, PortId)> = Vec::new(); // (in, vc, out)
+        for out_port in PortId::ALL {
+            if out_port.is_network() && self.outputs[out_port].is_none() {
+                continue;
+            }
+            let grants = if out_port == PortId::Local {
+                self.eject_bandwidth
+            } else {
+                1
+            };
+            for _ in 0..grants {
+                let request = |i: usize| {
+                    let in_port = PortId::from_index(i).expect("valid index");
+                    match candidates[in_port] {
+                        Some(vc) => {
+                            self.inputs[in_port].as_ref().expect("candidate port")[vc].route
+                                == Some(out_port)
+                        }
+                        None => false,
+                    }
+                };
+                let granted = self.output_arb[out_port].grant(request);
+                let Some(i) = granted else { break };
+                self.counters.arbitrations += 1;
+                let in_port = PortId::from_index(i).expect("valid index");
+                let vc = candidates[in_port].take().expect("granted implies candidate");
+                winners.push((in_port, vc, out_port));
+            }
+        }
+
+        // Traversal: pop winners, emit flits/credits, update VC state.
+        for (in_port, vc, out_port) in winners {
+            let ivc = &mut self.inputs[in_port].as_mut().expect("winner port")[vc];
+            let was_alone = ivc.queue.len() == 1;
+            let mut flit = ivc.queue.pop_front().expect("winner VC nonempty");
+            let out_vc = ivc.out_vc;
+            if flit.is_tail() {
+                ivc.route = None;
+                ivc.out_vc = None;
+            }
+            if self.options.read_bypass && was_alone {
+                // Lone flit: served from the bypass latch, SRAM read elided.
+                self.counters.latch_writes += 1;
+            } else {
+                self.counters.buffer_reads += 1;
+            }
+            self.counters.crossbar_traversals += 1;
+            if in_port.is_network() {
+                out.credits[in_port].push(Credit::Vc(VcId(vc as u8)));
+                self.counters.credits_sent += 1;
+            }
+            match out_port {
+                PortId::Local => {
+                    out.ejected.push(flit);
+                    self.counters.ejections += 1;
+                }
+                PortId::Net(_) => {
+                    let ovc = out_vc.expect("network route has an allocated VC");
+                    let outs = self.outputs[out_port].as_mut().expect("present");
+                    debug_assert!(outs[ovc].credits > 0, "eligibility checked credits");
+                    outs[ovc].credits -= 1;
+                    if flit.is_tail() {
+                        outs[ovc].allocated = false;
+                    }
+                    flit.vc = Some(VcId(ovc as u8));
+                    flit.hops += 1;
+                    out.flits[out_port] = Some(flit);
+                    self.counters.link_traversals += 1;
+                }
+            }
+        }
+    }
+
+    fn counters(&self) -> &ActivityCounters {
+        &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut ActivityCounters {
+        &mut self.counters
+    }
+
+    fn mode(&self) -> RouterMode {
+        RouterMode::Backpressured
+    }
+
+    fn occupancy(&self) -> usize {
+        PortId::ALL
+            .into_iter()
+            .filter_map(|p| self.inputs[p].as_ref())
+            .flat_map(|vcs| vcs.iter())
+            .map(|vc| vc.queue.len())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for BackpressuredRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackpressuredRouter")
+            .field("node", &self.node)
+            .field("occupancy", &self.occupancy())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Factory for [`BackpressuredRouter`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackpressuredFactory {
+    /// If true, the energy model elides all buffer dynamic energy — the
+    /// "Backpressured ideal-bypass" lower bound of Figure 2(b).
+    pub ideal_bypass: bool,
+    /// Router design options (routing order, VC reallocation policy).
+    pub options: BackpressuredOptions,
+}
+
+impl BackpressuredFactory {
+    /// Creates the standard backpressured factory.
+    pub fn new() -> BackpressuredFactory {
+        BackpressuredFactory::default()
+    }
+
+    /// Creates the ideal-bypass variant (identical timing; the energy model
+    /// zeroes buffer dynamic energy).
+    pub fn ideal_bypass() -> BackpressuredFactory {
+        BackpressuredFactory {
+            ideal_bypass: true,
+            ..BackpressuredFactory::default()
+        }
+    }
+
+    /// Creates a factory with explicit design options.
+    pub fn with_options(options: BackpressuredOptions) -> BackpressuredFactory {
+        BackpressuredFactory {
+            ideal_bypass: false,
+            options,
+        }
+    }
+
+    /// Creates the buffer-read-bypass variant (Wang et al., the paper's
+    /// reference [1]): lone flits skip the SRAM read.
+    pub fn read_bypass() -> BackpressuredFactory {
+        BackpressuredFactory::with_options(BackpressuredOptions {
+            read_bypass: true,
+            ..BackpressuredOptions::default()
+        })
+    }
+}
+
+impl RouterFactory for BackpressuredFactory {
+    fn build(&self, node: NodeId, mesh: &Mesh, config: &NetworkConfig) -> Box<dyn Router> {
+        Box::new(BackpressuredRouter::with_options(
+            node, mesh, config, self.options,
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        if self.ideal_bypass {
+            "backpressured-ideal-bypass"
+        } else if self.options.read_bypass {
+            "backpressured-read-bypass"
+        } else {
+            "backpressured"
+        }
+    }
+
+    fn flit_width_bits(&self) -> u32 {
+        FLIT_WIDTH_BITS
+    }
+
+    fn buffer_flits_per_port(&self, config: &NetworkConfig) -> usize {
+        config.buffer_flits_per_port()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afc_netsim::config::NetworkConfig;
+    use afc_netsim::flit::{PacketId, VirtualNetwork};
+    use afc_netsim::geom::{Coord, Direction};
+
+    fn setup() -> (Mesh, NetworkConfig, BackpressuredRouter) {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap(); // center
+        let router = BackpressuredRouter::new(node, &mesh, &config);
+        (mesh, config, router)
+    }
+
+    fn flit_to(dest: NodeId, vc: u8, seq: u16, len: u16) -> Flit {
+        let mut f = Flit::test_flit(PacketId(1), NodeId::new(0), dest);
+        f.vc = Some(VcId(vc));
+        f.seq = seq;
+        f.len = len;
+        f.vnet = VirtualNetwork(0);
+        f
+    }
+
+    #[test]
+    fn forwards_single_flit_along_dor() {
+        let (mesh, _cfg, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap(); // east of center
+        r.receive_flit(PortId::Net(Direction::West), flit_to(dest, 0, 0, 1), 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(0);
+        r.step(0, &mut rng, &mut out);
+        let sent = out.flits[PortId::Net(Direction::East)].expect("forwarded east");
+        assert_eq!(sent.hops, 1);
+        assert!(sent.vc.is_some());
+        // Credit returned upstream for the freed slot.
+        assert_eq!(
+            out.credits[PortId::Net(Direction::West)],
+            vec![Credit::Vc(VcId(0))]
+        );
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn ejects_local_flit() {
+        let (_mesh, _cfg, mut r) = setup();
+        let node = r.node();
+        r.receive_flit(PortId::Net(Direction::North), flit_to(node, 2, 0, 1), 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(0);
+        r.step(0, &mut rng, &mut out);
+        assert_eq!(out.ejected.len(), 1);
+        assert_eq!(out.flits_sent(), 0);
+        assert_eq!(out.ejected[0].hops, 0);
+    }
+
+    #[test]
+    fn blocks_without_credits_and_resumes_on_credit() {
+        let (mesh, cfg, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(0);
+        // vnet 0 eastward has 2 VCs * 8 credits = 16 downstream slots.
+        let depth = cfg.vnets[0].buffer_depth;
+        let vcs = cfg.vnets[0].vcs;
+        let budget = depth * vcs;
+        // Phase A: exactly `budget` single-flit packets drain before the
+        // downstream credits (never returned here) run out.
+        let mut sent = 0;
+        let mut next_packet = 100u64;
+        let mut offer = |r: &mut BackpressuredRouter, n: usize| {
+            for i in 0..n {
+                let mut f = flit_to(dest, 0, 0, 1);
+                f.packet = PacketId(next_packet);
+                next_packet += 1;
+                f.vc = Some(VcId((i % vcs) as u8));
+                r.receive_flit(PortId::Net(Direction::West), f, 0);
+            }
+        };
+        offer(&mut r, budget.min(vcs * depth));
+        for now in 0..100 {
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            if out.flits[PortId::Net(Direction::East)].is_some() {
+                sent += 1;
+            }
+        }
+        assert_eq!(sent, budget, "initial credits bound the flits sent");
+        assert_eq!(r.occupancy(), 0);
+        // Phase B: two more flits now stall — zero credits remain.
+        offer(&mut r, 2);
+        for now in 100..110 {
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            assert!(out.flits[PortId::Net(Direction::East)].is_none());
+        }
+        assert_eq!(r.occupancy(), 2);
+        // Phase C: one credit lets exactly one flit through.
+        r.receive_credit(PortId::Net(Direction::East), Credit::Vc(VcId(0)), 110);
+        let mut extra = 0;
+        for now in 110..120 {
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            if out.flits[PortId::Net(Direction::East)].is_some() {
+                extra += 1;
+            }
+        }
+        assert_eq!(extra, 1);
+        assert_eq!(r.occupancy(), 1);
+    }
+
+    #[test]
+    fn packet_flits_stay_together_on_one_vc() {
+        let (mesh, _cfg, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(1, 2)).unwrap(); // south
+        let mut rng = SimRng::seed_from(0);
+        let mut out = RouterOutputs::new();
+        // Two interleaved packets on different input VCs of the same port.
+        for seq in 0..3u16 {
+            let mut a = flit_to(dest, 0, seq, 3);
+            a.packet = PacketId(10);
+            r.receive_flit(PortId::Net(Direction::North), a, 0);
+            let mut b = flit_to(dest, 1, seq, 3);
+            b.packet = PacketId(20);
+            r.receive_flit(PortId::Net(Direction::North), b, 0);
+        }
+        let mut sent: Vec<(u64, u8)> = Vec::new();
+        for now in 0..20 {
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            if let Some(f) = out.flits[PortId::Net(Direction::South)] {
+                sent.push((f.packet.0, f.vc.unwrap().0));
+            }
+        }
+        assert_eq!(sent.len(), 6);
+        // Each packet keeps a single output VC for all its flits.
+        let vc_of_10: Vec<u8> = sent.iter().filter(|(p, _)| *p == 10).map(|(_, v)| *v).collect();
+        let vc_of_20: Vec<u8> = sent.iter().filter(|(p, _)| *p == 20).map(|(_, v)| *v).collect();
+        assert_eq!(vc_of_10.len(), 3);
+        assert!(vc_of_10.windows(2).all(|w| w[0] == w[1]));
+        assert!(vc_of_20.windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(vc_of_10[0], vc_of_20[0], "distinct packets get distinct VCs");
+    }
+
+    #[test]
+    fn injection_respects_vnet_capacity() {
+        let (mesh, cfg, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(0, 0)).unwrap();
+        let capacity = cfg.vnets[0].vcs * cfg.vnets[0].buffer_depth;
+        let mut accepted = 0;
+        for i in 0..capacity + 5 {
+            let mut f = flit_to(dest, 0, 0, 1);
+            f.packet = PacketId(i as u64);
+            f.vc = None;
+            if r.injection_ready(&f, 0) {
+                r.inject(f, 0);
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, capacity);
+    }
+
+    #[test]
+    fn multiflit_injection_uses_single_vc() {
+        let (mesh, _cfg, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(0, 1)).unwrap();
+        for seq in 0..4u16 {
+            let mut f = flit_to(dest, 0, seq, 4);
+            f.vc = None;
+            assert!(r.injection_ready(&f, 0));
+            r.inject(f, 0);
+        }
+        let vcs = r.inputs[PortId::Local].as_ref().unwrap();
+        let used: Vec<usize> = vcs
+            .iter()
+            .enumerate()
+            .filter(|(_, vc)| !vc.queue.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(used.len(), 1, "all four flits share one local VC");
+        assert_eq!(vcs[used[0]].queue.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit violation")]
+    fn buffer_overflow_is_detected() {
+        let (mesh, cfg, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        for i in 0..=cfg.vnets[0].buffer_depth {
+            let mut f = flit_to(dest, 0, 0, 1);
+            f.packet = PacketId(i as u64);
+            r.receive_flit(PortId::Net(Direction::West), f, 0);
+        }
+    }
+
+    #[test]
+    fn no_input_port_starves_under_sustained_contention() {
+        // Two input ports fight for the same output forever; round-robin
+        // arbitration must split the wins near-evenly.
+        let (mesh, _cfg, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        let mut out = RouterOutputs::new();
+        let mut wins = [0u32; 2];
+        let mut next = 0u64;
+        for now in 0..400 {
+            // Keep both ports' VC 0 topped up.
+            for (i, d) in [Direction::West, Direction::North].into_iter().enumerate() {
+                let vcs = r.inputs[PortId::Net(d)].as_ref().unwrap();
+                if vcs[0].queue.len() < vcs[0].depth {
+                    let mut f = flit_to(dest, 0, 0, 1);
+                    f.packet = PacketId(next);
+                    f.tag = i as u64;
+                    next += 1;
+                    r.receive_flit(PortId::Net(d), f, now);
+                }
+            }
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            if let Some(f) = out.flits[PortId::Net(Direction::East)] {
+                wins[f.tag as usize] += 1;
+                // Downstream drains instantly: return the credit.
+                r.receive_credit(PortId::Net(Direction::East), Credit::Vc(f.vc.unwrap()), now);
+            }
+        }
+        let total = wins[0] + wins[1];
+        assert!(total > 300, "the output port should be busy ({total})");
+        let imbalance = wins[0].abs_diff(wins[1]);
+        assert!(
+            imbalance <= total / 10,
+            "round-robin fairness violated: {wins:?}"
+        );
+    }
+
+    #[test]
+    fn yx_routing_corrects_y_first() {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let mut r = BackpressuredRouter::with_options(
+            node,
+            &mesh,
+            &config,
+            BackpressuredOptions {
+                routing: RoutingAlgorithm::YFirst,
+                ..BackpressuredOptions::default()
+            },
+        );
+        // Destination to the south-east: YX goes south first (XY would go
+        // east).
+        let dest = mesh.node_at(Coord::new(2, 2)).unwrap();
+        r.receive_flit(PortId::Net(Direction::North), flit_to(dest, 0, 0, 1), 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(0);
+        r.step(0, &mut rng, &mut out);
+        assert!(out.flits[PortId::Net(Direction::South)].is_some());
+        assert!(out.flits[PortId::Net(Direction::East)].is_none());
+    }
+
+    #[test]
+    fn atomic_vc_reallocation_waits_for_full_drain() {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        let build = |atomic: bool| {
+            BackpressuredRouter::with_options(
+                node,
+                &mesh,
+                &config,
+                BackpressuredOptions {
+                    atomic_vc_reallocation: atomic,
+                    ..BackpressuredOptions::default()
+                },
+            )
+        };
+        // Send enough single-flit packets on one input VC that VC
+        // reallocation matters; downstream returns no credits, so under
+        // atomic reallocation only the vnet's VC count can ever leave.
+        let run = |mut r: BackpressuredRouter| {
+            let mut rng = SimRng::seed_from(0);
+            let mut out = RouterOutputs::new();
+            for i in 0..8u64 {
+                let mut f = flit_to(dest, 0, 0, 1);
+                f.packet = PacketId(i);
+                r.receive_flit(PortId::Net(Direction::West), f, 0);
+            }
+            let mut sent = 0;
+            for now in 0..50 {
+                out.clear();
+                r.step(now, &mut rng, &mut out);
+                if out.flits[PortId::Net(Direction::East)].is_some() {
+                    sent += 1;
+                }
+            }
+            sent
+        };
+        let vcs = config.vnets[0].vcs;
+        assert_eq!(run(build(true)), vcs, "atomic: one packet per pristine VC");
+        assert_eq!(run(build(false)), 8, "non-atomic: packets queue back-to-back");
+    }
+
+    #[test]
+    fn read_bypass_elides_sram_reads_for_lone_flits() {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        let run = |bypass: bool, backlog: bool| {
+            let mut r = BackpressuredRouter::with_options(
+                node,
+                &mesh,
+                &config,
+                BackpressuredOptions {
+                    read_bypass: bypass,
+                    ..BackpressuredOptions::default()
+                },
+            );
+            let mut rng = SimRng::seed_from(0);
+            let mut out = RouterOutputs::new();
+            let n = if backlog { 4 } else { 1 };
+            for i in 0..n {
+                let mut f = flit_to(dest, 0, 0, 1);
+                f.packet = PacketId(i);
+                r.receive_flit(PortId::Net(Direction::West), f, 0);
+            }
+            for now in 0..10 {
+                out.clear();
+                r.step(now, &mut rng, &mut out);
+            }
+            (r.counters().buffer_reads, r.counters().latch_writes)
+        };
+        // Lone flit: bypassed under the option, SRAM-read otherwise.
+        assert_eq!(run(true, false), (0, 1));
+        assert_eq!(run(false, false), (1, 0));
+        // A backlog of 4: only the last (alone again) flit bypasses.
+        assert_eq!(run(true, true), (3, 1));
+        assert_eq!(run(false, true), (4, 0));
+    }
+
+    #[test]
+    fn factory_metadata() {
+        let f = BackpressuredFactory::new();
+        assert_eq!(f.name(), "backpressured");
+        assert_eq!(f.flit_width_bits(), 41);
+        assert_eq!(
+            f.buffer_flits_per_port(&NetworkConfig::paper_3x3()),
+            64
+        );
+        assert_eq!(
+            BackpressuredFactory::ideal_bypass().name(),
+            "backpressured-ideal-bypass"
+        );
+    }
+}

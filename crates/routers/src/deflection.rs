@@ -1,0 +1,492 @@
+//! The backpressureless **deflection** router (BLESS/Chaos style).
+//!
+//! Every incoming flit leaves on *some* output port every cycle: contending
+//! flits that cannot take a productive port are deflected onto a free
+//! non-productive one instead of being buffered. There are no buffers, no
+//! credits, and no VCs; flits are routed flit-by-flit and reassembled at the
+//! destination.
+//!
+//! Livelock freedom is probabilistic: following the Chaos router (and the
+//! paper's Section II argument), ranking is randomized rather than
+//! priority-based, making the probability that a flit never reaches its
+//! destination vanish with hop count. An age-based (oldest-first, BLESS
+//! style) ranking is also provided for the ablation benches.
+//!
+//! The router does exert backpressure on the *injection* port: a new flit is
+//! accepted only if an output port would remain free after accounting for
+//! this cycle's network arrivals (paper, footnote 3).
+
+use afc_netsim::channel::{ControlSignal, Credit};
+use afc_netsim::config::NetworkConfig;
+use afc_netsim::counters::ActivityCounters;
+use afc_netsim::flit::{Cycle, Flit};
+use afc_netsim::geom::{Direction, NodeId, PortId};
+use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
+use afc_netsim::rng::SimRng;
+use afc_netsim::topology::Mesh;
+
+/// Flit width in bits for this mechanism (32-bit payload + 13 control bits,
+/// Section IV).
+pub const FLIT_WIDTH_BITS: u32 = 45;
+
+/// How contending flits are ordered before port assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankPolicy {
+    /// Random ranking (Chaos-style, probabilistically livelock-free). The
+    /// paper's choice, since it avoids the hardware cost of priorities.
+    #[default]
+    Random,
+    /// Oldest-first ranking (BLESS-style deterministic livelock freedom).
+    OldestFirst,
+}
+
+/// One port assignment produced by the [`DeflectionEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The flit (hop/deflection counts *not* yet updated).
+    pub flit: Flit,
+    /// Output direction it was assigned.
+    pub dir: Direction,
+    /// Whether the assignment is non-productive (a deflection).
+    pub deflected: bool,
+}
+
+/// The core deflection port-assignment logic, shared with the AFC router's
+/// backpressureless mode.
+#[derive(Debug, Clone)]
+pub struct DeflectionEngine {
+    node: NodeId,
+    mesh: Mesh,
+    policy: RankPolicy,
+    dirs: Vec<Direction>,
+}
+
+impl DeflectionEngine {
+    /// Creates the engine for `node`.
+    pub fn new(node: NodeId, mesh: &Mesh, policy: RankPolicy) -> DeflectionEngine {
+        DeflectionEngine {
+            node,
+            mesh: mesh.clone(),
+            policy,
+            dirs: mesh.neighbor_dirs(node).collect(),
+        }
+    }
+
+    /// Number of network output ports.
+    pub fn degree(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Orders flits by rank (mutates in place).
+    pub fn rank(&self, flits: &mut [Flit], rng: &mut SimRng) {
+        match self.policy {
+            RankPolicy::Random => rng.shuffle(flits),
+            RankPolicy::OldestFirst => {
+                flits.sort_by_key(|f| (f.injected_at, f.packet, f.seq));
+            }
+        }
+    }
+
+    /// Assigns every flit a distinct output direction: a free productive
+    /// port if possible, otherwise a free port chosen at random (a
+    /// deflection). `blocked` directions are excluded entirely (used by AFC
+    /// to avoid credit-exhausted backpressured neighbors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more flits than usable output ports — the
+    /// injection-gating invariant was violated upstream.
+    pub fn assign(
+        &self,
+        mut flits: Vec<Flit>,
+        blocked: &[Direction],
+        rng: &mut SimRng,
+    ) -> Vec<Assignment> {
+        let mut free: Vec<Direction> = self
+            .dirs
+            .iter()
+            .copied()
+            .filter(|d| !blocked.contains(d))
+            .collect();
+        assert!(
+            flits.len() <= free.len(),
+            "deflection invariant violated at {}: {} flits, {} usable ports",
+            self.node,
+            flits.len(),
+            free.len()
+        );
+        self.rank(&mut flits, rng);
+        let mut out = Vec::with_capacity(flits.len());
+        for flit in flits {
+            let productive = self.mesh.productive_dirs(self.node, flit.dest);
+            let choice = productive.iter().copied().find(|d| free.contains(d));
+            let (dir, deflected) = match choice {
+                Some(d) => (d, false),
+                None => {
+                    let i = rng.gen_index(free.len());
+                    (free[i], true)
+                }
+            };
+            free.retain(|d| *d != dir);
+            out.push(Assignment {
+                flit,
+                dir,
+                deflected,
+            });
+        }
+        out
+    }
+}
+
+/// Splits this cycle's latched flits into ejections (up to `bandwidth`,
+/// oldest first) and the rest. Shared with the AFC router.
+pub fn split_ejections(latches: &mut Vec<Flit>, node: NodeId, bandwidth: usize) -> Vec<Flit> {
+    let mut local_idx: Vec<usize> = latches
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.dest == node)
+        .map(|(i, _)| i)
+        .collect();
+    local_idx.sort_by_key(|&i| (latches[i].injected_at, latches[i].packet, latches[i].seq));
+    local_idx.truncate(bandwidth);
+    local_idx.sort_unstable();
+    let mut ejected = Vec::with_capacity(local_idx.len());
+    for &i in local_idx.iter().rev() {
+        ejected.push(latches.swap_remove(i));
+    }
+    ejected.reverse();
+    ejected
+}
+
+/// The deflection router.
+pub struct DeflectionRouter {
+    node: NodeId,
+    engine: DeflectionEngine,
+    eject_bandwidth: usize,
+    latches: Vec<Flit>,
+    counters: ActivityCounters,
+}
+
+impl DeflectionRouter {
+    /// Builds the router for `node`.
+    pub fn new(
+        node: NodeId,
+        mesh: &Mesh,
+        config: &NetworkConfig,
+        policy: RankPolicy,
+    ) -> DeflectionRouter {
+        DeflectionRouter {
+            node,
+            engine: DeflectionEngine::new(node, mesh, policy),
+            eject_bandwidth: config.eject_bandwidth,
+            latches: Vec::with_capacity(8),
+            counters: ActivityCounters::new(),
+        }
+    }
+
+    /// Output ports that would remain free this cycle after ejection,
+    /// assuming no further arrivals.
+    fn free_ports_after_ejection(&self) -> usize {
+        let local = self
+            .latches
+            .iter()
+            .filter(|f| f.dest == self.node)
+            .count()
+            .min(self.eject_bandwidth);
+        self.engine.degree().saturating_sub(self.latches.len() - local)
+    }
+}
+
+impl Router for DeflectionRouter {
+    fn receive_flit(&mut self, _input: PortId, flit: Flit, _now: Cycle) {
+        self.latches.push(flit);
+        self.counters.latch_writes += 1;
+        debug_assert!(
+            self.latches.len() <= self.engine.degree() + 1,
+            "more latched flits than ports at {}",
+            self.node
+        );
+    }
+
+    fn receive_credit(&mut self, _output: PortId, _credit: Credit, _now: Cycle) {
+        // Bufferless networks have no credits.
+    }
+
+    fn receive_control(&mut self, _output: PortId, _signal: ControlSignal, _now: Cycle) {}
+
+    fn injection_ready(&self, _flit: &Flit, _now: Cycle) -> bool {
+        self.free_ports_after_ejection() >= 1
+    }
+
+    fn inject(&mut self, flit: Flit, _now: Cycle) {
+        self.latches.push(flit);
+        self.counters.latch_writes += 1;
+        self.counters.injections += 1;
+    }
+
+    fn step(&mut self, _now: Cycle, rng: &mut SimRng, out: &mut RouterOutputs) {
+        self.counters.cycles += 1;
+        if self.latches.is_empty() {
+            return;
+        }
+        let ejected = split_ejections(&mut self.latches, self.node, self.eject_bandwidth);
+        self.counters.ejections += ejected.len() as u64;
+        out.ejected.extend(ejected);
+
+        let flits = std::mem::take(&mut self.latches);
+        self.counters.arbitrations += flits.len() as u64;
+        for mut a in self.engine.assign(flits, &[], rng) {
+            a.flit.hops += 1;
+            if a.deflected {
+                a.flit.deflections = a.flit.deflections.saturating_add(1);
+                self.counters.deflections += 1;
+            }
+            self.counters.crossbar_traversals += 1;
+            self.counters.link_traversals += 1;
+            out.flits[PortId::Net(a.dir)] = Some(a.flit);
+        }
+    }
+
+    fn counters(&self) -> &ActivityCounters {
+        &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut ActivityCounters {
+        &mut self.counters
+    }
+
+    fn mode(&self) -> RouterMode {
+        RouterMode::Backpressureless
+    }
+
+    fn occupancy(&self) -> usize {
+        self.latches.len()
+    }
+}
+
+impl std::fmt::Debug for DeflectionRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeflectionRouter")
+            .field("node", &self.node)
+            .field("latched", &self.latches.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Factory for [`DeflectionRouter`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeflectionFactory {
+    /// Ranking policy (random by default, per the paper).
+    pub policy: RankPolicy,
+}
+
+impl DeflectionFactory {
+    /// Creates the factory with the paper's randomized ranking.
+    pub fn new() -> DeflectionFactory {
+        DeflectionFactory::default()
+    }
+
+    /// Creates a factory with oldest-first (BLESS) ranking.
+    pub fn oldest_first() -> DeflectionFactory {
+        DeflectionFactory {
+            policy: RankPolicy::OldestFirst,
+        }
+    }
+}
+
+impl RouterFactory for DeflectionFactory {
+    fn build(&self, node: NodeId, mesh: &Mesh, config: &NetworkConfig) -> Box<dyn Router> {
+        Box::new(DeflectionRouter::new(node, mesh, config, self.policy))
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            RankPolicy::Random => "bless",
+            RankPolicy::OldestFirst => "bless-oldest",
+        }
+    }
+
+    fn flit_width_bits(&self) -> u32 {
+        FLIT_WIDTH_BITS
+    }
+
+    fn buffer_flits_per_port(&self, _config: &NetworkConfig) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afc_netsim::flit::PacketId;
+    use afc_netsim::geom::Coord;
+
+    fn center_setup(policy: RankPolicy) -> (Mesh, NodeId, DeflectionRouter) {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let r = DeflectionRouter::new(node, &mesh, &config, policy);
+        (mesh, node, r)
+    }
+
+    fn flit_to(id: u64, dest: NodeId) -> Flit {
+        Flit::test_flit(PacketId(id), NodeId::new(0), dest)
+    }
+
+    #[test]
+    fn uncontended_flit_takes_productive_port() {
+        let (mesh, _node, mut r) = center_setup(RankPolicy::Random);
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap(); // east
+        r.receive_flit(PortId::Net(Direction::West), flit_to(1, dest), 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(1);
+        r.step(0, &mut rng, &mut out);
+        let f = out.flits[PortId::Net(Direction::East)].expect("east is productive");
+        assert_eq!(f.hops, 1);
+        assert_eq!(f.deflections, 0);
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn contention_deflects_exactly_one() {
+        let (mesh, _node, mut r) = center_setup(RankPolicy::Random);
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap(); // east of center
+        r.receive_flit(PortId::Net(Direction::West), flit_to(1, dest), 0);
+        r.receive_flit(PortId::Net(Direction::North), flit_to(2, dest), 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(2);
+        r.step(0, &mut rng, &mut out);
+        assert_eq!(out.flits_sent(), 2, "every flit leaves every cycle");
+        let east = out.flits[PortId::Net(Direction::East)].expect("winner goes east");
+        assert_eq!(east.deflections, 0);
+        let deflected: Vec<Flit> = Direction::ALL
+            .into_iter()
+            .filter(|d| *d != Direction::East)
+            .filter_map(|d| out.flits[PortId::Net(d)])
+            .collect();
+        assert_eq!(deflected.len(), 1);
+        assert_eq!(deflected[0].deflections, 1);
+        assert_eq!(r.counters().deflections, 1);
+    }
+
+    #[test]
+    fn ejection_respects_bandwidth_and_age() {
+        let (_mesh, node, mut r) = center_setup(RankPolicy::Random);
+        let mut old = flit_to(1, node);
+        old.injected_at = 5;
+        let mut newer = flit_to(2, node);
+        newer.injected_at = 9;
+        r.receive_flit(PortId::Net(Direction::West), newer, 0);
+        r.receive_flit(PortId::Net(Direction::East), old, 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(3);
+        r.step(0, &mut rng, &mut out);
+        // eject_bandwidth = 1: the older flit ejects, the newer one deflects.
+        assert_eq!(out.ejected.len(), 1);
+        assert_eq!(out.ejected[0].packet, PacketId(1));
+        assert_eq!(out.flits_sent(), 1);
+        let deflected = Direction::ALL
+            .into_iter()
+            .find_map(|d| out.flits[PortId::Net(d)])
+            .unwrap();
+        assert_eq!(deflected.packet, PacketId(2));
+        assert_eq!(deflected.deflections, 1);
+    }
+
+    #[test]
+    fn injection_gated_by_free_ports() {
+        let (mesh, node, mut r) = center_setup(RankPolicy::Random);
+        let far = mesh.node_at(Coord::new(0, 0)).unwrap();
+        let probe = flit_to(99, far);
+        // Center has 4 ports; fill all four with transit flits.
+        for (i, d) in Direction::ALL.into_iter().enumerate() {
+            assert!(r.injection_ready(&probe, 0), "free port at fill level {i}");
+            r.receive_flit(PortId::Net(d), flit_to(i as u64, far), 0);
+        }
+        assert!(!r.injection_ready(&probe, 0), "all ports spoken for");
+        // A locally-destined arrival frees a port via ejection.
+        let mut r2 = center_setup(RankPolicy::Random).2;
+        for d in [Direction::North, Direction::South, Direction::East] {
+            r2.receive_flit(PortId::Net(d), flit_to(7, far), 0);
+        }
+        r2.receive_flit(PortId::Net(Direction::West), flit_to(8, node), 0);
+        assert!(r2.injection_ready(&probe, 0));
+    }
+
+    #[test]
+    fn all_ports_leave_when_saturated() {
+        let (mesh, _node, mut r) = center_setup(RankPolicy::OldestFirst);
+        let dest = mesh.node_at(Coord::new(2, 2)).unwrap();
+        for d in Direction::ALL {
+            r.receive_flit(PortId::Net(d), flit_to(d.index() as u64, dest), 0);
+        }
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(4);
+        r.step(0, &mut rng, &mut out);
+        assert_eq!(out.flits_sent(), 4);
+        let deflections: u16 = Direction::ALL
+            .into_iter()
+            .filter_map(|d| out.flits[PortId::Net(d)])
+            .map(|f| f.deflections)
+            .sum();
+        // Two productive dirs (E, S); the other two flits deflect.
+        assert_eq!(deflections, 2);
+    }
+
+    #[test]
+    fn oldest_first_ranking_is_stable() {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let engine = DeflectionEngine::new(node, &mesh, RankPolicy::OldestFirst);
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        let mut a = flit_to(1, dest);
+        a.injected_at = 3;
+        let mut b = flit_to(2, dest);
+        b.injected_at = 1;
+        let mut rng = SimRng::seed_from(5);
+        let assignments = engine.assign(vec![a, b], &[], &mut rng);
+        // b is older: it wins the productive east port.
+        let winner = assignments.iter().find(|x| !x.deflected).unwrap();
+        assert_eq!(winner.flit.packet, PacketId(2));
+        assert_eq!(winner.dir, Direction::East);
+    }
+
+    #[test]
+    fn blocked_dirs_are_never_used() {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let engine = DeflectionEngine::new(node, &mesh, RankPolicy::Random);
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..50 {
+            let assignments =
+                engine.assign(vec![flit_to(1, dest)], &[Direction::East], &mut rng);
+            assert_ne!(assignments[0].dir, Direction::East);
+            assert!(assignments[0].deflected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deflection invariant")]
+    fn too_many_flits_panics() {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(0, 0)).unwrap(); // corner: degree 2
+        let engine = DeflectionEngine::new(node, &mesh, RankPolicy::Random);
+        let dest = mesh.node_at(Coord::new(2, 2)).unwrap();
+        let mut rng = SimRng::seed_from(7);
+        let flits = vec![flit_to(1, dest), flit_to(2, dest), flit_to(3, dest)];
+        let _ = engine.assign(flits, &[], &mut rng);
+    }
+
+    #[test]
+    fn factory_metadata() {
+        let f = DeflectionFactory::new();
+        assert_eq!(f.name(), "bless");
+        assert_eq!(f.flit_width_bits(), 45);
+        assert_eq!(f.buffer_flits_per_port(&NetworkConfig::paper_3x3()), 0);
+        assert_eq!(DeflectionFactory::oldest_first().name(), "bless-oldest");
+    }
+}

@@ -1,0 +1,243 @@
+//! The **drop-based** backpressureless router (SCARAB style).
+//!
+//! On contention, all but one of the contending flits are dropped instead of
+//! deflected; a NACK returns to the source (modeled by the network engine
+//! with distance-proportional latency) and the source retransmits. The paper
+//! notes this variant saturates at even lower loads than deflection routing
+//! — this implementation exists as the comparison point for that claim.
+
+use afc_netsim::channel::{ControlSignal, Credit};
+use afc_netsim::config::NetworkConfig;
+use afc_netsim::counters::ActivityCounters;
+use afc_netsim::flit::{Cycle, Flit};
+use afc_netsim::geom::{Direction, NodeId, PortId};
+use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
+use afc_netsim::rng::SimRng;
+use afc_netsim::topology::Mesh;
+
+use crate::deflection::{split_ejections, RankPolicy};
+
+/// Flit width in bits (same control overhead class as the deflection
+/// variant).
+pub const FLIT_WIDTH_BITS: u32 = 45;
+
+/// The drop router.
+pub struct DropRouter {
+    node: NodeId,
+    mesh: Mesh,
+    dirs: Vec<Direction>,
+    policy: RankPolicy,
+    eject_bandwidth: usize,
+    latches: Vec<Flit>,
+    counters: ActivityCounters,
+}
+
+impl DropRouter {
+    /// Builds the router for `node`.
+    pub fn new(node: NodeId, mesh: &Mesh, config: &NetworkConfig, policy: RankPolicy) -> DropRouter {
+        DropRouter {
+            node,
+            mesh: mesh.clone(),
+            dirs: mesh.neighbor_dirs(node).collect(),
+            policy,
+            eject_bandwidth: config.eject_bandwidth,
+            latches: Vec::with_capacity(8),
+            counters: ActivityCounters::new(),
+        }
+    }
+}
+
+impl Router for DropRouter {
+    fn receive_flit(&mut self, _input: PortId, flit: Flit, _now: Cycle) {
+        self.latches.push(flit);
+        self.counters.latch_writes += 1;
+    }
+
+    fn receive_credit(&mut self, _output: PortId, _credit: Credit, _now: Cycle) {}
+
+    fn receive_control(&mut self, _output: PortId, _signal: ControlSignal, _now: Cycle) {}
+
+    fn injection_ready(&self, _flit: &Flit, _now: Cycle) -> bool {
+        // Same free-port gating as the deflection router; a losing injected
+        // flit is dropped and NACKed rather than refused.
+        let local = self
+            .latches
+            .iter()
+            .filter(|f| f.dest == self.node)
+            .count()
+            .min(self.eject_bandwidth);
+        self.dirs.len().saturating_sub(self.latches.len() - local) >= 1
+    }
+
+    fn inject(&mut self, flit: Flit, _now: Cycle) {
+        self.latches.push(flit);
+        self.counters.latch_writes += 1;
+        self.counters.injections += 1;
+    }
+
+    fn step(&mut self, _now: Cycle, rng: &mut SimRng, out: &mut RouterOutputs) {
+        self.counters.cycles += 1;
+        if self.latches.is_empty() {
+            return;
+        }
+        let ejected = split_ejections(&mut self.latches, self.node, self.eject_bandwidth);
+        self.counters.ejections += ejected.len() as u64;
+        out.ejected.extend(ejected);
+
+        let mut flits = std::mem::take(&mut self.latches);
+        match self.policy {
+            RankPolicy::Random => rng.shuffle(&mut flits),
+            RankPolicy::OldestFirst => flits.sort_by_key(|f| (f.injected_at, f.packet, f.seq)),
+        }
+        let mut free: Vec<Direction> = self.dirs.clone();
+        for mut flit in flits {
+            self.counters.arbitrations += 1;
+            let productive = self.mesh.productive_dirs(self.node, flit.dest);
+            match productive.into_iter().find(|d| free.contains(d)) {
+                Some(dir) => {
+                    free.retain(|d| *d != dir);
+                    flit.hops += 1;
+                    self.counters.crossbar_traversals += 1;
+                    self.counters.link_traversals += 1;
+                    out.flits[PortId::Net(dir)] = Some(flit);
+                }
+                None => {
+                    // Contention (or an unejectable local flit): drop and
+                    // let the NACK circuit trigger retransmission.
+                    self.counters.drops += 1;
+                    self.counters.retransmissions += 1;
+                    out.dropped.push(flit);
+                }
+            }
+        }
+    }
+
+    fn counters(&self) -> &ActivityCounters {
+        &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut ActivityCounters {
+        &mut self.counters
+    }
+
+    fn mode(&self) -> RouterMode {
+        RouterMode::Backpressureless
+    }
+
+    fn occupancy(&self) -> usize {
+        self.latches.len()
+    }
+}
+
+impl std::fmt::Debug for DropRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DropRouter")
+            .field("node", &self.node)
+            .field("latched", &self.latches.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Factory for [`DropRouter`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropFactory {
+    /// Ranking policy for contention resolution.
+    pub policy: RankPolicy,
+}
+
+impl DropFactory {
+    /// Creates the factory with randomized contention resolution.
+    pub fn new() -> DropFactory {
+        DropFactory::default()
+    }
+}
+
+impl RouterFactory for DropFactory {
+    fn build(&self, node: NodeId, mesh: &Mesh, config: &NetworkConfig) -> Box<dyn Router> {
+        Box::new(DropRouter::new(node, mesh, config, self.policy))
+    }
+
+    fn name(&self) -> &'static str {
+        "drop"
+    }
+
+    fn flit_width_bits(&self) -> u32 {
+        FLIT_WIDTH_BITS
+    }
+
+    fn buffer_flits_per_port(&self, _config: &NetworkConfig) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afc_netsim::flit::PacketId;
+    use afc_netsim::geom::Coord;
+
+    fn setup() -> (Mesh, NodeId, DropRouter) {
+        let config = NetworkConfig::paper_3x3();
+        let mesh = config.mesh().unwrap();
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let r = DropRouter::new(node, &mesh, &config, RankPolicy::OldestFirst);
+        (mesh, node, r)
+    }
+
+    fn flit_to(id: u64, dest: NodeId) -> Flit {
+        Flit::test_flit(PacketId(id), NodeId::new(0), dest)
+    }
+
+    #[test]
+    fn uncontended_flit_proceeds() {
+        let (mesh, _node, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(1, 0)).unwrap(); // north
+        r.receive_flit(PortId::Net(Direction::South), flit_to(1, dest), 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(1);
+        r.step(0, &mut rng, &mut out);
+        assert!(out.flits[PortId::Net(Direction::North)].is_some());
+        assert!(out.dropped.is_empty());
+    }
+
+    #[test]
+    fn contention_drops_loser() {
+        let (mesh, _node, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap(); // east only
+        let a = flit_to(1, dest); // injected_at 0: oldest, wins under OldestFirst
+        let mut b = flit_to(2, dest);
+        b.injected_at = 5;
+        r.receive_flit(PortId::Net(Direction::West), a, 0);
+        r.receive_flit(PortId::Net(Direction::North), b, 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(2);
+        r.step(0, &mut rng, &mut out);
+        let winner = out.flits[PortId::Net(Direction::East)].unwrap();
+        assert_eq!(winner.packet, PacketId(1));
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.dropped[0].packet, PacketId(2));
+        assert_eq!(r.counters().drops, 1);
+        // Dropped flits never deflect: no other port used.
+        assert_eq!(out.flits_sent(), 1);
+    }
+
+    #[test]
+    fn local_overflow_is_dropped_not_deflected() {
+        let (_mesh, node, mut r) = setup();
+        r.receive_flit(PortId::Net(Direction::West), flit_to(1, node), 0);
+        r.receive_flit(PortId::Net(Direction::East), flit_to(2, node), 0);
+        let mut out = RouterOutputs::new();
+        let mut rng = SimRng::seed_from(3);
+        r.step(0, &mut rng, &mut out);
+        assert_eq!(out.ejected.len(), 1);
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.flits_sent(), 0);
+    }
+
+    #[test]
+    fn factory_metadata() {
+        let f = DropFactory::new();
+        assert_eq!(f.name(), "drop");
+        assert_eq!(f.buffer_flits_per_port(&NetworkConfig::paper_3x3()), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end run orchestration: warmup, measurement, and result capture.
+
+use afc_netsim::config::NetworkConfig;
+use afc_netsim::counters::ActivityCounters;
+use afc_netsim::error::ConfigError;
+use afc_netsim::network::Network;
+use afc_netsim::router::RouterFactory;
+use afc_netsim::sim::Simulation;
+use afc_netsim::stats::NetworkStats;
+
+use crate::closedloop::{ClosedLoopTraffic, WorkloadParams};
+use crate::openloop::{OpenLoopTraffic, PacketMix, RateSpec};
+use crate::synthetic::Pattern;
+
+/// Everything a pricing/reporting layer needs from a finished run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The network in its final state (counters and stats cover the
+    /// measurement window only).
+    pub network: Network,
+    /// Cycles in the measurement window.
+    pub measured_cycles: u64,
+    /// Snapshot of network statistics over the measurement window.
+    pub stats: NetworkStats,
+    /// Aggregated router activity over the measurement window.
+    pub counters: ActivityCounters,
+}
+
+impl RunOutcome {
+    fn capture(network: Network, measured_cycles: u64) -> RunOutcome {
+        let stats = network.stats().clone();
+        let counters = network.total_counters();
+        RunOutcome {
+            network,
+            measured_cycles,
+            stats,
+            counters,
+        }
+    }
+
+    /// Measured injection rate in flits/node/cycle.
+    pub fn injection_rate(&self) -> f64 {
+        self.stats.injection_rate(self.network.mesh().node_count())
+    }
+
+    /// Mean packet network latency over the measurement window.
+    pub fn mean_latency(&self) -> Option<f64> {
+        self.stats.network_latency.mean()
+    }
+}
+
+/// Closed-loop run: warm up for `warmup_txns` completed transactions, then
+/// measure the cycles needed to complete `measure_txns` more.
+///
+/// Returns the outcome plus the workload handle (for completed counts).
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Network::new`].
+///
+/// # Panics
+///
+/// Panics if the run exceeds `max_cycles` before finishing — a saturated or
+/// deadlocked configuration, which callers should treat as a bug.
+pub fn run_closed_loop(
+    factory: &dyn RouterFactory,
+    net_cfg: &NetworkConfig,
+    workload: WorkloadParams,
+    warmup_txns: u64,
+    measure_txns: u64,
+    max_cycles: u64,
+    seed: u64,
+) -> Result<RunOutcome, ConfigError> {
+    let network = Network::new(net_cfg.clone(), factory, seed)?;
+    let nodes = network.mesh().node_count();
+    let traffic = ClosedLoopTraffic::new(workload, nodes, seed);
+    let mut sim = Simulation::new(network, traffic);
+
+    // Warmup.
+    sim.traffic.set_target(warmup_txns);
+    assert!(
+        sim.run_until_finished(max_cycles),
+        "warmup did not finish within {max_cycles} cycles ({} on {})",
+        workload.name,
+        sim.network.mechanism()
+    );
+    sim.network.reset_metrics();
+    let start = sim.network.now();
+
+    // Measurement.
+    sim.traffic.set_target(warmup_txns + measure_txns);
+    assert!(
+        sim.run_until_finished(max_cycles),
+        "measurement did not finish within {max_cycles} cycles ({} on {})",
+        workload.name,
+        sim.network.mechanism()
+    );
+    let measured = sim.network.now() - start;
+    Ok(RunOutcome::capture(sim.network, measured))
+}
+
+/// Open-loop run: warm up for `warmup_cycles`, then measure statistics over
+/// `measure_cycles`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Network::new`].
+#[allow(clippy::too_many_arguments)] // a flat argument list mirrors the experiment's knobs
+pub fn run_open_loop(
+    factory: &dyn RouterFactory,
+    net_cfg: &NetworkConfig,
+    rates: RateSpec,
+    pattern: Pattern,
+    mix: PacketMix,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    seed: u64,
+) -> Result<RunOutcome, ConfigError> {
+    let network = Network::new(net_cfg.clone(), factory, seed)?;
+    let traffic = OpenLoopTraffic::new(rates, pattern, mix, seed);
+    let mut sim = Simulation::new(network, traffic);
+    sim.run(warmup_cycles);
+    sim.network.reset_metrics();
+    sim.run(measure_cycles);
+    Ok(RunOutcome::capture(sim.network, measure_cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use afc_routers::{BackpressuredFactory, DeflectionFactory};
+
+    #[test]
+    fn closed_loop_runner_measures_cycles() {
+        let out = run_closed_loop(
+            &BackpressuredFactory::new(),
+            &NetworkConfig::paper_3x3(),
+            workloads::water(),
+            50,
+            100,
+            2_000_000,
+            11,
+        )
+        .unwrap();
+        assert!(out.measured_cycles > 0);
+        assert!(out.stats.packets_delivered > 0);
+        assert!(out.counters.cycles > 0);
+        assert!(out.injection_rate() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_runner_reports_latency() {
+        let out = run_open_loop(
+            &DeflectionFactory::new(),
+            &NetworkConfig::paper_3x3(),
+            RateSpec::Uniform(0.05),
+            Pattern::UniformRandom,
+            PacketMix::single_flit(),
+            1_000,
+            2_000,
+            13,
+        )
+        .unwrap();
+        assert_eq!(out.measured_cycles, 2_000);
+        assert!(out.mean_latency().expect("packets delivered") > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_equal_seeds() {
+        let run = |seed| {
+            let out = run_closed_loop(
+                &BackpressuredFactory::new(),
+                &NetworkConfig::paper_3x3(),
+                workloads::water(),
+                20,
+                50,
+                2_000_000,
+                seed,
+            )
+            .unwrap();
+            (out.measured_cycles, out.stats.flits_delivered)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

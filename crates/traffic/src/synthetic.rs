@@ -1,0 +1,281 @@
+//! Synthetic destination patterns for open-loop traffic.
+
+use afc_netsim::geom::{Coord, NodeId};
+use afc_netsim::rng::SimRng;
+use afc_netsim::topology::Mesh;
+
+/// A synthetic traffic pattern: maps a source to a destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Uniform over all nodes other than the source.
+    UniformRandom,
+    /// `(x, y) -> (y, x)`; nodes on the diagonal generate no traffic.
+    Transpose,
+    /// Mirror through the mesh center: `(x, y) -> (W-1-x, H-1-y)`.
+    BitComplement,
+    /// A uniformly chosen mesh neighbor (the paper's "easy" pattern).
+    NearNeighbor,
+    /// With probability `fraction`, a uniformly chosen hotspot; otherwise
+    /// uniform random.
+    HotSpot {
+        /// The hotspot nodes.
+        hotspots: Vec<NodeId>,
+        /// Fraction of traffic aimed at hotspots.
+        fraction: f64,
+    },
+    /// Uniform within the source's mesh quadrant (the consolidation
+    /// workload of Section V-B: traffic injected in a quadrant stays in the
+    /// quadrant).
+    Quadrant,
+    /// Tornado: halfway around the ring in X (`(x, y) -> (x + W/2 mod W,
+    /// y)`) — an adversarial pattern for dimension-ordered routing.
+    Tornado,
+    /// Perfect shuffle on the node index (`i -> rotate_left_1(i)` within
+    /// `ceil(log2(N))` bits, invalid results wrap by modulo).
+    Shuffle,
+    /// Fixed rotation by one node (`i -> i + 1 mod N`) — pure neighbor
+    /// pipeline in index space.
+    Rotation,
+}
+
+impl Pattern {
+    /// Picks a destination for traffic from `src`, or `None` if the pattern
+    /// generates no traffic from this node (e.g. transpose diagonal).
+    pub fn dest(&self, src: NodeId, mesh: &Mesh, rng: &mut SimRng) -> Option<NodeId> {
+        match self {
+            Pattern::UniformRandom => uniform_other(src, mesh.node_count(), rng),
+            Pattern::Transpose => {
+                let c = mesh.coord(src);
+                let t = Coord::new(c.y, c.x);
+                let dest = mesh.node_at(t)?;
+                (dest != src).then_some(dest)
+            }
+            Pattern::BitComplement => {
+                let c = mesh.coord(src);
+                let m = Coord::new(mesh.width() - 1 - c.x, mesh.height() - 1 - c.y);
+                let dest = mesh.node_at(m).expect("mirror stays in mesh");
+                (dest != src).then_some(dest)
+            }
+            Pattern::NearNeighbor => {
+                let dirs: Vec<_> = mesh.neighbor_dirs(src).collect();
+                if dirs.is_empty() {
+                    return None;
+                }
+                let d = dirs[rng.gen_index(dirs.len())];
+                mesh.neighbor(src, d)
+            }
+            Pattern::HotSpot { hotspots, fraction } => {
+                if !hotspots.is_empty() && rng.gen_bool(*fraction) {
+                    let h = hotspots[rng.gen_index(hotspots.len())];
+                    if h != src {
+                        return Some(h);
+                    }
+                }
+                uniform_other(src, mesh.node_count(), rng)
+            }
+            Pattern::Quadrant => {
+                let members = quadrant_members(src, mesh);
+                let others: Vec<NodeId> = members.into_iter().filter(|n| *n != src).collect();
+                if others.is_empty() {
+                    None
+                } else {
+                    Some(others[rng.gen_index(others.len())])
+                }
+            }
+            Pattern::Tornado => {
+                let c = mesh.coord(src);
+                let shift = mesh.width() / 2;
+                if shift == 0 {
+                    return None;
+                }
+                let t = Coord::new((c.x + shift) % mesh.width(), c.y);
+                let dest = mesh.node_at(t).expect("wrapped x stays in mesh");
+                (dest != src).then_some(dest)
+            }
+            Pattern::Shuffle => {
+                let n = mesh.node_count();
+                let bits = usize::BITS - (n - 1).leading_zeros();
+                let i = src.index();
+                let rotated = ((i << 1) | (i >> (bits.max(1) - 1) as usize))
+                    & ((1usize << bits) - 1);
+                let dest = NodeId::new(rotated % n);
+                (dest != src).then_some(dest)
+            }
+            Pattern::Rotation => {
+                let n = mesh.node_count();
+                let dest = NodeId::new((src.index() + 1) % n);
+                (dest != src).then_some(dest)
+            }
+        }
+    }
+}
+
+fn uniform_other(src: NodeId, nodes: usize, rng: &mut SimRng) -> Option<NodeId> {
+    if nodes <= 1 {
+        return None;
+    }
+    let mut d = rng.gen_index(nodes - 1);
+    if d >= src.index() {
+        d += 1;
+    }
+    Some(NodeId::new(d))
+}
+
+/// Index (0-3) of the quadrant a node belongs to: west/east split at
+/// `width/2`, north/south at `height/2`.
+pub fn quadrant_of(node: NodeId, mesh: &Mesh) -> usize {
+    let c = mesh.coord(node);
+    let east = c.x >= mesh.width() / 2 + mesh.width() % 2;
+    let south = c.y >= mesh.height() / 2 + mesh.height() % 2;
+    (east as usize) | ((south as usize) << 1)
+}
+
+/// All nodes in the same quadrant as `node`.
+pub fn quadrant_members(node: NodeId, mesh: &Mesh) -> Vec<NodeId> {
+    let q = quadrant_of(node, mesh);
+    mesh.nodes().filter(|n| quadrant_of(*n, mesh) == q).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(w: u16, h: u16) -> Mesh {
+        Mesh::new(w, h).unwrap()
+    }
+
+    #[test]
+    fn uniform_never_targets_self_and_covers_all() {
+        let m = mesh(3, 3);
+        let mut rng = SimRng::seed_from(1);
+        let src = NodeId::new(4);
+        let mut seen = [false; 9];
+        for _ in 0..500 {
+            let d = Pattern::UniformRandom.dest(src, &m, &mut rng).unwrap();
+            assert_ne!(d, src);
+            seen[d.index()] = true;
+        }
+        assert_eq!(seen.iter().filter(|s| **s).count(), 8);
+    }
+
+    #[test]
+    fn transpose_mapping() {
+        let m = mesh(3, 3);
+        let mut rng = SimRng::seed_from(2);
+        let src = m.node_at(Coord::new(2, 0)).unwrap();
+        let d = Pattern::Transpose.dest(src, &m, &mut rng).unwrap();
+        assert_eq!(m.coord(d), Coord::new(0, 2));
+        // Diagonal generates nothing.
+        let diag = m.node_at(Coord::new(1, 1)).unwrap();
+        assert_eq!(Pattern::Transpose.dest(diag, &m, &mut rng), None);
+    }
+
+    #[test]
+    fn bit_complement_mirrors() {
+        let m = mesh(4, 4);
+        let mut rng = SimRng::seed_from(3);
+        let src = m.node_at(Coord::new(0, 1)).unwrap();
+        let d = Pattern::BitComplement.dest(src, &m, &mut rng).unwrap();
+        assert_eq!(m.coord(d), Coord::new(3, 2));
+    }
+
+    #[test]
+    fn near_neighbor_is_adjacent() {
+        let m = mesh(3, 3);
+        let mut rng = SimRng::seed_from(4);
+        for src in m.nodes() {
+            for _ in 0..20 {
+                let d = Pattern::NearNeighbor.dest(src, &m, &mut rng).unwrap();
+                assert_eq!(m.distance(src, d), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let m = mesh(3, 3);
+        let mut rng = SimRng::seed_from(5);
+        let hot = NodeId::new(4);
+        let p = Pattern::HotSpot {
+            hotspots: vec![hot],
+            fraction: 0.8,
+        };
+        let src = NodeId::new(0);
+        let hits = (0..1000)
+            .filter(|_| p.dest(src, &m, &mut rng) == Some(hot))
+            .count();
+        // ~80% plus the uniform share.
+        assert!(hits > 700, "hotspot hits {hits}");
+    }
+
+    #[test]
+    fn quadrants_partition_even_mesh() {
+        let m = mesh(8, 8);
+        let mut counts = [0usize; 4];
+        for n in m.nodes() {
+            counts[quadrant_of(n, &m)] += 1;
+        }
+        assert_eq!(counts, [16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn quadrant_traffic_stays_inside() {
+        let m = mesh(8, 8);
+        let mut rng = SimRng::seed_from(6);
+        for src in m.nodes() {
+            for _ in 0..10 {
+                let d = Pattern::Quadrant.dest(src, &m, &mut rng).unwrap();
+                assert_eq!(quadrant_of(d, &m), quadrant_of(src, &m));
+                assert_ne!(d, src);
+            }
+        }
+    }
+
+    #[test]
+    fn tornado_shifts_half_the_width() {
+        let m = mesh(8, 8);
+        let mut rng = SimRng::seed_from(7);
+        let src = m.node_at(Coord::new(1, 3)).unwrap();
+        let d = Pattern::Tornado.dest(src, &m, &mut rng).unwrap();
+        assert_eq!(m.coord(d), Coord::new(5, 3));
+        // Wraps around the east edge.
+        let src = m.node_at(Coord::new(6, 0)).unwrap();
+        let d = Pattern::Tornado.dest(src, &m, &mut rng).unwrap();
+        assert_eq!(m.coord(d), Coord::new(2, 0));
+    }
+
+    #[test]
+    fn rotation_is_a_cycle_over_all_nodes() {
+        let m = mesh(3, 3);
+        let mut rng = SimRng::seed_from(8);
+        let mut at = NodeId::new(0);
+        for _ in 0..9 {
+            at = Pattern::Rotation.dest(at, &m, &mut rng).unwrap();
+        }
+        assert_eq!(at, NodeId::new(0));
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_in_range() {
+        let m = mesh(4, 4);
+        let mut rng = SimRng::seed_from(9);
+        for src in m.nodes() {
+            if let Some(d) = Pattern::Shuffle.dest(src, &m, &mut rng) {
+                assert!(d.index() < 16);
+                assert_ne!(d, src);
+                // Deterministic.
+                assert_eq!(Pattern::Shuffle.dest(src, &m, &mut rng), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_on_odd_mesh_is_total() {
+        // 3x3: quadrant boundaries still partition all nodes.
+        let m = mesh(3, 3);
+        let total: usize = (0..4)
+            .map(|q| m.nodes().filter(|n| quadrant_of(*n, &m) == q).count())
+            .sum();
+        assert_eq!(total, 9);
+    }
+}

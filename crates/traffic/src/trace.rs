@@ -1,0 +1,278 @@
+//! Trace-driven traffic: record a live run's packet stream and replay it.
+//!
+//! The paper's methodology section argues that trace-driven evaluation is
+//! flawed because it "does not include the feedback effect of the network
+//! on execution time" (Section IV). This module exists both as a practical
+//! tool (reproducible packet streams) and to *demonstrate* that flaw: a
+//! trace recorded on one mechanism replays obliviously on another — the
+//! replayed network cannot throttle the sources, so slow mechanisms look
+//! better than they are. `tests/trace_feedback.rs` quantifies the effect.
+
+use afc_netsim::flit::{Cycle, PacketKind, VirtualNetwork};
+use afc_netsim::geom::NodeId;
+use afc_netsim::network::Network;
+use afc_netsim::packet::{DeliveredPacket, PacketInput};
+use afc_netsim::sim::TrafficModel;
+use std::fmt::Write as _;
+
+/// One recorded packet offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Offer time, relative to the start of the recording.
+    pub at: Cycle,
+    /// Source node.
+    pub src: NodeId,
+    /// The packet.
+    pub input: PacketInput,
+}
+
+/// A recorded packet stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl TrafficTrace {
+    /// Builds a trace from a network's offer log (see
+    /// [`Network::enable_offer_recording`]). Times are rebased so the first
+    /// entry is at cycle 0.
+    pub fn from_offer_log(log: Vec<(Cycle, NodeId, PacketInput)>) -> TrafficTrace {
+        let base = log.first().map(|(t, _, _)| *t).unwrap_or(0);
+        let mut entries: Vec<TraceEntry> = log
+            .into_iter()
+            .map(|(t, src, input)| TraceEntry {
+                at: t - base,
+                src,
+                input,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.at);
+        TrafficTrace { entries }
+    }
+
+    /// Number of recorded packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries, in time order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Duration of the trace in cycles (offer time of the last entry).
+    pub fn duration(&self) -> Cycle {
+        self.entries.last().map(|e| e.at).unwrap_or(0)
+    }
+
+    /// Serializes to a plain-text format (one packet per line:
+    /// `cycle src dest vnet len kind tag`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let kind = match e.input.kind {
+                PacketKind::Request => 'R',
+                PacketKind::Response => 'P',
+                PacketKind::Writeback => 'W',
+                PacketKind::Synthetic => 'S',
+            };
+            writeln!(
+                out,
+                "{} {} {} {} {} {} {}",
+                e.at,
+                e.src.index(),
+                e.input.dest.index(),
+                e.input.vnet.0,
+                e.input.len,
+                kind,
+                e.input.tag
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+
+    /// Parses the format produced by [`TrafficTrace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<TrafficTrace, String> {
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 7 {
+                return Err(format!("line {}: expected 7 fields", lineno + 1));
+            }
+            let parse_u64 = |s: &str, what: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad {what} {s:?}", lineno + 1))
+            };
+            let kind = match fields[5] {
+                "R" => PacketKind::Request,
+                "P" => PacketKind::Response,
+                "W" => PacketKind::Writeback,
+                "S" => PacketKind::Synthetic,
+                other => return Err(format!("line {}: bad kind {other:?}", lineno + 1)),
+            };
+            entries.push(TraceEntry {
+                at: parse_u64(fields[0], "cycle")?,
+                src: NodeId::new(parse_u64(fields[1], "src")? as usize),
+                input: PacketInput {
+                    dest: NodeId::new(parse_u64(fields[2], "dest")? as usize),
+                    vnet: VirtualNetwork(parse_u64(fields[3], "vnet")? as u8),
+                    len: parse_u64(fields[4], "len")? as u16,
+                    kind,
+                    tag: parse_u64(fields[6], "tag")?,
+                },
+            });
+        }
+        entries.sort_by_key(|e| e.at);
+        Ok(TrafficTrace { entries })
+    }
+}
+
+/// Replays a [`TrafficTrace`] obliviously: packets are offered at their
+/// recorded times regardless of network state (no feedback).
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: TrafficTrace,
+    next: usize,
+    start: Option<Cycle>,
+    delivered: u64,
+}
+
+impl TraceReplay {
+    /// Creates a replayer; time zero is the first `pre_cycle` call.
+    pub fn new(trace: TrafficTrace) -> TraceReplay {
+        TraceReplay {
+            trace,
+            next: 0,
+            start: None,
+            delivered: 0,
+        }
+    }
+
+    /// Packets fully delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Whether every entry has been offered.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.trace.len()
+    }
+}
+
+impl TrafficModel for TraceReplay {
+    fn pre_cycle(&mut self, now: Cycle, net: &mut Network) {
+        let start = *self.start.get_or_insert(now);
+        let rel = now - start;
+        while let Some(e) = self.trace.entries().get(self.next) {
+            if e.at > rel {
+                break;
+            }
+            net.offer_packet(e.src, e.input);
+            self.next += 1;
+        }
+    }
+
+    fn on_delivered(&mut self, _packet: &DeliveredPacket, _now: Cycle, _net: &mut Network) {
+        self.delivered += 1;
+    }
+
+    fn is_finished(&self, _now: Cycle) -> bool {
+        self.exhausted() && self.delivered >= self.trace.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closedloop::ClosedLoopTraffic;
+    use crate::workloads;
+    use afc_netsim::config::NetworkConfig;
+    use afc_netsim::sim::Simulation;
+    use afc_routers::BackpressuredFactory;
+
+    fn entry(at: Cycle, src: usize, dest: usize) -> TraceEntry {
+        TraceEntry {
+            at,
+            src: NodeId::new(src),
+            input: PacketInput {
+                dest: NodeId::new(dest),
+                vnet: VirtualNetwork(0),
+                len: 1,
+                kind: PacketKind::Synthetic,
+                tag: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let trace = TrafficTrace {
+            entries: vec![entry(0, 1, 2), entry(5, 3, 4)],
+        };
+        let text = trace.to_text();
+        let parsed = TrafficTrace::from_text(&text).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.duration(), 5);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(TrafficTrace::from_text("1 2 3").is_err());
+        assert!(TrafficTrace::from_text("a 0 1 0 1 S 0").is_err());
+        assert!(TrafficTrace::from_text("0 0 1 0 1 X 0").is_err());
+        // Comments and blank lines are fine.
+        assert!(TrafficTrace::from_text("# hi\n\n0 0 1 0 1 S 0\n").is_ok());
+    }
+
+    #[test]
+    fn record_then_replay_preserves_the_packet_stream() {
+        // Record a short closed-loop run...
+        let mut net =
+            Network::new(NetworkConfig::paper_3x3(), &BackpressuredFactory::new(), 3).unwrap();
+        net.enable_offer_recording();
+        let mut traffic = ClosedLoopTraffic::new(workloads::water(), 9, 3);
+        traffic.set_target(40);
+        let mut sim = Simulation::new(net, traffic);
+        assert!(sim.run_until_finished(1_000_000));
+        let log = sim.network.take_offer_log();
+        assert!(!log.is_empty());
+        let trace = TrafficTrace::from_offer_log(log);
+
+        // ...and replay it: every packet arrives.
+        let net2 =
+            Network::new(NetworkConfig::paper_3x3(), &BackpressuredFactory::new(), 3).unwrap();
+        let mut replay = Simulation::new(net2, TraceReplay::new(trace.clone()));
+        assert!(replay.run_until_finished(1_000_000));
+        assert_eq!(replay.traffic.delivered(), trace.len() as u64);
+        replay.network.audit().expect("conservation holds");
+    }
+
+    #[test]
+    fn replay_offers_at_recorded_relative_times() {
+        let trace = TrafficTrace {
+            entries: vec![entry(0, 0, 1), entry(10, 0, 2)],
+        };
+        let mut net =
+            Network::new(NetworkConfig::paper_3x3(), &BackpressuredFactory::new(), 4).unwrap();
+        net.enable_offer_recording();
+        let mut sim = Simulation::new(net, TraceReplay::new(trace));
+        sim.run(15);
+        let log = sim.network.take_offer_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].0 - log[0].0, 10);
+    }
+}

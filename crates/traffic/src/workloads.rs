@@ -1,0 +1,186 @@
+//! The six workload presets of Table III, calibrated for the closed-loop
+//! memory-system model.
+//!
+//! Think times, thread counts and miss rates are calibrated so that the
+//! steady-state injection rate of each preset under the backpressured
+//! baseline on the paper's 3x3 configuration approximates the
+//! flits/node/cycle figures of Table III (apache 0.78, oltp 0.68, specjbb
+//! 0.77, barnes 0.10, ocean 0.19, water 0.09). See EXPERIMENTS.md for the
+//! calibration record.
+
+use crate::closedloop::WorkloadParams;
+
+/// Commercial web-serving workload (Apache + SURGE): high, bursty load.
+pub fn apache() -> WorkloadParams {
+    WorkloadParams {
+        name: "apache",
+        threads: 8,
+        think_mean: 12.0,
+        mshrs: 16,
+        l2_hit_latency: 12,
+        memory_latency: 250,
+        l2_miss_rate: 0.20,
+        writeback_rate: 0.30,
+        control_len: 1,
+        data_len: 16,
+        paper_injection_rate: 0.78,
+        phase_period: 0,
+        phase_fraction: 0.0,
+        phase_think_scale: 1.0,
+    }
+}
+
+/// Online transaction processing (TPC-C on PostgreSQL): high load,
+/// memory-bound.
+pub fn oltp() -> WorkloadParams {
+    WorkloadParams {
+        name: "oltp",
+        threads: 8,
+        think_mean: 66.0,
+        mshrs: 16,
+        l2_hit_latency: 12,
+        memory_latency: 250,
+        l2_miss_rate: 0.30,
+        writeback_rate: 0.35,
+        control_len: 1,
+        data_len: 16,
+        paper_injection_rate: 0.68,
+        phase_period: 2_500,
+        phase_fraction: 0.06,
+        phase_think_scale: 10.0,
+    }
+}
+
+/// SPECjbb 2005 middle-tier Java server: high load.
+pub fn specjbb() -> WorkloadParams {
+    WorkloadParams {
+        name: "specjbb",
+        threads: 8,
+        think_mean: 8.0,
+        mshrs: 16,
+        l2_hit_latency: 12,
+        memory_latency: 250,
+        l2_miss_rate: 0.25,
+        writeback_rate: 0.30,
+        control_len: 1,
+        data_len: 16,
+        paper_injection_rate: 0.77,
+        phase_period: 0,
+        phase_fraction: 0.0,
+        phase_think_scale: 1.0,
+    }
+}
+
+/// SPLASH-2 Barnes-Hut N-body simulation: low load.
+pub fn barnes() -> WorkloadParams {
+    WorkloadParams {
+        name: "barnes",
+        threads: 2,
+        think_mean: 286.0,
+        mshrs: 16,
+        l2_hit_latency: 12,
+        memory_latency: 250,
+        l2_miss_rate: 0.10,
+        writeback_rate: 0.15,
+        control_len: 1,
+        data_len: 16,
+        paper_injection_rate: 0.10,
+        phase_period: 0,
+        phase_fraction: 0.0,
+        phase_think_scale: 1.0,
+    }
+}
+
+/// SPLASH-2 Ocean (contiguous partitions): moderate-low load.
+pub fn ocean() -> WorkloadParams {
+    WorkloadParams {
+        name: "ocean",
+        threads: 8,
+        think_mean: 1180.0,
+        mshrs: 16,
+        l2_hit_latency: 12,
+        memory_latency: 250,
+        l2_miss_rate: 0.40,
+        writeback_rate: 0.30,
+        control_len: 1,
+        data_len: 16,
+        paper_injection_rate: 0.19,
+        phase_period: 4_000,
+        phase_fraction: 0.20,
+        phase_think_scale: 0.015,
+    }
+}
+
+/// SPLASH-2 Water-nsquared: low load.
+pub fn water() -> WorkloadParams {
+    WorkloadParams {
+        name: "water",
+        threads: 2,
+        think_mean: 312.0,
+        mshrs: 16,
+        l2_hit_latency: 12,
+        memory_latency: 250,
+        l2_miss_rate: 0.08,
+        writeback_rate: 0.12,
+        control_len: 1,
+        data_len: 16,
+        paper_injection_rate: 0.09,
+        phase_period: 0,
+        phase_fraction: 0.0,
+        phase_think_scale: 1.0,
+    }
+}
+
+/// The three high-load commercial workloads, in paper order.
+pub fn high_load() -> Vec<WorkloadParams> {
+    vec![apache(), oltp(), specjbb()]
+}
+
+/// The three low-load SPLASH-2 workloads, in paper order.
+pub fn low_load() -> Vec<WorkloadParams> {
+    vec![barnes(), ocean(), water()]
+}
+
+/// All six workloads, low-load first.
+pub fn all() -> Vec<WorkloadParams> {
+    let mut v = low_load();
+    v.extend(high_load());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for w in all() {
+            assert!(w.threads > 0);
+            assert!(w.mshrs > 0);
+            assert!(w.think_mean > 0.0);
+            assert!((0.0..=1.0).contains(&w.l2_miss_rate));
+            assert!((0.0..=1.0).contains(&w.writeback_rate));
+            assert!(w.data_len >= 1 && w.control_len >= 1);
+            assert!(w.paper_injection_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn load_classes_match_paper() {
+        for w in high_load() {
+            assert!(w.paper_injection_rate > 0.6, "{} is high load", w.name);
+        }
+        for w in low_load() {
+            assert!(w.paper_injection_rate < 0.2, "{} is low load", w.name);
+        }
+        assert_eq!(all().len(), 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

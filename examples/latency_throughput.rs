@@ -1,0 +1,68 @@
+//! Classic open-loop latency-throughput characterization: sweep offered
+//! uniform-random load and print an ASCII latency curve per mechanism,
+//! reproducing the "Other results" observation — AFC saturates with the
+//! backpressured router while the bufferless router saturates earlier.
+//!
+//! ```sh
+//! cargo run --release --example latency_throughput
+//! ```
+
+use afc_noc::prelude::*;
+
+fn main() -> Result<(), ConfigError> {
+    let cfg = NetworkConfig::paper_3x3();
+    let rates: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
+    let factories: Vec<(&str, Box<dyn afc_netsim::router::RouterFactory>)> = vec![
+        ("backpressured", Box::new(BackpressuredFactory::new())),
+        ("backpressureless", Box::new(DeflectionFactory::new())),
+        ("afc", Box::new(AfcFactory::paper())),
+    ];
+
+    type Curve = Vec<(f64, f64, f64)>; // (rate, throughput, latency)
+    let mut curves: Vec<(&str, Curve)> = Vec::new();
+    for (label, factory) in &factories {
+        let mut pts = Vec::new();
+        for &rate in &rates {
+            let out = run_open_loop(
+                factory.as_ref(),
+                &cfg,
+                RateSpec::Uniform(rate),
+                Pattern::UniformRandom,
+                PacketMix::paper(),
+                2_000,
+                8_000,
+                1,
+            )?;
+            let nodes = out.network.mesh().node_count();
+            pts.push((
+                rate,
+                out.stats.throughput(nodes),
+                out.mean_latency().unwrap_or(f64::INFINITY),
+            ));
+        }
+        curves.push((label, pts));
+    }
+
+    println!("offered   {:<22}{:<22}afc", "backpressured", "backpressureless");
+    println!("(fl/n/c)  {:<22}{:<22}thpt   latency", "thpt   latency", "thpt   latency");
+    println!("{}", "-".repeat(76));
+    for (i, &rate) in rates.iter().enumerate() {
+        let mut line = format!("{rate:>7.2}   ");
+        for (_, pts) in &curves {
+            let (_, thpt, lat) = pts[i];
+            let saturated = thpt < rate * 0.85;
+            let bar = "#".repeat((lat / 10.0).min(12.0) as usize);
+            line.push_str(&format!(
+                "{thpt:>4.2} {lat:>5.0}{} {bar:<12}",
+                if saturated { "*" } else { " " }
+            ));
+        }
+        println!("{line}");
+    }
+    println!("\n* = offered load no longer accepted (past saturation).");
+    println!(
+        "Expected shape: equal latency at low load; backpressureless saturates\n\
+         first; AFC tracks the backpressured router's saturation point."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build the paper's 3x3 network under each flow-control
+//! mechanism, run the low-load `water` and high-load `apache` workloads,
+//! and print performance and energy side by side.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use afc_noc::prelude::*;
+
+fn main() -> Result<(), ConfigError> {
+    let cfg = NetworkConfig::paper_3x3();
+    let model = EnergyModel::new(EnergyParams::micro2010_70nm());
+    let factories: Vec<(&str, Box<dyn afc_netsim::router::RouterFactory>)> = vec![
+        ("backpressured", Box::new(BackpressuredFactory::new())),
+        ("backpressureless", Box::new(DeflectionFactory::new())),
+        ("afc", Box::new(AfcFactory::paper())),
+    ];
+
+    for workload in [workloads::water(), workloads::apache()] {
+        println!(
+            "== {} (paper injection rate {:.2} flits/node/cycle) ==",
+            workload.name, workload.paper_injection_rate
+        );
+        let mut baseline_cycles = None;
+        let mut baseline_energy = None;
+        for (label, factory) in &factories {
+            let out = run_closed_loop(
+                factory.as_ref(),
+                &cfg,
+                workload,
+                200,  // warmup transactions
+                800,  // measured transactions
+                20_000_000,
+                42,
+            )?;
+            let energy = model.price_network(&out.network);
+            let base_c = *baseline_cycles.get_or_insert(out.measured_cycles);
+            let base_e = *baseline_energy.get_or_insert(energy.total());
+            println!(
+                "  {label:<17} cycles {:>7}  perf x{:.2}  energy x{:.2}  \
+                 inj {:.2} fl/node/cyc  backpressured {:.0}%",
+                out.measured_cycles,
+                base_c as f64 / out.measured_cycles as f64,
+                energy.total() / base_e,
+                out.injection_rate(),
+                out.stats.backpressured_fraction() * 100.0,
+            );
+        }
+        println!();
+    }
+    println!(
+        "AFC tracks the better mechanism in both regimes: bufferless energy at low\n\
+         load, backpressured performance and energy at high load."
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Server-consolidation scenario (the paper's Section V-B motivation): an
+//! 8x8 multicore hosting four applications, one per mesh quadrant. One
+//! quadrant runs a hot web-serving tier (0.9 flits/node/cycle); the other
+//! three idle along at 0.1. Traffic stays within each application's
+//! quadrant.
+//!
+//! Watch AFC partition itself: routers in the hot quadrant switch to
+//! backpressured mode while the rest of the chip stays bufferless — and AFC
+//! ends up the *best* energy configuration, beating both fixed mechanisms.
+//!
+//! ```sh
+//! cargo run --release --example server_consolidation
+//! ```
+
+use afc_noc::prelude::*;
+use afc_traffic::synthetic::quadrant_of;
+
+fn main() -> Result<(), ConfigError> {
+    let cfg = NetworkConfig::paper_8x8();
+    let model = EnergyModel::new(EnergyParams::micro2010_70nm());
+    let factories: Vec<(&str, Box<dyn afc_netsim::router::RouterFactory>)> = vec![
+        ("backpressured", Box::new(BackpressuredFactory::new())),
+        ("backpressureless", Box::new(DeflectionFactory::new())),
+        ("afc", Box::new(AfcFactory::paper())),
+    ];
+
+    let mesh = cfg.mesh()?;
+    let rates: Vec<f64> = mesh
+        .nodes()
+        .map(|n| if quadrant_of(n, &mesh) == 0 { 0.9 } else { 0.1 })
+        .collect();
+
+    let mut results = Vec::new();
+    for (label, factory) in &factories {
+        let network = Network::new(cfg.clone(), factory.as_ref(), 7)?;
+        let traffic = OpenLoopTraffic::new(
+            RateSpec::PerNode(rates.clone()),
+            Pattern::Quadrant,
+            PacketMix::paper(),
+            7,
+        );
+        let mut sim = Simulation::new(network, traffic);
+        sim.run(5_000); // warm up
+        sim.network.reset_metrics();
+        sim.run(20_000); // measure
+
+        let energy = model.price_network(&sim.network);
+        results.push((*label, energy.total(), sim.network.stats().clone()));
+
+        if *label == "afc" {
+            // Render the chip's mode map: '#' = backpressured router.
+            println!("AFC mode map after 25k cycles (quadrant 0 = top-left is hot):");
+            let modes = sim.network.modes();
+            for y in 0..mesh.height() {
+                let row: String = (0..mesh.width())
+                    .map(|x| {
+                        let n = mesh.node_at(Coord::new(x, y)).expect("in bounds");
+                        match modes[n.index()] {
+                            afc_netsim::router::RouterMode::Backpressured => '#',
+                            afc_netsim::router::RouterMode::Transitioning => '+',
+                            afc_netsim::router::RouterMode::Backpressureless => '.',
+                        }
+                    })
+                    .collect();
+                println!("  {row}");
+            }
+            println!();
+        }
+    }
+
+    let afc_energy = results
+        .iter()
+        .find(|(l, _, _)| *l == "afc")
+        .expect("afc ran")
+        .1;
+    println!("Energy, normalized to AFC (lower is better):");
+    for (label, energy, stats) in &results {
+        println!(
+            "  {label:<17} x{:.2}   mean packet latency {:>5.0} cycles",
+            energy / afc_energy,
+            stats.network_latency.mean().unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nWith spatial load variation, neither fixed mechanism is robust —\n\
+         AFC adapts per router and wins outright (paper Section V-B)."
+    );
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! Argument parsing and dispatch for the `afc-noc` command-line tool.
+//!
+//! Kept dependency-free: flags are `--key value` pairs parsed by hand, with
+//! every decision testable through [`Cli::parse`].
+
+use crate::prelude::*;
+use afc_netsim::router::RouterFactory;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cli {
+    /// `afc-noc run` — one closed-loop measurement.
+    Run(RunArgs),
+    /// `afc-noc inspect` — run AFC briefly and print per-router adaptive
+    /// state.
+    Inspect(InspectArgs),
+    /// `afc-noc sweep` — open-loop latency-throughput sweep.
+    Sweep(SweepArgs),
+    /// `afc-noc list` — print available mechanisms, workloads, patterns.
+    List,
+    /// `afc-noc help` (or parse failure, carrying the message).
+    Help(Option<String>),
+}
+
+/// Arguments of the `run` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Workload name.
+    pub workload: String,
+    /// Mesh dimensions.
+    pub mesh: (u16, u16),
+    /// RNG seed.
+    pub seed: u64,
+    /// Warmup transactions.
+    pub warmup: u64,
+    /// Measured transactions.
+    pub txns: u64,
+}
+
+/// Arguments of the `inspect` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectArgs {
+    /// Workload name.
+    pub workload: String,
+    /// Mesh dimensions.
+    pub mesh: (u16, u16),
+    /// Cycles to run before inspecting.
+    pub cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Arguments of the `sweep` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Traffic pattern name.
+    pub pattern: String,
+    /// Offered rates (flits/node/cycle).
+    pub rates: Vec<f64>,
+    /// Mesh dimensions.
+    pub mesh: (u16, u16),
+    /// Measured cycles per point.
+    pub cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Names of the available mechanisms.
+pub const MECHANISMS: &[&str] = &[
+    "backpressured",
+    "bp-read-bypass",
+    "bp-ideal-bypass",
+    "bless",
+    "bless-oldest",
+    "drop",
+    "afc",
+    "afc-always-bp",
+];
+
+/// Names of the available workloads.
+pub const WORKLOADS: &[&str] = &["barnes", "ocean", "water", "apache", "oltp", "specjbb"];
+
+/// Names of the available open-loop patterns.
+pub const PATTERNS: &[&str] = &[
+    "uniform",
+    "transpose",
+    "bit-complement",
+    "near-neighbor",
+    "tornado",
+    "shuffle",
+    "rotation",
+    "quadrant",
+];
+
+/// Builds the router factory for a mechanism name.
+///
+/// # Errors
+///
+/// Returns the unknown name.
+pub fn mechanism_factory(name: &str) -> Result<Box<dyn RouterFactory>, String> {
+    Ok(match name {
+        "backpressured" => Box::new(BackpressuredFactory::new()),
+        "bp-read-bypass" => Box::new(BackpressuredFactory::read_bypass()),
+        "bp-ideal-bypass" => Box::new(BackpressuredFactory::ideal_bypass()),
+        "bless" => Box::new(DeflectionFactory::new()),
+        "bless-oldest" => Box::new(DeflectionFactory::oldest_first()),
+        "drop" => Box::new(DropFactory::new()),
+        "afc" => Box::new(AfcFactory::paper()),
+        "afc-always-bp" => Box::new(AfcFactory::always_backpressured()),
+        other => return Err(format!("unknown mechanism {other:?} (see `afc-noc list`)")),
+    })
+}
+
+/// Looks up a workload preset by name.
+///
+/// # Errors
+///
+/// Returns the unknown name.
+pub fn workload_by_name(name: &str) -> Result<WorkloadParams, String> {
+    workloads::all()
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| format!("unknown workload {name:?} (see `afc-noc list`)"))
+}
+
+/// Looks up a pattern by name.
+///
+/// # Errors
+///
+/// Returns the unknown name.
+pub fn pattern_by_name(name: &str) -> Result<Pattern, String> {
+    Ok(match name {
+        "uniform" => Pattern::UniformRandom,
+        "transpose" => Pattern::Transpose,
+        "bit-complement" => Pattern::BitComplement,
+        "near-neighbor" => Pattern::NearNeighbor,
+        "tornado" => Pattern::Tornado,
+        "shuffle" => Pattern::Shuffle,
+        "rotation" => Pattern::Rotation,
+        "quadrant" => Pattern::Quadrant,
+        other => return Err(format!("unknown pattern {other:?} (see `afc-noc list`)")),
+    })
+}
+
+fn parse_mesh(s: &str) -> Result<(u16, u16), String> {
+    let (w, h) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("mesh must look like 3x3, got {s:?}"))?;
+    let w = w.parse().map_err(|_| format!("bad mesh width {w:?}"))?;
+    let h = h.parse().map_err(|_| format!("bad mesh height {h:?}"))?;
+    Ok((w, h))
+}
+
+fn take_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(format!("expected a --flag, got {key:?}"));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag {key} needs a value"))?;
+        map.insert(key[2..].to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+impl Cli {
+    /// Parses `argv[1..]`.
+    pub fn parse(args: &[String]) -> Cli {
+        match Cli::try_parse(args) {
+            Ok(cli) => cli,
+            Err(msg) => Cli::Help(Some(msg)),
+        }
+    }
+
+    fn try_parse(args: &[String]) -> Result<Cli, String> {
+        let Some(cmd) = args.first() else {
+            return Ok(Cli::Help(None));
+        };
+        match cmd.as_str() {
+            "list" => Ok(Cli::List),
+            "help" | "--help" | "-h" => Ok(Cli::Help(None)),
+            "run" => {
+                let flags = take_flags(&args[1..])?;
+                let get = |k: &str, default: &str| {
+                    flags.get(k).cloned().unwrap_or_else(|| default.to_string())
+                };
+                Ok(Cli::Run(RunArgs {
+                    mechanism: get("mechanism", "afc"),
+                    workload: get("workload", "apache"),
+                    mesh: parse_mesh(&get("mesh", "3x3"))?,
+                    seed: get("seed", "1").parse().map_err(|_| "bad --seed")?,
+                    warmup: get("warmup", "500").parse().map_err(|_| "bad --warmup")?,
+                    txns: get("txns", "2000").parse().map_err(|_| "bad --txns")?,
+                }))
+            }
+            "inspect" => {
+                let flags = take_flags(&args[1..])?;
+                let get = |k: &str, default: &str| {
+                    flags.get(k).cloned().unwrap_or_else(|| default.to_string())
+                };
+                Ok(Cli::Inspect(InspectArgs {
+                    workload: get("workload", "ocean"),
+                    mesh: parse_mesh(&get("mesh", "3x3"))?,
+                    cycles: get("cycles", "20000").parse().map_err(|_| "bad --cycles")?,
+                    seed: get("seed", "1").parse().map_err(|_| "bad --seed")?,
+                }))
+            }
+            "sweep" => {
+                let flags = take_flags(&args[1..])?;
+                let get = |k: &str, default: &str| {
+                    flags.get(k).cloned().unwrap_or_else(|| default.to_string())
+                };
+                let rates = get("rates", "0.1,0.3,0.5,0.7")
+                    .split(',')
+                    .map(|r| r.trim().parse::<f64>().map_err(|_| format!("bad rate {r:?}")))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                Ok(Cli::Sweep(SweepArgs {
+                    mechanism: get("mechanism", "afc"),
+                    pattern: get("pattern", "uniform"),
+                    rates,
+                    mesh: parse_mesh(&get("mesh", "3x3"))?,
+                    cycles: get("cycles", "10000").parse().map_err(|_| "bad --cycles")?,
+                    seed: get("seed", "1").parse().map_err(|_| "bad --seed")?,
+                }))
+            }
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+afc-noc — Adaptive Flow Control NoC simulator
+
+USAGE:
+  afc-noc run   [--mechanism M] [--workload W] [--mesh 3x3] [--seed N]
+                [--warmup N] [--txns N]
+  afc-noc sweep [--mechanism M] [--pattern P] [--rates 0.1,0.3,...]
+                [--mesh 3x3] [--cycles N] [--seed N]
+  afc-noc inspect [--workload W] [--mesh 3x3] [--cycles N] [--seed N]
+  afc-noc list
+  afc-noc help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cli = Cli::parse(&argv("run"));
+        let Cli::Run(a) = cli else { panic!("expected run") };
+        assert_eq!(a.mechanism, "afc");
+        assert_eq!(a.mesh, (3, 3));
+        assert_eq!(a.txns, 2000);
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cli = Cli::parse(&argv(
+            "run --mechanism bless --workload water --mesh 5x4 --seed 9 --txns 100",
+        ));
+        let Cli::Run(a) = cli else { panic!("expected run") };
+        assert_eq!(a.mechanism, "bless");
+        assert_eq!(a.workload, "water");
+        assert_eq!(a.mesh, (5, 4));
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.txns, 100);
+    }
+
+    #[test]
+    fn parses_inspect() {
+        let cli = Cli::parse(&argv("inspect --workload apache --cycles 500"));
+        let Cli::Inspect(a) = cli else { panic!("expected inspect") };
+        assert_eq!(a.workload, "apache");
+        assert_eq!(a.cycles, 500);
+        assert_eq!(a.mesh, (3, 3));
+    }
+
+    #[test]
+    fn parses_sweep_rates() {
+        let cli = Cli::parse(&argv("sweep --rates 0.1,0.2 --pattern tornado"));
+        let Cli::Sweep(a) = cli else { panic!("expected sweep") };
+        assert_eq!(a.rates, vec![0.1, 0.2]);
+        assert_eq!(a.pattern, "tornado");
+    }
+
+    #[test]
+    fn rejects_garbage_gracefully() {
+        assert!(matches!(Cli::parse(&argv("frobnicate")), Cli::Help(Some(_))));
+        assert!(matches!(
+            Cli::parse(&argv("run --mesh banana")),
+            Cli::Help(Some(_))
+        ));
+        assert!(matches!(
+            Cli::parse(&argv("run --seed")),
+            Cli::Help(Some(_))
+        ));
+        assert!(matches!(Cli::parse(&[]), Cli::Help(None)));
+    }
+
+    #[test]
+    fn lookups_cover_all_names() {
+        for m in MECHANISMS {
+            assert!(mechanism_factory(m).is_ok(), "{m}");
+        }
+        for w in WORKLOADS {
+            assert!(workload_by_name(w).is_ok(), "{w}");
+        }
+        for p in PATTERNS {
+            assert!(pattern_by_name(p).is_ok(), "{p}");
+        }
+        assert!(mechanism_factory("nope").is_err());
+        assert!(workload_by_name("nope").is_err());
+        assert!(pattern_by_name("nope").is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! The `afc-noc` command-line tool: run closed-loop workloads or open-loop
+//! sweeps from the shell. See `afc-noc help`.
+
+use afc_noc::cli::{
+    mechanism_factory, pattern_by_name, workload_by_name, Cli, InspectArgs, RunArgs, SweepArgs,
+    MECHANISMS, PATTERNS, USAGE, WORKLOADS,
+};
+use afc_noc::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match Cli::parse(&args) {
+        Cli::Help(None) => {
+            print!("{USAGE}");
+            0
+        }
+        Cli::Help(Some(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            2
+        }
+        Cli::List => {
+            println!("mechanisms: {}", MECHANISMS.join(", "));
+            println!("workloads:  {}", WORKLOADS.join(", "));
+            println!("patterns:   {}", PATTERNS.join(", "));
+            0
+        }
+        Cli::Run(run) => match do_run(&run) {
+            Ok(()) => 0,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                2
+            }
+        },
+        Cli::Inspect(inspect) => match do_inspect(&inspect) {
+            Ok(()) => 0,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                2
+            }
+        },
+        Cli::Sweep(sweep) => match do_sweep(&sweep) {
+            Ok(()) => 0,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                2
+            }
+        },
+    };
+    std::process::exit(code);
+}
+
+fn net_config(mesh: (u16, u16)) -> NetworkConfig {
+    NetworkConfig {
+        width: mesh.0,
+        height: mesh.1,
+        ..NetworkConfig::paper_3x3()
+    }
+}
+
+fn do_run(args: &RunArgs) -> Result<(), String> {
+    let factory = mechanism_factory(&args.mechanism)?;
+    let workload = workload_by_name(&args.workload)?;
+    let cfg = net_config(args.mesh);
+    let out = run_closed_loop(
+        factory.as_ref(),
+        &cfg,
+        workload,
+        args.warmup,
+        args.txns,
+        500_000_000,
+        args.seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let energy = EnergyModel::new(EnergyParams::micro2010_70nm()).price_network(&out.network);
+    let nodes = out.network.mesh().node_count();
+    println!(
+        "mechanism={} workload={} mesh={}x{} seed={}",
+        args.mechanism, args.workload, args.mesh.0, args.mesh.1, args.seed
+    );
+    println!("cycles:            {}", out.measured_cycles);
+    println!("injection rate:    {:.3} flits/node/cycle", out.injection_rate());
+    println!(
+        "throughput:        {:.3} flits/node/cycle",
+        out.stats.throughput(nodes)
+    );
+    println!(
+        "packet latency:    mean {:.1}  p50 {}  p95 {}  p99 {} cycles",
+        out.stats.network_latency.mean().unwrap_or(f64::NAN),
+        pct(&out.stats, 0.50),
+        pct(&out.stats, 0.95),
+        pct(&out.stats, 0.99),
+    );
+    println!(
+        "energy:            {:.2} uJ (buffer {:.1}%, link {:.1}%, rest {:.1}%)",
+        energy.total() / 1e6,
+        100.0 * energy.buffer() / energy.total(),
+        100.0 * energy.link / energy.total(),
+        100.0 * energy.rest_of_router() / energy.total(),
+    );
+    println!(
+        "mode residency:    {:.1}% backpressured; switches fwd/rev/gossip = {}/{}/{}",
+        100.0 * out.stats.backpressured_fraction(),
+        out.counters.mode_switches_forward,
+        out.counters.mode_switches_reverse,
+        out.counters.mode_switches_gossip,
+    );
+    println!(
+        "deflections/flit:  {:.3}   drops: {}   credit-stall cycles: {}",
+        out.stats.flit_deflections.mean().unwrap_or(0.0),
+        out.counters.drops,
+        out.counters.credit_stall_cycles,
+    );
+    Ok(())
+}
+
+fn pct(stats: &afc_netsim::stats::NetworkStats, p: f64) -> String {
+    stats
+        .network_latency_hist
+        .percentile(p)
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "-".into())
+}
+
+fn do_inspect(args: &InspectArgs) -> Result<(), String> {
+    let workload = workload_by_name(&args.workload)?;
+    let cfg = net_config(args.mesh);
+    let network = Network::new(cfg, &AfcFactory::paper(), args.seed).map_err(|e| e.to_string())?;
+    let nodes = network.mesh().node_count();
+    let traffic = ClosedLoopTraffic::new(workload, nodes, args.seed);
+    let mut sim = Simulation::new(network, traffic);
+    sim.run(args.cycles);
+    println!(
+        "AFC on {}x{} running {} for {} cycles\n",
+        args.mesh.0, args.mesh.1, args.workload, args.cycles
+    );
+    println!("mode map ('#' backpressured, '+' transitioning, '.' backpressureless):");
+    print!("{}", afc_netsim::trace::render_mode_map(&sim.network));
+    println!("\nnode   mode              load   occupancy");
+    let mesh = sim.network.mesh().clone();
+    for node in mesh.nodes() {
+        let r = sim.network.router(node);
+        println!(
+            "{:<6} {:<17} {:>5.2}  {:>5}",
+            node.to_string(),
+            format!("{:?}", r.mode()),
+            r.load_estimate().unwrap_or(f64::NAN),
+            r.occupancy(),
+        );
+    }
+    let c = sim.network.total_counters();
+    println!(
+        "\nswitches fwd/rev/gossip: {}/{}/{}   backpressured cycles: {:.1}%",
+        c.mode_switches_forward,
+        c.mode_switches_reverse,
+        c.mode_switches_gossip,
+        100.0 * sim.network.stats().backpressured_fraction(),
+    );
+    Ok(())
+}
+
+fn do_sweep(args: &SweepArgs) -> Result<(), String> {
+    let factory = mechanism_factory(&args.mechanism)?;
+    let pattern = pattern_by_name(&args.pattern)?;
+    let cfg = net_config(args.mesh);
+    println!(
+        "mechanism={} pattern={} mesh={}x{}",
+        args.mechanism, args.pattern, args.mesh.0, args.mesh.1
+    );
+    println!("offered   accepted  mean-lat  p99-lat");
+    for &rate in &args.rates {
+        let out = run_open_loop(
+            factory.as_ref(),
+            &cfg,
+            RateSpec::Uniform(rate),
+            pattern.clone(),
+            PacketMix::paper(),
+            args.cycles / 4,
+            args.cycles,
+            args.seed,
+        )
+        .map_err(|e| e.to_string())?;
+        let nodes = out.network.mesh().node_count();
+        println!(
+            "{rate:>7.3}   {:>8.3}  {:>8.1}  {:>7}",
+            out.stats.throughput(nodes),
+            out.stats.network_latency.mean().unwrap_or(f64::NAN),
+            pct(&out.stats, 0.99),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Closed-loop heterogeneous consolidation (the extension experiment):
+//! AFC must win energy on a mixed-load chip while staying within a few
+//! percent of the backpressured network's transaction throughput.
+
+use afc_noc::prelude::*;
+use afc_traffic::closedloop::ClosedLoopTraffic;
+use afc_traffic::synthetic::quadrant_of;
+
+fn run(
+    factory: &dyn afc_netsim::router::RouterFactory,
+) -> (u64, f64, f64) {
+    let cfg = NetworkConfig::paper_8x8();
+    let mesh = cfg.mesh().unwrap();
+    let params: Vec<_> = mesh
+        .nodes()
+        .map(|n| {
+            if quadrant_of(n, &mesh) == 0 {
+                workloads::apache()
+            } else {
+                workloads::water()
+            }
+        })
+        .collect();
+    let network = Network::new(cfg, factory, 1).unwrap();
+    let mut sim = Simulation::new(network, ClosedLoopTraffic::heterogeneous(params, 1));
+    sim.run(3_000);
+    sim.network.reset_metrics();
+    sim.traffic.reset_completed_by_node();
+    sim.run(10_000);
+    sim.network.audit().expect("conservation");
+    let txns = sim.traffic.completed_by_node().iter().sum::<u64>();
+    let energy = EnergyModel::new(EnergyParams::micro2010_70nm())
+        .price_network(&sim.network)
+        .total();
+    let bp = sim.network.stats().backpressured_fraction();
+    (txns, energy, bp)
+}
+
+#[test]
+fn afc_wins_energy_on_a_consolidated_chip() {
+    let (bp_txns, bp_energy, _) = run(&BackpressuredFactory::new());
+    let (bless_txns, bless_energy, _) = run(&DeflectionFactory::new());
+    let (afc_txns, afc_energy, afc_bp_frac) = run(&AfcFactory::paper());
+
+    // AFC is the least-energy configuration...
+    assert!(
+        bp_energy > afc_energy * 1.02,
+        "backpressured {bp_energy:.3e} vs AFC {afc_energy:.3e}"
+    );
+    assert!(
+        bless_energy > afc_energy * 1.2,
+        "bufferless {bless_energy:.3e} vs AFC {afc_energy:.3e}"
+    );
+    // ...at a small throughput cost versus either fixed mechanism.
+    let best = bp_txns.max(bless_txns) as f64;
+    assert!(
+        afc_txns as f64 > best * 0.93,
+        "AFC {afc_txns} txns vs best {best}"
+    );
+    // And it genuinely partitioned: part backpressured, part not.
+    assert!(
+        (0.05..=0.95).contains(&afc_bp_frac),
+        "expected a mixed mode split, got {afc_bp_frac:.2}"
+    );
+}

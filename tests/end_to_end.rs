@@ -1,0 +1,208 @@
+//! End-to-end integration: every mechanism moves real traffic through a
+//! real network, and AFC's adaptivity behaves as the paper describes.
+
+use afc_noc::prelude::*;
+
+fn mechanisms() -> Vec<Box<dyn afc_netsim::router::RouterFactory>> {
+    vec![
+        Box::new(BackpressuredFactory::new()),
+        Box::new(DeflectionFactory::new()),
+        Box::new(DropFactory::new()),
+        Box::new(AfcFactory::paper()),
+        Box::new(AfcFactory::always_backpressured()),
+    ]
+}
+
+#[test]
+fn every_mechanism_completes_a_closed_loop_run() {
+    for factory in mechanisms() {
+        let out = run_closed_loop(
+            factory.as_ref(),
+            &NetworkConfig::paper_3x3(),
+            workloads::water(),
+            30,
+            80,
+            3_000_000,
+            17,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", factory.name()));
+        assert!(
+            out.stats.packets_delivered > 0,
+            "{} delivered nothing",
+            factory.name()
+        );
+        assert!(out.measured_cycles > 0, "{}", factory.name());
+    }
+}
+
+#[test]
+fn every_mechanism_survives_high_load() {
+    for factory in mechanisms() {
+        let out = run_closed_loop(
+            factory.as_ref(),
+            &NetworkConfig::paper_3x3(),
+            workloads::apache(),
+            100,
+            300,
+            5_000_000,
+            23,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", factory.name()));
+        assert!(
+            out.injection_rate() > 0.1,
+            "{} injected implausibly little: {}",
+            factory.name(),
+            out.injection_rate()
+        );
+    }
+}
+
+#[test]
+fn open_loop_delivers_everything_offered_below_saturation() {
+    for factory in mechanisms() {
+        let out = run_open_loop(
+            factory.as_ref(),
+            &NetworkConfig::paper_3x3(),
+            RateSpec::Uniform(0.10),
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            2_000,
+            10_000,
+            29,
+        )
+        .unwrap();
+        let delivered = out.stats.flits_delivered as f64;
+        let injected = out.stats.flits_injected as f64;
+        assert!(
+            delivered > injected * 0.95,
+            "{}: delivered {delivered} of {injected}",
+            factory.name()
+        );
+    }
+}
+
+#[test]
+fn afc_stays_backpressureless_at_low_load() {
+    let out = run_closed_loop(
+        &AfcFactory::paper(),
+        &NetworkConfig::paper_3x3(),
+        workloads::water(),
+        50,
+        150,
+        3_000_000,
+        31,
+    )
+    .unwrap();
+    let bp_frac = out.stats.backpressured_fraction();
+    assert!(
+        bp_frac < 0.05,
+        "water is a low-load workload; AFC spent {bp_frac} of cycles backpressured"
+    );
+}
+
+#[test]
+fn afc_switches_to_backpressured_at_high_load() {
+    let out = run_closed_loop(
+        &AfcFactory::paper(),
+        &NetworkConfig::paper_3x3(),
+        workloads::apache(),
+        100,
+        300,
+        5_000_000,
+        37,
+    )
+    .unwrap();
+    let bp_frac = out.stats.backpressured_fraction();
+    assert!(
+        bp_frac > 0.90,
+        "apache is a high-load workload; AFC spent only {bp_frac} of cycles backpressured"
+    );
+}
+
+#[test]
+fn zero_load_latency_matches_pipeline_model() {
+    // A single packet on an idle backpressured network: latency must be
+    // hops * (2 + L) + serialization (len - 1) + ejection.
+    let cfg = NetworkConfig::paper_3x3();
+    let mut net = Network::new(cfg.clone(), &BackpressuredFactory::new(), 41).unwrap();
+    let mesh = net.mesh().clone();
+    let src = mesh.node_at(Coord::new(0, 0)).unwrap();
+    let dest = mesh.node_at(Coord::new(2, 2)).unwrap();
+    net.offer_packet(
+        src,
+        afc_netsim::packet::PacketInput {
+            dest,
+            vnet: VirtualNetwork(0),
+            len: 1,
+            kind: afc_netsim::packet::PacketKind::Synthetic,
+            tag: 0,
+        },
+    );
+    let mut delivered = None;
+    for _ in 0..200 {
+        net.step();
+        let d = net.take_delivered();
+        if let Some(p) = d.first() {
+            delivered = Some(*p);
+            break;
+        }
+    }
+    let p = delivered.expect("packet must arrive");
+    // 4 hops * (2 + 2) cycles per hop, plus 1 cycle (local arbitration +
+    // ejection at the destination router).
+    let hops = mesh.distance(src, dest) as u64;
+    let per_hop = 2 + cfg.link_latency;
+    assert_eq!(p.total_hops, hops as u32);
+    let latency = p.network_latency();
+    assert!(
+        (hops * per_hop..=hops * per_hop + 2).contains(&latency),
+        "zero-load latency {latency}, expected ~{}",
+        hops * per_hop
+    );
+}
+
+#[test]
+fn deterministic_across_identical_seeds() {
+    for factory in mechanisms() {
+        let run = |seed: u64| {
+            let out = run_closed_loop(
+                factory.as_ref(),
+                &NetworkConfig::paper_3x3(),
+                workloads::ocean(),
+                20,
+                60,
+                3_000_000,
+                seed,
+            )
+            .unwrap();
+            (
+                out.measured_cycles,
+                out.stats.flits_delivered,
+                out.counters.link_traversals,
+            )
+        };
+        assert_eq!(run(7), run(7), "{} not deterministic", factory.name());
+    }
+}
+
+#[test]
+fn afc_duty_cycle_mirrors_paper_observations() {
+    // Paper Section V-A: water/barnes ~99% backpressureless; apache/specjbb
+    // >99% backpressured; ocean/oltp mixed but dominated by one mode.
+    let frac = |w: WorkloadParams| {
+        run_closed_loop(
+            &AfcFactory::paper(),
+            &NetworkConfig::paper_3x3(),
+            w,
+            50,
+            200,
+            5_000_000,
+            43,
+        )
+        .unwrap()
+        .stats
+        .backpressured_fraction()
+    };
+    assert!(frac(workloads::water()) < 0.05);
+    assert!(frac(workloads::apache()) > 0.9);
+}

@@ -1,0 +1,60 @@
+//! Golden regression values: exact statistics of short canonical runs.
+//!
+//! These pin down the simulator's cycle-level behavior. An intentional
+//! behavioral change (new arbitration order, pipeline tweak, RNG change)
+//! WILL move these numbers — update them deliberately, with the diff in
+//! review, rather than loosening the assertions.
+
+use afc_noc::prelude::*;
+
+fn golden_run(factory: &dyn afc_netsim::router::RouterFactory) -> (u64, u64, u64, u64) {
+    let out = run_open_loop(
+        factory,
+        &NetworkConfig::paper_3x3(),
+        RateSpec::Uniform(0.20),
+        Pattern::UniformRandom,
+        PacketMix::paper(),
+        1_000,
+        4_000,
+        0xC0FFEE,
+    )
+    .unwrap();
+    (
+        out.stats.flits_delivered,
+        out.stats.network_latency.sum(),
+        out.counters.link_traversals,
+        out.counters.deflections + out.counters.drops,
+    )
+}
+
+#[test]
+fn golden_backpressured() {
+    let g = golden_run(&BackpressuredFactory::new());
+    assert_eq!(g, (6917, 15189, 13799, 0), "got {g:?}");
+}
+
+#[test]
+fn golden_deflection() {
+    let g = golden_run(&DeflectionFactory::new());
+    assert!(g.3 > 0, "deflection must deflect at 0.20 load");
+    assert_eq!(g, (6918, 15697, 17341, 1759), "got {g:?}");
+}
+
+#[test]
+fn golden_afc() {
+    let g = golden_run(&AfcFactory::paper());
+    assert_eq!(g, (6918, 15697, 17341, 1759), "got {g:?}");
+}
+
+#[test]
+fn golden_afc_matches_deflection_at_low_load() {
+    // At 0.20 flits/node/cycle AFC never leaves backpressureless mode, so
+    // its flit-level behavior must be *identical* to the deflection
+    // router's under the same seed — a strong structural check that the
+    // backpressureless datapaths are the same code path behaving the same
+    // way.
+    assert_eq!(
+        golden_run(&DeflectionFactory::new()),
+        golden_run(&AfcFactory::paper())
+    );
+}

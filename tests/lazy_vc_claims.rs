@@ -1,0 +1,146 @@
+//! Section III-E's lazy-VC-allocation claims, tested head to head:
+//! AFC's backpressured mode uses **half** the buffering of the tuned
+//! baseline (32 vs. 64 flits per port) while matching its performance, and
+//! increasing the baseline's buffers further buys nothing.
+
+use afc_noc::prelude::*;
+
+fn cycles(factory: &dyn afc_netsim::router::RouterFactory, w: WorkloadParams, seed: u64) -> u64 {
+    run_closed_loop(
+        factory,
+        &NetworkConfig::paper_3x3(),
+        w,
+        200,
+        800,
+        50_000_000,
+        seed,
+    )
+    .unwrap()
+    .measured_cycles
+}
+
+#[test]
+fn afc_halves_buffers_without_losing_performance() {
+    let cfg = NetworkConfig::paper_3x3();
+    let bp = BackpressuredFactory::new();
+    let afc_bp = AfcFactory::always_backpressured();
+    use afc_netsim::router::RouterFactory;
+    assert_eq!(bp.buffer_flits_per_port(&cfg), 64);
+    assert_eq!(afc_bp.buffer_flits_per_port(&cfg), 32);
+
+    for w in [workloads::apache(), workloads::oltp()] {
+        let base = cycles(&bp, w, 3);
+        let lazy = cycles(&afc_bp, w, 3);
+        let ratio = lazy as f64 / base as f64;
+        assert!(
+            ratio < 1.08,
+            "{}: lazy-VC router with half the buffers must stay within 8% \
+             of the baseline (got {ratio:.3})",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn baseline_is_buffer_tuned_as_the_paper_states() {
+    // "Adding more VCs (or increasing buffer-depths) resulted in no
+    // significant performance improvement" (Section IV). Double the
+    // baseline's buffer depth and check the speedup is marginal.
+    let mut big = NetworkConfig::paper_3x3();
+    for v in &mut big.vnets {
+        v.buffer_depth *= 2;
+    }
+    // Average over seeds: completion-order timing shifts act as noise on
+    // individual runs.
+    let speedup = |w: WorkloadParams| {
+        let total = |cfg: &NetworkConfig| -> u64 {
+            (5..8)
+                .map(|seed| {
+                    run_closed_loop(
+                        &BackpressuredFactory::new(),
+                        cfg,
+                        w,
+                        200,
+                        800,
+                        50_000_000,
+                        seed,
+                    )
+                    .unwrap()
+                    .measured_cycles
+                })
+                .sum()
+        };
+        total(&NetworkConfig::paper_3x3()) as f64 / total(&big) as f64
+    };
+    // At low load extra buffering is pure waste.
+    let low = speedup(workloads::water());
+    assert!(
+        low < 1.02,
+        "doubling buffers must not speed water up at all (got {low:.3})"
+    );
+    // At high load our calibrated apache runs closer to saturation than the
+    // paper's, so doubled buffering absorbs bursts for a modest gain —
+    // bounded here so a regression toward buffer-starvation is caught.
+    let high = speedup(workloads::apache());
+    assert!(
+        high < 1.12,
+        "doubling buffers must not transform apache performance (got {high:.3})"
+    );
+}
+
+#[test]
+fn lazy_vcs_keep_flits_of_one_vnet_from_blocking_another() {
+    // HOL-blocking sanity: saturate the data vnet toward one destination
+    // and verify control packets on another vnet still flow briskly
+    // through the always-backpressured AFC router network.
+    let cfg = NetworkConfig::paper_3x3();
+    let mut net = Network::new(cfg, &AfcFactory::always_backpressured(), 9).unwrap();
+    let mesh = net.mesh().clone();
+    let sink = mesh.node_at(Coord::new(2, 2)).unwrap();
+    let src = mesh.node_at(Coord::new(0, 0)).unwrap();
+    // Flood data packets from several sources toward one sink.
+    for n in mesh.nodes().filter(|n| *n != sink) {
+        for _ in 0..4 {
+            net.offer_packet(
+                n,
+                afc_netsim::packet::PacketInput {
+                    dest: sink,
+                    vnet: VirtualNetwork(2),
+                    len: 16,
+                    kind: afc_netsim::packet::PacketKind::Synthetic,
+                    tag: 0,
+                },
+            );
+        }
+    }
+    // One control packet from the far corner, through the congested middle.
+    let probe = net.offer_packet(
+        src,
+        afc_netsim::packet::PacketInput {
+            dest: sink,
+            vnet: VirtualNetwork(0),
+            len: 1,
+            kind: afc_netsim::packet::PacketKind::Synthetic,
+            tag: 42,
+        },
+    );
+    let mut probe_latency = None;
+    for _ in 0..20_000 {
+        net.step();
+        for p in net.take_delivered() {
+            if p.descriptor.id == probe {
+                probe_latency = Some(p.total_latency());
+            }
+        }
+        if probe_latency.is_some() {
+            break;
+        }
+    }
+    let latency = probe_latency.expect("control probe must arrive");
+    // Zero-load latency for 4 hops is 17; allow generous congestion slack
+    // but far less than draining the data flood would take (thousands).
+    assert!(
+        latency < 500,
+        "control vnet must not be HOL-blocked behind data (latency {latency})"
+    );
+}

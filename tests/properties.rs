@@ -1,0 +1,253 @@
+//! Property-based tests: simulator invariants that must hold for *any*
+//! mesh size, seed, load level and mechanism.
+//!
+//! The deepest invariant — "credit accounting never overflows a buffer" —
+//! is enforced by panics inside the routers themselves, so every property
+//! here doubles as a fuzz of those assertions.
+
+use afc_noc::prelude::*;
+use proptest::prelude::*;
+
+fn mechanism(idx: usize) -> Box<dyn afc_netsim::router::RouterFactory> {
+    match idx % 5 {
+        0 => Box::new(BackpressuredFactory::new()),
+        1 => Box::new(DeflectionFactory::new()),
+        2 => Box::new(DropFactory::new()),
+        3 => Box::new(AfcFactory::paper()),
+        _ => Box::new(AfcFactory::always_backpressured()),
+    }
+}
+
+fn small_config(w: u16, h: u16) -> NetworkConfig {
+    NetworkConfig {
+        width: w,
+        height: h,
+        ..NetworkConfig::paper_3x3()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Everything offered below saturation is eventually delivered, exactly
+    /// once (duplicates panic inside the NI), on any mesh and mechanism.
+    #[test]
+    fn conservation_all_offered_packets_are_delivered(
+        w in 2u16..5,
+        h in 2u16..5,
+        mech in 0usize..5,
+        seed in 0u64..1_000,
+        rate in 0.01f64..0.25,
+    ) {
+        let cfg = small_config(w, h);
+        let factory = mechanism(mech);
+        let network = Network::new(cfg, factory.as_ref(), seed).unwrap();
+        let traffic = OpenLoopTraffic::new(
+            RateSpec::Uniform(rate),
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            seed,
+        );
+        let mut sim = Simulation::new(network, traffic);
+        sim.run(3_000);
+        sim.traffic.stop();
+        prop_assert!(sim.drain(500_000), "network must drain after sources stop");
+        let stats = sim.network.stats();
+        prop_assert_eq!(stats.packets_delivered, stats.packets_offered);
+        prop_assert_eq!(stats.flits_delivered, stats.flits_injected
+            + stats.flits_retransmitted - stats.flits_retransmitted);
+        prop_assert!(sim.network.is_drained());
+    }
+
+    /// Closed-loop runs complete their transaction budget with every
+    /// request matched by exactly one reply, at any load.
+    #[test]
+    fn closed_loop_requests_match_replies(
+        mech in 0usize..5,
+        seed in 0u64..1_000,
+        think in 10f64..400.0,
+        threads in 1usize..6,
+    ) {
+        let params = WorkloadParams {
+            think_mean: think,
+            threads,
+            ..workloads::barnes()
+        };
+        let factory = mechanism(mech);
+        let out = run_closed_loop(
+            factory.as_ref(),
+            &NetworkConfig::paper_3x3(),
+            params,
+            10,
+            60,
+            10_000_000,
+            seed,
+        ).unwrap();
+        prop_assert!(out.stats.packets_delivered > 0);
+        // Latency statistics are internally consistent.
+        let lat = &out.stats.network_latency;
+        if let (Some(mean), Some(min), Some(max)) = (lat.mean(), lat.min(), lat.max()) {
+            prop_assert!(min as f64 <= mean && mean <= max as f64);
+        }
+    }
+
+    /// Deterministic replay: identical seeds give identical statistics.
+    #[test]
+    fn identical_seeds_replay_identically(
+        mech in 0usize..5,
+        seed in 0u64..100,
+    ) {
+        let factory = mechanism(mech);
+        let run = || {
+            let out = run_open_loop(
+                factory.as_ref(),
+                &NetworkConfig::paper_3x3(),
+                RateSpec::Uniform(0.12),
+                Pattern::Transpose,
+                PacketMix::paper(),
+                500,
+                1_500,
+                seed,
+            ).unwrap();
+            (
+                out.stats.flits_delivered,
+                out.stats.network_latency.sum(),
+                out.counters.link_traversals,
+                out.counters.deflections,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Delivered-flit hop counts are bounded: at least the Manhattan
+    /// distance (packets can't teleport), and deflections only ever add
+    /// hops.
+    #[test]
+    fn hops_are_at_least_manhattan_distance(
+        mech in 0usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = NetworkConfig::paper_3x3();
+        let factory = mechanism(mech);
+        let mut net = Network::new(cfg, factory.as_ref(), seed).unwrap();
+        let mesh = net.mesh().clone();
+        let mut rng = SimRng::seed_from(seed);
+        let mut expected = Vec::new();
+        for _ in 0..20 {
+            let src = NodeId::new(rng.gen_index(mesh.node_count()));
+            let mut dest = src;
+            while dest == src {
+                dest = NodeId::new(rng.gen_index(mesh.node_count()));
+            }
+            let id = net.offer_packet(src, afc_netsim::packet::PacketInput {
+                dest,
+                vnet: VirtualNetwork(0),
+                len: 1,
+                kind: afc_netsim::packet::PacketKind::Synthetic,
+                tag: 0,
+            });
+            expected.push((id, mesh.distance(src, dest)));
+        }
+        let mut delivered = Vec::new();
+        for _ in 0..50_000 {
+            net.step();
+            delivered.extend(net.take_delivered());
+            if delivered.len() == expected.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(delivered.len(), expected.len());
+        for p in delivered {
+            let (_, dist) = expected.iter()
+                .find(|(id, _)| *id == p.descriptor.id)
+                .expect("delivered packet was offered");
+            prop_assert!(p.total_hops >= *dist);
+            // A flit never takes more hops than distance + 2 * deflections
+            // (each deflection costs at most one off-path and one
+            // corrective hop). The drop router is exempt: a dropped flit
+            // restarts from its source with its hop count preserved, so
+            // hops accumulate without deflections.
+            if mech % 5 != 2 {
+                prop_assert!(
+                    p.total_hops <= dist + 2 * p.total_deflections + 1,
+                    "hops {} vs distance {} with {} deflections",
+                    p.total_hops, dist, p.total_deflections
+                );
+            }
+        }
+    }
+
+    /// AFC under violently varying load never violates its internal credit
+    /// assertions and still delivers everything (mode-switch safety fuzz).
+    #[test]
+    fn afc_mode_churn_is_safe(
+        seed in 0u64..500,
+        spike_len in 100u64..600,
+        hot_fraction in 0.3f64..0.9,
+    ) {
+        let cfg = NetworkConfig::paper_3x3();
+        let network = Network::new(cfg, &AfcFactory::paper(), seed).unwrap();
+        struct Churn {
+            rng: SimRng,
+            spike_len: u64,
+            hot_fraction: f64,
+        }
+        impl afc_netsim::sim::TrafficModel for Churn {
+            fn pre_cycle(&mut self, now: u64, net: &mut Network) {
+                // Alternate hot/cold windows of `spike_len` cycles.
+                let hot = (now / self.spike_len).is_multiple_of(2);
+                let rate = if hot { 0.8 } else { 0.02 };
+                let mesh = net.mesh().clone();
+                for node in mesh.nodes() {
+                    if !self.rng.gen_bool(rate / 3.0) {
+                        continue;
+                    }
+                    // Concentrate some traffic on the center to force
+                    // gossip activity.
+                    let dest = if self.rng.gen_bool(self.hot_fraction) {
+                        NodeId::new(4)
+                    } else {
+                        NodeId::new(self.rng.gen_index(mesh.node_count()))
+                    };
+                    if dest == node {
+                        continue;
+                    }
+                    net.offer_packet(node, afc_netsim::packet::PacketInput {
+                        dest,
+                        vnet: VirtualNetwork((self.rng.gen_index(3)) as u8),
+                        len: if self.rng.gen_bool(0.4) { 16 } else { 1 },
+                        kind: afc_netsim::packet::PacketKind::Synthetic,
+                        tag: 0,
+                    });
+                }
+            }
+            fn on_delivered(
+                &mut self,
+                _p: &afc_netsim::packet::DeliveredPacket,
+                _now: u64,
+                _net: &mut Network,
+            ) {}
+        }
+        let mut sim = Simulation::new(network, Churn {
+            rng: SimRng::seed_from(seed),
+            spike_len,
+            hot_fraction,
+        });
+        sim.run(4_000);
+        // Stop and drain: every packet must come home.
+        struct Silent;
+        impl afc_netsim::sim::TrafficModel for Silent {
+            fn pre_cycle(&mut self, _n: u64, _net: &mut Network) {}
+            fn on_delivered(
+                &mut self,
+                _p: &afc_netsim::packet::DeliveredPacket,
+                _now: u64,
+                _net: &mut Network,
+            ) {}
+        }
+        let mut sim = Simulation::new(sim.network, Silent);
+        prop_assert!(sim.drain(1_000_000), "AFC network must drain");
+        let stats = sim.network.stats();
+        prop_assert_eq!(stats.packets_delivered, stats.packets_offered);
+    }
+}

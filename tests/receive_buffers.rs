@@ -1,0 +1,92 @@
+//! Section II of the paper argues that flit-by-flit routing does *not*
+//! require worst-case receive-side buffering: expected packets land in
+//! pre-allocated MSHR entries, so the number of simultaneously open
+//! reassembly buffers stays near the outstanding-miss bound. These tests
+//! measure exactly that on the closed-loop model.
+
+use afc_noc::prelude::*;
+
+fn high_water(factory: &dyn afc_netsim::router::RouterFactory, mshrs: usize) -> usize {
+    let params = WorkloadParams {
+        mshrs,
+        think_mean: 5.0, // aggressive: keep MSHRs as full as possible
+        threads: 8,
+        ..workloads::apache()
+    };
+    let out = run_closed_loop(
+        factory,
+        &NetworkConfig::paper_3x3(),
+        params,
+        100,
+        500,
+        20_000_000,
+        41,
+    )
+    .unwrap();
+    out.stats.reassembly_high_water
+}
+
+#[test]
+fn reassembly_buffers_stay_near_the_mshr_bound() {
+    for (factory, label) in [
+        (
+            Box::new(BackpressuredFactory::new()) as Box<dyn afc_netsim::router::RouterFactory>,
+            "backpressured",
+        ),
+        (Box::new(DeflectionFactory::new()), "bless"),
+        (Box::new(AfcFactory::paper()), "afc"),
+    ] {
+        let hw = high_water(factory.as_ref(), 16);
+        // A node can be reassembling up to `mshrs` expected replies plus a
+        // handful of unexpected writebacks and in-flight requests at its
+        // bank role. The paper's point is that this is O(MSHRs), not
+        // O(system-wide write buffers); allow a 2x engineering margin.
+        assert!(
+            hw <= 32,
+            "{label}: reassembly high-water {hw} should stay near the 16-MSHR bound"
+        );
+        assert!(hw >= 2, "{label}: the workload should exercise reassembly");
+    }
+}
+
+#[test]
+fn out_of_order_arrival_is_the_norm_for_deflection() {
+    // Sanity: the deflection network actually delivers flits out of order
+    // (otherwise the reassembly machinery is untested by construction).
+    // Measured indirectly: with multi-flit packets and deflection, some
+    // packets must complete with more total hops than a in-order minimal
+    // route would ever produce.
+    let out = run_open_loop(
+        &DeflectionFactory::new(),
+        &NetworkConfig::paper_3x3(),
+        RateSpec::Uniform(0.45),
+        Pattern::UniformRandom,
+        PacketMix::paper(),
+        1_000,
+        5_000,
+        43,
+    )
+    .unwrap();
+    assert!(
+        out.stats.flit_deflections.mean().unwrap() > 0.01,
+        "deflections must occur at 0.45 load"
+    );
+    assert!(out.stats.packets_delivered > 100);
+}
+
+#[test]
+fn deflection_interleaving_costs_modest_extra_reassembly() {
+    // Flit-by-flit deflection interleaves packets at the receiver, holding
+    // more reassembly buffers open than the wormhole baseline — but the
+    // paper's argument stands: the count stays O(MSHRs), nowhere near the
+    // worst case (every outstanding packet system-wide).
+    let bp = high_water(&BackpressuredFactory::new(), 16);
+    let bless = high_water(&DeflectionFactory::new(), 16);
+    assert!(
+        bless >= bp,
+        "interleaving should not reduce open reassemblies ({bless} vs {bp})"
+    );
+    // Worst case for the paper's 3x3 system would be ~9 nodes x 16 MSHRs
+    // in flight simultaneously; actual stays an order of magnitude below.
+    assert!(bless <= 32, "bless high-water {bless}");
+}

@@ -1,0 +1,68 @@
+//! Demonstrates the paper's methodological argument (Section IV): trace-
+//! driven evaluation misses the feedback effect of the network on execution
+//! time. We record the packet stream of a closed-loop run on the
+//! backpressured network, then replay it obliviously on the bufferless
+//! network — which is forced to swallow an offered load its closed-loop
+//! self would have throttled.
+
+use afc_noc::prelude::*;
+use afc_traffic::trace::{TraceReplay, TrafficTrace};
+
+fn closed_loop(
+    factory: &dyn afc_netsim::router::RouterFactory,
+    record: bool,
+) -> (f64, f64, Option<TrafficTrace>) {
+    let mut net = Network::new(NetworkConfig::paper_3x3(), factory, 11).unwrap();
+    if record {
+        net.enable_offer_recording();
+    }
+    let mut traffic = ClosedLoopTraffic::new(workloads::apache(), 9, 11);
+    traffic.set_target(600);
+    let mut sim = Simulation::new(net, traffic);
+    assert!(sim.run_until_finished(10_000_000));
+    let rate = sim.network.stats().injection_rate(9);
+    // Total latency (creation to delivery) includes source queueing — the
+    // quantity that balloons when sources cannot be throttled.
+    let latency = sim.network.stats().total_latency.mean().unwrap();
+    let trace = record.then(|| TrafficTrace::from_offer_log(sim.network.take_offer_log()));
+    (rate, latency, trace)
+}
+
+#[test]
+fn closed_loop_feedback_throttles_the_slower_network() {
+    let (bp_rate, _, _) = closed_loop(&BackpressuredFactory::new(), false);
+    let (bless_rate, _, _) = closed_loop(&DeflectionFactory::new(), false);
+    assert!(
+        bless_rate < bp_rate * 0.95,
+        "closed-loop feedback must throttle the bufferless network \
+         (bp {bp_rate:.3}, bless {bless_rate:.3})"
+    );
+}
+
+#[test]
+fn trace_replay_lacks_feedback_and_overloads_the_slower_network() {
+    // Record the high-load stream the backpressured network sustains.
+    let (_, _, trace) = closed_loop(&BackpressuredFactory::new(), true);
+    let trace = trace.expect("recorded");
+    assert!(trace.len() > 1_000, "apache generates plenty of packets");
+
+    // The bufferless network's own closed-loop latency under this workload:
+    let (_, bless_closed_latency, _) = closed_loop(&DeflectionFactory::new(), false);
+
+    // Replay the BP-recorded stream on the bufferless network. Without
+    // feedback the sources cannot slow down, so latency balloons well past
+    // what the closed-loop run (the honest experiment) reports.
+    let net = Network::new(NetworkConfig::paper_3x3(), &DeflectionFactory::new(), 11).unwrap();
+    let mut sim = Simulation::new(net, TraceReplay::new(trace));
+    assert!(
+        sim.run_until_finished(10_000_000),
+        "replay must eventually drain"
+    );
+    sim.network.audit().expect("conservation holds");
+    let replay_latency = sim.network.stats().total_latency.mean().unwrap();
+    assert!(
+        replay_latency > bless_closed_latency * 1.3,
+        "oblivious replay must overload the bufferless network \
+         (closed-loop {bless_closed_latency:.0} vs replay {replay_latency:.0} cycles)"
+    );
+}
