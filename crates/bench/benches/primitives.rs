@@ -1,28 +1,28 @@
-//! Criterion micro-benchmarks for the hot primitives: arbitration, the
-//! deflection port-assignment engine, and the PRNG.
+//! Micro-benchmarks for the hot primitives: arbitration, the deflection
+//! port-assignment engine, and the PRNG. Runs on the self-contained
+//! harness in [`afc_bench::microbench`].
 
+use afc_bench::microbench;
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::flit::{Flit, PacketId};
 use afc_netsim::geom::{Coord, NodeId};
 use afc_netsim::rng::SimRng;
 use afc_routers::arbiter::RoundRobin;
 use afc_routers::deflection::{DeflectionEngine, RankPolicy};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives");
+fn main() {
+    let mut group = microbench::group("primitives");
 
-    group.bench_function("round_robin_grant", |b| {
+    {
         let mut arb = RoundRobin::new(8);
         let mut i = 0u64;
-        b.iter(|| {
+        group.bench("round_robin_grant", || {
             i += 1;
-            black_box(arb.grant(|r| (r as u64 + i) % 3 != 0))
+            arb.grant(|r| !(r as u64 + i).is_multiple_of(3))
         });
-    });
+    }
 
-    group.bench_function("deflection_assign_4flits", |b| {
+    {
         let cfg = NetworkConfig::paper_3x3();
         let mesh = cfg.mesh().unwrap();
         let node = mesh.node_at(Coord::new(1, 1)).unwrap();
@@ -31,25 +31,20 @@ fn bench_primitives(c: &mut Criterion) {
         let flits: Vec<Flit> = (0..4)
             .map(|i| Flit::test_flit(PacketId(i), NodeId::new(0), NodeId::new(8)))
             .collect();
-        b.iter(|| black_box(engine.assign(flits.clone(), &[], &mut rng)));
-    });
+        group.bench("deflection_assign_4flits", || {
+            engine.assign(flits.clone(), &[], &mut rng)
+        });
+    }
 
-    group.bench_function("rng_next_u64", |b| {
+    {
         let mut rng = SimRng::seed_from(2);
-        b.iter(|| black_box(rng.next_u64()));
-    });
+        group.bench("rng_next_u64", || rng.next_u64());
+    }
 
-    group.bench_function("rng_gen_bool", |b| {
+    {
         let mut rng = SimRng::seed_from(3);
-        b.iter(|| black_box(rng.gen_bool(0.3)));
-    });
+        group.bench("rng_gen_bool", || rng.gen_bool(0.3));
+    }
 
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_primitives
-}
-criterion_main!(benches);

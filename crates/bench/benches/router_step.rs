@@ -1,16 +1,16 @@
-//! Criterion micro-benchmarks: cost of one router pipeline step per
-//! mechanism, under light and heavy input pressure.
+//! Micro-benchmarks: cost of one router pipeline step per mechanism,
+//! under light and heavy input pressure. Runs on the self-contained
+//! harness in [`afc_bench::microbench`] (no external deps).
 
+use afc_bench::microbench;
 use afc_core::{AfcConfig, AfcRouter};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::flit::{Flit, PacketId, VcId, VirtualNetwork};
 use afc_netsim::geom::{Coord, Direction, NodeId, PortId};
-use afc_netsim::router::{Router, RouterOutputs};
 use afc_netsim::rng::SimRng;
+use afc_netsim::router::{Router, RouterOutputs};
 use afc_netsim::topology::Mesh;
 use afc_routers::{BackpressuredRouter, DeflectionRouter, RankPolicy};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 fn center(mesh: &Mesh) -> NodeId {
     mesh.node_at(Coord::new(1, 1)).unwrap()
@@ -23,20 +23,20 @@ fn flit(i: u64, dest: NodeId, vc: Option<u8>) -> Flit {
     f
 }
 
-fn bench_step(c: &mut Criterion) {
+fn main() {
     let cfg = NetworkConfig::paper_3x3();
     let mesh = cfg.mesh().unwrap();
     let node = center(&mesh);
     let east = mesh.node_at(Coord::new(2, 1)).unwrap();
-    let mut group = c.benchmark_group("router_step");
+    let mut group = microbench::group("router_step");
 
-    group.bench_function("backpressured_busy", |b| {
+    {
         let mut r = BackpressuredRouter::new(node, &mesh, &cfg);
         let mut rng = SimRng::seed_from(1);
         let mut out = RouterOutputs::new();
         let mut now = 0u64;
         let mut i = 0u64;
-        b.iter(|| {
+        group.bench("backpressured_busy", || {
             r.receive_flit(PortId::Net(Direction::West), flit(i, east, Some(0)), now);
             out.clear();
             r.step(now, &mut rng, &mut out);
@@ -51,17 +51,17 @@ fn bench_step(c: &mut Criterion) {
             }
             now += 1;
             i += 1;
-            black_box(out.flits_sent())
+            out.flits_sent()
         });
-    });
+    }
 
-    group.bench_function("deflection_busy", |b| {
+    {
         let mut r = DeflectionRouter::new(node, &mesh, &cfg, RankPolicy::Random);
         let mut rng = SimRng::seed_from(2);
         let mut out = RouterOutputs::new();
         let mut now = 0u64;
         let mut i = 0u64;
-        b.iter(|| {
+        group.bench("deflection_busy", || {
             for d in [Direction::West, Direction::North] {
                 r.receive_flit(PortId::Net(d), flit(i, east, None), now);
                 i += 1;
@@ -69,33 +69,33 @@ fn bench_step(c: &mut Criterion) {
             out.clear();
             r.step(now, &mut rng, &mut out);
             now += 1;
-            black_box(out.flits_sent())
+            out.flits_sent()
         });
-    });
+    }
 
-    group.bench_function("afc_backpressureless_busy", |b| {
+    {
         let mut r = AfcRouter::new(node, &mesh, &cfg, AfcConfig::paper());
         let mut rng = SimRng::seed_from(3);
         let mut out = RouterOutputs::new();
         let mut now = 0u64;
         let mut i = 0u64;
-        b.iter(|| {
+        group.bench("afc_backpressureless_busy", || {
             r.receive_flit(PortId::Net(Direction::West), flit(i, east, None), now);
             out.clear();
             r.step(now, &mut rng, &mut out);
             now += 1;
             i += 1;
-            black_box(out.flits_sent())
+            out.flits_sent()
         });
-    });
+    }
 
-    group.bench_function("afc_backpressured_busy", |b| {
+    {
         let mut r = AfcRouter::new(node, &mesh, &cfg, AfcConfig::paper_always_backpressured());
         let mut rng = SimRng::seed_from(4);
         let mut out = RouterOutputs::new();
         let mut now = 0u64;
         let mut i = 0u64;
-        b.iter(|| {
+        group.bench("afc_backpressured_busy", || {
             r.receive_flit(PortId::Net(Direction::West), flit(i, east, None), now);
             r.receive_credit(
                 PortId::Net(Direction::East),
@@ -106,16 +106,9 @@ fn bench_step(c: &mut Criterion) {
             r.step(now, &mut rng, &mut out);
             now += 1;
             i += 1;
-            black_box(out.flits_sent())
+            out.flits_sent()
         });
-    });
+    }
 
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_step
-}
-criterion_main!(benches);

@@ -34,7 +34,11 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = NetworkConfig::paper_3x3();
     let (warmup, measure) = if quick { (100, 400) } else { (300, 1_500) };
-    let (ol_warm, ol_meas) = if quick { (1_000, 4_000) } else { (3_000, 12_000) };
+    let (ol_warm, ol_meas) = if quick {
+        (1_000, 4_000)
+    } else {
+        (3_000, 12_000)
+    };
     let rates = [0.1, 0.3, 0.5, 0.7];
 
     // 1 + 2: backpressureless variants under open-loop sweep.
@@ -53,7 +57,9 @@ fn main() {
             factory: Box::new(DropFactory::new()),
         },
     ];
-    let mut t = Table::new(vec!["variant", "lat@0.1", "lat@0.3", "lat@0.5", "lat@0.7", "sat thpt"]);
+    let mut t = Table::new(vec![
+        "variant", "lat@0.1", "lat@0.3", "lat@0.5", "lat@0.7", "sat thpt",
+    ]);
     for m in &variants {
         let pts = latency_throughput_sweep(
             m,
@@ -67,7 +73,11 @@ fn main() {
         );
         let mut cells = vec![m.label.to_string()];
         for p in &pts {
-            cells.push(p.latency.map(|l| format!("{l:.0}")).unwrap_or_else(|| "-".into()));
+            cells.push(
+                p.latency
+                    .map(|l| format!("{l:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         cells.push(format!("{:.2}", saturation_throughput(&pts)));
         t.row(cells);
@@ -76,7 +86,12 @@ fn main() {
 
     // 3: threshold scaling on the mixed-load workload (ocean).
     println!("Ablation 3: AFC contention-threshold scaling (ocean)\n");
-    let mut t = Table::new(vec!["threshold scale", "bp cycles", "cycles", "fwd switches"]);
+    let mut t = Table::new(vec![
+        "threshold scale",
+        "bp cycles",
+        "cycles",
+        "fwd switches",
+    ]);
     for scale in [0.5, 1.0, 2.0] {
         let mech = Mechanism {
             label: "afc",
@@ -134,7 +149,12 @@ fn main() {
 
     // 5: lazy-VC buffer sizing on apache (performance/energy trade).
     println!("Ablation 5: AFC lazy-VC buffer sizing (apache, always-backpressured)\n");
-    let mut t = Table::new(vec!["VCs (ctrl/data)", "flits/port", "cycles", "energy (uJ)"]);
+    let mut t = Table::new(vec![
+        "VCs (ctrl/data)",
+        "flits/port",
+        "cycles",
+        "energy (uJ)",
+    ]);
     for (c, d) in [(6, 8), (8, 16), (16, 32)] {
         let afc_cfg = AfcConfig {
             control_vcs: c,

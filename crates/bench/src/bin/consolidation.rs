@@ -20,7 +20,11 @@ use afc_traffic::workloads;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (warmup_cycles, measure_cycles) = if quick { (3_000, 10_000) } else { (8_000, 40_000) };
+    let (warmup_cycles, measure_cycles) = if quick {
+        (3_000, 10_000)
+    } else {
+        (8_000, 40_000)
+    };
     let cfg = NetworkConfig::paper_8x8();
     let mesh = cfg.mesh().expect("valid mesh");
     let params: Vec<_> = mesh
@@ -79,9 +83,7 @@ fn main() {
             percent(*bp),
         ]);
     }
-    println!(
-        "Closed-loop consolidation on an 8x8 mesh ({measure_cycles} measured cycles):\n"
-    );
+    println!("Closed-loop consolidation on an 8x8 mesh ({measure_cycles} measured cycles):\n");
     println!("{}", t.render());
     println!(
         "Expected: AFC completes as many apache transactions as the\n\

@@ -16,7 +16,11 @@ use afc_traffic::synthetic::Pattern;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (warmup, measure) = if quick { (1_500, 6_000) } else { (3_000, 20_000) };
+    let (warmup, measure) = if quick {
+        (1_500, 6_000)
+    } else {
+        (3_000, 20_000)
+    };
     let rates: Vec<f64> = (1..=10).map(|i| i as f64 * 0.05).collect();
     let cfg = NetworkConfig::paper_3x3();
     let model = EnergyModel::new(EnergyParams::micro2010_70nm());
@@ -54,7 +58,12 @@ fn main() {
             .map(String::as_str)
             .collect(),
     );
-    let col = |label: &str| curves.iter().position(|(l, _)| *l == label).expect("present");
+    let col = |label: &str| {
+        curves
+            .iter()
+            .position(|(l, _)| *l == label)
+            .expect("present")
+    };
     let bp = col("backpressured");
     let bless = col("backpressureless");
     let afc = col("afc");
@@ -78,9 +87,9 @@ fn main() {
     println!("Energy per delivered flit (pJ), uniform random open loop on the 3x3 mesh:\n");
     println!("{}", t.render());
     match crossover {
-        Some(r) => println!(
-            "Backpressureless loses its energy advantage near {r:.2} flits/node/cycle."
-        ),
+        Some(r) => {
+            println!("Backpressureless loses its energy advantage near {r:.2} flits/node/cycle.")
+        }
         None => println!("No crossover within the swept range."),
     }
     // How well does AFC hug the lower envelope?

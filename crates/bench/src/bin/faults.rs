@@ -1,0 +1,169 @@
+//! Fault-injection sweep: resilience of the four flow-control mechanisms
+//! under transient link faults, with end-to-end recovery enabled.
+//!
+//! For each mechanism and per-flit-hop fault rate, the run injects
+//! open-loop uniform-random traffic, stops the sources, and drains; the
+//! table reports delivery fraction, recovery activity, and latency
+//! degradation. A second section demonstrates the liveness watchdogs under
+//! a permanent link kill: runs either recover via retransmission or
+//! terminate with a structured stall report — never hang.
+
+use afc_bench::mechanisms::Mechanism;
+use afc_bench::report::{percent, Table};
+use afc_core::AfcFactory;
+use afc_netsim::config::{NetworkConfig, RetransmitConfig};
+use afc_netsim::error::SimError;
+use afc_netsim::faults::FaultPlan;
+use afc_netsim::geom::{Coord, Direction};
+use afc_routers::{BackpressuredFactory, DeflectionFactory, DropFactory};
+use afc_traffic::openloop::{PacketMix, RateSpec};
+use afc_traffic::runner::run_fault_scenario;
+use afc_traffic::synthetic::Pattern;
+
+/// The four routers of the paper's comparison, in figure order.
+fn fault_mechanisms() -> Vec<Mechanism> {
+    vec![
+        Mechanism {
+            label: "backpressured",
+            factory: Box::new(BackpressuredFactory::new()),
+        },
+        Mechanism {
+            label: "backpressureless",
+            factory: Box::new(DeflectionFactory::new()),
+        },
+        Mechanism {
+            label: "drop",
+            factory: Box::new(DropFactory::new()),
+        },
+        Mechanism {
+            label: "afc",
+            factory: Box::new(AfcFactory::paper()),
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let (inject, drain) = if quick {
+        (2_000, 100_000)
+    } else {
+        (6_000, 400_000)
+    };
+    let rates: &[f64] = if quick {
+        &[0.0, 5e-4, 1e-3]
+    } else {
+        &[0.0, 1e-4, 5e-4, 1e-3]
+    };
+
+    println!("Transient-fault sweep: uniform random load 0.10 flit/node/cycle,");
+    println!("drop+corrupt rate per flit-hop, retransmit timeout 600 (cap 2^4), seed {seed}\n");
+    let mut t = Table::new(vec![
+        "mechanism",
+        "fault rate",
+        "delivered",
+        "recovered",
+        "timeouts",
+        "corrupted",
+        "lost flits",
+        "dup drops",
+        "mean lat",
+        "outcome",
+    ]);
+    for m in fault_mechanisms() {
+        for &rate in rates {
+            let cfg = NetworkConfig {
+                faults: FaultPlan::uniform_transient(rate, rate),
+                retransmit: Some(RetransmitConfig::default()),
+                ..NetworkConfig::paper_3x3()
+            };
+            let out = run_fault_scenario(
+                m.factory.as_ref(),
+                &cfg,
+                RateSpec::Uniform(0.10),
+                Pattern::UniformRandom,
+                PacketMix::paper(),
+                inject,
+                drain,
+                seed,
+            )
+            .expect("valid configuration");
+            let s = &out.stats;
+            let outcome = match &out.error {
+                Some(SimError::Stalled { cycle, .. }) => format!("STALLED@{cycle}"),
+                Some(e) => format!("ERROR: {e}"),
+                None if out.drained => "drained".to_string(),
+                None => "drain budget exhausted".to_string(),
+            };
+            t.row(vec![
+                m.label.to_string(),
+                format!("{rate:.0e}"),
+                percent(out.delivered_fraction()),
+                s.recovered_packets.to_string(),
+                s.retransmit_timeouts.to_string(),
+                s.flits_corrupted.to_string(),
+                s.flits_lost_to_faults.to_string(),
+                s.duplicate_flits_discarded.to_string(),
+                s.network_latency
+                    .mean()
+                    .map(|l| format!("{l:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                outcome,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // Permanent-fault demo: kill the center router's east link mid-run.
+    // Backpressured traffic over the dead link either recovers by
+    // retransmission along the same deterministic path (it cannot — XY
+    // routing has one path) and so must stall; the watchdog converts the
+    // hang into a structured report. Adaptive/misrouting mechanisms keep
+    // limping along on retransmissions.
+    println!("\nPermanent link kill: center node (1,1) east output dies at cycle 1000\n");
+    let mesh = NetworkConfig::paper_3x3().mesh().expect("valid mesh");
+    let center = mesh.node_at(Coord::new(1, 1)).expect("3x3 has a center");
+    let mut t = Table::new(vec!["mechanism", "delivered", "recovered", "outcome"]);
+    for m in fault_mechanisms() {
+        let cfg = NetworkConfig {
+            faults: FaultPlan::none().kill_link(center, Direction::East, 1_000),
+            retransmit: Some(RetransmitConfig::default()),
+            stall_watchdog: 20_000,
+            ..NetworkConfig::paper_3x3()
+        };
+        let out = run_fault_scenario(
+            m.factory.as_ref(),
+            &cfg,
+            RateSpec::Uniform(0.10),
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            if quick { 2_000 } else { 4_000 },
+            if quick { 60_000 } else { 120_000 },
+            seed,
+        )
+        .expect("valid configuration");
+        let outcome = match &out.error {
+            Some(SimError::Stalled {
+                cycle, in_flight, ..
+            }) => {
+                format!("STALLED@{cycle} ({in_flight} flits unaccounted)")
+            }
+            Some(e) => format!("ERROR: {e}"),
+            None if out.drained => "drained (recovered around the dead link)".to_string(),
+            None => "still retrying at drain budget".to_string(),
+        };
+        t.row(vec![
+            m.label.to_string(),
+            percent(out.delivered_fraction()),
+            out.stats.recovered_packets.to_string(),
+            outcome,
+        ]);
+    }
+    println!("{}", t.render());
+}

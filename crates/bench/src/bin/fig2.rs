@@ -82,8 +82,10 @@ fn panel(
         println!("{body}");
     }
     if let Some(dir) = &flags.svg_dir {
-        let mut bars =
-            GroupedBars::new(title, workload_names.iter().map(|w| w.to_string()).collect());
+        let mut bars = GroupedBars::new(
+            title,
+            workload_names.iter().map(|w| w.to_string()).collect(),
+        );
         for m in mechanisms {
             let values: Vec<f64> = workload_names
                 .iter()
@@ -148,8 +150,7 @@ fn main() {
     let fig2_labels = ["backpressured", "backpressureless", "afc-always-bp", "afc"];
 
     if want_load("--low") {
-        let rows =
-            ReplicatedMatrix::run(&mechs, &low, &cfg, warmup, measure, 50_000_000, &seeds);
+        let rows = ReplicatedMatrix::run(&mechs, &low, &cfg, warmup, measure, 50_000_000, &seeds);
         if want_metric("--perf") {
             panel(
                 "Figure 2(a): performance, low load (normalized to backpressured; higher is better)",
@@ -175,8 +176,7 @@ fn main() {
         }
     }
     if want_load("--high") {
-        let rows =
-            ReplicatedMatrix::run(&mechs, &high, &cfg, warmup, measure, 50_000_000, &seeds);
+        let rows = ReplicatedMatrix::run(&mechs, &high, &cfg, warmup, measure, 50_000_000, &seeds);
         if want_metric("--perf") {
             panel(
                 "Figure 2(c): performance, high load (normalized to backpressured; higher is better)",

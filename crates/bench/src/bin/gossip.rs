@@ -12,7 +12,11 @@ use afc_traffic::synthetic::Pattern;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (warmup, measure) = if quick { (1_000, 8_000) } else { (2_000, 40_000) };
+    let (warmup, measure) = if quick {
+        (1_000, 8_000)
+    } else {
+        (2_000, 40_000)
+    };
     let cfg = NetworkConfig::paper_8x8();
     let mesh = cfg.mesh().expect("valid mesh");
     let hot = mesh.node_at(Coord::new(3, 3)).expect("center-ish node");

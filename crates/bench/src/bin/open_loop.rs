@@ -22,7 +22,11 @@ fn main() {
         .position(|a| a == "--svg")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let (warmup, measure) = if quick { (1_000, 4_000) } else { (3_000, 15_000) };
+    let (warmup, measure) = if quick {
+        (1_000, 4_000)
+    } else {
+        (3_000, 15_000)
+    };
     let rates: Vec<f64> = if quick {
         vec![0.05, 0.20, 0.35, 0.50, 0.65]
     } else {

@@ -62,7 +62,11 @@ fn energy_heatmap(mech: &afc_bench::Mechanism, warmup: u64, measure: u64) -> Str
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (warmup, measure) = if quick { (2_000, 8_000) } else { (5_000, 30_000) };
+    let (warmup, measure) = if quick {
+        (2_000, 8_000)
+    } else {
+        (5_000, 30_000)
+    };
     let mechs = fig2_mechanisms();
     let results: Vec<_> = mechs
         .iter()

@@ -46,15 +46,25 @@ fn main() {
     let mut t = Table::new(vec!["parameter", "value"]);
     t.row(vec![
         "network".into(),
-        format!("{}x{} mesh, {}-cycle links", cfg.width, cfg.height, cfg.link_latency),
+        format!(
+            "{}x{} mesh, {}-cycle links",
+            cfg.width, cfg.height, cfg.link_latency
+        ),
     ]);
     t.row(vec![
         "virtual networks".into(),
-        format!("{} ({} VCs total per port)", cfg.vnet_count(), cfg.total_vcs_per_port()),
+        format!(
+            "{} ({} VCs total per port)",
+            cfg.vnet_count(),
+            cfg.total_vcs_per_port()
+        ),
     ]);
     t.row(vec![
         "baseline buffers".into(),
-        format!("{} flits/port (8-flit deep VCs)", cfg.buffer_flits_per_port()),
+        format!(
+            "{} flits/port (8-flit deep VCs)",
+            cfg.buffer_flits_per_port()
+        ),
     ]);
     t.row(vec![
         "AFC buffers (lazy VCs)".into(),
@@ -91,7 +101,10 @@ fn main() {
     ]);
     t.row(vec![
         "gossip threshold X".into(),
-        format!("{} (2L + 2)", afc.effective_gossip_threshold(cfg.link_latency)),
+        format!(
+            "{} (2L + 2)",
+            afc.effective_gossip_threshold(cfg.link_latency)
+        ),
     ]);
     println!("{}", t.render());
 
@@ -106,7 +119,11 @@ fn main() {
         "paper inj. rate",
     ]);
     for w in workloads::all() {
-        let class = if w.paper_injection_rate > 0.5 { "high" } else { "low" };
+        let class = if w.paper_injection_rate > 0.5 {
+            "high"
+        } else {
+            "low"
+        };
         t.row(vec![
             w.name.into(),
             class.into(),

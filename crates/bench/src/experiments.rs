@@ -82,11 +82,7 @@ pub fn closed_loop_matrix(
 }
 
 /// Looks up one cell of a matrix.
-pub fn cell<'a>(
-    rows: &'a [ClosedLoopRow],
-    workload: &str,
-    mechanism: &str,
-) -> &'a ClosedLoopRow {
+pub fn cell<'a>(rows: &'a [ClosedLoopRow], workload: &str, mechanism: &str) -> &'a ClosedLoopRow {
     rows.iter()
         .find(|r| r.workload == workload && r.mechanism == mechanism)
         .unwrap_or_else(|| panic!("no cell for ({workload}, {mechanism})"))
@@ -110,8 +106,7 @@ pub fn normalized_energy(
     mechanism: &str,
     baseline: &str,
 ) -> f64 {
-    cell(rows, workload, mechanism).energy.total()
-        / cell(rows, workload, baseline).energy.total()
+    cell(rows, workload, mechanism).energy.total() / cell(rows, workload, baseline).energy.total()
 }
 
 /// A replicated measurement: mean and standard deviation across seeds
@@ -364,8 +359,8 @@ pub fn spatial_experiment(
     seed: u64,
 ) -> SpatialResult {
     let net_cfg = NetworkConfig::paper_8x8();
-    let network = Network::new(net_cfg, mechanism.factory.as_ref(), seed)
-        .expect("paper 8x8 config is valid");
+    let network =
+        Network::new(net_cfg, mechanism.factory.as_ref(), seed).expect("paper 8x8 config is valid");
     let mesh = network.mesh().clone();
     let rates: Vec<f64> = mesh
         .nodes()
@@ -428,7 +423,10 @@ mod tests {
         let p = normalized_performance(&rows, "water", "backpressured", "backpressured");
         assert!((p - 1.0).abs() < 1e-12);
         let e = normalized_energy(&rows, "water", "backpressureless", "backpressured");
-        assert!(e > 0.0 && e < 1.0, "bufferless must save energy at low load");
+        assert!(
+            e > 0.0 && e < 1.0,
+            "bufferless must save energy at low load"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod experiments;
 pub mod mechanisms;
+pub mod microbench;
 pub mod plot;
 pub mod report;
 

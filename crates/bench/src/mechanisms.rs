@@ -20,7 +20,9 @@ impl Mechanism {
 
 impl std::fmt::Debug for Mechanism {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mechanism").field("label", &self.label).finish()
+        f.debug_struct("Mechanism")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -30,7 +32,10 @@ pub fn fig2_mechanisms() -> Vec<Mechanism> {
     vec![
         Mechanism::new("backpressured", Box::new(BackpressuredFactory::new())),
         Mechanism::new("backpressureless", Box::new(DeflectionFactory::new())),
-        Mechanism::new("afc-always-bp", Box::new(AfcFactory::always_backpressured())),
+        Mechanism::new(
+            "afc-always-bp",
+            Box::new(AfcFactory::always_backpressured()),
+        ),
         Mechanism::new("afc", Box::new(AfcFactory::paper())),
     ]
 }

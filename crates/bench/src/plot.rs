@@ -9,7 +9,9 @@ const PALETTE: [&str; 6] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// An XY line chart with one or more named series.
@@ -68,7 +70,12 @@ impl LineChart {
         } else {
             let (x0, x1) = (min(&xs), max(&xs));
             let (y0, y1) = (0.0f64.min(min(&ys)), max(&ys));
-            (x0, if x1 > x0 { x1 } else { x0 + 1.0 }, y0, if y1 > y0 { y1 } else { y0 + 1.0 })
+            (
+                x0,
+                if x1 > x0 { x1 } else { x0 + 1.0 },
+                y0,
+                if y1 > y0 { y1 } else { y0 + 1.0 },
+            )
         }
     }
 

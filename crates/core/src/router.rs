@@ -32,8 +32,8 @@ use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
 use afc_netsim::flit::{Cycle, Flit, VcId};
 use afc_netsim::geom::{DirMap, Direction, NodeId, PortId, PortMap};
-use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::rng::SimRng;
+use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::topology::Mesh;
 use afc_routers::arbiter::RoundRobin;
 use afc_routers::deflection::{split_ejections, DeflectionEngine};
@@ -171,7 +171,9 @@ impl AfcRouter {
         let monitor = ContentionMonitor::new(hi, lo, cfg.ewma_weight, cfg.load_window);
         let buffers = PortMap::from_fn(|p| match p {
             PortId::Local => Some(LazyBank::new(&vnet_capacity)),
-            PortId::Net(d) => mesh.neighbor(node, d).map(|_| LazyBank::new(&vnet_capacity)),
+            PortId::Net(d) => mesh
+                .neighbor(node, d)
+                .map(|_| LazyBank::new(&vnet_capacity)),
         });
         let input_arb = PortMap::from_fn(|p| match p {
             PortId::Local => Some(RoundRobin::new(total_slots)),
@@ -271,10 +273,8 @@ impl AfcRouter {
             Some(slot) => {
                 // Lazy VC allocation: the slot index *is* the VC id, stamped
                 // at buffer-write time (Section III-E).
-                bank.slots[vnet][slot]
-                    .as_mut()
-                    .expect("just inserted")
-                    .vc = Some(VcId((offset + slot) as u8));
+                bank.slots[vnet][slot].as_mut().expect("just inserted").vc =
+                    Some(VcId((offset + slot) as u8));
                 self.counters.buffer_writes += 1;
             }
             None => panic!(
@@ -303,7 +303,9 @@ impl AfcRouter {
             .filter(|f| f.dest == self.node)
             .count()
             .min(self.eject_bandwidth);
-        self.engine.degree().saturating_sub(self.latches.len() - local)
+        self.engine
+            .degree()
+            .saturating_sub(self.latches.len() - local)
     }
 
     /// Initiates the forward mode switch (common to threshold- and
@@ -325,9 +327,9 @@ impl AfcRouter {
     /// True when any tracked neighbor's free buffering has fallen to
     /// `threshold`.
     fn credit_pressure(&self, threshold: u64) -> bool {
-        Direction::ALL.into_iter().any(|d| {
-            self.tracking[d] && self.credits[d].iter().any(|c| *c <= threshold)
-        })
+        Direction::ALL
+            .into_iter()
+            .any(|d| self.tracking[d] && self.credits[d].iter().any(|c| *c <= threshold))
     }
 
     /// True when any tracked neighbor's free buffering has fallen to the
@@ -422,7 +424,10 @@ impl AfcRouter {
         let mut winners: Vec<(PortId, usize, PortId)> = Vec::new();
         for out_port in PortId::ALL {
             if out_port.is_network()
-                && self.mesh.neighbor(self.node, out_port.direction().expect("net")).is_none()
+                && self
+                    .mesh
+                    .neighbor(self.node, out_port.direction().expect("net"))
+                    .is_none()
             {
                 continue;
             }
@@ -764,8 +769,7 @@ mod tests {
                 .into_iter()
                 .enumerate()
             {
-                if !r.buffering(now) || r.buffers[PortId::Net(d)].as_ref().unwrap().free_in(0) > 0
-                {
+                if !r.buffering(now) || r.buffers[PortId::Net(d)].as_ref().unwrap().free_in(0) > 0 {
                     r.receive_flit(PortId::Net(d), flit(now * 10 + i as u64, dest, 0), now);
                 }
             }
@@ -843,7 +847,11 @@ mod tests {
         // Put a flit in a buffer; no neighbor tracked => eligible to leave,
         // but block it by tracking east with zero credits.
         let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
-        r.receive_control(PortId::Net(Direction::East), ControlSignal::StartCreditTracking, 7);
+        r.receive_control(
+            PortId::Net(Direction::East),
+            ControlSignal::StartCreditTracking,
+            7,
+        );
         r.credits[Direction::East] = vec![0, 0, 0];
         r.receive_flit(PortId::Net(Direction::West), flit(1, dest, 0), 7);
         // Drive the load down.
@@ -860,7 +868,11 @@ mod tests {
         // Release credits: the flit drains, but the reverse switch stays
         // blocked while the tracked neighbor sits at or below the gossip
         // threshold (the corner case that would otherwise allow overflow).
-        r.receive_credit(PortId::Net(Direction::East), Credit::Vnet(VirtualNetwork(0)), 8);
+        r.receive_credit(
+            PortId::Net(Direction::East),
+            Credit::Vnet(VirtualNetwork(0)),
+            8,
+        );
         out.clear();
         r.step(8, &mut rng, &mut out);
         assert!(out.flits[PortId::Net(Direction::East)].is_some());
@@ -888,7 +900,11 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         let mut out = RouterOutputs::new();
         // The east neighbor switches to backpressured mode.
-        r.receive_control(PortId::Net(Direction::East), ControlSignal::StartCreditTracking, 0);
+        r.receive_control(
+            PortId::Net(Direction::East),
+            ControlSignal::StartCreditTracking,
+            0,
+        );
         // Send a trickle of flits east: far below the local threshold, but
         // the neighbor (returning no credits) is filling up.
         let mut now = 0;
@@ -942,7 +958,11 @@ mod tests {
         r.step(0, &mut rng, &mut out);
         run_idle(&mut r, 1, 6);
         // Track east with 1 credit left in vnet 0.
-        r.receive_control(PortId::Net(Direction::East), ControlSignal::StartCreditTracking, 7);
+        r.receive_control(
+            PortId::Net(Direction::East),
+            ControlSignal::StartCreditTracking,
+            7,
+        );
         r.credits[Direction::East][0] = 1;
         let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
         r.receive_flit(PortId::Net(Direction::West), flit(1, dest, 0), 7);

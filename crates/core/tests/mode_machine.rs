@@ -2,15 +2,17 @@
 //! sequences of flit arrivals, credits, and control signals, the router
 //! never loses a flit, never exceeds buffer capacity, and its transition
 //! timing stays within bounds.
+//!
+//! Formerly driven by `proptest`; rewritten as deterministic seeded sweeps
+//! over [`SimRng`]-generated event scripts so the suite builds offline.
 
 use afc_core::{AfcConfig, AfcMode, AfcRouter};
 use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::flit::{Flit, PacketId, VirtualNetwork};
 use afc_netsim::geom::{Coord, Direction, NodeId, PortId};
-use afc_netsim::router::{Router, RouterMode, RouterOutputs};
 use afc_netsim::rng::SimRng;
-use proptest::prelude::*;
+use afc_netsim::router::{Router, RouterMode, RouterOutputs};
 
 /// One scripted stimulus for a cycle.
 #[derive(Debug, Clone)]
@@ -25,24 +27,33 @@ enum Event {
     Idle,
 }
 
-fn event_strategy() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        (0usize..4, 0u8..3, 0usize..9)
-            .prop_map(|(port, vnet, dest)| Event::Flit { port, vnet, dest }),
-        (0usize..4, 0u8..3).prop_map(|(port, vnet)| Event::Credit { port, vnet }),
-        (0usize..4, any::<bool>()).prop_map(|(port, start)| Event::Control { port, start }),
-        Just(Event::Idle),
-    ]
+fn random_event(rng: &mut SimRng) -> Event {
+    match rng.gen_index(4) {
+        0 => Event::Flit {
+            port: rng.gen_index(4),
+            vnet: rng.gen_index(3) as u8,
+            dest: rng.gen_index(9),
+        },
+        1 => Event::Credit {
+            port: rng.gen_index(4),
+            vnet: rng.gen_index(3) as u8,
+        },
+        2 => Event::Control {
+            port: rng.gen_index(4),
+            start: rng.gen_bool(0.5),
+        },
+        _ => Event::Idle,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn arbitrary_event_sequences_preserve_flits() {
+    for case in 0..48u64 {
+        let mut p = SimRng::seed_from(0x3A0DE + case);
+        let len = 1 + p.gen_index(399);
+        let events: Vec<Event> = (0..len).map(|_| random_event(&mut p)).collect();
+        let seed = p.gen_range(1_000);
 
-    #[test]
-    fn arbitrary_event_sequences_preserve_flits(
-        events in prop::collection::vec(event_strategy(), 1..400),
-        seed in 0u64..1_000,
-    ) {
         let net = NetworkConfig::paper_3x3();
         let mesh = net.mesh().unwrap();
         let node = mesh.node_at(Coord::new(1, 1)).unwrap(); // center: all ports
@@ -62,11 +73,8 @@ proptest! {
                     // the engine does: in buffered states an arrival needs
                     // a free lazy VC (upstream credits guarantee this in a
                     // real network; the script just checks occupancy).
-                    let mut flit = Flit::test_flit(
-                        PacketId(packet_id),
-                        NodeId::new(0),
-                        NodeId::new(*dest),
-                    );
+                    let mut flit =
+                        Flit::test_flit(PacketId(packet_id), NodeId::new(0), NodeId::new(*dest));
                     packet_id += 1;
                     flit.vnet = VirtualNetwork(*vnet);
                     // Only deliver if the router is in a state where a
@@ -74,8 +82,7 @@ proptest! {
                     // always allowed while deflecting; in buffered states
                     // require spare capacity in the vnet at that port.
                     let occ_before = r.occupancy();
-                    let buffered_mode =
-                        matches!(r.mode(), RouterMode::Backpressured);
+                    let buffered_mode = matches!(r.mode(), RouterMode::Backpressured);
                     if buffered_mode {
                         // Probe capacity through the public occupancy/
                         // capacity invariants: 8/8/16 lazy VCs per port.
@@ -128,22 +135,39 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(r.occupancy(), 0, "router must drain");
-        prop_assert_eq!(inbound, outbound, "no flit may vanish or duplicate");
+        assert_eq!(
+            r.occupancy(),
+            0,
+            "router must drain (case {case} seed {seed})"
+        );
+        assert_eq!(
+            inbound, outbound,
+            "no flit may vanish or duplicate (case {case} seed {seed})"
+        );
     }
+}
 
-    /// Transition windows always last exactly 2L + 2 cycles and the mode
-    /// sequence is sane (no Backpressureless -> Backpressured jump without
-    /// a transition).
-    #[test]
-    fn transitions_have_fixed_length(seed in 0u64..500) {
+/// Transition windows always last exactly 2L + 2 cycles and the mode
+/// sequence is sane (no Backpressureless -> Backpressured jump without
+/// a transition).
+#[test]
+fn transitions_have_fixed_length() {
+    for case in 0..20u64 {
+        let mut p = SimRng::seed_from(0x7124 + case);
+        let seed = p.gen_range(500);
+
         let net = NetworkConfig::paper_3x3();
         let mesh = net.mesh().unwrap();
         let node = mesh.node_at(Coord::new(1, 1)).unwrap();
-        let mut r = AfcRouter::new(node, &mesh, &net, AfcConfig {
-            reverse_dwell: 0,
-            ..AfcConfig::paper()
-        });
+        let mut r = AfcRouter::new(
+            node,
+            &mesh,
+            &net,
+            AfcConfig {
+                reverse_dwell: 0,
+                ..AfcConfig::paper()
+            },
+        );
         let mut rng = SimRng::seed_from(seed);
         let mut stim = SimRng::seed_from(seed ^ 0xABCD);
         let mut out = RouterOutputs::new();
@@ -152,9 +176,9 @@ proptest! {
         for now in 0..4_000u64 {
             // Random bursty arrivals drive mode churn.
             let burst = (now / 250) % 2 == 0;
-            let p = if burst { 0.9 } else { 0.02 };
+            let prob = if burst { 0.9 } else { 0.02 };
             for d in Direction::ALL {
-                if stim.gen_bool(p) && r.occupancy() < 3 {
+                if stim.gen_bool(prob) && r.occupancy() < 3 {
                     let mut f = Flit::test_flit(
                         PacketId(now * 10 + d.index() as u64),
                         NodeId::new(0),
@@ -172,19 +196,19 @@ proptest! {
             let mode = r.afc_mode();
             match (last, mode) {
                 (AfcMode::Backpressureless, AfcMode::Backpressured) => {
-                    prop_assert!(false, "must pass through the transition state");
+                    panic!("must pass through the transition state (case {case})");
                 }
                 (AfcMode::Backpressureless, AfcMode::SwitchingForward { since, complete_at }) => {
-                    prop_assert_eq!(complete_at - since, 6); // 2L + 2 with L = 2
+                    assert_eq!(complete_at - since, 6); // 2L + 2 with L = 2
                     transition_started = Some(since);
                 }
                 (AfcMode::SwitchingForward { .. }, AfcMode::Backpressured) => {
                     let started = transition_started.expect("saw the start");
-                    prop_assert!(now >= started + 6);
-                    prop_assert!(now <= started + 7);
+                    assert!(now >= started + 6);
+                    assert!(now <= started + 7);
                 }
                 (AfcMode::SwitchingForward { .. }, AfcMode::Backpressureless) => {
-                    prop_assert!(false, "transitions never abort");
+                    panic!("transitions never abort (case {case})");
                 }
                 _ => {}
             }

@@ -119,7 +119,11 @@ impl EnergyModel {
     /// `counters.cycles` is the sum of per-router cycles; leakage uses
     /// `cycles / routers` as the elapsed time and `cycles_buffers_gated`
     /// for the gated fraction.
-    pub fn price(&self, counters: &ActivityCounters, profile: &MechanismProfile) -> EnergyBreakdown {
+    pub fn price(
+        &self,
+        counters: &ActivityCounters,
+        profile: &MechanismProfile,
+    ) -> EnergyBreakdown {
         let p = &self.params;
         let w = profile.flit_width_bits as f64;
         let buffer_dynamic = if profile.ideal_buffer_bypass {
@@ -152,8 +156,7 @@ impl EnergyModel {
             counters.cycles as f64 / profile.routers as f64
         };
         let gated_fraction = counters.gated_fraction();
-        let leak_scale =
-            (1.0 - gated_fraction) + gated_fraction * (1.0 - p.gating_effectiveness);
+        let leak_scale = (1.0 - gated_fraction) + gated_fraction * (1.0 - p.gating_effectiveness);
         let buffer_static =
             profile.buffer_bits() * p.buffer_leak_per_bit_cycle * elapsed * leak_scale;
         let router_static = profile.routers as f64 * p.router_leak_per_cycle * elapsed;

@@ -143,12 +143,18 @@ impl Channel {
 
     /// Sends a credit upstream.
     pub fn push_credit(&mut self, credit: Credit) {
-        self.credits.back_mut().expect("channel has slots").push(credit);
+        self.credits
+            .back_mut()
+            .expect("channel has slots")
+            .push(credit);
     }
 
     /// Sends a control signal upstream.
     pub fn push_control(&mut self, signal: ControlSignal) {
-        self.control.back_mut().expect("channel has slots").push(signal);
+        self.control
+            .back_mut()
+            .expect("channel has slots")
+            .push(signal);
     }
 
     /// Advances both lanes one cycle and returns what arrives.
@@ -169,6 +175,12 @@ impl Channel {
     /// Number of flits currently in flight on the forward lane.
     pub fn flits_in_flight(&self) -> usize {
         self.flits.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Number of credits currently in flight on the reverse lane (feeds the
+    /// network's credit-conservation audit).
+    pub fn credits_in_flight(&self) -> usize {
+        self.credits.iter().map(Vec::len).sum()
     }
 
     /// Whether both lanes are completely empty.

@@ -1,6 +1,7 @@
 //! Network-wide configuration shared by every router implementation.
 
 use crate::error::ConfigError;
+use crate::faults::FaultPlan;
 use crate::topology::Mesh;
 
 /// Message class carried by a virtual network.
@@ -61,6 +62,39 @@ pub struct NetworkConfig {
     /// Watchdog: a flit older than this many cycles in the network aborts the
     /// simulation (livelock/starvation detector). `0` disables the check.
     pub max_flit_age: u64,
+    /// Deadlock/livelock watchdog: if no flit makes progress (injection,
+    /// delivery, or retransmission) for this many consecutive cycles while
+    /// flits are still in flight, the step fails with
+    /// [`SimError::Stalled`](crate::error::SimError). `0` disables the check.
+    pub stall_watchdog: u64,
+    /// Fault-injection schedule. [`FaultPlan::none`] (the default presets'
+    /// value) injects nothing.
+    pub faults: FaultPlan,
+    /// End-to-end recovery: when set, network interfaces track outstanding
+    /// packets and retransmit those not acknowledged before the timeout.
+    pub retransmit: Option<RetransmitConfig>,
+}
+
+/// NI-level end-to-end retransmission parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitConfig {
+    /// Base cycles to wait after a packet finishes injecting before
+    /// retransmitting it (doubled per attempt, capped by `backoff_cap`).
+    pub timeout: u64,
+    /// Maximum number of doublings applied to `timeout` (capped exponential
+    /// backoff).
+    pub backoff_cap: u32,
+}
+
+impl Default for RetransmitConfig {
+    /// A timeout comfortably above one mesh traversal on the paper meshes,
+    /// with backoff capped at 16x the base timeout.
+    fn default() -> Self {
+        RetransmitConfig {
+            timeout: 600,
+            backoff_cap: 4,
+        }
+    }
 }
 
 impl NetworkConfig {
@@ -91,6 +125,9 @@ impl NetworkConfig {
             ],
             eject_bandwidth: 1,
             max_flit_age: 200_000,
+            stall_watchdog: 100_000,
+            faults: FaultPlan::none(),
+            retransmit: None,
         }
     }
 
@@ -158,6 +195,15 @@ impl NetworkConfig {
                 range: ">= 1",
             });
         }
+        self.faults.validate()?;
+        if let Some(r) = &self.retransmit {
+            if r.timeout == 0 {
+                return Err(ConfigError::OutOfRange {
+                    what: "retransmit timeout",
+                    range: ">= 1",
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -195,7 +241,10 @@ mod tests {
 
         let mut cfg = NetworkConfig::paper_3x3();
         cfg.vnets[2].buffer_depth = 0;
-        assert_eq!(cfg.validate(), Err(ConfigError::ZeroBufferDepth { vnet: 2 }));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroBufferDepth { vnet: 2 })
+        );
 
         let mut cfg = NetworkConfig::paper_3x3();
         cfg.link_latency = 0;

@@ -1,5 +1,8 @@
-//! Error types for configuration validation.
+//! Error types: configuration validation ([`ConfigError`]) and structured
+//! runtime failures ([`SimError`]) raised by the liveness watchdogs.
 
+use crate::flit::{Cycle, Flit};
+use crate::geom::{Direction, NodeId};
 use std::error::Error;
 use std::fmt;
 
@@ -77,6 +80,110 @@ impl fmt::Display for ConfigError {
 }
 
 impl Error for ConfigError {}
+
+/// A structured runtime failure detected by the network engine.
+///
+/// These replace the engine's historical panics so that misbehavior under
+/// fault injection surfaces as a test failure with context rather than a
+/// process abort. [`Network::try_step`](crate::network::Network::try_step)
+/// returns them; the infallible [`Network::step`](crate::network::Network::step)
+/// panics with the [`fmt::Display`] rendering.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The deadlock/livelock watchdog fired: no flit made progress for the
+    /// configured number of cycles while flits were still in flight.
+    Stalled {
+        /// Cycle at which the watchdog fired.
+        cycle: Cycle,
+        /// Flits (and pending retransmissions) still unaccounted for.
+        in_flight: u64,
+        /// Buffer occupancy of each router, in node-index order.
+        per_router_occupancy: Vec<usize>,
+    },
+    /// A flit exceeded the configured maximum age — livelock/starvation.
+    FlitOverAge {
+        /// Cycle at which the check fired.
+        cycle: Cycle,
+        /// Configured age limit.
+        limit: u64,
+        /// Observed age of the offending flit.
+        age: u64,
+        /// Node about to receive the flit.
+        node: NodeId,
+        /// The offending flit.
+        flit: Flit,
+    },
+    /// A router emitted a flit toward a direction with no link (off-mesh).
+    Misrouted {
+        /// Cycle of the violation.
+        cycle: Cycle,
+        /// Offending router.
+        node: NodeId,
+        /// Direction with no neighbor.
+        dir: Direction,
+        /// The misrouted flit.
+        flit: Flit,
+    },
+    /// A router violated an engine protocol rule (e.g. placed a flit on the
+    /// local output slot instead of using the ejection list).
+    ProtocolViolation {
+        /// Cycle of the violation.
+        cycle: Cycle,
+        /// Offending router.
+        node: NodeId,
+        /// Description of the violated rule.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled {
+                cycle,
+                in_flight,
+                per_router_occupancy,
+            } => {
+                let occupied: usize = per_router_occupancy.iter().sum();
+                write!(
+                    f,
+                    "stall watchdog: no flit progress by cycle {cycle} with {in_flight} \
+                     flit(s) unaccounted for ({occupied} buffered across {} routers)",
+                    per_router_occupancy.len()
+                )
+            }
+            SimError::FlitOverAge {
+                cycle,
+                limit,
+                age,
+                node,
+                flit,
+            } => write!(
+                f,
+                "livelock watchdog: flit {flit} is {age} cycles old (limit {limit}) \
+                 arriving at {node} on cycle {cycle}"
+            ),
+            SimError::Misrouted {
+                cycle,
+                node,
+                dir,
+                flit,
+            } => write!(
+                f,
+                "router {node} sent flit {flit} off-mesh toward {dir} on cycle {cycle}"
+            ),
+            SimError::ProtocolViolation { cycle, node, what } => {
+                write!(
+                    f,
+                    "router {node} violated engine protocol on cycle {cycle}: {what}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
 
 #[cfg(test)]
 mod tests {

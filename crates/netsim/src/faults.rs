@@ -1,0 +1,479 @@
+//! Deterministic fault injection: the configured *fault plane*.
+//!
+//! A [`FaultPlan`] describes every fault a run should experience — transient
+//! flit drop/corruption on links, permanent link kills, router stalls, and
+//! credit loss on the reverse lanes. The plan lives in
+//! [`NetworkConfig`](crate::config::NetworkConfig) and is evaluated by the
+//! network engine with a dedicated RNG stream forked from the run seed, so a
+//! given `(config, seed)` pair reproduces the *exact same* fault sequence
+//! cycle for cycle. Every injected fault is counted in
+//! [`NetworkStats`](crate::stats::NetworkStats) and recorded in the
+//! network's fault log for trace analysis.
+//!
+//! Fault semantics:
+//!
+//! * **Transient drop** — an arriving flit silently vanishes with the given
+//!   per-flit-hop probability inside the window. Recovery requires the
+//!   NI-level retransmit timeout (see
+//!   [`RetransmitConfig`](crate::config::RetransmitConfig)).
+//! * **Transient corruption** — an arriving flit's checksum is damaged; the
+//!   destination NI detects the mismatch at reassembly and NACKs the flit
+//!   back to its source for retransmission.
+//! * **Kill** — from cycle `at` onward the link delivers nothing; every
+//!   flit pushed onto it is lost (counted as a fault drop).
+//! * **Router stall** — the router freezes for a window: it neither
+//!   arbitrates nor accepts injections, and its incoming links hold their
+//!   flits (delivered one per cycle once the stall lifts).
+//! * **Credit loss** — an arriving credit vanishes with the given
+//!   probability, modeling a glitched reverse lane. Exercised by the
+//!   credit-conservation audit
+//!   ([`Network::credit_audit`](crate::network::Network::credit_audit)).
+
+use crate::flit::{Cycle, Flit, PacketId};
+use crate::geom::{Direction, NodeId};
+use crate::rng::SimRng;
+
+/// A half-open cycle interval `[start, end)` during which a fault is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First cycle (inclusive) the fault is active.
+    pub start: Cycle,
+    /// First cycle (exclusive) after which the fault is inert.
+    pub end: Cycle,
+}
+
+impl FaultWindow {
+    /// A window covering the whole run.
+    pub const ALWAYS: FaultWindow = FaultWindow {
+        start: 0,
+        end: Cycle::MAX,
+    };
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: Cycle) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// Which links a [`LinkFault`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSelector {
+    /// Every directed link in the mesh.
+    All,
+    /// The single directed link leaving `from` toward `dir`.
+    Link {
+        /// Upstream endpoint.
+        from: NodeId,
+        /// Outgoing direction at the upstream endpoint.
+        dir: Direction,
+    },
+}
+
+impl LinkSelector {
+    /// Whether the selector covers the directed link `from -> dir`.
+    pub fn matches(&self, from: NodeId, dir: Direction) -> bool {
+        match self {
+            LinkSelector::All => true,
+            LinkSelector::Link { from: f, dir: d } => *f == from && *d == dir,
+        }
+    }
+}
+
+/// What a link fault does to the traffic crossing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFaultKind {
+    /// Drop each arriving flit with probability `rate` inside `window`.
+    TransientDrop {
+        /// Per-flit drop probability in `[0, 1]`.
+        rate: f64,
+        /// Active interval.
+        window: FaultWindow,
+    },
+    /// Corrupt each arriving flit's checksum with probability `rate`.
+    TransientCorrupt {
+        /// Per-flit corruption probability in `[0, 1]`.
+        rate: f64,
+        /// Active interval.
+        window: FaultWindow,
+    },
+    /// Permanently kill the link: nothing arrives from cycle `at` onward.
+    KillAt {
+        /// Cycle of the kill.
+        at: Cycle,
+    },
+    /// Drop each arriving credit with probability `rate` inside `window`.
+    CreditLoss {
+        /// Per-credit loss probability in `[0, 1]`.
+        rate: f64,
+        /// Active interval.
+        window: FaultWindow,
+    },
+}
+
+/// One fault bound to a set of links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Links the fault applies to.
+    pub selector: LinkSelector,
+    /// Fault behavior.
+    pub kind: LinkFaultKind,
+}
+
+/// A router frozen for `cycles` cycles starting at `from`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStall {
+    /// Stalled node.
+    pub node: NodeId,
+    /// First stalled cycle.
+    pub from: Cycle,
+    /// Stall length in cycles.
+    pub cycles: u64,
+}
+
+impl RouterStall {
+    /// Whether the stall covers `now`.
+    pub fn contains(&self, now: Cycle) -> bool {
+        self.from <= now && now < self.from.saturating_add(self.cycles)
+    }
+}
+
+/// The complete fault schedule for one run.
+///
+/// An empty plan (the default) injects nothing and costs nothing on the hot
+/// path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Link-level faults, evaluated in order for every matching arrival.
+    pub link_faults: Vec<LinkFault>,
+    /// Router stall windows.
+    pub router_stalls: Vec<RouterStall>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.is_empty() && self.router_stalls.is_empty()
+    }
+
+    /// Uniform transient faults on every link for the whole run: flits drop
+    /// with `drop_rate` and corrupt with `corrupt_rate`.
+    pub fn uniform_transient(drop_rate: f64, corrupt_rate: f64) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        if drop_rate > 0.0 {
+            plan.link_faults.push(LinkFault {
+                selector: LinkSelector::All,
+                kind: LinkFaultKind::TransientDrop {
+                    rate: drop_rate,
+                    window: FaultWindow::ALWAYS,
+                },
+            });
+        }
+        if corrupt_rate > 0.0 {
+            plan.link_faults.push(LinkFault {
+                selector: LinkSelector::All,
+                kind: LinkFaultKind::TransientCorrupt {
+                    rate: corrupt_rate,
+                    window: FaultWindow::ALWAYS,
+                },
+            });
+        }
+        plan
+    }
+
+    /// Adds a permanent kill of the directed link `from -> dir` at `at`.
+    pub fn kill_link(mut self, from: NodeId, dir: Direction, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Link { from, dir },
+            kind: LinkFaultKind::KillAt { at },
+        });
+        self
+    }
+
+    /// Adds uniform credit loss on every link for the whole run.
+    pub fn with_credit_loss(mut self, rate: f64) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::All,
+            kind: LinkFaultKind::CreditLoss {
+                rate,
+                window: FaultWindow::ALWAYS,
+            },
+        });
+        self
+    }
+
+    /// Adds a router stall window.
+    pub fn with_stall(mut self, node: NodeId, from: Cycle, cycles: u64) -> FaultPlan {
+        self.router_stalls.push(RouterStall { node, from, cycles });
+        self
+    }
+
+    /// Validates rates and windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`](crate::error::ConfigError) for a
+    /// probability outside `[0, 1]` or an inverted window.
+    pub fn validate(&self) -> Result<(), crate::error::ConfigError> {
+        use crate::error::ConfigError;
+        for f in &self.link_faults {
+            let (rate, window) = match f.kind {
+                LinkFaultKind::TransientDrop { rate, window }
+                | LinkFaultKind::TransientCorrupt { rate, window }
+                | LinkFaultKind::CreditLoss { rate, window } => (rate, Some(window)),
+                LinkFaultKind::KillAt { .. } => (0.0, None),
+            };
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(ConfigError::OutOfRange {
+                    what: "fault rate",
+                    range: "0.0..=1.0",
+                });
+            }
+            if let Some(w) = window {
+                if w.end < w.start {
+                    return Err(ConfigError::OutOfRange {
+                        what: "fault window",
+                        range: "start <= end",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `node` is frozen at `now`.
+    pub fn router_stalled(&self, node: NodeId, now: Cycle) -> bool {
+        self.router_stalls
+            .iter()
+            .any(|s| s.node == node && s.contains(now))
+    }
+
+    /// Decides the fate of a flit arriving over the link `from -> dir` at
+    /// `now`, drawing from `rng` only when an armed fault matches (so an
+    /// empty or inactive plan leaves the stream untouched).
+    pub fn flit_fate(
+        &self,
+        from: NodeId,
+        dir: Direction,
+        now: Cycle,
+        rng: &mut SimRng,
+    ) -> FlitFate {
+        let mut fate = FlitFate::Deliver;
+        for f in &self.link_faults {
+            if !f.selector.matches(from, dir) {
+                continue;
+            }
+            match f.kind {
+                LinkFaultKind::KillAt { at } if now >= at => return FlitFate::Drop,
+                LinkFaultKind::TransientDrop { rate, window }
+                    if window.contains(now) && rate > 0.0 && rng.gen_bool(rate) =>
+                {
+                    return FlitFate::Drop;
+                }
+                LinkFaultKind::TransientCorrupt { rate, window }
+                    if window.contains(now) && rate > 0.0 && rng.gen_bool(rate) =>
+                {
+                    fate = FlitFate::Corrupt;
+                }
+                _ => {}
+            }
+        }
+        fate
+    }
+
+    /// Whether a credit arriving over `from -> dir` at `now` is lost.
+    pub fn credit_lost(&self, from: NodeId, dir: Direction, now: Cycle, rng: &mut SimRng) -> bool {
+        for f in &self.link_faults {
+            if !f.selector.matches(from, dir) {
+                continue;
+            }
+            match f.kind {
+                LinkFaultKind::KillAt { at } if now >= at => return true,
+                LinkFaultKind::CreditLoss { rate, window }
+                    if window.contains(now) && rate > 0.0 && rng.gen_bool(rate) =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+/// Outcome of evaluating the fault plane for one arriving flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitFate {
+    /// Delivered untouched.
+    Deliver,
+    /// Silently lost on the link.
+    Drop,
+    /// Delivered with a damaged checksum.
+    Corrupt,
+}
+
+/// One injected fault, as recorded in the network's fault log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle of the event.
+    pub cycle: Cycle,
+    /// Upstream endpoint of the affected link (or the stalled node).
+    pub from: NodeId,
+    /// Direction of the affected link (meaningless for stalls).
+    pub dir: Direction,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
+
+/// The kind of an injected fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// A flit was dropped on the link.
+    FlitDropped {
+        /// Packet the flit belonged to.
+        packet: PacketId,
+        /// Flit sequence number.
+        seq: u16,
+    },
+    /// A flit was corrupted on the link.
+    FlitCorrupted {
+        /// Packet the flit belonged to.
+        packet: PacketId,
+        /// Flit sequence number.
+        seq: u16,
+    },
+    /// A credit was lost on the reverse lane.
+    CreditLost,
+}
+
+impl FaultEvent {
+    /// Builds the log record for a flit-affecting fault.
+    pub fn for_flit(
+        cycle: Cycle,
+        from: NodeId,
+        dir: Direction,
+        flit: &Flit,
+        dropped: bool,
+    ) -> FaultEvent {
+        let kind = if dropped {
+            FaultEventKind::FlitDropped {
+                packet: flit.packet,
+                seq: flit.seq,
+            }
+        } else {
+            FaultEventKind::FlitCorrupted {
+                packet: flit.packet,
+                seq: flit.seq,
+            }
+        };
+        FaultEvent {
+            cycle,
+            from,
+            dir,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_delivers_everything_without_touching_rng() {
+        let plan = FaultPlan::none();
+        let mut rng = SimRng::seed_from(1);
+        let before = rng.clone();
+        for now in 0..100 {
+            assert_eq!(
+                plan.flit_fate(NodeId::new(0), Direction::East, now, &mut rng),
+                FlitFate::Deliver
+            );
+            assert!(!plan.credit_lost(NodeId::new(0), Direction::East, now, &mut rng));
+        }
+        assert_eq!(rng, before, "no fault may consume randomness");
+    }
+
+    #[test]
+    fn kill_is_absolute_after_the_cycle() {
+        let plan = FaultPlan::none().kill_link(NodeId::new(3), Direction::North, 50);
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(
+            plan.flit_fate(NodeId::new(3), Direction::North, 49, &mut rng),
+            FlitFate::Deliver
+        );
+        assert_eq!(
+            plan.flit_fate(NodeId::new(3), Direction::North, 50, &mut rng),
+            FlitFate::Drop
+        );
+        // Other links are untouched.
+        assert_eq!(
+            plan.flit_fate(NodeId::new(3), Direction::South, 1_000, &mut rng),
+            FlitFate::Deliver
+        );
+        assert!(plan.credit_lost(NodeId::new(3), Direction::North, 60, &mut rng));
+    }
+
+    #[test]
+    fn transient_rates_hit_roughly_proportionally() {
+        let plan = FaultPlan::uniform_transient(0.25, 0.0);
+        let mut rng = SimRng::seed_from(3);
+        let drops = (0..10_000)
+            .filter(|&now| {
+                plan.flit_fate(NodeId::new(0), Direction::East, now, &mut rng) == FlitFate::Drop
+            })
+            .count();
+        assert!((2_000..3_000).contains(&drops), "got {drops}");
+    }
+
+    #[test]
+    fn windows_gate_faults() {
+        let plan = FaultPlan {
+            link_faults: vec![LinkFault {
+                selector: LinkSelector::All,
+                kind: LinkFaultKind::TransientDrop {
+                    rate: 1.0,
+                    window: FaultWindow { start: 10, end: 20 },
+                },
+            }],
+            router_stalls: vec![],
+        };
+        let mut rng = SimRng::seed_from(4);
+        assert_eq!(
+            plan.flit_fate(NodeId::new(0), Direction::East, 9, &mut rng),
+            FlitFate::Deliver
+        );
+        assert_eq!(
+            plan.flit_fate(NodeId::new(0), Direction::East, 10, &mut rng),
+            FlitFate::Drop
+        );
+        assert_eq!(
+            plan.flit_fate(NodeId::new(0), Direction::East, 20, &mut rng),
+            FlitFate::Deliver
+        );
+    }
+
+    #[test]
+    fn stall_windows() {
+        let plan = FaultPlan::none().with_stall(NodeId::new(4), 100, 10);
+        assert!(!plan.router_stalled(NodeId::new(4), 99));
+        assert!(plan.router_stalled(NodeId::new(4), 100));
+        assert!(plan.router_stalled(NodeId::new(4), 109));
+        assert!(!plan.router_stalled(NodeId::new(4), 110));
+        assert!(!plan.router_stalled(NodeId::new(5), 105));
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        let plan = FaultPlan::uniform_transient(1.5, 0.0);
+        assert!(plan.validate().is_err());
+        assert!(FaultPlan::uniform_transient(0.001, 0.001)
+            .validate()
+            .is_ok());
+        assert!(FaultPlan::none().validate().is_ok());
+    }
+}

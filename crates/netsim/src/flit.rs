@@ -125,9 +125,36 @@ pub struct Flit {
     pub kind: PacketKind,
     /// Opaque tag propagated from the packet descriptor (traffic-model use).
     pub tag: u64,
+    /// End-to-end payload checksum, stamped at injection and verified at
+    /// reassembly. Link-level corruption faults flip bits here; a mismatch
+    /// against [`Flit::expected_checksum`] marks the flit as corrupt.
+    pub checksum: u16,
 }
 
 impl Flit {
+    /// The checksum a pristine copy of this flit would carry, derived from
+    /// its immutable identity fields (packet, sequence, endpoints, tag).
+    pub fn expected_checksum(&self) -> u16 {
+        checksum(self.packet, self.seq, self.src, self.dest, self.tag)
+    }
+
+    /// Whether the payload checksum no longer matches — i.e. the flit was
+    /// corrupted in flight.
+    pub fn is_corrupt(&self) -> bool {
+        self.checksum != self.expected_checksum()
+    }
+
+    /// Flips checksum bits, simulating payload corruption on a link. The
+    /// resulting flit always fails [`Flit::is_corrupt`].
+    pub fn corrupt(&mut self) {
+        self.checksum ^= 0xBEEF;
+    }
+
+    /// Restores the pristine checksum (a source retransmitting a flit sends
+    /// fresh, uncorrupted data).
+    pub fn repair(&mut self) {
+        self.checksum = self.expected_checksum();
+    }
     /// Position of this flit within its packet.
     ///
     /// ```
@@ -178,8 +205,29 @@ impl Flit {
             deflections: 0,
             kind: PacketKind::Synthetic,
             tag: 0,
+            checksum: checksum(packet, 0, src, dest, 0),
         }
     }
+}
+
+/// Computes the end-to-end checksum over a flit's identity fields.
+///
+/// A folded FNV-1a over the fields a retransmitting source would re-send
+/// verbatim; 16 bits is plenty for a simulator (we only ever need "matches /
+/// does not match", never collision resistance).
+pub fn checksum(packet: PacketId, seq: u16, src: NodeId, dest: NodeId, tag: u64) -> u16 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [
+        packet.0,
+        seq as u64,
+        src.index() as u64,
+        dest.index() as u64,
+        tag,
+    ] {
+        h ^= word;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) as u16
 }
 
 impl fmt::Display for Flit {
@@ -187,12 +235,7 @@ impl fmt::Display for Flit {
         write!(
             f,
             "{}[{}/{}] {}->{} {}",
-            self.packet,
-            self.seq,
-            self.len,
-            self.src,
-            self.dest,
-            self.vnet
+            self.packet, self.seq, self.len, self.src, self.dest, self.vnet
         )
     }
 }

@@ -53,28 +53,33 @@ pub mod channel;
 pub mod config;
 pub mod counters;
 pub mod error;
+pub mod faults;
 pub mod flit;
 pub mod geom;
 pub mod network;
 #[cfg(test)]
 mod network_tests;
-#[cfg(test)]
-mod testutil;
 pub mod ni;
 pub mod packet;
 pub mod rng;
 pub mod router;
 pub mod sim;
 pub mod stats;
+#[cfg(test)]
+mod testutil;
 pub mod topology;
 pub mod trace;
 
 /// Convenient single-line import of the types most users need.
 pub mod prelude {
     pub use crate::channel::{ControlSignal, Credit};
-    pub use crate::config::{NetworkConfig, VnetClass, VnetConfig};
+    pub use crate::config::{NetworkConfig, RetransmitConfig, VnetClass, VnetConfig};
     pub use crate::counters::ActivityCounters;
-    pub use crate::error::ConfigError;
+    pub use crate::error::{ConfigError, SimError};
+    pub use crate::faults::{
+        FaultEvent, FaultEventKind, FaultPlan, FaultWindow, LinkFault, LinkFaultKind, LinkSelector,
+        RouterStall,
+    };
     pub use crate::flit::{Cycle, Flit, PacketId, VcId, VirtualNetwork};
     pub use crate::geom::{Coord, Direction, NodeId, PortId, PortMap};
     pub use crate::network::Network;

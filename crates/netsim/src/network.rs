@@ -4,14 +4,17 @@
 use crate::channel::Channel;
 use crate::config::NetworkConfig;
 use crate::counters::ActivityCounters;
-use crate::flit::{Cycle, PacketId};
+use crate::error::SimError;
+use crate::faults::{FaultEvent, FaultEventKind, FlitFate};
+use crate::flit::{Cycle, Flit, PacketId};
 use crate::geom::{DirMap, Direction, NodeId, PortId};
 use crate::ni::NodeInterface;
 use crate::packet::{DeliveredPacket, PacketDescriptor, PacketInput};
-use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use crate::rng::SimRng;
+use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use crate::stats::NetworkStats;
 use crate::topology::Mesh;
+use std::collections::VecDeque;
 
 /// Endpoints of one directed channel.
 #[derive(Debug, Clone, Copy)]
@@ -43,12 +46,32 @@ pub struct Network {
     pending: Vec<crate::channel::Delivery>,
     now: Cycle,
     rng: SimRng,
+    /// Independent RNG stream for the fault plane: drawing fault outcomes
+    /// never perturbs router/traffic randomness, so a run with an empty
+    /// `FaultPlan` is bit-identical to one built before faults existed.
+    fault_rng: SimRng,
     stats: NetworkStats,
     next_packet_id: u64,
     scratch: RouterOutputs,
     /// Dropped flits in flight on the modeled NACK circuit:
     /// `(retransmission-ready cycle, flit)`.
-    nack_queue: Vec<(Cycle, crate::flit::Flit)>,
+    nack_queue: Vec<(Cycle, Flit)>,
+    /// End-to-end acknowledgements riding back to packet sources:
+    /// `(arrival cycle, source node, packet)`.
+    ack_queue: Vec<(Cycle, NodeId, PacketId)>,
+    /// Per-channel flits held back at the receiving end while the receiver
+    /// is stalled by a fault (released one per cycle once the stall lifts).
+    held: Vec<VecDeque<Flit>>,
+    /// Log of injected faults (capped at [`Network::FAULT_LOG_CAP`]).
+    fault_log: Vec<FaultEvent>,
+    /// Credit-conservation audit (raw, never reset): credits pushed onto
+    /// reverse lanes, credits delivered upstream, credits lost to faults.
+    credits_pushed: u64,
+    credits_delivered: u64,
+    credits_faulted: u64,
+    /// Stall watchdog: progress counter sample and the cycle it last moved.
+    last_progress: u64,
+    last_progress_cycle: Cycle,
     /// Flits that were already in flight when metrics were last reset
     /// (anchors the conservation audit).
     audit_baseline: usize,
@@ -67,6 +90,9 @@ impl std::fmt::Debug for Network {
 }
 
 impl Network {
+    /// Maximum fault events retained in the fault log.
+    pub const FAULT_LOG_CAP: usize = 65_536;
+
     /// Builds a network from a validated configuration, a router factory and
     /// an RNG seed.
     ///
@@ -90,7 +116,13 @@ impl Network {
             .collect();
         let nis: Vec<NodeInterface> = mesh
             .nodes()
-            .map(|node| NodeInterface::new(node, config.vnet_count()))
+            .map(|node| {
+                let mut ni = NodeInterface::new(node, config.vnet_count());
+                if let Some(r) = config.retransmit {
+                    ni.enable_recovery(r);
+                }
+                ni
+            })
             .collect();
 
         let mut channels = Vec::new();
@@ -113,6 +145,9 @@ impl Network {
             }
         }
         let pending = vec![crate::channel::Delivery::default(); channels.len()];
+        let held = vec![VecDeque::new(); channels.len()];
+        let rng = SimRng::seed_from(seed);
+        let fault_rng = rng.fork(0x00FA_0171);
 
         Ok(Network {
             mesh,
@@ -128,11 +163,20 @@ impl Network {
             in_chan,
             pending,
             now: 0,
-            rng: SimRng::seed_from(seed),
+            rng,
+            fault_rng,
             stats: NetworkStats::new(),
             next_packet_id: 0,
             scratch: RouterOutputs::new(),
             nack_queue: Vec::new(),
+            ack_queue: Vec::new(),
+            held,
+            fault_log: Vec::new(),
+            credits_pushed: 0,
+            credits_delivered: 0,
+            credits_faulted: 0,
+            last_progress: 0,
+            last_progress_cycle: 0,
             audit_baseline: 0,
             offer_log: None,
         })
@@ -219,35 +263,119 @@ impl Network {
     /// Takes the offered-packet log recorded since
     /// [`Network::enable_offer_recording`]; recording continues.
     pub fn take_offer_log(&mut self) -> Vec<(Cycle, NodeId, PacketInput)> {
-        self.offer_log.as_mut().map(std::mem::take).unwrap_or_default()
+        self.offer_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Advances the simulation one cycle (four phases — see crate docs).
     ///
     /// # Panics
     ///
-    /// Panics if the livelock watchdog fires (a flit exceeded
-    /// `max_flit_age` cycles in the network) or a router violates a
-    /// channel invariant.
+    /// Panics if [`Network::try_step`] fails — e.g. the livelock watchdog
+    /// fires or a router violates an engine invariant.
     pub fn step(&mut self) {
-        let now = self.now;
+        if let Err(e) = self.try_step() {
+            panic!("{e} (mechanism {})", self.mechanism);
+        }
+    }
 
-        // Phase 1: deliver staged channel arrivals.
+    /// Advances the simulation one cycle, reporting watchdog and protocol
+    /// failures as structured errors instead of panicking.
+    ///
+    /// After an error the network is mid-cycle and must not be stepped
+    /// further; the error is terminal for the run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Stalled`] when no flit has made progress for the
+    /// configured window while flits are in flight; [`SimError::FlitOverAge`]
+    /// when a flit exceeds `max_flit_age`; [`SimError::Misrouted`] /
+    /// [`SimError::ProtocolViolation`] on router bugs.
+    pub fn try_step(&mut self) -> Result<(), SimError> {
+        let now = self.now;
+        let faults_active = !self.config.faults.is_empty();
+
+        // Phase 1: deliver staged channel arrivals. Arriving flits pass
+        // through the fault plane (drop/corrupt/kill) and are held back
+        // while the receiving router is stalled; credits cross the fault
+        // plane's credit-loss stage on their way upstream.
         for c in 0..self.channels.len() {
             let delivery = std::mem::take(&mut self.pending[c]);
-            if delivery.is_empty() {
+            if delivery.is_empty() && self.held[c].is_empty() {
                 continue;
             }
             let ends = self.ends[c];
             if let Some(flit) = delivery.flit {
+                self.held[c].push_back(flit);
+            }
+            for credit in delivery.credits {
+                if faults_active
+                    && self
+                        .config
+                        .faults
+                        .credit_lost(ends.from, ends.dir, now, &mut self.fault_rng)
+                {
+                    self.stats.credits_lost += 1;
+                    self.stats.faults_injected += 1;
+                    self.credits_faulted += 1;
+                    self.log_fault(FaultEvent {
+                        cycle: now,
+                        from: ends.from,
+                        dir: ends.dir,
+                        kind: FaultEventKind::CreditLost,
+                    });
+                    continue;
+                }
+                self.credits_delivered += 1;
+                self.routers[ends.from.index()].receive_credit(PortId::Net(ends.dir), credit, now);
+            }
+            for signal in delivery.control {
+                self.routers[ends.from.index()].receive_control(PortId::Net(ends.dir), signal, now);
+            }
+            if faults_active && self.config.faults.router_stalled(ends.to, now) {
+                // The receiver is frozen: arrivals wait in `held` and drain
+                // one per cycle (the link's bandwidth) once the stall lifts.
+                continue;
+            }
+            if let Some(mut flit) = self.held[c].pop_front() {
+                if faults_active {
+                    match self.config.faults.flit_fate(
+                        ends.from,
+                        ends.dir,
+                        now,
+                        &mut self.fault_rng,
+                    ) {
+                        FlitFate::Drop => {
+                            self.stats.flits_lost_to_faults += 1;
+                            self.stats.faults_injected += 1;
+                            self.log_fault(FaultEvent::for_flit(
+                                now, ends.from, ends.dir, &flit, true,
+                            ));
+                            continue;
+                        }
+                        FlitFate::Corrupt => {
+                            flit.corrupt();
+                            self.stats.faults_injected += 1;
+                            self.log_fault(FaultEvent::for_flit(
+                                now, ends.from, ends.dir, &flit, false,
+                            ));
+                        }
+                        FlitFate::Deliver => {}
+                    }
+                }
                 if self.config.max_flit_age > 0 {
                     let age = now.saturating_sub(flit.injected_at);
-                    assert!(
-                        age <= self.config.max_flit_age,
-                        "livelock watchdog: flit {flit} is {age} cycles old at {} (mechanism {})",
-                        ends.to,
-                        self.mechanism
-                    );
+                    if age > self.config.max_flit_age {
+                        return Err(SimError::FlitOverAge {
+                            cycle: now,
+                            limit: self.config.max_flit_age,
+                            age,
+                            node: ends.to,
+                            flit,
+                        });
+                    }
                 }
                 self.routers[ends.to.index()].receive_flit(
                     PortId::Net(ends.dir.opposite()),
@@ -255,64 +383,84 @@ impl Network {
                     now,
                 );
             }
-            for credit in delivery.credits {
-                self.routers[ends.from.index()].receive_credit(
-                    PortId::Net(ends.dir),
-                    credit,
-                    now,
-                );
-            }
-            for signal in delivery.control {
-                self.routers[ends.from.index()].receive_control(
-                    PortId::Net(ends.dir),
-                    signal,
-                    now,
-                );
-            }
         }
 
         // Phase 2a: NACKs that have reached their source become pending
-        // retransmissions.
+        // retransmissions; end-to-end acks retire outstanding packets; NI
+        // retransmit timeouts fire.
         if !self.nack_queue.is_empty() {
             let mut i = 0;
             while i < self.nack_queue.len() {
                 if self.nack_queue[i].0 <= now {
                     let (_, flit) = self.nack_queue.swap_remove(i);
-                    self.nis[flit.src.index()].enqueue_retransmit(flit);
+                    self.nis[flit.src.index()].nack(flit, now, &mut self.stats);
                 } else {
                     i += 1;
                 }
             }
         }
+        if !self.ack_queue.is_empty() {
+            let mut i = 0;
+            while i < self.ack_queue.len() {
+                if self.ack_queue[i].0 <= now {
+                    let (_, src, id) = self.ack_queue.swap_remove(i);
+                    self.nis[src.index()].acknowledge(id, &mut self.stats);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if self.config.retransmit.is_some() {
+            for ni in &mut self.nis {
+                ni.check_timeouts(now, &mut self.stats);
+            }
+        }
 
-        // Phase 2b: injection attempts.
+        // Phase 2b: injection attempts (stalled routers accept nothing).
         for i in 0..self.nis.len() {
+            if faults_active && self.config.faults.router_stalled(NodeId::new(i), now) {
+                continue;
+            }
             self.nis[i].try_inject(self.routers[i].as_mut(), now, &mut self.stats);
         }
 
-        // Phase 3: router pipeline steps.
+        // Phase 3: router pipeline steps (stalled routers skip their step
+        // but still accrue mode residency).
         for i in 0..self.routers.len() {
+            if faults_active && self.config.faults.router_stalled(NodeId::new(i), now) {
+                Self::count_mode(&mut self.stats, self.routers[i].mode());
+                continue;
+            }
             self.scratch.clear();
             let mut rng = self.rng.fork((now << 16) ^ i as u64);
             self.routers[i].step(now, &mut rng, &mut self.scratch);
 
             for dir in Direction::ALL {
                 if let Some(flit) = self.scratch.flits[PortId::Net(dir)] {
-                    let chan = self.out_chan[i][dir].unwrap_or_else(|| {
-                        panic!("router n{i} sent flit {flit} off-mesh toward {dir}")
-                    });
+                    let Some(chan) = self.out_chan[i][dir] else {
+                        return Err(SimError::Misrouted {
+                            cycle: now,
+                            node: NodeId::new(i),
+                            dir,
+                            flit,
+                        });
+                    };
                     self.channels[chan].push_flit(flit);
                 }
                 for &credit in &self.scratch.credits[PortId::Net(dir)] {
                     if let Some(chan) = self.in_chan[i][dir] {
                         self.channels[chan].push_credit(credit);
+                        self.credits_pushed += 1;
                     }
                 }
             }
-            assert!(
-                self.scratch.flits[PortId::Local].is_none(),
-                "routers must use `ejected`, not the Local flit slot"
-            );
+            if self.scratch.flits[PortId::Local].is_some() {
+                return Err(SimError::ProtocolViolation {
+                    cycle: now,
+                    node: NodeId::new(i),
+                    what: "routers must use `ejected`, not the Local flit slot",
+                });
+            }
             for &signal in &self.scratch.control {
                 for dir in Direction::ALL {
                     if let Some(chan) = self.in_chan[i][dir] {
@@ -332,10 +480,21 @@ impl Network {
                 self.nack_queue.push((ready, flit));
             }
 
-            match self.routers[i].mode() {
-                RouterMode::Backpressured => self.stats.cycles_backpressured += 1,
-                RouterMode::Backpressureless => self.stats.cycles_backpressureless += 1,
-                RouterMode::Transitioning => self.stats.cycles_transitioning += 1,
+            Self::count_mode(&mut self.stats, self.routers[i].mode());
+        }
+
+        // Phase 3b: corrupt arrivals join the NACK circuit; fresh end-to-end
+        // acks start their trip back to the source.
+        for i in 0..self.nis.len() {
+            for flit in self.nis[i].take_corrupt() {
+                let dist = self.mesh.distance(NodeId::new(i), flit.src) as u64;
+                let ready = now + dist * self.config.link_latency + 2;
+                self.nack_queue.push((ready, flit));
+            }
+            for (src, id) in self.nis[i].take_acks() {
+                let dist = self.mesh.distance(NodeId::new(i), src) as u64;
+                let ready = now + dist * self.config.link_latency;
+                self.ack_queue.push((ready, src, id));
             }
         }
 
@@ -345,10 +504,43 @@ impl Network {
         }
         self.now += 1;
         self.stats.cycles += 1;
-        self.stats.reassembly_high_water = self
-            .stats
-            .reassembly_high_water
-            .max(self.nis.iter().map(|ni| ni.reassembly_high_water()).max().unwrap_or(0));
+        self.stats.reassembly_high_water = self.stats.reassembly_high_water.max(
+            self.nis
+                .iter()
+                .map(|ni| ni.reassembly_high_water())
+                .max()
+                .unwrap_or(0),
+        );
+
+        // Stall watchdog: flit progress is injection or delivery.
+        // Retransmission deliberately does not count — a source endlessly
+        // resending into a dead link is churn, not progress, and must
+        // eventually trip the watchdog instead of masking the wedge.
+        let progress = self.stats.flits_injected + self.stats.flits_delivered;
+        if progress != self.last_progress {
+            self.last_progress = progress;
+            self.last_progress_cycle = self.now;
+        } else if self.config.stall_watchdog > 0
+            && self.now.saturating_sub(self.last_progress_cycle) >= self.config.stall_watchdog
+        {
+            let in_flight = self.unaccounted_flits() as u64;
+            if in_flight > 0 {
+                return Err(SimError::Stalled {
+                    cycle: self.now,
+                    in_flight,
+                    per_router_occupancy: self.routers.iter().map(|r| r.occupancy()).collect(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn count_mode(stats: &mut NetworkStats, mode: RouterMode) {
+        match mode {
+            RouterMode::Backpressured => stats.cycles_backpressured += 1,
+            RouterMode::Backpressureless => stats.cycles_backpressureless += 1,
+            RouterMode::Transitioning => stats.cycles_transitioning += 1,
+        }
     }
 
     /// Drains all completed packets from every network interface.
@@ -364,19 +556,29 @@ impl Network {
     pub fn flits_in_network(&self) -> usize {
         let in_routers: usize = self.routers.iter().map(|r| r.occupancy()).sum();
         let in_channels: usize = self.channels.iter().map(Channel::flits_in_flight).sum();
-        let staged: usize = self
-            .pending
-            .iter()
-            .filter(|d| d.flit.is_some())
-            .count();
-        in_routers + in_channels + staged
+        let staged: usize = self.pending.iter().filter(|d| d.flit.is_some()).count();
+        let held: usize = self.held.iter().map(VecDeque::len).sum();
+        in_routers + in_channels + staged + held
     }
 
     /// True when no flit is anywhere in the system and all NIs are idle.
     pub fn is_drained(&self) -> bool {
         self.flits_in_network() == 0
             && self.nack_queue.is_empty()
+            && self.ack_queue.is_empty()
             && self.nis.iter().all(NodeInterface::is_idle)
+    }
+
+    /// The faults injected so far (capped at [`Network::FAULT_LOG_CAP`]
+    /// events; [`NetworkStats::faults_injected`] keeps the true count).
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.fault_log
+    }
+
+    fn log_fault(&mut self, ev: FaultEvent) {
+        if self.fault_log.len() < Self::FAULT_LOG_CAP {
+            self.fault_log.push(ev);
+        }
     }
 
     /// Aggregated activity counters over all routers.
@@ -401,6 +603,8 @@ impl Network {
             *r.counters_mut() = ActivityCounters::new();
         }
         self.audit_baseline = self.unaccounted_flits();
+        self.last_progress = 0;
+        self.last_progress_cycle = self.now;
     }
 
     /// Flits currently in limbo between injection and delivery: inside
@@ -416,8 +620,10 @@ impl Network {
                 .sum::<usize>()
     }
 
-    /// Verifies flit conservation: every flit injected since the last
-    /// metrics reset is either delivered or still in flight.
+    /// Verifies flit conservation: every flit injected (or re-materialized
+    /// by a retransmit timeout) since the last metrics reset is delivered,
+    /// still in flight, lost to an injected fault, or discarded as a
+    /// redundant retransmitted copy.
     ///
     /// # Errors
     ///
@@ -425,15 +631,47 @@ impl Network {
     /// indicate a router silently losing or duplicating flits.
     pub fn audit(&self) -> Result<(), String> {
         let injected = self.stats.flits_injected as i128;
+        let copies = self.stats.flits_retransmit_copies as i128;
         let delivered = self.stats.flits_delivered as i128;
         let in_flight = self.unaccounted_flits() as i128;
         let baseline = self.audit_baseline as i128;
-        if injected + baseline == delivered + in_flight {
+        let faulted = self.stats.flits_lost_to_faults as i128;
+        let duplicates = self.stats.duplicate_flits_discarded as i128;
+        let absorbed = self.stats.nacks_absorbed as i128;
+        if injected + baseline + copies == delivered + in_flight + faulted + duplicates + absorbed {
             Ok(())
         } else {
             Err(format!(
                 "flit conservation violated: injected {injected} + baseline {baseline} \
-                 != delivered {delivered} + in-flight {in_flight}"
+                 + retransmit copies {copies} != delivered {delivered} + in-flight \
+                 {in_flight} + faulted {faulted} + duplicates {duplicates} + absorbed \
+                 NACKs {absorbed}"
+            ))
+        }
+    }
+
+    /// Verifies credit conservation: every credit pushed onto a reverse
+    /// lane since construction is delivered upstream, lost to an injected
+    /// credit fault, or still on the wire. A mismatch means a router (or an
+    /// AFC mode switch) leaked or double-freed a credit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the imbalance.
+    pub fn credit_audit(&self) -> Result<(), String> {
+        let on_wire: usize = self.channels.iter().map(Channel::credits_in_flight).sum();
+        let staged: usize = self.pending.iter().map(|d| d.credits.len()).sum();
+        let lhs = self.credits_pushed;
+        let rhs = self.credits_delivered + self.credits_faulted + (on_wire + staged) as u64;
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(format!(
+                "credit conservation violated: pushed {lhs} != delivered {} + faulted {} \
+                 + on-wire {}",
+                self.credits_delivered,
+                self.credits_faulted,
+                on_wire + staged
             ))
         }
     }

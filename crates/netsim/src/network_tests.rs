@@ -9,7 +9,6 @@ use crate::packet::PacketInput;
 use crate::testutil::FifoFactory;
 
 fn build(lossy: bool) -> Network {
-
     Network::new(NetworkConfig::paper_3x3(), &FifoFactory { lossy }, 1).expect("valid")
 }
 

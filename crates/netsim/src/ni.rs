@@ -9,12 +9,13 @@
 //! MSHR receive-side buffering the paper argues is already present in
 //! coherence controllers (Section II).
 
+use crate::config::RetransmitConfig;
 use crate::flit::{Cycle, Flit, PacketId};
 use crate::geom::NodeId;
 use crate::packet::{DeliveredPacket, PacketDescriptor};
 use crate::router::Router;
 use crate::stats::NetworkStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// In-progress injection of one packet on one virtual network.
 #[derive(Debug, Clone)]
@@ -22,6 +23,33 @@ struct InjectProgress {
     desc: PacketDescriptor,
     next_seq: u16,
     first_injected_at: Cycle,
+}
+
+/// Source-side record of a fully injected packet awaiting its end-to-end
+/// acknowledgement (recovery mode only).
+#[derive(Debug, Clone)]
+struct Outstanding {
+    desc: PacketDescriptor,
+    /// Cycle the packet's first flit entered the network.
+    first_injected_at: Cycle,
+    /// Retransmit timeouts fired so far for this packet.
+    attempts: u32,
+    /// Cycle at which the next timeout fires.
+    next_deadline: Cycle,
+}
+
+/// End-to-end detection + retransmission state, enabled by
+/// [`NodeInterface::enable_recovery`].
+///
+/// Ordered maps keep timeout scans deterministic regardless of hash state.
+#[derive(Debug, Default)]
+struct Recovery {
+    cfg: RetransmitConfig,
+    /// Fully injected, not yet acknowledged packets sourced at this node.
+    outstanding: BTreeMap<PacketId, Outstanding>,
+    /// Packets fully reassembled at this node (dedup filter for late
+    /// retransmitted copies).
+    completed: BTreeSet<PacketId>,
 }
 
 /// Reassembly state for one partially received packet.
@@ -54,6 +82,13 @@ pub struct NodeInterface {
     delivered: Vec<DeliveredPacket>,
     /// High-water mark of simultaneously open reassembly buffers.
     reassembly_high_water: usize,
+    /// End-to-end retransmission state, if enabled.
+    recovery: Option<Recovery>,
+    /// Corrupt arrivals awaiting pickup by the network's NACK circuit.
+    corrupt_outbox: Vec<Flit>,
+    /// End-to-end acknowledgements `(source node, packet)` awaiting routing
+    /// back to the packet's source NI.
+    acks_outbox: Vec<(NodeId, PacketId)>,
 }
 
 impl NodeInterface {
@@ -68,7 +103,19 @@ impl NodeInterface {
             reassembly: HashMap::new(),
             delivered: Vec::new(),
             reassembly_high_water: 0,
+            recovery: None,
+            corrupt_outbox: Vec::new(),
+            acks_outbox: Vec::new(),
         }
+    }
+
+    /// Switches on end-to-end recovery: outstanding-packet tracking, timeout
+    /// retransmission, and duplicate-tolerant reassembly.
+    pub fn enable_recovery(&mut self, cfg: RetransmitConfig) {
+        self.recovery = Some(Recovery {
+            cfg,
+            ..Recovery::default()
+        });
     }
 
     /// Node this interface belongs to.
@@ -123,8 +170,11 @@ impl NodeInterface {
     /// # Panics
     ///
     /// Panics if the flit's source is not this node.
-    pub fn enqueue_retransmit(&mut self, flit: Flit) {
+    pub fn enqueue_retransmit(&mut self, mut flit: Flit) {
         assert_eq!(flit.src, self.node, "retransmit must return to the source");
+        // A retransmitting source sends fresh data: a copy NACKed for
+        // corruption goes back out with a pristine checksum.
+        flit.repair();
         self.retransmit.push_back(flit);
     }
 
@@ -137,13 +187,22 @@ impl NodeInterface {
     /// across virtual networks. Retransmissions go first.
     pub fn try_inject(&mut self, router: &mut dyn Router, now: Cycle, stats: &mut NetworkStats) {
         if let Some(&flit) = self.retransmit.front() {
-            if router.injection_ready(&flit, now) {
-                router.inject(flit, now);
-                self.retransmit.pop_front();
-                stats.flits_retransmitted += 1;
+            // A retransmitted flit must not cut into a fresh packet's open
+            // wormhole on the same vnet: VC routers route body flits by
+            // their head's path, so interleaving would misroute them. Let
+            // the fresh wormhole finish first (the fall-through below).
+            let wormhole_open = self.in_progress[flit.vnet.index()]
+                .as_ref()
+                .is_some_and(|p| p.next_seq > 0);
+            if !wormhole_open {
+                if router.injection_ready(&flit, now) {
+                    router.inject(flit, now);
+                    self.retransmit.pop_front();
+                    stats.flits_retransmitted += 1;
+                }
+                // The local port carries at most one flit per cycle.
+                return;
             }
-            // The local port carries at most one flit per cycle either way.
-            return;
         }
         let vnets = self.queues.len();
         for offset in 0..vnets {
@@ -173,7 +232,18 @@ impl NodeInterface {
             stats.flits_injected += 1;
             progress.next_seq += 1;
             if progress.next_seq == progress.desc.len {
-                self.in_progress[v] = None;
+                let done = self.in_progress[v].take().expect("progress just borrowed");
+                if let Some(rec) = &mut self.recovery {
+                    rec.outstanding.insert(
+                        done.desc.id,
+                        Outstanding {
+                            desc: done.desc,
+                            first_injected_at: done.first_injected_at,
+                            attempts: 0,
+                            next_deadline: now + rec.cfg.timeout,
+                        },
+                    );
+                }
             }
             // One flit per cycle through the local port; resume fairness
             // from the next vnet.
@@ -184,10 +254,19 @@ impl NodeInterface {
 
     /// Receives ejected flits from the router, reassembling packets.
     ///
+    /// A flit whose checksum no longer matches (corrupted by a link fault)
+    /// is never counted as delivered: it lands in the corrupt outbox, from
+    /// which the network NACKs it back to its source for retransmission —
+    /// the drop router's NACK circuit generalized to every mechanism.
+    ///
+    /// With recovery enabled, redundant copies (a retransmission racing an
+    /// original) are silently discarded and counted; without it a duplicate
+    /// still indicates a router bug and panics.
+    ///
     /// # Panics
     ///
-    /// Panics on duplicate flits or flits not addressed to this node —
-    /// either indicates a router bug.
+    /// Panics on flits not addressed to this node, or on duplicate flits
+    /// when recovery is disabled.
     pub fn receive_flits(
         &mut self,
         flits: impl IntoIterator<Item = Flit>,
@@ -200,6 +279,22 @@ impl NodeInterface {
                 "flit {flit} ejected at wrong node {}",
                 self.node
             );
+            if flit.is_corrupt() {
+                stats.flits_corrupted += 1;
+                self.corrupt_outbox.push(flit);
+                continue;
+            }
+            if let Some(rec) = &self.recovery {
+                let duplicate = rec.completed.contains(&flit.packet)
+                    || self
+                        .reassembly
+                        .get(&flit.packet)
+                        .is_some_and(|e| e.received[flit.seq as usize]);
+                if duplicate {
+                    stats.duplicate_flits_discarded += 1;
+                    continue;
+                }
+            }
             stats.flits_delivered += 1;
             stats.flit_hops.record(flit.hops as u64);
             stats.flit_deflections.record(flit.deflections as u64);
@@ -244,12 +339,107 @@ impl NodeInterface {
                 };
                 stats.packets_delivered += 1;
                 stats.network_latency.record(delivered.network_latency());
-                stats.network_latency_hist.record(delivered.network_latency());
+                stats
+                    .network_latency_hist
+                    .record(delivered.network_latency());
                 stats.total_latency.record(delivered.total_latency());
                 self.delivered.push(delivered);
+                if let Some(rec) = &mut self.recovery {
+                    rec.completed.insert(flit.packet);
+                    self.acks_outbox.push((entry.desc.src, flit.packet));
+                }
             }
         }
         self.reassembly_high_water = self.reassembly_high_water.max(self.reassembly.len());
+    }
+
+    /// Fires end-to-end retransmit timeouts (recovery mode only): every
+    /// fully injected, unacknowledged packet whose deadline has passed is
+    /// re-materialized into the retransmit queue with its original
+    /// injection timestamp, and its next deadline backs off exponentially
+    /// (capped).
+    ///
+    /// A packet with copies still waiting in the retransmit queue is not
+    /// re-fired — the previous attempt has not yet left the NI.
+    pub fn check_timeouts(&mut self, now: Cycle, stats: &mut NetworkStats) {
+        let Some(rec) = &mut self.recovery else {
+            return;
+        };
+        for (id, out) in rec.outstanding.iter_mut() {
+            if out.next_deadline > now {
+                continue;
+            }
+            if self.retransmit.iter().any(|f| f.packet == *id) {
+                continue;
+            }
+            out.attempts += 1;
+            stats.retransmit_timeouts += 1;
+            stats.flits_retransmit_copies += out.desc.len as u64;
+            for seq in 0..out.desc.len {
+                self.retransmit
+                    .push_back(out.desc.flit(seq, out.first_injected_at));
+            }
+            let backoff = out.attempts.min(rec.cfg.backoff_cap);
+            out.next_deadline = now + (rec.cfg.timeout << backoff);
+        }
+    }
+
+    /// Handles a NACK that has travelled back to this source.
+    ///
+    /// With recovery enabled the NACK becomes a *fast retransmit*: the
+    /// whole packet's timeout is pulled forward to `now`, so the next
+    /// [`check_timeouts`](Self::check_timeouts) resends every flit in
+    /// order — VC routers need the full wormhole replayed head-first, not
+    /// the lone NACKed flit spliced mid-stream. Without recovery (the drop
+    /// router's native NACK circuit on bufferless routers, where flits
+    /// route independently) the flit is requeued directly, preserving the
+    /// original per-flit semantics.
+    pub fn nack(&mut self, flit: Flit, now: Cycle, stats: &mut NetworkStats) {
+        assert_eq!(flit.src, self.node, "NACK must return to the source");
+        if let Some(rec) = &mut self.recovery {
+            if let Some(out) = rec.outstanding.get_mut(&flit.packet) {
+                out.next_deadline = out.next_deadline.min(now);
+            }
+            // The NACKed copy itself is retired here (its data comes back
+            // as fresh retransmit copies); if the packet is no longer
+            // outstanding this was a stale NACK racing a delivered
+            // retransmission. Either way the flit leaves the system.
+            stats.nacks_absorbed += 1;
+            return;
+        }
+        self.enqueue_retransmit(flit);
+    }
+
+    /// Delivers an end-to-end acknowledgement for a packet sourced here
+    /// (recovery mode only). A packet that needed at least one timeout
+    /// retransmission counts as recovered.
+    pub fn acknowledge(&mut self, id: PacketId, stats: &mut NetworkStats) {
+        let Some(rec) = &mut self.recovery else {
+            return;
+        };
+        if let Some(out) = rec.outstanding.remove(&id) {
+            if out.attempts > 0 {
+                stats.recovered_packets += 1;
+            }
+        }
+    }
+
+    /// Packets injected here and still awaiting acknowledgement.
+    pub fn outstanding_packets(&self) -> usize {
+        self.recovery
+            .as_ref()
+            .map_or(0, |rec| rec.outstanding.len())
+    }
+
+    /// Takes the corrupt arrivals collected since the last call (the
+    /// network routes them onto the NACK circuit).
+    pub fn take_corrupt(&mut self) -> Vec<Flit> {
+        std::mem::take(&mut self.corrupt_outbox)
+    }
+
+    /// Takes the pending end-to-end acknowledgements `(source, packet)`.
+    pub fn take_acks(&mut self) -> Vec<(NodeId, PacketId)> {
+        std::mem::take(&mut self.acks_outbox)
     }
 
     /// Takes the packets completed since the last call.
@@ -274,6 +464,9 @@ impl NodeInterface {
             && self.retransmit.is_empty()
             && self.reassembly.is_empty()
             && self.delivered.is_empty()
+            && self.corrupt_outbox.is_empty()
+            && self.acks_outbox.is_empty()
+            && self.outstanding_packets() == 0
     }
 }
 
@@ -284,8 +477,8 @@ mod tests {
     use crate::counters::ActivityCounters;
     use crate::flit::{PacketKind, VirtualNetwork};
     use crate::geom::PortId;
-    use crate::router::{RouterMode, RouterOutputs};
     use crate::rng::SimRng;
+    use crate::router::{RouterMode, RouterOutputs};
 
     /// A router stub that accepts everything and remembers injections.
     #[derive(Default)]

@@ -34,7 +34,11 @@ impl PacketDescriptor {
     ///
     /// Panics if `seq >= self.len`.
     pub fn flit(&self, seq: u16, injected_at: Cycle) -> Flit {
-        assert!(seq < self.len, "flit seq {seq} out of range 0..{}", self.len);
+        assert!(
+            seq < self.len,
+            "flit seq {seq} out of range 0..{}",
+            self.len
+        );
         Flit {
             packet: self.id,
             seq,
@@ -49,6 +53,7 @@ impl PacketDescriptor {
             deflections: 0,
             kind: self.kind,
             tag: self.tag,
+            checksum: crate::flit::checksum(self.id, seq, self.src, self.dest, self.tag),
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The simulation driver: couples a [`Network`] with a [`TrafficModel`].
 
+use crate::error::SimError;
 use crate::flit::Cycle;
 use crate::network::Network;
 use crate::packet::DeliveredPacket;
@@ -88,6 +89,66 @@ impl<T: TrafficModel> Simulation<T> {
         }
         self.network.is_drained()
     }
+
+    /// Fallible [`Simulation::step`]: watchdog and protocol failures come
+    /// back as structured [`SimError`]s (see [`Network::try_step`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from the network; the simulation
+    /// must not be stepped further after an error.
+    pub fn try_step(&mut self) -> Result<(), SimError> {
+        let now = self.network.now();
+        self.traffic.pre_cycle(now, &mut self.network);
+        self.network.try_step()?;
+        let now = self.network.now();
+        for packet in self.network.take_delivered() {
+            self.traffic.on_delivered(&packet, now, &mut self.network);
+        }
+        Ok(())
+    }
+
+    /// Fallible [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn try_run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.try_step()?;
+        }
+        Ok(())
+    }
+
+    /// Fallible [`Simulation::run_until_finished`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn try_run_until_finished(&mut self, max_cycles: u64) -> Result<bool, SimError> {
+        for _ in 0..max_cycles {
+            if self.traffic.is_finished(self.network.now()) {
+                return Ok(true);
+            }
+            self.try_step()?;
+        }
+        Ok(self.traffic.is_finished(self.network.now()))
+    }
+
+    /// Fallible [`Simulation::drain`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn try_drain(&mut self, max_cycles: u64) -> Result<bool, SimError> {
+        for _ in 0..max_cycles {
+            if self.network.is_drained() {
+                return Ok(true);
+            }
+            self.try_step()?;
+        }
+        Ok(self.network.is_drained())
+    }
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for Simulation<T> {
@@ -143,7 +204,13 @@ mod tests {
     fn sim(count: u64) -> Simulation<Burst> {
         let net = Network::new(NetworkConfig::paper_3x3(), &FifoFactory { lossy: false }, 1)
             .expect("valid");
-        Simulation::new(net, Burst { count, delivered: 0 })
+        Simulation::new(
+            net,
+            Burst {
+                count,
+                delivered: 0,
+            },
+        )
     }
 
     #[test]

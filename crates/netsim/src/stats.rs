@@ -102,7 +102,10 @@ impl Histogram {
     ///
     /// Panics if either argument is zero.
     pub fn new(buckets: usize, bucket_width: u64) -> Histogram {
-        assert!(buckets > 0 && bucket_width > 0, "histogram must be nonempty");
+        assert!(
+            buckets > 0 && bucket_width > 0,
+            "histogram must be nonempty"
+        );
         Histogram {
             bucket_width,
             buckets: vec![0; buckets],
@@ -165,8 +168,15 @@ impl Histogram {
     ///
     /// Panics if the geometries differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
-        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
@@ -290,6 +300,28 @@ pub struct NetworkStats {
     pub flits_delivered: u64,
     /// Flits re-injected after being dropped (drop-based routers only).
     pub flits_retransmitted: u64,
+    /// Flits that arrived at their destination NI with a mismatched
+    /// checksum (corrupted by a link fault) and were NACKed to the source.
+    pub flits_corrupted: u64,
+    /// Flits silently lost to injected link faults (transient drop or a
+    /// permanent kill).
+    pub flits_lost_to_faults: u64,
+    /// Credits lost to injected credit-channel faults.
+    pub credits_lost: u64,
+    /// NI retransmit timeouts that fired (each re-sends one whole packet).
+    pub retransmit_timeouts: u64,
+    /// Flits re-materialized by NI retransmit timeouts.
+    pub flits_retransmit_copies: u64,
+    /// Packets delivered only after at least one end-to-end retransmission.
+    pub recovered_packets: u64,
+    /// Redundant flit copies discarded at reassembly (a retransmitted copy
+    /// raced an original that eventually arrived).
+    pub duplicate_flits_discarded: u64,
+    /// NACKed flits retired at their source in favor of a full-packet
+    /// timeout retransmission (end-to-end recovery mode only).
+    pub nacks_absorbed: u64,
+    /// Total fault events injected by the fault plane.
+    pub faults_injected: u64,
     /// Network latency of delivered packets: first-flit injection to
     /// last-flit delivery.
     pub network_latency: LatencyStats,

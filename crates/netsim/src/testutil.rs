@@ -6,8 +6,8 @@ use crate::config::NetworkConfig;
 use crate::counters::ActivityCounters;
 use crate::flit::{Cycle, Flit};
 use crate::geom::{NodeId, PortId};
-use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use crate::rng::SimRng;
+use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use crate::topology::Mesh;
 use std::collections::VecDeque;
 

@@ -87,7 +87,9 @@ impl Mesh {
     /// Node at a coordinate, if in bounds.
     pub fn node_at(&self, c: Coord) -> Option<NodeId> {
         if c.x < self.width && c.y < self.height {
-            Some(NodeId::new(c.y as usize * self.width as usize + c.x as usize))
+            Some(NodeId::new(
+                c.y as usize * self.width as usize + c.x as usize,
+            ))
         } else {
             None
         }
@@ -245,7 +247,10 @@ mod tests {
         let m = mesh3();
         let classes: Vec<RouterClass> = m.nodes().map(|n| m.router_class(n)).collect();
         assert_eq!(
-            classes.iter().filter(|c| **c == RouterClass::Corner).count(),
+            classes
+                .iter()
+                .filter(|c| **c == RouterClass::Corner)
+                .count(),
             4
         );
         assert_eq!(

@@ -114,7 +114,13 @@ mod tests {
     }
     impl crate::router::Router for Idle {
         fn receive_flit(&mut self, _i: crate::geom::PortId, _f: crate::flit::Flit, _n: Cycle) {}
-        fn receive_credit(&mut self, _o: crate::geom::PortId, _c: crate::channel::Credit, _n: Cycle) {}
+        fn receive_credit(
+            &mut self,
+            _o: crate::geom::PortId,
+            _c: crate::channel::Credit,
+            _n: Cycle,
+        ) {
+        }
         fn receive_control(
             &mut self,
             _o: crate::geom::PortId,

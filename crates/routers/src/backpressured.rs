@@ -44,10 +44,10 @@
 use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
-use afc_netsim::flit::{Cycle, Flit, VcId};
+use afc_netsim::flit::{Cycle, Flit, PacketId, VcId};
 use afc_netsim::geom::{NodeId, PortId, PortMap};
-use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::rng::SimRng;
+use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::topology::Mesh;
 use std::collections::VecDeque;
 
@@ -132,6 +132,11 @@ struct InputVc {
     route: Option<PortId>,
     /// Downstream VC allocated to that packet (network routes only).
     out_vc: Option<usize>,
+    /// Packet that owns the open route. In a fault-free run the tail always
+    /// closes the route, so ownership is implied; under fault injection a
+    /// dropped tail leaves the route open, and the mismatch with the packet
+    /// now at HoQ is how the stale hold is detected.
+    route_packet: Option<PacketId>,
 }
 
 impl InputVc {
@@ -141,6 +146,7 @@ impl InputVc {
             depth,
             route: None,
             out_vc: None,
+            route_packet: None,
         }
     }
 }
@@ -172,6 +178,10 @@ pub struct BackpressuredRouter {
     /// Round-robin start for choosing a local VC for new packets, per vnet.
     inject_rr: Vec<usize>,
     options: BackpressuredOptions,
+    /// Set when the network injects link faults: a dropped head or tail
+    /// orphans the rest of its wormhole, so HoQ body flits may legally
+    /// need a fresh route (every flit carries its destination).
+    tolerate_orphans: bool,
     counters: ActivityCounters,
 }
 
@@ -226,11 +236,11 @@ impl BackpressuredRouter {
             inject_vc: vec![None; config.vnet_count()],
             inject_rr: vec![0; config.vnet_count()],
             options,
+            tolerate_orphans: !config.faults.is_empty(),
             counters: ActivityCounters::new(),
             layout,
         }
     }
-
 
     /// The node this router serves.
     pub fn node(&self) -> NodeId {
@@ -248,9 +258,27 @@ impl BackpressuredRouter {
                 let Some(hoq) = vc.queue.front() else {
                     continue;
                 };
+                if self.tolerate_orphans
+                    && vc.route.is_some()
+                    && vc.route_packet != Some(hoq.packet)
+                {
+                    // A dropped tail left the route open for a packet that
+                    // has already drained: release the stale downstream VC
+                    // (otherwise the next packet would follow the old route,
+                    // possibly into a wrong Local ejection) and re-route by
+                    // the flit now at HoQ.
+                    if let (Some(p @ PortId::Net(_)), Some(ovc)) = (vc.route, vc.out_vc) {
+                        if let Some(out) = self.outputs[p].as_mut() {
+                            out[ovc].allocated = false;
+                        }
+                    }
+                    vc.route = None;
+                    vc.out_vc = None;
+                    vc.route_packet = None;
+                }
                 if vc.route.is_none() {
                     debug_assert!(
-                        hoq.is_head(),
+                        self.tolerate_orphans || hoq.is_head(),
                         "non-head flit {hoq} at HoQ without a route (VC hold violated)"
                     );
                     let dir = match hoq.dest == self.node {
@@ -267,6 +295,7 @@ impl BackpressuredRouter {
                         }),
                     };
                     vc.route = Some(dir.map(PortId::Net).unwrap_or(PortId::Local));
+                    vc.route_packet = Some(hoq.packet);
                 }
                 if let Some(PortId::Net(d)) = vc.route {
                     if vc.out_vc.is_none() {
@@ -278,8 +307,7 @@ impl BackpressuredRouter {
                         let atomic = self.options.atomic_vc_reallocation;
                         let depth_of = &self.layout.depth_of;
                         if let Some(free) = range.clone().find(|i| {
-                            !out[*i].allocated
-                                && (!atomic || out[*i].credits == depth_of[*i])
+                            !out[*i].allocated && (!atomic || out[*i].credits == depth_of[*i])
                         }) {
                             out[free].allocated = true;
                             vc.out_vc = Some(free);
@@ -304,12 +332,10 @@ impl BackpressuredRouter {
         match ivc.route {
             Some(PortId::Local) => true,
             Some(PortId::Net(d)) => match ivc.out_vc {
-                Some(ovc) => {
-                    self.outputs[PortId::Net(d)]
-                        .as_ref()
-                        .map(|out| out[ovc].credits > 0)
-                        .unwrap_or(false)
-                }
+                Some(ovc) => self.outputs[PortId::Net(d)]
+                    .as_ref()
+                    .map(|out| out[ovc].credits > 0)
+                    .unwrap_or(false),
                 None => false,
             },
             None => false,
@@ -360,7 +386,13 @@ impl Router for BackpressuredRouter {
         match self.inject_vc[vnet] {
             Some(vc) => vcs[vc].queue.len() < vcs[vc].depth,
             None => {
-                debug_assert!(flit.is_head(), "mid-packet injection without open VC");
+                // Under fault injection, a corruption NACK without recovery
+                // configured re-injects a lone mid-packet flit; it routes by
+                // its own destination like any other orphan.
+                debug_assert!(
+                    flit.is_head() || self.tolerate_orphans,
+                    "mid-packet injection without open VC"
+                );
                 self.layout.range_of[vnet]
                     .clone()
                     .any(|vc| vcs[vc].queue.len() < vcs[vc].depth)
@@ -451,7 +483,9 @@ impl Router for BackpressuredRouter {
                 let Some(i) = granted else { break };
                 self.counters.arbitrations += 1;
                 let in_port = PortId::from_index(i).expect("valid index");
-                let vc = candidates[in_port].take().expect("granted implies candidate");
+                let vc = candidates[in_port]
+                    .take()
+                    .expect("granted implies candidate");
                 winners.push((in_port, vc, out_port));
             }
         }
@@ -465,6 +499,7 @@ impl Router for BackpressuredRouter {
             if flit.is_tail() {
                 ivc.route = None;
                 ivc.out_vc = None;
+                ivc.route_packet = None;
             }
             if self.options.read_bypass && was_alone {
                 // Lone flit: served from the bypass latch, SRAM read elided.
@@ -576,7 +611,10 @@ impl BackpressuredFactory {
 impl RouterFactory for BackpressuredFactory {
     fn build(&self, node: NodeId, mesh: &Mesh, config: &NetworkConfig) -> Box<dyn Router> {
         Box::new(BackpressuredRouter::with_options(
-            node, mesh, config, self.options,
+            node,
+            mesh,
+            config,
+            self.options,
         ))
     }
 
@@ -735,12 +773,23 @@ mod tests {
         }
         assert_eq!(sent.len(), 6);
         // Each packet keeps a single output VC for all its flits.
-        let vc_of_10: Vec<u8> = sent.iter().filter(|(p, _)| *p == 10).map(|(_, v)| *v).collect();
-        let vc_of_20: Vec<u8> = sent.iter().filter(|(p, _)| *p == 20).map(|(_, v)| *v).collect();
+        let vc_of_10: Vec<u8> = sent
+            .iter()
+            .filter(|(p, _)| *p == 10)
+            .map(|(_, v)| *v)
+            .collect();
+        let vc_of_20: Vec<u8> = sent
+            .iter()
+            .filter(|(p, _)| *p == 20)
+            .map(|(_, v)| *v)
+            .collect();
         assert_eq!(vc_of_10.len(), 3);
         assert!(vc_of_10.windows(2).all(|w| w[0] == w[1]));
         assert!(vc_of_20.windows(2).all(|w| w[0] == w[1]));
-        assert_ne!(vc_of_10[0], vc_of_20[0], "distinct packets get distinct VCs");
+        assert_ne!(
+            vc_of_10[0], vc_of_20[0],
+            "distinct packets get distinct VCs"
+        );
     }
 
     #[test]
@@ -898,7 +947,11 @@ mod tests {
         };
         let vcs = config.vnets[0].vcs;
         assert_eq!(run(build(true)), vcs, "atomic: one packet per pristine VC");
-        assert_eq!(run(build(false)), 8, "non-atomic: packets queue back-to-back");
+        assert_eq!(
+            run(build(false)),
+            8,
+            "non-atomic: packets queue back-to-back"
+        );
     }
 
     #[test]
@@ -944,10 +997,7 @@ mod tests {
         let f = BackpressuredFactory::new();
         assert_eq!(f.name(), "backpressured");
         assert_eq!(f.flit_width_bits(), 41);
-        assert_eq!(
-            f.buffer_flits_per_port(&NetworkConfig::paper_3x3()),
-            64
-        );
+        assert_eq!(f.buffer_flits_per_port(&NetworkConfig::paper_3x3()), 64);
         assert_eq!(
             BackpressuredFactory::ideal_bypass().name(),
             "backpressured-ideal-bypass"

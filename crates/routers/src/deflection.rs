@@ -21,8 +21,8 @@ use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
 use afc_netsim::flit::{Cycle, Flit};
 use afc_netsim::geom::{Direction, NodeId, PortId};
-use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::rng::SimRng;
+use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::topology::Mesh;
 
 /// Flit width in bits for this mechanism (32-bit payload + 13 control bits,
@@ -193,7 +193,9 @@ impl DeflectionRouter {
             .filter(|f| f.dest == self.node)
             .count()
             .min(self.eject_bandwidth);
-        self.engine.degree().saturating_sub(self.latches.len() - local)
+        self.engine
+            .degree()
+            .saturating_sub(self.latches.len() - local)
     }
 }
 
@@ -461,8 +463,7 @@ mod tests {
         let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
         let mut rng = SimRng::seed_from(6);
         for _ in 0..50 {
-            let assignments =
-                engine.assign(vec![flit_to(1, dest)], &[Direction::East], &mut rng);
+            let assignments = engine.assign(vec![flit_to(1, dest)], &[Direction::East], &mut rng);
             assert_ne!(assignments[0].dir, Direction::East);
             assert!(assignments[0].deflected);
         }

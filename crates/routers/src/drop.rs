@@ -11,8 +11,8 @@ use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
 use afc_netsim::flit::{Cycle, Flit};
 use afc_netsim::geom::{Direction, NodeId, PortId};
-use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::rng::SimRng;
+use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::topology::Mesh;
 
 use crate::deflection::{split_ejections, RankPolicy};
@@ -34,7 +34,12 @@ pub struct DropRouter {
 
 impl DropRouter {
     /// Builds the router for `node`.
-    pub fn new(node: NodeId, mesh: &Mesh, config: &NetworkConfig, policy: RankPolicy) -> DropRouter {
+    pub fn new(
+        node: NodeId,
+        mesh: &Mesh,
+        config: &NetworkConfig,
+        policy: RankPolicy,
+    ) -> DropRouter {
         DropRouter {
             node,
             mesh: mesh.clone(),

@@ -236,7 +236,9 @@ impl ClosedLoopTraffic {
         let core = &mut self.cores[node];
         debug_assert!(core.outstanding > 0, "completion without outstanding txn");
         core.outstanding -= 1;
-        let think = self.rng.gen_exp(self.params[node].think_mean_at(now).max(1.0));
+        let think = self
+            .rng
+            .gen_exp(self.params[node].think_mean_at(now).max(1.0));
         core.ready_at[thread] = now + think;
         self.completed += 1;
         self.completed_by_node[node] += 1;
@@ -401,8 +403,8 @@ mod tests {
 
     #[test]
     fn transactions_complete_and_feedback_holds() {
-        let net = Network::new(NetworkConfig::paper_3x3(), &BackpressuredFactory::new(), 7)
-            .unwrap();
+        let net =
+            Network::new(NetworkConfig::paper_3x3(), &BackpressuredFactory::new(), 7).unwrap();
         let mut traffic = ClosedLoopTraffic::new(tiny_workload(), 9, 7);
         traffic.set_target(200);
         let mut sim = Simulation::new(net, traffic);
@@ -425,8 +427,8 @@ mod tests {
             think_mean: 1.0,
             ..tiny_workload()
         };
-        let net = Network::new(NetworkConfig::paper_3x3(), &BackpressuredFactory::new(), 8)
-            .unwrap();
+        let net =
+            Network::new(NetworkConfig::paper_3x3(), &BackpressuredFactory::new(), 8).unwrap();
         let mut traffic = ClosedLoopTraffic::new(params, 9, 8);
         traffic.set_target(50);
         let mut sim = Simulation::new(net, traffic);

@@ -2,7 +2,7 @@
 
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
-use afc_netsim::error::ConfigError;
+use afc_netsim::error::{ConfigError, SimError};
 use afc_netsim::network::Network;
 use afc_netsim::router::RouterFactory;
 use afc_netsim::sim::Simulation;
@@ -125,10 +125,91 @@ pub fn run_open_loop(
     Ok(RunOutcome::capture(sim.network, measure_cycles))
 }
 
+/// Outcome of a fault-injection scenario: the run may end early with a
+/// structured watchdog error instead of statistics over a fixed window.
+#[derive(Debug)]
+pub struct FaultRunOutcome {
+    /// The network in its final state (fault log, stats, audit hooks).
+    pub network: Network,
+    /// Snapshot of network statistics at the end of the run.
+    pub stats: NetworkStats,
+    /// The watchdog/protocol error that ended the run early, if any.
+    pub error: Option<SimError>,
+    /// Whether the network fully drained after sources stopped. `false`
+    /// when the run errored or the drain budget ran out (lost flits with
+    /// no retransmit path, or a wedged router).
+    pub drained: bool,
+    /// Cycles actually simulated (injection plus drain).
+    pub ran_cycles: u64,
+}
+
+impl FaultRunOutcome {
+    /// Fraction of offered packets that were delivered, in `[0, 1]`.
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.stats.packets_offered == 0 {
+            return 1.0;
+        }
+        self.stats.packets_delivered as f64 / self.stats.packets_offered as f64
+    }
+}
+
+/// Fault-injection scenario: open-loop traffic for `inject_cycles`, then
+/// sources stop and the network gets `drain_cycles` to deliver everything
+/// still in flight. Faults and recovery come from `net_cfg` (its
+/// [`faults`](NetworkConfig::faults) plan and
+/// [`retransmit`](NetworkConfig::retransmit) config).
+///
+/// Unlike [`run_open_loop`], this uses the fallible stepping API: a stall
+/// or livelock watchdog firing ends the run with `error = Some(..)` rather
+/// than panicking, so fault sweeps can report "STALLED" as a data point.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Network::new`]; watchdog errors
+/// during the run are returned *inside* the outcome, not as `Err`.
+#[allow(clippy::too_many_arguments)] // a flat argument list mirrors the experiment's knobs
+pub fn run_fault_scenario(
+    factory: &dyn RouterFactory,
+    net_cfg: &NetworkConfig,
+    rates: RateSpec,
+    pattern: Pattern,
+    mix: PacketMix,
+    inject_cycles: u64,
+    drain_cycles: u64,
+    seed: u64,
+) -> Result<FaultRunOutcome, ConfigError> {
+    let network = Network::new(net_cfg.clone(), factory, seed)?;
+    let traffic = OpenLoopTraffic::new(rates, pattern, mix, seed);
+    let mut sim = Simulation::new(network, traffic);
+
+    let outcome = |sim: Simulation<OpenLoopTraffic>, error, drained| {
+        let stats = sim.network.stats().clone();
+        let ran_cycles = sim.network.now();
+        FaultRunOutcome {
+            stats,
+            error,
+            drained,
+            ran_cycles,
+            network: sim.network,
+        }
+    };
+
+    if let Err(e) = sim.try_run(inject_cycles) {
+        return Ok(outcome(sim, Some(e), false));
+    }
+    sim.traffic.stop();
+    match sim.try_drain(drain_cycles) {
+        Ok(drained) => Ok(outcome(sim, None, drained)),
+        Err(e) => Ok(outcome(sim, Some(e), false)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workloads;
+    use afc_netsim::config::RetransmitConfig;
+    use afc_netsim::faults::FaultPlan;
     use afc_routers::{BackpressuredFactory, DeflectionFactory};
 
     #[test]
@@ -164,6 +245,31 @@ mod tests {
         .unwrap();
         assert_eq!(out.measured_cycles, 2_000);
         assert!(out.mean_latency().expect("packets delivered") > 0.0);
+    }
+
+    #[test]
+    fn fault_scenario_recovers_with_retransmit() {
+        let cfg = NetworkConfig {
+            faults: FaultPlan::uniform_transient(5e-4, 5e-4),
+            retransmit: Some(RetransmitConfig::default()),
+            ..NetworkConfig::paper_3x3()
+        };
+        let out = run_fault_scenario(
+            &BackpressuredFactory::new(),
+            &cfg,
+            RateSpec::Uniform(0.05),
+            Pattern::UniformRandom,
+            PacketMix::single_flit(),
+            3_000,
+            200_000,
+            21,
+        )
+        .unwrap();
+        assert!(out.error.is_none(), "unexpected error: {:?}", out.error);
+        assert!(out.drained);
+        assert_eq!(out.stats.packets_delivered, out.stats.packets_offered);
+        assert!((out.delivered_fraction() - 1.0).abs() < f64::EPSILON);
+        out.network.audit().expect("flit conservation under faults");
     }
 
     #[test]

@@ -96,8 +96,8 @@ impl Pattern {
                 let n = mesh.node_count();
                 let bits = usize::BITS - (n - 1).leading_zeros();
                 let i = src.index();
-                let rotated = ((i << 1) | (i >> (bits.max(1) - 1) as usize))
-                    & ((1usize << bits) - 1);
+                let rotated =
+                    ((i << 1) | (i >> (bits.max(1) - 1) as usize)) & ((1usize << bits) - 1);
                 let dest = NodeId::new(rotated % n);
                 (dest != src).then_some(dest)
             }
@@ -133,7 +133,9 @@ pub fn quadrant_of(node: NodeId, mesh: &Mesh) -> usize {
 /// All nodes in the same quadrant as `node`.
 pub fn quadrant_members(node: NodeId, mesh: &Mesh) -> Vec<NodeId> {
     let q = quadrant_of(node, mesh);
-    mesh.nodes().filter(|n| quadrant_of(*n, mesh) == q).collect()
+    mesh.nodes()
+        .filter(|n| quadrant_of(*n, mesh) == q)
+        .collect()
 }
 
 #[cfg(test)]

@@ -43,8 +43,14 @@ fn main() -> Result<(), ConfigError> {
         curves.push((label, pts));
     }
 
-    println!("offered   {:<22}{:<22}afc", "backpressured", "backpressureless");
-    println!("(fl/n/c)  {:<22}{:<22}thpt   latency", "thpt   latency", "thpt   latency");
+    println!(
+        "offered   {:<22}{:<22}afc",
+        "backpressured", "backpressureless"
+    );
+    println!(
+        "(fl/n/c)  {:<22}{:<22}thpt   latency",
+        "thpt   latency", "thpt   latency"
+    );
     println!("{}", "-".repeat(76));
     for (i, &rate) in rates.iter().enumerate() {
         let mut line = format!("{rate:>7.2}   ");

@@ -6,11 +6,11 @@
 //! cargo run --release --example mode_switch_trace
 //! ```
 
-use afc_noc::prelude::*;
 use afc_netsim::flit::Cycle;
 use afc_netsim::network::Network;
 use afc_netsim::packet::{DeliveredPacket, PacketInput, PacketKind};
 use afc_netsim::sim::TrafficModel;
+use afc_noc::prelude::*;
 
 /// Uniform-random open-loop traffic whose rate follows a square wave:
 /// `low_rate` outside the spike, `high_rate` during `spike` cycles.
@@ -79,7 +79,11 @@ fn main() -> Result<(), ConfigError> {
         let center_mode = modes[center.index()];
         let c = sim.network.total_counters();
         if t % 500 == 499 || center_mode != last_mode {
-            let marker = if center_mode != last_mode { " <-- center switched" } else { "" };
+            let marker = if center_mode != last_mode {
+                " <-- center switched"
+            } else {
+                ""
+            };
             println!(
                 "{t:>6}  {:>10.2}  {:?}/{bp}  {}/{}/{}{marker}",
                 router_load(&sim.network, center),

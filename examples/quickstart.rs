@@ -31,8 +31,8 @@ fn main() -> Result<(), ConfigError> {
                 factory.as_ref(),
                 &cfg,
                 workload,
-                200,  // warmup transactions
-                800,  // measured transactions
+                200, // warmup transactions
+                800, // measured transactions
                 20_000_000,
                 42,
             )?;

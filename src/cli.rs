@@ -16,6 +16,8 @@ pub enum Cli {
     Inspect(InspectArgs),
     /// `afc-noc sweep` — open-loop latency-throughput sweep.
     Sweep(SweepArgs),
+    /// `afc-noc faults` — fault-injection scenario with end-to-end recovery.
+    Faults(FaultArgs),
     /// `afc-noc list` — print available mechanisms, workloads, patterns.
     List,
     /// `afc-noc help` (or parse failure, carrying the message).
@@ -65,6 +67,33 @@ pub struct SweepArgs {
     pub mesh: (u16, u16),
     /// Measured cycles per point.
     pub cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Arguments of the `faults` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultArgs {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Mesh dimensions.
+    pub mesh: (u16, u16),
+    /// Offered load (flits/node/cycle).
+    pub rate: f64,
+    /// Per-flit-hop transient drop probability.
+    pub drop: f64,
+    /// Per-flit-hop transient corruption probability.
+    pub corrupt: f64,
+    /// Per-credit loss probability.
+    pub credit_loss: f64,
+    /// Permanent link kill: `x,y:DIR:cycle` (e.g. `1,1:E:1000`).
+    pub kill: Option<(u16, u16, Direction, u64)>,
+    /// Injection cycles before sources stop.
+    pub cycles: u64,
+    /// Drain budget after sources stop.
+    pub drain: u64,
+    /// Retransmit timeout in cycles (0 disables end-to-end recovery).
+    pub timeout: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -146,6 +175,39 @@ pub fn pattern_by_name(name: &str) -> Result<Pattern, String> {
     })
 }
 
+fn parse_direction(s: &str) -> Result<Direction, String> {
+    Ok(match s.to_ascii_uppercase().as_str() {
+        "N" | "NORTH" => Direction::North,
+        "S" | "SOUTH" => Direction::South,
+        "E" | "EAST" => Direction::East,
+        "W" | "WEST" => Direction::West,
+        other => return Err(format!("bad direction {other:?} (use N/S/E/W)")),
+    })
+}
+
+/// Parses a permanent-kill spec of the form `x,y:DIR:cycle`.
+fn parse_kill(s: &str) -> Result<(u16, u16, Direction, u64), String> {
+    let mut parts = s.split(':');
+    let coord = parts.next().ok_or_else(|| format!("bad --kill {s:?}"))?;
+    let dir = parts
+        .next()
+        .ok_or_else(|| format!("bad --kill {s:?} (missing direction)"))?;
+    let at = parts
+        .next()
+        .ok_or_else(|| format!("bad --kill {s:?} (missing cycle)"))?;
+    if parts.next().is_some() {
+        return Err(format!("bad --kill {s:?} (expected x,y:DIR:cycle)"));
+    }
+    let (x, y) = coord
+        .split_once(',')
+        .ok_or_else(|| format!("bad --kill coordinate {coord:?} (expected x,y)"))?;
+    let x = x.parse().map_err(|_| format!("bad --kill x {x:?}"))?;
+    let y = y.parse().map_err(|_| format!("bad --kill y {y:?}"))?;
+    let dir = parse_direction(dir)?;
+    let at = at.parse().map_err(|_| format!("bad --kill cycle {at:?}"))?;
+    Ok((x, y, dir, at))
+}
+
 fn parse_mesh(s: &str) -> Result<(u16, u16), String> {
     let (w, h) = s
         .split_once(['x', 'X'])
@@ -221,7 +283,11 @@ impl Cli {
                 };
                 let rates = get("rates", "0.1,0.3,0.5,0.7")
                     .split(',')
-                    .map(|r| r.trim().parse::<f64>().map_err(|_| format!("bad rate {r:?}")))
+                    .map(|r| {
+                        r.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad rate {r:?}"))
+                    })
                     .collect::<Result<Vec<f64>, String>>()?;
                 Ok(Cli::Sweep(SweepArgs {
                     mechanism: get("mechanism", "afc"),
@@ -229,6 +295,28 @@ impl Cli {
                     rates,
                     mesh: parse_mesh(&get("mesh", "3x3"))?,
                     cycles: get("cycles", "10000").parse().map_err(|_| "bad --cycles")?,
+                    seed: get("seed", "1").parse().map_err(|_| "bad --seed")?,
+                }))
+            }
+            "faults" => {
+                let flags = take_flags(&args[1..])?;
+                let get = |k: &str, default: &str| {
+                    flags.get(k).cloned().unwrap_or_else(|| default.to_string())
+                };
+                let rate_flag = |k: &str, default: &str| -> Result<f64, String> {
+                    get(k, default).parse().map_err(|_| format!("bad --{k}"))
+                };
+                Ok(Cli::Faults(FaultArgs {
+                    mechanism: get("mechanism", "afc"),
+                    mesh: parse_mesh(&get("mesh", "3x3"))?,
+                    rate: rate_flag("rate", "0.10")?,
+                    drop: rate_flag("drop", "5e-4")?,
+                    corrupt: rate_flag("corrupt", "5e-4")?,
+                    credit_loss: rate_flag("credit-loss", "0")?,
+                    kill: flags.get("kill").map(|s| parse_kill(s)).transpose()?,
+                    cycles: get("cycles", "5000").parse().map_err(|_| "bad --cycles")?,
+                    drain: get("drain", "300000").parse().map_err(|_| "bad --drain")?,
+                    timeout: get("timeout", "600").parse().map_err(|_| "bad --timeout")?,
                     seed: get("seed", "1").parse().map_err(|_| "bad --seed")?,
                 }))
             }
@@ -247,8 +335,17 @@ USAGE:
   afc-noc sweep [--mechanism M] [--pattern P] [--rates 0.1,0.3,...]
                 [--mesh 3x3] [--cycles N] [--seed N]
   afc-noc inspect [--workload W] [--mesh 3x3] [--cycles N] [--seed N]
+  afc-noc faults  [--mechanism M] [--mesh 3x3] [--rate R] [--drop P]
+                  [--corrupt P] [--credit-loss P] [--kill x,y:DIR:CYCLE]
+                  [--cycles N] [--drain N] [--timeout N] [--seed N]
   afc-noc list
   afc-noc help
+
+The faults scenario injects deterministic, seed-reproducible link faults
+(transient drop/corruption per flit-hop, credit loss, permanent kill) while
+per-packet checksums and NI retransmission recover end to end; a stall
+watchdog turns deadlock into a structured report instead of a hang.
+--timeout 0 disables retransmission.
 ";
 
 #[cfg(test)]
@@ -262,7 +359,9 @@ mod tests {
     #[test]
     fn parses_run_with_defaults() {
         let cli = Cli::parse(&argv("run"));
-        let Cli::Run(a) = cli else { panic!("expected run") };
+        let Cli::Run(a) = cli else {
+            panic!("expected run")
+        };
         assert_eq!(a.mechanism, "afc");
         assert_eq!(a.mesh, (3, 3));
         assert_eq!(a.txns, 2000);
@@ -273,7 +372,9 @@ mod tests {
         let cli = Cli::parse(&argv(
             "run --mechanism bless --workload water --mesh 5x4 --seed 9 --txns 100",
         ));
-        let Cli::Run(a) = cli else { panic!("expected run") };
+        let Cli::Run(a) = cli else {
+            panic!("expected run")
+        };
         assert_eq!(a.mechanism, "bless");
         assert_eq!(a.workload, "water");
         assert_eq!(a.mesh, (5, 4));
@@ -284,7 +385,9 @@ mod tests {
     #[test]
     fn parses_inspect() {
         let cli = Cli::parse(&argv("inspect --workload apache --cycles 500"));
-        let Cli::Inspect(a) = cli else { panic!("expected inspect") };
+        let Cli::Inspect(a) = cli else {
+            panic!("expected inspect")
+        };
         assert_eq!(a.workload, "apache");
         assert_eq!(a.cycles, 500);
         assert_eq!(a.mesh, (3, 3));
@@ -293,14 +396,71 @@ mod tests {
     #[test]
     fn parses_sweep_rates() {
         let cli = Cli::parse(&argv("sweep --rates 0.1,0.2 --pattern tornado"));
-        let Cli::Sweep(a) = cli else { panic!("expected sweep") };
+        let Cli::Sweep(a) = cli else {
+            panic!("expected sweep")
+        };
         assert_eq!(a.rates, vec![0.1, 0.2]);
         assert_eq!(a.pattern, "tornado");
     }
 
     #[test]
+    fn parses_faults_with_defaults() {
+        let cli = Cli::parse(&argv("faults"));
+        let Cli::Faults(a) = cli else {
+            panic!("expected faults")
+        };
+        assert_eq!(a.mechanism, "afc");
+        assert_eq!(a.mesh, (3, 3));
+        assert_eq!(a.rate, 0.10);
+        assert_eq!(a.drop, 5e-4);
+        assert_eq!(a.corrupt, 5e-4);
+        assert_eq!(a.credit_loss, 0.0);
+        assert_eq!(a.kill, None);
+        assert_eq!(a.timeout, 600);
+    }
+
+    #[test]
+    fn parses_faults_kill_spec() {
+        let cli = Cli::parse(&argv(
+            "faults --mechanism backpressured --kill 1,1:E:1000 --drop 1e-3 --timeout 0",
+        ));
+        let Cli::Faults(a) = cli else {
+            panic!("expected faults")
+        };
+        assert_eq!(a.mechanism, "backpressured");
+        assert_eq!(a.kill, Some((1, 1, Direction::East, 1000)));
+        assert_eq!(a.drop, 1e-3);
+        assert_eq!(a.timeout, 0);
+        // Long direction names and lowercase are accepted too.
+        let cli = Cli::parse(&argv("faults --kill 0,2:north:50"));
+        let Cli::Faults(a) = cli else {
+            panic!("expected faults")
+        };
+        assert_eq!(a.kill, Some((0, 2, Direction::North, 50)));
+    }
+
+    #[test]
+    fn rejects_bad_kill_specs() {
+        for bad in [
+            "faults --kill 1:E:1000",
+            "faults --kill 1,1:Q:1000",
+            "faults --kill 1,1:E",
+            "faults --kill 1,1:E:x",
+            "faults --kill 1,1:E:1:2",
+        ] {
+            assert!(
+                matches!(Cli::parse(&argv(bad)), Cli::Help(Some(_))),
+                "{bad} should fail to parse"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_garbage_gracefully() {
-        assert!(matches!(Cli::parse(&argv("frobnicate")), Cli::Help(Some(_))));
+        assert!(matches!(
+            Cli::parse(&argv("frobnicate")),
+            Cli::Help(Some(_))
+        ));
         assert!(matches!(
             Cli::parse(&argv("run --mesh banana")),
             Cli::Help(Some(_))

@@ -51,11 +51,9 @@ pub mod prelude {
     pub use afc_core::{AfcConfig, AfcFactory, AfcMode, AfcRouter, ClassThresholds};
     pub use afc_energy::{EnergyBreakdown, EnergyModel, EnergyParams, MechanismProfile};
     pub use afc_netsim::prelude::*;
-    pub use afc_routers::{
-        BackpressuredFactory, DeflectionFactory, DropFactory, RankPolicy,
-    };
+    pub use afc_routers::{BackpressuredFactory, DeflectionFactory, DropFactory, RankPolicy};
     pub use afc_traffic::{
-        run_closed_loop, run_open_loop, workloads, ClosedLoopTraffic, OpenLoopTraffic, PacketMix,
-        Pattern, RateSpec, RunOutcome, WorkloadParams,
+        run_closed_loop, run_fault_scenario, run_open_loop, workloads, ClosedLoopTraffic,
+        FaultRunOutcome, OpenLoopTraffic, PacketMix, Pattern, RateSpec, RunOutcome, WorkloadParams,
     };
 }

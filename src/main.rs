@@ -2,9 +2,10 @@
 //! sweeps from the shell. See `afc-noc help`.
 
 use afc_noc::cli::{
-    mechanism_factory, pattern_by_name, workload_by_name, Cli, InspectArgs, RunArgs, SweepArgs,
-    MECHANISMS, PATTERNS, USAGE, WORKLOADS,
+    mechanism_factory, pattern_by_name, workload_by_name, Cli, FaultArgs, InspectArgs, RunArgs,
+    SweepArgs, MECHANISMS, PATTERNS, USAGE, WORKLOADS,
 };
+use afc_noc::netsim::config::RetransmitConfig;
 use afc_noc::prelude::*;
 
 fn main() {
@@ -46,6 +47,13 @@ fn main() {
                 2
             }
         },
+        Cli::Faults(faults) => match do_faults(&faults) {
+            Ok(()) => 0,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                2
+            }
+        },
     };
     std::process::exit(code);
 }
@@ -79,7 +87,10 @@ fn do_run(args: &RunArgs) -> Result<(), String> {
         args.mechanism, args.workload, args.mesh.0, args.mesh.1, args.seed
     );
     println!("cycles:            {}", out.measured_cycles);
-    println!("injection rate:    {:.3} flits/node/cycle", out.injection_rate());
+    println!(
+        "injection rate:    {:.3} flits/node/cycle",
+        out.injection_rate()
+    );
     println!(
         "throughput:        {:.3} flits/node/cycle",
         out.stats.throughput(nodes)
@@ -156,6 +167,91 @@ fn do_inspect(args: &InspectArgs) -> Result<(), String> {
         c.mode_switches_gossip,
         100.0 * sim.network.stats().backpressured_fraction(),
     );
+    Ok(())
+}
+
+fn do_faults(args: &FaultArgs) -> Result<(), String> {
+    let factory = mechanism_factory(&args.mechanism)?;
+    let mut plan = FaultPlan::uniform_transient(args.drop, args.corrupt);
+    if args.credit_loss > 0.0 {
+        plan = plan.with_credit_loss(args.credit_loss);
+    }
+    let mut cfg = net_config(args.mesh);
+    if let Some((x, y, dir, at)) = args.kill {
+        let mesh = cfg.mesh().map_err(|e| e.to_string())?;
+        let node = mesh.node_at(Coord::new(x, y)).ok_or_else(|| {
+            format!(
+                "--kill node {x},{y} is outside the {}x{} mesh",
+                args.mesh.0, args.mesh.1
+            )
+        })?;
+        plan = plan.kill_link(node, dir, at);
+    }
+    cfg.faults = plan;
+    cfg.retransmit = (args.timeout > 0).then_some(RetransmitConfig {
+        timeout: args.timeout,
+        ..RetransmitConfig::default()
+    });
+    cfg.validate().map_err(|e| e.to_string())?;
+
+    let out = run_fault_scenario(
+        factory.as_ref(),
+        &cfg,
+        RateSpec::Uniform(args.rate),
+        Pattern::UniformRandom,
+        PacketMix::paper(),
+        args.cycles,
+        args.drain,
+        args.seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let s = &out.stats;
+    println!(
+        "mechanism={} mesh={}x{} seed={} drop={:.1e} corrupt={:.1e} credit-loss={:.1e}",
+        args.mechanism,
+        args.mesh.0,
+        args.mesh.1,
+        args.seed,
+        args.drop,
+        args.corrupt,
+        args.credit_loss,
+    );
+    println!(
+        "offered/delivered: {} / {} packets ({:.2}%)",
+        s.packets_offered,
+        s.packets_delivered,
+        100.0 * out.delivered_fraction()
+    );
+    println!(
+        "faults injected:   {} (dropped flits {}, corrupted {}, credits lost {})",
+        s.faults_injected, s.flits_lost_to_faults, s.flits_corrupted, s.credits_lost
+    );
+    println!(
+        "recovery:          {} packets recovered, {} timeouts, {} retransmitted flits, {} dup flits discarded",
+        s.recovered_packets, s.retransmit_timeouts, s.flits_retransmitted,
+        s.duplicate_flits_discarded
+    );
+    println!(
+        "packet latency:    mean {:.1}  p99 {} cycles",
+        s.network_latency.mean().unwrap_or(f64::NAN),
+        pct(s, 0.99),
+    );
+    match &out.error {
+        Some(e) => println!("outcome:           {e}"),
+        None if out.drained => println!("outcome:           drained at cycle {}", out.ran_cycles),
+        None => println!(
+            "outcome:           drain budget exhausted at cycle {} ({} flits in flight)",
+            out.ran_cycles,
+            out.network.flits_in_network()
+        ),
+    }
+    let log = out.network.fault_log();
+    if !log.is_empty() {
+        println!("first fault events (of {}):", log.len());
+        for ev in log.iter().take(5) {
+            println!("  {ev:?}");
+        }
+    }
     Ok(())
 }
 

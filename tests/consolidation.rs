@@ -6,9 +6,7 @@ use afc_noc::prelude::*;
 use afc_traffic::closedloop::ClosedLoopTraffic;
 use afc_traffic::synthetic::quadrant_of;
 
-fn run(
-    factory: &dyn afc_netsim::router::RouterFactory,
-) -> (u64, f64, f64) {
+fn run(factory: &dyn afc_netsim::router::RouterFactory) -> (u64, f64, f64) {
     let cfg = NetworkConfig::paper_8x8();
     let mesh = cfg.mesh().unwrap();
     let params: Vec<_> = mesh

@@ -301,8 +301,16 @@ fn afc_duty_cycle_tracks_load_class() {
                 r.backpressured_fraction
             ),
             // Mixed-phase workloads land in between.
-            "ocean" => assert!(r.backpressured_fraction < 0.5, "{:.2}", r.backpressured_fraction),
-            "oltp" => assert!(r.backpressured_fraction > 0.5, "{:.2}", r.backpressured_fraction),
+            "ocean" => assert!(
+                r.backpressured_fraction < 0.5,
+                "{:.2}",
+                r.backpressured_fraction
+            ),
+            "oltp" => assert!(
+                r.backpressured_fraction > 0.5,
+                "{:.2}",
+                r.backpressured_fraction
+            ),
             other => panic!("unexpected workload {other}"),
         }
     }

@@ -1,12 +1,16 @@
-//! Property-based tests: simulator invariants that must hold for *any*
+//! Property-style tests: simulator invariants that must hold for *any*
 //! mesh size, seed, load level and mechanism.
+//!
+//! Formerly driven by `proptest`; rewritten as deterministic seeded sweeps
+//! over [`SimRng`]-drawn parameters so the suite builds with no external
+//! dependencies (the verify pipeline runs offline). Every case is fully
+//! reproducible from its printed seed.
 //!
 //! The deepest invariant — "credit accounting never overflows a buffer" —
 //! is enforced by panics inside the routers themselves, so every property
 //! here doubles as a fuzz of those assertions.
 
 use afc_noc::prelude::*;
-use proptest::prelude::*;
 
 fn mechanism(idx: usize) -> Box<dyn afc_netsim::router::RouterFactory> {
     match idx % 5 {
@@ -26,19 +30,18 @@ fn small_config(w: u16, h: u16) -> NetworkConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Everything offered below saturation is eventually delivered, exactly
+/// once (duplicates panic inside the NI), on any mesh and mechanism.
+#[test]
+fn conservation_all_offered_packets_are_delivered() {
+    for case in 0..12u64 {
+        let mut p = SimRng::seed_from(0xC0DE + case);
+        let w = 2 + p.gen_range(3) as u16;
+        let h = 2 + p.gen_range(3) as u16;
+        let mech = p.gen_index(5);
+        let seed = p.gen_range(1_000);
+        let rate = 0.01 + p.gen_f64() * 0.24;
 
-    /// Everything offered below saturation is eventually delivered, exactly
-    /// once (duplicates panic inside the NI), on any mesh and mechanism.
-    #[test]
-    fn conservation_all_offered_packets_are_delivered(
-        w in 2u16..5,
-        h in 2u16..5,
-        mech in 0usize..5,
-        seed in 0u64..1_000,
-        rate in 0.01f64..0.25,
-    ) {
         let cfg = small_config(w, h);
         let factory = mechanism(mech);
         let network = Network::new(cfg, factory.as_ref(), seed).unwrap();
@@ -51,23 +54,32 @@ proptest! {
         let mut sim = Simulation::new(network, traffic);
         sim.run(3_000);
         sim.traffic.stop();
-        prop_assert!(sim.drain(500_000), "network must drain after sources stop");
+        assert!(
+            sim.drain(500_000),
+            "network must drain after sources stop (case {case}: {w}x{h} mech {mech} seed {seed})"
+        );
         let stats = sim.network.stats();
-        prop_assert_eq!(stats.packets_delivered, stats.packets_offered);
-        prop_assert_eq!(stats.flits_delivered, stats.flits_injected
-            + stats.flits_retransmitted - stats.flits_retransmitted);
-        prop_assert!(sim.network.is_drained());
+        assert_eq!(
+            stats.packets_delivered, stats.packets_offered,
+            "case {case}: {w}x{h} mech {mech} seed {seed}"
+        );
+        assert!(sim.network.is_drained());
+        sim.network.audit().expect("flit conservation");
+        sim.network.credit_audit().expect("credit conservation");
     }
+}
 
-    /// Closed-loop runs complete their transaction budget with every
-    /// request matched by exactly one reply, at any load.
-    #[test]
-    fn closed_loop_requests_match_replies(
-        mech in 0usize..5,
-        seed in 0u64..1_000,
-        think in 10f64..400.0,
-        threads in 1usize..6,
-    ) {
+/// Closed-loop runs complete their transaction budget with every
+/// request matched by exactly one reply, at any load.
+#[test]
+fn closed_loop_requests_match_replies() {
+    for case in 0..10u64 {
+        let mut p = SimRng::seed_from(0xB00C + case);
+        let mech = p.gen_index(5);
+        let seed = p.gen_range(1_000);
+        let think = 10.0 + p.gen_f64() * 390.0;
+        let threads = 1 + p.gen_index(5);
+
         let params = WorkloadParams {
             think_mean: think,
             threads,
@@ -82,21 +94,28 @@ proptest! {
             60,
             10_000_000,
             seed,
-        ).unwrap();
-        prop_assert!(out.stats.packets_delivered > 0);
+        )
+        .unwrap();
+        assert!(
+            out.stats.packets_delivered > 0,
+            "case {case}: mech {mech} seed {seed}"
+        );
         // Latency statistics are internally consistent.
         let lat = &out.stats.network_latency;
         if let (Some(mean), Some(min), Some(max)) = (lat.mean(), lat.min(), lat.max()) {
-            prop_assert!(min as f64 <= mean && mean <= max as f64);
+            assert!(min as f64 <= mean && mean <= max as f64);
         }
     }
+}
 
-    /// Deterministic replay: identical seeds give identical statistics.
-    #[test]
-    fn identical_seeds_replay_identically(
-        mech in 0usize..5,
-        seed in 0u64..100,
-    ) {
+/// Deterministic replay: identical seeds give identical statistics.
+#[test]
+fn identical_seeds_replay_identically() {
+    for case in 0..10u64 {
+        let mut p = SimRng::seed_from(0x5EED + case);
+        let mech = p.gen_index(5);
+        let seed = p.gen_range(100);
+
         let factory = mechanism(mech);
         let run = || {
             let out = run_open_loop(
@@ -108,7 +127,8 @@ proptest! {
                 500,
                 1_500,
                 seed,
-            ).unwrap();
+            )
+            .unwrap();
             (
                 out.stats.flits_delivered,
                 out.stats.network_latency.sum(),
@@ -116,17 +136,20 @@ proptest! {
                 out.counters.deflections,
             )
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}: mech {mech} seed {seed}");
     }
+}
 
-    /// Delivered-flit hop counts are bounded: at least the Manhattan
-    /// distance (packets can't teleport), and deflections only ever add
-    /// hops.
-    #[test]
-    fn hops_are_at_least_manhattan_distance(
-        mech in 0usize..5,
-        seed in 0u64..1_000,
-    ) {
+/// Delivered-flit hop counts are bounded: at least the Manhattan
+/// distance (packets can't teleport), and deflections only ever add
+/// hops.
+#[test]
+fn hops_are_at_least_manhattan_distance() {
+    for case in 0..12u64 {
+        let mut p = SimRng::seed_from(0x40B5 + case);
+        let mech = p.gen_index(5);
+        let seed = p.gen_range(1_000);
+
         let cfg = NetworkConfig::paper_3x3();
         let factory = mechanism(mech);
         let mut net = Network::new(cfg, factory.as_ref(), seed).unwrap();
@@ -139,13 +162,16 @@ proptest! {
             while dest == src {
                 dest = NodeId::new(rng.gen_index(mesh.node_count()));
             }
-            let id = net.offer_packet(src, afc_netsim::packet::PacketInput {
-                dest,
-                vnet: VirtualNetwork(0),
-                len: 1,
-                kind: afc_netsim::packet::PacketKind::Synthetic,
-                tag: 0,
-            });
+            let id = net.offer_packet(
+                src,
+                afc_netsim::packet::PacketInput {
+                    dest,
+                    vnet: VirtualNetwork(0),
+                    len: 1,
+                    kind: afc_netsim::packet::PacketKind::Synthetic,
+                    tag: 0,
+                },
+            );
             expected.push((id, mesh.distance(src, dest)));
         }
         let mut delivered = Vec::new();
@@ -156,98 +182,117 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(delivered.len(), expected.len());
-        for p in delivered {
-            let (_, dist) = expected.iter()
-                .find(|(id, _)| *id == p.descriptor.id)
+        assert_eq!(delivered.len(), expected.len());
+        for pkt in delivered {
+            let (_, dist) = expected
+                .iter()
+                .find(|(id, _)| *id == pkt.descriptor.id)
                 .expect("delivered packet was offered");
-            prop_assert!(p.total_hops >= *dist);
+            assert!(pkt.total_hops >= *dist);
             // A flit never takes more hops than distance + 2 * deflections
             // (each deflection costs at most one off-path and one
             // corrective hop). The drop router is exempt: a dropped flit
             // restarts from its source with its hop count preserved, so
             // hops accumulate without deflections.
             if mech % 5 != 2 {
-                prop_assert!(
-                    p.total_hops <= dist + 2 * p.total_deflections + 1,
-                    "hops {} vs distance {} with {} deflections",
-                    p.total_hops, dist, p.total_deflections
+                assert!(
+                    pkt.total_hops <= dist + 2 * pkt.total_deflections + 1,
+                    "hops {} vs distance {} with {} deflections (case {case})",
+                    pkt.total_hops,
+                    dist,
+                    pkt.total_deflections
                 );
             }
         }
     }
+}
 
-    /// AFC under violently varying load never violates its internal credit
-    /// assertions and still delivers everything (mode-switch safety fuzz).
-    #[test]
-    fn afc_mode_churn_is_safe(
-        seed in 0u64..500,
-        spike_len in 100u64..600,
-        hot_fraction in 0.3f64..0.9,
-    ) {
-        let cfg = NetworkConfig::paper_3x3();
-        let network = Network::new(cfg, &AfcFactory::paper(), seed).unwrap();
-        struct Churn {
-            rng: SimRng,
-            spike_len: u64,
-            hot_fraction: f64,
-        }
-        impl afc_netsim::sim::TrafficModel for Churn {
-            fn pre_cycle(&mut self, now: u64, net: &mut Network) {
-                // Alternate hot/cold windows of `spike_len` cycles.
-                let hot = (now / self.spike_len).is_multiple_of(2);
-                let rate = if hot { 0.8 } else { 0.02 };
-                let mesh = net.mesh().clone();
-                for node in mesh.nodes() {
-                    if !self.rng.gen_bool(rate / 3.0) {
-                        continue;
-                    }
-                    // Concentrate some traffic on the center to force
-                    // gossip activity.
-                    let dest = if self.rng.gen_bool(self.hot_fraction) {
-                        NodeId::new(4)
-                    } else {
-                        NodeId::new(self.rng.gen_index(mesh.node_count()))
-                    };
-                    if dest == node {
-                        continue;
-                    }
-                    net.offer_packet(node, afc_netsim::packet::PacketInput {
+/// AFC under violently varying load never violates its internal credit
+/// assertions and still delivers everything (mode-switch safety fuzz).
+#[test]
+fn afc_mode_churn_is_safe() {
+    struct Churn {
+        rng: SimRng,
+        spike_len: u64,
+        hot_fraction: f64,
+    }
+    impl afc_netsim::sim::TrafficModel for Churn {
+        fn pre_cycle(&mut self, now: u64, net: &mut Network) {
+            // Alternate hot/cold windows of `spike_len` cycles.
+            let hot = (now / self.spike_len).is_multiple_of(2);
+            let rate = if hot { 0.8 } else { 0.02 };
+            let mesh = net.mesh().clone();
+            for node in mesh.nodes() {
+                if !self.rng.gen_bool(rate / 3.0) {
+                    continue;
+                }
+                // Concentrate some traffic on the center to force
+                // gossip activity.
+                let dest = if self.rng.gen_bool(self.hot_fraction) {
+                    NodeId::new(4)
+                } else {
+                    NodeId::new(self.rng.gen_index(mesh.node_count()))
+                };
+                if dest == node {
+                    continue;
+                }
+                net.offer_packet(
+                    node,
+                    afc_netsim::packet::PacketInput {
                         dest,
                         vnet: VirtualNetwork((self.rng.gen_index(3)) as u8),
                         len: if self.rng.gen_bool(0.4) { 16 } else { 1 },
                         kind: afc_netsim::packet::PacketKind::Synthetic,
                         tag: 0,
-                    });
-                }
+                    },
+                );
             }
-            fn on_delivered(
-                &mut self,
-                _p: &afc_netsim::packet::DeliveredPacket,
-                _now: u64,
-                _net: &mut Network,
-            ) {}
         }
-        let mut sim = Simulation::new(network, Churn {
-            rng: SimRng::seed_from(seed),
-            spike_len,
-            hot_fraction,
-        });
+        fn on_delivered(
+            &mut self,
+            _p: &afc_netsim::packet::DeliveredPacket,
+            _now: u64,
+            _net: &mut Network,
+        ) {
+        }
+    }
+    struct Silent;
+    impl afc_netsim::sim::TrafficModel for Silent {
+        fn pre_cycle(&mut self, _n: u64, _net: &mut Network) {}
+        fn on_delivered(
+            &mut self,
+            _p: &afc_netsim::packet::DeliveredPacket,
+            _now: u64,
+            _net: &mut Network,
+        ) {
+        }
+    }
+
+    for case in 0..8u64 {
+        let mut p = SimRng::seed_from(0xAFC0 + case);
+        let seed = p.gen_range(500);
+        let spike_len = 100 + p.gen_range(500);
+        let hot_fraction = 0.3 + p.gen_f64() * 0.6;
+
+        let cfg = NetworkConfig::paper_3x3();
+        let network = Network::new(cfg, &AfcFactory::paper(), seed).unwrap();
+        let mut sim = Simulation::new(
+            network,
+            Churn {
+                rng: SimRng::seed_from(seed),
+                spike_len,
+                hot_fraction,
+            },
+        );
         sim.run(4_000);
         // Stop and drain: every packet must come home.
-        struct Silent;
-        impl afc_netsim::sim::TrafficModel for Silent {
-            fn pre_cycle(&mut self, _n: u64, _net: &mut Network) {}
-            fn on_delivered(
-                &mut self,
-                _p: &afc_netsim::packet::DeliveredPacket,
-                _now: u64,
-                _net: &mut Network,
-            ) {}
-        }
         let mut sim = Simulation::new(sim.network, Silent);
-        prop_assert!(sim.drain(1_000_000), "AFC network must drain");
+        assert!(
+            sim.drain(1_000_000),
+            "AFC network must drain (case {case}: seed {seed} spike {spike_len})"
+        );
         let stats = sim.network.stats();
-        prop_assert_eq!(stats.packets_delivered, stats.packets_offered);
+        assert_eq!(stats.packets_delivered, stats.packets_offered);
+        sim.network.credit_audit().expect("credit conservation");
     }
 }

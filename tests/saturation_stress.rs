@@ -35,7 +35,9 @@ fn open_loop_beyond_saturation_keeps_delivering() {
             "{}: throughput must not collapse past saturation ({before} -> {after})",
             factory.name()
         );
-        sim.network.audit().unwrap_or_else(|e| panic!("{}: {e}", factory.name()));
+        sim.network
+            .audit()
+            .unwrap_or_else(|e| panic!("{}: {e}", factory.name()));
     }
 }
 
@@ -96,6 +98,9 @@ fn adversarial_patterns_do_not_wedge_the_deflection_network() {
             "{pattern:?}: network must drain after sources stop"
         );
         let stats = sim.network.stats();
-        assert_eq!(stats.packets_delivered, stats.packets_offered, "{pattern:?}");
+        assert_eq!(
+            stats.packets_delivered, stats.packets_offered,
+            "{pattern:?}"
+        );
     }
 }
