@@ -31,7 +31,9 @@ fn scaled_thresholds(scale: f64) -> ClassThresholds {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    afc_bench::sweep::parse_threads_arg(&args);
+    let quick = args.iter().any(|a| a == "--quick");
     let cfg = NetworkConfig::paper_3x3();
     let (warmup, measure) = if quick { (100, 400) } else { (300, 1_500) };
     let (ol_warm, ol_meas) = if quick {
@@ -60,7 +62,7 @@ fn main() {
     let mut t = Table::new(vec![
         "variant", "lat@0.1", "lat@0.3", "lat@0.5", "lat@0.7", "sat thpt",
     ]);
-    for m in &variants {
+    let rows = afc_bench::sweep::run_sweep("ablation-variants", &variants, |_, m| {
         let pts = latency_throughput_sweep(
             m,
             &rates,
@@ -80,7 +82,10 @@ fn main() {
             );
         }
         cells.push(format!("{:.2}", saturation_throughput(&pts)));
-        t.row(cells);
+        cells
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 
@@ -92,7 +97,7 @@ fn main() {
         "cycles",
         "fwd switches",
     ]);
-    for scale in [0.5, 1.0, 2.0] {
+    let rows = afc_bench::sweep::run_sweep("ablation-thresholds", &[0.5, 1.0, 2.0], |_, &scale| {
         let mech = Mechanism {
             label: "afc",
             factory: Box::new(AfcFactory::new(AfcConfig {
@@ -109,19 +114,22 @@ fn main() {
             50_000_000,
             1,
         );
-        t.row(vec![
+        vec![
             format!("{scale:.1}x"),
             percent(rows[0].backpressured_fraction),
             rows[0].cycles.to_string(),
             rows[0].mode_switches.0.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 
     // 4: EWMA weight on ocean (smoothing vs. thrash).
     println!("Ablation 4: EWMA weight (ocean)\n");
     let mut t = Table::new(vec!["weight", "fwd switches", "rev switches", "cycles"]);
-    for weight in [0.90, 0.99, 0.999] {
+    let rows = afc_bench::sweep::run_sweep("ablation-ewma", &[0.90, 0.99, 0.999], |_, &weight| {
         let mech = Mechanism {
             label: "afc",
             factory: Box::new(AfcFactory::new(AfcConfig {
@@ -138,12 +146,15 @@ fn main() {
             50_000_000,
             1,
         );
-        t.row(vec![
+        vec![
             format!("{weight}"),
             rows[0].mode_switches.0.to_string(),
             rows[0].mode_switches.1.to_string(),
             rows[0].cycles.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 
@@ -155,7 +166,8 @@ fn main() {
         "cycles",
         "energy (uJ)",
     ]);
-    for (c, d) in [(6, 8), (8, 16), (16, 32)] {
+    let sizes = [(6, 8), (8, 16), (16, 32)];
+    let rows = afc_bench::sweep::run_sweep("ablation-buffers", &sizes, |_, &(c, d)| {
         let afc_cfg = AfcConfig {
             control_vcs: c,
             data_vcs: d,
@@ -176,12 +188,15 @@ fn main() {
             50_000_000,
             1,
         );
-        t.row(vec![
+        vec![
             format!("{c}/{d}"),
             flits.to_string(),
             rows[0].cycles.to_string(),
             ratio(rows[0].energy.total() / 1e6),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 
@@ -206,29 +221,35 @@ fn main() {
             },
         ),
     ];
-    for (label, options) in variants {
-        let mech = Mechanism {
-            label: "backpressured",
-            factory: Box::new(BackpressuredFactory::with_options(options)),
-        };
-        let pts = latency_throughput_sweep(
-            &mech,
-            &[0.4],
-            &cfg,
-            Pattern::Transpose,
-            PacketMix::paper(),
-            ol_warm,
-            ol_meas,
-            1,
-        );
-        t.row(vec![
-            label.to_string(),
-            pts[0]
-                .latency
-                .map(|l| format!("{l:.0}"))
-                .unwrap_or_else(|| "-".into()),
-            format!("{:.2}", pts[0].throughput),
-        ]);
+    let rows =
+        afc_bench::sweep::run_sweep("ablation-bp-options", &variants, |_, &(label, options)| {
+            let mech = Mechanism {
+                label: "backpressured",
+                factory: Box::new(BackpressuredFactory::with_options(options)),
+            };
+            let pts = latency_throughput_sweep(
+                &mech,
+                &[0.4],
+                &cfg,
+                Pattern::Transpose,
+                PacketMix::paper(),
+                ol_warm,
+                ol_meas,
+                1,
+            );
+            vec![
+                label.to_string(),
+                pts[0]
+                    .latency
+                    .map(|l| format!("{l:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.2}", pts[0].throughput),
+            ]
+        });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
+    let timing = afc_bench::sweep::write_timing_report("ablation").expect("writable results dir");
+    println!("(timing: {})", timing.display());
 }

@@ -15,7 +15,9 @@ use afc_traffic::runner::run_open_loop;
 use afc_traffic::synthetic::Pattern;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    afc_bench::sweep::parse_threads_arg(&args);
+    let quick = args.iter().any(|a| a == "--quick");
     let (warmup, measure) = if quick {
         (1_500, 6_000)
     } else {
@@ -23,31 +25,35 @@ fn main() {
     };
     let rates: Vec<f64> = (1..=10).map(|i| i as f64 * 0.05).collect();
     let cfg = NetworkConfig::paper_3x3();
-    let model = EnergyModel::new(EnergyParams::micro2010_70nm());
     let mechs = fig2_mechanisms();
 
-    // energy per delivered flit (pJ), per mechanism, per rate
-    let mut curves: Vec<(&str, Vec<f64>)> = Vec::new();
-    for m in &mechs {
-        let mut pts = Vec::new();
-        for &rate in &rates {
-            let out = run_open_loop(
-                m.factory.as_ref(),
-                &cfg,
-                RateSpec::Uniform(rate),
-                Pattern::UniformRandom,
-                PacketMix::paper(),
-                warmup,
-                measure,
-                1,
-            )
-            .expect("valid configuration");
-            let energy = model.price_network(&out.network).total();
-            let flits = out.stats.flits_delivered.max(1) as f64;
-            pts.push(energy / flits);
-        }
-        curves.push((m.label, pts));
-    }
+    // energy per delivered flit (pJ), per mechanism, per rate — one sweep
+    // job per (mechanism, rate) point.
+    let jobs: Vec<(usize, f64)> = (0..mechs.len())
+        .flat_map(|mi| rates.iter().map(move |&r| (mi, r)))
+        .collect();
+    let points = afc_bench::sweep::run_sweep("crossover", &jobs, |_, &(mi, rate)| {
+        let model = EnergyModel::new(EnergyParams::micro2010_70nm());
+        let out = run_open_loop(
+            mechs[mi].factory.as_ref(),
+            &cfg,
+            RateSpec::Uniform(rate),
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            warmup,
+            measure,
+            1,
+        )
+        .expect("valid configuration");
+        let energy = model.price_network(&out.network).total();
+        let flits = out.stats.flits_delivered.max(1) as f64;
+        energy / flits
+    });
+    let curves: Vec<(&str, Vec<f64>)> = mechs
+        .iter()
+        .zip(points.chunks(rates.len()))
+        .map(|(m, pts)| (m.label, pts.to_vec()))
+        .collect();
 
     let mut t = Table::new(
         std::iter::once("rate".to_string())
@@ -105,4 +111,6 @@ fn main() {
         "AFC stays within {:.0}% of the per-rate lower envelope across the sweep.",
         (worst_excess - 1.0) * 100.0
     );
+    let timing = afc_bench::sweep::write_timing_report("crossover").expect("writable results dir");
+    println!("(timing: {})", timing.display());
 }

@@ -10,7 +10,9 @@ use afc_netsim::config::NetworkConfig;
 use afc_traffic::workloads;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    afc_bench::sweep::parse_threads_arg(&args);
+    let quick = args.iter().any(|a| a == "--quick");
     let (warmup, measure) = if quick { (100, 400) } else { (500, 2_000) };
     let mechs = vec![Mechanism {
         label: "afc",
@@ -47,4 +49,6 @@ fn main() {
         "Paper reference: water/barnes ~99% backpressureless; specjbb/apache >99%\n\
          backpressured; ocean 7% backpressured; oltp 5% backpressureless."
     );
+    let timing = afc_bench::sweep::write_timing_report("duty_cycle").expect("writable results dir");
+    println!("(timing: {})", timing.display());
 }

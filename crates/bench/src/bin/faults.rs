@@ -44,6 +44,7 @@ fn fault_mechanisms() -> Vec<Mechanism> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    afc_bench::sweep::parse_threads_arg(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let seed = args
         .iter()
@@ -76,47 +77,53 @@ fn main() {
         "mean lat",
         "outcome",
     ]);
-    for m in fault_mechanisms() {
-        for &rate in rates {
-            let cfg = NetworkConfig {
-                faults: FaultPlan::uniform_transient(rate, rate),
-                retransmit: Some(RetransmitConfig::default()),
-                ..NetworkConfig::paper_3x3()
-            };
-            let out = run_fault_scenario(
-                m.factory.as_ref(),
-                &cfg,
-                RateSpec::Uniform(0.10),
-                Pattern::UniformRandom,
-                PacketMix::paper(),
-                inject,
-                drain,
-                seed,
-            )
-            .expect("valid configuration");
-            let s = &out.stats;
-            let outcome = match &out.error {
-                Some(SimError::Stalled { cycle, .. }) => format!("STALLED@{cycle}"),
-                Some(e) => format!("ERROR: {e}"),
-                None if out.drained => "drained".to_string(),
-                None => "drain budget exhausted".to_string(),
-            };
-            t.row(vec![
-                m.label.to_string(),
-                format!("{rate:.0e}"),
-                percent(out.delivered_fraction()),
-                s.recovered_packets.to_string(),
-                s.retransmit_timeouts.to_string(),
-                s.flits_corrupted.to_string(),
-                s.flits_lost_to_faults.to_string(),
-                s.duplicate_flits_discarded.to_string(),
-                s.network_latency
-                    .mean()
-                    .map(|l| format!("{l:.1}"))
-                    .unwrap_or_else(|| "-".into()),
-                outcome,
-            ]);
-        }
+    let mechs = fault_mechanisms();
+    let jobs: Vec<(usize, f64)> = (0..mechs.len())
+        .flat_map(|mi| rates.iter().map(move |&r| (mi, r)))
+        .collect();
+    let rows = afc_bench::sweep::run_sweep("fault-transient", &jobs, |_, &(mi, rate)| {
+        let m = &mechs[mi];
+        let cfg = NetworkConfig {
+            faults: FaultPlan::uniform_transient(rate, rate),
+            retransmit: Some(RetransmitConfig::default()),
+            ..NetworkConfig::paper_3x3()
+        };
+        let out = run_fault_scenario(
+            m.factory.as_ref(),
+            &cfg,
+            RateSpec::Uniform(0.10),
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            inject,
+            drain,
+            seed,
+        )
+        .expect("valid configuration");
+        let s = &out.stats;
+        let outcome = match &out.error {
+            Some(SimError::Stalled { cycle, .. }) => format!("STALLED@{cycle}"),
+            Some(e) => format!("ERROR: {e}"),
+            None if out.drained => "drained".to_string(),
+            None => "drain budget exhausted".to_string(),
+        };
+        vec![
+            m.label.to_string(),
+            format!("{rate:.0e}"),
+            percent(out.delivered_fraction()),
+            s.recovered_packets.to_string(),
+            s.retransmit_timeouts.to_string(),
+            s.flits_corrupted.to_string(),
+            s.flits_lost_to_faults.to_string(),
+            s.duplicate_flits_discarded.to_string(),
+            s.network_latency
+                .mean()
+                .map(|l| format!("{l:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            outcome,
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 
@@ -130,7 +137,7 @@ fn main() {
     let mesh = NetworkConfig::paper_3x3().mesh().expect("valid mesh");
     let center = mesh.node_at(Coord::new(1, 1)).expect("3x3 has a center");
     let mut t = Table::new(vec!["mechanism", "delivered", "recovered", "outcome"]);
-    for m in fault_mechanisms() {
+    let kill_rows = afc_bench::sweep::run_sweep("fault-link-kill", &mechs, |_, m| {
         let cfg = NetworkConfig {
             faults: FaultPlan::none().kill_link(center, Direction::East, 1_000),
             retransmit: Some(RetransmitConfig::default()),
@@ -158,12 +165,17 @@ fn main() {
             None if out.drained => "drained (recovered around the dead link)".to_string(),
             None => "still retrying at drain budget".to_string(),
         };
-        t.row(vec![
+        vec![
             m.label.to_string(),
             percent(out.delivered_fraction()),
             out.stats.recovered_packets.to_string(),
             outcome,
-        ]);
+        ]
+    });
+    for row in kill_rows {
+        t.row(row);
     }
     println!("{}", t.render());
+    let timing = afc_bench::sweep::write_timing_report("faults").expect("writable results dir");
+    println!("(timing: {})", timing.display());
 }

@@ -25,6 +25,8 @@ struct OutputFlags {
     svg_dir: Option<String>,
 }
 
+/// Prints one panel and returns its CSV rendering (collected into the
+/// deterministic `results/fig2.csv` artifact).
 fn panel(
     title: &str,
     rows: &ReplicatedMatrix,
@@ -32,7 +34,7 @@ fn panel(
     mechanisms: &[&str],
     energy: bool,
     flags: &OutputFlags,
-) {
+) -> String {
     let mut table = Table::new(
         std::iter::once("mechanism")
             .chain(workload_names.iter().copied())
@@ -109,10 +111,12 @@ fn panel(
         std::fs::write(&path, bars.render_svg()).expect("writable svg dir");
         println!("wrote {path}\n");
     }
+    format!("# {title}\n{}", table.to_csv())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    afc_bench::sweep::parse_threads_arg(&args);
     let explicit = |f: &str| args.iter().any(|a| a == f);
     let want_load = |f: &str| (!explicit("--low") && !explicit("--high")) || explicit(f);
     let want_metric = |f: &str| (!explicit("--perf") && !explicit("--energy")) || explicit(f);
@@ -148,54 +152,62 @@ fn main() {
     let high_names: Vec<&str> = high.iter().map(|w| w.name).collect();
 
     let fig2_labels = ["backpressured", "backpressureless", "afc-always-bp", "afc"];
+    let mut csv_panels: Vec<String> = Vec::new();
 
     if want_load("--low") {
         let rows = ReplicatedMatrix::run(&mechs, &low, &cfg, warmup, measure, 50_000_000, &seeds);
         if want_metric("--perf") {
-            panel(
+            csv_panels.push(panel(
                 "Figure 2(a): performance, low load (normalized to backpressured; higher is better)",
                 &rows,
                 &low_names,
                 &fig2_labels,
                 false,
                 &flags,
-            );
+            ));
         }
         if want_metric("--energy") {
             let mut labels = fig2_labels.to_vec();
             labels.insert(1, "bp-ideal-bypass");
             labels.insert(1, "bp-read-bypass");
-            panel(
+            csv_panels.push(panel(
                 "Figure 2(b): network energy, low load (normalized to backpressured; lower is better)",
                 &rows,
                 &low_names,
                 &labels,
                 true,
                 &flags,
-            );
+            ));
         }
     }
     if want_load("--high") {
         let rows = ReplicatedMatrix::run(&mechs, &high, &cfg, warmup, measure, 50_000_000, &seeds);
         if want_metric("--perf") {
-            panel(
+            csv_panels.push(panel(
                 "Figure 2(c): performance, high load (normalized to backpressured; higher is better)",
                 &rows,
                 &high_names,
                 &fig2_labels,
                 false,
                 &flags,
-            );
+            ));
         }
         if want_metric("--energy") {
-            panel(
+            csv_panels.push(panel(
                 "Figure 2(d): network energy, high load (normalized to backpressured; lower is better)",
                 &rows,
                 &high_names,
                 &fig2_labels,
                 true,
                 &flags,
-            );
+            ));
         }
     }
+
+    // The deterministic artifact: identical bytes for identical flags,
+    // regardless of --threads / AFC_BENCH_THREADS.
+    std::fs::create_dir_all("results").expect("writable results dir");
+    std::fs::write("results/fig2.csv", csv_panels.join("\n")).expect("writable results dir");
+    let timing = afc_bench::sweep::write_timing_report("fig2").expect("writable results dir");
+    println!("wrote results/fig2.csv (timing: {})", timing.display());
 }

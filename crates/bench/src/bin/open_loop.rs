@@ -4,16 +4,20 @@
 //! Expected shape per the paper: (1) all mechanisms achieve similar latency
 //! at low loads; (2) AFC and backpressured saturate at near-identical
 //! offered loads, while backpressureless saturates earlier.
+//!
+//! The (mechanism x rate) grid runs as one declarative [`SweepSpec`] on
+//! the parallel sweep engine (`--threads N` / `AFC_BENCH_THREADS`).
 
-use afc_bench::experiments::{latency_throughput_sweep, saturation_throughput};
-use afc_bench::mechanisms::all_mechanisms;
+use afc_bench::mechanisms::{all_mechanisms, MechanismId};
 use afc_bench::report::Table;
+use afc_bench::sweep::{self, RunKind, RunSpec, SweepSpec};
 use afc_netsim::config::NetworkConfig;
 use afc_traffic::openloop::PacketMix;
 use afc_traffic::synthetic::Pattern;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    sweep::parse_threads_arg(&args);
     let quick = args.iter().any(|a| a == "--quick");
     // `--svg <path>` additionally writes the latency-throughput curves as
     // an SVG figure.
@@ -33,60 +37,67 @@ fn main() {
         vec![0.02, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90]
     };
     let cfg = NetworkConfig::paper_3x3();
-    let mechs = all_mechanisms();
+    let mechs = MechanismId::ALL;
+
+    let spec = SweepSpec {
+        name: "open-loop".into(),
+        net_cfg: cfg.clone(),
+        runs: mechs
+            .iter()
+            .flat_map(|&m| {
+                rates.iter().map(move |&rate| RunSpec {
+                    mechanism: m,
+                    seed: 1,
+                    kind: RunKind::OpenLoop {
+                        rate,
+                        pattern: Pattern::UniformRandom,
+                        mix: PacketMix::paper(),
+                        warmup_cycles: warmup,
+                        measure_cycles: measure,
+                    },
+                })
+            })
+            .collect(),
+    };
+    let results = spec.execute();
 
     println!("Open-loop uniform random traffic, mean packet latency (cycles) by offered load");
     println!("(flits/node/cycle; '-' = saturated: latency diverging / nothing measurable)\n");
-    let mut t = Table::new(
-        std::iter::once("mechanism")
-            .chain(rates.iter().map(|_| "").take(0))
-            .collect::<Vec<_>>(),
-    );
-    // Build headers manually: mechanism + one column per rate.
     let mut headers = vec!["mechanism".to_string()];
     headers.extend(rates.iter().map(|r| format!("{r:.2}")));
     headers.push("sat. thpt".into());
     let mut t2 = Table::new(headers.iter().map(String::as_str).collect());
-    let _ = &mut t; // the manual header table replaces the placeholder
 
     let mut chart = afc_bench::plot::LineChart::new(
         "Open-loop uniform random: mean latency vs offered load",
         "offered load (flits/node/cycle)",
         "mean packet latency (cycles)",
     );
-    for m in &mechs {
-        let points = latency_throughput_sweep(
-            m,
-            &rates,
-            &cfg,
-            Pattern::UniformRandom,
-            PacketMix::paper(),
-            warmup,
-            measure,
-            1,
-        );
+    for (m, points) in mechs.iter().zip(results.outputs.chunks(rates.len())) {
         if svg_path.is_some() {
             chart.series(
-                m.label,
+                m.label(),
                 points
                     .iter()
-                    .filter(|p| p.throughput >= p.offered * 0.85)
-                    .filter_map(|p| p.latency.map(|l| (p.offered, l)))
+                    .zip(&rates)
+                    .filter(|(p, &offered)| p.throughput >= offered * 0.85)
+                    .filter_map(|(p, &offered)| p.mean_latency.map(|l| (offered, l)))
                     .collect(),
             );
         }
-        let mut cells = vec![m.label.to_string()];
-        for p in &points {
+        let mut cells = vec![m.label().to_string()];
+        for (p, &offered) in points.iter().zip(&rates) {
             // Declare saturation when accepted throughput falls more than
             // 15% below offered load.
-            let saturated = p.throughput < p.offered * 0.85;
-            match (p.latency, saturated) {
+            let saturated = p.throughput < offered * 0.85;
+            match (p.mean_latency, saturated) {
                 (Some(l), false) => cells.push(format!("{l:.0}")),
                 (Some(l), true) => cells.push(format!("({l:.0})")),
                 (None, _) => cells.push("-".into()),
             }
         }
-        cells.push(format!("{:.2}", saturation_throughput(&points)));
+        let sat = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
+        cells.push(format!("{sat:.2}"));
         t2.row(cells);
     }
     println!("{}", t2.render());
@@ -97,6 +108,8 @@ fn main() {
     }
 
     // Tail-latency view at a light and a heavy (pre-saturation) load.
+    // Percentiles need the latency histogram, which the flat sweep output
+    // does not carry, so these runs go straight through the executor.
     println!("\nLatency percentiles (cycles) at representative loads:\n");
     let mut t3 = Table::new(vec![
         "mechanism",
@@ -107,30 +120,37 @@ fn main() {
         "p95@0.45",
         "p99@0.45",
     ]);
-    for m in &mechs {
+    let all = all_mechanisms();
+    let jobs: Vec<(usize, f64)> = (0..all.len())
+        .flat_map(|mi| [0.10, 0.45].into_iter().map(move |r| (mi, r)))
+        .collect();
+    let percentile_cells = sweep::run_sweep("open-loop-percentiles", &jobs, |_, &(mi, rate)| {
+        let out = afc_traffic::runner::run_open_loop(
+            all[mi].factory.as_ref(),
+            &cfg,
+            afc_traffic::openloop::RateSpec::Uniform(rate),
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            warmup,
+            measure,
+            1,
+        )
+        .expect("valid configuration");
+        let hist = &out.stats.network_latency_hist;
+        [0.50, 0.95, 0.99].map(|p| {
+            hist.percentile(p)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into())
+        })
+    });
+    for (mi, m) in all.iter().enumerate() {
         let mut cells = vec![m.label.to_string()];
-        for rate in [0.10, 0.45] {
-            let out = afc_traffic::runner::run_open_loop(
-                m.factory.as_ref(),
-                &cfg,
-                afc_traffic::openloop::RateSpec::Uniform(rate),
-                Pattern::UniformRandom,
-                PacketMix::paper(),
-                warmup,
-                measure,
-                1,
-            )
-            .expect("valid configuration");
-            let hist = &out.stats.network_latency_hist;
-            for p in [0.50, 0.95, 0.99] {
-                cells.push(
-                    hist.percentile(p)
-                        .map(|v| v.to_string())
-                        .unwrap_or_else(|| "-".into()),
-                );
-            }
+        for chunk in percentile_cells[mi * 2..mi * 2 + 2].iter() {
+            cells.extend(chunk.iter().cloned());
         }
         t3.row(cells);
     }
     println!("{}", t3.render());
+    let timing = sweep::write_timing_report("open_loop").expect("writable results dir");
+    println!("(timing: {})", timing.display());
 }

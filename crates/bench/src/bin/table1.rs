@@ -1,14 +1,18 @@
 //! Table I (router pipeline stages) and Tables II-IV (configurations),
 //! printed from the code's actual constants so drift is impossible.
+//!
+//! Each table renders as an independent job on the sweep engine; output
+//! order is fixed by the spec regardless of `--threads`.
 
 use afc_bench::report::Table;
+use afc_bench::sweep;
 use afc_core::AfcConfig;
 use afc_netsim::channel::Channel;
 use afc_netsim::config::NetworkConfig;
 use afc_traffic::workloads;
 
-fn main() {
-    println!("Table I: router pipeline stages (all mechanisms are 2-stage)\n");
+fn table_pipelines() -> String {
+    let mut out = String::from("Table I: router pipeline stages (all mechanisms are 2-stage)\n\n");
     let mut t = Table::new(vec!["flow control", "stage 1", "stage 2", "link traversal"]);
     t.row(vec![
         "backpressured".into(),
@@ -34,13 +38,16 @@ fn main() {
         "ST + partial LT".into(),
         "partial LT + lazy VCA at input BW".into(),
     ]);
-    println!("{}", t.render());
-    println!(
-        "Simulator realization: per-hop latency = 2 + L cycles (channel forward delay {} for L = 2).\n",
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "Simulator realization: per-hop latency = 2 + L cycles (channel forward delay {} for L = 2).\n\n",
         Channel::new(2).forward_delay()
-    );
+    ));
+    out
+}
 
-    println!("Table II: simulated machine configuration\n");
+fn table_machine() -> String {
+    let mut out = String::from("Table II: simulated machine configuration\n\n");
     let cfg = NetworkConfig::paper_3x3();
     let afc = AfcConfig::paper();
     let mut t = Table::new(vec!["parameter", "value"]);
@@ -106,9 +113,13 @@ fn main() {
             afc.effective_gossip_threshold(cfg.link_latency)
         ),
     ]);
-    println!("{}", t.render());
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
 
-    println!("Table III: workloads (calibrated closed-loop presets)\n");
+fn table_workloads() -> String {
+    let mut out = String::from("Table III: workloads (calibrated closed-loop presets)\n\n");
     let mut t = Table::new(vec![
         "workload",
         "class",
@@ -134,6 +145,23 @@ fn main() {
             format!("{:.2}", w.paper_injection_rate),
         ]);
     }
-    println!("{}", t.render());
-    println!("(run the `calibrate` binary for measured vs. paper injection rates)");
+    out.push_str(&t.render());
+    out.push_str("(run the `calibrate` binary for measured vs. paper injection rates)\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    sweep::parse_threads_arg(&args);
+    let sections = sweep::run_sweep("table1-sections", &[0usize, 1, 2], |_, &i| match i {
+        0 => table_pipelines(),
+        1 => table_machine(),
+        2 => table_workloads(),
+        _ => unreachable!(),
+    });
+    for s in &sections {
+        print!("{s}");
+    }
+    let timing = sweep::write_timing_report("table1").expect("writable results dir");
+    println!("(timing: {})", timing.display());
 }

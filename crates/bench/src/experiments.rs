@@ -14,6 +14,7 @@ use afc_traffic::runner::{run_closed_loop, run_open_loop};
 use afc_traffic::synthetic::{quadrant_of, Pattern};
 
 use crate::mechanisms::Mechanism;
+use crate::sweep::run_sweep;
 
 /// Result of one (workload, mechanism) closed-loop cell.
 #[derive(Debug, Clone)]
@@ -36,8 +37,47 @@ pub struct ClosedLoopRow {
     pub mean_deflections: f64,
 }
 
+/// Runs one (workload, mechanism, seed) closed-loop cell.
+fn closed_loop_cell(
+    m: &Mechanism,
+    w: &WorkloadParams,
+    net_cfg: &NetworkConfig,
+    warmup_txns: u64,
+    measure_txns: u64,
+    max_cycles: u64,
+    seed: u64,
+) -> ClosedLoopRow {
+    let model = EnergyModel::new(EnergyParams::micro2010_70nm());
+    let out = run_closed_loop(
+        m.factory.as_ref(),
+        net_cfg,
+        *w,
+        warmup_txns,
+        measure_txns,
+        max_cycles,
+        seed,
+    )
+    .expect("valid configuration");
+    let energy = model.price_network(&out.network);
+    ClosedLoopRow {
+        workload: w.name,
+        mechanism: m.label,
+        cycles: out.measured_cycles,
+        injection_rate: out.injection_rate(),
+        energy,
+        backpressured_fraction: out.stats.backpressured_fraction(),
+        mode_switches: (
+            out.counters.mode_switches_forward,
+            out.counters.mode_switches_reverse,
+            out.counters.mode_switches_gossip,
+        ),
+        mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
+    }
+}
+
 /// Runs the full (mechanism x workload) closed-loop matrix used by
-/// Figures 2 and 3.
+/// Figures 2 and 3. Cells run in parallel on the sweep engine; row order
+/// is workload-major, mechanism-minor regardless of thread count.
 pub fn closed_loop_matrix(
     mechanisms: &[Mechanism],
     workloads: &[WorkloadParams],
@@ -47,38 +87,20 @@ pub fn closed_loop_matrix(
     max_cycles: u64,
     seed: u64,
 ) -> Vec<ClosedLoopRow> {
-    let model = EnergyModel::new(EnergyParams::micro2010_70nm());
-    let mut rows = Vec::new();
-    for w in workloads {
-        for m in mechanisms {
-            let out = run_closed_loop(
-                m.factory.as_ref(),
-                net_cfg,
-                *w,
-                warmup_txns,
-                measure_txns,
-                max_cycles,
-                seed,
-            )
-            .expect("valid configuration");
-            let energy = model.price_network(&out.network);
-            rows.push(ClosedLoopRow {
-                workload: w.name,
-                mechanism: m.label,
-                cycles: out.measured_cycles,
-                injection_rate: out.injection_rate(),
-                energy,
-                backpressured_fraction: out.stats.backpressured_fraction(),
-                mode_switches: (
-                    out.counters.mode_switches_forward,
-                    out.counters.mode_switches_reverse,
-                    out.counters.mode_switches_gossip,
-                ),
-                mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
-            });
-        }
-    }
-    rows
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|wi| (0..mechanisms.len()).map(move |mi| (wi, mi)))
+        .collect();
+    run_sweep("closed-loop-matrix", &cells, |_, &(wi, mi)| {
+        closed_loop_cell(
+            &mechanisms[mi],
+            &workloads[wi],
+            net_cfg,
+            warmup_txns,
+            measure_txns,
+            max_cycles,
+            seed,
+        )
+    })
 }
 
 /// Looks up one cell of a matrix.
@@ -144,25 +166,16 @@ impl std::fmt::Display for Replicated {
     }
 }
 
-/// Runs `f` once per seed on its own OS thread and collects results in
-/// seed order. The simulator itself is single-threaded and deterministic;
-/// this parallelizes *independent* runs (replications, sweep points).
+/// Runs `f` once per seed on the sweep engine's work-stealing pool and
+/// collects results in seed order. The simulator itself is single-threaded
+/// and deterministic; this parallelizes *independent* runs (replications,
+/// sweep points).
 pub fn parallel_over_seeds<R, F>(seeds: &[u64], f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| scope.spawn(move || f(seed)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("seed worker must not panic"))
-            .collect()
-    })
+    run_sweep("seeds", seeds, |_, &seed| f(seed))
 }
 
 /// A closed-loop matrix replicated across seeds, with normalized metrics
@@ -186,18 +199,32 @@ impl ReplicatedMatrix {
         seeds: &[u64],
     ) -> ReplicatedMatrix {
         assert!(!seeds.is_empty(), "need at least one seed");
+        // Shard at (seed x workload x mechanism) granularity so even a
+        // single-seed matrix fills every worker.
+        let cells: Vec<(u64, usize, usize)> = seeds
+            .iter()
+            .flat_map(|&s| {
+                (0..workloads.len())
+                    .flat_map(move |wi| (0..mechanisms.len()).map(move |mi| (s, wi, mi)))
+            })
+            .collect();
+        let rows = run_sweep("replicated-matrix", &cells, |_, &(s, wi, mi)| {
+            closed_loop_cell(
+                &mechanisms[mi],
+                &workloads[wi],
+                net_cfg,
+                warmup_txns,
+                measure_txns,
+                max_cycles,
+                s,
+            )
+        });
+        let per_seed = workloads.len() * mechanisms.len();
         ReplicatedMatrix {
-            matrices: parallel_over_seeds(seeds, |s| {
-                closed_loop_matrix(
-                    mechanisms,
-                    workloads,
-                    net_cfg,
-                    warmup_txns,
-                    measure_txns,
-                    max_cycles,
-                    s,
-                )
-            }),
+            matrices: rows
+                .chunks(per_seed)
+                .map(<[ClosedLoopRow]>::to_vec)
+                .collect(),
         }
     }
 
@@ -267,28 +294,25 @@ pub fn latency_throughput_sweep(
     measure_cycles: u64,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    rates
-        .iter()
-        .map(|&offered| {
-            let out = run_open_loop(
-                mechanism.factory.as_ref(),
-                net_cfg,
-                RateSpec::Uniform(offered),
-                pattern.clone(),
-                mix,
-                warmup_cycles,
-                measure_cycles,
-                seed,
-            )
-            .expect("valid configuration");
-            SweepPoint {
-                offered,
-                throughput: out.stats.throughput(out.network.mesh().node_count()),
-                latency: out.mean_latency(),
-                mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
-            }
-        })
-        .collect()
+    run_sweep("latency-throughput", rates, |_, &offered| {
+        let out = run_open_loop(
+            mechanism.factory.as_ref(),
+            net_cfg,
+            RateSpec::Uniform(offered),
+            pattern.clone(),
+            mix,
+            warmup_cycles,
+            measure_cycles,
+            seed,
+        )
+        .expect("valid configuration");
+        SweepPoint {
+            offered,
+            throughput: out.stats.throughput(out.network.mesh().node_count()),
+            latency: out.mean_latency(),
+            mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
+        }
+    })
 }
 
 /// Estimates saturation throughput: the highest accepted throughput over a

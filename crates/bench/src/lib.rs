@@ -26,6 +26,8 @@ pub mod mechanisms;
 pub mod microbench;
 pub mod plot;
 pub mod report;
+pub mod sweep;
 
 pub use experiments::{ClosedLoopRow, SweepPoint};
-pub use mechanisms::{all_mechanisms, fig2_mechanisms, Mechanism};
+pub use mechanisms::{all_mechanisms, fig2_mechanisms, Mechanism, MechanismId};
+pub use sweep::{run_sweep, RunOutput, RunSpec, SweepResults, SweepSpec};

@@ -13,8 +13,79 @@ pub struct Mechanism {
 }
 
 impl Mechanism {
-    fn new(label: &'static str, factory: Box<dyn RouterFactory>) -> Mechanism {
+    /// Creates a mechanism from a label and factory (for custom ablation
+    /// variants; the standard set lives in [`MechanismId`]).
+    pub fn new(label: &'static str, factory: Box<dyn RouterFactory>) -> Mechanism {
         Mechanism { label, factory }
+    }
+}
+
+/// The standard mechanisms, nameable without a factory in hand — sweep
+/// specs ([`crate::sweep::SweepSpec`]) are plain data, so each worker
+/// builds its own factory from the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MechanismId {
+    /// Credit-based virtual-channel router (the paper's baseline).
+    Backpressured,
+    /// Deflection (BLESS/Chaos-style) router.
+    Backpressureless,
+    /// AFC pinned to backpressured mode.
+    AfcAlwaysBp,
+    /// The adaptive AFC router.
+    Afc,
+    /// Backpressured with real read bypass.
+    BpReadBypass,
+    /// Backpressured with the ideal bypass bound.
+    BpIdealBypass,
+    /// Drop-based (SCARAB-style) backpressureless router.
+    Drop,
+}
+
+impl MechanismId {
+    /// All standard mechanisms, in [`all_mechanisms`] order.
+    pub const ALL: [MechanismId; 7] = [
+        MechanismId::Backpressured,
+        MechanismId::Backpressureless,
+        MechanismId::AfcAlwaysBp,
+        MechanismId::Afc,
+        MechanismId::BpReadBypass,
+        MechanismId::BpIdealBypass,
+        MechanismId::Drop,
+    ];
+
+    /// The four bars of Figure 2, in paper order.
+    pub const FIG2: [MechanismId; 4] = [
+        MechanismId::Backpressured,
+        MechanismId::Backpressureless,
+        MechanismId::AfcAlwaysBp,
+        MechanismId::Afc,
+    ];
+
+    /// Display label (matches the paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            MechanismId::Backpressured => "backpressured",
+            MechanismId::Backpressureless => "backpressureless",
+            MechanismId::AfcAlwaysBp => "afc-always-bp",
+            MechanismId::Afc => "afc",
+            MechanismId::BpReadBypass => "bp-read-bypass",
+            MechanismId::BpIdealBypass => "bp-ideal-bypass",
+            MechanismId::Drop => "drop",
+        }
+    }
+
+    /// Builds the labeled mechanism.
+    pub fn mechanism(self) -> Mechanism {
+        let factory: Box<dyn RouterFactory> = match self {
+            MechanismId::Backpressured => Box::new(BackpressuredFactory::new()),
+            MechanismId::Backpressureless => Box::new(DeflectionFactory::new()),
+            MechanismId::AfcAlwaysBp => Box::new(AfcFactory::always_backpressured()),
+            MechanismId::Afc => Box::new(AfcFactory::paper()),
+            MechanismId::BpReadBypass => Box::new(BackpressuredFactory::read_bypass()),
+            MechanismId::BpIdealBypass => Box::new(BackpressuredFactory::ideal_bypass()),
+            MechanismId::Drop => Box::new(DropFactory::new()),
+        };
+        Mechanism::new(self.label(), factory)
     }
 }
 
@@ -29,31 +100,13 @@ impl std::fmt::Debug for Mechanism {
 /// The four bars of Figure 2, in paper order: Backpressured,
 /// Backpressureless, AFC always-backpressured, AFC.
 pub fn fig2_mechanisms() -> Vec<Mechanism> {
-    vec![
-        Mechanism::new("backpressured", Box::new(BackpressuredFactory::new())),
-        Mechanism::new("backpressureless", Box::new(DeflectionFactory::new())),
-        Mechanism::new(
-            "afc-always-bp",
-            Box::new(AfcFactory::always_backpressured()),
-        ),
-        Mechanism::new("afc", Box::new(AfcFactory::paper())),
-    ]
+    MechanismId::FIG2.iter().map(|id| id.mechanism()).collect()
 }
 
 /// Figure 2 mechanisms plus the buffer-energy-optimization baselines
 /// (real read bypass and the ideal bound) and the drop router.
 pub fn all_mechanisms() -> Vec<Mechanism> {
-    let mut v = fig2_mechanisms();
-    v.push(Mechanism::new(
-        "bp-read-bypass",
-        Box::new(BackpressuredFactory::read_bypass()),
-    ));
-    v.push(Mechanism::new(
-        "bp-ideal-bypass",
-        Box::new(BackpressuredFactory::ideal_bypass()),
-    ));
-    v.push(Mechanism::new("drop", Box::new(DropFactory::new())));
-    v
+    MechanismId::ALL.iter().map(|id| id.mechanism()).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,599 @@
+//! Parallel deterministic sweep engine.
+//!
+//! Every paper artifact is a grid of *independent* simulation runs
+//! (mechanism × workload × load point × seed). Each run owns a private
+//! [`SimRng`](afc_netsim::rng::SimRng) seeded from its spec alone and
+//! shares no mutable state with any other run, so the grid is
+//! embarrassingly parallel. This module provides the one executor all
+//! harness binaries use:
+//!
+//! - [`run_sweep`] shards a job list across a work-stealing pool of std
+//!   threads (no external dependencies) and reassembles results **in spec
+//!   order**, so output is bit-identical regardless of thread count.
+//! - [`SweepSpec`] / [`RunSpec`] describe a grid declaratively as plain
+//!   data, with a canonical serialization ([`SweepResults::serialize`])
+//!   used by the determinism regression tests.
+//!
+//! # Determinism contract
+//!
+//! 1. Workers receive disjoint job indices from an atomic cursor; which
+//!    worker executes which job is racy, but results land in a slot keyed
+//!    by job index, so the reassembled `Vec` is always in spec order.
+//! 2. Job closures must be pure functions of `(index, job)` — they must
+//!    not read or write state shared with other jobs. All simulator
+//!    entropy comes from the per-run seed.
+//! 3. Wall-clock timing is observed by the engine (for the per-run timing
+//!    report) but never fed back into results.
+//!
+//! Setting `AFC_SWEEP_SELFCHECK=1` makes [`SweepSpec::execute`] re-run the
+//! whole spec serially and assert the serialized results are byte-identical
+//! to the parallel run — a cheap way to detect an accidental shared-state
+//! leak in a new experiment.
+//!
+//! Thread count: `--threads N` (via [`parse_threads_arg`]) beats the
+//! `AFC_BENCH_THREADS` environment variable, which beats
+//! [`std::thread::available_parallelism`].
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use afc_energy::{EnergyModel, EnergyParams};
+use afc_netsim::config::{NetworkConfig, RetransmitConfig};
+use afc_netsim::faults::FaultPlan;
+use afc_traffic::closedloop::WorkloadParams;
+use afc_traffic::openloop::{PacketMix, RateSpec};
+use afc_traffic::runner::{run_closed_loop, run_fault_scenario, run_open_loop};
+use afc_traffic::synthetic::Pattern;
+
+use crate::mechanisms::MechanismId;
+
+/// Explicit `--threads` override; 0 means unset.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Per-run wall-clock records, drained by [`write_timing_report`].
+static TIMINGS: Mutex<Vec<TimingRecord>> = Mutex::new(Vec::new());
+
+struct TimingRecord {
+    sweep: String,
+    run: usize,
+    micros: u128,
+}
+
+/// Sets the worker-thread count explicitly (wins over the environment).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn set_threads(n: usize) {
+    assert!(n > 0, "thread count must be at least 1");
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Consumes a `--threads N` argument if present and applies it via
+/// [`set_threads`]. Call once from a binary's `main`.
+///
+/// # Panics
+///
+/// Panics if `--threads` is present without a positive integer value.
+pub fn parse_threads_arg(args: &[String]) {
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .filter(|n| *n > 0)
+            .expect("--threads requires a positive integer");
+        set_threads(n);
+    }
+}
+
+/// Worker-thread count: `--threads` override, then `AFC_BENCH_THREADS`,
+/// then the machine's available parallelism.
+pub fn threads() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = std::env::var("AFC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Whether the determinism self-check mode is enabled
+/// (`AFC_SWEEP_SELFCHECK=1`).
+pub fn selfcheck_enabled() -> bool {
+    std::env::var("AFC_SWEEP_SELFCHECK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Runs `f` over every job with [`threads`] workers and returns the
+/// results in job order. See the module docs for the determinism contract.
+pub fn run_sweep<J, R, F>(name: &str, jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    run_sweep_on(name, jobs, &f, threads())
+}
+
+/// [`run_sweep`] with an explicit worker count (used by the determinism
+/// tests so they need not mutate global state).
+pub fn run_sweep_on<J, R, F>(name: &str, jobs: &[J], f: &F, threads: usize) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let workers = threads.max(1).min(jobs.len());
+    if workers <= 1 {
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let start = Instant::now();
+                let r = f(i, job);
+                record_timing(name, i, start.elapsed().as_micros());
+                r
+            })
+            .collect();
+    }
+
+    // Work-stealing pool: an atomic cursor hands out job indices, workers
+    // report (index, result) over a channel, and the collector writes each
+    // result into its index slot — spec order by construction.
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let start = Instant::now();
+                let r = f(i, &jobs[i]);
+                if tx.send((i, r, start.elapsed().as_micros())).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r, micros) in rx {
+            record_timing(name, i, micros);
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job index was handed to exactly one worker"))
+        .collect()
+}
+
+fn record_timing(sweep: &str, run: usize, micros: u128) {
+    TIMINGS
+        .lock()
+        .expect("timing registry poisoned")
+        .push(TimingRecord {
+            sweep: sweep.to_string(),
+            run,
+            micros,
+        });
+}
+
+/// Writes (and drains) the per-run timing report accumulated by every
+/// sweep since the last call, to `results/timing/<binary>.tsv`.
+///
+/// Wall-clock values are inherently nondeterministic, which is why they
+/// live outside the experiment's own `results/` artifacts: byte-identity
+/// across thread counts is promised for sweep *results*, not timings.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the report.
+pub fn write_timing_report(binary: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results").join("timing");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{binary}.tsv"));
+    let records = std::mem::take(&mut *TIMINGS.lock().expect("timing registry poisoned"));
+    let total_ms = records.iter().map(|r| r.micros).sum::<u128>() as f64 / 1_000.0;
+    let mut out = String::new();
+    out.push_str("# per-run wall-clock; nondeterministic by nature, not part of the\n");
+    out.push_str("# byte-identical sweep results\n");
+    out.push_str(&format!("# binary\t{binary}\n# threads\t{}\n", threads()));
+    out.push_str("sweep\trun\tmillis\n");
+    for r in &records {
+        out.push_str(&format!(
+            "{}\t{}\t{:.3}\n",
+            r.sweep,
+            r.run,
+            r.micros as f64 / 1_000.0
+        ));
+    }
+    out.push_str(&format!("total\t{}\t{total_ms:.3}\n", records.len()));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// One simulation run, described as plain data. Workers rebuild the router
+/// factory from the [`MechanismId`], so specs are freely `Clone` + `Send`.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Which router mechanism to run.
+    pub mechanism: MechanismId,
+    /// The run's private RNG seed.
+    pub seed: u64,
+    /// The scenario.
+    pub kind: RunKind,
+}
+
+/// The scenario of a [`RunSpec`].
+#[derive(Debug, Clone)]
+pub enum RunKind {
+    /// Closed-loop workload run ([`run_closed_loop`]).
+    ClosedLoop {
+        /// Workload preset.
+        workload: WorkloadParams,
+        /// Transactions to complete before measurement starts.
+        warmup_txns: u64,
+        /// Transactions measured.
+        measure_txns: u64,
+        /// Abort budget.
+        max_cycles: u64,
+    },
+    /// Open-loop synthetic-traffic run ([`run_open_loop`]).
+    OpenLoop {
+        /// Offered rate, flits/node/cycle.
+        rate: f64,
+        /// Traffic pattern.
+        pattern: Pattern,
+        /// Packet-length mix.
+        mix: PacketMix,
+        /// Warmup cycles.
+        warmup_cycles: u64,
+        /// Measured cycles.
+        measure_cycles: u64,
+    },
+    /// Fault-injection inject-then-drain run ([`run_fault_scenario`]).
+    Fault {
+        /// Offered rate, flits/node/cycle.
+        rate: f64,
+        /// Per-flit-hop drop probability.
+        drop_rate: f64,
+        /// Per-flit-hop corruption probability.
+        corrupt_rate: f64,
+        /// Cycles of live injection.
+        inject_cycles: u64,
+        /// Drain budget after sources stop.
+        drain_cycles: u64,
+    },
+}
+
+impl RunSpec {
+    /// A short deterministic label: `mechanism/scenario@seed`.
+    pub fn label(&self) -> String {
+        let scenario = match &self.kind {
+            RunKind::ClosedLoop { workload, .. } => workload.name.to_string(),
+            RunKind::OpenLoop { rate, .. } => format!("open@{rate:.3}"),
+            RunKind::Fault {
+                rate, drop_rate, ..
+            } => format!("fault@{rate:.3}/{drop_rate:e}"),
+        };
+        format!("{}/{}@{}", self.mechanism.label(), scenario, self.seed)
+    }
+
+    /// Executes the run against `net_cfg` and reduces it to the flat
+    /// deterministic metrics of [`RunOutput`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or a closed-loop run blows
+    /// its cycle budget, mirroring the underlying runners.
+    pub fn execute(&self, net_cfg: &NetworkConfig) -> RunOutput {
+        let mechanism = self.mechanism.mechanism();
+        let model = EnergyModel::new(EnergyParams::micro2010_70nm());
+        match &self.kind {
+            RunKind::ClosedLoop {
+                workload,
+                warmup_txns,
+                measure_txns,
+                max_cycles,
+            } => {
+                let out = run_closed_loop(
+                    mechanism.factory.as_ref(),
+                    net_cfg,
+                    *workload,
+                    *warmup_txns,
+                    *measure_txns,
+                    *max_cycles,
+                    self.seed,
+                )
+                .expect("valid configuration");
+                RunOutput {
+                    label: self.label(),
+                    cycles: out.measured_cycles,
+                    packets_delivered: out.stats.packets_delivered,
+                    flits_delivered: out.stats.flits_delivered,
+                    injection_rate: out.injection_rate(),
+                    throughput: out.stats.throughput(out.network.mesh().node_count()),
+                    mean_latency: out.mean_latency(),
+                    energy_pj: model.price_network(&out.network).total(),
+                    backpressured_fraction: out.stats.backpressured_fraction(),
+                    mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
+                    delivered_fraction: delivered_fraction(&out.stats),
+                    outcome: "ok".to_string(),
+                }
+            }
+            RunKind::OpenLoop {
+                rate,
+                pattern,
+                mix,
+                warmup_cycles,
+                measure_cycles,
+            } => {
+                let out = run_open_loop(
+                    mechanism.factory.as_ref(),
+                    net_cfg,
+                    RateSpec::Uniform(*rate),
+                    pattern.clone(),
+                    *mix,
+                    *warmup_cycles,
+                    *measure_cycles,
+                    self.seed,
+                )
+                .expect("valid configuration");
+                RunOutput {
+                    label: self.label(),
+                    cycles: out.measured_cycles,
+                    packets_delivered: out.stats.packets_delivered,
+                    flits_delivered: out.stats.flits_delivered,
+                    injection_rate: out.injection_rate(),
+                    throughput: out.stats.throughput(out.network.mesh().node_count()),
+                    mean_latency: out.mean_latency(),
+                    energy_pj: model.price_network(&out.network).total(),
+                    backpressured_fraction: out.stats.backpressured_fraction(),
+                    mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
+                    delivered_fraction: delivered_fraction(&out.stats),
+                    outcome: "ok".to_string(),
+                }
+            }
+            RunKind::Fault {
+                rate,
+                drop_rate,
+                corrupt_rate,
+                inject_cycles,
+                drain_cycles,
+            } => {
+                let cfg = NetworkConfig {
+                    faults: FaultPlan::uniform_transient(*drop_rate, *corrupt_rate),
+                    retransmit: Some(RetransmitConfig::default()),
+                    ..net_cfg.clone()
+                };
+                let out = run_fault_scenario(
+                    mechanism.factory.as_ref(),
+                    &cfg,
+                    RateSpec::Uniform(*rate),
+                    Pattern::UniformRandom,
+                    PacketMix::paper(),
+                    *inject_cycles,
+                    *drain_cycles,
+                    self.seed,
+                )
+                .expect("valid configuration");
+                let outcome = match &out.error {
+                    Some(e) => format!("error: {e}"),
+                    None if out.drained => "drained".to_string(),
+                    None => "drain budget exhausted".to_string(),
+                };
+                RunOutput {
+                    label: self.label(),
+                    cycles: out.ran_cycles,
+                    packets_delivered: out.stats.packets_delivered,
+                    flits_delivered: out.stats.flits_delivered,
+                    injection_rate: 0.0,
+                    throughput: 0.0,
+                    mean_latency: out.stats.network_latency.mean(),
+                    energy_pj: model.price_network(&out.network).total(),
+                    backpressured_fraction: out.stats.backpressured_fraction(),
+                    mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
+                    delivered_fraction: out.delivered_fraction(),
+                    outcome,
+                }
+            }
+        }
+    }
+}
+
+fn delivered_fraction(stats: &afc_netsim::stats::NetworkStats) -> f64 {
+    if stats.packets_offered == 0 {
+        1.0
+    } else {
+        stats.packets_delivered as f64 / stats.packets_offered as f64
+    }
+}
+
+/// A declarative grid of independent runs over one network configuration.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Sweep name (used in timing reports and error messages).
+    pub name: String,
+    /// Network configuration shared by every run.
+    pub net_cfg: NetworkConfig,
+    /// The runs, in output order.
+    pub runs: Vec<RunSpec>,
+}
+
+impl SweepSpec {
+    /// Executes the sweep with [`threads`] workers. When
+    /// [`selfcheck_enabled`], additionally re-runs serially and asserts
+    /// byte-identical results.
+    pub fn execute(&self) -> SweepResults {
+        let n = threads();
+        let results = self.execute_with_threads(n);
+        if selfcheck_enabled() && n > 1 {
+            let serial = self.execute_with_threads(1);
+            assert_eq!(
+                serial.serialize(),
+                results.serialize(),
+                "sweep '{}' produced thread-count-dependent results — a run \
+                 is sharing mutable state",
+                self.name
+            );
+        }
+        results
+    }
+
+    /// Executes with an explicit worker count.
+    pub fn execute_with_threads(&self, threads: usize) -> SweepResults {
+        let outputs = run_sweep_on(
+            &self.name,
+            &self.runs,
+            &|_, run: &RunSpec| run.execute(&self.net_cfg),
+            threads,
+        );
+        SweepResults { outputs }
+    }
+}
+
+/// Flat deterministic metrics of one run. Every field is a pure function
+/// of the spec; see [`RunOutput::serialize`] for the canonical encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// The spec's label.
+    pub label: String,
+    /// Measured (closed/open loop) or total (fault) cycles.
+    pub cycles: u64,
+    /// Packets delivered in the window.
+    pub packets_delivered: u64,
+    /// Flits delivered in the window.
+    pub flits_delivered: u64,
+    /// Measured injection rate, flits/node/cycle (0 for fault runs).
+    pub injection_rate: f64,
+    /// Accepted throughput, flits/node/cycle (0 for fault runs).
+    pub throughput: f64,
+    /// Mean packet network latency, if anything was delivered.
+    pub mean_latency: Option<f64>,
+    /// Total priced network energy (pJ).
+    pub energy_pj: f64,
+    /// Fraction of router-cycles spent backpressured.
+    pub backpressured_fraction: f64,
+    /// Mean deflections per delivered flit.
+    pub mean_deflections: f64,
+    /// Delivered / offered packets.
+    pub delivered_fraction: f64,
+    /// Terminal status ("ok", "drained", or an error description).
+    pub outcome: String,
+}
+
+impl RunOutput {
+    /// Canonical tab-separated encoding. Floats use Rust's shortest
+    /// round-trip formatting, so equal bytes ⇔ equal bits.
+    pub fn serialize(&self) -> String {
+        let lat = match self.mean_latency {
+            Some(l) => format!("{l:?}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "{}\t{}\t{}\t{}\t{:?}\t{:?}\t{}\t{:?}\t{:?}\t{:?}\t{:?}\t{}",
+            self.label,
+            self.cycles,
+            self.packets_delivered,
+            self.flits_delivered,
+            self.injection_rate,
+            self.throughput,
+            lat,
+            self.energy_pj,
+            self.backpressured_fraction,
+            self.mean_deflections,
+            self.delivered_fraction,
+            self.outcome,
+        )
+    }
+}
+
+/// Results of a [`SweepSpec`], in spec order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    /// One output per run, in spec order.
+    pub outputs: Vec<RunOutput>,
+}
+
+impl SweepResults {
+    /// Canonical serialization: header plus one [`RunOutput::serialize`]
+    /// line per run. Byte-identical across thread counts.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "label\tcycles\tpackets\tflits\tinj_rate\tthroughput\tmean_lat\t\
+             energy_pj\tbp_frac\tmean_defl\tdelivered\toutcome\n",
+        );
+        for o in &self.outputs {
+            out.push_str(&o.serialize());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_spec_order_at_any_worker_count() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = run_sweep_on("order", &jobs, &|_, &j| j * j, workers);
+            assert_eq!(got, expect, "worker count {workers}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_singleton_job_lists() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(run_sweep_on("empty", &empty, &|_, &j: &u64| j, 8).is_empty());
+        assert_eq!(run_sweep_on("one", &[7u64], &|_, &j| j + 1, 8), vec![8]);
+    }
+
+    #[test]
+    fn run_output_serialization_is_exact() {
+        let a = RunOutput {
+            label: "x".into(),
+            cycles: 1,
+            packets_delivered: 2,
+            flits_delivered: 3,
+            injection_rate: 0.1,
+            throughput: 0.2,
+            mean_latency: Some(31.5),
+            energy_pj: 1234.5678,
+            backpressured_fraction: 0.25,
+            mean_deflections: 0.0,
+            delivered_fraction: 1.0,
+            outcome: "ok".into(),
+        };
+        let mut b = a.clone();
+        assert_eq!(a.serialize(), b.serialize());
+        // One ULP of difference must change the encoding.
+        b.throughput = f64::from_bits(b.throughput.to_bits() + 1);
+        assert_ne!(a.serialize(), b.serialize());
+    }
+
+    #[test]
+    fn threads_env_and_override_precedence() {
+        // No override set by default in this test binary: the value is
+        // env- or machine-derived, but always at least 1.
+        assert!(threads() >= 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Determinism regression tests for the sweep engine: results must be
+//! bit-identical regardless of worker count, reproducible for a fixed
+//! seed, and actually sensitive to the seed (a sweep whose outputs never
+//! change with the seed would be vacuous determinism).
+//!
+//! Byte equality of [`SweepResults::serialize`] is the comparison:
+//! floats are rendered with `{:?}` (shortest round-trip), so equal bytes
+//! means equal bits.
+
+use afc_bench::sweep::{RunKind, RunSpec, SweepSpec};
+use afc_bench::MechanismId;
+use afc_netsim::config::NetworkConfig;
+use afc_traffic::openloop::PacketMix;
+use afc_traffic::synthetic::Pattern;
+use afc_traffic::workloads;
+
+/// A deliberately heterogeneous spec: closed-loop, open-loop, and fault
+/// runs across all four paper mechanisms, so the thread-count sweep
+/// exercises every executor path.
+fn mixed_spec(seed: u64) -> SweepSpec {
+    let workload = workloads::all()[0];
+    let mut runs = Vec::new();
+    for &mechanism in &[
+        MechanismId::Backpressured,
+        MechanismId::Backpressureless,
+        MechanismId::Drop,
+        MechanismId::Afc,
+    ] {
+        runs.push(RunSpec {
+            mechanism,
+            seed,
+            kind: RunKind::OpenLoop {
+                rate: 0.15,
+                pattern: Pattern::UniformRandom,
+                mix: PacketMix::paper(),
+                warmup_cycles: 500,
+                measure_cycles: 1_500,
+            },
+        });
+        runs.push(RunSpec {
+            mechanism,
+            seed,
+            kind: RunKind::Fault {
+                rate: 0.10,
+                drop_rate: 5e-4,
+                corrupt_rate: 5e-4,
+                inject_cycles: 1_000,
+                drain_cycles: 100_000,
+            },
+        });
+    }
+    runs.push(RunSpec {
+        mechanism: MechanismId::Afc,
+        seed,
+        kind: RunKind::ClosedLoop {
+            workload,
+            warmup_txns: 50,
+            measure_txns: 200,
+            max_cycles: 500_000,
+        },
+    });
+    SweepSpec {
+        name: "determinism-test".into(),
+        net_cfg: NetworkConfig::paper_3x3(),
+        runs,
+    }
+}
+
+#[test]
+fn results_are_byte_identical_across_thread_counts() {
+    let spec = mixed_spec(7);
+    let serial = spec.execute_with_threads(1).serialize();
+    for threads in [2, 8] {
+        let parallel = spec.execute_with_threads(threads).serialize();
+        assert_eq!(
+            serial, parallel,
+            "sweep results differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_bit_identical_results() {
+    let a = mixed_spec(42).execute_with_threads(2).serialize();
+    let b = mixed_spec(42).execute_with_threads(2).serialize();
+    assert_eq!(a, b, "identical specs must reproduce identical bytes");
+}
+
+#[test]
+fn different_seeds_produce_different_results() {
+    let a = mixed_spec(1).execute_with_threads(2).serialize();
+    let b = mixed_spec(2).execute_with_threads(2).serialize();
+    assert_ne!(
+        a, b,
+        "seed change left every run output untouched — runs are ignoring their seed"
+    );
+}
+
+#[test]
+fn output_rows_stay_in_spec_order() {
+    let spec = mixed_spec(3);
+    let results = spec.execute_with_threads(8);
+    assert_eq!(results.outputs.len(), spec.runs.len());
+    for (run, out) in spec.runs.iter().zip(&results.outputs) {
+        assert_eq!(
+            run.label(),
+            out.label,
+            "output row order does not match spec order"
+        );
+    }
+}

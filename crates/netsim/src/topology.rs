@@ -183,22 +183,78 @@ impl Mesh {
     /// Manhattan distance). Empty if `at == dest`.
     ///
     /// Deflection routing prefers any productive port; this returns them in
-    /// X-first order so the first entry equals [`Mesh::dor_route`].
-    pub fn productive_dirs(&self, at: NodeId, dest: NodeId) -> Vec<Direction> {
+    /// X-first order so the first entry equals [`Mesh::dor_route`]. The
+    /// result is a stack-allocated [`ProductiveDirs`]: this sits on the
+    /// per-flit-per-cycle path of every deflection-mode router, so it must
+    /// not touch the heap.
+    pub fn productive_dirs(&self, at: NodeId, dest: NodeId) -> ProductiveDirs {
         let a = self.coord(at);
         let d = self.coord(dest);
-        let mut out = Vec::with_capacity(2);
-        if a.x < d.x {
-            out.push(Direction::East);
+        let x = if a.x < d.x {
+            Some(Direction::East)
         } else if a.x > d.x {
-            out.push(Direction::West);
-        }
-        if a.y < d.y {
-            out.push(Direction::South);
+            Some(Direction::West)
+        } else {
+            None
+        };
+        let y = if a.y < d.y {
+            Some(Direction::South)
         } else if a.y > d.y {
-            out.push(Direction::North);
+            Some(Direction::North)
+        } else {
+            None
+        };
+        ProductiveDirs {
+            dirs: match (x, y) {
+                (Some(x), y) => [Some(x), y],
+                (None, y) => [y, None],
+            },
         }
-        out
+    }
+}
+
+/// The productive directions toward a destination — at most two on a 2D
+/// mesh — packed into a `Copy` value so the hot routing path never
+/// allocates. Entries are compact (no interior `None`) and X-first, so
+/// `first()` equals [`Mesh::dor_route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProductiveDirs {
+    dirs: [Option<Direction>; 2],
+}
+
+impl ProductiveDirs {
+    /// Number of productive directions (0, 1, or 2).
+    pub fn len(&self) -> usize {
+        self.dirs[0].is_some() as usize + self.dirs[1].is_some() as usize
+    }
+
+    /// True when `at == dest` (no productive direction exists).
+    pub fn is_empty(&self) -> bool {
+        self.dirs[0].is_none()
+    }
+
+    /// The preferred (X-first) productive direction, if any.
+    pub fn first(&self) -> Option<Direction> {
+        self.dirs[0]
+    }
+
+    /// Whether `dir` is productive.
+    pub fn contains(&self, dir: Direction) -> bool {
+        self.dirs[0] == Some(dir) || self.dirs[1] == Some(dir)
+    }
+
+    /// Iterates over the productive directions in X-first order.
+    pub fn iter(&self) -> impl Iterator<Item = Direction> + '_ {
+        self.dirs.iter().flatten().copied()
+    }
+}
+
+impl IntoIterator for ProductiveDirs {
+    type Item = Direction;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<Direction>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.dirs.into_iter().flatten()
     }
 }
 
@@ -328,7 +384,7 @@ mod tests {
                 }
                 if a != b {
                     assert!(!m.productive_dirs(a, b).is_empty());
-                    assert_eq!(m.productive_dirs(a, b)[0], m.dor_route(a, b).unwrap());
+                    assert_eq!(m.productive_dirs(a, b).first(), m.dor_route(a, b));
                 }
             }
         }

@@ -102,32 +102,45 @@ impl DeflectionEngine {
         blocked: &[Direction],
         rng: &mut SimRng,
     ) -> Vec<Assignment> {
-        let mut free: Vec<Direction> = self
-            .dirs
-            .iter()
-            .copied()
-            .filter(|d| !blocked.contains(d))
-            .collect();
+        // Fixed-size free list: this runs for every latched flit every
+        // cycle, so it must stay off the heap. Order matches `self.dirs`
+        // and removal is order-preserving, keeping the RNG draw sequence
+        // identical to the historical Vec-based implementation.
+        let mut free = [Direction::North; 4];
+        let mut free_len = 0usize;
+        for d in self.dirs.iter().copied() {
+            if !blocked.contains(&d) {
+                free[free_len] = d;
+                free_len += 1;
+            }
+        }
         assert!(
-            flits.len() <= free.len(),
+            flits.len() <= free_len,
             "deflection invariant violated at {}: {} flits, {} usable ports",
             self.node,
             flits.len(),
-            free.len()
+            free_len
         );
         self.rank(&mut flits, rng);
         let mut out = Vec::with_capacity(flits.len());
         for flit in flits {
             let productive = self.mesh.productive_dirs(self.node, flit.dest);
-            let choice = productive.iter().copied().find(|d| free.contains(d));
+            let choice = productive
+                .into_iter()
+                .find(|d| free[..free_len].contains(d));
             let (dir, deflected) = match choice {
                 Some(d) => (d, false),
                 None => {
-                    let i = rng.gen_index(free.len());
+                    let i = rng.gen_index(free_len);
                     (free[i], true)
                 }
             };
-            free.retain(|d| *d != dir);
+            let pos = free[..free_len]
+                .iter()
+                .position(|d| *d == dir)
+                .expect("assigned direction must be free");
+            free.copy_within(pos + 1..free_len, pos);
+            free_len -= 1;
             out.push(Assignment {
                 flit,
                 dir,

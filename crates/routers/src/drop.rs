@@ -94,13 +94,28 @@ impl Router for DropRouter {
             RankPolicy::Random => rng.shuffle(&mut flits),
             RankPolicy::OldestFirst => flits.sort_by_key(|f| (f.injected_at, f.packet, f.seq)),
         }
-        let mut free: Vec<Direction> = self.dirs.clone();
+        // Fixed-size free list (at most 4 mesh ports): avoids a heap
+        // allocation per router per cycle on the hot arbitration path.
+        let mut free = [Direction::North; 4];
+        let mut free_len = 0usize;
+        for d in self.dirs.iter().copied() {
+            free[free_len] = d;
+            free_len += 1;
+        }
         for mut flit in flits {
             self.counters.arbitrations += 1;
             let productive = self.mesh.productive_dirs(self.node, flit.dest);
-            match productive.into_iter().find(|d| free.contains(d)) {
+            match productive
+                .into_iter()
+                .find(|d| free[..free_len].contains(d))
+            {
                 Some(dir) => {
-                    free.retain(|d| *d != dir);
+                    let pos = free[..free_len]
+                        .iter()
+                        .position(|d| *d == dir)
+                        .expect("assigned direction must be free");
+                    free.copy_within(pos + 1..free_len, pos);
+                    free_len -= 1;
                     flit.hops += 1;
                     self.counters.crossbar_traversals += 1;
                     self.counters.link_traversals += 1;

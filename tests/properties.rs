@@ -156,7 +156,7 @@ fn hops_are_at_least_manhattan_distance() {
         let mesh = net.mesh().clone();
         let mut rng = SimRng::seed_from(seed);
         let mut expected = Vec::new();
-        for _ in 0..20 {
+        for _ in 0..150 {
             let src = NodeId::new(rng.gen_index(mesh.node_count()));
             let mut dest = src;
             while dest == src {
@@ -189,20 +189,144 @@ fn hops_are_at_least_manhattan_distance() {
                 .find(|(id, _)| *id == pkt.descriptor.id)
                 .expect("delivered packet was offered");
             assert!(pkt.total_hops >= *dist);
-            // A flit never takes more hops than distance + 2 * deflections
-            // (each deflection costs at most one off-path and one
-            // corrective hop). The drop router is exempt: a dropped flit
+            // A flit never takes more hops than distance + 2 * deflections:
+            // each deflection costs exactly one off-path hop plus one
+            // corrective hop. The seed pinned this with a "+ 1" slack that
+            // turned out to be unnecessary — the exact bound holds even
+            // under a 150-packet single-cycle burst, so the slack only
+            // masked potential off-by-one regressions in deflection
+            // accounting. The drop router is exempt: a dropped flit
             // restarts from its source with its hop count preserved, so
             // hops accumulate without deflections.
             if mech % 5 != 2 {
                 assert!(
-                    pkt.total_hops <= dist + 2 * pkt.total_deflections + 1,
+                    pkt.total_hops <= dist + 2 * pkt.total_deflections,
                     "hops {} vs distance {} with {} deflections (case {case})",
                     pkt.total_hops,
                     dist,
                     pkt.total_deflections
                 );
             }
+        }
+    }
+}
+
+/// Walking the deterministic XY (and YX) route from any source reaches the
+/// destination in exactly the Manhattan distance, never leaving the mesh.
+#[test]
+fn dor_routes_have_manhattan_length_and_stay_on_mesh() {
+    for case in 0..20u64 {
+        let mut p = SimRng::seed_from(0x12E0 + case);
+        let w = 2 + p.gen_range(6) as u16;
+        let h = 2 + p.gen_range(6) as u16;
+        let mesh = Mesh::new(w, h).unwrap();
+        for _ in 0..30 {
+            let src = NodeId::new(p.gen_index(mesh.node_count()));
+            let dest = NodeId::new(p.gen_index(mesh.node_count()));
+            let dist = mesh.distance(src, dest);
+            for route in [Mesh::dor_route, Mesh::dor_route_yx] {
+                let mut at = src;
+                let mut hops = 0u32;
+                while let Some(dir) = route(&mesh, at, dest) {
+                    at = mesh
+                        .neighbor(at, dir)
+                        .expect("route must not step off the mesh");
+                    hops += 1;
+                    assert!(hops <= dist, "route exceeded Manhattan distance");
+                }
+                assert_eq!(at, dest, "route must terminate at the destination");
+                assert_eq!(hops, dist, "route length must equal Manhattan distance");
+            }
+        }
+    }
+}
+
+/// `productive_dirs` is exactly the set of directions that strictly reduce
+/// distance: its first entry agrees with XY routing, every member steps to
+/// a node one hop closer, and its size matches the number of axes with a
+/// nonzero delta.
+#[test]
+fn productive_dirs_strictly_reduce_distance() {
+    for case in 0..20u64 {
+        let mut p = SimRng::seed_from(0x9680 + case);
+        let w = 2 + p.gen_range(6) as u16;
+        let h = 2 + p.gen_range(6) as u16;
+        let mesh = Mesh::new(w, h).unwrap();
+        for _ in 0..30 {
+            let at = NodeId::new(p.gen_index(mesh.node_count()));
+            let dest = NodeId::new(p.gen_index(mesh.node_count()));
+            let dirs = mesh.productive_dirs(at, dest);
+            assert_eq!(dirs.first(), mesh.dor_route(at, dest));
+            let (a, b) = (mesh.coord(at), mesh.coord(dest));
+            let axes = usize::from(a.x != b.x) + usize::from(a.y != b.y);
+            assert_eq!(dirs.len(), axes);
+            assert_eq!(dirs.is_empty(), at == dest);
+            for dir in dirs.iter() {
+                let next = mesh
+                    .neighbor(at, dir)
+                    .expect("productive direction must stay on the mesh");
+                assert_eq!(
+                    mesh.distance(next, dest) + 1,
+                    mesh.distance(at, dest),
+                    "productive step must reduce distance by exactly one"
+                );
+            }
+            // Completeness: any direction not listed fails to reduce
+            // distance (or falls off the mesh).
+            for dir in Direction::ALL {
+                if dirs.contains(dir) {
+                    continue;
+                }
+                if let Some(next) = mesh.neighbor(at, dir) {
+                    assert!(mesh.distance(next, dest) >= mesh.distance(at, dest));
+                }
+            }
+        }
+    }
+}
+
+/// Neighbor, coordinate, direction-index, and port maps are involutive:
+/// stepping there and back returns home, `coord`/`node_at` invert each
+/// other, and `Direction::{index,from_index,opposite}` round-trip.
+#[test]
+fn neighbor_and_port_maps_are_involutive() {
+    for case in 0..20u64 {
+        let mut p = SimRng::seed_from(0x1470 + case);
+        let w = 2 + p.gen_range(6) as u16;
+        let h = 2 + p.gen_range(6) as u16;
+        let mesh = Mesh::new(w, h).unwrap();
+        for node in mesh.nodes() {
+            assert_eq!(mesh.node_at(mesh.coord(node)), Some(node));
+            let mut degree = 0;
+            for dir in Direction::ALL {
+                assert_eq!(Direction::from_index(dir.index()), Some(dir));
+                assert_eq!(dir.opposite().opposite(), dir);
+                match mesh.neighbor(node, dir) {
+                    Some(next) => {
+                        degree += 1;
+                        assert_ne!(next, node);
+                        assert_eq!(
+                            mesh.neighbor(next, dir.opposite()),
+                            Some(node),
+                            "stepping {dir:?} then back must return home"
+                        );
+                        assert_eq!(mesh.distance(node, next), 1);
+                        // Coord-level stepping agrees with the node map.
+                        assert_eq!(mesh.coord(node).step(dir), Some(mesh.coord(next)));
+                    }
+                    None => {
+                        // Off-mesh exactly when the coordinate step leaves
+                        // the rectangle.
+                        let stays = mesh
+                            .coord(node)
+                            .step(dir)
+                            .is_some_and(|c| mesh.node_at(c).is_some());
+                        assert!(!stays, "neighbor map missing an in-bounds edge");
+                    }
+                }
+            }
+            assert_eq!(mesh.degree(node), degree);
+            assert_eq!(mesh.neighbor_dirs(node).count(), degree);
         }
     }
 }
