@@ -1,0 +1,94 @@
+//! `step_loop`: nanoseconds per simulated cycle of the single-run hot
+//! loop (`Network::try_step` plus traffic/injection plumbing), measured
+//! end-to-end through [`Simulation::run`] on the paper's 8×8 mesh.
+//!
+//! Three operating points per mechanism:
+//!
+//! * **idle** — zero offered load; after warmup every component is
+//!   quiescent, so this isolates the per-cycle walk/bookkeeping tax.
+//! * **low_0.05** — 5% uniform-random load, the regime that dominates
+//!   the Figure 2 latency curves (>90% of components idle per cycle).
+//! * **sat_0.30** — past saturation for every mechanism; stresses the
+//!   full datapath (arbitration, ejection, NACKs for the drop router).
+//!
+//! Besides the printed table, writes machine-readable
+//! `results/BENCH_step.json` so future PRs have a perf trajectory.
+
+use afc_bench::microbench;
+use afc_bench::MechanismId;
+use afc_netsim::config::NetworkConfig;
+use afc_netsim::network::Network;
+use afc_netsim::sim::Simulation;
+use afc_traffic::openloop::{OpenLoopTraffic, PacketMix, RateSpec};
+use afc_traffic::synthetic::Pattern;
+
+/// Cycles simulated outside the timed region to reach steady state.
+const WARMUP_CYCLES: u64 = 2_000;
+/// Cycles per timed repeat (the unit count for ns/cycle).
+const MEASURE_CYCLES: u64 = 5_000;
+/// Fresh-state repeats per case; fastest is reported.
+const REPEATS: u32 = 5;
+
+/// The four mechanisms of the paper's core comparison.
+const MECHANISMS: [MechanismId; 4] = [
+    MechanismId::Backpressured,
+    MechanismId::Backpressureless,
+    MechanismId::Drop,
+    MechanismId::Afc,
+];
+
+/// The three operating points: label and offered load (flits/node/cycle).
+const LOADS: [(&str, f64); 3] = [("idle", 0.0), ("low_0.05", 0.05), ("sat_0.30", 0.30)];
+
+fn make_sim(id: MechanismId, rate: f64) -> Simulation<OpenLoopTraffic> {
+    let cfg = NetworkConfig::paper_8x8();
+    let network =
+        Network::new(cfg, id.mechanism().factory.as_ref(), 0xBEEF).expect("valid 8x8 config");
+    let traffic = OpenLoopTraffic::new(
+        RateSpec::Uniform(rate),
+        Pattern::UniformRandom,
+        PacketMix::paper(),
+        0xBEEF,
+    );
+    let mut sim = Simulation::new(network, traffic);
+    sim.run(WARMUP_CYCLES);
+    sim
+}
+
+fn main() {
+    let mut group = microbench::group("step_loop");
+    let mut rows: Vec<String> = Vec::new();
+
+    for id in MECHANISMS {
+        for (load_label, rate) in LOADS {
+            let label = format!("{}/{load_label}", id.label());
+            let best = group.bench_units(
+                &label,
+                MEASURE_CYCLES,
+                REPEATS,
+                || make_sim(id, rate),
+                |sim| sim.run(MEASURE_CYCLES),
+            );
+            rows.push(format!(
+                "    {{\"mechanism\": \"{}\", \"load\": \"{load_label}\", \"rate\": {rate}, \"ns_per_cycle\": {best:.1}}}",
+                id.label()
+            ));
+        }
+    }
+    group.finish();
+
+    let json = format!(
+        "{{\n  \"bench\": \"step_loop\",\n  \"mesh\": \"8x8\",\n  \"warmup_cycles\": {WARMUP_CYCLES},\n  \"measure_cycles\": {MEASURE_CYCLES},\n  \"repeats\": {REPEATS},\n  \"unit\": \"ns_per_cycle\",\n  \"cases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // `cargo bench` runs with cwd = the package dir; anchor the artifact
+    // at the workspace root next to the other `results/` outputs.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = root.join("results").join("BENCH_step.json");
+    std::fs::create_dir_all(out.parent().unwrap()).expect("results dir");
+    std::fs::write(&out, json).expect("writable results dir");
+    println!("\nwrote {}", out.display());
+}

@@ -56,6 +56,35 @@ impl Group {
         println!("{}/{label:<36} {best:>12.1} ns/iter", self.name);
     }
 
+    /// Times `body` over `repeats` fresh states from `setup` and returns
+    /// the best nanoseconds per unit of work (`body` performs `units`
+    /// units — e.g. simulated cycles — per invocation).
+    ///
+    /// Unlike [`Group::bench`], every repeat starts from a fresh `setup()`
+    /// state, so stateful workloads (a simulation that accumulates
+    /// backlog) do identical work in every sample and the fastest repeat
+    /// is a meaningful minimum-noise estimate.
+    pub fn bench_units<T>(
+        &mut self,
+        label: &str,
+        units: u64,
+        repeats: u32,
+        mut setup: impl FnMut() -> T,
+        mut body: impl FnMut(&mut T),
+    ) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats.max(1) {
+            let mut state = setup();
+            let t = Instant::now();
+            body(&mut state);
+            let ns = t.elapsed().as_nanos() as f64 / units.max(1) as f64;
+            black_box(&mut state);
+            best = best.min(ns);
+        }
+        println!("{}/{label:<36} {best:>12.1} ns/unit", self.name);
+        best
+    }
+
     /// Ends the group (kept for symmetry with the old Criterion API).
     pub fn finish(self) {}
 }

@@ -90,6 +90,25 @@ impl ContentionMonitor {
     pub fn thresholds(&self) -> (f64, f64) {
         (self.forward_threshold, self.reverse_threshold)
     }
+
+    /// Whether the monitor can replay idle cycles in bulk: every window
+    /// slot is zero, so `count` idle cycles only rotate the window cursor
+    /// and decay the EWMA ([`ContentionMonitor::skip_idle`]). A window
+    /// still holding nonzero samples must be stepped cycle by cycle (its
+    /// mean — and thus the EWMA trajectory — changes as they evict).
+    pub fn is_idle_replayable(&self) -> bool {
+        self.window.is_all_zero()
+    }
+
+    /// Folds `count` idle cycles into the monitor, bit-identical to
+    /// `count` calls of `record_cycle(0)`.
+    ///
+    /// Requires [`ContentionMonitor::is_idle_replayable`] (debug-checked
+    /// inside the window/EWMA helpers).
+    pub fn skip_idle(&mut self, count: u64) {
+        self.window.skip_zero(count);
+        self.ewma.decay_zero(count);
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +189,34 @@ mod tests {
     #[should_panic(expected = "forward > reverse")]
     fn rejects_inverted_thresholds() {
         let _ = ContentionMonitor::new(1.0, 2.0, 0.99, 4);
+    }
+
+    #[test]
+    fn skip_idle_is_bit_identical_to_zero_records() {
+        // Load the monitor, flush the window with 4 idle cycles, then
+        // compare bulk skip vs. cycle-by-cycle replay at several horizons
+        // (including past the underflow-to-zero fixed point).
+        for skip in [1u64, 3, 17, 1000, 200_000] {
+            let mut a = paper_monitor();
+            for _ in 0..50 {
+                a.record_cycle(3);
+            }
+            for _ in 0..4 {
+                a.record_cycle(0);
+            }
+            let mut b = a.clone();
+            assert!(a.is_idle_replayable());
+            a.skip_idle(skip);
+            for _ in 0..skip {
+                b.record_cycle(0);
+            }
+            assert_eq!(a.load().to_bits(), b.load().to_bits(), "skip={skip}");
+            // Subsequent traffic must evolve identically too.
+            for s in [2u32, 5, 0, 1] {
+                a.record_cycle(s);
+                b.record_cycle(s);
+            }
+            assert_eq!(a.load().to_bits(), b.load().to_bits(), "skip={skip}");
+        }
     }
 }

@@ -36,7 +36,7 @@ use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::topology::Mesh;
 use afc_routers::arbiter::RoundRobin;
-use afc_routers::deflection::{split_ejections, DeflectionEngine};
+use afc_routers::deflection::{split_ejections_into, Assignment, DeflectionEngine};
 
 use crate::config::AfcConfig;
 use crate::contention::{ContentionMonitor, LoadLevel};
@@ -152,6 +152,16 @@ pub struct AfcRouter {
     /// forward transition completes).
     reverse_allowed_at: Cycle,
     counters: ActivityCounters,
+    /// Buffered-flit count across all banks (excludes latches), maintained
+    /// incrementally so `occupancy`/`buffers_empty` are O(1) on the hot path.
+    buffered: usize,
+    /// Reusable deflection-assignment buffer (capacity retained across
+    /// cycles; no steady-state allocation).
+    assign_scratch: Vec<Assignment>,
+    /// Reusable stage-1 eligibility map for backpressured arbitration.
+    eligible_scratch: Vec<Option<PortId>>,
+    /// Reusable stage-2 winner list `(input, flat slot, output)`.
+    winners_scratch: Vec<(PortId, usize, PortId)>,
 }
 
 impl AfcRouter {
@@ -199,6 +209,10 @@ impl AfcRouter {
             reverse_allowed_at: 0,
             vnet_capacity,
             counters: ActivityCounters::new(),
+            buffered: 0,
+            assign_scratch: Vec::with_capacity(8),
+            eligible_scratch: vec![None; total_slots],
+            winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
             cfg,
         };
         if always {
@@ -257,10 +271,14 @@ impl AfcRouter {
     }
 
     fn buffers_empty(&self) -> bool {
-        PortId::ALL
-            .into_iter()
-            .filter_map(|p| self.buffers[p].as_ref())
-            .all(LazyBank::is_empty)
+        debug_assert_eq!(
+            self.buffered == 0,
+            PortId::ALL
+                .into_iter()
+                .filter_map(|p| self.buffers[p].as_ref())
+                .all(LazyBank::is_empty)
+        );
+        self.buffered == 0
     }
 
     fn buffer_insert(&mut self, port: PortId, flit: Flit) {
@@ -276,6 +294,7 @@ impl AfcRouter {
                 bank.slots[vnet][slot].as_mut().expect("just inserted").vc =
                     Some(VcId((offset + slot) as u8));
                 self.counters.buffer_writes += 1;
+                self.buffered += 1;
             }
             None => panic!(
                 "lazy-credit violation: vnet {vnet} full at {} port {port}",
@@ -344,13 +363,22 @@ impl AfcRouter {
         if self.latches.is_empty() {
             return;
         }
-        let ejected = split_ejections(&mut self.latches, self.node, self.eject_bandwidth);
-        self.counters.ejections += ejected.len() as u64;
-        out.ejected.extend(ejected);
+        let before = out.ejected.len();
+        split_ejections_into(
+            &mut self.latches,
+            self.node,
+            self.eject_bandwidth,
+            &mut out.ejected,
+        );
+        self.counters.ejections += (out.ejected.len() - before) as u64;
 
-        let flits = std::mem::take(&mut self.latches);
+        // Both vectors round-trip through locals (borrow split) and return
+        // with capacity intact: no allocation in steady state.
+        let mut flits = std::mem::take(&mut self.latches);
+        let mut assigns = std::mem::take(&mut self.assign_scratch);
         self.counters.arbitrations += flits.len() as u64;
-        for mut a in self.engine.assign(flits, &[], rng) {
+        self.engine.assign_into(&mut flits, &[], rng, &mut assigns);
+        for a in assigns.iter_mut() {
             a.flit.hops += 1;
             if a.deflected {
                 a.flit.deflections = a.flit.deflections.saturating_add(1);
@@ -365,6 +393,10 @@ impl AfcRouter {
             self.counters.link_traversals += 1;
             out.flits[PortId::Net(a.dir)] = Some(a.flit);
         }
+        flits.clear();
+        self.latches = flits;
+        assigns.clear();
+        self.assign_scratch = assigns;
     }
 
     /// One cycle of lazy-VC backpressured processing.
@@ -372,14 +404,18 @@ impl AfcRouter {
         let total_slots: usize = self.vnet_capacity.iter().sum();
         self.counters.buffer_occupancy_sum += self.occupancy() as u64;
 
-        // Stage 1: each input port nominates one eligible slot.
+        // Stage 1: each input port nominates one eligible slot. The
+        // eligibility map is a reusable scratch vector, re-zeroed per port.
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
         let mut any_candidate = false;
         let mut candidates: PortMap<Option<(usize, PortId)>> = PortMap::default();
         for port in PortId::ALL {
             let Some(bank) = self.buffers[port].as_ref() else {
                 continue;
             };
-            let mut eligible: Vec<Option<PortId>> = vec![None; total_slots];
+            for e in eligible.iter_mut() {
+                *e = None;
+            }
             let mut any = false;
             #[allow(clippy::needless_range_loop)] // flat is also decoded, not just an index
             for flat in 0..total_slots {
@@ -415,13 +451,14 @@ impl AfcRouter {
                 self.counters.arbitrations += 1;
             }
         }
+        self.eligible_scratch = eligible;
         if !any_candidate && self.occupancy() > 0 {
             self.counters.credit_stall_cycles += 1;
         }
 
         // Stage 2: output ports grant among nominating inputs; the local
         // port grants up to the ejection bandwidth.
-        let mut winners: Vec<(PortId, usize, PortId)> = Vec::new();
+        let mut winners = std::mem::take(&mut self.winners_scratch);
         for out_port in PortId::ALL {
             if out_port.is_network()
                 && self
@@ -452,10 +489,11 @@ impl AfcRouter {
         }
 
         // Traversal.
-        for (in_port, flat, out_port) in winners {
+        for &(in_port, flat, out_port) in &winners {
             let (vnet, slot) = self.flat_to_vnet_slot(flat);
             let bank = self.buffers[in_port].as_mut().expect("winner port");
             let mut flit = bank.slots[vnet][slot].take().expect("winner slot occupied");
+            self.buffered -= 1;
             self.counters.buffer_reads += 1;
             self.counters.crossbar_traversals += 1;
             if in_port.is_network() {
@@ -482,6 +520,8 @@ impl AfcRouter {
                 }
             }
         }
+        winners.clear();
+        self.winners_scratch = winners;
     }
 }
 
@@ -636,16 +676,65 @@ impl Router for AfcRouter {
     }
 
     fn occupancy(&self) -> usize {
-        let buffered: usize = PortId::ALL
-            .into_iter()
-            .filter_map(|p| self.buffers[p].as_ref())
-            .map(LazyBank::occupancy)
-            .sum();
-        buffered + self.latches.len()
+        debug_assert_eq!(
+            self.buffered,
+            PortId::ALL
+                .into_iter()
+                .filter_map(|p| self.buffers[p].as_ref())
+                .map(LazyBank::occupancy)
+                .sum::<usize>(),
+        );
+        self.buffered + self.latches.len()
     }
 
     fn load_estimate(&self) -> Option<f64> {
         Some(self.monitor.load())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        if self.flits_this_cycle != 0 || !self.monitor.is_idle_replayable() {
+            return false;
+        }
+        match self.mode {
+            // Safe to skip only when the next steps provably do nothing but
+            // decay the monitor: no latched flits, no gossip pressure (the
+            // engine re-activates this router on any credit/control/flit
+            // receive, so pressure cannot appear mid-skip), and a load below
+            // the forward threshold — idle decay is monotone non-increasing
+            // on an all-zero window, so `level()` can never *become* `High`
+            // while skipped.
+            AfcMode::Backpressureless => {
+                self.latches.is_empty()
+                    && !self.gossip_pressure()
+                    && self.monitor.level() != LoadLevel::High
+            }
+            // An adaptive backpressured router may fire the reverse switch
+            // mid-decay (an observable control emission at a load-dependent
+            // cycle), so it must be stepped every cycle. Only the
+            // always-backpressured ablation — whose mode decisions are
+            // suppressed entirely — can be skipped.
+            AfcMode::Backpressured => {
+                self.cfg.always_backpressured && self.buffered == 0 && self.latches.is_empty()
+            }
+            AfcMode::SwitchingForward { .. } => false,
+        }
+    }
+
+    fn note_idle_cycles(&mut self, idle: u64) {
+        self.counters.cycles += idle;
+        if matches!(self.mode, AfcMode::Backpressureless) {
+            self.counters.cycles_buffers_gated += idle;
+        }
+        self.monitor.skip_idle(idle);
+    }
+
+    fn counters_view(&self, pending_idle: u64) -> ActivityCounters {
+        let mut c = self.counters;
+        c.cycles += pending_idle;
+        if matches!(self.mode, AfcMode::Backpressureless) {
+            c.cycles_buffers_gated += pending_idle;
+        }
+        c
     }
 }
 

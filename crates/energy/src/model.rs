@@ -191,7 +191,7 @@ impl EnergyModel {
                     routers: 1,
                     ..base
                 };
-                self.price(net.router_counters(node), &profile)
+                self.price(&net.router_counters(node), &profile)
             })
             .collect()
     }

@@ -3,7 +3,9 @@
 //! Each directed adjacency in the mesh is realized by a [`Channel`]: a
 //! forward lane carrying at most one flit per cycle downstream, and a reverse
 //! lane carrying credits and control signals upstream. Both lanes are modeled
-//! as shift registers so that multi-cycle link latency is cycle-exact.
+//! as fixed-capacity ring buffers so that multi-cycle link latency is
+//! cycle-exact while `advance()` is a handful of index operations — no
+//! per-cycle heap traffic (DESIGN.md §8's allocation discipline).
 //!
 //! The forward lane has delay `L + 2`: one cycle of switch traversal at the
 //! sender, `L` cycles of wire, with the downstream buffer write overlapped
@@ -12,7 +14,6 @@
 //! wires.
 
 use crate::flit::{Flit, VcId, VirtualNetwork};
-use std::collections::VecDeque;
 
 /// A buffer-release token flowing upstream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,21 +38,89 @@ pub enum ControlSignal {
     StopCreditTracking,
 }
 
+/// Inline capacity of one reverse-lane slot.
+///
+/// A router emits at most one credit per input port and at most one mode
+/// control signal per cycle onto a given channel (the invariant tests pin
+/// this), so the per-cycle fan-in onto one reverse slot is a small
+/// constant; 4 leaves slack. Overflow panics rather than spilling.
+pub const LANE_CAP: usize = 4;
+
+/// A fixed-capacity inline list: one reverse-lane ring slot.
+#[derive(Debug, Clone, Copy)]
+struct LaneSlot<T: Copy> {
+    len: u8,
+    items: [T; LANE_CAP],
+}
+
+impl<T: Copy> LaneSlot<T> {
+    fn new(fill: T) -> LaneSlot<T> {
+        LaneSlot {
+            len: 0,
+            items: [fill; LANE_CAP],
+        }
+    }
+
+    fn push(&mut self, item: T) {
+        assert!(
+            (self.len as usize) < LANE_CAP,
+            "reverse-lane slot overflow: more than {LANE_CAP} items in one cycle"
+        );
+        self.items[self.len as usize] = item;
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// What a channel delivers at the start of a cycle.
-#[derive(Debug, Clone, Default)]
+///
+/// Plain-old-data with inline storage (no heap): the engine copies it out
+/// of the staging slot and iterates [`credits`](Delivery::credits) /
+/// [`control`](Delivery::control) as slices.
+#[derive(Debug, Clone, Copy)]
 pub struct Delivery {
     /// Flit arriving at the downstream router, if any.
     pub flit: Option<Flit>,
-    /// Credits arriving back at the upstream router.
-    pub credits: Vec<Credit>,
-    /// Control signals arriving back at the upstream router.
-    pub control: Vec<ControlSignal>,
+    credits: LaneSlot<Credit>,
+    control: LaneSlot<ControlSignal>,
 }
 
 impl Delivery {
+    /// Credits arriving back at the upstream router.
+    pub fn credits(&self) -> &[Credit] {
+        self.credits.as_slice()
+    }
+
+    /// Control signals arriving back at the upstream router.
+    pub fn control(&self) -> &[ControlSignal] {
+        self.control.as_slice()
+    }
+
     /// True if nothing arrived.
     pub fn is_empty(&self) -> bool {
         self.flit.is_none() && self.credits.is_empty() && self.control.is_empty()
+    }
+}
+
+impl Default for Delivery {
+    fn default() -> Delivery {
+        Delivery {
+            flit: None,
+            // Fill values are never observed: `len` gates every read.
+            credits: LaneSlot::new(Credit::Vc(VcId(0))),
+            control: LaneSlot::new(ControlSignal::StartCreditTracking),
+        }
     }
 }
 
@@ -78,12 +147,17 @@ impl Delivery {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Channel {
-    /// Forward lane; index 0 is the next slot to be delivered.
-    flits: VecDeque<Option<Flit>>,
-    /// Reverse lane for credits.
-    credits: VecDeque<Vec<Credit>>,
-    /// Reverse lane for control signals.
-    control: VecDeque<Vec<ControlSignal>>,
+    /// Forward lane ring; `fwd[fwd_head]` is the next slot delivered.
+    fwd: Box<[Option<Flit>]>,
+    fwd_head: usize,
+    /// Occupied forward slots (O(1) occupancy queries).
+    fwd_count: usize,
+    /// Reverse lane rings (same length, shared head).
+    rev_credits: Box<[LaneSlot<Credit>]>,
+    rev_control: Box<[LaneSlot<ControlSignal>]>,
+    rev_head: usize,
+    credit_count: usize,
+    control_count: usize,
 }
 
 impl Channel {
@@ -102,21 +176,36 @@ impl Channel {
         let fwd = (link_latency + Self::ROUTER_OVERHEAD) as usize;
         let rev = link_latency as usize;
         Channel {
-            flits: std::iter::repeat_with(|| None).take(fwd).collect(),
-            credits: std::iter::repeat_with(Vec::new).take(rev).collect(),
-            control: std::iter::repeat_with(Vec::new).take(rev).collect(),
+            fwd: vec![None; fwd].into_boxed_slice(),
+            fwd_head: 0,
+            fwd_count: 0,
+            rev_credits: vec![LaneSlot::new(Credit::Vc(VcId(0))); rev].into_boxed_slice(),
+            rev_control: vec![LaneSlot::new(ControlSignal::StartCreditTracking); rev]
+                .into_boxed_slice(),
+            rev_head: 0,
+            credit_count: 0,
+            control_count: 0,
         }
     }
 
     /// Total forward delay (cycles from arbitration win to downstream
     /// arbitration eligibility).
     pub fn forward_delay(&self) -> u64 {
-        self.flits.len() as u64
+        self.fwd.len() as u64
     }
 
     /// Reverse (credit/control) delay in cycles.
     pub fn reverse_delay(&self) -> u64 {
-        self.credits.len() as u64
+        self.rev_credits.len() as u64
+    }
+
+    /// Index of the ring slot written by this cycle's pushes (the "back").
+    fn fwd_tail(&self) -> usize {
+        (self.fwd_head + self.fwd.len() - 1) % self.fwd.len()
+    }
+
+    fn rev_tail(&self) -> usize {
+        (self.rev_head + self.rev_credits.len() - 1) % self.rev_credits.len()
     }
 
     /// Sends a flit downstream. At most one flit may be pushed per cycle.
@@ -126,7 +215,8 @@ impl Channel {
     /// Panics if the entry slot is already occupied — that would mean two
     /// flits crossed the same link in the same cycle, a router bug.
     pub fn push_flit(&mut self, flit: Flit) {
-        let back = self.flits.back_mut().expect("channel has slots");
+        let tail = self.fwd_tail();
+        let back = &mut self.fwd[tail];
         assert!(
             back.is_none(),
             "link overdriven: two flits pushed in one cycle ({} then {})",
@@ -134,37 +224,42 @@ impl Channel {
             flit
         );
         *back = Some(flit);
+        self.fwd_count += 1;
     }
 
     /// Whether a flit has already been pushed this cycle.
     pub fn entry_occupied(&self) -> bool {
-        self.flits.back().expect("channel has slots").is_some()
+        self.fwd[self.fwd_tail()].is_some()
     }
 
     /// Sends a credit upstream.
     pub fn push_credit(&mut self, credit: Credit) {
-        self.credits
-            .back_mut()
-            .expect("channel has slots")
-            .push(credit);
+        let tail = self.rev_tail();
+        self.rev_credits[tail].push(credit);
+        self.credit_count += 1;
     }
 
     /// Sends a control signal upstream.
     pub fn push_control(&mut self, signal: ControlSignal) {
-        self.control
-            .back_mut()
-            .expect("channel has slots")
-            .push(signal);
+        let tail = self.rev_tail();
+        self.rev_control[tail].push(signal);
+        self.control_count += 1;
     }
 
     /// Advances both lanes one cycle and returns what arrives.
     pub fn advance(&mut self) -> Delivery {
-        let flit = self.flits.pop_front().expect("channel has slots");
-        self.flits.push_back(None);
-        let credits = self.credits.pop_front().expect("channel has slots");
-        self.credits.push_back(Vec::new());
-        let control = self.control.pop_front().expect("channel has slots");
-        self.control.push_back(Vec::new());
+        let flit = self.fwd[self.fwd_head].take();
+        self.fwd_head = (self.fwd_head + 1) % self.fwd.len();
+        self.fwd_count -= flit.is_some() as usize;
+
+        let credits = self.rev_credits[self.rev_head];
+        self.rev_credits[self.rev_head].clear();
+        let control = self.rev_control[self.rev_head];
+        self.rev_control[self.rev_head].clear();
+        self.rev_head = (self.rev_head + 1) % self.rev_credits.len();
+        self.credit_count -= credits.as_slice().len();
+        self.control_count -= control.as_slice().len();
+
         Delivery {
             flit,
             credits,
@@ -174,20 +269,20 @@ impl Channel {
 
     /// Number of flits currently in flight on the forward lane.
     pub fn flits_in_flight(&self) -> usize {
-        self.flits.iter().filter(|f| f.is_some()).count()
+        self.fwd_count
     }
 
     /// Number of credits currently in flight on the reverse lane (feeds the
     /// network's credit-conservation audit).
     pub fn credits_in_flight(&self) -> usize {
-        self.credits.iter().map(Vec::len).sum()
+        self.credit_count
     }
 
-    /// Whether both lanes are completely empty.
+    /// Whether both lanes are completely empty. O(1): the lane rings keep
+    /// occupancy counts, so the activity-tracked engine can poll this per
+    /// cycle without scanning slots.
     pub fn is_drained(&self) -> bool {
-        self.flits_in_flight() == 0
-            && self.credits.iter().all(Vec::is_empty)
-            && self.control.iter().all(Vec::is_empty)
+        self.fwd_count == 0 && self.credit_count == 0 && self.control_count == 0
     }
 }
 
@@ -228,9 +323,9 @@ mod tests {
         loop {
             cycles += 1;
             let d = ch.advance();
-            if !d.credits.is_empty() {
-                assert_eq!(d.credits, vec![Credit::Vc(VcId(2))]);
-                assert_eq!(d.control, vec![ControlSignal::StartCreditTracking]);
+            if !d.credits().is_empty() {
+                assert_eq!(d.credits(), &[Credit::Vc(VcId(2))]);
+                assert_eq!(d.control(), &[ControlSignal::StartCreditTracking]);
                 break;
             }
             assert!(cycles < 100);
@@ -244,6 +339,15 @@ mod tests {
         let mut ch = Channel::new(1);
         ch.push_flit(flit(1));
         ch.push_flit(flit(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reverse-lane slot overflow")]
+    fn lane_slot_overflow_panics() {
+        let mut ch = Channel::new(1);
+        for _ in 0..=LANE_CAP {
+            ch.push_credit(Credit::Vc(VcId(0)));
+        }
     }
 
     #[test]
@@ -283,13 +387,13 @@ mod tests {
         let mut ch = Channel::new(2);
         ch.push_credit(Credit::Vc(VcId(1)));
         let d1 = ch.advance();
-        assert!(d1.credits.is_empty());
+        assert!(d1.credits().is_empty());
         ch.push_control(ControlSignal::StopCreditTracking);
         let d2 = ch.advance();
-        assert_eq!(d2.credits, vec![Credit::Vc(VcId(1))]);
-        assert!(d2.control.is_empty());
+        assert_eq!(d2.credits(), &[Credit::Vc(VcId(1))]);
+        assert!(d2.control().is_empty());
         let d3 = ch.advance();
-        assert_eq!(d3.control, vec![ControlSignal::StopCreditTracking]);
+        assert_eq!(d3.control(), &[ControlSignal::StopCreditTracking]);
     }
 
     #[test]

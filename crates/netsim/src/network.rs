@@ -1,5 +1,18 @@
 //! The network engine: wires routers, channels and network interfaces
 //! together and advances them cycle by cycle.
+//!
+//! ## Activity tracking (DESIGN.md §8)
+//!
+//! The engine keeps dirty bitmasks over routers, channels and NIs and — on
+//! the fast path — walks only the active members each cycle, in ascending
+//! index order so the walk is bit-identical to the historical full scan.
+//! Quiescent routers ([`Router::is_quiescent`]) are skipped entirely; their
+//! per-cycle counters are replayed in bulk via [`Router::note_idle_cycles`]
+//! the moment they re-activate. Setting the `AFC_FULL_SCAN` environment
+//! variable (or calling [`Network::set_full_scan`]) forces the historical
+//! every-component walk; both paths maintain the activity sets identically,
+//! so the mode can be toggled mid-run and must produce byte-identical
+//! results — the self-check the golden tests pin.
 
 use crate::channel::Channel;
 use crate::config::NetworkConfig;
@@ -22,6 +35,59 @@ struct ChannelEnds {
     from: NodeId,
     dir: Direction,
     to: NodeId,
+}
+
+/// A fixed-size dirty bitmask over component indices.
+///
+/// Members are iterated in ascending order (word by word, lowest set bit
+/// first), which is what keeps the active-set walk order identical to a
+/// full `0..n` scan. Inserting an already-present member or removing an
+/// absent one is a no-op, so the sets may safely be conservative
+/// supersets of the truly active components.
+#[derive(Debug, Clone)]
+struct ActiveSet {
+    words: Vec<u64>,
+}
+
+impl ActiveSet {
+    fn empty(len: usize) -> ActiveSet {
+        ActiveSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    fn full(len: usize) -> ActiveSet {
+        let mut set = ActiveSet {
+            words: vec![!0u64; len.div_ceil(64)],
+        };
+        if !len.is_multiple_of(64) {
+            if let Some(last) = set.words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        set
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    fn remove(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    #[inline]
+    fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Snapshot of one word; iterate its bits while freely mutating the set.
+    #[inline]
+    fn word(&self, wi: usize) -> u64 {
+        self.words[wi]
+    }
 }
 
 /// A complete simulated network: routers, channels and network interfaces.
@@ -77,6 +143,39 @@ pub struct Network {
     audit_baseline: usize,
     /// When enabled, every offered packet is logged for trace capture.
     offer_log: Option<Vec<(Cycle, NodeId, PacketInput)>>,
+    /// Force the historical walk over every component each cycle
+    /// (`AFC_FULL_SCAN` self-check mode).
+    full_scan: bool,
+    /// Routers that must be stepped: everything not proven quiescent.
+    router_active: ActiveSet,
+    /// Channels with anything on a lane, staged for delivery, or held.
+    chan_active: ActiveSet,
+    /// NIs with send-side work (queued packets or pending retransmits).
+    ni_send_active: ActiveSet,
+    /// NIs holding completed packets awaiting [`Network::take_delivered`].
+    ni_delivered: ActiveSet,
+    /// Per-router cycle up to which counters are accounted: counters of
+    /// router `i` reflect cycles `[reset, accounted_upto[i])`; the gap to
+    /// `now` is idle cycles pending bulk replay.
+    accounted_upto: Vec<Cycle>,
+    /// Cached post-step router modes plus residency counts (indexed by
+    /// [`Network::mode_slot`]) so per-cycle mode stats are O(1), not O(n).
+    modes_cache: Vec<RouterMode>,
+    mode_counts: [u64; 3],
+    /// Flits inside routers/channels/staged/held, maintained incrementally
+    /// (cross-checked against [`Network::flits_in_network`] in debug).
+    in_flight: usize,
+    /// Flits sitting in NI retransmit queues, maintained incrementally.
+    retx_queued: usize,
+    /// Monotone max over NIs of their reassembly high-water marks; each NI
+    /// mark is itself monotone, so this equals the per-cycle max scan the
+    /// engine used to perform.
+    ni_high_water_max: usize,
+    /// Debug-build cross-checking of the incremental accounting against a
+    /// from-scratch recount. Disabled only by tests that install
+    /// deliberately conservation-violating routers.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    check_conservation: bool,
 }
 
 impl std::fmt::Debug for Network {
@@ -95,6 +194,10 @@ impl Network {
 
     /// Builds a network from a validated configuration, a router factory and
     /// an RNG seed.
+    ///
+    /// The `AFC_FULL_SCAN` environment variable (any value other than empty
+    /// or `0`) starts the network in full-scan self-check mode; see
+    /// [`Network::set_full_scan`].
     ///
     /// # Errors
     ///
@@ -148,6 +251,14 @@ impl Network {
         let held = vec![VecDeque::new(); channels.len()];
         let rng = SimRng::seed_from(seed);
         let fault_rng = rng.fork(0x00FA_0171);
+        let full_scan =
+            std::env::var_os("AFC_FULL_SCAN").is_some_and(|v| !v.is_empty() && v != "0");
+        let modes_cache: Vec<RouterMode> = routers.iter().map(|r| r.mode()).collect();
+        let mut mode_counts = [0u64; 3];
+        for m in &modes_cache {
+            mode_counts[Self::mode_slot(*m)] += 1;
+        }
+        let chan_count = channels.len();
 
         Ok(Network {
             mesh,
@@ -179,6 +290,21 @@ impl Network {
             last_progress_cycle: 0,
             audit_baseline: 0,
             offer_log: None,
+            full_scan,
+            // Conservative starts: every router/channel/NI walks until it
+            // proves itself inactive (unknown implementations default to
+            // never-quiescent and simply stay on the always-step path).
+            router_active: ActiveSet::full(n),
+            chan_active: ActiveSet::full(chan_count),
+            ni_send_active: ActiveSet::full(n),
+            ni_delivered: ActiveSet::empty(n),
+            accounted_upto: vec![0; n],
+            modes_cache,
+            mode_counts,
+            in_flight: 0,
+            retx_queued: 0,
+            ni_high_water_max: 0,
+            check_conservation: true,
         })
     }
 
@@ -228,6 +354,25 @@ impl Network {
         &self.nis[node.index()]
     }
 
+    /// Forces (or releases) the historical full-component walk. The active
+    /// sets are maintained identically in both modes, so this may be
+    /// toggled mid-run; results must be byte-identical either way.
+    pub fn set_full_scan(&mut self, on: bool) {
+        self.full_scan = on;
+    }
+
+    /// Whether the full-scan self-check walk is currently forced.
+    pub fn full_scan(&self) -> bool {
+        self.full_scan
+    }
+
+    /// True when this step may take the activity-tracked fast path: the
+    /// fault plane and the retransmit layer touch components behind the
+    /// engine's back, so either being configured forces the full walk.
+    fn fast_path(&self) -> bool {
+        !self.full_scan && self.config.faults.is_empty() && self.config.retransmit.is_none()
+    }
+
     /// Enqueues a packet for injection at `src`, assigning its id and
     /// creation timestamp. Returns the id.
     ///
@@ -251,6 +396,7 @@ impl Network {
         if let Some(log) = &mut self.offer_log {
             log.push((self.now, src, input));
         }
+        self.ni_send_active.insert(src.index());
         self.nis[src.index()].enqueue(desc, &mut self.stats);
         id
     }
@@ -296,92 +442,24 @@ impl Network {
     pub fn try_step(&mut self) -> Result<(), SimError> {
         let now = self.now;
         let faults_active = !self.config.faults.is_empty();
+        let fast = self.fast_path();
 
         // Phase 1: deliver staged channel arrivals. Arriving flits pass
         // through the fault plane (drop/corrupt/kill) and are held back
         // while the receiving router is stalled; credits cross the fault
         // plane's credit-loss stage on their way upstream.
-        for c in 0..self.channels.len() {
-            let delivery = std::mem::take(&mut self.pending[c]);
-            if delivery.is_empty() && self.held[c].is_empty() {
-                continue;
-            }
-            let ends = self.ends[c];
-            if let Some(flit) = delivery.flit {
-                self.held[c].push_back(flit);
-            }
-            for credit in delivery.credits {
-                if faults_active
-                    && self
-                        .config
-                        .faults
-                        .credit_lost(ends.from, ends.dir, now, &mut self.fault_rng)
-                {
-                    self.stats.credits_lost += 1;
-                    self.stats.faults_injected += 1;
-                    self.credits_faulted += 1;
-                    self.log_fault(FaultEvent {
-                        cycle: now,
-                        from: ends.from,
-                        dir: ends.dir,
-                        kind: FaultEventKind::CreditLost,
-                    });
-                    continue;
+        if fast {
+            for wi in 0..self.chan_active.word_count() {
+                let mut w = self.chan_active.word(wi);
+                while w != 0 {
+                    let c = (wi << 6) + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    self.deliver_channel(c, now, faults_active)?;
                 }
-                self.credits_delivered += 1;
-                self.routers[ends.from.index()].receive_credit(PortId::Net(ends.dir), credit, now);
             }
-            for signal in delivery.control {
-                self.routers[ends.from.index()].receive_control(PortId::Net(ends.dir), signal, now);
-            }
-            if faults_active && self.config.faults.router_stalled(ends.to, now) {
-                // The receiver is frozen: arrivals wait in `held` and drain
-                // one per cycle (the link's bandwidth) once the stall lifts.
-                continue;
-            }
-            if let Some(mut flit) = self.held[c].pop_front() {
-                if faults_active {
-                    match self.config.faults.flit_fate(
-                        ends.from,
-                        ends.dir,
-                        now,
-                        &mut self.fault_rng,
-                    ) {
-                        FlitFate::Drop => {
-                            self.stats.flits_lost_to_faults += 1;
-                            self.stats.faults_injected += 1;
-                            self.log_fault(FaultEvent::for_flit(
-                                now, ends.from, ends.dir, &flit, true,
-                            ));
-                            continue;
-                        }
-                        FlitFate::Corrupt => {
-                            flit.corrupt();
-                            self.stats.faults_injected += 1;
-                            self.log_fault(FaultEvent::for_flit(
-                                now, ends.from, ends.dir, &flit, false,
-                            ));
-                        }
-                        FlitFate::Deliver => {}
-                    }
-                }
-                if self.config.max_flit_age > 0 {
-                    let age = now.saturating_sub(flit.injected_at);
-                    if age > self.config.max_flit_age {
-                        return Err(SimError::FlitOverAge {
-                            cycle: now,
-                            limit: self.config.max_flit_age,
-                            age,
-                            node: ends.to,
-                            flit,
-                        });
-                    }
-                }
-                self.routers[ends.to.index()].receive_flit(
-                    PortId::Net(ends.dir.opposite()),
-                    flit,
-                    now,
-                );
+        } else {
+            for c in 0..self.channels.len() {
+                self.deliver_channel(c, now, faults_active)?;
             }
         }
 
@@ -389,11 +467,20 @@ impl Network {
         // retransmissions; end-to-end acks retire outstanding packets; NI
         // retransmit timeouts fire.
         if !self.nack_queue.is_empty() {
+            let recovery = self.config.retransmit.is_some();
             let mut i = 0;
             while i < self.nack_queue.len() {
                 if self.nack_queue[i].0 <= now {
                     let (_, flit) = self.nack_queue.swap_remove(i);
-                    self.nis[flit.src.index()].nack(flit, now, &mut self.stats);
+                    let src = flit.src.index();
+                    self.nis[src].nack(flit, now, &mut self.stats);
+                    if !recovery {
+                        // Without end-to-end recovery a NACK requeues the
+                        // flit directly; with it the copy is absorbed and
+                        // the timeout path re-materializes the packet.
+                        self.retx_queued += 1;
+                    }
+                    self.ni_send_active.insert(src);
                 } else {
                     i += 1;
                 }
@@ -411,106 +498,116 @@ impl Network {
             }
         }
         if self.config.retransmit.is_some() {
+            let copies0 = self.stats.flits_retransmit_copies;
             for ni in &mut self.nis {
                 ni.check_timeouts(now, &mut self.stats);
             }
+            self.retx_queued += (self.stats.flits_retransmit_copies - copies0) as usize;
         }
 
         // Phase 2b: injection attempts (stalled routers accept nothing).
-        for i in 0..self.nis.len() {
-            if faults_active && self.config.faults.router_stalled(NodeId::new(i), now) {
-                continue;
+        if fast {
+            for wi in 0..self.ni_send_active.word_count() {
+                let mut w = self.ni_send_active.word(wi);
+                while w != 0 {
+                    let i = (wi << 6) + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    self.inject_at(i, now);
+                }
             }
-            self.nis[i].try_inject(self.routers[i].as_mut(), now, &mut self.stats);
+        } else {
+            for i in 0..self.nis.len() {
+                if faults_active && self.config.faults.router_stalled(NodeId::new(i), now) {
+                    continue;
+                }
+                self.inject_at(i, now);
+            }
         }
 
         // Phase 3: router pipeline steps (stalled routers skip their step
-        // but still accrue mode residency).
-        for i in 0..self.routers.len() {
-            if faults_active && self.config.faults.router_stalled(NodeId::new(i), now) {
-                Self::count_mode(&mut self.stats, self.routers[i].mode());
-                continue;
-            }
-            self.scratch.clear();
-            let mut rng = self.rng.fork((now << 16) ^ i as u64);
-            self.routers[i].step(now, &mut rng, &mut self.scratch);
-
-            for dir in Direction::ALL {
-                if let Some(flit) = self.scratch.flits[PortId::Net(dir)] {
-                    let Some(chan) = self.out_chan[i][dir] else {
-                        return Err(SimError::Misrouted {
-                            cycle: now,
-                            node: NodeId::new(i),
-                            dir,
-                            flit,
-                        });
-                    };
-                    self.channels[chan].push_flit(flit);
-                }
-                for &credit in &self.scratch.credits[PortId::Net(dir)] {
-                    if let Some(chan) = self.in_chan[i][dir] {
-                        self.channels[chan].push_credit(credit);
-                        self.credits_pushed += 1;
-                    }
+        // but still accrue mode residency via the cached mode counts).
+        if fast {
+            for wi in 0..self.router_active.word_count() {
+                let mut w = self.router_active.word(wi);
+                while w != 0 {
+                    let i = (wi << 6) + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    self.step_one_router(i, now)?;
                 }
             }
-            if self.scratch.flits[PortId::Local].is_some() {
-                return Err(SimError::ProtocolViolation {
-                    cycle: now,
-                    node: NodeId::new(i),
-                    what: "routers must use `ejected`, not the Local flit slot",
-                });
-            }
-            for &signal in &self.scratch.control {
-                for dir in Direction::ALL {
-                    if let Some(chan) = self.in_chan[i][dir] {
-                        self.channels[chan].push_control(signal);
-                    }
+        } else {
+            for i in 0..self.routers.len() {
+                if faults_active && self.config.faults.router_stalled(NodeId::new(i), now) {
+                    // The stalled cycle is never accounted in the router's
+                    // counters (matching the historical engine), so mark it
+                    // handled without replaying it as idle.
+                    self.accounted_upto[i] = now + 1;
+                    continue;
                 }
+                self.step_one_router(i, now)?;
             }
-            let ejected = std::mem::take(&mut self.scratch.ejected);
-            self.nis[i].receive_flits(ejected, now, &mut self.stats);
-
-            // Dropped flits ride the modeled NACK circuit back to their
-            // source: latency proportional to the Manhattan distance, plus a
-            // small fixed processing cost.
-            for flit in self.scratch.dropped.drain(..) {
-                let dist = self.mesh.distance(NodeId::new(i), flit.src) as u64;
-                let ready = now + dist * self.config.link_latency + 2;
-                self.nack_queue.push((ready, flit));
-            }
-
-            Self::count_mode(&mut self.stats, self.routers[i].mode());
         }
 
         // Phase 3b: corrupt arrivals join the NACK circuit; fresh end-to-end
-        // acks start their trip back to the source.
-        for i in 0..self.nis.len() {
-            for flit in self.nis[i].take_corrupt() {
-                let dist = self.mesh.distance(NodeId::new(i), flit.src) as u64;
-                let ready = now + dist * self.config.link_latency + 2;
-                self.nack_queue.push((ready, flit));
-            }
-            for (src, id) in self.nis[i].take_acks() {
-                let dist = self.mesh.distance(NodeId::new(i), src) as u64;
-                let ready = now + dist * self.config.link_latency;
-                self.ack_queue.push((ready, src, id));
+        // acks start their trip back to the source. Corrupt flits exist only
+        // under the fault plane and acks only under recovery, so the phase
+        // is provably a no-op otherwise.
+        if faults_active || self.config.retransmit.is_some() {
+            for i in 0..self.nis.len() {
+                for flit in self.nis[i].take_corrupt() {
+                    let dist = self.mesh.distance(NodeId::new(i), flit.src) as u64;
+                    let ready = now + dist * self.config.link_latency + 2;
+                    self.nack_queue.push((ready, flit));
+                }
+                for (src, id) in self.nis[i].take_acks() {
+                    let dist = self.mesh.distance(NodeId::new(i), src) as u64;
+                    let ready = now + dist * self.config.link_latency;
+                    self.ack_queue.push((ready, src, id));
+                }
             }
         }
 
-        // Phase 4: advance channels; stage next cycle's deliveries.
-        for c in 0..self.channels.len() {
-            self.pending[c] = self.channels[c].advance();
+        // Phase 4: advance channels; stage next cycle's deliveries. An
+        // inactive channel is fully empty, so skipping its advance() only
+        // skips rotating an all-empty ring — unobservable.
+        if fast {
+            for wi in 0..self.chan_active.word_count() {
+                let mut w = self.chan_active.word(wi);
+                while w != 0 {
+                    let c = (wi << 6) + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    self.advance_channel(c);
+                }
+            }
+        } else {
+            for c in 0..self.channels.len() {
+                self.advance_channel(c);
+            }
         }
         self.now += 1;
         self.stats.cycles += 1;
-        self.stats.reassembly_high_water = self.stats.reassembly_high_water.max(
-            self.nis
-                .iter()
-                .map(|ni| ni.reassembly_high_water())
-                .max()
-                .unwrap_or(0),
-        );
+        self.stats.cycles_backpressured += self.mode_counts[0];
+        self.stats.cycles_backpressureless += self.mode_counts[1];
+        self.stats.cycles_transitioning += self.mode_counts[2];
+        self.stats.reassembly_high_water =
+            self.stats.reassembly_high_water.max(self.ni_high_water_max);
+
+        #[cfg(debug_assertions)]
+        if self.check_conservation {
+            debug_assert_eq!(
+                self.in_flight,
+                self.flits_in_network(),
+                "incremental in-flight accounting diverged"
+            );
+            debug_assert_eq!(
+                self.retx_queued,
+                self.nis
+                    .iter()
+                    .map(NodeInterface::pending_retransmits)
+                    .sum::<usize>(),
+                "incremental retransmit-queue accounting diverged"
+            );
+        }
 
         // Stall watchdog: flit progress is injection or delivery.
         // Retransmission deliberately does not count — a source endlessly
@@ -535,24 +632,253 @@ impl Network {
         Ok(())
     }
 
-    fn count_mode(stats: &mut NetworkStats, mode: RouterMode) {
+    /// Phase-1 body for one channel: route its staged delivery (and any
+    /// held-back flits) into the adjacent routers.
+    fn deliver_channel(
+        &mut self,
+        c: usize,
+        now: Cycle,
+        faults_active: bool,
+    ) -> Result<(), SimError> {
+        if self.pending[c].is_empty() && self.held[c].is_empty() {
+            return Ok(());
+        }
+        let delivery = std::mem::take(&mut self.pending[c]);
+        let ends = self.ends[c];
+        if let Some(flit) = delivery.flit {
+            self.held[c].push_back(flit);
+        }
+        for &credit in delivery.credits() {
+            if faults_active
+                && self
+                    .config
+                    .faults
+                    .credit_lost(ends.from, ends.dir, now, &mut self.fault_rng)
+            {
+                self.stats.credits_lost += 1;
+                self.stats.faults_injected += 1;
+                self.credits_faulted += 1;
+                self.log_fault(FaultEvent {
+                    cycle: now,
+                    from: ends.from,
+                    dir: ends.dir,
+                    kind: FaultEventKind::CreditLost,
+                });
+                continue;
+            }
+            self.credits_delivered += 1;
+            self.router_active.insert(ends.from.index());
+            self.routers[ends.from.index()].receive_credit(PortId::Net(ends.dir), credit, now);
+        }
+        for &signal in delivery.control() {
+            self.router_active.insert(ends.from.index());
+            self.routers[ends.from.index()].receive_control(PortId::Net(ends.dir), signal, now);
+        }
+        if faults_active && self.config.faults.router_stalled(ends.to, now) {
+            // The receiver is frozen: arrivals wait in `held` and drain
+            // one per cycle (the link's bandwidth) once the stall lifts.
+            return Ok(());
+        }
+        if let Some(mut flit) = self.held[c].pop_front() {
+            if faults_active {
+                match self
+                    .config
+                    .faults
+                    .flit_fate(ends.from, ends.dir, now, &mut self.fault_rng)
+                {
+                    FlitFate::Drop => {
+                        self.stats.flits_lost_to_faults += 1;
+                        self.stats.faults_injected += 1;
+                        self.in_flight -= 1;
+                        self.log_fault(FaultEvent::for_flit(now, ends.from, ends.dir, &flit, true));
+                        return Ok(());
+                    }
+                    FlitFate::Corrupt => {
+                        flit.corrupt();
+                        self.stats.faults_injected += 1;
+                        self.log_fault(FaultEvent::for_flit(
+                            now, ends.from, ends.dir, &flit, false,
+                        ));
+                    }
+                    FlitFate::Deliver => {}
+                }
+            }
+            if self.config.max_flit_age > 0 {
+                let age = now.saturating_sub(flit.injected_at);
+                if age > self.config.max_flit_age {
+                    return Err(SimError::FlitOverAge {
+                        cycle: now,
+                        limit: self.config.max_flit_age,
+                        age,
+                        node: ends.to,
+                        flit,
+                    });
+                }
+            }
+            self.router_active.insert(ends.to.index());
+            self.routers[ends.to.index()].receive_flit(PortId::Net(ends.dir.opposite()), flit, now);
+        }
+        Ok(())
+    }
+
+    /// Phase-2b body for one NI: one injection attempt plus incremental
+    /// in-flight/retransmit accounting and send-set maintenance.
+    fn inject_at(&mut self, i: usize, now: Cycle) {
+        let inj0 = self.stats.flits_injected;
+        let rtx0 = self.stats.flits_retransmitted;
+        self.nis[i].try_inject(self.routers[i].as_mut(), now, &mut self.stats);
+        let retransmitted = self.stats.flits_retransmitted - rtx0;
+        let entered = (self.stats.flits_injected - inj0) + retransmitted;
+        if entered > 0 {
+            self.in_flight += entered as usize;
+            self.router_active.insert(i);
+        }
+        self.retx_queued -= retransmitted as usize;
+        if self.nis[i].pending_packets() > 0 || self.nis[i].pending_retransmits() > 0 {
+            self.ni_send_active.insert(i);
+        } else {
+            self.ni_send_active.remove(i);
+        }
+    }
+
+    /// Phase-3 body for one router: replay pending idle cycles, step it,
+    /// and route its outputs into channels and the local NI.
+    fn step_one_router(&mut self, i: usize, now: Cycle) -> Result<(), SimError> {
+        let pending_idle = now - self.accounted_upto[i];
+        if pending_idle > 0 {
+            #[cfg(debug_assertions)]
+            let expected = self.routers[i].counters_view(pending_idle);
+            self.routers[i].note_idle_cycles(pending_idle);
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                *self.routers[i].counters(),
+                expected,
+                "router {i}: note_idle_cycles disagrees with counters_view"
+            );
+        }
+        self.accounted_upto[i] = now + 1;
+
+        self.scratch.clear();
+        let mut rng = self.rng.fork((now << 16) ^ i as u64);
+        self.routers[i].step(now, &mut rng, &mut self.scratch);
+
+        for dir in Direction::ALL {
+            if let Some(flit) = self.scratch.flits[PortId::Net(dir)] {
+                let Some(chan) = self.out_chan[i][dir] else {
+                    return Err(SimError::Misrouted {
+                        cycle: now,
+                        node: NodeId::new(i),
+                        dir,
+                        flit,
+                    });
+                };
+                self.chan_active.insert(chan);
+                self.channels[chan].push_flit(flit);
+            }
+            for &credit in &self.scratch.credits[PortId::Net(dir)] {
+                if let Some(chan) = self.in_chan[i][dir] {
+                    self.chan_active.insert(chan);
+                    self.channels[chan].push_credit(credit);
+                    self.credits_pushed += 1;
+                }
+            }
+        }
+        if self.scratch.flits[PortId::Local].is_some() {
+            return Err(SimError::ProtocolViolation {
+                cycle: now,
+                node: NodeId::new(i),
+                what: "routers must use `ejected`, not the Local flit slot",
+            });
+        }
+        for &signal in &self.scratch.control {
+            for dir in Direction::ALL {
+                if let Some(chan) = self.in_chan[i][dir] {
+                    self.chan_active.insert(chan);
+                    self.channels[chan].push_control(signal);
+                }
+            }
+        }
+        if !self.scratch.ejected.is_empty() {
+            self.in_flight -= self.scratch.ejected.len();
+            self.nis[i].receive_flits(self.scratch.ejected.drain(..), now, &mut self.stats);
+            self.ni_high_water_max = self
+                .ni_high_water_max
+                .max(self.nis[i].reassembly_high_water());
+            if self.nis[i].has_delivered() {
+                self.ni_delivered.insert(i);
+            }
+        }
+
+        // Dropped flits ride the modeled NACK circuit back to their
+        // source: latency proportional to the Manhattan distance, plus a
+        // small fixed processing cost.
+        if !self.scratch.dropped.is_empty() {
+            self.in_flight -= self.scratch.dropped.len();
+            for flit in self.scratch.dropped.drain(..) {
+                let dist = self.mesh.distance(NodeId::new(i), flit.src) as u64;
+                let ready = now + dist * self.config.link_latency + 2;
+                self.nack_queue.push((ready, flit));
+            }
+        }
+
+        let mode = self.routers[i].mode();
+        if mode != self.modes_cache[i] {
+            self.mode_counts[Self::mode_slot(self.modes_cache[i])] -= 1;
+            self.mode_counts[Self::mode_slot(mode)] += 1;
+            self.modes_cache[i] = mode;
+        }
+        if self.routers[i].is_quiescent() {
+            self.router_active.remove(i);
+        } else {
+            self.router_active.insert(i);
+        }
+        Ok(())
+    }
+
+    /// Phase-4 body for one channel.
+    fn advance_channel(&mut self, c: usize) {
+        self.pending[c] = self.channels[c].advance();
+        if self.pending[c].is_empty() && self.held[c].is_empty() && self.channels[c].is_drained() {
+            self.chan_active.remove(c);
+        } else {
+            self.chan_active.insert(c);
+        }
+    }
+
+    fn mode_slot(mode: RouterMode) -> usize {
         match mode {
-            RouterMode::Backpressured => stats.cycles_backpressured += 1,
-            RouterMode::Backpressureless => stats.cycles_backpressureless += 1,
-            RouterMode::Transitioning => stats.cycles_transitioning += 1,
+            RouterMode::Backpressured => 0,
+            RouterMode::Backpressureless => 1,
+            RouterMode::Transitioning => 2,
+        }
+    }
+
+    /// Drains all completed packets from every network interface into
+    /// `out` (appended in NI index order), retaining `out`'s capacity — the
+    /// allocation-free form of [`Network::take_delivered`].
+    pub fn take_delivered_into(&mut self, out: &mut Vec<DeliveredPacket>) {
+        for wi in 0..self.ni_delivered.word_count() {
+            let mut w = self.ni_delivered.word(wi);
+            self.ni_delivered.words[wi] = 0;
+            while w != 0 {
+                let i = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                self.nis[i].drain_delivered_into(out);
+            }
         }
     }
 
     /// Drains all completed packets from every network interface.
     pub fn take_delivered(&mut self) -> Vec<DeliveredPacket> {
         let mut out = Vec::new();
-        for ni in &mut self.nis {
-            out.extend(ni.take_delivered());
-        }
+        self.take_delivered_into(&mut out);
         out
     }
 
-    /// Flits currently inside routers and channels (not counting NI queues).
+    /// Flits currently inside routers and channels (not counting NI queues),
+    /// recounted from scratch. The engine tracks the same quantity
+    /// incrementally (and cross-checks it in debug builds); this scan is for
+    /// audits and external callers.
     pub fn flits_in_network(&self) -> usize {
         let in_routers: usize = self.routers.iter().map(|r| r.occupancy()).sum();
         let in_channels: usize = self.channels.iter().map(Channel::flits_in_flight).sum();
@@ -562,8 +888,10 @@ impl Network {
     }
 
     /// True when no flit is anywhere in the system and all NIs are idle.
+    /// O(1) whenever anything is in flight; the NI scan only runs on
+    /// candidate-drained cycles.
     pub fn is_drained(&self) -> bool {
-        self.flits_in_network() == 0
+        self.in_flight == 0
             && self.nack_queue.is_empty()
             && self.ack_queue.is_empty()
             && self.nis.iter().all(NodeInterface::is_idle)
@@ -581,36 +909,56 @@ impl Network {
         }
     }
 
-    /// Aggregated activity counters over all routers.
+    /// Aggregated activity counters over all routers, including idle cycles
+    /// not yet replayed into skipped routers.
     pub fn total_counters(&self) -> ActivityCounters {
         let mut total = ActivityCounters::new();
-        for r in &self.routers {
-            total.merge(r.counters());
+        for (i, r) in self.routers.iter().enumerate() {
+            total.merge(&r.counters_view(self.now - self.accounted_upto[i]));
         }
         total
     }
 
-    /// Activity counters of a single router.
-    pub fn router_counters(&self, node: NodeId) -> &ActivityCounters {
-        self.routers[node.index()].counters()
+    /// Activity counters of a single router (idle cycles pending replay
+    /// are folded in, so the view always reads as if fully stepped).
+    pub fn router_counters(&self, node: NodeId) -> ActivityCounters {
+        let i = node.index();
+        self.routers[i].counters_view(self.now - self.accounted_upto[i])
     }
 
     /// Zeroes statistics and router activity counters (end-of-warmup reset).
     /// Simulation time and in-flight state are preserved.
     pub fn reset_metrics(&mut self) {
         self.stats = NetworkStats::new();
-        for r in &mut self.routers {
-            *r.counters_mut() = ActivityCounters::new();
+        for i in 0..self.routers.len() {
+            // Flush outstanding idle cycles first: the replay also advances
+            // non-counter state (e.g. AFC's load monitor), which must not be
+            // lost when the counters are zeroed.
+            let pending_idle = self.now - self.accounted_upto[i];
+            if pending_idle > 0 {
+                self.routers[i].note_idle_cycles(pending_idle);
+            }
+            self.accounted_upto[i] = self.now;
+            *self.routers[i].counters_mut() = ActivityCounters::new();
         }
-        self.audit_baseline = self.unaccounted_flits();
+        self.audit_baseline = self.unaccounted_flits_recount();
         self.last_progress = 0;
         self.last_progress_cycle = self.now;
     }
 
     /// Flits currently in limbo between injection and delivery: inside
     /// routers/channels, riding the NACK circuit, or queued for
-    /// retransmission.
+    /// retransmission. O(1) via the engine's incremental accounting.
     fn unaccounted_flits(&self) -> usize {
+        self.in_flight + self.nack_queue.len() + self.retx_queued
+    }
+
+    /// [`Network::unaccounted_flits`] recounted from actual component
+    /// state. The audits must use this form: a conservation-violating
+    /// router keeps the incremental counter's books balanced (the flit is
+    /// counted in but never observed leaving), and only a from-scratch
+    /// recount exposes the discrepancy.
+    fn unaccounted_flits_recount(&self) -> usize {
         self.flits_in_network()
             + self.nack_queue.len()
             + self
@@ -618,6 +966,13 @@ impl Network {
                 .iter()
                 .map(NodeInterface::pending_retransmits)
                 .sum::<usize>()
+    }
+
+    /// Disables the debug-build incremental-accounting cross-checks, for
+    /// tests that install deliberately conservation-violating routers.
+    #[cfg(test)]
+    pub(crate) fn disable_conservation_check(&mut self) {
+        self.check_conservation = false;
     }
 
     /// Verifies flit conservation: every flit injected (or re-materialized
@@ -633,7 +988,7 @@ impl Network {
         let injected = self.stats.flits_injected as i128;
         let copies = self.stats.flits_retransmit_copies as i128;
         let delivered = self.stats.flits_delivered as i128;
-        let in_flight = self.unaccounted_flits() as i128;
+        let in_flight = self.unaccounted_flits_recount() as i128;
         let baseline = self.audit_baseline as i128;
         let faulted = self.stats.flits_lost_to_faults as i128;
         let duplicates = self.stats.duplicate_flits_discarded as i128;
@@ -660,7 +1015,7 @@ impl Network {
     /// Returns a human-readable description of the imbalance.
     pub fn credit_audit(&self) -> Result<(), String> {
         let on_wire: usize = self.channels.iter().map(Channel::credits_in_flight).sum();
-        let staged: usize = self.pending.iter().map(|d| d.credits.len()).sum();
+        let staged: usize = self.pending.iter().map(|d| d.credits().len()).sum();
         let lhs = self.credits_pushed;
         let rhs = self.credits_delivered + self.credits_faulted + (on_wire + staged) as u64;
         if lhs == rhs {

@@ -48,6 +48,7 @@ fn engine_delivers_multi_flit_packet_end_to_end() {
 #[test]
 fn audit_detects_lost_flits() {
     let mut net = build(true); // lossy routers discard everything
+    net.disable_conservation_check(); // the loss is the point of this test
     offer(&mut net, (0, 0), (2, 2), 1);
     for _ in 0..30 {
         net.step();

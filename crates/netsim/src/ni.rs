@@ -447,6 +447,18 @@ impl NodeInterface {
         std::mem::take(&mut self.delivered)
     }
 
+    /// True when completed packets are waiting to be taken.
+    pub fn has_delivered(&self) -> bool {
+        !self.delivered.is_empty()
+    }
+
+    /// Appends the packets completed since the last drain to `out`,
+    /// retaining both buffers' capacities (the allocation-free form of
+    /// [`NodeInterface::take_delivered`]).
+    pub fn drain_delivered_into(&mut self, out: &mut Vec<DeliveredPacket>) {
+        out.append(&mut self.delivered);
+    }
+
     /// Open (incomplete) reassembly buffers right now.
     pub fn open_reassemblies(&self) -> usize {
         self.reassembly.len()

@@ -124,6 +124,41 @@ pub trait Router {
     fn load_estimate(&self) -> Option<f64> {
         None
     }
+
+    /// Whether the router is *quiescent*: stepping it now — and for any
+    /// number of consecutive future cycles in which it receives nothing
+    /// and injects nothing — would draw nothing from its RNG, emit no
+    /// flits/credits/control, change no externally observable state, and
+    /// mutate nothing except counters that [`Router::note_idle_cycles`]
+    /// can reproduce exactly in bulk.
+    ///
+    /// The activity-tracked engine (DESIGN.md §8) skips quiescent routers
+    /// outright; any `receive_*` or `inject` re-activates them. The
+    /// conservative default (`false`) keeps unknown implementations on
+    /// the always-step path.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+
+    /// Folds `idle` skipped cycles into the router's state, exactly as if
+    /// [`Router::step`] had run `idle` times with no inputs. Called by the
+    /// engine right before re-activating a router that was skipped while
+    /// [`Router::is_quiescent`] held. The default covers routers whose
+    /// idle step only counts the cycle.
+    fn note_idle_cycles(&mut self, idle: u64) {
+        self.counters_mut().cycles += idle;
+    }
+
+    /// Counters as they *would* read after [`Router::note_idle_cycles`]
+    /// `(pending_idle)` — a non-mutating view for `&self` observation
+    /// points while idle cycles are still outstanding. Must agree with
+    /// [`Router::note_idle_cycles`] on every counter field (the engine
+    /// cross-checks under `debug_assertions`).
+    fn counters_view(&self, pending_idle: u64) -> ActivityCounters {
+        let mut c = *self.counters();
+        c.cycles += pending_idle;
+        c
+    }
 }
 
 /// Builds one router per node; implemented by each mechanism and handed to

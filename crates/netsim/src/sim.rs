@@ -38,12 +38,19 @@ pub struct Simulation<T> {
     pub network: Network,
     /// The traffic model.
     pub traffic: T,
+    /// Reused per-step scratch for delivered packets: keeps the step loop
+    /// free of per-cycle allocations.
+    delivered_buf: Vec<DeliveredPacket>,
 }
 
 impl<T: TrafficModel> Simulation<T> {
     /// Couples a network with a traffic model.
     pub fn new(network: Network, traffic: T) -> Simulation<T> {
-        Simulation { network, traffic }
+        Simulation {
+            network,
+            traffic,
+            delivered_buf: Vec::new(),
+        }
     }
 
     /// Advances one cycle: traffic generation, network step, delivery
@@ -53,9 +60,13 @@ impl<T: TrafficModel> Simulation<T> {
         self.traffic.pre_cycle(now, &mut self.network);
         self.network.step();
         let now = self.network.now();
-        for packet in self.network.take_delivered() {
-            self.traffic.on_delivered(&packet, now, &mut self.network);
+        let mut buf = std::mem::take(&mut self.delivered_buf);
+        self.network.take_delivered_into(&mut buf);
+        for packet in &buf {
+            self.traffic.on_delivered(packet, now, &mut self.network);
         }
+        buf.clear();
+        self.delivered_buf = buf;
     }
 
     /// Runs exactly `cycles` cycles.
@@ -102,9 +113,13 @@ impl<T: TrafficModel> Simulation<T> {
         self.traffic.pre_cycle(now, &mut self.network);
         self.network.try_step()?;
         let now = self.network.now();
-        for packet in self.network.take_delivered() {
-            self.traffic.on_delivered(&packet, now, &mut self.network);
+        let mut buf = std::mem::take(&mut self.delivered_buf);
+        self.network.take_delivered_into(&mut buf);
+        for packet in &buf {
+            self.traffic.on_delivered(packet, now, &mut self.network);
         }
+        buf.clear();
+        self.delivered_buf = buf;
         Ok(())
     }
 

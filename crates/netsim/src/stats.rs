@@ -229,6 +229,32 @@ impl Ewma {
         self.value
     }
 
+    /// Whether the average sits exactly at zero, the fixed point of
+    /// all-zero input: `update(0.0)` computes `weight * 0.0 + (1 -
+    /// weight) * 0.0 == 0.0` bit-exactly, so once settled, any number of
+    /// idle updates is a no-op. The activity-tracked engine uses this to
+    /// skip idle replays without perturbing the estimate.
+    pub fn is_settled(&self) -> bool {
+        self.value == 0.0
+    }
+
+    /// Applies `count` zero-sample updates, bit-identical to calling
+    /// `update(0.0)` `count` times: since the value is never negative,
+    /// `weight * value + (1 - weight) * 0.0 == weight * value` at the bit
+    /// level, and `0.0` is a fixed point (allowing early exit once the
+    /// decay underflows). The loop is a bare multiply per skipped cycle —
+    /// far cheaper than a full pipeline step, and bounded by the ~75k
+    /// multiplies it takes any double to underflow to zero.
+    pub fn decay_zero(&mut self, count: u64) {
+        debug_assert!(self.value >= 0.0, "ewma fed negative samples");
+        for _ in 0..count {
+            if self.value == 0.0 {
+                break;
+            }
+            self.value *= self.weight;
+        }
+    }
+
     /// Resets the average to zero.
     pub fn reset(&mut self) {
         self.value = 0.0;
@@ -282,6 +308,32 @@ impl SlidingWindow {
         } else {
             self.sum as f64 / self.filled as f64
         }
+    }
+
+    /// Whether every slot holds zero (`sum == 0` implies all-zero
+    /// contents, since samples are unsigned).
+    pub fn is_all_zero(&self) -> bool {
+        self.sum == 0
+    }
+
+    /// Advances the window by `count` zero samples in O(1).
+    ///
+    /// Exactly equivalent to `count` calls of `push(0)` **provided the
+    /// window is already all-zero** ([`SlidingWindow::is_all_zero`]):
+    /// each such push evicts a zero, writes a zero, and only moves the
+    /// cursor and the fill level.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the window still holds nonzero samples.
+    pub fn skip_zero(&mut self, count: u64) {
+        debug_assert!(self.is_all_zero(), "skip_zero on a nonzero window");
+        let len = self.buf.len();
+        self.next = (self.next + (count % len as u64) as usize) % len;
+        self.filled = self
+            .filled
+            .saturating_add(count.min(len as u64) as usize)
+            .min(len);
     }
 }
 

@@ -182,6 +182,13 @@ pub struct BackpressuredRouter {
     /// orphans the rest of its wormhole, so HoQ body flits may legally
     /// need a fresh route (every flit carries its destination).
     tolerate_orphans: bool,
+    /// Buffered flits across all input VCs, maintained incrementally so
+    /// [`Router::occupancy`] and the per-step occupancy integral are O(1).
+    occ: usize,
+    /// Reusable stage-1 eligibility buffer (one slot per input VC).
+    eligible_scratch: Vec<bool>,
+    /// Reusable stage-2 winner list `(in, vc, out)`.
+    winners_scratch: Vec<(PortId, usize, PortId)>,
     counters: ActivityCounters,
 }
 
@@ -237,6 +244,9 @@ impl BackpressuredRouter {
             inject_rr: vec![0; config.vnet_count()],
             options,
             tolerate_orphans: !config.faults.is_empty(),
+            occ: 0,
+            eligible_scratch: vec![false; total],
+            winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
             counters: ActivityCounters::new(),
             layout,
         }
@@ -358,6 +368,7 @@ impl Router for BackpressuredRouter {
             self.node
         );
         vcs[vc].queue.push_back(flit);
+        self.occ += 1;
         self.counters.buffer_writes += 1;
     }
 
@@ -421,6 +432,7 @@ impl Router for BackpressuredRouter {
         flit.vc = Some(VcId(vc as u8));
         let vcs = self.inputs[PortId::Local].as_mut().expect("local port");
         vcs[vc].queue.push_back(flit);
+        self.occ += 1;
         self.counters.buffer_writes += 1;
         self.counters.injections += 1;
     }
@@ -434,14 +446,17 @@ impl Router for BackpressuredRouter {
         // one eligible VC.
         let mut any_candidate = false;
         let mut candidates: PortMap<Option<usize>> = PortMap::default();
+        // Split borrows: evaluate eligibility immutably into the reusable
+        // scratch (moved to a local, so no per-cycle allocation), then
+        // rotate the arbiter.
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
         for port in PortId::ALL {
             if self.inputs[port].is_none() {
                 continue;
             }
-            // Split borrows: evaluate eligibility immutably, then rotate.
-            let eligible: Vec<bool> = (0..self.layout.total())
-                .map(|vc| self.eligible(port, vc))
-                .collect();
+            for (vc, slot) in eligible.iter_mut().enumerate() {
+                *slot = self.eligible(port, vc);
+            }
             if !eligible.iter().any(|e| *e) {
                 continue;
             }
@@ -450,6 +465,7 @@ impl Router for BackpressuredRouter {
             any_candidate |= candidates[port].is_some();
             self.counters.arbitrations += 1;
         }
+        self.eligible_scratch = eligible;
         if !any_candidate && self.occupancy() > 0 {
             // Flits are buffered, but every one of them is blocked on
             // downstream credits.
@@ -458,7 +474,7 @@ impl Router for BackpressuredRouter {
 
         // Stage 2: each output port grants among nominating input ports.
         // The local (ejection) port can grant up to `eject_bandwidth` times.
-        let mut winners: Vec<(PortId, usize, PortId)> = Vec::new(); // (in, vc, out)
+        let mut winners = std::mem::take(&mut self.winners_scratch); // (in, vc, out)
         for out_port in PortId::ALL {
             if out_port.is_network() && self.outputs[out_port].is_none() {
                 continue;
@@ -491,10 +507,11 @@ impl Router for BackpressuredRouter {
         }
 
         // Traversal: pop winners, emit flits/credits, update VC state.
-        for (in_port, vc, out_port) in winners {
+        for &(in_port, vc, out_port) in &winners {
             let ivc = &mut self.inputs[in_port].as_mut().expect("winner port")[vc];
             let was_alone = ivc.queue.len() == 1;
             let mut flit = ivc.queue.pop_front().expect("winner VC nonempty");
+            self.occ -= 1;
             let out_vc = ivc.out_vc;
             if flit.is_tail() {
                 ivc.route = None;
@@ -532,6 +549,8 @@ impl Router for BackpressuredRouter {
                 }
             }
         }
+        winners.clear();
+        self.winners_scratch = winners;
     }
 
     fn counters(&self) -> &ActivityCounters {
@@ -547,12 +566,28 @@ impl Router for BackpressuredRouter {
     }
 
     fn occupancy(&self) -> usize {
-        PortId::ALL
-            .into_iter()
-            .filter_map(|p| self.inputs[p].as_ref())
-            .flat_map(|vcs| vcs.iter())
-            .map(|vc| vc.queue.len())
-            .sum()
+        debug_assert_eq!(
+            self.occ,
+            PortId::ALL
+                .into_iter()
+                .filter_map(|p| self.inputs[p].as_ref())
+                .flat_map(|vcs| vcs.iter())
+                .map(|vc| vc.queue.len())
+                .sum::<usize>(),
+            "incremental occupancy out of sync at {}",
+            self.node
+        );
+        self.occ
+    }
+
+    fn is_quiescent(&self) -> bool {
+        // With no buffered flits, a step only counts the cycle and adds a
+        // zero occupancy sample: route allocation skips empty queues, no
+        // VC is eligible, and no arbiter rotates (RoundRobin holds its
+        // pointer when nothing requests). Open inject-VC wormholes and
+        // credit state are untouched by an idle step, so the default
+        // `note_idle_cycles` replays it exactly.
+        self.occ == 0
     }
 }
 

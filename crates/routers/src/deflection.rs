@@ -102,6 +102,24 @@ impl DeflectionEngine {
         blocked: &[Direction],
         rng: &mut SimRng,
     ) -> Vec<Assignment> {
+        let mut out = Vec::with_capacity(flits.len());
+        self.assign_into(&mut flits, blocked, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`DeflectionEngine::assign`]: ranks
+    /// `flits` in place and writes the assignments into `out` (cleared
+    /// first). Routers keep both buffers as reusable scratch so the hot
+    /// loop never touches the heap. RNG draw order is identical to
+    /// [`DeflectionEngine::assign`].
+    pub fn assign_into(
+        &self,
+        flits: &mut [Flit],
+        blocked: &[Direction],
+        rng: &mut SimRng,
+        out: &mut Vec<Assignment>,
+    ) {
+        out.clear();
         // Fixed-size free list: this runs for every latched flit every
         // cycle, so it must stay off the heap. Order matches `self.dirs`
         // and removal is order-preserving, keeping the RNG draw sequence
@@ -121,9 +139,8 @@ impl DeflectionEngine {
             flits.len(),
             free_len
         );
-        self.rank(&mut flits, rng);
-        let mut out = Vec::with_capacity(flits.len());
-        for flit in flits {
+        self.rank(flits, rng);
+        for &flit in flits.iter() {
             let productive = self.mesh.productive_dirs(self.node, flit.dest);
             let choice = productive
                 .into_iter()
@@ -147,28 +164,52 @@ impl DeflectionEngine {
                 deflected,
             });
         }
-        out
     }
 }
 
 /// Splits this cycle's latched flits into ejections (up to `bandwidth`,
 /// oldest first) and the rest. Shared with the AFC router.
 pub fn split_ejections(latches: &mut Vec<Flit>, node: NodeId, bandwidth: usize) -> Vec<Flit> {
-    let mut local_idx: Vec<usize> = latches
-        .iter()
-        .enumerate()
-        .filter(|(_, f)| f.dest == node)
-        .map(|(i, _)| i)
-        .collect();
-    local_idx.sort_by_key(|&i| (latches[i].injected_at, latches[i].packet, latches[i].seq));
-    local_idx.truncate(bandwidth);
-    local_idx.sort_unstable();
-    let mut ejected = Vec::with_capacity(local_idx.len());
-    for &i in local_idx.iter().rev() {
-        ejected.push(latches.swap_remove(i));
-    }
-    ejected.reverse();
+    let mut ejected = Vec::new();
+    split_ejections_into(latches, node, bandwidth, &mut ejected);
     ejected
+}
+
+/// Allocation-free form of [`split_ejections`]: appends the ejected flits
+/// to `out` (so routers can target the engine's reusable `ejected`
+/// buffer directly). Selection, output order, and the residual
+/// arrangement of `latches` are identical to [`split_ejections`].
+pub fn split_ejections_into(
+    latches: &mut Vec<Flit>,
+    node: NodeId,
+    bandwidth: usize,
+    out: &mut Vec<Flit>,
+) {
+    // A mesh router latches at most degree + 1 <= 5 flits per cycle, so
+    // the index scratch stays inline. (The capacity is generous; the
+    // assert documents the engine invariant rather than a soft limit.)
+    const IDX_CAP: usize = 8;
+    assert!(
+        latches.len() <= IDX_CAP,
+        "split_ejections: {} latched flits exceeds the engine bound {IDX_CAP}",
+        latches.len()
+    );
+    let mut idx = [0usize; IDX_CAP];
+    let mut n = 0usize;
+    for (i, f) in latches.iter().enumerate() {
+        if f.dest == node {
+            idx[n] = i;
+            n += 1;
+        }
+    }
+    idx[..n].sort_by_key(|&i| (latches[i].injected_at, latches[i].packet, latches[i].seq));
+    let m = n.min(bandwidth);
+    idx[..m].sort_unstable();
+    let start = out.len();
+    for &i in idx[..m].iter().rev() {
+        out.push(latches.swap_remove(i));
+    }
+    out[start..].reverse();
 }
 
 /// The deflection router.
@@ -177,6 +218,8 @@ pub struct DeflectionRouter {
     engine: DeflectionEngine,
     eject_bandwidth: usize,
     latches: Vec<Flit>,
+    /// Reusable assignment buffer: the step loop must not allocate.
+    assign_scratch: Vec<Assignment>,
     counters: ActivityCounters,
 }
 
@@ -193,6 +236,7 @@ impl DeflectionRouter {
             engine: DeflectionEngine::new(node, mesh, policy),
             eject_bandwidth: config.eject_bandwidth,
             latches: Vec::with_capacity(8),
+            assign_scratch: Vec::with_capacity(8),
             counters: ActivityCounters::new(),
         }
     }
@@ -244,13 +288,22 @@ impl Router for DeflectionRouter {
         if self.latches.is_empty() {
             return;
         }
-        let ejected = split_ejections(&mut self.latches, self.node, self.eject_bandwidth);
-        self.counters.ejections += ejected.len() as u64;
-        out.ejected.extend(ejected);
+        let before = out.ejected.len();
+        split_ejections_into(
+            &mut self.latches,
+            self.node,
+            self.eject_bandwidth,
+            &mut out.ejected,
+        );
+        self.counters.ejections += (out.ejected.len() - before) as u64;
 
-        let flits = std::mem::take(&mut self.latches);
+        // Both buffers round-trip through locals (borrow split) and come
+        // back with their capacity intact: no allocation in steady state.
+        let mut flits = std::mem::take(&mut self.latches);
+        let mut assigns = std::mem::take(&mut self.assign_scratch);
         self.counters.arbitrations += flits.len() as u64;
-        for mut a in self.engine.assign(flits, &[], rng) {
+        self.engine.assign_into(&mut flits, &[], rng, &mut assigns);
+        for a in &mut assigns {
             a.flit.hops += 1;
             if a.deflected {
                 a.flit.deflections = a.flit.deflections.saturating_add(1);
@@ -260,6 +313,9 @@ impl Router for DeflectionRouter {
             self.counters.link_traversals += 1;
             out.flits[PortId::Net(a.dir)] = Some(a.flit);
         }
+        flits.clear();
+        self.latches = flits;
+        self.assign_scratch = assigns;
     }
 
     fn counters(&self) -> &ActivityCounters {
@@ -276,6 +332,12 @@ impl Router for DeflectionRouter {
 
     fn occupancy(&self) -> usize {
         self.latches.len()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        // An idle step is `cycles += 1` and an early return: no RNG, no
+        // outputs, nothing `note_idle_cycles`'s default can't replay.
+        self.latches.is_empty()
     }
 }
 

@@ -15,7 +15,7 @@ use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::topology::Mesh;
 
-use crate::deflection::{split_ejections, RankPolicy};
+use crate::deflection::{split_ejections_into, RankPolicy};
 
 /// Flit width in bits (same control overhead class as the deflection
 /// variant).
@@ -85,10 +85,17 @@ impl Router for DropRouter {
         if self.latches.is_empty() {
             return;
         }
-        let ejected = split_ejections(&mut self.latches, self.node, self.eject_bandwidth);
-        self.counters.ejections += ejected.len() as u64;
-        out.ejected.extend(ejected);
+        let before = out.ejected.len();
+        split_ejections_into(
+            &mut self.latches,
+            self.node,
+            self.eject_bandwidth,
+            &mut out.ejected,
+        );
+        self.counters.ejections += (out.ejected.len() - before) as u64;
 
+        // Round-trips through a local (borrow split) and comes back with
+        // capacity intact: no allocation in steady state.
         let mut flits = std::mem::take(&mut self.latches);
         match self.policy {
             RankPolicy::Random => rng.shuffle(&mut flits),
@@ -102,7 +109,7 @@ impl Router for DropRouter {
             free[free_len] = d;
             free_len += 1;
         }
-        for mut flit in flits {
+        for mut flit in flits.iter().copied() {
             self.counters.arbitrations += 1;
             let productive = self.mesh.productive_dirs(self.node, flit.dest);
             match productive
@@ -130,6 +137,8 @@ impl Router for DropRouter {
                 }
             }
         }
+        flits.clear();
+        self.latches = flits;
     }
 
     fn counters(&self) -> &ActivityCounters {
@@ -146,6 +155,12 @@ impl Router for DropRouter {
 
     fn occupancy(&self) -> usize {
         self.latches.len()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        // An idle step is `cycles += 1` and an early return: no RNG, no
+        // outputs, nothing `note_idle_cycles`'s default can't replay.
+        self.latches.is_empty()
     }
 }
 
