@@ -88,7 +88,6 @@ fn main() {
         .nth(2)
         .expect("workspace root");
     let out = root.join("results").join("BENCH_step.json");
-    std::fs::create_dir_all(out.parent().unwrap()).expect("results dir");
-    std::fs::write(&out, json).expect("writable results dir");
+    afc_bench::sweep::write_atomic(&out, json.as_bytes()).expect("writable results dir");
     println!("\nwrote {}", out.display());
 }

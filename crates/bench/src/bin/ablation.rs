@@ -32,7 +32,7 @@ fn scaled_thresholds(scale: f64) -> ClassThresholds {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    afc_bench::sweep::parse_threads_arg(&args);
+    afc_bench::sweep::parse_threads_arg_or_exit(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let cfg = NetworkConfig::paper_3x3();
     let (warmup, measure) = if quick { (100, 400) } else { (300, 1_500) };

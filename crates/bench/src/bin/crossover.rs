@@ -16,7 +16,7 @@ use afc_traffic::synthetic::Pattern;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    afc_bench::sweep::parse_threads_arg(&args);
+    afc_bench::sweep::parse_threads_arg_or_exit(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let (warmup, measure) = if quick {
         (1_500, 6_000)

@@ -44,7 +44,7 @@ fn fault_mechanisms() -> Vec<Mechanism> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    afc_bench::sweep::parse_threads_arg(&args);
+    afc_bench::sweep::parse_threads_arg_or_exit(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let seed = args
         .iter()

@@ -108,7 +108,11 @@ fn panel(
             .collect::<String>()
             .to_lowercase();
         let path = format!("{dir}/{slug}.svg");
-        std::fs::write(&path, bars.render_svg()).expect("writable svg dir");
+        afc_bench::sweep::write_atomic(std::path::Path::new(&path), bars.render_svg().as_bytes())
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
         println!("wrote {path}\n");
     }
     format!("# {title}\n{}", table.to_csv())
@@ -116,7 +120,7 @@ fn panel(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    afc_bench::sweep::parse_threads_arg(&args);
+    afc_bench::sweep::parse_threads_arg_or_exit(&args);
     let explicit = |f: &str| args.iter().any(|a| a == f);
     let want_load = |f: &str| (!explicit("--low") && !explicit("--high")) || explicit(f);
     let want_metric = |f: &str| (!explicit("--perf") && !explicit("--energy")) || explicit(f);
@@ -206,8 +210,14 @@ fn main() {
 
     // The deterministic artifact: identical bytes for identical flags,
     // regardless of --threads / AFC_BENCH_THREADS.
-    std::fs::create_dir_all("results").expect("writable results dir");
-    std::fs::write("results/fig2.csv", csv_panels.join("\n")).expect("writable results dir");
+    afc_bench::sweep::write_atomic(
+        std::path::Path::new("results/fig2.csv"),
+        csv_panels.join("\n").as_bytes(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let timing = afc_bench::sweep::write_timing_report("fig2").expect("writable results dir");
     println!("wrote results/fig2.csv (timing: {})", timing.display());
 }

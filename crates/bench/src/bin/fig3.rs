@@ -37,7 +37,7 @@ fn panel(title: &str, wls: &[WorkloadParams], warmup: u64, measure: u64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    afc_bench::sweep::parse_threads_arg(&args);
+    afc_bench::sweep::parse_threads_arg_or_exit(&args);
     let explicit = |f: &str| args.iter().any(|a| a == f);
     let want = |f: &str| (!explicit("--low") && !explicit("--high")) || explicit(f);
     let (warmup, measure) = if explicit("--quick") {

@@ -6,7 +6,12 @@
 //! offered loads, while backpressureless saturates earlier.
 //!
 //! The (mechanism x rate) grid runs as one declarative [`SweepSpec`] on
-//! the parallel sweep engine (`--threads N` / `AFC_BENCH_THREADS`).
+//! the parallel sweep engine (`--threads N` / `AFC_BENCH_THREADS`). Every
+//! completed run is checkpointed in `results/manifest.json`; rerunning
+//! with `--resume` after an interruption executes only the missing runs
+//! and produces byte-identical artifacts.
+
+use std::path::Path;
 
 use afc_bench::mechanisms::{all_mechanisms, MechanismId};
 use afc_bench::report::Table;
@@ -17,8 +22,9 @@ use afc_traffic::synthetic::Pattern;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    sweep::parse_threads_arg(&args);
+    sweep::parse_threads_arg_or_exit(&args);
     let quick = args.iter().any(|a| a == "--quick");
+    let resume = args.iter().any(|a| a == "--resume");
     // `--svg <path>` additionally writes the latency-throughput curves as
     // an SVG figure.
     let svg_path = args
@@ -59,7 +65,19 @@ fn main() {
             })
             .collect(),
     };
-    let results = spec.execute();
+    let manifest = Path::new("results").join("manifest.json");
+    let results = spec
+        .execute_resumable(&manifest, resume)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+    let csv = Path::new("results").join("open_loop.csv");
+    sweep::write_atomic(&csv, results.serialize().as_bytes()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {}", csv.display());
 
     println!("Open-loop uniform random traffic, mean packet latency (cycles) by offered load");
     println!("(flits/node/cycle; '-' = saturated: latency diverging / nothing measurable)\n");
@@ -103,7 +121,10 @@ fn main() {
     println!("{}", t2.render());
     println!("(values in parentheses: offered load exceeds accepted throughput — past saturation)");
     if let Some(path) = &svg_path {
-        std::fs::write(path, chart.render_svg()).expect("writable svg path");
+        sweep::write_atomic(Path::new(path), chart.render_svg().as_bytes()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
         println!("wrote {path}");
     }
 

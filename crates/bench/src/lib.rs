@@ -30,4 +30,7 @@ pub mod sweep;
 
 pub use experiments::{ClosedLoopRow, SweepPoint};
 pub use mechanisms::{all_mechanisms, fig2_mechanisms, Mechanism, MechanismId};
-pub use sweep::{run_sweep, RunOutput, RunSpec, SweepResults, SweepSpec};
+pub use sweep::{
+    run_sweep, write_atomic, JobFailure, RunOutput, RunSpec, SweepError, SweepManifest,
+    SweepResults, SweepSpec,
+};

@@ -1,4 +1,4 @@
-//! Parallel deterministic sweep engine.
+//! Parallel deterministic sweep engine with crash-safe execution.
 //!
 //! Every paper artifact is a grid of *independent* simulation runs
 //! (mechanism × workload × load point × seed). Each run owns a private
@@ -13,6 +13,22 @@
 //! - [`SweepSpec`] / [`RunSpec`] describe a grid declaratively as plain
 //!   data, with a canonical serialization ([`SweepResults::serialize`])
 //!   used by the determinism regression tests.
+//!
+//! # Crash safety
+//!
+//! Three layers make long sweeps survivable:
+//!
+//! 1. **Panic isolation** — every job runs under
+//!    [`std::panic::catch_unwind`] and gets [`JOB_ATTEMPTS`] tries. A job
+//!    that panics every time yields a structured [`JobFailure`] in its own
+//!    result slot; the pool and every other job are unaffected.
+//! 2. **Manifests** — [`SweepSpec::execute_resumable`] records each
+//!    completed job in a checksummed JSON manifest ([`SweepManifest`]),
+//!    rewritten atomically after every completion, so an interrupted
+//!    process resumes exactly the missing jobs (`--resume`).
+//! 3. **Atomic artifacts** — [`write_atomic`] writes result files via a
+//!    fsynced sibling temp file plus rename, so a crash mid-write never
+//!    leaves a torn CSV.
 //!
 //! # Determinism contract
 //!
@@ -34,7 +50,10 @@
 //! `AFC_BENCH_THREADS` environment variable, which beats
 //! [`std::thread::available_parallelism`].
 
-use std::path::PathBuf;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
@@ -42,6 +61,7 @@ use std::time::Instant;
 use afc_energy::{EnergyModel, EnergyParams};
 use afc_netsim::config::{NetworkConfig, RetransmitConfig};
 use afc_netsim::faults::FaultPlan;
+use afc_netsim::snapshot::fnv1a64;
 use afc_traffic::closedloop::WorkloadParams;
 use afc_traffic::openloop::{PacketMix, RateSpec};
 use afc_traffic::runner::{run_closed_loop, run_fault_scenario, run_open_loop};
@@ -61,6 +81,51 @@ struct TimingRecord {
     micros: u128,
 }
 
+/// Structured errors from the sweep engine's argument parsing, manifest
+/// handling, and artifact plumbing. Binaries print these and exit nonzero
+/// instead of panicking.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A malformed command-line argument.
+    BadArg(String),
+    /// A manifest file that exists but cannot be trusted, or does not
+    /// match the sweep it is being resumed against.
+    Manifest {
+        /// The offending manifest file.
+        path: PathBuf,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::BadArg(msg) => write!(f, "{msg}"),
+            SweepError::Manifest { path, message } => {
+                write!(f, "manifest {}: {message}", path.display())
+            }
+            SweepError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 /// Sets the worker-thread count explicitly (wins over the environment).
 ///
 /// # Panics
@@ -71,20 +136,44 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Extracts the value of a `--threads N` argument without applying it.
+///
+/// # Errors
+///
+/// [`SweepError::BadArg`] when `--threads` is present without a positive
+/// integer value.
+pub fn parse_threads_value(args: &[String]) -> Result<Option<usize>, SweepError> {
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+        Some(n) if n > 0 => Ok(Some(n)),
+        _ => Err(SweepError::BadArg(
+            "--threads requires a positive integer".to_string(),
+        )),
+    }
+}
+
 /// Consumes a `--threads N` argument if present and applies it via
 /// [`set_threads`]. Call once from a binary's `main`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `--threads` is present without a positive integer value.
-pub fn parse_threads_arg(args: &[String]) {
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        let n: usize = args
-            .get(i + 1)
-            .and_then(|s| s.parse().ok())
-            .filter(|n| *n > 0)
-            .expect("--threads requires a positive integer");
+/// [`SweepError::BadArg`] when the value is missing or not a positive
+/// integer.
+pub fn parse_threads_arg(args: &[String]) -> Result<(), SweepError> {
+    if let Some(n) = parse_threads_value(args)? {
         set_threads(n);
+    }
+    Ok(())
+}
+
+/// [`parse_threads_arg`] for binary `main`s: prints the error to stderr
+/// and exits with status 2 instead of returning it.
+pub fn parse_threads_arg_or_exit(args: &[String]) {
+    if let Err(e) = parse_threads_arg(args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
 }
 
@@ -115,8 +204,75 @@ pub fn selfcheck_enabled() -> bool {
         .unwrap_or(false)
 }
 
+/// Attempts per job before a panic is reported as a [`JobFailure`].
+pub const JOB_ATTEMPTS: u32 = 2;
+
+/// A job that panicked on every attempt. The pool survives; the failure
+/// occupies the job's result slot instead of killing the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the failed job in the job list handed to the pool.
+    pub index: usize,
+    /// How many times the job was attempted.
+    pub attempts: u32,
+    /// The (last) panic message.
+    pub message: String,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} panicked after {} attempts: {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job under [`catch_unwind`] with bounded retry.
+fn run_guarded<J, R, F>(name: &str, i: usize, job: &J, f: &F) -> Result<R, JobFailure>
+where
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let mut last = String::new();
+    for attempt in 1..=JOB_ATTEMPTS {
+        match catch_unwind(AssertUnwindSafe(|| f(i, job))) {
+            Ok(r) => return Ok(r),
+            Err(payload) => {
+                last = panic_message(payload);
+                eprintln!(
+                    "warning: sweep '{name}' job {i} panicked \
+                     (attempt {attempt}/{JOB_ATTEMPTS}): {last}"
+                );
+            }
+        }
+    }
+    Err(JobFailure {
+        index: i,
+        attempts: JOB_ATTEMPTS,
+        message: last,
+    })
+}
+
 /// Runs `f` over every job with [`threads`] workers and returns the
 /// results in job order. See the module docs for the determinism contract.
+///
+/// # Panics
+///
+/// Panics — only after the pool has finished every other job — if a job
+/// fails all its [`JOB_ATTEMPTS`] attempts. Callers that must survive a
+/// failing job use [`run_sweep_failable`].
 pub fn run_sweep<J, R, F>(name: &str, jobs: &[J], f: F) -> Vec<R>
 where
     J: Sync,
@@ -128,11 +284,56 @@ where
 
 /// [`run_sweep`] with an explicit worker count (used by the determinism
 /// tests so they need not mutate global state).
+///
+/// # Panics
+///
+/// As [`run_sweep`]: a job failing every attempt panics, but only after
+/// the pool has completed all other jobs.
 pub fn run_sweep_on<J, R, F>(name: &str, jobs: &[J], f: &F, threads: usize) -> Vec<R>
 where
     J: Sync,
     R: Send,
     F: Fn(usize, &J) -> R + Sync,
+{
+    run_sweep_failable(name, jobs, f, threads)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|fail| panic!("sweep '{name}': {fail}")))
+        .collect()
+}
+
+/// [`run_sweep_with_progress`] without a progress hook.
+pub fn run_sweep_failable<J, R, F>(
+    name: &str,
+    jobs: &[J],
+    f: &F,
+    threads: usize,
+) -> Vec<Result<R, JobFailure>>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    run_sweep_with_progress(name, jobs, f, threads, |_, _| {})
+}
+
+/// The panic-isolating core of the pool: each job runs under
+/// [`catch_unwind`] with [`JOB_ATTEMPTS`] tries, and a job that panics
+/// every time yields `Err(`[`JobFailure`]`)` in its slot instead of
+/// killing the pool. `progress` is invoked on the collector thread as each
+/// job finishes (completion order, not spec order); checkpointing callers
+/// use it to persist manifests incrementally.
+pub fn run_sweep_with_progress<J, R, F, P>(
+    name: &str,
+    jobs: &[J],
+    f: &F,
+    threads: usize,
+    mut progress: P,
+) -> Vec<Result<R, JobFailure>>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+    P: FnMut(usize, &Result<R, JobFailure>),
 {
     let workers = threads.max(1).min(jobs.len());
     if workers <= 1 {
@@ -141,8 +342,9 @@ where
             .enumerate()
             .map(|(i, job)| {
                 let start = Instant::now();
-                let r = f(i, job);
+                let r = run_guarded(name, i, job, f);
                 record_timing(name, i, start.elapsed().as_micros());
+                progress(i, &r);
                 r
             })
             .collect();
@@ -153,7 +355,7 @@ where
     // result into its index slot — spec order by construction.
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel();
-    let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<R, JobFailure>>> = (0..jobs.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -164,7 +366,7 @@ where
                     break;
                 }
                 let start = Instant::now();
-                let r = f(i, &jobs[i]);
+                let r = run_guarded(name, i, &jobs[i], f);
                 if tx.send((i, r, start.elapsed().as_micros())).is_err() {
                     break;
                 }
@@ -173,6 +375,7 @@ where
         drop(tx);
         for (i, r, micros) in rx {
             record_timing(name, i, micros);
+            progress(i, &r);
             slots[i] = Some(r);
         }
     });
@@ -182,15 +385,54 @@ where
         .collect()
 }
 
+/// Locks the timing registry, recovering from a poisoned lock: a panicking
+/// sweep job may cost its own timing record, never the whole report.
+fn timings() -> std::sync::MutexGuard<'static, Vec<TimingRecord>> {
+    TIMINGS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn record_timing(sweep: &str, run: usize, micros: u128) {
-    TIMINGS
-        .lock()
-        .expect("timing registry poisoned")
-        .push(TimingRecord {
-            sweep: sweep.to_string(),
-            run,
-            micros,
-        });
+    timings().push(TimingRecord {
+        sweep: sweep.to_string(),
+        run,
+        micros,
+    });
+}
+
+/// Atomically replaces `path` with `contents`: write a sibling temp file,
+/// fsync it, and rename over the target, so a crash mid-write leaves
+/// either the old artifact or the new one — never a torn file. Parent
+/// directories are created as needed.
+///
+/// # Errors
+///
+/// [`SweepError::Io`] naming the target path.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), SweepError> {
+    write_atomic_io(path, contents).map_err(|source| SweepError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn write_atomic_io(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Writes (and drains) the per-run timing report accumulated by every
@@ -207,7 +449,7 @@ pub fn write_timing_report(binary: &str) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("results").join("timing");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{binary}.tsv"));
-    let records = std::mem::take(&mut *TIMINGS.lock().expect("timing registry poisoned"));
+    let records = std::mem::take(&mut *timings());
     let total_ms = records.iter().map(|r| r.micros).sum::<u128>() as f64 / 1_000.0;
     let mut out = String::new();
     out.push_str("# per-run wall-clock; nondeterministic by nature, not part of the\n");
@@ -223,7 +465,7 @@ pub fn write_timing_report(binary: &str) -> std::io::Result<PathBuf> {
         ));
     }
     out.push_str(&format!("total\t{}\t{total_ms:.3}\n", records.len()));
-    std::fs::write(&path, out)?;
+    write_atomic_io(&path, out.as_bytes())?;
     Ok(path)
 }
 
@@ -300,7 +542,8 @@ impl RunSpec {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or a closed-loop run blows
-    /// its cycle budget, mirroring the underlying runners.
+    /// its cycle budget, mirroring the underlying runners. Inside a sweep
+    /// the pool catches the unwind and reports a [`JobFailure`].
     pub fn execute(&self, net_cfg: &NetworkConfig) -> RunOutput {
         let mechanism = self.mechanism.mechanism();
         let model = EnergyModel::new(EnergyParams::micro2010_70nm());
@@ -424,6 +667,25 @@ fn delivered_fraction(stats: &afc_netsim::stats::NetworkStats) -> f64 {
     }
 }
 
+/// The placeholder output of a job that panicked on every attempt: zeroed
+/// metrics with the failure recorded in `outcome`.
+fn failure_output(spec: &RunSpec, fail: &JobFailure) -> RunOutput {
+    RunOutput {
+        label: spec.label(),
+        cycles: 0,
+        packets_delivered: 0,
+        flits_delivered: 0,
+        injection_rate: 0.0,
+        throughput: 0.0,
+        mean_latency: None,
+        energy_pj: 0.0,
+        backpressured_fraction: 0.0,
+        mean_deflections: 0.0,
+        delivered_fraction: 0.0,
+        outcome: format!("panic after {} attempts: {}", fail.attempts, fail.message),
+    }
+}
+
 /// A declarative grid of independent runs over one network configuration.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
@@ -436,6 +698,20 @@ pub struct SweepSpec {
 }
 
 impl SweepSpec {
+    /// A stable fingerprint of the full sweep definition (name, network
+    /// configuration, and every run spec), used by manifests to refuse
+    /// resuming against a different sweep.
+    pub fn fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        text.push_str(&self.name);
+        text.push('\n');
+        text.push_str(&format!("{:?}\n", self.net_cfg));
+        for run in &self.runs {
+            text.push_str(&format!("{run:?}\n"));
+        }
+        fnv1a64(text.as_bytes())
+    }
+
     /// Executes the sweep with [`threads`] workers. When
     /// [`selfcheck_enabled`], additionally re-runs serially and asserts
     /// byte-identical results.
@@ -455,16 +731,386 @@ impl SweepSpec {
         results
     }
 
-    /// Executes with an explicit worker count.
+    /// Executes with an explicit worker count. A run that panics on every
+    /// attempt becomes a zeroed [`RunOutput`] whose `outcome` records the
+    /// failure; the other runs are unaffected.
     pub fn execute_with_threads(&self, threads: usize) -> SweepResults {
-        let outputs = run_sweep_on(
+        let results = run_sweep_failable(
             &self.name,
             &self.runs,
             &|_, run: &RunSpec| run.execute(&self.net_cfg),
             threads,
         );
+        let outputs = self
+            .runs
+            .iter()
+            .zip(results)
+            .map(|(run, r)| match r {
+                Ok(o) => o,
+                Err(fail) => failure_output(run, &fail),
+            })
+            .collect();
         SweepResults { outputs }
     }
+
+    /// Executes the sweep with crash-safe checkpointing: every completed
+    /// job is recorded in the manifest at `manifest_path`, rewritten
+    /// atomically on each completion. With `resume`, an existing manifest
+    /// is loaded first — after verifying its sweep name, fingerprint, and
+    /// job count — and only the missing jobs run.
+    ///
+    /// Jobs that panic on every attempt are reported in their output's
+    /// `outcome` field and are **not** recorded in the manifest, so a
+    /// later resume retries exactly the failed and missing jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Manifest`] for a corrupt or mismatched manifest,
+    /// [`SweepError::Io`] for filesystem failures.
+    pub fn execute_resumable(
+        &self,
+        manifest_path: &Path,
+        resume: bool,
+    ) -> Result<SweepResults, SweepError> {
+        let mut manifest = SweepManifest::new(self);
+        let mut completed: HashMap<usize, RunOutput> = HashMap::new();
+        if resume && manifest_path.exists() {
+            let prior = SweepManifest::load(manifest_path)?;
+            let mismatch = |message: String| SweepError::Manifest {
+                path: manifest_path.to_path_buf(),
+                message,
+            };
+            if prior.sweep != self.name {
+                return Err(mismatch(format!(
+                    "belongs to sweep {:?}, not {:?}",
+                    prior.sweep, self.name
+                )));
+            }
+            if prior.fingerprint != self.fingerprint() || prior.total != self.runs.len() {
+                return Err(mismatch(
+                    "sweep definition changed since the manifest was written \
+                     (fingerprint mismatch); delete the manifest or rerun \
+                     without --resume"
+                        .to_string(),
+                ));
+            }
+            for (i, line) in &prior.jobs {
+                let output =
+                    RunOutput::deserialize(line).map_err(|e| mismatch(format!("job {i}: {e}")))?;
+                completed.insert(*i, output);
+            }
+            manifest = prior;
+        }
+
+        let missing: Vec<usize> = (0..self.runs.len())
+            .filter(|i| !completed.contains_key(i))
+            .collect();
+        let mut save_err: Option<SweepError> = None;
+        let results = run_sweep_with_progress(
+            &self.name,
+            &missing,
+            &|_, &idx: &usize| self.runs[idx].execute(&self.net_cfg),
+            threads(),
+            |k, r| {
+                if let Ok(output) = r {
+                    manifest.record(missing[k], output);
+                    if let Err(e) = manifest.save(manifest_path) {
+                        if save_err.is_none() {
+                            save_err = Some(e);
+                        }
+                    }
+                }
+            },
+        );
+        if let Some(e) = save_err {
+            return Err(e);
+        }
+
+        let mut fresh: HashMap<usize, Result<RunOutput, JobFailure>> =
+            missing.iter().copied().zip(results).collect();
+        let outputs = self
+            .runs
+            .iter()
+            .enumerate()
+            .map(|(i, run)| {
+                if let Some(done) = completed.remove(&i) {
+                    return done;
+                }
+                match fresh.remove(&i).expect("every missing job ran") {
+                    Ok(o) => o,
+                    Err(fail) => failure_output(run, &fail),
+                }
+            })
+            .collect();
+        Ok(SweepResults { outputs })
+    }
+}
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Crash-safe record of which sweep jobs have completed, persisted as a
+/// small checksummed JSON file (`results/manifest.json` by convention)
+/// after every completion so an interrupted sweep resumes exactly the
+/// missing jobs.
+///
+/// Writes go through [`write_atomic`]; [`SweepManifest::load`] refuses a
+/// file whose embedded checksum does not match its contents, naming the
+/// corrupt file in the error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepManifest {
+    /// Format version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// Name of the sweep the manifest belongs to.
+    pub sweep: String,
+    /// [`SweepSpec::fingerprint`] of the sweep definition.
+    pub fingerprint: u64,
+    /// Total job count in the sweep.
+    pub total: usize,
+    /// Completed jobs as `(spec index, serialized RunOutput line)`,
+    /// sorted by index.
+    pub jobs: Vec<(usize, String)>,
+}
+
+impl SweepManifest {
+    /// An empty manifest for `spec`.
+    pub fn new(spec: &SweepSpec) -> SweepManifest {
+        SweepManifest {
+            version: MANIFEST_VERSION,
+            sweep: spec.name.clone(),
+            fingerprint: spec.fingerprint(),
+            total: spec.runs.len(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Records a completed job, keeping the list sorted by index.
+    pub fn record(&mut self, index: usize, output: &RunOutput) {
+        let line = output.serialize();
+        match self.jobs.binary_search_by_key(&index, |(i, _)| *i) {
+            Ok(pos) => self.jobs[pos].1 = line,
+            Err(pos) => self.jobs.insert(pos, (index, line)),
+        }
+    }
+
+    /// The byte string the checksum covers: every field and every job
+    /// line, in file order.
+    fn canonical_body(&self) -> String {
+        let mut body = format!(
+            "{}\n{}\n{:016x}\n{}\n",
+            self.version, self.sweep, self.fingerprint, self.total
+        );
+        for (i, line) in &self.jobs {
+            body.push_str(&format!("{i}\t{line}\n"));
+        }
+        body
+    }
+
+    /// The manifest's JSON encoding (one job object per line).
+    pub fn to_json(&self) -> String {
+        let checksum = fnv1a64(self.canonical_body().as_bytes());
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!("  \"sweep\": \"{}\",\n", json_escape(&self.sweep)));
+        out.push_str(&format!(
+            "  \"fingerprint\": \"{:016x}\",\n",
+            self.fingerprint
+        ));
+        out.push_str(&format!("  \"total\": {},\n", self.total));
+        out.push_str(&format!("  \"checksum\": \"{checksum:016x}\",\n"));
+        out.push_str("  \"jobs\": [\n");
+        for (k, (i, line)) in self.jobs.iter().enumerate() {
+            let comma = if k + 1 == self.jobs.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"index\": {i}, \"output\": \"{}\"}}{comma}\n",
+                json_escape(line)
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the manifest atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] naming the manifest path.
+    pub fn save(&self, path: &Path) -> Result<(), SweepError> {
+        write_atomic(path, self.to_json().as_bytes())
+    }
+
+    /// Loads and verifies a manifest written by [`SweepManifest::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] if the file cannot be read;
+    /// [`SweepError::Manifest`] — always naming the file — if it is
+    /// malformed, an unsupported version, or fails its checksum.
+    pub fn load(path: &Path) -> Result<SweepManifest, SweepError> {
+        let text = std::fs::read_to_string(path).map_err(|source| SweepError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let bad = |message: String| SweepError::Manifest {
+            path: path.to_path_buf(),
+            message,
+        };
+        let (manifest, stored) = Self::parse(&text).map_err(&bad)?;
+        let actual = fnv1a64(manifest.canonical_body().as_bytes());
+        if stored != actual {
+            return Err(bad(format!(
+                "checksum mismatch (file says {stored:016x}, contents hash to \
+                 {actual:016x}) — refusing corrupt manifest"
+            )));
+        }
+        Ok(manifest)
+    }
+
+    /// Parses the JSON encoding, returning the manifest and its stored
+    /// checksum (verified by the caller).
+    fn parse(text: &str) -> Result<(SweepManifest, u64), String> {
+        let mut version = None;
+        let mut sweep = None;
+        let mut fingerprint = None;
+        let mut total = None;
+        let mut checksum = None;
+        let mut jobs = Vec::new();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if let Some(v) = line.strip_prefix("\"version\":") {
+                version = Some(parse_json_uint(v)? as u32);
+            } else if let Some(v) = line.strip_prefix("\"sweep\":") {
+                sweep = Some(parse_json_string(v)?);
+            } else if let Some(v) = line.strip_prefix("\"fingerprint\":") {
+                fingerprint = Some(parse_json_hex(v)?);
+            } else if let Some(v) = line.strip_prefix("\"total\":") {
+                total = Some(parse_json_uint(v)? as usize);
+            } else if let Some(v) = line.strip_prefix("\"checksum\":") {
+                checksum = Some(parse_json_hex(v)?);
+            } else if line.starts_with("{\"index\":") {
+                jobs.push(parse_job_line(line)?);
+            }
+        }
+        let manifest = SweepManifest {
+            version: version.ok_or("missing \"version\" field")?,
+            sweep: sweep.ok_or("missing \"sweep\" field")?,
+            fingerprint: fingerprint.ok_or("missing \"fingerprint\" field")?,
+            total: total.ok_or("missing \"total\" field")?,
+            jobs,
+        };
+        let checksum = checksum.ok_or("missing \"checksum\" field")?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(format!(
+                "unsupported manifest version {} (this build reads version \
+                 {MANIFEST_VERSION})",
+                manifest.version
+            ));
+        }
+        let mut seen = HashSet::new();
+        for (i, _) in &manifest.jobs {
+            if *i >= manifest.total {
+                return Err(format!(
+                    "job index {i} out of range (total {})",
+                    manifest.total
+                ));
+            }
+            if !seen.insert(*i) {
+                return Err(format!("duplicate job index {i}"));
+            }
+        }
+        Ok((manifest, checksum))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(format!(
+                    "bad escape \\{}",
+                    other.map(String::from).unwrap_or_default()
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_json_uint(v: &str) -> Result<u64, String> {
+    let v = v.trim().trim_end_matches(',').trim();
+    v.parse::<u64>()
+        .map_err(|_| format!("bad integer field {v:?}"))
+}
+
+fn parse_json_string(v: &str) -> Result<String, String> {
+    let v = v.trim().trim_end_matches(',').trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("bad string field {v:?}"))?;
+    json_unescape(inner)
+}
+
+fn parse_json_hex(v: &str) -> Result<u64, String> {
+    let v = v.trim().trim_end_matches(',').trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("bad hex field {v:?}"))?;
+    u64::from_str_radix(inner, 16).map_err(|_| format!("bad hex field {v:?}"))
+}
+
+fn parse_job_line(line: &str) -> Result<(usize, String), String> {
+    let err = || format!("bad job entry {line:?}");
+    let after_idx = line.split_once("\"index\":").ok_or_else(err)?.1;
+    let num: String = after_idx
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    let index: usize = num.parse().map_err(|_| err())?;
+    let after_out = line.split_once("\"output\":").ok_or_else(err)?.1;
+    let after_quote = after_out.trim_start().strip_prefix('"').ok_or_else(err)?;
+    let mut raw = String::new();
+    let mut chars = after_quote.chars();
+    loop {
+        match chars.next() {
+            None => return Err(err()),
+            Some('"') => break,
+            Some('\\') => {
+                raw.push('\\');
+                raw.push(chars.next().ok_or_else(err)?);
+            }
+            Some(c) => raw.push(c),
+        }
+    }
+    Ok((index, json_unescape(&raw)?))
 }
 
 /// Flat deterministic metrics of one run. Every field is a pure function
@@ -521,6 +1167,43 @@ impl RunOutput {
             self.outcome,
         )
     }
+
+    /// Decodes one [`RunOutput::serialize`] line (used by manifest
+    /// resume). The last field absorbs any remaining tabs, so outcome
+    /// text round-trips verbatim.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed field.
+    pub fn deserialize(line: &str) -> Result<RunOutput, String> {
+        let fields: Vec<&str> = line.splitn(12, '\t').collect();
+        if fields.len() != 12 {
+            return Err(format!(
+                "expected 12 tab-separated fields, got {}",
+                fields.len()
+            ));
+        }
+        let uint = |s: &str, what: &str| s.parse::<u64>().map_err(|_| format!("bad {what} {s:?}"));
+        let float = |s: &str, what: &str| s.parse::<f64>().map_err(|_| format!("bad {what} {s:?}"));
+        Ok(RunOutput {
+            label: fields[0].to_string(),
+            cycles: uint(fields[1], "cycle count")?,
+            packets_delivered: uint(fields[2], "packet count")?,
+            flits_delivered: uint(fields[3], "flit count")?,
+            injection_rate: float(fields[4], "injection rate")?,
+            throughput: float(fields[5], "throughput")?,
+            mean_latency: if fields[6] == "-" {
+                None
+            } else {
+                Some(float(fields[6], "latency")?)
+            },
+            energy_pj: float(fields[7], "energy")?,
+            backpressured_fraction: float(fields[8], "backpressured fraction")?,
+            mean_deflections: float(fields[9], "deflection count")?,
+            delivered_fraction: float(fields[10], "delivered fraction")?,
+            outcome: fields[11].to_string(),
+        })
+    }
 }
 
 /// Results of a [`SweepSpec`], in spec order.
@@ -549,6 +1232,7 @@ impl SweepResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mechanisms::MechanismId;
 
     #[test]
     fn sweep_preserves_spec_order_at_any_worker_count() {
@@ -568,26 +1252,228 @@ mod tests {
     }
 
     #[test]
-    fn run_output_serialization_is_exact() {
-        let a = RunOutput {
-            label: "x".into(),
-            cycles: 1,
-            packets_delivered: 2,
-            flits_delivered: 3,
-            injection_rate: 0.1,
+    fn panicking_job_is_isolated_and_retried() {
+        let jobs: Vec<u64> = (0..8).collect();
+        for workers in [1, 4] {
+            let results = run_sweep_failable(
+                "isolated",
+                &jobs,
+                &|_, &j| {
+                    if j == 3 {
+                        panic!("job three always explodes");
+                    }
+                    j * 10
+                },
+                workers,
+            );
+            for (i, r) in results.iter().enumerate() {
+                if i == 3 {
+                    let fail = r.as_ref().unwrap_err();
+                    assert_eq!(fail.index, 3);
+                    assert_eq!(fail.attempts, JOB_ATTEMPTS);
+                    assert!(
+                        fail.message.contains("job three always explodes"),
+                        "message: {}",
+                        fail.message
+                    );
+                } else {
+                    assert_eq!(
+                        *r.as_ref().unwrap(),
+                        i as u64 * 10,
+                        "workers={workers} job {i} must survive a sibling panic"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_panic_succeeds_on_retry() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let jobs = [1u64, 2, 3];
+        let results = run_sweep_failable(
+            "retry",
+            &jobs,
+            &|_, &j| {
+                if j == 2 && attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("transient");
+                }
+                j
+            },
+            1,
+        );
+        assert_eq!(results[1].as_ref().unwrap(), &2, "retry must recover");
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn progress_hook_sees_every_completion() {
+        let jobs: Vec<u64> = (0..12).collect();
+        let mut seen = Vec::new();
+        let results = run_sweep_with_progress("progress", &jobs, &|_, &j| j, 4, |i, r| {
+            assert!(r.is_ok());
+            seen.push(i);
+        });
+        assert_eq!(results.len(), 12);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_value_parsing() {
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        assert_eq!(parse_threads_value(&argv("--quick")).unwrap(), None);
+        assert_eq!(parse_threads_value(&argv("--threads 3")).unwrap(), Some(3));
+        assert!(parse_threads_value(&argv("--threads")).is_err());
+        assert!(parse_threads_value(&argv("--threads zero")).is_err());
+        assert!(parse_threads_value(&argv("--threads 0")).is_err());
+        let err = parse_threads_arg(&argv("--threads -2")).unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("afc-sweep-atomic-{}", std::process::id()));
+        let path = dir.join("nested").join("out.csv");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!path.with_file_name("out.csv.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_output(label: &str, latency: Option<f64>, outcome: &str) -> RunOutput {
+        RunOutput {
+            label: label.into(),
+            cycles: 10_000,
+            packets_delivered: 1234,
+            flits_delivered: 9876,
+            injection_rate: 0.1500000000000001,
             throughput: 0.2,
-            mean_latency: Some(31.5),
+            mean_latency: latency,
             energy_pj: 1234.5678,
             backpressured_fraction: 0.25,
             mean_deflections: 0.0,
             delivered_fraction: 1.0,
-            outcome: "ok".into(),
-        };
+            outcome: outcome.into(),
+        }
+    }
+
+    #[test]
+    fn run_output_serialization_is_exact() {
+        let a = sample_output("x", Some(31.5), "ok");
         let mut b = a.clone();
         assert_eq!(a.serialize(), b.serialize());
         // One ULP of difference must change the encoding.
         b.throughput = f64::from_bits(b.throughput.to_bits() + 1);
         assert_ne!(a.serialize(), b.serialize());
+    }
+
+    #[test]
+    fn run_output_round_trips_through_deserialize() {
+        for out in [
+            sample_output("afc/open@0.150@7", Some(31.5), "ok"),
+            sample_output("bless/fault@0.1/5e-4@1", None, "error: stall at (1,1)"),
+            sample_output("drop/water@3", Some(12.25), "drain budget exhausted"),
+        ] {
+            let line = out.serialize();
+            let back = RunOutput::deserialize(&line).unwrap();
+            assert_eq!(back, out);
+            assert_eq!(back.serialize(), line);
+        }
+        assert!(RunOutput::deserialize("too\tfew\tfields").is_err());
+        assert!(RunOutput::deserialize(
+            &sample_output("x", None, "ok")
+                .serialize()
+                .replace("10000", "ten")
+        )
+        .is_err());
+    }
+
+    fn tiny_spec(seed: u64) -> SweepSpec {
+        let runs = [0.05, 0.10, 0.15]
+            .iter()
+            .map(|&rate| RunSpec {
+                mechanism: MechanismId::Afc,
+                seed,
+                kind: RunKind::OpenLoop {
+                    rate,
+                    pattern: Pattern::UniformRandom,
+                    mix: PacketMix::single_flit(),
+                    warmup_cycles: 50,
+                    measure_cycles: 100,
+                },
+            })
+            .collect();
+        SweepSpec {
+            name: "tiny".to_string(),
+            net_cfg: NetworkConfig::paper_3x3(),
+            runs,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_refuses_corruption() {
+        let spec = tiny_spec(5);
+        let mut manifest = SweepManifest::new(&spec);
+        manifest.record(2, &sample_output("afc/open@0.150@5", Some(9.5), "ok"));
+        manifest.record(
+            0,
+            &sample_output("afc/open@0.050@5", None, "with\ttab \"quote\"\n"),
+        );
+        let dir = std::env::temp_dir().join(format!("afc-manifest-{}", std::process::id()));
+        let path = dir.join("manifest.json");
+        manifest.save(&path).unwrap();
+        let loaded = SweepManifest::load(&path).unwrap();
+        assert_eq!(loaded, manifest);
+        assert_eq!(loaded.jobs[0].0, 0, "jobs stay sorted by index");
+
+        // A flipped byte in the body must be refused, naming the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = SweepManifest::load(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("manifest.json"), "must name the file: {msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resumable_execution_completes_missing_jobs_only() {
+        let spec = tiny_spec(9);
+        let dir = std::env::temp_dir().join(format!("afc-resume-{}", std::process::id()));
+        let path = dir.join("manifest.json");
+        set_threads(2);
+
+        // Uninterrupted reference.
+        let reference = spec.execute_with_threads(1).serialize();
+
+        // Fresh resumable run: same bytes, manifest fully populated.
+        let results = spec.execute_resumable(&path, false).unwrap();
+        assert_eq!(results.serialize(), reference);
+        let full = SweepManifest::load(&path).unwrap();
+        assert_eq!(full.jobs.len(), spec.runs.len());
+
+        // Simulate an interruption: keep only job 1 in the manifest, then
+        // resume. The final bytes must match the uninterrupted reference.
+        let mut partial = SweepManifest::new(&spec);
+        let kept = RunOutput::deserialize(&full.jobs[1].1).unwrap();
+        partial.record(1, &kept);
+        partial.save(&path).unwrap();
+        let resumed = spec.execute_resumable(&path, true).unwrap();
+        assert_eq!(resumed.serialize(), reference);
+
+        // A manifest from a different sweep definition is refused.
+        let other = tiny_spec(10);
+        let err = other.execute_resumable(&path, true).unwrap_err();
+        assert!(
+            err.to_string().contains("fingerprint"),
+            "expected fingerprint mismatch: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

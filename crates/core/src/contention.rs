@@ -7,6 +7,7 @@
 //! thresholds form a hysteresis band that prevents mode thrashing when load
 //! hovers near a single threshold (Section III-C).
 
+use afc_netsim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use afc_netsim::stats::{Ewma, SlidingWindow};
 
 /// The verdict of a threshold comparison.
@@ -108,6 +109,24 @@ impl ContentionMonitor {
     pub fn skip_idle(&mut self, count: u64) {
         self.window.skip_zero(count);
         self.ewma.decay_zero(count);
+    }
+
+    /// Serializes the monitor's mutable measurement state (window + EWMA;
+    /// thresholds are configuration and stay with the constructor).
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        self.window.save(w);
+        self.ewma.save(w);
+    }
+
+    /// Restores state written by [`ContentionMonitor::save`].
+    ///
+    /// # Errors
+    ///
+    /// Decode errors on a malformed payload.
+    pub fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.window = SlidingWindow::load(r)?;
+        self.ewma = Ewma::load(r)?;
+        Ok(())
     }
 }
 

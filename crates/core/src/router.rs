@@ -34,6 +34,7 @@ use afc_netsim::flit::{Cycle, Flit, VcId};
 use afc_netsim::geom::{DirMap, Direction, NodeId, PortId, PortMap};
 use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
+use afc_netsim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use afc_netsim::topology::Mesh;
 use afc_routers::arbiter::RoundRobin;
 use afc_routers::deflection::{split_ejections_into, Assignment, DeflectionEngine};
@@ -736,6 +737,145 @@ impl Router for AfcRouter {
         }
         c
     }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        match self.mode {
+            AfcMode::Backpressureless => w.put_u8(0),
+            AfcMode::SwitchingForward { since, complete_at } => {
+                w.put_u8(1);
+                w.put_u64(since);
+                w.put_u64(complete_at);
+            }
+            AfcMode::Backpressured => w.put_u8(2),
+        }
+        w.put_u32(self.flits_this_cycle);
+        w.put_u64(self.reverse_allowed_at);
+        self.monitor.save(w);
+        w.put_usize(self.latches.len());
+        for f in &self.latches {
+            snapshot::write_flit(w, f);
+        }
+        // Bank geometry (present ports, per-vnet capacities) is rebuilt from
+        // configuration; only slot contents travel.
+        for port in PortId::ALL {
+            let Some(bank) = self.buffers[port].as_ref() else {
+                continue;
+            };
+            for vnet in &bank.slots {
+                for slot in vnet {
+                    match slot {
+                        Some(f) => {
+                            w.put_bool(true);
+                            snapshot::write_flit(w, f);
+                        }
+                        None => w.put_bool(false),
+                    }
+                }
+            }
+        }
+        for port in PortId::ALL {
+            if let Some(arb) = self.input_arb[port].as_ref() {
+                w.put_usize(arb.cursor());
+            }
+        }
+        for port in PortId::ALL {
+            w.put_usize(self.output_arb[port].cursor());
+        }
+        for d in Direction::ALL {
+            w.put_bool(self.tracking[d]);
+        }
+        for d in Direction::ALL {
+            for c in &self.credits[d] {
+                w.put_u64(*c);
+            }
+        }
+        self.counters.save(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.mode = match r.get_u8("afc mode tag")? {
+            0 => AfcMode::Backpressureless,
+            1 => {
+                let since = r.get_u64("afc switch since")?;
+                let complete_at = r.get_u64("afc switch complete_at")?;
+                AfcMode::SwitchingForward { since, complete_at }
+            }
+            2 => AfcMode::Backpressured,
+            _ => {
+                return Err(SnapshotError::Malformed {
+                    what: "afc mode tag",
+                })
+            }
+        };
+        self.flits_this_cycle = r.get_u32("afc flits this cycle")?;
+        self.reverse_allowed_at = r.get_u64("afc reverse dwell")?;
+        self.monitor.restore(r)?;
+        let n = r.get_usize("afc latch count")?;
+        if n > self.engine.degree() + 1 {
+            return Err(SnapshotError::Malformed {
+                what: "afc latch count",
+            });
+        }
+        self.latches.clear();
+        for _ in 0..n {
+            self.latches.push(snapshot::read_flit(r)?);
+        }
+        let mut buffered = 0usize;
+        for port in PortId::ALL {
+            let Some(bank) = self.buffers[port].as_mut() else {
+                continue;
+            };
+            for vnet in bank.slots.iter_mut() {
+                for slot in vnet.iter_mut() {
+                    *slot = if r.get_bool("afc buffer slot occupancy")? {
+                        buffered += 1;
+                        Some(snapshot::read_flit(r)?)
+                    } else {
+                        None
+                    };
+                }
+            }
+        }
+        self.buffered = buffered;
+        for port in PortId::ALL {
+            if let Some(arb) = self.input_arb[port].as_mut() {
+                let c = r.get_usize("afc input arbiter cursor")?;
+                if c >= arb.len() {
+                    return Err(SnapshotError::Malformed {
+                        what: "afc input arbiter cursor",
+                    });
+                }
+                arb.set_cursor(c);
+            }
+        }
+        for port in PortId::ALL {
+            let c = r.get_usize("afc output arbiter cursor")?;
+            let arb = &mut self.output_arb[port];
+            if c >= arb.len() {
+                return Err(SnapshotError::Malformed {
+                    what: "afc output arbiter cursor",
+                });
+            }
+            arb.set_cursor(c);
+        }
+        for d in Direction::ALL {
+            self.tracking[d] = r.get_bool("afc tracking flag")?;
+        }
+        for d in Direction::ALL {
+            for v in 0..self.vnet_capacity.len() {
+                let c = r.get_u64("afc credit count")?;
+                if c > self.vnet_capacity[v] as u64 {
+                    return Err(SnapshotError::Malformed {
+                        what: "afc credit count",
+                    });
+                }
+                self.credits[d][v] = c;
+            }
+        }
+        self.counters = ActivityCounters::load(r)?;
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for AfcRouter {
@@ -1167,6 +1307,80 @@ mod tests {
             .unwrap();
         assert!(east.1);
         assert_eq!(east.2[0], 6);
+    }
+
+    #[test]
+    fn save_load_round_trips_adaptive_state() {
+        use afc_netsim::snapshot::{SnapshotReader, SnapshotWriter};
+        let (mesh, net, mut r) = setup();
+        // Drive the router into backpressured mode with buffered flits,
+        // tracked neighbors, drained credits, and advanced arbiter cursors.
+        for _ in 0..5000 {
+            r.monitor.record_cycle(5);
+        }
+        let mut rng = SimRng::seed_from(42);
+        let mut out = RouterOutputs::new();
+        r.step(0, &mut rng, &mut out);
+        run_idle(&mut r, 1, 6);
+        assert_eq!(r.afc_mode(), AfcMode::Backpressured);
+        r.receive_control(
+            PortId::Net(Direction::East),
+            ControlSignal::StartCreditTracking,
+            7,
+        );
+        r.credits[Direction::East][0] = 1;
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        r.receive_flit(PortId::Net(Direction::West), flit(1, dest, 0), 7);
+        r.receive_flit(PortId::Net(Direction::West), flit(2, dest, 2), 7);
+        out.clear();
+        r.step(7, &mut rng, &mut out);
+
+        let mut w = SnapshotWriter::new();
+        r.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let mut restored = AfcRouter::new(node, &mesh, &net, AfcConfig::paper());
+        let mut rd = SnapshotReader::new(&bytes);
+        restored.load_state(&mut rd).unwrap();
+        rd.finish("afc router state").unwrap();
+
+        assert_eq!(restored.snapshot(), r.snapshot());
+        assert_eq!(restored.counters(), r.counters());
+        assert_eq!(restored.buffered, r.buffered);
+        // The restored router must make the same arbitration decisions.
+        let mut rng_a = SimRng::seed_from(99);
+        let mut rng_b = SimRng::seed_from(99);
+        let mut out_a = RouterOutputs::new();
+        let mut out_b = RouterOutputs::new();
+        for now in 8..20 {
+            out_a.clear();
+            out_b.clear();
+            r.step(now, &mut rng_a, &mut out_a);
+            restored.step(now, &mut rng_b, &mut out_b);
+            for p in PortId::ALL {
+                assert_eq!(out_a.flits[p], out_b.flits[p], "cycle {now}");
+            }
+            assert_eq!(out_a.ejected, out_b.ejected, "cycle {now}");
+        }
+    }
+
+    #[test]
+    fn load_rejects_out_of_range_fields() {
+        use afc_netsim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+        let (mesh, net, r) = setup();
+        let mut w = SnapshotWriter::new();
+        r.save_state(&mut w).unwrap();
+        let mut bytes = w.into_bytes();
+        // Corrupt the mode tag (first byte) to an unknown value.
+        bytes[0] = 9;
+        let node = mesh.node_at(Coord::new(1, 1)).unwrap();
+        let mut restored = AfcRouter::new(node, &mesh, &net, AfcConfig::paper());
+        let mut rd = SnapshotReader::new(&bytes);
+        assert!(matches!(
+            restored.load_state(&mut rd),
+            Err(SnapshotError::Malformed { .. })
+        ));
     }
 
     #[test]

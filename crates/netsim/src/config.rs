@@ -175,6 +175,15 @@ impl NetworkConfig {
     /// bandwidth.
     pub fn validate(&self) -> Result<(), ConfigError> {
         Mesh::new(self.width, self.height)?;
+        if (self.width as u32) * (self.height as u32) < 2 {
+            // A 1x1 mesh has no links: every experiment degenerates and the
+            // routing invariants the engine audits are vacuous. Degenerate
+            // 1xN meshes stay legal (the tier-1 suite exercises them).
+            return Err(ConfigError::OutOfRange {
+                what: "mesh size",
+                range: ">= 2 nodes",
+            });
+        }
         if self.vnets.is_empty() {
             return Err(ConfigError::NoVnets);
         }
@@ -256,6 +265,16 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::OutOfRange { .. })
         ));
+
+        // A 1x1 mesh (no links) is rejected; degenerate 1xN meshes are not.
+        let mut cfg = NetworkConfig::paper_3x3();
+        (cfg.width, cfg.height) = (1, 1);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange { .. })
+        ));
+        (cfg.width, cfg.height) = (1, 4);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

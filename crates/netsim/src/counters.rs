@@ -5,6 +5,8 @@
 //! converts counts into joules under a technology preset. This separation
 //! lets one simulation run be re-priced under different energy parameters.
 
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+
 /// Event and state counts accumulated by one router over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ActivityCounters {
@@ -85,6 +87,76 @@ impl ActivityCounters {
         self.mode_switches_forward += other.mode_switches_forward;
         self.mode_switches_reverse += other.mode_switches_reverse;
         self.mode_switches_gossip += other.mode_switches_gossip;
+    }
+
+    /// All fields in declaration order — the single source of truth for
+    /// [`ActivityCounters::save`]/[`ActivityCounters::load`] layout.
+    fn fields(&self) -> [u64; 21] {
+        [
+            self.buffer_writes,
+            self.buffer_reads,
+            self.latch_writes,
+            self.crossbar_traversals,
+            self.link_traversals,
+            self.ejections,
+            self.injections,
+            self.arbitrations,
+            self.vc_allocations,
+            self.credits_sent,
+            self.control_sends,
+            self.deflections,
+            self.drops,
+            self.retransmissions,
+            self.cycles,
+            self.cycles_buffers_gated,
+            self.credit_stall_cycles,
+            self.buffer_occupancy_sum,
+            self.mode_switches_forward,
+            self.mode_switches_reverse,
+            self.mode_switches_gossip,
+        ]
+    }
+
+    /// Serializes every counter in declaration order.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        for v in self.fields() {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores counters written by [`ActivityCounters::save`].
+    ///
+    /// # Errors
+    ///
+    /// Decode errors on a truncated payload.
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<ActivityCounters, SnapshotError> {
+        let mut f = [0u64; 21];
+        for v in &mut f {
+            *v = r.get_u64("activity counter")?;
+        }
+        Ok(ActivityCounters {
+            buffer_writes: f[0],
+            buffer_reads: f[1],
+            latch_writes: f[2],
+            crossbar_traversals: f[3],
+            link_traversals: f[4],
+            ejections: f[5],
+            injections: f[6],
+            arbitrations: f[7],
+            vc_allocations: f[8],
+            credits_sent: f[9],
+            control_sends: f[10],
+            deflections: f[11],
+            drops: f[12],
+            retransmissions: f[13],
+            cycles: f[14],
+            cycles_buffers_gated: f[15],
+            credit_stall_cycles: f[16],
+            buffer_occupancy_sum: f[17],
+            mode_switches_forward: f[18],
+            mode_switches_reverse: f[19],
+            mode_switches_gossip: f[20],
+        })
     }
 
     /// Fraction of cycles with buffers gated (0 if no cycles recorded).

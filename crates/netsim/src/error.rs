@@ -135,6 +135,16 @@ pub enum SimError {
         /// Description of the violated rule.
         what: &'static str,
     },
+    /// The run was given an invalid configuration. Harness-level code that
+    /// mixes construction and stepping in one fallible path uses this to
+    /// carry [`ConfigError`] through a single error type.
+    Config(ConfigError),
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -179,6 +189,7 @@ impl fmt::Display for SimError {
                     "router {node} violated engine protocol on cycle {cycle}: {what}"
                 )
             }
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
@@ -211,6 +222,8 @@ mod tests {
             },
         ];
         for e in errs {
+            let msg = SimError::from(e.clone()).to_string();
+            assert!(msg.starts_with("invalid configuration: "));
             let msg = e.to_string();
             assert!(!msg.is_empty());
             assert!(msg.chars().next().unwrap().is_lowercase());

@@ -64,6 +64,7 @@ pub mod packet;
 pub mod rng;
 pub mod router;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 #[cfg(test)]
 mod testutil;
@@ -88,6 +89,7 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};
     pub use crate::sim::{Simulation, TrafficModel};
+    pub use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
     pub use crate::stats::NetworkStats;
     pub use crate::topology::{Mesh, RouterClass};
 }

@@ -25,6 +25,7 @@ use crate::ni::NodeInterface;
 use crate::packet::{DeliveredPacket, PacketDescriptor, PacketInput};
 use crate::rng::SimRng;
 use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::NetworkStats;
 use crate::topology::Mesh;
 use std::collections::VecDeque;
@@ -88,6 +89,84 @@ impl ActiveSet {
     fn word(&self, wi: usize) -> u64 {
         self.words[wi]
     }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        for &word in &self.words {
+            w.put_u64(word);
+        }
+    }
+
+    /// Reads a set over `len` members written by [`ActiveSet::save`],
+    /// rejecting stray bits beyond the member range.
+    fn load(r: &mut SnapshotReader<'_>, len: usize) -> Result<ActiveSet, SnapshotError> {
+        let word_count = len.div_ceil(64);
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(r.get_u64("active-set word")?);
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << (len % 64)) - 1) != 0 {
+                    return Err(SnapshotError::Malformed {
+                        what: "active-set tail bits",
+                    });
+                }
+            }
+        }
+        Ok(ActiveSet { words })
+    }
+}
+
+fn write_fault_event(w: &mut SnapshotWriter, ev: &FaultEvent) {
+    w.put_u64(ev.cycle);
+    w.put_usize(ev.from.index());
+    w.put_u8(ev.dir.index() as u8);
+    match ev.kind {
+        FaultEventKind::FlitDropped { packet, seq } => {
+            w.put_u8(0);
+            w.put_u64(packet.0);
+            w.put_u16(seq);
+        }
+        FaultEventKind::FlitCorrupted { packet, seq } => {
+            w.put_u8(1);
+            w.put_u64(packet.0);
+            w.put_u16(seq);
+        }
+        FaultEventKind::CreditLost => w.put_u8(2),
+    }
+}
+
+fn read_fault_event(r: &mut SnapshotReader<'_>) -> Result<FaultEvent, SnapshotError> {
+    let cycle = r.get_u64("fault event cycle")?;
+    let from = NodeId::new(r.get_usize("fault event node")?);
+    let dir = Direction::from_index(r.get_u8("fault event direction")? as usize).ok_or(
+        SnapshotError::Malformed {
+            what: "fault event direction",
+        },
+    )?;
+    let kind = match r.get_u8("fault event kind")? {
+        tag @ (0 | 1) => {
+            let packet = PacketId(r.get_u64("fault event packet")?);
+            let seq = r.get_u16("fault event seq")?;
+            if tag == 0 {
+                FaultEventKind::FlitDropped { packet, seq }
+            } else {
+                FaultEventKind::FlitCorrupted { packet, seq }
+            }
+        }
+        2 => FaultEventKind::CreditLost,
+        _ => {
+            return Err(SnapshotError::Malformed {
+                what: "fault event kind",
+            })
+        }
+    };
+    Ok(FaultEvent {
+        cycle,
+        from,
+        dir,
+        kind,
+    })
 }
 
 /// A complete simulated network: routers, channels and network interfaces.
@@ -1034,5 +1113,270 @@ impl Network {
     /// Per-node modes right now (useful for spatial-variation analysis).
     pub fn modes(&self) -> Vec<RouterMode> {
         self.routers.iter().map(|r| r.mode()).collect()
+    }
+
+    /// Serializes the network's complete mutable state — fingerprint,
+    /// clock, RNG streams, stats, routers, NIs, channels, staged
+    /// deliveries, NACK/ack circuits, held flits, fault log, audit
+    /// counters, and activity sets — into `w`.
+    ///
+    /// Static topology and configuration are *not* written: restore
+    /// targets a network freshly built from the same configuration, and
+    /// the embedded fingerprint (mechanism, mesh dimensions, vnet count,
+    /// link latency) catches mismatches. Engine-mode toggles
+    /// ([`Network::set_full_scan`], conservation checking) are
+    /// deliberately excluded — they are observer settings, not simulation
+    /// state, and both engine paths are byte-identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if any router lacks state capture.
+    pub fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        // Fingerprint: everything restore() verifies before touching state.
+        w.put_str(self.mechanism);
+        w.put_u16(self.mesh.width());
+        w.put_u16(self.mesh.height());
+        w.put_u32(self.config.vnet_count() as u32);
+        w.put_u64(self.config.link_latency);
+
+        w.put_u64(self.now);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        for word in self.fault_rng.state() {
+            w.put_u64(word);
+        }
+        self.stats.save(w);
+        w.put_u64(self.next_packet_id);
+
+        for r in &self.routers {
+            r.save_state(w)?;
+        }
+        for ni in &self.nis {
+            ni.save(w);
+        }
+        for ch in &self.channels {
+            ch.save(w);
+        }
+        for d in &self.pending {
+            d.save(w);
+        }
+
+        w.put_usize(self.nack_queue.len());
+        for (ready, flit) in &self.nack_queue {
+            w.put_u64(*ready);
+            snapshot::write_flit(w, flit);
+        }
+        w.put_usize(self.ack_queue.len());
+        for (ready, src, id) in &self.ack_queue {
+            w.put_u64(*ready);
+            w.put_usize(src.index());
+            w.put_u64(id.0);
+        }
+        for held in &self.held {
+            w.put_usize(held.len());
+            for flit in held {
+                snapshot::write_flit(w, flit);
+            }
+        }
+        w.put_usize(self.fault_log.len());
+        for ev in &self.fault_log {
+            write_fault_event(w, ev);
+        }
+
+        w.put_u64(self.credits_pushed);
+        w.put_u64(self.credits_delivered);
+        w.put_u64(self.credits_faulted);
+        w.put_u64(self.last_progress);
+        w.put_u64(self.last_progress_cycle);
+        w.put_usize(self.audit_baseline);
+
+        match &self.offer_log {
+            Some(log) => {
+                w.put_bool(true);
+                w.put_usize(log.len());
+                for (cycle, src, input) in log {
+                    w.put_u64(*cycle);
+                    w.put_usize(src.index());
+                    snapshot::write_packet_input(w, input);
+                }
+            }
+            None => w.put_bool(false),
+        }
+
+        self.router_active.save(w);
+        self.chan_active.save(w);
+        self.ni_send_active.save(w);
+        self.ni_delivered.save(w);
+        for &upto in &self.accounted_upto {
+            w.put_u64(upto);
+        }
+        Ok(())
+    }
+
+    /// Restores state written by [`Network::save_state`] into this network,
+    /// which must have been built from the same configuration, mechanism
+    /// and seed. Derived accounting (in-flight counts, mode residency
+    /// cache, retransmit-queue depth, NI high-water max) is recomputed
+    /// from the restored components rather than trusted from the payload,
+    /// so a decoding bug surfaces as a conservation-audit failure instead
+    /// of silent drift.
+    ///
+    /// On error the network may be partially overwritten and must be
+    /// discarded; restore into a freshly constructed network.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ContextMismatch`] when the fingerprint disagrees
+    /// with this network; decode errors on a malformed payload;
+    /// [`SnapshotError::Unsupported`] if a router lacks state capture.
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let mechanism = r.get_str("fingerprint mechanism")?;
+        if mechanism != self.mechanism {
+            return Err(SnapshotError::ContextMismatch {
+                what: "mechanism",
+                snapshot: mechanism,
+                current: self.mechanism.to_string(),
+            });
+        }
+        let width = r.get_u16("fingerprint mesh width")?;
+        let height = r.get_u16("fingerprint mesh height")?;
+        if (width, height) != (self.mesh.width(), self.mesh.height()) {
+            return Err(SnapshotError::ContextMismatch {
+                what: "mesh dimensions",
+                snapshot: format!("{width}x{height}"),
+                current: format!("{}x{}", self.mesh.width(), self.mesh.height()),
+            });
+        }
+        let vnets = r.get_u32("fingerprint vnet count")?;
+        if vnets as usize != self.config.vnet_count() {
+            return Err(SnapshotError::ContextMismatch {
+                what: "vnet count",
+                snapshot: vnets.to_string(),
+                current: self.config.vnet_count().to_string(),
+            });
+        }
+        let link_latency = r.get_u64("fingerprint link latency")?;
+        if link_latency != self.config.link_latency {
+            return Err(SnapshotError::ContextMismatch {
+                what: "link latency",
+                snapshot: link_latency.to_string(),
+                current: self.config.link_latency.to_string(),
+            });
+        }
+
+        self.now = r.get_u64("network now")?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64("network rng state")?;
+        }
+        self.rng = SimRng::from_state(rng_state);
+        let mut fault_state = [0u64; 4];
+        for word in &mut fault_state {
+            *word = r.get_u64("network fault rng state")?;
+        }
+        self.fault_rng = SimRng::from_state(fault_state);
+        self.stats = NetworkStats::load(r)?;
+        self.next_packet_id = r.get_u64("network next packet id")?;
+
+        for router in &mut self.routers {
+            router.load_state(r)?;
+        }
+        for ni in &mut self.nis {
+            ni.load(r)?;
+        }
+        for ch in &mut self.channels {
+            *ch = Channel::load(r)?;
+        }
+        for d in &mut self.pending {
+            *d = crate::channel::Delivery::load(r)?;
+        }
+
+        let nacks = r.get_usize("nack queue length")?;
+        self.nack_queue.clear();
+        for _ in 0..nacks {
+            let ready = r.get_u64("nack ready cycle")?;
+            let flit = snapshot::read_flit(r)?;
+            self.nack_queue.push((ready, flit));
+        }
+        let acks = r.get_usize("ack queue length")?;
+        self.ack_queue.clear();
+        for _ in 0..acks {
+            let ready = r.get_u64("ack ready cycle")?;
+            let src = NodeId::new(r.get_usize("ack source")?);
+            if src.index() >= self.nis.len() {
+                return Err(SnapshotError::Malformed { what: "ack source" });
+            }
+            let id = PacketId(r.get_u64("ack packet id")?);
+            self.ack_queue.push((ready, src, id));
+        }
+        for held in &mut self.held {
+            let n = r.get_usize("held flit count")?;
+            held.clear();
+            for _ in 0..n {
+                held.push_back(snapshot::read_flit(r)?);
+            }
+        }
+        let faults = r.get_usize("fault log length")?;
+        if faults > Self::FAULT_LOG_CAP {
+            return Err(SnapshotError::Malformed {
+                what: "fault log length",
+            });
+        }
+        self.fault_log.clear();
+        for _ in 0..faults {
+            self.fault_log.push(read_fault_event(r)?);
+        }
+
+        self.credits_pushed = r.get_u64("credits pushed")?;
+        self.credits_delivered = r.get_u64("credits delivered")?;
+        self.credits_faulted = r.get_u64("credits faulted")?;
+        self.last_progress = r.get_u64("last progress")?;
+        self.last_progress_cycle = r.get_u64("last progress cycle")?;
+        self.audit_baseline = r.get_usize("audit baseline")?;
+
+        self.offer_log = if r.get_bool("offer log presence")? {
+            let n = r.get_usize("offer log length")?;
+            let mut log = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let cycle = r.get_u64("offer log cycle")?;
+                let src = NodeId::new(r.get_usize("offer log source")?);
+                let input = snapshot::read_packet_input(r)?;
+                log.push((cycle, src, input));
+            }
+            Some(log)
+        } else {
+            None
+        };
+
+        let n = self.routers.len();
+        self.router_active = ActiveSet::load(r, n)?;
+        self.chan_active = ActiveSet::load(r, self.channels.len())?;
+        self.ni_send_active = ActiveSet::load(r, n)?;
+        self.ni_delivered = ActiveSet::load(r, n)?;
+        for upto in &mut self.accounted_upto {
+            *upto = r.get_u64("accounted-upto cycle")?;
+        }
+
+        // Derived accounting, recomputed from the restored components.
+        self.modes_cache = self.routers.iter().map(|router| router.mode()).collect();
+        self.mode_counts = [0; 3];
+        for m in &self.modes_cache {
+            self.mode_counts[Self::mode_slot(*m)] += 1;
+        }
+        self.in_flight = self.flits_in_network();
+        self.retx_queued = self
+            .nis
+            .iter()
+            .map(NodeInterface::pending_retransmits)
+            .sum();
+        self.ni_high_water_max = self
+            .nis
+            .iter()
+            .map(NodeInterface::reassembly_high_water)
+            .max()
+            .unwrap_or(0);
+        self.scratch.clear();
+        Ok(())
     }
 }

@@ -42,6 +42,20 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// Returns the raw xoshiro256** state words, for snapshotting.
+    ///
+    /// Together with [`SimRng::from_state`] this gives an exact round trip:
+    /// a restored generator produces the identical output stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Reconstructs a generator from state words captured by
+    /// [`SimRng::state`].
+    pub fn from_state(s: [u64; 4]) -> SimRng {
+        SimRng { s }
+    }
+
     /// Derives an independent stream for a sub-component.
     ///
     /// Forked streams with distinct `stream` values are statistically

@@ -6,6 +6,7 @@ use crate::counters::ActivityCounters;
 use crate::flit::{Cycle, Flit};
 use crate::geom::{NodeId, PortId, PortMap};
 use crate::rng::SimRng;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::topology::Mesh;
 
 /// The flow-control mode a router is currently operating in.
@@ -158,6 +159,35 @@ pub trait Router {
         let mut c = *self.counters();
         c.cycles += pending_idle;
         c
+    }
+
+    /// Serializes the router's complete mutable state (buffers, latches,
+    /// arbitration cursors, mode, counters) for a deterministic snapshot.
+    ///
+    /// Implementations must write a pure function of router state — no
+    /// hash-order or address-dependent bytes — such that
+    /// [`Router::load_state`] into a freshly constructed router of the same
+    /// configuration reproduces the original cycle-for-cycle. The default
+    /// refuses, keeping test-only stubs honest: the network surfaces the
+    /// refusal as a structured error instead of silently checkpointing a
+    /// router it cannot restore.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] unless overridden.
+    fn save_state(&self, _w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported { what: "router" })
+    }
+
+    /// Restores state written by [`Router::save_state`] into this router,
+    /// which must have been built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] unless overridden; decode errors
+    /// otherwise.
+    fn load_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported { what: "router" })
     }
 }
 

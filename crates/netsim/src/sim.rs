@@ -4,6 +4,7 @@ use crate::error::SimError;
 use crate::flit::Cycle;
 use crate::network::Network;
 use crate::packet::DeliveredPacket;
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A source (and, for closed-loop models, sink) of network traffic.
 ///
@@ -24,6 +25,32 @@ pub trait TrafficModel {
     /// is exhausted. Open-loop models never finish on their own.
     fn is_finished(&self, _now: Cycle) -> bool {
         false
+    }
+
+    /// Serializes the model's mutable state (RNG, issue bookkeeping,
+    /// completion counters) for a deterministic snapshot. See
+    /// [`Router::save_state`](crate::router::Router::save_state) for the
+    /// determinism contract; the default refuses.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] unless overridden.
+    fn save_state(&self, _w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported {
+            what: "traffic model",
+        })
+    }
+
+    /// Restores state written by [`TrafficModel::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] unless overridden; decode errors
+    /// otherwise.
+    fn load_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported {
+            what: "traffic model",
+        })
     }
 }
 
@@ -148,6 +175,48 @@ impl<T: TrafficModel> Simulation<T> {
             self.try_step()?;
         }
         Ok(self.traffic.is_finished(self.network.now()))
+    }
+
+    /// Serializes the complete simulation state — network (routers,
+    /// channels, NIs, RNG streams, stats, fault log) plus traffic model —
+    /// into a sealed, checksummed snapshot container.
+    ///
+    /// Restoring the bytes with [`Simulation::restore`] into a simulation
+    /// built from the same configuration and seed, then stepping N cycles,
+    /// is byte-identical to stepping the original N cycles (pinned by the
+    /// `snapshot_roundtrip` integration suite for all four mechanisms).
+    ///
+    /// Call between steps, never mid-step.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if the network's routers or the
+    /// traffic model do not implement state capture.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapshotWriter::new();
+        self.network.save_state(&mut w)?;
+        self.traffic.save_state(&mut w)?;
+        Ok(snapshot::seal(w))
+    }
+
+    /// Restores state captured by [`Simulation::snapshot`] into this
+    /// simulation, which must have been constructed from the same
+    /// configuration, mechanism, and seed (verified via the fingerprint
+    /// embedded in the snapshot). `origin` names the byte source for error
+    /// messages (a file path, or `"<memory>"`).
+    ///
+    /// # Errors
+    ///
+    /// Container errors (bad magic/version/checksum, naming `origin`),
+    /// [`SnapshotError::ContextMismatch`] on a fingerprint disagreement,
+    /// and decode errors on a malformed payload.
+    pub fn restore(&mut self, bytes: &[u8], origin: &str) -> Result<(), SnapshotError> {
+        let mut r = snapshot::open(bytes, origin)?;
+        self.network.load_state(&mut r)?;
+        self.traffic.load_state(&mut r)?;
+        r.finish("simulation snapshot")?;
+        self.delivered_buf.clear();
+        Ok(())
     }
 
     /// Fallible [`Simulation::drain`].

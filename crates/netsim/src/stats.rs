@@ -3,6 +3,7 @@
 //! aggregate [`NetworkStats`] snapshot.
 
 use crate::flit::Cycle;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Streaming summary of a latency (or any nonnegative) distribution.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -54,6 +55,24 @@ impl LatencyStats {
     /// Maximum sample, or `None` if empty.
     pub fn max(&self) -> Option<u64> {
         self.max
+    }
+
+    /// Serializes the summary for a snapshot.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_opt_u64(self.min);
+        w.put_opt_u64(self.max);
+    }
+
+    /// Restores a summary written by [`LatencyStats::save`].
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<LatencyStats, SnapshotError> {
+        Ok(LatencyStats {
+            count: r.get_u64("latency stats count")?,
+            sum: r.get_u64("latency stats sum")?,
+            min: r.get_opt_u64("latency stats min")?,
+            max: r.get_opt_u64("latency stats max")?,
+        })
     }
 
     /// Merges another summary into this one.
@@ -162,6 +181,38 @@ impl Histogram {
             .map(|(i, c)| (i as u64 * self.bucket_width, *c))
     }
 
+    /// Serializes the histogram (geometry and contents) for a snapshot.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.bucket_width);
+        w.put_usize(self.buckets.len());
+        for b in &self.buckets {
+            w.put_u64(*b);
+        }
+        w.put_u64(self.overflow);
+        w.put_u64(self.count);
+    }
+
+    /// Restores a histogram written by [`Histogram::save`].
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<Histogram, SnapshotError> {
+        let bucket_width = r.get_u64("histogram bucket width")?;
+        let n = r.get_usize("histogram bucket count")?;
+        if bucket_width == 0 || n == 0 {
+            return Err(SnapshotError::Malformed {
+                what: "histogram geometry",
+            });
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(r.get_u64("histogram bucket")?);
+        }
+        Ok(Histogram {
+            bucket_width,
+            buckets,
+            overflow: r.get_u64("histogram overflow")?,
+            count: r.get_u64("histogram count")?,
+        })
+    }
+
     /// Merges another histogram (must have identical geometry).
     ///
     /// # Panics
@@ -259,6 +310,23 @@ impl Ewma {
     pub fn reset(&mut self) {
         self.value = 0.0;
     }
+
+    /// Serializes the average for a snapshot (bit-exact: the value is
+    /// written as its IEEE-754 pattern).
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_f64(self.weight);
+        w.put_f64(self.value);
+    }
+
+    /// Restores an average written by [`Ewma::save`].
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<Ewma, SnapshotError> {
+        let weight = r.get_f64("ewma weight")?;
+        let value = r.get_f64("ewma value")?;
+        if !(0.0..1.0).contains(&weight) || !value.is_finite() {
+            return Err(SnapshotError::Malformed { what: "ewma state" });
+        }
+        Ok(Ewma { weight, value })
+    }
 }
 
 /// Fixed-length sliding window over integer samples, reporting their mean.
@@ -334,6 +402,45 @@ impl SlidingWindow {
             .filled
             .saturating_add(count.min(len as u64) as usize)
             .min(len);
+    }
+
+    /// Serializes the window (contents and cursor) for a snapshot.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.buf.len());
+        for s in &self.buf {
+            w.put_u32(*s);
+        }
+        w.put_usize(self.next);
+        w.put_u64(self.sum);
+        w.put_usize(self.filled);
+    }
+
+    /// Restores a window written by [`SlidingWindow::save`].
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<SlidingWindow, SnapshotError> {
+        let len = r.get_usize("sliding window length")?;
+        if len == 0 {
+            return Err(SnapshotError::Malformed {
+                what: "sliding window length",
+            });
+        }
+        let mut buf = Vec::with_capacity(len);
+        for _ in 0..len {
+            buf.push(r.get_u32("sliding window sample")?);
+        }
+        let next = r.get_usize("sliding window cursor")?;
+        let sum = r.get_u64("sliding window sum")?;
+        let filled = r.get_usize("sliding window fill")?;
+        if next >= len || filled > len || sum != buf.iter().map(|s| *s as u64).sum::<u64>() {
+            return Err(SnapshotError::Malformed {
+                what: "sliding window invariants",
+            });
+        }
+        Ok(SlidingWindow {
+            buf,
+            next,
+            sum,
+            filled,
+        })
     }
 }
 
@@ -421,6 +528,70 @@ impl NetworkStats {
         } else {
             self.flits_injected as f64 / (self.cycles as f64 * nodes as f64)
         }
+    }
+
+    /// Serializes every counter and distribution for a snapshot.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        for v in [
+            self.packets_offered,
+            self.packets_injected,
+            self.packets_delivered,
+            self.flits_injected,
+            self.flits_delivered,
+            self.flits_retransmitted,
+            self.flits_corrupted,
+            self.flits_lost_to_faults,
+            self.credits_lost,
+            self.retransmit_timeouts,
+            self.flits_retransmit_copies,
+            self.recovered_packets,
+            self.duplicate_flits_discarded,
+            self.nacks_absorbed,
+            self.faults_injected,
+        ] {
+            w.put_u64(v);
+        }
+        self.network_latency.save(w);
+        self.network_latency_hist.save(w);
+        self.total_latency.save(w);
+        self.flit_hops.save(w);
+        self.flit_deflections.save(w);
+        w.put_u64(self.cycles_backpressured);
+        w.put_u64(self.cycles_backpressureless);
+        w.put_u64(self.cycles_transitioning);
+        w.put_usize(self.reassembly_high_water);
+        w.put_u64(self.cycles);
+    }
+
+    /// Restores statistics written by [`NetworkStats::save`].
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<NetworkStats, SnapshotError> {
+        Ok(NetworkStats {
+            packets_offered: r.get_u64("stats packets_offered")?,
+            packets_injected: r.get_u64("stats packets_injected")?,
+            packets_delivered: r.get_u64("stats packets_delivered")?,
+            flits_injected: r.get_u64("stats flits_injected")?,
+            flits_delivered: r.get_u64("stats flits_delivered")?,
+            flits_retransmitted: r.get_u64("stats flits_retransmitted")?,
+            flits_corrupted: r.get_u64("stats flits_corrupted")?,
+            flits_lost_to_faults: r.get_u64("stats flits_lost_to_faults")?,
+            credits_lost: r.get_u64("stats credits_lost")?,
+            retransmit_timeouts: r.get_u64("stats retransmit_timeouts")?,
+            flits_retransmit_copies: r.get_u64("stats flits_retransmit_copies")?,
+            recovered_packets: r.get_u64("stats recovered_packets")?,
+            duplicate_flits_discarded: r.get_u64("stats duplicate_flits_discarded")?,
+            nacks_absorbed: r.get_u64("stats nacks_absorbed")?,
+            faults_injected: r.get_u64("stats faults_injected")?,
+            network_latency: LatencyStats::load(r)?,
+            network_latency_hist: Histogram::load(r)?,
+            total_latency: LatencyStats::load(r)?,
+            flit_hops: LatencyStats::load(r)?,
+            flit_deflections: LatencyStats::load(r)?,
+            cycles_backpressured: r.get_u64("stats cycles_backpressured")?,
+            cycles_backpressureless: r.get_u64("stats cycles_backpressureless")?,
+            cycles_transitioning: r.get_u64("stats cycles_transitioning")?,
+            reassembly_high_water: r.get_usize("stats reassembly_high_water")?,
+            cycles: r.get_u64("stats cycles")?,
+        })
     }
 
     /// Fraction of router-cycles spent in backpressured mode (including
@@ -539,6 +710,50 @@ mod tests {
         // Evicts the first 4.
         w.push(0);
         assert_eq!(w.mean(), 1.0);
+    }
+
+    #[test]
+    fn stats_snapshot_round_trip_is_exact() {
+        let mut s = NetworkStats::new();
+        s.packets_offered = 10;
+        s.flits_injected = 37;
+        s.network_latency.record(12);
+        s.network_latency_hist.record(12);
+        s.flit_hops.record(3);
+        s.cycles_backpressured = 5;
+        s.reassembly_high_water = 7;
+        s.cycles = 400;
+        let mut hw = SnapshotWriter::new();
+        s.save(&mut hw);
+        let bytes = hw.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let restored = NetworkStats::load(&mut r).unwrap();
+        r.finish("stats").unwrap();
+        let mut w2 = SnapshotWriter::new();
+        restored.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        assert_eq!(restored.packets_offered, 10);
+        assert_eq!(restored.network_latency.mean(), Some(12.0));
+    }
+
+    #[test]
+    fn measurement_state_round_trips() {
+        let mut e = Ewma::new(0.99);
+        e.update(1.5);
+        e.update(0.25);
+        let mut win = SlidingWindow::new(4);
+        win.push(3);
+        win.push(0);
+        let mut lw = SnapshotWriter::new();
+        e.save(&mut lw);
+        win.save(&mut lw);
+        let bytes = lw.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let e2 = Ewma::load(&mut r).unwrap();
+        let w2 = SlidingWindow::load(&mut r).unwrap();
+        r.finish("measurement").unwrap();
+        assert_eq!(e2, e);
+        assert_eq!(w2, win);
     }
 
     #[test]

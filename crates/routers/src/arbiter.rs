@@ -56,6 +56,22 @@ impl RoundRobin {
         None
     }
 
+    /// Current priority cursor: the requester checked first at the next
+    /// [`RoundRobin::grant`]. Exposed for snapshot capture.
+    pub fn cursor(&self) -> usize {
+        self.next
+    }
+
+    /// Restores the priority cursor (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next >= len()`; snapshot loaders must validate first.
+    pub fn set_cursor(&mut self, next: usize) {
+        assert!(next < self.n, "cursor out of range");
+        self.next = next;
+    }
+
     /// Like [`RoundRobin::grant`] but does not rotate priority — useful for
     /// "peek" style eligibility checks.
     pub fn peek(&self, mut requesting: impl FnMut(usize) -> bool) -> Option<usize> {

@@ -48,6 +48,7 @@ use afc_netsim::flit::{Cycle, Flit, PacketId, VcId};
 use afc_netsim::geom::{NodeId, PortId, PortMap};
 use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
+use afc_netsim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use afc_netsim::topology::Mesh;
 use std::collections::VecDeque;
 
@@ -588,6 +589,151 @@ impl Router for BackpressuredRouter {
         // credit state are untouched by an idle step, so the default
         // `note_idle_cycles` replays it exactly.
         self.occ == 0
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        for port in PortId::ALL {
+            let Some(vcs) = self.inputs[port].as_ref() else {
+                continue;
+            };
+            for vc in vcs {
+                w.put_usize(vc.queue.len());
+                for f in &vc.queue {
+                    snapshot::write_flit(w, f);
+                }
+                match vc.route {
+                    Some(p) => {
+                        w.put_bool(true);
+                        w.put_u8(p.index() as u8);
+                    }
+                    None => w.put_bool(false),
+                }
+                w.put_opt_u64(vc.out_vc.map(|v| v as u64));
+                w.put_opt_u64(vc.route_packet.map(|p| p.0));
+            }
+        }
+        for port in PortId::ALL {
+            let Some(outs) = self.outputs[port].as_ref() else {
+                continue;
+            };
+            for o in outs {
+                w.put_bool(o.allocated);
+                w.put_usize(o.credits);
+            }
+        }
+        for port in PortId::ALL {
+            if let Some(arb) = self.input_arb[port].as_ref() {
+                w.put_usize(arb.cursor());
+            }
+        }
+        for port in PortId::ALL {
+            w.put_usize(self.output_arb[port].cursor());
+        }
+        for vc in &self.inject_vc {
+            w.put_opt_u64(vc.map(|v| v as u64));
+        }
+        for rr in &self.inject_rr {
+            w.put_usize(*rr);
+        }
+        self.counters.save(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let total = self.layout.total();
+        let mut occ = 0usize;
+        for port in PortId::ALL {
+            let Some(vcs) = self.inputs[port].as_mut() else {
+                continue;
+            };
+            for vc in vcs {
+                let n = r.get_usize("input vc queue length")?;
+                if n > vc.depth {
+                    return Err(SnapshotError::Malformed {
+                        what: "input vc queue length",
+                    });
+                }
+                vc.queue.clear();
+                for _ in 0..n {
+                    vc.queue.push_back(snapshot::read_flit(r)?);
+                }
+                occ += n;
+                vc.route = if r.get_bool("input vc route presence")? {
+                    Some(
+                        PortId::from_index(r.get_u8("input vc route")? as usize).ok_or(
+                            SnapshotError::Malformed {
+                                what: "input vc route",
+                            },
+                        )?,
+                    )
+                } else {
+                    None
+                };
+                vc.out_vc = match r.get_opt_u64("input vc out-vc")? {
+                    Some(v) if (v as usize) < total => Some(v as usize),
+                    Some(_) => {
+                        return Err(SnapshotError::Malformed {
+                            what: "input vc out-vc",
+                        })
+                    }
+                    None => None,
+                };
+                vc.route_packet = r.get_opt_u64("input vc route packet")?.map(PacketId);
+            }
+        }
+        for port in PortId::ALL {
+            let Some(outs) = self.outputs[port].as_mut() else {
+                continue;
+            };
+            for (i, o) in outs.iter_mut().enumerate() {
+                o.allocated = r.get_bool("output vc allocated")?;
+                o.credits = r.get_usize("output vc credits")?;
+                if o.credits > self.layout.depth_of[i] {
+                    return Err(SnapshotError::Malformed {
+                        what: "output vc credits",
+                    });
+                }
+            }
+        }
+        for port in PortId::ALL {
+            if let Some(arb) = self.input_arb[port].as_mut() {
+                let c = r.get_usize("input arbiter cursor")?;
+                if c >= arb.len() {
+                    return Err(SnapshotError::Malformed {
+                        what: "input arbiter cursor",
+                    });
+                }
+                arb.set_cursor(c);
+            }
+        }
+        for port in PortId::ALL {
+            let c = r.get_usize("output arbiter cursor")?;
+            if c >= self.output_arb[port].len() {
+                return Err(SnapshotError::Malformed {
+                    what: "output arbiter cursor",
+                });
+            }
+            self.output_arb[port].set_cursor(c);
+        }
+        for vc in &mut self.inject_vc {
+            *vc = match r.get_opt_u64("inject vc")? {
+                Some(v) if (v as usize) < total => Some(v as usize),
+                Some(_) => return Err(SnapshotError::Malformed { what: "inject vc" }),
+                None => None,
+            };
+        }
+        for (vnet, rr) in self.inject_rr.iter_mut().enumerate() {
+            let v = r.get_usize("inject round-robin cursor")?;
+            if v >= self.layout.range_of[vnet].len() {
+                return Err(SnapshotError::Malformed {
+                    what: "inject round-robin cursor",
+                });
+            }
+            *rr = v;
+        }
+        self.counters = ActivityCounters::load(r)?;
+        self.occ = occ;
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@ use afc_netsim::flit::{Cycle, Flit};
 use afc_netsim::geom::{Direction, NodeId, PortId};
 use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
+use afc_netsim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use afc_netsim::topology::Mesh;
 
 use crate::deflection::{split_ejections_into, RankPolicy};
@@ -161,6 +162,25 @@ impl Router for DropRouter {
         // An idle step is `cycles += 1` and an early return: no RNG, no
         // outputs, nothing `note_idle_cycles`'s default can't replay.
         self.latches.is_empty()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        w.put_usize(self.latches.len());
+        for f in &self.latches {
+            snapshot::write_flit(w, f);
+        }
+        self.counters.save(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_usize("drop router latch count")?;
+        self.latches.clear();
+        for _ in 0..n {
+            self.latches.push(snapshot::read_flit(r)?);
+        }
+        self.counters = ActivityCounters::load(r)?;
+        Ok(())
     }
 }
 

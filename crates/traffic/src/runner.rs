@@ -1,4 +1,13 @@
 //! End-to-end run orchestration: warmup, measurement, and result capture.
+//!
+//! [`run_closed_loop_checkpointed`] additionally supports crash-safe
+//! mid-run checkpointing: the harness phase (warmup vs measurement) plus a
+//! full simulation snapshot are sealed into one checksummed container,
+//! written atomically every N cycles, and a later invocation resumes from
+//! it bit-identically to an uninterrupted run.
+
+use std::fmt;
+use std::path::Path;
 
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
@@ -6,6 +15,7 @@ use afc_netsim::error::{ConfigError, SimError};
 use afc_netsim::network::Network;
 use afc_netsim::router::RouterFactory;
 use afc_netsim::sim::Simulation;
+use afc_netsim::snapshot::{self, SnapshotError, SnapshotWriter};
 use afc_netsim::stats::NetworkStats;
 
 use crate::closedloop::{ClosedLoopTraffic, WorkloadParams};
@@ -123,6 +133,281 @@ pub fn run_open_loop(
     sim.network.reset_metrics();
     sim.run(measure_cycles);
     Ok(RunOutcome::capture(sim.network, measure_cycles))
+}
+
+/// Tag identifying the payload of a closed-loop checkpoint container.
+const CHECKPOINT_TAG: &str = "afc-closed-loop-checkpoint-v1";
+
+/// Mid-run checkpoint policy for [`run_closed_loop_checkpointed`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointPolicy<'a> {
+    /// Cycles between periodic checkpoints; 0 disables them. When `file`
+    /// is set, a checkpoint is still written at the warmup/measurement
+    /// boundary, so a resume never redoes warmup.
+    pub every: u64,
+    /// Where checkpoints are written (atomically, temp file + fsync +
+    /// rename).
+    pub file: Option<&'a Path>,
+    /// An existing checkpoint to resume from before running.
+    pub resume_from: Option<&'a Path>,
+}
+
+/// Errors from [`run_closed_loop_checkpointed`].
+#[derive(Debug)]
+pub enum CheckpointedRunError {
+    /// Invalid network configuration.
+    Config(ConfigError),
+    /// Snapshot serialization, checkpoint validation, or checkpoint-file
+    /// I/O failure.
+    Snapshot(SnapshotError),
+    /// A phase exceeded the cycle budget (a saturated or deadlocked
+    /// configuration).
+    Budget {
+        /// Which phase ran out ("warmup" or "measurement").
+        phase: &'static str,
+        /// The exhausted budget.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for CheckpointedRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointedRunError::Config(e) => write!(f, "{e}"),
+            CheckpointedRunError::Snapshot(e) => write!(f, "{e}"),
+            CheckpointedRunError::Budget { phase, max_cycles } => {
+                write!(f, "{phase} did not finish within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointedRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointedRunError::Config(e) => Some(e),
+            CheckpointedRunError::Snapshot(e) => Some(e),
+            CheckpointedRunError::Budget { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for CheckpointedRunError {
+    fn from(e: ConfigError) -> Self {
+        CheckpointedRunError::Config(e)
+    }
+}
+
+impl From<SnapshotError> for CheckpointedRunError {
+    fn from(e: SnapshotError) -> Self {
+        CheckpointedRunError::Snapshot(e)
+    }
+}
+
+/// Seals harness phase + simulation snapshot into one checkpoint file.
+#[allow(clippy::too_many_arguments)] // mirrors the checkpoint layout
+fn write_checkpoint(
+    path: &Path,
+    sim: &Simulation<ClosedLoopTraffic>,
+    workload: &WorkloadParams,
+    seed: u64,
+    warmup_txns: u64,
+    measure_txns: u64,
+    phase: u8,
+    measure_start: u64,
+) -> Result<(), SnapshotError> {
+    let mut w = SnapshotWriter::new();
+    w.put_str(CHECKPOINT_TAG);
+    w.put_str(workload.name);
+    w.put_u64(seed);
+    w.put_u64(warmup_txns);
+    w.put_u64(measure_txns);
+    w.put_u8(phase);
+    w.put_u64(measure_start);
+    w.put_blob(&sim.snapshot()?);
+    snapshot::write_file_atomic(path, &snapshot::seal(w))
+}
+
+/// Loads a checkpoint into `sim` after validating it belongs to this exact
+/// invocation. Returns `(phase, measure_start)`.
+fn load_checkpoint(
+    path: &Path,
+    sim: &mut Simulation<ClosedLoopTraffic>,
+    workload: &WorkloadParams,
+    seed: u64,
+    warmup_txns: u64,
+    measure_txns: u64,
+) -> Result<(u8, u64), SnapshotError> {
+    let bytes = snapshot::read_file(path)?;
+    let origin = path.display().to_string();
+    let mut r = snapshot::open(&bytes, &origin)?;
+    let tag = r.get_str("checkpoint tag")?;
+    if tag != CHECKPOINT_TAG {
+        return Err(SnapshotError::Malformed {
+            what: "not a closed-loop checkpoint",
+        });
+    }
+    let mismatch = |what: &'static str, snapshot: String, current: String| {
+        Err(SnapshotError::ContextMismatch {
+            what,
+            snapshot,
+            current,
+        })
+    };
+    let name = r.get_str("checkpoint workload")?;
+    if name != workload.name {
+        return mismatch("workload", name, workload.name.to_string());
+    }
+    let ck_seed = r.get_u64("checkpoint seed")?;
+    if ck_seed != seed {
+        return mismatch("seed", ck_seed.to_string(), seed.to_string());
+    }
+    let ck_warmup = r.get_u64("checkpoint warmup target")?;
+    if ck_warmup != warmup_txns {
+        return mismatch(
+            "warmup transactions",
+            ck_warmup.to_string(),
+            warmup_txns.to_string(),
+        );
+    }
+    let ck_measure = r.get_u64("checkpoint measurement target")?;
+    if ck_measure != measure_txns {
+        return mismatch(
+            "measured transactions",
+            ck_measure.to_string(),
+            measure_txns.to_string(),
+        );
+    }
+    let phase = r.get_u8("checkpoint phase")?;
+    if phase > 1 {
+        return Err(SnapshotError::Malformed {
+            what: "checkpoint phase tag",
+        });
+    }
+    let measure_start = r.get_u64("measurement start cycle")?;
+    let blob = r.get_blob("embedded simulation snapshot")?;
+    r.finish("closed-loop checkpoint")?;
+    sim.restore(&blob, &origin)?;
+    Ok((phase, measure_start))
+}
+
+/// One phase of a checkpointed run: steps until the traffic model reports
+/// completion, writing a checkpoint every `every` cycles. Returns whether
+/// the phase finished within `max_cycles`.
+fn run_phase(
+    sim: &mut Simulation<ClosedLoopTraffic>,
+    max_cycles: u64,
+    every: u64,
+    mut checkpoint: impl FnMut(&Simulation<ClosedLoopTraffic>) -> Result<(), SnapshotError>,
+) -> Result<bool, CheckpointedRunError> {
+    let mut remaining = max_cycles;
+    loop {
+        let chunk = if every == 0 {
+            remaining
+        } else {
+            every.min(remaining)
+        };
+        // `run_until_finished` checks the finish predicate before every
+        // step, so chunking is behavior-identical to one long call.
+        if sim.run_until_finished(chunk) {
+            return Ok(true);
+        }
+        remaining -= chunk;
+        if remaining == 0 {
+            return Ok(false);
+        }
+        checkpoint(sim)?;
+    }
+}
+
+/// [`run_closed_loop`] with crash-safe checkpointing: every
+/// [`CheckpointPolicy::every`] cycles (and at the warmup/measurement
+/// boundary) the full harness state — phase, measurement window origin,
+/// and a complete simulation snapshot — is written atomically to
+/// [`CheckpointPolicy::file`]. A later invocation with the same arguments
+/// and [`CheckpointPolicy::resume_from`] continues from the checkpoint and
+/// finishes bit-identically to an uninterrupted run.
+///
+/// A checkpoint records the invocation it belongs to (workload, seed,
+/// warmup/measurement targets); resuming under different arguments is
+/// refused with a [`SnapshotError::ContextMismatch`].
+///
+/// # Errors
+///
+/// [`CheckpointedRunError::Config`] for an invalid network configuration,
+/// [`CheckpointedRunError::Snapshot`] for checkpoint I/O or validation
+/// failures, and [`CheckpointedRunError::Budget`] — instead of the panic
+/// in [`run_closed_loop`] — when a phase blows its cycle budget (the last
+/// periodic checkpoint survives, so the run can still be resumed with a
+/// larger budget).
+#[allow(clippy::too_many_arguments)] // a flat argument list mirrors the experiment's knobs
+pub fn run_closed_loop_checkpointed(
+    factory: &dyn RouterFactory,
+    net_cfg: &NetworkConfig,
+    workload: WorkloadParams,
+    warmup_txns: u64,
+    measure_txns: u64,
+    max_cycles: u64,
+    seed: u64,
+    policy: CheckpointPolicy<'_>,
+) -> Result<RunOutcome, CheckpointedRunError> {
+    let network = Network::new(net_cfg.clone(), factory, seed)?;
+    let nodes = network.mesh().node_count();
+    let traffic = ClosedLoopTraffic::new(workload, nodes, seed);
+    let mut sim = Simulation::new(network, traffic);
+    let mut phase = 0u8;
+    let mut measure_start = 0u64;
+
+    if let Some(path) = policy.resume_from {
+        (phase, measure_start) =
+            load_checkpoint(path, &mut sim, &workload, seed, warmup_txns, measure_txns)?;
+    }
+
+    let save = |sim: &Simulation<ClosedLoopTraffic>,
+                phase: u8,
+                measure_start: u64|
+     -> Result<(), SnapshotError> {
+        match policy.file {
+            Some(path) => write_checkpoint(
+                path,
+                sim,
+                &workload,
+                seed,
+                warmup_txns,
+                measure_txns,
+                phase,
+                measure_start,
+            ),
+            None => Ok(()),
+        }
+    };
+
+    if phase == 0 {
+        sim.traffic.set_target(warmup_txns);
+        if !run_phase(&mut sim, max_cycles, policy.every, |s| save(s, 0, 0))? {
+            return Err(CheckpointedRunError::Budget {
+                phase: "warmup",
+                max_cycles,
+            });
+        }
+        sim.network.reset_metrics();
+        phase = 1;
+        measure_start = sim.network.now();
+        // Phase-boundary checkpoint: a resume never redoes warmup.
+        save(&sim, phase, measure_start)?;
+    }
+
+    sim.traffic.set_target(warmup_txns + measure_txns);
+    if !run_phase(&mut sim, max_cycles, policy.every, |s| {
+        save(s, 1, measure_start)
+    })? {
+        return Err(CheckpointedRunError::Budget {
+            phase: "measurement",
+            max_cycles,
+        });
+    }
+    let measured = sim.network.now() - measure_start;
+    Ok(RunOutcome::capture(sim.network, measured))
 }
 
 /// Outcome of a fault-injection scenario: the run may end early with a
@@ -270,6 +555,157 @@ mod tests {
         assert_eq!(out.stats.packets_delivered, out.stats.packets_offered);
         assert!((out.delivered_fraction() - 1.0).abs() < f64::EPSILON);
         out.network.audit().expect("flit conservation under faults");
+    }
+
+    fn outcome_key(out: &RunOutcome) -> (u64, u64, u64, u64, Option<u64>) {
+        (
+            out.measured_cycles,
+            out.network.now(),
+            out.stats.packets_delivered,
+            out.stats.flits_delivered,
+            out.mean_latency().map(f64::to_bits),
+        )
+    }
+
+    #[test]
+    fn checkpointed_run_without_checkpoints_matches_plain_run() {
+        let cfg = NetworkConfig::paper_3x3();
+        let plain = run_closed_loop(
+            &BackpressuredFactory::new(),
+            &cfg,
+            workloads::water(),
+            50,
+            100,
+            2_000_000,
+            11,
+        )
+        .unwrap();
+        let checkpointed = run_closed_loop_checkpointed(
+            &BackpressuredFactory::new(),
+            &cfg,
+            workloads::water(),
+            50,
+            100,
+            2_000_000,
+            11,
+            CheckpointPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome_key(&plain), outcome_key(&checkpointed));
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identically() {
+        let cfg = NetworkConfig::paper_3x3();
+        let dir = std::env::temp_dir().join(format!("afc-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("run.ckpt");
+
+        let reference = run_closed_loop(
+            &BackpressuredFactory::new(),
+            &cfg,
+            workloads::water(),
+            50,
+            100,
+            2_000_000,
+            11,
+        )
+        .unwrap();
+
+        // "Crash" mid-run: a per-phase budget of a quarter of the full
+        // run cannot cover the measurement phase, so the run aborts with
+        // the last periodic checkpoint on disk — exactly like a SIGKILL.
+        let quarter = (reference.network.now() / 4).max(4);
+        let interrupted = run_closed_loop_checkpointed(
+            &BackpressuredFactory::new(),
+            &cfg,
+            workloads::water(),
+            50,
+            100,
+            quarter,
+            11,
+            CheckpointPolicy {
+                every: (quarter / 4).max(1),
+                file: Some(&file),
+                resume_from: None,
+            },
+        );
+        assert!(
+            matches!(interrupted, Err(CheckpointedRunError::Budget { .. })),
+            "{quarter} cycles must not complete this workload"
+        );
+        assert!(file.exists(), "a periodic checkpoint must survive");
+
+        let resumed = run_closed_loop_checkpointed(
+            &BackpressuredFactory::new(),
+            &cfg,
+            workloads::water(),
+            50,
+            100,
+            2_000_000,
+            11,
+            CheckpointPolicy {
+                every: 1_000,
+                file: Some(&file),
+                resume_from: Some(&file),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            outcome_key(&reference),
+            outcome_key(&resumed),
+            "resumed run must be bit-identical to the uninterrupted one"
+        );
+
+        // Resuming under different arguments is refused.
+        let err = run_closed_loop_checkpointed(
+            &BackpressuredFactory::new(),
+            &cfg,
+            workloads::water(),
+            50,
+            100,
+            2_000_000,
+            12, // different seed
+            CheckpointPolicy {
+                every: 0,
+                file: None,
+                resume_from: Some(&file),
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointedRunError::Snapshot(SnapshotError::ContextMismatch { .. })
+            ),
+            "got {err}"
+        );
+
+        // A corrupt checkpoint is refused with the file named.
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&file, &bytes).unwrap();
+        let err = run_closed_loop_checkpointed(
+            &BackpressuredFactory::new(),
+            &cfg,
+            workloads::water(),
+            50,
+            100,
+            2_000_000,
+            11,
+            CheckpointPolicy {
+                every: 0,
+                file: None,
+                resume_from: Some(&file),
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("run.ckpt"),
+            "error must name the corrupt file: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

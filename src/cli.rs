@@ -39,6 +39,12 @@ pub struct RunArgs {
     pub warmup: u64,
     /// Measured transactions.
     pub txns: u64,
+    /// Cycles between mid-run checkpoints (0 disables them).
+    pub checkpoint_every: u64,
+    /// Checkpoint file (written atomically when checkpointing is active).
+    pub checkpoint_file: String,
+    /// Resume from this checkpoint file instead of starting fresh.
+    pub resume_from: Option<String>,
 }
 
 /// Arguments of the `inspect` subcommand.
@@ -262,6 +268,11 @@ impl Cli {
                     seed: get("seed", "1").parse().map_err(|_| "bad --seed")?,
                     warmup: get("warmup", "500").parse().map_err(|_| "bad --warmup")?,
                     txns: get("txns", "2000").parse().map_err(|_| "bad --txns")?,
+                    checkpoint_every: get("checkpoint-every", "0")
+                        .parse()
+                        .map_err(|_| "bad --checkpoint-every")?,
+                    checkpoint_file: get("checkpoint-file", "results/afc-noc.ckpt"),
+                    resume_from: flags.get("resume-from").cloned(),
                 }))
             }
             "inspect" => {
@@ -331,7 +342,8 @@ afc-noc — Adaptive Flow Control NoC simulator
 
 USAGE:
   afc-noc run   [--mechanism M] [--workload W] [--mesh 3x3] [--seed N]
-                [--warmup N] [--txns N]
+                [--warmup N] [--txns N] [--checkpoint-every N]
+                [--checkpoint-file F] [--resume-from F]
   afc-noc sweep [--mechanism M] [--pattern P] [--rates 0.1,0.3,...]
                 [--mesh 3x3] [--cycles N] [--seed N]
   afc-noc inspect [--workload W] [--mesh 3x3] [--cycles N] [--seed N]
@@ -340,6 +352,12 @@ USAGE:
                   [--cycles N] [--drain N] [--timeout N] [--seed N]
   afc-noc list
   afc-noc help
+
+With --checkpoint-every N, `run` writes a checksummed checkpoint of the
+full simulation state to --checkpoint-file (atomically) every N cycles;
+--resume-from continues an interrupted run from such a file and finishes
+bit-identically to an uninterrupted run. A checkpoint records its own
+workload/seed/targets and refuses to resume under different arguments.
 
 The faults scenario injects deterministic, seed-reproducible link faults
 (transient drop/corruption per flit-hop, credit loss, permanent kill) while
@@ -365,6 +383,26 @@ mod tests {
         assert_eq!(a.mechanism, "afc");
         assert_eq!(a.mesh, (3, 3));
         assert_eq!(a.txns, 2000);
+        assert_eq!(a.checkpoint_every, 0);
+        assert_eq!(a.checkpoint_file, "results/afc-noc.ckpt");
+        assert_eq!(a.resume_from, None);
+    }
+
+    #[test]
+    fn parses_run_checkpoint_flags() {
+        let cli = Cli::parse(&argv(
+            "run --checkpoint-every 5000 --checkpoint-file ck.bin --resume-from old.bin",
+        ));
+        let Cli::Run(a) = cli else {
+            panic!("expected run")
+        };
+        assert_eq!(a.checkpoint_every, 5000);
+        assert_eq!(a.checkpoint_file, "ck.bin");
+        assert_eq!(a.resume_from.as_deref(), Some("old.bin"));
+        assert!(matches!(
+            Cli::parse(&argv("run --checkpoint-every x")),
+            Cli::Help(Some(_))
+        ));
     }
 
     #[test]

@@ -70,16 +70,37 @@ fn do_run(args: &RunArgs) -> Result<(), String> {
     let factory = mechanism_factory(&args.mechanism)?;
     let workload = workload_by_name(&args.workload)?;
     let cfg = net_config(args.mesh);
-    let out = run_closed_loop(
-        factory.as_ref(),
-        &cfg,
-        workload,
-        args.warmup,
-        args.txns,
-        500_000_000,
-        args.seed,
-    )
-    .map_err(|e| e.to_string())?;
+    let out = if args.checkpoint_every > 0 || args.resume_from.is_some() {
+        let ckpt_file = std::path::PathBuf::from(&args.checkpoint_file);
+        let resume = args.resume_from.as_ref().map(std::path::PathBuf::from);
+        let policy = CheckpointPolicy {
+            every: args.checkpoint_every,
+            file: (args.checkpoint_every > 0).then_some(ckpt_file.as_path()),
+            resume_from: resume.as_deref(),
+        };
+        run_closed_loop_checkpointed(
+            factory.as_ref(),
+            &cfg,
+            workload,
+            args.warmup,
+            args.txns,
+            500_000_000,
+            args.seed,
+            policy,
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        run_closed_loop(
+            factory.as_ref(),
+            &cfg,
+            workload,
+            args.warmup,
+            args.txns,
+            500_000_000,
+            args.seed,
+        )
+        .map_err(|e| e.to_string())?
+    };
     let energy = EnergyModel::new(EnergyParams::micro2010_70nm()).price_network(&out.network);
     let nodes = out.network.mesh().node_count();
     println!(
