@@ -1,0 +1,120 @@
+//! `parallel_scaling`: wall-clock scaling of the intra-run parallel cycle
+//! engine (DESIGN.md §12) — nanoseconds per simulated cycle at 1/2/4/8
+//! worker threads on the paper's 8×8 mesh, for each of the four core
+//! mechanisms at a saturating load plus AFC at low load and idle.
+//!
+//! Results are byte-identical at every thread count (the
+//! `parallel_equivalence` suite proves it), so this bench measures *only*
+//! wall-clock. Two honesty notes baked into the output:
+//!
+//! * `host_cores` records the machine's available parallelism. On a
+//!   single-core container the multi-thread rows measure barrier/handoff
+//!   overhead, not speedup — read them together with `host_cores`.
+//! * At idle and very low load the activity gate keeps the engine serial
+//!   (stepping a near-empty mesh on several threads would be pure
+//!   overhead), so those rows should match the 1-thread rows to within
+//!   noise; `parallel_cycles` in each row shows how often the parallel
+//!   path actually ran.
+//!
+//! Writes machine-readable `results/BENCH_parallel.json` next to
+//! `BENCH_step.json` so future PRs can track the scaling trajectory.
+
+use afc_bench::microbench;
+use afc_bench::MechanismId;
+use afc_netsim::config::NetworkConfig;
+use afc_netsim::network::Network;
+use afc_netsim::sim::Simulation;
+use afc_traffic::openloop::{OpenLoopTraffic, PacketMix, RateSpec};
+use afc_traffic::synthetic::Pattern;
+
+/// Cycles simulated outside the timed region to reach steady state.
+const WARMUP_CYCLES: u64 = 2_000;
+/// Cycles per timed repeat (the unit count for ns/cycle).
+const MEASURE_CYCLES: u64 = 5_000;
+/// Fresh-state repeats per case; fastest is reported.
+const REPEATS: u32 = 5;
+
+/// Thread counts swept for every case.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// (mechanism, load label, offered rate). Saturation for all four
+/// mechanisms — the regime the parallel engine targets — plus the AFC
+/// low-load and idle points to document the activity gate's behavior.
+const CASES: [(MechanismId, &str, f64); 6] = [
+    (MechanismId::Backpressured, "sat_0.30", 0.30),
+    (MechanismId::Backpressureless, "sat_0.30", 0.30),
+    (MechanismId::Drop, "sat_0.30", 0.30),
+    (MechanismId::Afc, "sat_0.30", 0.30),
+    (MechanismId::Afc, "low_0.05", 0.05),
+    (MechanismId::Afc, "idle", 0.0),
+];
+
+fn make_sim(id: MechanismId, rate: f64, threads: usize) -> Simulation<OpenLoopTraffic> {
+    let cfg = NetworkConfig::paper_8x8();
+    let network =
+        Network::new(cfg, id.mechanism().factory.as_ref(), 0xBEEF).expect("valid 8x8 config");
+    let traffic = OpenLoopTraffic::new(
+        RateSpec::Uniform(rate),
+        Pattern::UniformRandom,
+        PacketMix::paper(),
+        0xBEEF,
+    );
+    let mut sim = Simulation::new(network, traffic);
+    sim.network.set_sim_threads(threads);
+    sim.run(WARMUP_CYCLES);
+    sim
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = microbench::group("parallel_scaling");
+    let mut rows: Vec<String> = Vec::new();
+
+    for (id, load_label, rate) in CASES {
+        let mut serial_ns = f64::NAN;
+        for threads in THREADS {
+            let label = format!("{}/{load_label}/x{threads}", id.label());
+            let mut parallel_cycles = 0u64;
+            let best = group.bench_units(
+                &label,
+                MEASURE_CYCLES,
+                REPEATS,
+                || make_sim(id, rate, threads),
+                |sim| {
+                    sim.run(MEASURE_CYCLES);
+                    parallel_cycles = sim.network.parallel_cycles();
+                },
+            );
+            if threads == 1 {
+                serial_ns = best;
+            }
+            rows.push(format!(
+                "    {{\"mechanism\": \"{}\", \"load\": \"{load_label}\", \"rate\": {rate}, \
+                 \"threads\": {threads}, \"ns_per_cycle\": {best:.1}, \
+                 \"speedup_vs_1t\": {:.3}, \"parallel_cycles\": {parallel_cycles}}}",
+                id.label(),
+                serial_ns / best,
+            ));
+        }
+    }
+    group.finish();
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"mesh\": \"8x8\",\n  \
+         \"host_cores\": {host_cores},\n  \"warmup_cycles\": {WARMUP_CYCLES},\n  \
+         \"measure_cycles\": {MEASURE_CYCLES},\n  \"repeats\": {REPEATS},\n  \
+         \"unit\": \"ns_per_cycle\",\n  \"cases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // `cargo bench` runs with cwd = the package dir; anchor the artifact
+    // at the workspace root next to the other `results/` outputs.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = root.join("results").join("BENCH_parallel.json");
+    afc_bench::sweep::write_atomic(&out, json.as_bytes()).expect("writable results dir");
+    println!("\nwrote {} (host_cores={host_cores})", out.display());
+}

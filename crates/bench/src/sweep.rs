@@ -196,6 +196,20 @@ pub fn threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Sweep worker count when each run itself steps on `sim_threads`
+/// intra-run worker threads (the parallel cycle engine of DESIGN.md §12).
+/// The two levels of parallelism multiply, so the pool divides its budget
+/// to keep the total number of live threads near [`threads`]; one worker
+/// always survives so the sweep can make progress.
+pub fn threads_for_sim(sim_threads: usize) -> usize {
+    divide_budget(threads(), sim_threads)
+}
+
+/// The arbitration rule behind [`threads_for_sim`], kept pure for testing.
+fn divide_budget(budget: usize, sim_threads: usize) -> usize {
+    (budget / sim_threads.max(1)).max(1)
+}
+
 /// Whether the determinism self-check mode is enabled
 /// (`AFC_SWEEP_SELFCHECK=1`).
 pub fn selfcheck_enabled() -> bool {
@@ -712,11 +726,13 @@ impl SweepSpec {
         fnv1a64(text.as_bytes())
     }
 
-    /// Executes the sweep with [`threads`] workers. When
-    /// [`selfcheck_enabled`], additionally re-runs serially and asserts
-    /// byte-identical results.
+    /// Executes the sweep with [`threads_for_sim`] workers — the global
+    /// thread budget divided by the runs' own `sim_threads`, so sweep-level
+    /// and intra-run parallelism never oversubscribe the machine together.
+    /// When [`selfcheck_enabled`], additionally re-runs serially and
+    /// asserts byte-identical results.
     pub fn execute(&self) -> SweepResults {
-        let n = threads();
+        let n = threads_for_sim(self.net_cfg.sim_threads);
         let results = self.execute_with_threads(n);
         if selfcheck_enabled() && n > 1 {
             let serial = self.execute_with_threads(1);
@@ -1242,6 +1258,22 @@ mod tests {
             let got = run_sweep_on("order", &jobs, &|_, &j| j * j, workers);
             assert_eq!(got, expect, "worker count {workers}");
         }
+    }
+
+    #[test]
+    fn thread_budget_divides_between_sweep_and_sim() {
+        // The pure arbitration rule (threads_for_sim applies it to the
+        // global budget, which other tests mutate concurrently).
+        assert_eq!(divide_budget(8, 1), 8);
+        assert_eq!(divide_budget(8, 2), 4);
+        assert_eq!(divide_budget(8, 3), 2);
+        // Sim threads at or beyond the budget: one sweep worker survives.
+        assert_eq!(divide_budget(8, 8), 1);
+        assert_eq!(divide_budget(8, 64), 1);
+        // Degenerate sim_threads=0 behaves like 1.
+        assert_eq!(divide_budget(8, 0), 8);
+        assert_eq!(divide_budget(1, 4), 1);
+        assert!(threads_for_sim(1) >= 1);
     }
 
     #[test]

@@ -67,21 +67,33 @@ pub enum AfcMode {
 struct LazyBank {
     /// `slots[vnet][vc]` — `None` is a free lazy VC.
     slots: Vec<Vec<Option<Flit>>>,
+    /// Occupied slots per vnet, maintained by `insert`/`take` (and rebuilt
+    /// on snapshot restore) so the arbitration hot path can skip empty
+    /// vnets — and whole empty ports — without scanning slots.
+    occupied: Vec<u32>,
+    /// Sum of `occupied`.
+    total_occupied: u32,
 }
 
 impl LazyBank {
     fn new(capacity_per_vnet: &[usize]) -> LazyBank {
         LazyBank {
             slots: capacity_per_vnet.iter().map(|c| vec![None; *c]).collect(),
+            occupied: vec![0; capacity_per_vnet.len()],
+            total_occupied: 0,
         }
     }
 
     fn occupancy(&self) -> usize {
-        self.slots
-            .iter()
-            .flat_map(|v| v.iter())
-            .filter(|s| s.is_some())
-            .count()
+        debug_assert_eq!(
+            self.total_occupied as usize,
+            self.slots
+                .iter()
+                .flat_map(|v| v.iter())
+                .filter(|s| s.is_some())
+                .count()
+        );
+        self.total_occupied as usize
     }
 
     fn is_empty(&self) -> bool {
@@ -90,16 +102,40 @@ impl LazyBank {
 
     /// Free slots in one vnet.
     fn free_in(&self, vnet: usize) -> usize {
-        self.slots[vnet].iter().filter(|s| s.is_none()).count()
+        self.slots[vnet].len() - self.occupied[vnet] as usize
     }
 
     /// Lazily allocates a VC: places the flit in the first free slot of its
     /// vnet and returns the slot index, or `None` if the vnet is full.
     fn insert(&mut self, flit: Flit) -> Option<usize> {
-        let bank = &mut self.slots[flit.vnet.index()];
+        let vnet = flit.vnet.index();
+        let bank = &mut self.slots[vnet];
         let idx = bank.iter().position(|s| s.is_none())?;
         bank[idx] = Some(flit);
+        self.occupied[vnet] += 1;
+        self.total_occupied += 1;
         Some(idx)
+    }
+
+    /// Removes and returns the flit in `(vnet, slot)`, keeping the
+    /// occupancy counters in sync.
+    fn take(&mut self, vnet: usize, slot: usize) -> Option<Flit> {
+        let flit = self.slots[vnet][slot].take();
+        if flit.is_some() {
+            self.occupied[vnet] -= 1;
+            self.total_occupied -= 1;
+        }
+        flit
+    }
+
+    /// Recomputes the occupancy counters from slot contents (snapshot
+    /// restore writes slots directly).
+    fn rebuild_counts(&mut self) {
+        self.total_occupied = 0;
+        for (v, bank) in self.slots.iter().enumerate() {
+            self.occupied[v] = bank.iter().filter(|s| s.is_some()).count() as u32;
+            self.total_occupied += self.occupied[v];
+        }
     }
 }
 
@@ -141,6 +177,11 @@ pub struct AfcRouter {
     buffers: PortMap<Option<LazyBank>>,
     /// Per-vnet lazy VC capacity.
     vnet_capacity: Vec<usize>,
+    /// Flat-slot offset of each vnet (prefix sums of `vnet_capacity`).
+    vnet_offset: Vec<usize>,
+    /// Flat slot index -> `(vnet, slot)`, precomputed so the arbitration
+    /// inner loop decodes in O(1).
+    flat_decode: Vec<(u32, u32)>,
     /// Per-input-port slot arbiters (over a flat (vnet, vc) index).
     input_arb: PortMap<Option<RoundRobin>>,
     /// Per-output-port input arbiters.
@@ -177,6 +218,16 @@ impl AfcRouter {
         cfg.validate(net).expect("AFC configuration must be valid");
         let vnet_capacity: Vec<usize> = net.vnets.iter().map(|v| cfg.lazy_vcs(v.class)).collect();
         let total_slots: usize = vnet_capacity.iter().sum();
+        let mut vnet_offset = Vec::with_capacity(vnet_capacity.len());
+        let mut flat_decode = Vec::with_capacity(total_slots);
+        let mut off = 0usize;
+        for (v, cap) in vnet_capacity.iter().enumerate() {
+            vnet_offset.push(off);
+            for slot in 0..*cap {
+                flat_decode.push((v as u32, slot as u32));
+            }
+            off += cap;
+        }
         let class = mesh.router_class(node);
         let (hi, lo) = cfg.thresholds.for_class(class);
         let monitor = ContentionMonitor::new(hi, lo, cfg.ewma_weight, cfg.load_window);
@@ -209,6 +260,8 @@ impl AfcRouter {
             credits: DirMap::from_fn(|_| vnet_capacity.iter().map(|c| *c as u64).collect()),
             reverse_allowed_at: 0,
             vnet_capacity,
+            vnet_offset,
+            flat_decode,
             counters: ActivityCounters::new(),
             buffered: 0,
             assign_scratch: Vec::with_capacity(8),
@@ -284,7 +337,7 @@ impl AfcRouter {
 
     fn buffer_insert(&mut self, port: PortId, flit: Flit) {
         let vnet = flit.vnet.index();
-        let offset: usize = self.vnet_capacity[..vnet].iter().sum();
+        let offset = self.vnet_offset[vnet];
         let bank = self.buffers[port]
             .as_mut()
             .unwrap_or_else(|| panic!("flit {flit} arrived on absent port {port}"));
@@ -305,14 +358,8 @@ impl AfcRouter {
     }
 
     fn flat_to_vnet_slot(&self, flat: usize) -> (usize, usize) {
-        let mut rest = flat;
-        for (v, c) in self.vnet_capacity.iter().enumerate() {
-            if rest < *c {
-                return (v, rest);
-            }
-            rest -= c;
-        }
-        panic!("flat slot index {flat} out of range");
+        let (v, s) = self.flat_decode[flat];
+        (v as usize, s as usize)
     }
 
     /// Free output ports this cycle under backpressureless operation.
@@ -402,11 +449,16 @@ impl AfcRouter {
 
     /// One cycle of lazy-VC backpressured processing.
     fn step_backpressured(&mut self, out: &mut RouterOutputs) {
-        let total_slots: usize = self.vnet_capacity.iter().sum();
         self.counters.buffer_occupancy_sum += self.occupancy() as u64;
 
         // Stage 1: each input port nominates one eligible slot. The
         // eligibility map is a reusable scratch vector, re-zeroed per port.
+        // Ports with an empty bank are skipped outright — identical to the
+        // full scan, which would find no eligible slot and `continue`
+        // before touching the arbiter or the arbitration counter — and so
+        // are empty vnets within a bank. At saturation most ports are
+        // occupied in only one or two vnets, so this is the AFC router's
+        // main hot-path saving.
         let mut eligible = std::mem::take(&mut self.eligible_scratch);
         let mut any_candidate = false;
         let mut candidates: PortMap<Option<(usize, PortId)>> = PortMap::default();
@@ -414,32 +466,39 @@ impl AfcRouter {
             let Some(bank) = self.buffers[port].as_ref() else {
                 continue;
             };
+            if bank.total_occupied == 0 {
+                continue;
+            }
             for e in eligible.iter_mut() {
                 *e = None;
             }
             let mut any = false;
-            #[allow(clippy::needless_range_loop)] // flat is also decoded, not just an index
-            for flat in 0..total_slots {
-                let (vnet, slot) = self.flat_to_vnet_slot(flat);
-                let Some(flit) = bank.slots[vnet][slot] else {
+            for (vnet, &cap) in self.vnet_capacity.iter().enumerate() {
+                if bank.occupied[vnet] == 0 {
                     continue;
-                };
-                let route = if flit.dest == self.node {
-                    PortId::Local
-                } else {
-                    PortId::Net(
-                        self.mesh
-                            .dor_route(self.node, flit.dest)
-                            .expect("non-local flit has a route"),
-                    )
-                };
-                let ok = match route {
-                    PortId::Local => true,
-                    PortId::Net(d) => !self.tracking[d] || self.credits[d][vnet] > 0,
-                };
-                if ok {
-                    eligible[flat] = Some(route);
-                    any = true;
+                }
+                let flat_base = self.vnet_offset[vnet];
+                for slot in 0..cap {
+                    let Some(flit) = bank.slots[vnet][slot] else {
+                        continue;
+                    };
+                    let route = if flit.dest == self.node {
+                        PortId::Local
+                    } else {
+                        PortId::Net(
+                            self.mesh
+                                .dor_route(self.node, flit.dest)
+                                .expect("non-local flit has a route"),
+                        )
+                    };
+                    let ok = match route {
+                        PortId::Local => true,
+                        PortId::Net(d) => !self.tracking[d] || self.credits[d][vnet] > 0,
+                    };
+                    if ok {
+                        eligible[flat_base + slot] = Some(route);
+                        any = true;
+                    }
                 }
             }
             if !any {
@@ -493,7 +552,7 @@ impl AfcRouter {
         for &(in_port, flat, out_port) in &winners {
             let (vnet, slot) = self.flat_to_vnet_slot(flat);
             let bank = self.buffers[in_port].as_mut().expect("winner port");
-            let mut flit = bank.slots[vnet][slot].take().expect("winner slot occupied");
+            let mut flit = bank.take(vnet, slot).expect("winner slot occupied");
             self.buffered -= 1;
             self.counters.buffer_reads += 1;
             self.counters.crossbar_traversals += 1;
@@ -836,6 +895,7 @@ impl Router for AfcRouter {
                     };
                 }
             }
+            bank.rebuild_counts();
         }
         self.buffered = buffered;
         for port in PortId::ALL {

@@ -251,17 +251,96 @@ impl Delivery {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Channel {
-    /// Forward lane ring; `fwd[fwd_head]` is the next slot delivered.
-    fwd: Box<[Option<Flit>]>,
-    fwd_head: usize,
-    /// Occupied forward slots (O(1) occupancy queries).
-    fwd_count: usize,
-    /// Reverse lane rings (same length, shared head).
-    rev_credits: Box<[LaneSlot<Credit>]>,
-    rev_control: Box<[LaneSlot<ControlSignal>]>,
-    rev_head: usize,
+    /// Forward (flit) half. Written only by the upstream router's shard.
+    pub(crate) fwd: FwdLane,
+    /// Reverse (credit/control) half. Written only by the downstream
+    /// router's shard.
+    pub(crate) rev: RevLane,
+}
+
+/// The forward half of a channel: the flit ring.
+///
+/// Split out as its own struct so the parallel engine can hand mutable
+/// access to the forward and reverse halves of one channel to *different*
+/// shards within a cycle (the upstream router pushes flits, the downstream
+/// router pushes credits) without aliasing a `&mut Channel`.
+#[derive(Debug, Clone)]
+pub(crate) struct FwdLane {
+    /// Ring; `ring[head]` is the next slot delivered.
+    ring: Box<[Option<Flit>]>,
+    head: usize,
+    /// Occupied slots (O(1) occupancy queries).
+    count: usize,
+}
+
+/// The reverse half of a channel: credit + control rings (one wire bundle,
+/// shared head).
+#[derive(Debug, Clone)]
+pub(crate) struct RevLane {
+    credits: Box<[LaneSlot<Credit>]>,
+    control: Box<[LaneSlot<ControlSignal>]>,
+    head: usize,
     credit_count: usize,
     control_count: usize,
+}
+
+impl FwdLane {
+    /// Index of the ring slot written by this cycle's push (the "back").
+    fn tail(&self) -> usize {
+        (self.head + self.ring.len() - 1) % self.ring.len()
+    }
+
+    /// Sends a flit downstream. At most one flit may be pushed per cycle.
+    pub(crate) fn push_flit(&mut self, flit: Flit) {
+        let tail = self.tail();
+        let back = &mut self.ring[tail];
+        assert!(
+            back.is_none(),
+            "link overdriven: two flits pushed in one cycle ({} then {})",
+            back.unwrap(),
+            flit
+        );
+        *back = Some(flit);
+        self.count += 1;
+    }
+
+    fn pop(&mut self) -> Option<Flit> {
+        let flit = self.ring[self.head].take();
+        self.head = (self.head + 1) % self.ring.len();
+        self.count -= flit.is_some() as usize;
+        flit
+    }
+}
+
+impl RevLane {
+    fn tail(&self) -> usize {
+        (self.head + self.credits.len() - 1) % self.credits.len()
+    }
+
+    /// Sends a credit upstream.
+    pub(crate) fn push_credit(&mut self, credit: Credit) {
+        let tail = self.tail();
+        self.credits[tail].push(credit);
+        self.credit_count += 1;
+    }
+
+    /// Sends a control signal upstream.
+    pub(crate) fn push_control(&mut self, signal: ControlSignal) {
+        let tail = self.tail();
+        self.control[tail].push(signal);
+        self.control_count += 1;
+    }
+
+    fn pop(&mut self) -> (LaneSlot<Credit>, LaneSlot<ControlSignal>) {
+        let credits = self.credits[self.head];
+        self.credits[self.head].clear();
+        let control = self.control[self.head];
+        self.control[self.head].clear();
+        self.head = (self.head + 1) % self.credits.len();
+        self.credit_count -= credits.as_slice().len();
+        self.control_count -= control.as_slice().len();
+        (credits, control)
+    }
 }
 
 impl Channel {
@@ -280,36 +359,31 @@ impl Channel {
         let fwd = (link_latency + Self::ROUTER_OVERHEAD) as usize;
         let rev = link_latency as usize;
         Channel {
-            fwd: vec![None; fwd].into_boxed_slice(),
-            fwd_head: 0,
-            fwd_count: 0,
-            rev_credits: vec![LaneSlot::new(Credit::Vc(VcId(0))); rev].into_boxed_slice(),
-            rev_control: vec![LaneSlot::new(ControlSignal::StartCreditTracking); rev]
-                .into_boxed_slice(),
-            rev_head: 0,
-            credit_count: 0,
-            control_count: 0,
+            fwd: FwdLane {
+                ring: vec![None; fwd].into_boxed_slice(),
+                head: 0,
+                count: 0,
+            },
+            rev: RevLane {
+                credits: vec![LaneSlot::new(Credit::Vc(VcId(0))); rev].into_boxed_slice(),
+                control: vec![LaneSlot::new(ControlSignal::StartCreditTracking); rev]
+                    .into_boxed_slice(),
+                head: 0,
+                credit_count: 0,
+                control_count: 0,
+            },
         }
     }
 
     /// Total forward delay (cycles from arbitration win to downstream
     /// arbitration eligibility).
     pub fn forward_delay(&self) -> u64 {
-        self.fwd.len() as u64
+        self.fwd.ring.len() as u64
     }
 
     /// Reverse (credit/control) delay in cycles.
     pub fn reverse_delay(&self) -> u64 {
-        self.rev_credits.len() as u64
-    }
-
-    /// Index of the ring slot written by this cycle's pushes (the "back").
-    fn fwd_tail(&self) -> usize {
-        (self.fwd_head + self.fwd.len() - 1) % self.fwd.len()
-    }
-
-    fn rev_tail(&self) -> usize {
-        (self.rev_head + self.rev_credits.len() - 1) % self.rev_credits.len()
+        self.rev.credits.len() as u64
     }
 
     /// Sends a flit downstream. At most one flit may be pushed per cycle.
@@ -319,51 +393,28 @@ impl Channel {
     /// Panics if the entry slot is already occupied — that would mean two
     /// flits crossed the same link in the same cycle, a router bug.
     pub fn push_flit(&mut self, flit: Flit) {
-        let tail = self.fwd_tail();
-        let back = &mut self.fwd[tail];
-        assert!(
-            back.is_none(),
-            "link overdriven: two flits pushed in one cycle ({} then {})",
-            back.unwrap(),
-            flit
-        );
-        *back = Some(flit);
-        self.fwd_count += 1;
+        self.fwd.push_flit(flit);
     }
 
     /// Whether a flit has already been pushed this cycle.
     pub fn entry_occupied(&self) -> bool {
-        self.fwd[self.fwd_tail()].is_some()
+        self.fwd.ring[self.fwd.tail()].is_some()
     }
 
     /// Sends a credit upstream.
     pub fn push_credit(&mut self, credit: Credit) {
-        let tail = self.rev_tail();
-        self.rev_credits[tail].push(credit);
-        self.credit_count += 1;
+        self.rev.push_credit(credit);
     }
 
     /// Sends a control signal upstream.
     pub fn push_control(&mut self, signal: ControlSignal) {
-        let tail = self.rev_tail();
-        self.rev_control[tail].push(signal);
-        self.control_count += 1;
+        self.rev.push_control(signal);
     }
 
     /// Advances both lanes one cycle and returns what arrives.
     pub fn advance(&mut self) -> Delivery {
-        let flit = self.fwd[self.fwd_head].take();
-        self.fwd_head = (self.fwd_head + 1) % self.fwd.len();
-        self.fwd_count -= flit.is_some() as usize;
-
-        let credits = self.rev_credits[self.rev_head];
-        self.rev_credits[self.rev_head].clear();
-        let control = self.rev_control[self.rev_head];
-        self.rev_control[self.rev_head].clear();
-        self.rev_head = (self.rev_head + 1) % self.rev_credits.len();
-        self.credit_count -= credits.as_slice().len();
-        self.control_count -= control.as_slice().len();
-
+        let flit = self.fwd.pop();
+        let (credits, control) = self.rev.pop();
         Delivery {
             flit,
             credits,
@@ -373,26 +424,26 @@ impl Channel {
 
     /// Number of flits currently in flight on the forward lane.
     pub fn flits_in_flight(&self) -> usize {
-        self.fwd_count
+        self.fwd.count
     }
 
     /// Number of credits currently in flight on the reverse lane (feeds the
     /// network's credit-conservation audit).
     pub fn credits_in_flight(&self) -> usize {
-        self.credit_count
+        self.rev.credit_count
     }
 
     /// Whether both lanes are completely empty. O(1): the lane rings keep
     /// occupancy counts, so the activity-tracked engine can poll this per
     /// cycle without scanning slots.
     pub fn is_drained(&self) -> bool {
-        self.fwd_count == 0 && self.credit_count == 0 && self.control_count == 0
+        self.fwd.count == 0 && self.rev.credit_count == 0 && self.rev.control_count == 0
     }
 
     /// Serializes both lane rings (contents, heads) for a snapshot.
     pub fn save(&self, w: &mut SnapshotWriter) {
-        w.put_usize(self.fwd.len());
-        for slot in self.fwd.iter() {
+        w.put_usize(self.fwd.ring.len());
+        for slot in self.fwd.ring.iter() {
             match slot {
                 Some(f) => {
                     w.put_bool(true);
@@ -401,9 +452,9 @@ impl Channel {
                 None => w.put_bool(false),
             }
         }
-        w.put_usize(self.fwd_head);
-        w.put_usize(self.rev_credits.len());
-        for slot in self.rev_credits.iter() {
+        w.put_usize(self.fwd.head);
+        w.put_usize(self.rev.credits.len());
+        for slot in self.rev.credits.iter() {
             w.put_u8(slot.len);
             for c in slot.as_slice() {
                 match c {
@@ -418,7 +469,7 @@ impl Channel {
                 }
             }
         }
-        for slot in self.rev_control.iter() {
+        for slot in self.rev.control.iter() {
             w.put_u8(slot.len);
             for s in slot.as_slice() {
                 w.put_u8(match s {
@@ -427,7 +478,7 @@ impl Channel {
                 });
             }
         }
-        w.put_usize(self.rev_head);
+        w.put_usize(self.rev.head);
     }
 
     /// Restores a channel written by [`Channel::save`]. Lane occupancy
@@ -513,14 +564,18 @@ impl Channel {
             });
         }
         Ok(Channel {
-            fwd: fwd.into_boxed_slice(),
-            fwd_head,
-            fwd_count,
-            rev_credits: rev_credits.into_boxed_slice(),
-            rev_control: rev_control.into_boxed_slice(),
-            rev_head,
-            credit_count,
-            control_count,
+            fwd: FwdLane {
+                ring: fwd.into_boxed_slice(),
+                head: fwd_head,
+                count: fwd_count,
+            },
+            rev: RevLane {
+                credits: rev_credits.into_boxed_slice(),
+                control: rev_control.into_boxed_slice(),
+                head: rev_head,
+                credit_count,
+                control_count,
+            },
         })
     }
 }

@@ -73,6 +73,12 @@ pub struct NetworkConfig {
     /// End-to-end recovery: when set, network interfaces track outstanding
     /// packets and retransmit those not acknowledged before the timeout.
     pub retransmit: Option<RetransmitConfig>,
+    /// Worker threads for the intra-run parallel cycle engine (DESIGN.md
+    /// §12). `1` (the presets' value) steps serially; any value produces
+    /// byte-identical results, so this is purely a wall-clock knob. The
+    /// `AFC_SIM_THREADS` environment variable overrides it at
+    /// `Network::new` time.
+    pub sim_threads: usize,
 }
 
 /// NI-level end-to-end retransmission parameters.
@@ -128,6 +134,7 @@ impl NetworkConfig {
             stall_watchdog: 100_000,
             faults: FaultPlan::none(),
             retransmit: None,
+            sim_threads: 1,
         }
     }
 
@@ -201,6 +208,12 @@ impl NetworkConfig {
         if self.eject_bandwidth == 0 {
             return Err(ConfigError::OutOfRange {
                 what: "eject_bandwidth",
+                range: ">= 1",
+            });
+        }
+        if self.sim_threads == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "sim_threads",
                 range: ">= 1",
             });
         }

@@ -46,7 +46,12 @@
 //! assert_eq!(mesh.router_class(center), RouterClass::Center);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the intra-run parallel engine
+// (`parallel.rs`), which needs raw-pointer shard views and atomic bitmask
+// words to step disjoint regions of the mesh on worker threads. Every
+// unsafe block there is justified by the shard-ownership argument of
+// DESIGN.md §12; the rest of the crate stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
@@ -61,6 +66,7 @@ pub mod network;
 mod network_tests;
 pub mod ni;
 pub mod packet;
+pub(crate) mod parallel;
 pub mod rng;
 pub mod router;
 pub mod sim;

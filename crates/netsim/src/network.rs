@@ -32,10 +32,10 @@ use std::collections::VecDeque;
 
 /// Endpoints of one directed channel.
 #[derive(Debug, Clone, Copy)]
-struct ChannelEnds {
-    from: NodeId,
-    dir: Direction,
-    to: NodeId,
+pub(crate) struct ChannelEnds {
+    pub(crate) from: NodeId,
+    pub(crate) dir: Direction,
+    pub(crate) to: NodeId,
 }
 
 /// A fixed-size dirty bitmask over component indices.
@@ -46,8 +46,11 @@ struct ChannelEnds {
 /// absent one is a no-op, so the sets may safely be conservative
 /// supersets of the truly active components.
 #[derive(Debug, Clone)]
-struct ActiveSet {
-    words: Vec<u64>,
+pub(crate) struct ActiveSet {
+    /// Raw bitmask words. Crate-visible so the parallel engine can reborrow
+    /// them as `&[AtomicU64]` during a sharded cycle (per-bit single-writer,
+    /// word-level RMW — see `parallel.rs`).
+    pub(crate) words: Vec<u64>,
 }
 
 impl ActiveSet {
@@ -70,24 +73,31 @@ impl ActiveSet {
     }
 
     #[inline]
-    fn insert(&mut self, i: usize) {
+    pub(crate) fn insert(&mut self, i: usize) {
         self.words[i >> 6] |= 1u64 << (i & 63);
     }
 
     #[inline]
-    fn remove(&mut self, i: usize) {
+    pub(crate) fn remove(&mut self, i: usize) {
         self.words[i >> 6] &= !(1u64 << (i & 63));
     }
 
     #[inline]
-    fn word_count(&self) -> usize {
+    pub(crate) fn word_count(&self) -> usize {
         self.words.len()
     }
 
     /// Snapshot of one word; iterate its bits while freely mutating the set.
     #[inline]
-    fn word(&self, wi: usize) -> u64 {
+    pub(crate) fn word(&self, wi: usize) -> u64 {
         self.words[wi]
+    }
+
+    /// Number of set bits (activity-threshold heuristic for the parallel
+    /// engine's serial fallback).
+    #[inline]
+    pub(crate) fn popcount(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
@@ -175,48 +185,48 @@ fn read_fault_event(r: &mut SnapshotReader<'_>) -> Result<FaultEvent, SnapshotEr
 /// flow-control mechanism, then drive with [`Network::step`] — usually
 /// indirectly through [`Simulation`](crate::sim::Simulation).
 pub struct Network {
-    mesh: Mesh,
-    config: NetworkConfig,
+    pub(crate) mesh: Mesh,
+    pub(crate) config: NetworkConfig,
     mechanism: &'static str,
     flit_width_bits: u32,
     buffer_flits_per_port: usize,
-    routers: Vec<Box<dyn Router>>,
-    nis: Vec<NodeInterface>,
-    channels: Vec<Channel>,
-    ends: Vec<ChannelEnds>,
+    pub(crate) routers: Vec<Box<dyn Router>>,
+    pub(crate) nis: Vec<NodeInterface>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) ends: Vec<ChannelEnds>,
     /// Outgoing channel index per (node, direction).
-    out_chan: Vec<DirMap<Option<usize>>>,
+    pub(crate) out_chan: Vec<DirMap<Option<usize>>>,
     /// Incoming channel index per (node, direction of the input port).
-    in_chan: Vec<DirMap<Option<usize>>>,
-    pending: Vec<crate::channel::Delivery>,
-    now: Cycle,
-    rng: SimRng,
+    pub(crate) in_chan: Vec<DirMap<Option<usize>>>,
+    pub(crate) pending: Vec<crate::channel::Delivery>,
+    pub(crate) now: Cycle,
+    pub(crate) rng: SimRng,
     /// Independent RNG stream for the fault plane: drawing fault outcomes
     /// never perturbs router/traffic randomness, so a run with an empty
     /// `FaultPlan` is bit-identical to one built before faults existed.
     fault_rng: SimRng,
-    stats: NetworkStats,
+    pub(crate) stats: NetworkStats,
     next_packet_id: u64,
     scratch: RouterOutputs,
     /// Dropped flits in flight on the modeled NACK circuit:
     /// `(retransmission-ready cycle, flit)`.
-    nack_queue: Vec<(Cycle, Flit)>,
+    pub(crate) nack_queue: Vec<(Cycle, Flit)>,
     /// End-to-end acknowledgements riding back to packet sources:
     /// `(arrival cycle, source node, packet)`.
-    ack_queue: Vec<(Cycle, NodeId, PacketId)>,
+    pub(crate) ack_queue: Vec<(Cycle, NodeId, PacketId)>,
     /// Per-channel flits held back at the receiving end while the receiver
     /// is stalled by a fault (released one per cycle once the stall lifts).
-    held: Vec<VecDeque<Flit>>,
+    pub(crate) held: Vec<VecDeque<Flit>>,
     /// Log of injected faults (capped at [`Network::FAULT_LOG_CAP`]).
     fault_log: Vec<FaultEvent>,
     /// Credit-conservation audit (raw, never reset): credits pushed onto
     /// reverse lanes, credits delivered upstream, credits lost to faults.
-    credits_pushed: u64,
-    credits_delivered: u64,
+    pub(crate) credits_pushed: u64,
+    pub(crate) credits_delivered: u64,
     credits_faulted: u64,
     /// Stall watchdog: progress counter sample and the cycle it last moved.
-    last_progress: u64,
-    last_progress_cycle: Cycle,
+    pub(crate) last_progress: u64,
+    pub(crate) last_progress_cycle: Cycle,
     /// Flits that were already in flight when metrics were last reset
     /// (anchors the conservation audit).
     audit_baseline: usize,
@@ -226,35 +236,47 @@ pub struct Network {
     /// (`AFC_FULL_SCAN` self-check mode).
     full_scan: bool,
     /// Routers that must be stepped: everything not proven quiescent.
-    router_active: ActiveSet,
+    pub(crate) router_active: ActiveSet,
     /// Channels with anything on a lane, staged for delivery, or held.
-    chan_active: ActiveSet,
+    pub(crate) chan_active: ActiveSet,
     /// NIs with send-side work (queued packets or pending retransmits).
-    ni_send_active: ActiveSet,
+    pub(crate) ni_send_active: ActiveSet,
     /// NIs holding completed packets awaiting [`Network::take_delivered`].
-    ni_delivered: ActiveSet,
+    pub(crate) ni_delivered: ActiveSet,
     /// Per-router cycle up to which counters are accounted: counters of
     /// router `i` reflect cycles `[reset, accounted_upto[i])`; the gap to
     /// `now` is idle cycles pending bulk replay.
-    accounted_upto: Vec<Cycle>,
+    pub(crate) accounted_upto: Vec<Cycle>,
     /// Cached post-step router modes plus residency counts (indexed by
     /// [`Network::mode_slot`]) so per-cycle mode stats are O(1), not O(n).
-    modes_cache: Vec<RouterMode>,
-    mode_counts: [u64; 3],
+    pub(crate) modes_cache: Vec<RouterMode>,
+    pub(crate) mode_counts: [u64; 3],
     /// Flits inside routers/channels/staged/held, maintained incrementally
     /// (cross-checked against [`Network::flits_in_network`] in debug).
-    in_flight: usize,
+    pub(crate) in_flight: usize,
     /// Flits sitting in NI retransmit queues, maintained incrementally.
-    retx_queued: usize,
+    pub(crate) retx_queued: usize,
     /// Monotone max over NIs of their reassembly high-water marks; each NI
     /// mark is itself monotone, so this equals the per-cycle max scan the
     /// engine used to perform.
-    ni_high_water_max: usize,
+    pub(crate) ni_high_water_max: usize,
     /// Debug-build cross-checking of the incremental accounting against a
     /// from-scratch recount. Disabled only by tests that install
     /// deliberately conservation-violating routers.
     #[cfg_attr(not(debug_assertions), allow(dead_code))]
-    check_conservation: bool,
+    pub(crate) check_conservation: bool,
+    /// Worker-thread budget for the intra-run parallel engine; `1` steps
+    /// serially. Not part of snapshots: a restored run may use any value
+    /// (results are byte-identical regardless — DESIGN.md §12).
+    sim_threads: usize,
+    /// Lazily-built shard plan + thread pool (`sim_threads > 1` only).
+    pub(crate) engine: Option<crate::parallel::Engine>,
+    /// Cycles actually stepped by the parallel engine (diagnostic only:
+    /// lets tests assert non-vacuity; excluded from snapshots and stats).
+    pub(crate) parallel_cycles: u64,
+    /// Minimum active components per shard before a cycle runs parallel
+    /// (see [`Network::set_parallel_threshold`]).
+    pub(crate) par_min_active: usize,
 }
 
 impl std::fmt::Debug for Network {
@@ -332,6 +354,15 @@ impl Network {
         let fault_rng = rng.fork(0x00FA_0171);
         let full_scan =
             std::env::var_os("AFC_FULL_SCAN").is_some_and(|v| !v.is_empty() && v != "0");
+        // `AFC_SIM_THREADS=<n>` overrides the configured intra-run thread
+        // budget, mirroring AFC_FULL_SCAN: because the parallel engine is
+        // byte-identical to the serial one, entire test suites can be forced
+        // through it without touching their configs.
+        let sim_threads = std::env::var("AFC_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(config.sim_threads);
         let modes_cache: Vec<RouterMode> = routers.iter().map(|r| r.mode()).collect();
         let mut mode_counts = [0u64; 3];
         for m in &modes_cache {
@@ -384,6 +415,10 @@ impl Network {
             retx_queued: 0,
             ni_high_water_max: 0,
             check_conservation: true,
+            sim_threads,
+            engine: None,
+            parallel_cycles: 0,
+            par_min_active: crate::parallel::MIN_ACTIVE_PER_SHARD,
         })
     }
 
@@ -443,6 +478,42 @@ impl Network {
     /// Whether the full-scan self-check walk is currently forced.
     pub fn full_scan(&self) -> bool {
         self.full_scan
+    }
+
+    /// Sets the intra-run parallel engine's thread budget (`1` = serial).
+    ///
+    /// May be changed mid-run: the parallel engine is byte-identical to the
+    /// serial one, so this only affects wall-clock time. Shrinking or
+    /// growing the budget tears down the old thread pool lazily.
+    pub fn set_sim_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.sim_threads {
+            self.sim_threads = threads;
+            self.engine = None;
+        }
+    }
+
+    /// Current intra-run thread budget.
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
+    }
+
+    /// Cycles stepped by the parallel engine so far (0 when serial). A
+    /// wall-clock diagnostic — never part of simulation state, stats, or
+    /// snapshots — used by the equivalence suite to prove the parallel
+    /// path actually engaged.
+    pub fn parallel_cycles(&self) -> u64 {
+        self.parallel_cycles
+    }
+
+    /// Overrides the parallel engine's activity gate: a cycle is stepped in
+    /// parallel only when at least `min_active_per_shard` components
+    /// (routers + channels + sending NIs) are active per shard. Purely a
+    /// wall-clock heuristic — results are byte-identical either way — so
+    /// this knob exists for tuning and for tests that need the parallel
+    /// path to engage on small meshes.
+    pub fn set_parallel_threshold(&mut self, min_active_per_shard: usize) {
+        self.par_min_active = min_active_per_shard;
     }
 
     /// True when this step may take the activity-tracked fast path: the
@@ -522,6 +593,17 @@ impl Network {
         let now = self.now;
         let faults_active = !self.config.faults.is_empty();
         let fast = self.fast_path();
+
+        // Intra-run parallel engine (DESIGN.md §12): only on the fast path
+        // (the fault plane and recovery layer are inherently sequential),
+        // and only when enough components are active to amortize the
+        // per-cycle barrier cost — otherwise fall through to the serial
+        // walk, which is legal because both engines are byte-identical.
+        if self.sim_threads > 1 && fast {
+            if let Some(result) = crate::parallel::try_step_parallel(self) {
+                return result;
+            }
+        }
 
         // Phase 1: deliver staged channel arrivals. Arriving flits pass
         // through the fault plane (drop/corrupt/kill) and are held back
@@ -924,7 +1006,7 @@ impl Network {
         }
     }
 
-    fn mode_slot(mode: RouterMode) -> usize {
+    pub(crate) fn mode_slot(mode: RouterMode) -> usize {
         match mode {
             RouterMode::Backpressured => 0,
             RouterMode::Backpressureless => 1,
@@ -1028,7 +1110,7 @@ impl Network {
     /// Flits currently in limbo between injection and delivery: inside
     /// routers/channels, riding the NACK circuit, or queued for
     /// retransmission. O(1) via the engine's incremental accounting.
-    fn unaccounted_flits(&self) -> usize {
+    pub(crate) fn unaccounted_flits(&self) -> usize {
         self.in_flight + self.nack_queue.len() + self.retx_queued
     }
 

@@ -1,0 +1,987 @@
+//! Deterministic intra-run parallel cycle engine (DESIGN.md §12).
+//!
+//! The mesh is partitioned into `T` contiguous **spatial shards** — node
+//! range `[k·n/T, (k+1)·n/T)` plus each node's ejection NI and the
+//! channels whose upstream end lies in the range. Each cycle runs as four
+//! barrier-separated regions on a persistent `std::thread` pool:
+//!
+//! * **Region A** (phase 1): every shard *pulls* the staged deliveries
+//!   incident on its own routers — credits/control from the staging slots
+//!   of its routers' outgoing channels, flits from those of its incoming
+//!   channels — walking each router's incident channels in ascending
+//!   channel order, which reproduces the serial engine's per-router
+//!   mutation sequence exactly. The main thread additionally retires the
+//!   NACK/ack queues (phase 2a), which touch only NI/queue state disjoint
+//!   from every shard's phase-1 writes.
+//! * **Region B** (phases 2b + 3, fused): each shard injects from its own
+//!   NIs, then steps its own routers. Produced flits go straight into the
+//!   forward half of the router's outgoing channels (owned by this
+//!   shard); credits/control go into the *reverse* half of its incoming
+//!   channels. The channel halves ([`FwdLane`](crate::channel) /
+//!   [`RevLane`](crate::channel)) are the double-buffered boundary slots:
+//!   exactly one shard writes each half, so no ordering can depend on
+//!   thread interleaving.
+//! * **Region C** (phase 4): each shard advances its own channels,
+//!   re-staging next cycle's deliveries.
+//! * **Epilogue**: the main thread folds per-shard deltas (stats,
+//!   conservation counters, dropped-flit NACKs) in ascending shard order —
+//!   which equals the serial engine's accumulation order — and runs the
+//!   watchdogs.
+//!
+//! ## Why the output is byte-identical at any thread count
+//!
+//! Every mutation in a cycle either (a) targets state owned by exactly one
+//! shard (router, NI, channel half, staged delivery, mode-cache slot,
+//! `accounted_upto` slot, activity bit), in which case the per-owner
+//! mutation order matches the serial walk (ascending index), or (b) is a
+//! commutative fold (counter sums, latency-distribution merges, idempotent
+//! bitmask inserts via atomic OR) replayed in fixed shard order by the
+//! epilogue. Router-step randomness is already thread-free: the per-step
+//! RNG is forked as a pure function of `(seed, cycle, router)`. Hence the
+//! post-cycle state — including the bytes of a snapshot — is a function of
+//! the pre-cycle state only, never of `T` or the interleaving.
+//!
+//! Terminal errors keep their *identity* (the same `SimError` the serial
+//! engine would have returned first) by taking the minimum over
+//! `(phase, component index)` across shards; the post-error partial state
+//! may differ from serial, which is fine because errors are terminal — the
+//! network must not be stepped further either way.
+//!
+//! Cycles with little activity decline parallel execution (the engine
+//! falls back to the serial walk, which is legal precisely because both
+//! are byte-identical) so idle and low-load phases keep their serial-path
+//! speed.
+#![allow(unsafe_code)]
+
+use crate::channel::{Channel, Delivery};
+use crate::error::SimError;
+use crate::flit::{Cycle, Flit};
+use crate::geom::{DirMap, Direction, NodeId, PortId};
+use crate::network::{ChannelEnds, Network};
+use crate::ni::NodeInterface;
+use crate::rng::SimRng;
+use crate::router::{Router, RouterMode, RouterOutputs};
+use crate::stats::NetworkStats;
+use crate::topology::Mesh;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::ptr::addr_of_mut;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Minimum active components (routers + channels + sending NIs) per shard
+/// for a cycle to be worth the barrier overhead; below this the engine
+/// declines and the cycle runs serially.
+pub(crate) const MIN_ACTIVE_PER_SHARD: usize = 16;
+
+/// Spins before the barrier falls back to `yield_now` (keeps oversubscribed
+/// hosts — e.g. single-core CI — from burning whole timeslices).
+const SPIN_LIMIT: u32 = 128;
+
+// ---------------------------------------------------------------------------
+// Shard plan
+// ---------------------------------------------------------------------------
+
+/// Static partition of the mesh, built once per (topology, thread budget).
+struct Plan {
+    shards: usize,
+    /// Node range of shard `k`: `[node_start[k], node_start[k+1])`.
+    node_start: Vec<usize>,
+    /// Channel range of shard `k` (channels grouped by upstream node).
+    chan_start: Vec<usize>,
+    /// Flattened per-router phase-1 pull lists: `(channel, is_fwd)` pairs,
+    /// ascending channel index. `is_fwd` = the router is the channel's
+    /// downstream end (receives the flit); otherwise it is the upstream
+    /// end (receives credits/control).
+    events: Vec<(u32, bool)>,
+    ev_off: Vec<u32>,
+    mesh: Mesh,
+    link_latency: u64,
+    max_flit_age: u64,
+}
+
+impl Plan {
+    fn build(net: &Network, threads: usize) -> Plan {
+        let n = net.routers.len();
+        let chan_count = net.channels.len();
+        let shards = threads.min(n).max(1);
+        let node_start: Vec<usize> = (0..=shards).map(|k| k * n / shards).collect();
+
+        // Channels are created grouped by their upstream node in ascending
+        // node order (Network::new), so per-node channel ranges are
+        // contiguous; the engine's channel-ownership ranges follow the
+        // node ranges directly.
+        debug_assert!(net
+            .ends
+            .windows(2)
+            .all(|w| w[0].from.index() <= w[1].from.index()));
+        let mut node_chan_start = vec![0usize; n + 1];
+        for e in &net.ends {
+            node_chan_start[e.from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            node_chan_start[i + 1] += node_chan_start[i];
+        }
+        let chan_start: Vec<usize> = node_start.iter().map(|&ns| node_chan_start[ns]).collect();
+        debug_assert_eq!(*chan_start.last().unwrap(), chan_count);
+
+        let mut per: Vec<Vec<(u32, bool)>> = vec![Vec::new(); n];
+        for (c, e) in net.ends.iter().enumerate() {
+            per[e.from.index()].push((c as u32, false));
+            per[e.to.index()].push((c as u32, true));
+        }
+        let mut events = Vec::with_capacity(2 * chan_count);
+        let mut ev_off = vec![0u32; n + 1];
+        for (j, mut list) in per.into_iter().enumerate() {
+            list.sort_unstable_by_key(|&(c, _)| c);
+            events.extend_from_slice(&list);
+            ev_off[j + 1] = events.len() as u32;
+        }
+
+        Plan {
+            shards,
+            node_start,
+            chan_start,
+            events,
+            ev_off,
+            mesh: net.mesh.clone(),
+            link_latency: net.config.link_latency,
+            max_flit_age: net.config.max_flit_age,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle job + per-shard delta
+// ---------------------------------------------------------------------------
+
+/// Raw shard views published by the main thread before each cycle.
+///
+/// The pointers are bases of the `Network`'s component vectors, re-derived
+/// every cycle (so snapshot restores, which replace contents in place, and
+/// struct moves are both safe). Workers only ever dereference elements
+/// their shard owns — or, for activity bitmasks, go through word-level
+/// atomics — so no two threads form overlapping `&mut`.
+struct Job {
+    now: Cycle,
+    rng: SimRng,
+    routers: *mut Box<dyn Router>,
+    nis: *mut NodeInterface,
+    channels: *mut Channel,
+    pending: *mut Delivery,
+    ends: *const ChannelEnds,
+    out_chan: *const DirMap<Option<usize>>,
+    in_chan: *const DirMap<Option<usize>>,
+    accounted_upto: *mut Cycle,
+    modes_cache: *mut RouterMode,
+    router_active: *mut u64,
+    chan_active: *mut u64,
+    ni_send: *mut u64,
+    ni_delivered: *mut u64,
+}
+
+/// Everything a shard accumulates during a cycle, folded by the epilogue.
+struct ShardDelta {
+    stats: NetworkStats,
+    credits_delivered: u64,
+    credits_pushed: u64,
+    in_flight: i64,
+    retx_queued: i64,
+    mode_counts: [i64; 3],
+    ni_hw_max: usize,
+    /// Dropped flits (NACK circuit), in this shard's router-walk order.
+    dropped: Vec<(Cycle, Flit)>,
+    scratch: RouterOutputs,
+    /// First/minimal terminal error: `(phase, component index, error)`.
+    error: Option<(u8, u32, SimError)>,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl ShardDelta {
+    fn new() -> ShardDelta {
+        ShardDelta {
+            stats: NetworkStats::new(),
+            credits_delivered: 0,
+            credits_pushed: 0,
+            in_flight: 0,
+            retx_queued: 0,
+            mode_counts: [0; 3],
+            ni_hw_max: 0,
+            dropped: Vec::new(),
+            scratch: RouterOutputs::new(),
+            error: None,
+            panic: None,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.stats = NetworkStats::new();
+        self.credits_delivered = 0;
+        self.credits_pushed = 0;
+        self.in_flight = 0;
+        self.retx_queued = 0;
+        self.mode_counts = [0; 3];
+        self.ni_hw_max = 0;
+        self.dropped.clear();
+        self.error = None;
+        self.panic = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier + shared pool state
+// ---------------------------------------------------------------------------
+
+/// Sense-reversing spin barrier with a bounded spin before yielding.
+///
+/// The last arriver's `fetch_add` closes the release chain over every
+/// earlier arriver's writes and its `gen` store releases them to all
+/// waiters, so crossing the barrier is an all-to-all happens-before edge —
+/// which is why the engine's bitmask ops can be `Relaxed`.
+struct SpinBarrier {
+    count: AtomicUsize,
+    gen: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> SpinBarrier {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            gen: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        let g = self.gen.load(Ordering::Relaxed);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            self.gen.store(g.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.gen.load(Ordering::Acquire) == g {
+                spins = spins.saturating_add(1);
+                if spins < SPIN_LIMIT {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+struct Shared {
+    barrier: SpinBarrier,
+    job: UnsafeCell<Option<Job>>,
+    deltas: Vec<UnsafeCell<ShardDelta>>,
+    /// A shard recorded an error/panic in region A (stable once the sync2
+    /// barrier is crossed; gates region B deterministically).
+    poison_a: AtomicBool,
+    /// Same for region B (stable after sync3; gates region C).
+    poison_b: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+// SAFETY: `Job`'s raw pointers are only dereferenced between the barrier
+// pair that publishes them and the one that retires them, and only on
+// shard-owned elements (or via word atomics) — see the module docs. The
+// deltas are single-writer (their shard) between barriers and read by the
+// main thread only after sync4.
+#[allow(unsafe_code)]
+unsafe impl Send for Shared {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Shared {}
+
+/// Persistent shard plan + worker pool attached to a [`Network`].
+pub(crate) struct Engine {
+    plan: Arc<Plan>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("shards", &self.plan.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    fn new(net: &Network, threads: usize) -> Engine {
+        let plan = Arc::new(Plan::build(net, threads));
+        let shared = Arc::new(Shared {
+            barrier: SpinBarrier::new(plan.shards),
+            job: UnsafeCell::new(None),
+            deltas: (0..plan.shards)
+                .map(|_| UnsafeCell::new(ShardDelta::new()))
+                .collect(),
+            poison_a: AtomicBool::new(false),
+            poison_b: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..plan.shards)
+            .map(|shard| {
+                let sh = Arc::clone(&shared);
+                let pl = Arc::clone(&plan);
+                std::thread::Builder::new()
+                    .name(format!("afc-sim-{shard}"))
+                    .spawn(move || worker_loop(&sh, &pl, shard))
+                    .expect("failed to spawn sim worker thread")
+            })
+            .collect();
+        Engine {
+            plan,
+            shared,
+            workers,
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Workers are parked at sync1 between cycles; one crossing releases
+        // them to observe the shutdown flag and exit.
+        self.shared.barrier.wait();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic bitmask helpers
+// ---------------------------------------------------------------------------
+
+/// # Safety
+/// `words` must point at a live `u64` bitmask covering bit `i`, aligned for
+/// `AtomicU64` (u64 and AtomicU64 share layout and alignment on supported
+/// 64-bit targets).
+#[inline]
+unsafe fn set_bit(words: *mut u64, i: usize) {
+    AtomicU64::from_ptr(words.add(i >> 6)).fetch_or(1u64 << (i & 63), Ordering::Relaxed);
+}
+
+/// # Safety
+/// See [`set_bit`].
+#[inline]
+unsafe fn clear_bit(words: *mut u64, i: usize) {
+    AtomicU64::from_ptr(words.add(i >> 6)).fetch_and(!(1u64 << (i & 63)), Ordering::Relaxed);
+}
+
+/// Walks set bits of `[lo, hi)` in ascending order from per-word snapshots
+/// (the serial engine's exact iteration discipline, masked to the shard's
+/// range). The callback returns `false` to stop early.
+///
+/// # Safety
+/// `words` must cover bit range `[lo, hi)` and stay live for the call.
+unsafe fn walk_masked(words: *mut u64, lo: usize, hi: usize, mut f: impl FnMut(usize) -> bool) {
+    if lo >= hi {
+        return;
+    }
+    let w_lo = lo >> 6;
+    let w_hi = (hi - 1) >> 6;
+    for wi in w_lo..=w_hi {
+        let mut w = AtomicU64::from_ptr(words.add(wi)).load(Ordering::Relaxed);
+        if wi == w_lo {
+            w &= !0u64 << (lo & 63);
+        }
+        if wi == hi >> 6 {
+            // Only reachable when `hi % 64 != 0` (else `hi >> 6 > w_hi`).
+            w &= (1u64 << (hi & 63)) - 1;
+        }
+        while w != 0 {
+            let i = (wi << 6) + w.trailing_zeros() as usize;
+            w &= w - 1;
+            if !f(i) {
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle regions
+// ---------------------------------------------------------------------------
+
+fn min_error(delta: &mut ShardDelta, phase: u8, index: u32, err: SimError) {
+    match &delta.error {
+        Some((p, i, _)) if (*p, *i) <= (phase, index) => {}
+        _ => delta.error = Some((phase, index, err)),
+    }
+}
+
+/// Region A: phase-1 pull for one shard's routers.
+///
+/// # Safety
+/// Must run between sync1 and sync2 with a valid published `Job`; only
+/// shard `shard` may call it for that shard.
+unsafe fn region_a(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta) {
+    let now = job.now;
+    for j in plan.node_start[shard]..plan.node_start[shard + 1] {
+        let router = &mut *job.routers.add(j);
+        let evs = &plan.events[plan.ev_off[j] as usize..plan.ev_off[j + 1] as usize];
+        for &(c32, is_fwd) in evs {
+            let c = c32 as usize;
+            let pend = &*(job.pending.add(c) as *const Delivery);
+            if is_fwd {
+                let Some(flit) = pend.flit else { continue };
+                if plan.max_flit_age > 0 {
+                    let age = now.saturating_sub(flit.injected_at);
+                    if age > plan.max_flit_age {
+                        min_error(
+                            delta,
+                            1,
+                            c32,
+                            SimError::FlitOverAge {
+                                cycle: now,
+                                limit: plan.max_flit_age,
+                                age,
+                                node: (*job.ends.add(c)).to,
+                                flit,
+                            },
+                        );
+                        continue;
+                    }
+                }
+                if delta.error.is_some() {
+                    // After an error only keep age-checking (read-only) so
+                    // the minimal erroring channel — the serial engine's
+                    // first — is reported; stop mutating router state.
+                    continue;
+                }
+                let dir = (*job.ends.add(c)).dir;
+                set_bit(job.router_active, j);
+                router.receive_flit(PortId::Net(dir.opposite()), flit, now);
+            } else {
+                if delta.error.is_some() {
+                    continue;
+                }
+                let dir = (*job.ends.add(c)).dir;
+                for &credit in pend.credits() {
+                    delta.credits_delivered += 1;
+                    set_bit(job.router_active, j);
+                    router.receive_credit(PortId::Net(dir), credit, now);
+                }
+                for &signal in pend.control() {
+                    set_bit(job.router_active, j);
+                    router.receive_control(PortId::Net(dir), signal, now);
+                }
+            }
+        }
+    }
+}
+
+/// Region B: fused phase 2b (inject from own NIs) + phase 3 (step own
+/// routers, route outputs into owned channel halves).
+///
+/// # Safety
+/// Must run between sync2 and sync3 with a valid published `Job`; only
+/// shard `shard` may call it for that shard.
+unsafe fn region_b(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta) {
+    let now = job.now;
+    let (lo, hi) = (plan.node_start[shard], plan.node_start[shard + 1]);
+
+    walk_masked(job.ni_send, lo, hi, |i| {
+        let ni = &mut *job.nis.add(i);
+        let router = &mut *job.routers.add(i);
+        let inj0 = delta.stats.flits_injected;
+        let rtx0 = delta.stats.flits_retransmitted;
+        ni.try_inject(router.as_mut(), now, &mut delta.stats);
+        let retransmitted = delta.stats.flits_retransmitted - rtx0;
+        let entered = (delta.stats.flits_injected - inj0) + retransmitted;
+        if entered > 0 {
+            delta.in_flight += entered as i64;
+            set_bit(job.router_active, i);
+        }
+        delta.retx_queued -= retransmitted as i64;
+        if ni.pending_packets() > 0 || ni.pending_retransmits() > 0 {
+            set_bit(job.ni_send, i);
+        } else {
+            clear_bit(job.ni_send, i);
+        }
+        true
+    });
+
+    walk_masked(job.router_active, lo, hi, |i| {
+        step_one_router(job, plan, delta, i);
+        // Stop this shard at its first terminal error: within-shard router
+        // order is ascending, so the shard's error is its minimal one.
+        delta.error.is_none()
+    });
+}
+
+/// One router's phase-3 step (the parallel twin of the serial
+/// `Network::step_one_router`, writing into shard-owned channel halves and
+/// the shard's delta instead of the global accumulators).
+unsafe fn step_one_router(job: &Job, plan: &Plan, delta: &mut ShardDelta, i: usize) {
+    let now = job.now;
+    let router = &mut *job.routers.add(i);
+    let accounted = &mut *job.accounted_upto.add(i);
+    let pending_idle = now - *accounted;
+    if pending_idle > 0 {
+        #[cfg(debug_assertions)]
+        let expected = router.counters_view(pending_idle);
+        router.note_idle_cycles(pending_idle);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            *router.counters(),
+            expected,
+            "router {i}: note_idle_cycles disagrees with counters_view"
+        );
+    }
+    *accounted = now + 1;
+
+    delta.scratch.clear();
+    let mut rng = job.rng.fork((now << 16) ^ i as u64);
+    router.step(now, &mut rng, &mut delta.scratch);
+
+    for dir in Direction::ALL {
+        if let Some(flit) = delta.scratch.flits[PortId::Net(dir)] {
+            let Some(chan) = (&*job.out_chan.add(i))[dir] else {
+                min_error(
+                    delta,
+                    3,
+                    i as u32,
+                    SimError::Misrouted {
+                        cycle: now,
+                        node: NodeId::new(i),
+                        dir,
+                        flit,
+                    },
+                );
+                return;
+            };
+            set_bit(job.chan_active, chan);
+            // Forward half owned by this shard (the channel's upstream end
+            // is router `i`); the downstream shard may concurrently write
+            // the reverse half — disjoint fields, no `&mut Channel` formed.
+            (&mut *addr_of_mut!((*job.channels.add(chan)).fwd)).push_flit(flit);
+        }
+        for &credit in &delta.scratch.credits[PortId::Net(dir)] {
+            if let Some(chan) = (&*job.in_chan.add(i))[dir] {
+                set_bit(job.chan_active, chan);
+                (&mut *addr_of_mut!((*job.channels.add(chan)).rev)).push_credit(credit);
+                delta.credits_pushed += 1;
+            }
+        }
+    }
+    if delta.scratch.flits[PortId::Local].is_some() {
+        min_error(
+            delta,
+            3,
+            i as u32,
+            SimError::ProtocolViolation {
+                cycle: now,
+                node: NodeId::new(i),
+                what: "routers must use `ejected`, not the Local flit slot",
+            },
+        );
+        return;
+    }
+    for &signal in &delta.scratch.control {
+        for dir in Direction::ALL {
+            if let Some(chan) = (&*job.in_chan.add(i))[dir] {
+                set_bit(job.chan_active, chan);
+                (&mut *addr_of_mut!((*job.channels.add(chan)).rev)).push_control(signal);
+            }
+        }
+    }
+    if !delta.scratch.ejected.is_empty() {
+        let ni = &mut *job.nis.add(i);
+        delta.in_flight -= delta.scratch.ejected.len() as i64;
+        ni.receive_flits(delta.scratch.ejected.drain(..), now, &mut delta.stats);
+        delta.ni_hw_max = delta.ni_hw_max.max(ni.reassembly_high_water());
+        if ni.has_delivered() {
+            set_bit(job.ni_delivered, i);
+        }
+    }
+    if !delta.scratch.dropped.is_empty() {
+        delta.in_flight -= delta.scratch.dropped.len() as i64;
+        for flit in delta.scratch.dropped.drain(..) {
+            let dist = plan.mesh.distance(NodeId::new(i), flit.src) as u64;
+            let ready = now + dist * plan.link_latency + 2;
+            delta.dropped.push((ready, flit));
+        }
+    }
+
+    let mode = router.mode();
+    let cached = &mut *job.modes_cache.add(i);
+    if mode != *cached {
+        delta.mode_counts[Network::mode_slot(*cached)] -= 1;
+        delta.mode_counts[Network::mode_slot(mode)] += 1;
+        *cached = mode;
+    }
+    if router.is_quiescent() {
+        clear_bit(job.router_active, i);
+    } else {
+        set_bit(job.router_active, i);
+    }
+}
+
+/// Region C: phase-4 channel advance for one shard's channels.
+///
+/// # Safety
+/// Must run between sync3 and sync4 with a valid published `Job`; only
+/// shard `shard` may call it for that shard. Fast-path only (per-channel
+/// `held` queues are all empty — checked by the gate).
+unsafe fn region_c(job: &Job, plan: &Plan, shard: usize) {
+    walk_masked(
+        job.chan_active,
+        plan.chan_start[shard],
+        plan.chan_start[shard + 1],
+        |c| {
+            let ch = &mut *job.channels.add(c);
+            let pend = &mut *job.pending.add(c);
+            *pend = ch.advance();
+            if pend.is_empty() && ch.is_drained() {
+                clear_bit(job.chan_active, c);
+            } else {
+                set_bit(job.chan_active, c);
+            }
+            true
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop + main-thread orchestration
+// ---------------------------------------------------------------------------
+
+fn run_guarded(shared: &Shared, shard: usize, region: u8, f: impl FnOnce(&mut ShardDelta)) {
+    // SAFETY: each delta is written only by its shard between barriers.
+    let delta = unsafe { &mut *shared.deltas[shard].get() };
+    let had_error = delta.error.is_some();
+    let result = catch_unwind(AssertUnwindSafe(|| f(delta)));
+    // SAFETY: as above (the closure's borrow ended with the call).
+    let delta = unsafe { &mut *shared.deltas[shard].get() };
+    if let Err(payload) = result {
+        if delta.panic.is_none() {
+            delta.panic = Some(payload);
+        }
+    }
+    let poisoned = delta.panic.is_some() || (delta.error.is_some() && !had_error);
+    if poisoned {
+        match region {
+            1 => shared.poison_a.store(true, Ordering::Release),
+            _ => shared.poison_b.store(true, Ordering::Release),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, plan: &Plan, shard: usize) {
+    loop {
+        shared.barrier.wait(); // sync1: job published (or shutdown)
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // SAFETY: the job is published before sync1 and not mutated again
+        // until after sync4; reading it here is data-race free.
+        let job = unsafe { (*shared.job.get()).as_ref().expect("job published") };
+        run_guarded(shared, shard, 1, |d| {
+            // SAFETY: between sync1 and sync2, on this shard.
+            unsafe { region_a(job, plan, shard, d) }
+        });
+        shared.barrier.wait(); // sync2
+        if !shared.poison_a.load(Ordering::Acquire) {
+            run_guarded(shared, shard, 2, |d| {
+                // SAFETY: between sync2 and sync3, on this shard.
+                unsafe { region_b(job, plan, shard, d) }
+            });
+        }
+        shared.barrier.wait(); // sync3
+        if !shared.poison_a.load(Ordering::Acquire) && !shared.poison_b.load(Ordering::Acquire) {
+            run_guarded(shared, shard, 3, |_| {
+                // SAFETY: between sync3 and sync4, on this shard.
+                unsafe { region_c(job, plan, shard) }
+            });
+        }
+        shared.barrier.wait(); // sync4
+    }
+}
+
+/// Serial-equivalent phase 2a, run by the main thread inside region A: the
+/// NACK/ack queues and the NI send queues it touches are disjoint from
+/// every shard's phase-1 writes (routers + staged deliveries).
+///
+/// # Safety
+/// Must run between sync1 and sync4's exclusivity window with a valid
+/// `Job`; only the main thread may call it.
+unsafe fn run_phase_2a(net: &mut Network, job: &Job) {
+    let now = job.now;
+    if !net.nack_queue.is_empty() {
+        // Fast path implies no end-to-end recovery: a NACK requeues the
+        // flit directly at its source NI.
+        let mut i = 0;
+        while i < net.nack_queue.len() {
+            if net.nack_queue[i].0 <= now {
+                let (_, flit) = net.nack_queue.swap_remove(i);
+                let src = flit.src.index();
+                (&mut *job.nis.add(src)).nack(flit, now, &mut net.stats);
+                net.retx_queued += 1;
+                set_bit(job.ni_send, src);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Acks only exist under end-to-end recovery, but a restored snapshot
+    // may carry queued ones; drain them exactly like the serial engine.
+    if !net.ack_queue.is_empty() {
+        let mut i = 0;
+        while i < net.ack_queue.len() {
+            if net.ack_queue[i].0 <= now {
+                let (_, src, id) = net.ack_queue.swap_remove(i);
+                (&mut *job.nis.add(src.index())).acknowledge(id, &mut net.stats);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Attempts one parallel cycle. Returns `None` when the cycle should run
+/// serially instead (not enough activity, residual held-back flits from a
+/// restored faulted run, or a degenerate shard count).
+pub(crate) fn try_step_parallel(net: &mut Network) -> Option<Result<(), SimError>> {
+    let threads = net.sim_threads().min(net.routers.len());
+    if threads < 2 {
+        return None;
+    }
+    let active =
+        net.router_active.popcount() + net.chan_active.popcount() + net.ni_send_active.popcount();
+    if active < net.par_min_active.saturating_mul(threads) {
+        return None;
+    }
+    if net.held.iter().any(|h| !h.is_empty()) {
+        return None;
+    }
+    if net.engine.is_none() {
+        let engine = Engine::new(net, threads);
+        net.engine = Some(engine);
+    }
+    let (shared, plan) = {
+        let engine = net.engine.as_ref().expect("engine just ensured");
+        (Arc::clone(&engine.shared), Arc::clone(&engine.plan))
+    };
+    Some(step_cycle(net, &shared, &plan))
+}
+
+fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), SimError> {
+    let now = net.now;
+    net.parallel_cycles += 1;
+    // Exclusive window: workers are parked at sync1.
+    // SAFETY: sole accessor of the shared cells until the barrier crossing.
+    unsafe {
+        for d in &shared.deltas {
+            (*d.get()).reset();
+        }
+        shared.poison_a.store(false, Ordering::Relaxed);
+        shared.poison_b.store(false, Ordering::Relaxed);
+        *shared.job.get() = Some(Job {
+            now,
+            rng: net.rng.clone(),
+            routers: net.routers.as_mut_ptr(),
+            nis: net.nis.as_mut_ptr(),
+            channels: net.channels.as_mut_ptr(),
+            pending: net.pending.as_mut_ptr(),
+            ends: net.ends.as_ptr(),
+            out_chan: net.out_chan.as_ptr(),
+            in_chan: net.in_chan.as_ptr(),
+            accounted_upto: net.accounted_upto.as_mut_ptr(),
+            modes_cache: net.modes_cache.as_mut_ptr(),
+            router_active: net.router_active.words.as_mut_ptr(),
+            chan_active: net.chan_active.words.as_mut_ptr(),
+            ni_send: net.ni_send_active.words.as_mut_ptr(),
+            ni_delivered: net.ni_delivered.words.as_mut_ptr(),
+        });
+    }
+    // SAFETY: published above; immutable until the post-sync4 window.
+    let job = unsafe { (*shared.job.get()).as_ref().expect("job just published") };
+
+    shared.barrier.wait(); // sync1
+    run_guarded(shared, 0, 1, |d| {
+        // SAFETY: between sync1 and sync2, on shard 0 (main).
+        unsafe { region_a(job, plan, 0, d) }
+    });
+    {
+        // Phase 2a runs on the main thread concurrently with the other
+        // shards' region A — its state is disjoint from theirs.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: main-thread-only state + shard-disjoint NI access.
+            unsafe { run_phase_2a(net, job) }
+        }));
+        if let Err(payload) = result {
+            // SAFETY: shard 0's delta is main-owned between barriers.
+            let d0 = unsafe { &mut *shared.deltas[0].get() };
+            if d0.panic.is_none() {
+                d0.panic = Some(payload);
+            }
+            shared.poison_a.store(true, Ordering::Release);
+        }
+    }
+    shared.barrier.wait(); // sync2
+    if !shared.poison_a.load(Ordering::Acquire) {
+        run_guarded(shared, 0, 2, |d| {
+            // SAFETY: between sync2 and sync3, on shard 0 (main).
+            unsafe { region_b(job, plan, 0, d) }
+        });
+    }
+    shared.barrier.wait(); // sync3
+    if !shared.poison_a.load(Ordering::Acquire) && !shared.poison_b.load(Ordering::Acquire) {
+        run_guarded(shared, 0, 3, |_| {
+            // SAFETY: between sync3 and sync4, on shard 0 (main).
+            unsafe { region_c(job, plan, 0) }
+        });
+    }
+    shared.barrier.wait(); // sync4 — workers parked again; exclusive window.
+
+    // Epilogue: fold shard deltas in ascending shard order (== ascending
+    // router ranges == the serial engine's accumulation order).
+    let mut in_flight = net.in_flight as i64;
+    let mut retx = net.retx_queued as i64;
+    let mut modes = net.mode_counts.map(|m| m as i64);
+    let mut error: Option<(u8, u32, SimError)> = None;
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+    for cell in &shared.deltas {
+        // SAFETY: workers are parked; main is the sole accessor.
+        let d = unsafe { &mut *cell.get() };
+        net.stats.merge(&d.stats);
+        net.credits_delivered += d.credits_delivered;
+        net.credits_pushed += d.credits_pushed;
+        in_flight += d.in_flight;
+        retx += d.retx_queued;
+        for (m, dm) in modes.iter_mut().zip(d.mode_counts) {
+            *m += dm;
+        }
+        net.ni_high_water_max = net.ni_high_water_max.max(d.ni_hw_max);
+        net.nack_queue.append(&mut d.dropped);
+        if let Some((p, i, e)) = d.error.take() {
+            match &error {
+                Some((bp, bi, _)) if (*bp, *bi) <= (p, i) => {}
+                _ => error = Some((p, i, e)),
+            }
+        }
+        if panic_payload.is_none() {
+            panic_payload = d.panic.take();
+        }
+    }
+    net.in_flight = in_flight as usize;
+    net.retx_queued = retx as usize;
+    net.mode_counts = modes.map(|m| m as u64);
+
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+    if let Some((_, _, e)) = error {
+        return Err(e);
+    }
+
+    net.now += 1;
+    net.stats.cycles += 1;
+    net.stats.cycles_backpressured += net.mode_counts[0];
+    net.stats.cycles_backpressureless += net.mode_counts[1];
+    net.stats.cycles_transitioning += net.mode_counts[2];
+    net.stats.reassembly_high_water = net.stats.reassembly_high_water.max(net.ni_high_water_max);
+
+    #[cfg(debug_assertions)]
+    if net.check_conservation {
+        debug_assert_eq!(
+            net.in_flight,
+            net.flits_in_network(),
+            "incremental in-flight accounting diverged (parallel engine)"
+        );
+        debug_assert_eq!(
+            net.retx_queued,
+            net.nis
+                .iter()
+                .map(NodeInterface::pending_retransmits)
+                .sum::<usize>(),
+            "incremental retransmit-queue accounting diverged (parallel engine)"
+        );
+    }
+
+    let progress = net.stats.flits_injected + net.stats.flits_delivered;
+    if progress != net.last_progress {
+        net.last_progress = progress;
+        net.last_progress_cycle = net.now;
+    } else if net.config.stall_watchdog > 0
+        && net.now.saturating_sub(net.last_progress_cycle) >= net.config.stall_watchdog
+    {
+        let in_flight = net.unaccounted_flits() as u64;
+        if in_flight > 0 {
+            return Err(SimError::Stalled {
+                cycle: net.now,
+                in_flight,
+                per_router_occupancy: net.routers.iter().map(|r| r.occupancy()).collect(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_is_all_to_all() {
+        let barrier = Arc::new(SpinBarrier::new(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let b = Arc::clone(&barrier);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for round in 1..=100usize {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    b.wait();
+                    // Every participant's pre-barrier increment is visible.
+                    assert!(c.load(Ordering::Relaxed) >= 4 * round);
+                    b.wait();
+                }
+            }));
+        }
+        for round in 1..=100usize {
+            counter.fetch_add(1, Ordering::Relaxed);
+            barrier.wait();
+            assert!(counter.load(Ordering::Relaxed) >= 4 * round);
+            barrier.wait();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn masked_walk_matches_reference() {
+        let mut words = [0u64; 4];
+        let bits = [0usize, 1, 5, 63, 64, 65, 127, 128, 200, 255];
+        for &b in &bits {
+            words[b >> 6] |= 1 << (b & 63);
+        }
+        for (lo, hi) in [(0, 256), (1, 255), (64, 128), (63, 65), (65, 65), (5, 6)] {
+            let mut got = Vec::new();
+            // SAFETY: `words` outlives the call and covers [0, 256).
+            unsafe {
+                walk_masked(words.as_mut_ptr(), lo, hi, |i| {
+                    got.push(i);
+                    true
+                });
+            }
+            let want: Vec<usize> = bits
+                .iter()
+                .copied()
+                .filter(|&b| b >= lo && b < hi)
+                .collect();
+            assert_eq!(got, want, "range [{lo}, {hi})");
+        }
+    }
+}

@@ -81,7 +81,12 @@ impl RouterOutputs {
 ///   ejected, or — for the drop router — counted as dropped and NACKed),
 /// * [`Router::occupancy`] reflects every flit currently held inside the
 ///   router (buffers, latches, pipeline registers).
-pub trait Router {
+///
+/// Routers are owned by exactly one spatial shard at a time, so the trait
+/// requires `Send` (not `Sync`): the intra-run parallel engine moves
+/// mutable access to each router onto its shard's worker thread. Every
+/// mechanism is plain owned data, so this is automatic.
+pub trait Router: Send {
     /// Delivers a flit arriving on network input port `input`.
     fn receive_flit(&mut self, input: PortId, flit: Flit, now: Cycle);
 

@@ -512,6 +512,46 @@ impl NetworkStats {
         NetworkStats::default()
     }
 
+    /// Folds a worker shard's statistics delta into this accumulator.
+    ///
+    /// Every field is either a sum-mergeable counter, a mergeable
+    /// distribution ([`LatencyStats::merge`] / [`Histogram::merge`]), or a
+    /// monotone high-water mark (max). Addition is commutative and
+    /// associative, and `LatencyStats`/`Histogram` merges are too, so the
+    /// parallel engine's per-shard deltas fold to the exact bytes the
+    /// serial engine would have produced regardless of shard count — as
+    /// long as deltas are merged in a fixed order (they are: shard index).
+    ///
+    /// `cycles` is advanced by the engine epilogue, never by shards, so a
+    /// worker delta always carries `cycles == 0`.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        self.packets_offered += other.packets_offered;
+        self.packets_injected += other.packets_injected;
+        self.packets_delivered += other.packets_delivered;
+        self.flits_injected += other.flits_injected;
+        self.flits_delivered += other.flits_delivered;
+        self.flits_retransmitted += other.flits_retransmitted;
+        self.flits_corrupted += other.flits_corrupted;
+        self.flits_lost_to_faults += other.flits_lost_to_faults;
+        self.credits_lost += other.credits_lost;
+        self.retransmit_timeouts += other.retransmit_timeouts;
+        self.flits_retransmit_copies += other.flits_retransmit_copies;
+        self.recovered_packets += other.recovered_packets;
+        self.duplicate_flits_discarded += other.duplicate_flits_discarded;
+        self.nacks_absorbed += other.nacks_absorbed;
+        self.faults_injected += other.faults_injected;
+        self.network_latency.merge(&other.network_latency);
+        self.network_latency_hist.merge(&other.network_latency_hist);
+        self.total_latency.merge(&other.total_latency);
+        self.flit_hops.merge(&other.flit_hops);
+        self.flit_deflections.merge(&other.flit_deflections);
+        self.cycles_backpressured += other.cycles_backpressured;
+        self.cycles_backpressureless += other.cycles_backpressureless;
+        self.cycles_transitioning += other.cycles_transitioning;
+        self.reassembly_high_water = self.reassembly_high_water.max(other.reassembly_high_water);
+        self.cycles += other.cycles;
+    }
+
     /// Delivered throughput in flits per node per cycle.
     pub fn throughput(&self, nodes: usize) -> f64 {
         if self.cycles == 0 || nodes == 0 {

@@ -186,6 +186,10 @@ pub struct BackpressuredRouter {
     /// Buffered flits across all input VCs, maintained incrementally so
     /// [`Router::occupancy`] and the per-step occupancy integral are O(1).
     occ: usize,
+    /// Buffered flits per input port, maintained alongside `occ` so route
+    /// allocation and stage-1 nomination skip empty ports entirely (the
+    /// dominant case at low load, where most cycles see one busy port).
+    port_occ: PortMap<usize>,
     /// Reusable stage-1 eligibility buffer (one slot per input VC).
     eligible_scratch: Vec<bool>,
     /// Reusable stage-2 winner list `(in, vc, out)`.
@@ -246,6 +250,7 @@ impl BackpressuredRouter {
             options,
             tolerate_orphans: !config.faults.is_empty(),
             occ: 0,
+            port_occ: PortMap::default(),
             eligible_scratch: vec![false; total],
             winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
             counters: ActivityCounters::new(),
@@ -265,6 +270,11 @@ impl BackpressuredRouter {
             let Some(vcs) = self.inputs[port].as_mut() else {
                 continue;
             };
+            if self.port_occ[port] == 0 {
+                // Every VC queue is empty: the body below would only skip
+                // over `None` heads, so eliding the walk changes nothing.
+                continue;
+            }
             for vc in vcs.iter_mut() {
                 let Some(hoq) = vc.queue.front() else {
                     continue;
@@ -370,6 +380,7 @@ impl Router for BackpressuredRouter {
         );
         vcs[vc].queue.push_back(flit);
         self.occ += 1;
+        self.port_occ[input] += 1;
         self.counters.buffer_writes += 1;
     }
 
@@ -434,6 +445,7 @@ impl Router for BackpressuredRouter {
         let vcs = self.inputs[PortId::Local].as_mut().expect("local port");
         vcs[vc].queue.push_back(flit);
         self.occ += 1;
+        self.port_occ[PortId::Local] += 1;
         self.counters.buffer_writes += 1;
         self.counters.injections += 1;
     }
@@ -452,7 +464,11 @@ impl Router for BackpressuredRouter {
         // rotate the arbiter.
         let mut eligible = std::mem::take(&mut self.eligible_scratch);
         for port in PortId::ALL {
-            if self.inputs[port].is_none() {
+            if self.inputs[port].is_none() || self.port_occ[port] == 0 {
+                // An empty port nominates nothing: eligibility is false for
+                // every VC, which would `continue` before the arbiter is
+                // consulted or the arbitration counter bumped — so the skip
+                // is byte-identical to evaluating it.
                 continue;
             }
             for (vc, slot) in eligible.iter_mut().enumerate() {
@@ -513,6 +529,7 @@ impl Router for BackpressuredRouter {
             let was_alone = ivc.queue.len() == 1;
             let mut flit = ivc.queue.pop_front().expect("winner VC nonempty");
             self.occ -= 1;
+            self.port_occ[in_port] -= 1;
             let out_vc = ivc.out_vc;
             if flit.is_tail() {
                 ivc.route = None;
@@ -576,6 +593,16 @@ impl Router for BackpressuredRouter {
                 .map(|vc| vc.queue.len())
                 .sum::<usize>(),
             "incremental occupancy out of sync at {}",
+            self.node
+        );
+        debug_assert!(
+            PortId::ALL.into_iter().all(|p| {
+                self.port_occ[p]
+                    == self.inputs[p]
+                        .as_ref()
+                        .map_or(0, |vcs| vcs.iter().map(|vc| vc.queue.len()).sum())
+            }),
+            "incremental per-port occupancy out of sync at {}",
             self.node
         );
         self.occ
@@ -642,6 +669,7 @@ impl Router for BackpressuredRouter {
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
         let total = self.layout.total();
         let mut occ = 0usize;
+        self.port_occ = PortMap::default();
         for port in PortId::ALL {
             let Some(vcs) = self.inputs[port].as_mut() else {
                 continue;
@@ -658,6 +686,7 @@ impl Router for BackpressuredRouter {
                     vc.queue.push_back(snapshot::read_flit(r)?);
                 }
                 occ += n;
+                self.port_occ[port] += n;
                 vc.route = if r.get_bool("input vc route presence")? {
                     Some(
                         PortId::from_index(r.get_u8("input vc route")? as usize).ok_or(

@@ -45,6 +45,9 @@ pub struct RunArgs {
     pub checkpoint_file: String,
     /// Resume from this checkpoint file instead of starting fresh.
     pub resume_from: Option<String>,
+    /// Worker threads for the intra-run parallel cycle engine (results are
+    /// byte-identical at any value; this is purely a wall-clock knob).
+    pub sim_threads: usize,
 }
 
 /// Arguments of the `inspect` subcommand.
@@ -75,6 +78,8 @@ pub struct SweepArgs {
     pub cycles: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the intra-run parallel cycle engine.
+    pub sim_threads: usize,
 }
 
 /// Arguments of the `faults` subcommand.
@@ -214,6 +219,14 @@ fn parse_kill(s: &str) -> Result<(u16, u16, Direction, u64), String> {
     Ok((x, y, dir, at))
 }
 
+fn parse_threads(s: &str) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|_| format!("bad --sim-threads {s:?}"))?;
+    if n == 0 {
+        return Err("--sim-threads must be >= 1".into());
+    }
+    Ok(n)
+}
+
 fn parse_mesh(s: &str) -> Result<(u16, u16), String> {
     let (w, h) = s
         .split_once(['x', 'X'])
@@ -273,6 +286,7 @@ impl Cli {
                         .map_err(|_| "bad --checkpoint-every")?,
                     checkpoint_file: get("checkpoint-file", "results/afc-noc.ckpt"),
                     resume_from: flags.get("resume-from").cloned(),
+                    sim_threads: parse_threads(&get("sim-threads", "1"))?,
                 }))
             }
             "inspect" => {
@@ -307,6 +321,7 @@ impl Cli {
                     mesh: parse_mesh(&get("mesh", "3x3"))?,
                     cycles: get("cycles", "10000").parse().map_err(|_| "bad --cycles")?,
                     seed: get("seed", "1").parse().map_err(|_| "bad --seed")?,
+                    sim_threads: parse_threads(&get("sim-threads", "1"))?,
                 }))
             }
             "faults" => {
@@ -343,9 +358,9 @@ afc-noc — Adaptive Flow Control NoC simulator
 USAGE:
   afc-noc run   [--mechanism M] [--workload W] [--mesh 3x3] [--seed N]
                 [--warmup N] [--txns N] [--checkpoint-every N]
-                [--checkpoint-file F] [--resume-from F]
+                [--checkpoint-file F] [--resume-from F] [--sim-threads N]
   afc-noc sweep [--mechanism M] [--pattern P] [--rates 0.1,0.3,...]
-                [--mesh 3x3] [--cycles N] [--seed N]
+                [--mesh 3x3] [--cycles N] [--seed N] [--sim-threads N]
   afc-noc inspect [--workload W] [--mesh 3x3] [--cycles N] [--seed N]
   afc-noc faults  [--mechanism M] [--mesh 3x3] [--rate R] [--drop P]
                   [--corrupt P] [--credit-loss P] [--kill x,y:DIR:CYCLE]
@@ -364,6 +379,11 @@ The faults scenario injects deterministic, seed-reproducible link faults
 per-packet checksums and NI retransmission recover end to end; a stall
 watchdog turns deadlock into a structured report instead of a hang.
 --timeout 0 disables retransmission.
+
+--sim-threads N steps each cycle on N worker threads (spatially sharded;
+see DESIGN.md §12). Results are byte-identical at any thread count, so
+the flag only changes wall-clock time. The AFC_SIM_THREADS environment
+variable overrides it.
 ";
 
 #[cfg(test)]
@@ -386,6 +406,27 @@ mod tests {
         assert_eq!(a.checkpoint_every, 0);
         assert_eq!(a.checkpoint_file, "results/afc-noc.ckpt");
         assert_eq!(a.resume_from, None);
+        assert_eq!(a.sim_threads, 1);
+    }
+
+    #[test]
+    fn parses_sim_threads() {
+        let Cli::Run(a) = Cli::parse(&argv("run --sim-threads 4")) else {
+            panic!("expected run")
+        };
+        assert_eq!(a.sim_threads, 4);
+        let Cli::Sweep(a) = Cli::parse(&argv("sweep --sim-threads 8")) else {
+            panic!("expected sweep")
+        };
+        assert_eq!(a.sim_threads, 8);
+        assert!(matches!(
+            Cli::parse(&argv("run --sim-threads 0")),
+            Cli::Help(Some(_))
+        ));
+        assert!(matches!(
+            Cli::parse(&argv("run --sim-threads lots")),
+            Cli::Help(Some(_))
+        ));
     }
 
     #[test]

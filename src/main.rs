@@ -59,9 +59,14 @@ fn main() {
 }
 
 fn net_config(mesh: (u16, u16)) -> NetworkConfig {
+    net_config_threaded(mesh, 1)
+}
+
+fn net_config_threaded(mesh: (u16, u16), sim_threads: usize) -> NetworkConfig {
     NetworkConfig {
         width: mesh.0,
         height: mesh.1,
+        sim_threads,
         ..NetworkConfig::paper_3x3()
     }
 }
@@ -69,7 +74,7 @@ fn net_config(mesh: (u16, u16)) -> NetworkConfig {
 fn do_run(args: &RunArgs) -> Result<(), String> {
     let factory = mechanism_factory(&args.mechanism)?;
     let workload = workload_by_name(&args.workload)?;
-    let cfg = net_config(args.mesh);
+    let cfg = net_config_threaded(args.mesh, args.sim_threads);
     let out = if args.checkpoint_every > 0 || args.resume_from.is_some() {
         let ckpt_file = std::path::PathBuf::from(&args.checkpoint_file);
         let resume = args.resume_from.as_ref().map(std::path::PathBuf::from);
@@ -279,7 +284,7 @@ fn do_faults(args: &FaultArgs) -> Result<(), String> {
 fn do_sweep(args: &SweepArgs) -> Result<(), String> {
     let factory = mechanism_factory(&args.mechanism)?;
     let pattern = pattern_by_name(&args.pattern)?;
-    let cfg = net_config(args.mesh);
+    let cfg = net_config_threaded(args.mesh, args.sim_threads);
     println!(
         "mechanism={} pattern={} mesh={}x{}",
         args.mechanism, args.pattern, args.mesh.0, args.mesh.1
