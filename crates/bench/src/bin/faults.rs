@@ -128,11 +128,12 @@ fn main() {
     println!("{}", t.render());
 
     // Permanent-fault demo: kill the center router's east link mid-run.
-    // Backpressured traffic over the dead link either recovers by
-    // retransmission along the same deterministic path (it cannot — XY
-    // routing has one path) and so must stall; the watchdog converts the
-    // hang into a structured report. Adaptive/misrouting mechanisms keep
-    // limping along on retransmissions.
+    // Since the fault-aware routing layer (DESIGN.md §13) landed, every
+    // mechanism — including backpressured XY, whose single deterministic
+    // path crosses the dead link — detects the kill, gossips the fault
+    // map, and detours over the alive graph; the stall watchdog remains
+    // as the backstop that turns any residual hang into a structured
+    // report instead of an infinite loop.
     println!("\nPermanent link kill: center node (1,1) east output dies at cycle 1000\n");
     let mesh = NetworkConfig::paper_3x3().mesh().expect("valid mesh");
     let center = mesh.node_at(Coord::new(1, 1)).expect("3x3 has a center");
@@ -176,6 +177,166 @@ fn main() {
         t.row(row);
     }
     println!("{}", t.render());
+
+    degradation_sweep(quick, seed);
+
     let timing = afc_bench::sweep::write_timing_report("faults").expect("writable results dir");
     println!("(timing: {})", timing.display());
+}
+
+/// Graceful-degradation curve: throughput retained as progressively more
+/// links are killed mid-run.
+///
+/// For each kill count `k` the sweep picks `k` distinct directed links of
+/// an 8x8 mesh with a seeded shuffle (the same seed gives the same storm),
+/// kills them all at a fixed mid-injection cycle, and measures the
+/// delivered fraction per mechanism with bounded retransmission. The
+/// headline column is throughput retained relative to the same mechanism's
+/// own fault-free (`k = 0`) run, so the curve isolates degradation from
+/// baseline throughput differences. Results land in
+/// `results/BENCH_degradation.json` and `results/degradation.csv`.
+fn degradation_sweep(quick: bool, seed: u64) {
+    use afc_netsim::rng::SimRng;
+
+    let kill_counts: &[usize] = if quick {
+        &[0, 2, 8]
+    } else {
+        &[0, 1, 2, 4, 8, 16, 32]
+    };
+    let (inject, drain) = if quick {
+        (1_500, 60_000)
+    } else {
+        (3_000, 200_000)
+    };
+    const KILL_AT: u64 = 500;
+
+    let base_cfg = NetworkConfig::paper_8x8();
+    let mesh = base_cfg.mesh().expect("valid 8x8 mesh");
+    // Every directed link of the mesh, in deterministic node/direction
+    // order, then seed-shuffled once; kill count `k` takes the prefix so
+    // larger storms strictly contain smaller ones.
+    let mesh_ref = &mesh;
+    let mut links: Vec<(afc_netsim::geom::NodeId, Direction)> = mesh
+        .nodes()
+        .flat_map(|n| {
+            Direction::ALL
+                .into_iter()
+                .filter(move |&d| mesh_ref.neighbor(n, d).is_some())
+                .map(move |d| (n, d))
+        })
+        .collect();
+    let mut rng = SimRng::seed_from(seed ^ 0xDE64);
+    rng.shuffle(&mut links);
+
+    println!(
+        "\nDegradation curve: 8x8 mesh, uniform random load 0.10, {} links killed at cycle {KILL_AT},",
+        kill_counts
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+    );
+    println!("retransmit timeout 300 (cap 2^2, max 4 attempts), seed {seed}\n");
+
+    let mechs = fault_mechanisms();
+    let jobs: Vec<(usize, usize)> = (0..mechs.len())
+        .flat_map(|mi| kill_counts.iter().map(move |&k| (mi, k)))
+        .collect();
+    let rows = afc_bench::sweep::run_sweep("fault-degradation", &jobs, |_, &(mi, k)| {
+        let m = &mechs[mi];
+        let mut plan = FaultPlan::none();
+        for &(node, dir) in &links[..k] {
+            plan = plan.kill_link(node, dir, KILL_AT);
+        }
+        let cfg = NetworkConfig {
+            faults: plan,
+            retransmit: Some(RetransmitConfig {
+                timeout: 300,
+                backoff_cap: 2,
+                max_attempts: 4,
+            }),
+            ..NetworkConfig::paper_8x8()
+        };
+        let out = run_fault_scenario(
+            m.factory.as_ref(),
+            &cfg,
+            RateSpec::Uniform(0.10),
+            Pattern::UniformRandom,
+            PacketMix::paper(),
+            inject,
+            drain,
+            seed,
+        )
+        .expect("valid configuration");
+        let s = &out.stats;
+        let outcome = match &out.error {
+            Some(e) => format!("ERROR: {e}"),
+            None if out.drained => "drained".to_string(),
+            None => "drain budget exhausted".to_string(),
+        };
+        (
+            m.label,
+            k,
+            out.delivered_fraction(),
+            s.links_failed,
+            out.network.total_counters().reroutes,
+            s.packets_unreachable,
+            outcome,
+        )
+    });
+
+    // Throughput retained is relative to the same mechanism's k = 0 row.
+    let mut baseline = std::collections::HashMap::new();
+    for &(label, k, delivered, ..) in &rows {
+        if k == 0 {
+            baseline.insert(label, delivered);
+        }
+    }
+    let mut t = Table::new(vec![
+        "mechanism",
+        "links killed",
+        "delivered",
+        "retained",
+        "links detected",
+        "reroutes",
+        "unreachable",
+        "outcome",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for (label, k, delivered, failed, reroutes, unreachable, outcome) in &rows {
+        let retained = delivered / baseline.get(label).copied().unwrap_or(1.0).max(1e-12);
+        t.row(vec![
+            label.to_string(),
+            k.to_string(),
+            percent(*delivered),
+            percent(retained),
+            failed.to_string(),
+            reroutes.to_string(),
+            unreachable.to_string(),
+            outcome.clone(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"mechanism\": \"{label}\", \"links_killed\": {k}, \
+             \"delivered_fraction\": {delivered:.4}, \"throughput_retained\": {retained:.4}, \
+             \"links_detected\": {failed}, \"reroutes\": {reroutes}, \
+             \"packets_unreachable\": {unreachable}, \"outcome\": \"{outcome}\"}}"
+        ));
+    }
+    println!("{}", t.render());
+
+    let json = format!(
+        "{{\n  \"bench\": \"degradation\",\n  \"mesh\": \"8x8\",\n  \"rate\": 0.10,\n  \
+         \"kill_at\": {KILL_AT},\n  \"inject_cycles\": {inject},\n  \"seed\": {seed},\n  \
+         \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let json_path = root.join("results").join("BENCH_degradation.json");
+    afc_bench::sweep::write_atomic(&json_path, json.as_bytes()).expect("writable results dir");
+    let csv_path = root.join("results").join("degradation.csv");
+    afc_bench::sweep::write_atomic(&csv_path, t.to_csv().as_bytes()).expect("writable results dir");
+    println!("(wrote {} and {})", json_path.display(), csv_path.display());
 }

@@ -30,6 +30,7 @@
 use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
+use afc_netsim::fault_aware::{FaultAwareness, RouteOutcome};
 use afc_netsim::flit::{Cycle, Flit, VcId};
 use afc_netsim::geom::{DirMap, Direction, NodeId, PortId, PortMap};
 use afc_netsim::rng::SimRng;
@@ -204,6 +205,11 @@ pub struct AfcRouter {
     eligible_scratch: Vec<Option<PortId>>,
     /// Reusable stage-2 winner list `(input, flat slot, output)`.
     winners_scratch: Vec<(PortId, usize, PortId)>,
+    /// Reusable dead-direction mask for deflect-mode assignment.
+    blocked_scratch: Vec<Direction>,
+    /// Fault mask, gossip queue and alive-graph routing table (DESIGN.md
+    /// §13); clean-state steps are byte-identical to the fault-free build.
+    fa: FaultAwareness,
 }
 
 impl AfcRouter {
@@ -267,6 +273,8 @@ impl AfcRouter {
             assign_scratch: Vec::with_capacity(8),
             eligible_scratch: vec![None; total_slots],
             winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
+            blocked_scratch: Vec::with_capacity(4),
+            fa: FaultAwareness::new(node, mesh.clone()),
             cfg,
         };
         if always {
@@ -424,9 +432,53 @@ impl AfcRouter {
         // with capacity intact: no allocation in steady state.
         let mut flits = std::mem::take(&mut self.latches);
         let mut assigns = std::mem::take(&mut self.assign_scratch);
+        let mut blocked = std::mem::take(&mut self.blocked_scratch);
+        blocked.clear();
+        if !self.fa.is_clean() {
+            // Degraded mode: terminate unreachable flits through the
+            // structured drop/NACK path (order-preserving removal keeps the
+            // ranking RNG sequence deterministic), then mask dead output
+            // links — relaxed if more flits remain than alive ports, in
+            // which case the overflow deliberately sinks into the dead link
+            // where the fault plane accounts for it and retransmission
+            // recovers it.
+            let mut i = 0;
+            while i < flits.len() {
+                if matches!(self.fa.route(flits[i].dest), RouteOutcome::Unreachable) {
+                    out.dropped.push(flits.remove(i));
+                    self.counters.drops += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            self.fa
+                .fill_blocked(self.engine.dirs(), flits.len(), &mut blocked);
+        }
         self.counters.arbitrations += flits.len() as u64;
-        self.engine.assign_into(&mut flits, &[], rng, &mut assigns);
+        if self.fa.is_clean() {
+            self.engine
+                .assign_into(&mut flits, &blocked, rng, &mut assigns);
+        } else {
+            // Degraded mode: desire the alive-graph next hop, not the
+            // fault-blind DOR productive set (see `assign_with_into`).
+            let fa = &mut self.fa;
+            self.engine.assign_with_into(
+                &mut flits,
+                &blocked,
+                |f| match fa.route(f.dest) {
+                    RouteOutcome::Dir(d) => Some(d),
+                    RouteOutcome::Local | RouteOutcome::Unreachable => None,
+                },
+                rng,
+                &mut assigns,
+            );
+        }
+        self.blocked_scratch = blocked;
+        let clean = self.fa.is_clean();
         for a in assigns.iter_mut() {
+            if !a.deflected && !clean && !self.engine.is_productive(&a.flit, a.dir) {
+                self.counters.reroutes += 1;
+            }
             a.flit.hops += 1;
             if a.deflected {
                 a.flit.deflections = a.flit.deflections.saturating_add(1);
@@ -447,9 +499,65 @@ impl AfcRouter {
         self.assign_scratch = assigns;
     }
 
+    /// Removes buffered flits whose destinations have no alive path
+    /// (degraded mode only): each returns its upstream vnet credit and
+    /// lands in `out.dropped`, feeding the NACK/bounded-retransmit path
+    /// that terminates the packet with a structured `Unreachable` record.
+    ///
+    /// At most two credits per network port per cycle: the reverse lane is
+    /// one wire bundle ([`LANE_CAP`](afc_netsim::channel::LANE_CAP) slots)
+    /// that must also carry this cycle's switch-traversal credit, so a
+    /// full bank drains over several cycles instead of bursting.
+    fn sweep_unreachable_buffers(&mut self, out: &mut RouterOutputs) {
+        for port in PortId::ALL {
+            let Some(bank) = self.buffers[port].as_mut() else {
+                continue;
+            };
+            if bank.total_occupied == 0 {
+                continue;
+            }
+            let mut budget = if port.is_network() {
+                2usize
+            } else {
+                usize::MAX
+            };
+            'port: for vnet in 0..self.vnet_capacity.len() {
+                if bank.occupied[vnet] == 0 {
+                    continue;
+                }
+                for slot in 0..self.vnet_capacity[vnet] {
+                    let Some(flit) = bank.slots[vnet][slot] else {
+                        continue;
+                    };
+                    if !matches!(self.fa.route(flit.dest), RouteOutcome::Unreachable) {
+                        continue;
+                    }
+                    if budget == 0 {
+                        // Remaining unreachable flits drain next cycle.
+                        break 'port;
+                    }
+                    let flit = bank.take(vnet, slot).expect("checked occupied");
+                    self.buffered -= 1;
+                    self.counters.buffer_reads += 1;
+                    self.counters.drops += 1;
+                    if port.is_network() {
+                        out.credits[port].push(Credit::Vnet(flit.vnet));
+                        self.counters.credits_sent += 1;
+                        budget -= 1;
+                    }
+                    out.dropped.push(flit);
+                }
+            }
+        }
+    }
+
     /// One cycle of lazy-VC backpressured processing.
     fn step_backpressured(&mut self, out: &mut RouterOutputs) {
         self.counters.buffer_occupancy_sum += self.occupancy() as u64;
+        let clean = self.fa.is_clean();
+        if !clean {
+            self.sweep_unreachable_buffers(out);
+        }
 
         // Stage 1: each input port nominates one eligible slot. The
         // eligibility map is a reusable scratch vector, re-zeroed per port.
@@ -484,12 +592,22 @@ impl AfcRouter {
                     };
                     let route = if flit.dest == self.node {
                         PortId::Local
-                    } else {
+                    } else if clean {
                         PortId::Net(
                             self.mesh
                                 .dor_route(self.node, flit.dest)
                                 .expect("non-local flit has a route"),
                         )
+                    } else {
+                        // Degraded mode: per-flit alive-graph next hop (AFC
+                        // routes statelessly, so masking is this simple).
+                        // A doomed flit the budget-limited sweep has not
+                        // reached yet simply sits out arbitration until a
+                        // later sweep retires it.
+                        match self.fa.route(flit.dest) {
+                            RouteOutcome::Dir(d) => PortId::Net(d),
+                            RouteOutcome::Local | RouteOutcome::Unreachable => continue,
+                        }
                     };
                     let ok = match route {
                         PortId::Local => true,
@@ -571,6 +689,9 @@ impl AfcRouter {
                         debug_assert!(*c > 0, "eligibility checked credits");
                         *c = c.saturating_sub(1);
                     }
+                    if !clean && Some(d) != self.mesh.dor_route(self.node, flit.dest) {
+                        self.counters.reroutes += 1;
+                    }
                     // Lazy allocation happens downstream: only the virtual
                     // network travels with the flit.
                     flit.vc = None;
@@ -613,7 +734,7 @@ impl Router for AfcRouter {
         // buffers" on the next StartCreditTracking (Section III-C).
     }
 
-    fn receive_control(&mut self, output: PortId, signal: ControlSignal, _now: Cycle) {
+    fn receive_control(&mut self, output: PortId, signal: ControlSignal, now: Cycle) {
         let Some(d) = output.direction() else {
             return;
         };
@@ -626,7 +747,16 @@ impl Router for AfcRouter {
             ControlSignal::StopCreditTracking => {
                 self.tracking[d] = false;
             }
+            ControlSignal::LinkFault { .. } => {
+                if self.fa.on_control(signal, now) {
+                    self.counters.fault_notices += 1;
+                }
+            }
         }
+    }
+
+    fn note_link_fault(&mut self, dir: Direction, now: Cycle) {
+        self.fa.learn(self.node, dir, now);
     }
 
     fn injection_ready(&self, flit: &Flit, now: Cycle) -> bool {
@@ -657,6 +787,11 @@ impl Router for AfcRouter {
         let sample = self.flits_this_cycle;
         self.flits_this_cycle = 0;
         self.monitor.record_cycle(sample);
+        if !self.fa.is_clean() {
+            // At most 2 fault facts + 1 mode signal per cycle fit the
+            // 4-slot control lane with slack.
+            self.fa.drain_gossip(out);
+        }
 
         // Complete an in-flight forward transition.
         if let AfcMode::SwitchingForward { complete_at, .. } = self.mode {
@@ -755,6 +890,11 @@ impl Router for AfcRouter {
         if self.flits_this_cycle != 0 || !self.monitor.is_idle_replayable() {
             return false;
         }
+        if self.fa.has_pending_gossip() {
+            // Pending fault gossip keeps the router live so the flood
+            // drains even with no traffic.
+            return false;
+        }
         match self.mode {
             // Safe to skip only when the next steps provably do nothing but
             // decay the monitor: no latched flits, no gossip pressure (the
@@ -849,6 +989,7 @@ impl Router for AfcRouter {
             }
         }
         self.counters.save(w);
+        self.fa.save(w);
         Ok(())
     }
 
@@ -934,6 +1075,7 @@ impl Router for AfcRouter {
             }
         }
         self.counters = ActivityCounters::load(r)?;
+        self.fa.load(r)?;
         Ok(())
     }
 }

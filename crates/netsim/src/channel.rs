@@ -14,6 +14,7 @@
 //! wires.
 
 use crate::flit::{Flit, VcId, VirtualNetwork};
+use crate::geom::{Direction, NodeId};
 use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A buffer-release token flowing upstream.
@@ -29,6 +30,11 @@ pub enum Credit {
 }
 
 /// A control signal on the one-bit sideband line (paper Section III-A).
+///
+/// Fault notifications ride the same sideband: a router that detects (or
+/// learns of) a dead link rebroadcasts it to every neighbor, flooding
+/// reachability knowledge across the mesh one hop per cycle — the same
+/// gossip pattern AFC uses for congestion (DESIGN.md §13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ControlSignal {
     /// The downstream router is switching to backpressured mode: start
@@ -37,6 +43,14 @@ pub enum ControlSignal {
     /// The downstream router has switched to backpressureless mode: stop
     /// counting credits and treat its buffers as empty.
     StopCreditTracking,
+    /// The directed link leaving `node` toward `dir` is dead. Flooded
+    /// hop-by-hop; receivers deduplicate and rebroadcast new facts.
+    LinkFault {
+        /// Upstream endpoint of the dead link.
+        node: NodeId,
+        /// Outgoing direction of the dead link at `node`.
+        dir: Direction,
+    },
 }
 
 /// Inline capacity of one reverse-lane slot.
@@ -147,16 +161,30 @@ fn read_credit(r: &mut SnapshotReader<'_>) -> Result<Credit, SnapshotError> {
 }
 
 fn write_control(w: &mut SnapshotWriter, s: ControlSignal) {
-    w.put_u8(match s {
-        ControlSignal::StartCreditTracking => 0,
-        ControlSignal::StopCreditTracking => 1,
-    });
+    match s {
+        ControlSignal::StartCreditTracking => w.put_u8(0),
+        ControlSignal::StopCreditTracking => w.put_u8(1),
+        ControlSignal::LinkFault { node, dir } => {
+            w.put_u8(2);
+            w.put_usize(node.index());
+            w.put_u8(dir.index() as u8);
+        }
+    }
 }
 
 fn read_control(r: &mut SnapshotReader<'_>) -> Result<ControlSignal, SnapshotError> {
     Ok(match r.get_u8("control tag")? {
         0 => ControlSignal::StartCreditTracking,
         1 => ControlSignal::StopCreditTracking,
+        2 => {
+            let node = NodeId::new(r.get_usize("control fault node")?);
+            let dir = Direction::from_index(r.get_u8("control fault direction")? as usize).ok_or(
+                SnapshotError::Malformed {
+                    what: "control fault direction",
+                },
+            )?;
+            ControlSignal::LinkFault { node, dir }
+        }
         _ => {
             return Err(SnapshotError::Malformed {
                 what: "control tag",
@@ -472,10 +500,7 @@ impl Channel {
         for slot in self.rev.control.iter() {
             w.put_u8(slot.len);
             for s in slot.as_slice() {
-                w.put_u8(match s {
-                    ControlSignal::StartCreditTracking => 0,
-                    ControlSignal::StopCreditTracking => 1,
-                });
+                write_control(w, *s);
             }
         }
         w.put_usize(self.rev.head);
@@ -543,16 +568,7 @@ impl Channel {
             }
             let mut slot = LaneSlot::new(ControlSignal::StartCreditTracking);
             for _ in 0..n {
-                let s = match r.get_u8("channel control tag")? {
-                    0 => ControlSignal::StartCreditTracking,
-                    1 => ControlSignal::StopCreditTracking,
-                    _ => {
-                        return Err(SnapshotError::Malformed {
-                            what: "channel control tag",
-                        })
-                    }
-                };
-                slot.push(s);
+                slot.push(read_control(r)?);
                 control_count += 1;
             }
             rev_control.push(slot);

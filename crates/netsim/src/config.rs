@@ -90,16 +90,46 @@ pub struct RetransmitConfig {
     /// Maximum number of doublings applied to `timeout` (capped exponential
     /// backoff).
     pub backoff_cap: u32,
+    /// Retransmission attempts after which the NI gives up on a packet and
+    /// records a structured per-packet `Unreachable` outcome instead of
+    /// retrying forever into (say) a permanently killed link. `0` means
+    /// unlimited — the pre-fault-tolerance behavior.
+    pub max_attempts: u32,
 }
 
 impl Default for RetransmitConfig {
     /// A timeout comfortably above one mesh traversal on the paper meshes,
-    /// with backoff capped at 16x the base timeout.
+    /// with backoff capped at 16x the base timeout and unlimited attempts.
     fn default() -> Self {
         RetransmitConfig {
             timeout: 600,
             backoff_cap: 4,
+            max_attempts: 0,
         }
+    }
+}
+
+impl RetransmitConfig {
+    /// A bounded-recovery preset for fault experiments: default timing, but
+    /// give up (and record `Unreachable`) after `attempts` retransmissions.
+    pub fn bounded(attempts: u32) -> RetransmitConfig {
+        RetransmitConfig {
+            max_attempts: attempts,
+            ..RetransmitConfig::default()
+        }
+    }
+
+    /// How long a partial reassembly buffer may go without a new flit
+    /// before the destination NI discards it (counted as
+    /// `reassemblies_expired`).
+    ///
+    /// Four maximally backed-off retransmit periods: longer than any quiet
+    /// gap a still-retrying source can produce, so an *active* packet is
+    /// never purged — only one whose source has given up (bounded
+    /// retransmit) or whose remaining flits a permanent fault keeps
+    /// eating. Deterministic: derived purely from the config.
+    pub fn reassembly_ttl(&self) -> u64 {
+        (self.timeout << self.backoff_cap.min(63)).saturating_mul(4)
     }
 }
 
@@ -217,7 +247,7 @@ impl NetworkConfig {
                 range: ">= 1",
             });
         }
-        self.faults.validate()?;
+        self.faults.validate(self.width, self.height)?;
         if let Some(r) = &self.retransmit {
             if r.timeout == 0 {
                 return Err(ConfigError::OutOfRange {

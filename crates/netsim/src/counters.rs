@@ -56,6 +56,11 @@ pub struct ActivityCounters {
     pub mode_switches_reverse: u64,
     /// Forward switches forced by gossip (neighbor credit exhaustion).
     pub mode_switches_gossip: u64,
+    /// Flits routed away from their dimension-ordered productive direction
+    /// because a fault mask blocked it (fault-aware detours).
+    pub reroutes: u64,
+    /// New dead-link facts learned (locally detected or via gossip).
+    pub fault_notices: u64,
 }
 
 impl ActivityCounters {
@@ -87,11 +92,13 @@ impl ActivityCounters {
         self.mode_switches_forward += other.mode_switches_forward;
         self.mode_switches_reverse += other.mode_switches_reverse;
         self.mode_switches_gossip += other.mode_switches_gossip;
+        self.reroutes += other.reroutes;
+        self.fault_notices += other.fault_notices;
     }
 
     /// All fields in declaration order — the single source of truth for
     /// [`ActivityCounters::save`]/[`ActivityCounters::load`] layout.
-    fn fields(&self) -> [u64; 21] {
+    fn fields(&self) -> [u64; 23] {
         [
             self.buffer_writes,
             self.buffer_reads,
@@ -114,6 +121,8 @@ impl ActivityCounters {
             self.mode_switches_forward,
             self.mode_switches_reverse,
             self.mode_switches_gossip,
+            self.reroutes,
+            self.fault_notices,
         ]
     }
 
@@ -130,7 +139,7 @@ impl ActivityCounters {
     ///
     /// Decode errors on a truncated payload.
     pub fn load(r: &mut SnapshotReader<'_>) -> Result<ActivityCounters, SnapshotError> {
-        let mut f = [0u64; 21];
+        let mut f = [0u64; 23];
         for v in &mut f {
             *v = r.get_u64("activity counter")?;
         }
@@ -156,6 +165,8 @@ impl ActivityCounters {
             mode_switches_forward: f[18],
             mode_switches_reverse: f[19],
             mode_switches_gossip: f[20],
+            reroutes: f[21],
+            fault_notices: f[22],
         })
     }
 

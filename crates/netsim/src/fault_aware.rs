@@ -1,0 +1,491 @@
+//! Shared fault-awareness state for fault-tolerant routing (DESIGN.md §13).
+//!
+//! Every router embeds a [`FaultAwareness`]: the per-router record of which
+//! directed links are known dead, the gossip queue that floods new facts to
+//! neighbors over the control sideband, and a routing table over the *alive*
+//! graph that replaces dimension-ordered routing once any fault is known.
+//!
+//! ## Determinism contract
+//!
+//! Fault knowledge changes only through two deterministic inputs: the
+//! engine's kill-detection schedule (a pure function of the fault plan) and
+//! [`ControlSignal::LinkFault`] gossip arriving over channels. The alive
+//! routing table is a pure function of the `known_dead` set, rebuilt lazily;
+//! no randomness, no wall clock. While the set is empty ([`is_clean`]
+//! (FaultAwareness::is_clean)), routers MUST take their historical routing
+//! paths untouched — fault-free runs stay bit-identical to builds that
+//! predate this module.
+//!
+//! ## Routing rule
+//!
+//! For each destination the table holds the first hop of a shortest path in
+//! the directed graph of alive links (computed by BFS from the destination
+//! over reversed edges). Ties prefer the dimension-ordered productive
+//! direction (X before Y), then the canonical [`Direction::ALL`] order, so
+//! the detour deviates minimally from DOR and is identical on every engine
+//! path. Unreachable destinations are reported so callers can terminate the
+//! packet cleanly (drop → NACK → bounded retransmit → `Unreachable`).
+
+use crate::channel::ControlSignal;
+use crate::flit::Cycle;
+use crate::geom::{DirMap, Direction, NodeId};
+use crate::router::RouterOutputs;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+use crate::topology::Mesh;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Fault notifications rebroadcast per router per cycle. The reverse-lane
+/// slot capacity is [`LANE_CAP`](crate::channel::LANE_CAP) = 4 and a router
+/// emits at most one mode-control signal per cycle, so 2 fault signals
+/// always fit with slack.
+pub const GOSSIP_PER_CYCLE: usize = 2;
+
+/// Next-hop table entry: direction index, local delivery, or unreachable.
+const HOP_LOCAL: u8 = 4;
+const HOP_UNREACHABLE: u8 = u8::MAX;
+
+/// Outcome of a fault-aware route lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The destination is this node.
+    Local,
+    /// Forward toward `0`'s direction.
+    Dir(Direction),
+    /// No alive path from this node to the destination.
+    Unreachable,
+}
+
+/// Per-router fault mask, gossip queue and alive-graph routing table.
+#[derive(Debug, Clone)]
+pub struct FaultAwareness {
+    node: NodeId,
+    mesh: Mesh,
+    /// Known-dead output links at this node (`known_dead` entries owned by
+    /// this node), cached for O(1) port masking.
+    dead_out: DirMap<bool>,
+    /// Input ports fed by a known-dead link. Once a link's death is known
+    /// here, no flit can ever arrive on that port again (kills are absolute
+    /// and detection happens strictly after the kill), which is what makes
+    /// orphaned-wormhole cleanup on these ports provably safe.
+    dead_in: DirMap<bool>,
+    /// Every directed dead link this router knows about, network-wide.
+    /// Ordered so snapshots and table rebuilds are deterministic.
+    known_dead: BTreeSet<(usize, u8)>,
+    /// Dead links queued for rebroadcast to all neighbors.
+    pending_gossip: VecDeque<(NodeId, Direction)>,
+    /// Per-destination next hop over the alive graph (`HOP_*` encoding);
+    /// rebuilt lazily after fault knowledge changes.
+    table: Vec<u8>,
+    dirty: bool,
+    /// Cycle the first local fault was recorded (detection-latency stat
+    /// anchor; not part of routing).
+    first_fault_at: Option<Cycle>,
+}
+
+impl FaultAwareness {
+    /// Creates clean (fault-free) awareness state for `node`.
+    pub fn new(node: NodeId, mesh: Mesh) -> FaultAwareness {
+        FaultAwareness {
+            node,
+            mesh,
+            dead_out: DirMap::default(),
+            dead_in: DirMap::default(),
+            known_dead: BTreeSet::new(),
+            pending_gossip: VecDeque::new(),
+            table: Vec::new(),
+            dirty: false,
+            first_fault_at: None,
+        }
+    }
+
+    /// True while no fault is known — routers must use their historical
+    /// (DOR) routing paths so fault-free runs stay bit-identical.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.known_dead.is_empty()
+    }
+
+    /// Whether this node's output link toward `dir` is known dead.
+    #[inline]
+    pub fn dead_out(&self, dir: Direction) -> bool {
+        self.dead_out[dir]
+    }
+
+    /// Whether the input port from `dir` is fed by a known-dead link.
+    #[inline]
+    pub fn dead_in(&self, dir: Direction) -> bool {
+        self.dead_in[dir]
+    }
+
+    /// Records that the directed link `node -> dir` is dead. Returns `true`
+    /// if this was new knowledge (the fact is then queued for gossip).
+    pub fn learn(&mut self, node: NodeId, dir: Direction, now: Cycle) -> bool {
+        if !self.known_dead.insert((node.index(), dir.index() as u8)) {
+            return false;
+        }
+        if node == self.node {
+            self.dead_out[dir] = true;
+            self.first_fault_at.get_or_insert(now);
+        }
+        if self.mesh.neighbor(node, dir) == Some(self.node) {
+            self.dead_in[dir.opposite()] = true;
+        }
+        self.pending_gossip.push_back((node, dir));
+        self.dirty = true;
+        true
+    }
+
+    /// Handles a control-sideband signal; returns `true` when it was a
+    /// [`ControlSignal::LinkFault`] carrying new knowledge.
+    pub fn on_control(&mut self, signal: ControlSignal, now: Cycle) -> bool {
+        match signal {
+            ControlSignal::LinkFault { node, dir } => self.learn(node, dir, now),
+            _ => false,
+        }
+    }
+
+    /// True while fault facts await rebroadcast (the owning router must not
+    /// report itself quiescent, or the flood would stall).
+    #[inline]
+    pub fn has_pending_gossip(&self) -> bool {
+        !self.pending_gossip.is_empty()
+    }
+
+    /// Emits up to [`GOSSIP_PER_CYCLE`] queued fault facts onto the control
+    /// sideband (the engine broadcasts each to every neighbor).
+    pub fn drain_gossip(&mut self, out: &mut RouterOutputs) {
+        for _ in 0..GOSSIP_PER_CYCLE {
+            let Some((node, dir)) = self.pending_gossip.pop_front() else {
+                return;
+            };
+            out.control.push(ControlSignal::LinkFault { node, dir });
+        }
+    }
+
+    /// Fault-aware next hop toward `dest` over the alive graph.
+    ///
+    /// Callers must keep the historical DOR path while [`is_clean`]
+    /// (FaultAwareness::is_clean) holds; this method is the degraded-mode
+    /// replacement, not a DOR re-implementation (on a clean table it agrees
+    /// with DOR's dimension order anyway, but costs a table rebuild).
+    pub fn route(&mut self, dest: NodeId) -> RouteOutcome {
+        if dest == self.node {
+            return RouteOutcome::Local;
+        }
+        if self.dirty {
+            self.rebuild_table();
+        }
+        match self.table[dest.index()] {
+            HOP_LOCAL => RouteOutcome::Local,
+            HOP_UNREACHABLE => RouteOutcome::Unreachable,
+            i => RouteOutcome::Dir(Direction::from_index(i as usize).expect("table direction")),
+        }
+    }
+
+    /// Fills `out` with the dead output directions from `dirs`, relaxed so
+    /// at least `flits` free ports remain: a bufferless router holding more
+    /// flits than alive ports must overflow into dead links (the fault
+    /// plane drops those flits with full accounting; the retransmit layer
+    /// recovers them) rather than violate its port-count invariant.
+    pub fn fill_blocked(&self, dirs: &[Direction], flits: usize, out: &mut Vec<Direction>) {
+        out.clear();
+        for &d in dirs {
+            if self.dead_out[d] {
+                out.push(d);
+            }
+        }
+        while !out.is_empty() && flits > dirs.len() - out.len() {
+            out.pop();
+        }
+    }
+
+    /// Cycle the first local (output-link) fault was recorded, if any.
+    pub fn first_fault_at(&self) -> Option<Cycle> {
+        self.first_fault_at
+    }
+
+    /// Rebuilds the per-destination next-hop table: one BFS per destination
+    /// from the destination over reversed alive edges, then a tie-broken
+    /// argmin over this node's alive output directions.
+    fn rebuild_table(&mut self) {
+        let n = self.mesh.node_count();
+        self.table.clear();
+        self.table.resize(n, HOP_UNREACHABLE);
+        self.table[self.node.index()] = HOP_LOCAL;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for dest in self.mesh.nodes() {
+            if dest == self.node {
+                continue;
+            }
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dest.index()] = 0;
+            queue.clear();
+            queue.push_back(dest);
+            while let Some(v) = queue.pop_front() {
+                let dv = dist[v.index()];
+                // Reversed edge: u can reach v directly iff the directed
+                // link u -> v is alive.
+                for dir in Direction::ALL {
+                    let Some(u) = self.mesh.neighbor(v, dir) else {
+                        continue;
+                    };
+                    let toward_v = dir.opposite();
+                    if self.link_dead(u, toward_v) || dist[u.index()] != u32::MAX {
+                        continue;
+                    }
+                    dist[u.index()] = dv + 1;
+                    queue.push_back(u);
+                }
+            }
+            let mut best: Option<(u32, Direction)> = None;
+            for dir in self.preference_order(dest) {
+                let Some(w) = self.mesh.neighbor(self.node, dir) else {
+                    continue;
+                };
+                if self.dead_out[dir] || dist[w.index()] == u32::MAX {
+                    continue;
+                }
+                if best.is_none_or(|(d, _)| dist[w.index()] < d) {
+                    best = Some((dist[w.index()], dir));
+                }
+            }
+            if let Some((_, dir)) = best {
+                self.table[dest.index()] = dir.index() as u8;
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Whether the directed link `from -> dir` is in the known-dead set.
+    #[inline]
+    fn link_dead(&self, from: NodeId, dir: Direction) -> bool {
+        self.known_dead.contains(&(from.index(), dir.index() as u8))
+    }
+
+    /// Tie-break order for next-hop selection: productive X then productive
+    /// Y (matching DOR's dimension order), then the remaining directions in
+    /// canonical order.
+    fn preference_order(&self, dest: NodeId) -> [Direction; 4] {
+        let productive = self.mesh.productive_dirs(self.node, dest);
+        let mut order = [Direction::North; 4];
+        let mut len = 0;
+        for d in productive.iter() {
+            order[len] = d;
+            len += 1;
+        }
+        for d in Direction::ALL {
+            if !order[..len].contains(&d) {
+                order[len] = d;
+                len += 1;
+            }
+        }
+        order
+    }
+
+    /// Serializes the fault state (known-dead set, gossip queue, first-fault
+    /// cycle). The routing table and cached masks are derived state and are
+    /// rebuilt on load.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.known_dead.len());
+        for &(node, dir) in &self.known_dead {
+            w.put_usize(node);
+            w.put_u8(dir);
+        }
+        w.put_usize(self.pending_gossip.len());
+        for &(node, dir) in &self.pending_gossip {
+            w.put_usize(node.index());
+            w.put_u8(dir.index() as u8);
+        }
+        match self.first_fault_at {
+            Some(cycle) => {
+                w.put_bool(true);
+                w.put_u64(cycle);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Restores state written by [`FaultAwareness::save`], recomputing the
+    /// derived masks and marking the routing table for rebuild.
+    pub fn load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let nodes = self.mesh.node_count();
+        let known = r.get_usize("fault-awareness known-dead count")?;
+        self.known_dead.clear();
+        self.dead_out = DirMap::default();
+        self.dead_in = DirMap::default();
+        self.pending_gossip.clear();
+        self.first_fault_at = None;
+        for _ in 0..known {
+            let node = r.get_usize("fault-awareness dead node")?;
+            let dir = r.get_u8("fault-awareness dead direction")?;
+            if node >= nodes || Direction::from_index(dir as usize).is_none() {
+                return Err(SnapshotError::Malformed {
+                    what: "fault-awareness dead link",
+                });
+            }
+            self.known_dead.insert((node, dir));
+            let d = Direction::from_index(dir as usize).expect("checked above");
+            if node == self.node.index() {
+                self.dead_out[d] = true;
+            }
+            if self.mesh.neighbor(NodeId::new(node), d) == Some(self.node) {
+                self.dead_in[d.opposite()] = true;
+            }
+        }
+        for _ in 0..r.get_usize("fault-awareness gossip count")? {
+            let node = r.get_usize("fault-awareness gossip node")?;
+            let dir = r.get_u8("fault-awareness gossip direction")?;
+            let Some(d) = Direction::from_index(dir as usize) else {
+                return Err(SnapshotError::Malformed {
+                    what: "fault-awareness gossip direction",
+                });
+            };
+            if node >= nodes {
+                return Err(SnapshotError::Malformed {
+                    what: "fault-awareness gossip node",
+                });
+            }
+            self.pending_gossip.push_back((NodeId::new(node), d));
+        }
+        if r.get_bool("fault-awareness first-fault presence")? {
+            self.first_fault_at = Some(r.get_u64("fault-awareness first-fault cycle")?);
+        }
+        self.dirty = !self.known_dead.is_empty();
+        self.table.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh3() -> Mesh {
+        Mesh::new(3, 3).unwrap()
+    }
+
+    #[test]
+    fn clean_state_reports_clean_and_routes_nothing() {
+        let mut fa = FaultAwareness::new(NodeId::new(0), mesh3());
+        assert!(fa.is_clean());
+        assert!(!fa.has_pending_gossip());
+        assert_eq!(fa.route(NodeId::new(0)), RouteOutcome::Local);
+    }
+
+    #[test]
+    fn learn_marks_masks_and_queues_gossip() {
+        let mesh = mesh3();
+        let mut fa = FaultAwareness::new(NodeId::new(4), mesh);
+        assert!(fa.learn(NodeId::new(4), Direction::East, 10));
+        assert!(!fa.learn(NodeId::new(4), Direction::East, 11), "dedup");
+        assert!(fa.dead_out(Direction::East));
+        assert!(fa.has_pending_gossip());
+        assert_eq!(fa.first_fault_at(), Some(10));
+        // Node 3 -> East feeds node 4's West input port.
+        assert!(fa.learn(NodeId::new(3), Direction::East, 12));
+        assert!(fa.dead_in(Direction::West));
+        let mut out = RouterOutputs::new();
+        fa.drain_gossip(&mut out);
+        assert_eq!(out.control.len(), 2);
+        assert!(!fa.has_pending_gossip());
+    }
+
+    #[test]
+    fn routes_around_a_single_dead_link() {
+        // Kill 3 -> East (center row, westmost link). Node 3 must still
+        // reach node 5 (same row, east side) by detouring through an
+        // adjacent row.
+        let mut fa = FaultAwareness::new(NodeId::new(3), mesh3());
+        fa.learn(NodeId::new(3), Direction::East, 0);
+        match fa.route(NodeId::new(5)) {
+            RouteOutcome::Dir(d) => {
+                assert!(d == Direction::North || d == Direction::South, "got {d:?}")
+            }
+            other => panic!("expected detour, got {other:?}"),
+        }
+        // Unaffected destinations keep their productive hop.
+        assert_eq!(
+            fa.route(NodeId::new(0)),
+            RouteOutcome::Dir(Direction::North)
+        );
+    }
+
+    #[test]
+    fn fully_cut_destination_is_unreachable() {
+        // Kill every link entering node 8 (southeast corner).
+        let mesh = mesh3();
+        let mut fa = FaultAwareness::new(NodeId::new(0), mesh);
+        fa.learn(NodeId::new(7), Direction::East, 0);
+        fa.learn(NodeId::new(5), Direction::South, 0);
+        assert_eq!(fa.route(NodeId::new(8)), RouteOutcome::Unreachable);
+        // Other destinations unaffected.
+        assert_eq!(fa.route(NodeId::new(4)), RouteOutcome::Dir(Direction::East));
+    }
+
+    #[test]
+    fn tie_break_prefers_dimension_order() {
+        // No faults relevant to 0 -> 8 paths except one that forces a
+        // rebuild; the table's hop for 8 must be the DOR X-first hop East.
+        let mut fa = FaultAwareness::new(NodeId::new(0), mesh3());
+        fa.learn(NodeId::new(8), Direction::North, 0);
+        assert_eq!(fa.route(NodeId::new(8)), RouteOutcome::Dir(Direction::East));
+    }
+
+    #[test]
+    fn blocked_dirs_relax_under_overflow() {
+        let mesh = mesh3();
+        let mut fa = FaultAwareness::new(NodeId::new(4), mesh);
+        fa.learn(NodeId::new(4), Direction::East, 0);
+        fa.learn(NodeId::new(4), Direction::West, 0);
+        let dirs = [
+            Direction::North,
+            Direction::South,
+            Direction::East,
+            Direction::West,
+        ];
+        let mut blocked = Vec::new();
+        fa.fill_blocked(&dirs, 2, &mut blocked);
+        assert_eq!(blocked, vec![Direction::East, Direction::West]);
+        fa.fill_blocked(&dirs, 3, &mut blocked);
+        assert_eq!(blocked, vec![Direction::East]);
+        fa.fill_blocked(&dirs, 4, &mut blocked);
+        assert!(blocked.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_identical() {
+        let mesh = mesh3();
+        let mut fa = FaultAwareness::new(NodeId::new(4), mesh.clone());
+        fa.learn(NodeId::new(4), Direction::East, 7);
+        fa.learn(NodeId::new(0), Direction::South, 9);
+        let mut w = SnapshotWriter::new();
+        fa.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = FaultAwareness::new(NodeId::new(4), mesh);
+        let mut r = SnapshotReader::new(&bytes);
+        restored.load(&mut r).unwrap();
+        r.finish("fault awareness").unwrap();
+        let mut w2 = SnapshotWriter::new();
+        restored.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        assert!(restored.dead_out(Direction::East));
+        assert!(restored.has_pending_gossip());
+        assert_eq!(restored.route(NodeId::new(5)), fa.route(NodeId::new(5)));
+    }
+
+    #[test]
+    fn gossip_signal_round_trips_through_on_control() {
+        let mut fa = FaultAwareness::new(NodeId::new(0), mesh3());
+        assert!(fa.on_control(
+            ControlSignal::LinkFault {
+                node: NodeId::new(4),
+                dir: Direction::East,
+            },
+            3,
+        ));
+        assert!(!fa.on_control(ControlSignal::StartCreditTracking, 4));
+        assert!(!fa.is_clean());
+        assert_eq!(fa.first_fault_at(), None, "remote faults are not local");
+    }
+}

@@ -32,6 +32,7 @@
 use crate::flit::{Cycle, Flit, PacketId};
 use crate::geom::{Direction, NodeId};
 use crate::rng::SimRng;
+use crate::topology::Mesh;
 
 /// A half-open cycle interval `[start, end)` during which a fault is armed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +56,13 @@ impl FaultWindow {
     }
 }
 
-/// Which links a [`LinkFault`] applies to.
+/// Which links a [`LinkSelector`] applies to.
+///
+/// Selectors beyond `All`/`Link` make kill-storm plans expressible without
+/// enumerating links: `Node` isolates a node (every directed link entering
+/// *or* leaving it), while `Row`/`Column`/`Region` select by the *upstream*
+/// endpoint's coordinate — a regional kill severs everything leaving the
+/// region's nodes, including the links crossing its boundary outward.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkSelector {
     /// Every directed link in the mesh.
@@ -67,14 +74,48 @@ pub enum LinkSelector {
         /// Outgoing direction at the upstream endpoint.
         dir: Direction,
     },
+    /// Every directed link entering or leaving `node` (isolates the node).
+    Node {
+        /// The isolated node.
+        node: NodeId,
+    },
+    /// Every directed link whose upstream endpoint sits in row `y`.
+    Row {
+        /// Row index (0 = northmost).
+        y: u16,
+    },
+    /// Every directed link whose upstream endpoint sits in column `x`.
+    Column {
+        /// Column index (0 = westmost).
+        x: u16,
+    },
+    /// Every directed link whose upstream endpoint lies in the inclusive
+    /// rectangle `[x0, x1] × [y0, y1]`.
+    Region {
+        /// West edge (inclusive).
+        x0: u16,
+        /// North edge (inclusive).
+        y0: u16,
+        /// East edge (inclusive).
+        x1: u16,
+        /// South edge (inclusive).
+        y1: u16,
+    },
 }
 
 impl LinkSelector {
     /// Whether the selector covers the directed link `from -> dir`.
-    pub fn matches(&self, from: NodeId, dir: Direction) -> bool {
-        match self {
+    pub fn matches(&self, mesh: &Mesh, from: NodeId, dir: Direction) -> bool {
+        match *self {
             LinkSelector::All => true,
-            LinkSelector::Link { from: f, dir: d } => *f == from && *d == dir,
+            LinkSelector::Link { from: f, dir: d } => f == from && d == dir,
+            LinkSelector::Node { node } => from == node || mesh.neighbor(from, dir) == Some(node),
+            LinkSelector::Row { y } => mesh.coord(from).y == y,
+            LinkSelector::Column { x } => mesh.coord(from).x == x,
+            LinkSelector::Region { x0, y0, x1, y1 } => {
+                let c = mesh.coord(from);
+                (x0..=x1).contains(&c.x) && (y0..=y1).contains(&c.y)
+            }
         }
     }
 }
@@ -141,15 +182,33 @@ impl RouterStall {
 ///
 /// An empty plan (the default) injects nothing and costs nothing on the hot
 /// path.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Link-level faults, evaluated in order for every matching arrival.
     pub link_faults: Vec<LinkFault>,
     /// Router stall windows.
     pub router_stalls: Vec<RouterStall>,
+    /// Cycles between a link kill taking effect and the upstream router
+    /// *detecting* it (modeling a credit/progress timeout). Deterministic:
+    /// the engine dispatches the detection exactly `kill_at +
+    /// detection_delay`, with no wall-clock involvement.
+    pub detection_delay: Cycle,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            link_faults: Vec::new(),
+            router_stalls: Vec::new(),
+            detection_delay: FaultPlan::DEFAULT_DETECTION_DELAY,
+        }
+    }
 }
 
 impl FaultPlan {
+    /// Default link-kill detection latency in cycles.
+    pub const DEFAULT_DETECTION_DELAY: Cycle = 16;
+
     /// A plan that injects nothing.
     pub fn none() -> FaultPlan {
         FaultPlan::default()
@@ -194,6 +253,100 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a permanent kill of every link entering or leaving `node` at
+    /// `at` (isolates the node).
+    pub fn kill_node(mut self, node: NodeId, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Node { node },
+            kind: LinkFaultKind::KillAt { at },
+        });
+        self
+    }
+
+    /// Adds a permanent kill of every link leaving row `y` at `at`.
+    pub fn kill_row(mut self, y: u16, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Row { y },
+            kind: LinkFaultKind::KillAt { at },
+        });
+        self
+    }
+
+    /// Adds a permanent kill of every link leaving column `x` at `at`.
+    pub fn kill_column(mut self, x: u16, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Column { x },
+            kind: LinkFaultKind::KillAt { at },
+        });
+        self
+    }
+
+    /// Adds a permanent kill of every link leaving the inclusive rectangle
+    /// `[x0, x1] × [y0, y1]` at `at`.
+    pub fn kill_region(mut self, x0: u16, y0: u16, x1: u16, y1: u16, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Region { x0, y0, x1, y1 },
+            kind: LinkFaultKind::KillAt { at },
+        });
+        self
+    }
+
+    /// Overrides the link-kill detection latency.
+    pub fn with_detection_delay(mut self, cycles: Cycle) -> FaultPlan {
+        self.detection_delay = cycles;
+        self
+    }
+
+    /// True when the plan's entire effect is a pure function of the cycle
+    /// counter: only permanent link kills, no probabilistic faults, no
+    /// router stalls. Deterministic plans never draw from the fault RNG and
+    /// never create held-back flits, which is what lets the engine keep the
+    /// activity-tracked and intra-run-parallel paths enabled under them.
+    pub fn is_deterministic(&self) -> bool {
+        self.router_stalls.is_empty()
+            && self
+                .link_faults
+                .iter()
+                .all(|f| matches!(f.kind, LinkFaultKind::KillAt { .. }))
+    }
+
+    /// Earliest cycle at which the directed link `from -> dir` is
+    /// permanently killed, if any kill fault covers it.
+    pub fn first_kill_at(&self, mesh: &Mesh, from: NodeId, dir: Direction) -> Option<Cycle> {
+        self.link_faults
+            .iter()
+            .filter(|f| f.selector.matches(mesh, from, dir))
+            .filter_map(|f| match f.kind {
+                LinkFaultKind::KillAt { at } => Some(at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// The deterministic link-kill detection schedule: one entry per killed
+    /// directed link, `(detect_cycle, upstream node, direction)`, sorted by
+    /// `(cycle, node, dir)`. `detect_cycle = kill_at + detection_delay`
+    /// (saturating). The engine dispatches each entry once, notifying the
+    /// upstream router so it can mask the output and gossip the fault.
+    pub fn kill_schedule(&self, mesh: &Mesh) -> Vec<(Cycle, NodeId, Direction)> {
+        let mut schedule = Vec::new();
+        if self.link_faults.is_empty() {
+            return schedule;
+        }
+        for node in mesh.nodes() {
+            for dir in Direction::ALL {
+                if mesh.neighbor(node, dir).is_none() {
+                    continue;
+                }
+                if let Some(at) = self.first_kill_at(mesh, node, dir) {
+                    schedule.push((at.saturating_add(self.detection_delay), node, dir));
+                }
+            }
+        }
+        schedule.sort_unstable_by_key(|&(cycle, node, dir)| (cycle, node.index(), dir.index()));
+        schedule
+    }
+
     /// Adds uniform credit loss on every link for the whole run.
     pub fn with_credit_loss(mut self, rate: f64) -> FaultPlan {
         self.link_faults.push(LinkFault {
@@ -212,15 +365,54 @@ impl FaultPlan {
         self
     }
 
-    /// Validates rates and windows.
+    /// Validates rates, windows, and selector bounds against the mesh
+    /// dimensions.
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError::OutOfRange`](crate::error::ConfigError) for a
-    /// probability outside `[0, 1]` or an inverted window.
-    pub fn validate(&self) -> Result<(), crate::error::ConfigError> {
+    /// probability outside `[0, 1]`, an inverted window, or a selector
+    /// referencing a node, row, column, or region outside the
+    /// `width × height` mesh.
+    pub fn validate(&self, width: u16, height: u16) -> Result<(), crate::error::ConfigError> {
         use crate::error::ConfigError;
+        let nodes = width as usize * height as usize;
         for f in &self.link_faults {
+            match f.selector {
+                LinkSelector::All | LinkSelector::Link { .. } => {}
+                LinkSelector::Node { node } => {
+                    if node.index() >= nodes {
+                        return Err(ConfigError::OutOfRange {
+                            what: "fault selector node",
+                            range: "node < width * height",
+                        });
+                    }
+                }
+                LinkSelector::Row { y } => {
+                    if y >= height {
+                        return Err(ConfigError::OutOfRange {
+                            what: "fault selector row",
+                            range: "row < height",
+                        });
+                    }
+                }
+                LinkSelector::Column { x } => {
+                    if x >= width {
+                        return Err(ConfigError::OutOfRange {
+                            what: "fault selector column",
+                            range: "column < width",
+                        });
+                    }
+                }
+                LinkSelector::Region { x0, y0, x1, y1 } => {
+                    if x0 > x1 || y0 > y1 || x1 >= width || y1 >= height {
+                        return Err(ConfigError::OutOfRange {
+                            what: "fault selector region",
+                            range: "x0 <= x1 < width, y0 <= y1 < height",
+                        });
+                    }
+                }
+            }
             let (rate, window) = match f.kind {
                 LinkFaultKind::TransientDrop { rate, window }
                 | LinkFaultKind::TransientCorrupt { rate, window }
@@ -257,6 +449,7 @@ impl FaultPlan {
     /// empty or inactive plan leaves the stream untouched).
     pub fn flit_fate(
         &self,
+        mesh: &Mesh,
         from: NodeId,
         dir: Direction,
         now: Cycle,
@@ -264,7 +457,7 @@ impl FaultPlan {
     ) -> FlitFate {
         let mut fate = FlitFate::Deliver;
         for f in &self.link_faults {
-            if !f.selector.matches(from, dir) {
+            if !f.selector.matches(mesh, from, dir) {
                 continue;
             }
             match f.kind {
@@ -286,9 +479,16 @@ impl FaultPlan {
     }
 
     /// Whether a credit arriving over `from -> dir` at `now` is lost.
-    pub fn credit_lost(&self, from: NodeId, dir: Direction, now: Cycle, rng: &mut SimRng) -> bool {
+    pub fn credit_lost(
+        &self,
+        mesh: &Mesh,
+        from: NodeId,
+        dir: Direction,
+        now: Cycle,
+        rng: &mut SimRng,
+    ) -> bool {
         for f in &self.link_faults {
-            if !f.selector.matches(from, dir) {
+            if !f.selector.matches(mesh, from, dir) {
                 continue;
             }
             match f.kind {
@@ -383,17 +583,22 @@ impl FaultEvent {
 mod tests {
     use super::*;
 
+    fn mesh3() -> Mesh {
+        Mesh::new(3, 3).unwrap()
+    }
+
     #[test]
     fn empty_plan_delivers_everything_without_touching_rng() {
         let plan = FaultPlan::none();
+        let mesh = mesh3();
         let mut rng = SimRng::seed_from(1);
         let before = rng.clone();
         for now in 0..100 {
             assert_eq!(
-                plan.flit_fate(NodeId::new(0), Direction::East, now, &mut rng),
+                plan.flit_fate(&mesh, NodeId::new(0), Direction::East, now, &mut rng),
                 FlitFate::Deliver
             );
-            assert!(!plan.credit_lost(NodeId::new(0), Direction::East, now, &mut rng));
+            assert!(!plan.credit_lost(&mesh, NodeId::new(0), Direction::East, now, &mut rng));
         }
         assert_eq!(rng, before, "no fault may consume randomness");
     }
@@ -401,30 +606,33 @@ mod tests {
     #[test]
     fn kill_is_absolute_after_the_cycle() {
         let plan = FaultPlan::none().kill_link(NodeId::new(3), Direction::North, 50);
+        let mesh = mesh3();
         let mut rng = SimRng::seed_from(2);
         assert_eq!(
-            plan.flit_fate(NodeId::new(3), Direction::North, 49, &mut rng),
+            plan.flit_fate(&mesh, NodeId::new(3), Direction::North, 49, &mut rng),
             FlitFate::Deliver
         );
         assert_eq!(
-            plan.flit_fate(NodeId::new(3), Direction::North, 50, &mut rng),
+            plan.flit_fate(&mesh, NodeId::new(3), Direction::North, 50, &mut rng),
             FlitFate::Drop
         );
         // Other links are untouched.
         assert_eq!(
-            plan.flit_fate(NodeId::new(3), Direction::South, 1_000, &mut rng),
+            plan.flit_fate(&mesh, NodeId::new(3), Direction::South, 1_000, &mut rng),
             FlitFate::Deliver
         );
-        assert!(plan.credit_lost(NodeId::new(3), Direction::North, 60, &mut rng));
+        assert!(plan.credit_lost(&mesh, NodeId::new(3), Direction::North, 60, &mut rng));
     }
 
     #[test]
     fn transient_rates_hit_roughly_proportionally() {
         let plan = FaultPlan::uniform_transient(0.25, 0.0);
+        let mesh = mesh3();
         let mut rng = SimRng::seed_from(3);
         let drops = (0..10_000)
             .filter(|&now| {
-                plan.flit_fate(NodeId::new(0), Direction::East, now, &mut rng) == FlitFate::Drop
+                plan.flit_fate(&mesh, NodeId::new(0), Direction::East, now, &mut rng)
+                    == FlitFate::Drop
             })
             .count();
         assert!((2_000..3_000).contains(&drops), "got {drops}");
@@ -441,18 +649,20 @@ mod tests {
                 },
             }],
             router_stalls: vec![],
+            detection_delay: FaultPlan::DEFAULT_DETECTION_DELAY,
         };
+        let mesh = mesh3();
         let mut rng = SimRng::seed_from(4);
         assert_eq!(
-            plan.flit_fate(NodeId::new(0), Direction::East, 9, &mut rng),
+            plan.flit_fate(&mesh, NodeId::new(0), Direction::East, 9, &mut rng),
             FlitFate::Deliver
         );
         assert_eq!(
-            plan.flit_fate(NodeId::new(0), Direction::East, 10, &mut rng),
+            plan.flit_fate(&mesh, NodeId::new(0), Direction::East, 10, &mut rng),
             FlitFate::Drop
         );
         assert_eq!(
-            plan.flit_fate(NodeId::new(0), Direction::East, 20, &mut rng),
+            plan.flit_fate(&mesh, NodeId::new(0), Direction::East, 20, &mut rng),
             FlitFate::Deliver
         );
     }
@@ -470,10 +680,116 @@ mod tests {
     #[test]
     fn validation_rejects_bad_rates() {
         let plan = FaultPlan::uniform_transient(1.5, 0.0);
-        assert!(plan.validate().is_err());
+        assert!(plan.validate(3, 3).is_err());
         assert!(FaultPlan::uniform_transient(0.001, 0.001)
-            .validate()
+            .validate(3, 3)
             .is_ok());
-        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::none().validate(3, 3).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_mesh_selectors() {
+        assert!(FaultPlan::none()
+            .kill_node(NodeId::new(9), 0)
+            .validate(3, 3)
+            .is_err());
+        assert!(FaultPlan::none().kill_row(3, 0).validate(3, 3).is_err());
+        assert!(FaultPlan::none().kill_column(3, 0).validate(3, 3).is_err());
+        assert!(FaultPlan::none()
+            .kill_region(2, 0, 1, 1, 0)
+            .validate(3, 3)
+            .is_err());
+        assert!(FaultPlan::none()
+            .kill_region(0, 0, 1, 3, 0)
+            .validate(3, 3)
+            .is_err());
+        assert!(FaultPlan::none()
+            .kill_node(NodeId::new(8), 0)
+            .kill_row(2, 0)
+            .kill_column(2, 0)
+            .kill_region(0, 0, 1, 1, 0)
+            .validate(3, 3)
+            .is_ok());
+    }
+
+    #[test]
+    fn node_selector_isolates_both_directions() {
+        // Node 4 is the 3x3 center: every link leaving it AND every link
+        // entering it (from its four neighbors) must match.
+        let mesh = mesh3();
+        let sel = LinkSelector::Node {
+            node: NodeId::new(4),
+        };
+        for dir in Direction::ALL {
+            assert!(sel.matches(&mesh, NodeId::new(4), dir), "out {dir:?}");
+            let nb = mesh.neighbor(NodeId::new(4), dir).unwrap();
+            assert!(sel.matches(&mesh, nb, dir.opposite()), "in from {nb:?}");
+        }
+        // A corner-to-corner-neighbor link never touches the center.
+        assert!(!sel.matches(&mesh, NodeId::new(0), Direction::East));
+    }
+
+    #[test]
+    fn row_column_region_select_by_upstream_coordinate() {
+        let mesh = mesh3();
+        let row = LinkSelector::Row { y: 1 };
+        assert!(row.matches(&mesh, NodeId::new(3), Direction::East));
+        assert!(row.matches(&mesh, NodeId::new(5), Direction::North));
+        assert!(!row.matches(&mesh, NodeId::new(0), Direction::South));
+        let col = LinkSelector::Column { x: 2 };
+        assert!(col.matches(&mesh, NodeId::new(2), Direction::South));
+        assert!(!col.matches(&mesh, NodeId::new(1), Direction::East));
+        let region = LinkSelector::Region {
+            x0: 0,
+            y0: 0,
+            x1: 1,
+            y1: 1,
+        };
+        assert!(region.matches(&mesh, NodeId::new(4), Direction::East));
+        assert!(!region.matches(&mesh, NodeId::new(5), Direction::West));
+    }
+
+    #[test]
+    fn kill_schedule_is_sorted_and_deduplicated() {
+        let plan = FaultPlan::none()
+            .kill_link(NodeId::new(4), Direction::East, 100)
+            // Overlapping kill of the same link later: earliest wins.
+            .kill_link(NodeId::new(4), Direction::East, 500)
+            .kill_link(NodeId::new(0), Direction::South, 200)
+            .with_detection_delay(10);
+        let mesh = mesh3();
+        let schedule = plan.kill_schedule(&mesh);
+        assert_eq!(
+            schedule,
+            vec![
+                (110, NodeId::new(4), Direction::East),
+                (210, NodeId::new(0), Direction::South),
+            ]
+        );
+        assert!(plan.is_deterministic());
+        assert!(!FaultPlan::uniform_transient(0.1, 0.0).is_deterministic());
+        assert!(!FaultPlan::none()
+            .with_stall(NodeId::new(1), 5, 5)
+            .is_deterministic());
+        assert_eq!(
+            plan.first_kill_at(&mesh, NodeId::new(4), Direction::East),
+            Some(100)
+        );
+        assert_eq!(
+            plan.first_kill_at(&mesh, NodeId::new(4), Direction::West),
+            None
+        );
+    }
+
+    #[test]
+    fn node_kill_schedule_covers_entering_and_leaving_links() {
+        let plan = FaultPlan::none()
+            .kill_node(NodeId::new(4), 50)
+            .with_detection_delay(0);
+        let mesh = mesh3();
+        let schedule = plan.kill_schedule(&mesh);
+        // Center of a 3x3: 4 outgoing + 4 incoming directed links.
+        assert_eq!(schedule.len(), 8);
+        assert!(schedule.iter().all(|&(cycle, _, _)| cycle == 50));
     }
 }

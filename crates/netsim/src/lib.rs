@@ -58,6 +58,7 @@ pub mod channel;
 pub mod config;
 pub mod counters;
 pub mod error;
+pub mod fault_aware;
 pub mod faults;
 pub mod flit;
 pub mod geom;
@@ -83,6 +84,7 @@ pub mod prelude {
     pub use crate::config::{NetworkConfig, RetransmitConfig, VnetClass, VnetConfig};
     pub use crate::counters::ActivityCounters;
     pub use crate::error::{ConfigError, SimError};
+    pub use crate::fault_aware::{FaultAwareness, RouteOutcome};
     pub use crate::faults::{
         FaultEvent, FaultEventKind, FaultPlan, FaultWindow, LinkFault, LinkFaultKind, LinkSelector,
         RouterStall,
@@ -90,7 +92,7 @@ pub mod prelude {
     pub use crate::flit::{Cycle, Flit, PacketId, VcId, VirtualNetwork};
     pub use crate::geom::{Coord, Direction, NodeId, PortId, PortMap};
     pub use crate::network::Network;
-    pub use crate::ni::NodeInterface;
+    pub use crate::ni::{NodeInterface, UnreachablePacket};
     pub use crate::packet::{PacketDescriptor, PacketKind};
     pub use crate::rng::SimRng;
     pub use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};

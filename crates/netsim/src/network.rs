@@ -21,7 +21,7 @@ use crate::error::SimError;
 use crate::faults::{FaultEvent, FaultEventKind, FlitFate};
 use crate::flit::{Cycle, Flit, PacketId};
 use crate::geom::{DirMap, Direction, NodeId, PortId};
-use crate::ni::NodeInterface;
+use crate::ni::{NodeInterface, UnreachablePacket};
 use crate::packet::{DeliveredPacket, PacketDescriptor, PacketInput};
 use crate::rng::SimRng;
 use crate::router::{Router, RouterFactory, RouterMode, RouterOutputs};
@@ -218,12 +218,22 @@ pub struct Network {
     /// is stalled by a fault (released one per cycle once the stall lifts).
     pub(crate) held: Vec<VecDeque<Flit>>,
     /// Log of injected faults (capped at [`Network::FAULT_LOG_CAP`]).
-    fault_log: Vec<FaultEvent>,
+    pub(crate) fault_log: Vec<FaultEvent>,
+    /// Deterministic fault-detection schedule derived from the fault plan's
+    /// permanent kills: `(detection cycle, upstream node, direction)` in
+    /// firing order. Static per configuration — not snapshotted.
+    detect_schedule: Vec<(Cycle, NodeId, Direction)>,
+    /// Next [`Network::detect_schedule`] entry to fire (derived from `now`
+    /// on snapshot load).
+    detect_next: usize,
+    /// Run-wide log of packets retired as unreachable (bounded retransmit
+    /// exhausted) — the structured per-packet outcome of DESIGN.md §13.
+    pub(crate) unreachable_packets: Vec<UnreachablePacket>,
     /// Credit-conservation audit (raw, never reset): credits pushed onto
     /// reverse lanes, credits delivered upstream, credits lost to faults.
     pub(crate) credits_pushed: u64,
     pub(crate) credits_delivered: u64,
-    credits_faulted: u64,
+    pub(crate) credits_faulted: u64,
     /// Stall watchdog: progress counter sample and the cycle it last moved.
     pub(crate) last_progress: u64,
     pub(crate) last_progress_cycle: Cycle,
@@ -363,6 +373,7 @@ impl Network {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(config.sim_threads);
+        let detect_schedule = config.faults.kill_schedule(&mesh);
         let modes_cache: Vec<RouterMode> = routers.iter().map(|r| r.mode()).collect();
         let mut mode_counts = [0u64; 3];
         for m in &modes_cache {
@@ -393,6 +404,9 @@ impl Network {
             ack_queue: Vec::new(),
             held,
             fault_log: Vec::new(),
+            detect_schedule,
+            detect_next: 0,
+            unreachable_packets: Vec::new(),
             credits_pushed: 0,
             credits_delivered: 0,
             credits_faulted: 0,
@@ -516,11 +530,18 @@ impl Network {
         self.par_min_active = min_active_per_shard;
     }
 
-    /// True when this step may take the activity-tracked fast path: the
-    /// fault plane and the retransmit layer touch components behind the
-    /// engine's back, so either being configured forces the full walk.
+    /// True when this step may take the activity-tracked fast path.
+    ///
+    /// A *probabilistic* fault plane forces the full walk: its per-channel
+    /// RNG draws depend on visiting every channel every cycle. Deterministic
+    /// plans (permanent kills only — [`FaultPlan::is_deterministic`]
+    /// (crate::faults::FaultPlan::is_deterministic)) draw no randomness and
+    /// only act on channels actually carrying traffic, so activity tracking
+    /// remains exact. The retransmit layer is fast-path-safe: timeouts are
+    /// scanned every cycle regardless, and re-materialized copies re-mark
+    /// their NI in the send set.
     fn fast_path(&self) -> bool {
-        !self.full_scan && self.config.faults.is_empty() && self.config.retransmit.is_none()
+        !self.full_scan && (self.config.faults.is_empty() || self.config.faults.is_deterministic())
     }
 
     /// Enqueues a packet for injection at `src`, assigning its id and
@@ -594,6 +615,24 @@ impl Network {
         let faults_active = !self.config.faults.is_empty();
         let fast = self.fast_path();
 
+        // Phase 0: deterministic fault detection. Each permanently killed
+        // link is reported to its upstream router a fixed number of cycles
+        // after the kill (the plan's detection delay — modeling a local
+        // credit/progress timeout without any wall clock). Runs before the
+        // parallel gate so both engines share one dispatch path.
+        while self.detect_next < self.detect_schedule.len()
+            && self.detect_schedule[self.detect_next].0 <= now
+        {
+            let (_, node, dir) = self.detect_schedule[self.detect_next];
+            self.detect_next += 1;
+            self.routers[node.index()].note_link_fault(dir, now);
+            self.router_active.insert(node.index());
+            self.stats.links_failed += 1;
+            self.stats
+                .fault_detection_latency
+                .record(self.config.faults.detection_delay);
+        }
+
         // Intra-run parallel engine (DESIGN.md §12): only on the fast path
         // (the fault plane and recovery layer are inherently sequential),
         // and only when enough components are active to amortize the
@@ -660,10 +699,19 @@ impl Network {
         }
         if self.config.retransmit.is_some() {
             let copies0 = self.stats.flits_retransmit_copies;
-            for ni in &mut self.nis {
-                ni.check_timeouts(now, &mut self.stats);
+            let abandoned0 = self.stats.flits_abandoned;
+            for i in 0..self.nis.len() {
+                let c0 = self.stats.flits_retransmit_copies;
+                self.nis[i].check_timeouts(now, &mut self.stats);
+                if self.stats.flits_retransmit_copies > c0 {
+                    // Re-materialized copies must be visible to the fast
+                    // path's masked injection walk.
+                    self.ni_send_active.insert(i);
+                }
             }
             self.retx_queued += (self.stats.flits_retransmit_copies - copies0) as usize;
+            // Copies purged when a packet was given up never inject.
+            self.retx_queued -= (self.stats.flits_abandoned - abandoned0) as usize;
         }
 
         // Phase 2b: injection attempts (stalled routers accept nothing).
@@ -725,6 +773,7 @@ impl Network {
                     let ready = now + dist * self.config.link_latency;
                     self.ack_queue.push((ready, src, id));
                 }
+                self.nis[i].drain_unreachable_into(&mut self.unreachable_packets);
             }
         }
 
@@ -770,11 +819,16 @@ impl Network {
             );
         }
 
-        // Stall watchdog: flit progress is injection or delivery.
-        // Retransmission deliberately does not count — a source endlessly
-        // resending into a dead link is churn, not progress, and must
-        // eventually trip the watchdog instead of masking the wedge.
-        let progress = self.stats.flits_injected + self.stats.flits_delivered;
+        // Stall watchdog: flit progress is injection, delivery, or a
+        // structured give-up. Retransmission deliberately does not count —
+        // a source endlessly resending into a dead link is churn, not
+        // progress, and must eventually trip the watchdog instead of
+        // masking the wedge. Retiring a packet as unreachable *is* progress
+        // (monotone and bounded by the offered-packet count), so bounded
+        // recovery winds a faulted run down cleanly instead of racing the
+        // watchdog through its backoff tail.
+        let progress =
+            self.stats.flits_injected + self.stats.flits_delivered + self.stats.packets_unreachable;
         if progress != self.last_progress {
             self.last_progress = progress;
             self.last_progress_cycle = self.now;
@@ -811,10 +865,13 @@ impl Network {
         }
         for &credit in delivery.credits() {
             if faults_active
-                && self
-                    .config
-                    .faults
-                    .credit_lost(ends.from, ends.dir, now, &mut self.fault_rng)
+                && self.config.faults.credit_lost(
+                    &self.mesh,
+                    ends.from,
+                    ends.dir,
+                    now,
+                    &mut self.fault_rng,
+                )
             {
                 self.stats.credits_lost += 1;
                 self.stats.faults_injected += 1;
@@ -842,11 +899,13 @@ impl Network {
         }
         if let Some(mut flit) = self.held[c].pop_front() {
             if faults_active {
-                match self
-                    .config
-                    .faults
-                    .flit_fate(ends.from, ends.dir, now, &mut self.fault_rng)
-                {
+                match self.config.faults.flit_fate(
+                    &self.mesh,
+                    ends.from,
+                    ends.dir,
+                    now,
+                    &mut self.fault_rng,
+                ) {
                     FlitFate::Drop => {
                         self.stats.flits_lost_to_faults += 1;
                         self.stats.faults_injected += 1;
@@ -1058,13 +1117,32 @@ impl Network {
             && self.nis.iter().all(NodeInterface::is_idle)
     }
 
+    /// Drain residue by component — `(in-flight flits, pending NACKs,
+    /// pending acks, non-idle NIs)`. All zeros iff [`Network::is_drained`];
+    /// chaos/soak tests use this to say *what* failed to drain.
+    pub fn drain_residue(&self) -> (usize, usize, usize, usize) {
+        (
+            self.in_flight,
+            self.nack_queue.len(),
+            self.ack_queue.len(),
+            self.nis.iter().filter(|ni| !ni.is_idle()).count(),
+        )
+    }
+
     /// The faults injected so far (capped at [`Network::FAULT_LOG_CAP`]
     /// events; [`NetworkStats::faults_injected`] keeps the true count).
     pub fn fault_log(&self) -> &[FaultEvent] {
         &self.fault_log
     }
 
-    fn log_fault(&mut self, ev: FaultEvent) {
+    /// Structured per-packet records of every packet retired as
+    /// unreachable (bounded retransmission exhausted), in give-up order.
+    /// [`NetworkStats::packets_unreachable`] is always this list's length.
+    pub fn unreachable_packets(&self) -> &[UnreachablePacket] {
+        &self.unreachable_packets
+    }
+
+    pub(crate) fn log_fault(&mut self, ev: FaultEvent) {
         if self.fault_log.len() < Self::FAULT_LOG_CAP {
             self.fault_log.push(ev);
         }
@@ -1138,8 +1216,9 @@ impl Network {
 
     /// Verifies flit conservation: every flit injected (or re-materialized
     /// by a retransmit timeout) since the last metrics reset is delivered,
-    /// still in flight, lost to an injected fault, or discarded as a
-    /// redundant retransmitted copy.
+    /// still in flight, lost to an injected fault, discarded as a
+    /// redundant retransmitted copy, or abandoned when its packet was
+    /// retired as unreachable.
     ///
     /// # Errors
     ///
@@ -1154,14 +1233,17 @@ impl Network {
         let faulted = self.stats.flits_lost_to_faults as i128;
         let duplicates = self.stats.duplicate_flits_discarded as i128;
         let absorbed = self.stats.nacks_absorbed as i128;
-        if injected + baseline + copies == delivered + in_flight + faulted + duplicates + absorbed {
+        let abandoned = self.stats.flits_abandoned as i128;
+        if injected + baseline + copies
+            == delivered + in_flight + faulted + duplicates + absorbed + abandoned
+        {
             Ok(())
         } else {
             Err(format!(
                 "flit conservation violated: injected {injected} + baseline {baseline} \
                  + retransmit copies {copies} != delivered {delivered} + in-flight \
                  {in_flight} + faulted {faulted} + duplicates {duplicates} + absorbed \
-                 NACKs {absorbed}"
+                 NACKs {absorbed} + abandoned {abandoned}"
             ))
         }
     }
@@ -1264,6 +1346,14 @@ impl Network {
         w.put_usize(self.fault_log.len());
         for ev in &self.fault_log {
             write_fault_event(w, ev);
+        }
+        w.put_usize(self.unreachable_packets.len());
+        for u in &self.unreachable_packets {
+            w.put_u64(u.id.0);
+            w.put_usize(u.src.index());
+            w.put_usize(u.dest.index());
+            w.put_u32(u.attempts);
+            w.put_u64(u.gave_up_at);
         }
 
         w.put_u64(self.credits_pushed);
@@ -1409,6 +1499,16 @@ impl Network {
         for _ in 0..faults {
             self.fault_log.push(read_fault_event(r)?);
         }
+        self.unreachable_packets.clear();
+        for _ in 0..r.get_usize("unreachable log length")? {
+            self.unreachable_packets.push(UnreachablePacket {
+                id: PacketId(r.get_u64("unreachable packet id")?),
+                src: NodeId::new(r.get_usize("unreachable src")?),
+                dest: NodeId::new(r.get_usize("unreachable dest")?),
+                attempts: r.get_u32("unreachable attempts")?,
+                gave_up_at: r.get_u64("unreachable cycle")?,
+            });
+        }
 
         self.credits_pushed = r.get_u64("credits pushed")?;
         self.credits_delivered = r.get_u64("credits delivered")?;
@@ -1458,6 +1558,14 @@ impl Network {
             .map(NodeInterface::reassembly_high_water)
             .max()
             .unwrap_or(0);
+        // The detection cursor is a pure function of the (static) schedule
+        // and the restored clock: entries strictly before `now` fired
+        // during already-replayed cycles.
+        self.detect_next = self
+            .detect_schedule
+            .iter()
+            .position(|&(cycle, _, _)| cycle >= self.now)
+            .unwrap_or(self.detect_schedule.len());
         self.scratch.clear();
         Ok(())
     }

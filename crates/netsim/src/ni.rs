@@ -18,6 +18,25 @@ use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::NetworkStats;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
+/// Structured record of a packet its source NI gave up on: after
+/// `max_attempts` retransmissions went unacknowledged the packet is retired
+/// with this outcome instead of retrying forever (DESIGN.md §13). The
+/// network accumulates these in
+/// [`Network::unreachable_packets`](crate::network::Network::unreachable_packets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnreachablePacket {
+    /// The retired packet.
+    pub id: PacketId,
+    /// Source node (where the record was produced).
+    pub src: NodeId,
+    /// Destination the packet could not reach.
+    pub dest: NodeId,
+    /// Retransmission attempts spent before giving up.
+    pub attempts: u32,
+    /// Cycle the source gave up.
+    pub gave_up_at: Cycle,
+}
+
 /// In-progress injection of one packet on one virtual network.
 #[derive(Debug, Clone)]
 struct InjectProgress {
@@ -62,6 +81,9 @@ struct Reassembly {
     min_injected_at: Cycle,
     total_hops: u32,
     total_deflections: u32,
+    /// Cycle of the most recent arrival; entries quiet past the recovery
+    /// TTL are discarded by [`NodeInterface::check_timeouts`].
+    last_arrival: Cycle,
 }
 
 /// The per-node injection/ejection endpoint.
@@ -90,6 +112,9 @@ pub struct NodeInterface {
     /// End-to-end acknowledgements `(source node, packet)` awaiting routing
     /// back to the packet's source NI.
     acks_outbox: Vec<(NodeId, PacketId)>,
+    /// Packets given up on (bounded retransmit exhausted) awaiting pickup
+    /// by the network's structured-outcome log.
+    unreachable_outbox: Vec<UnreachablePacket>,
 }
 
 impl NodeInterface {
@@ -107,6 +132,7 @@ impl NodeInterface {
             recovery: None,
             corrupt_outbox: Vec::new(),
             acks_outbox: Vec::new(),
+            unreachable_outbox: Vec::new(),
         }
     }
 
@@ -318,6 +344,7 @@ impl NodeInterface {
                     min_injected_at: flit.injected_at,
                     total_hops: 0,
                     total_deflections: 0,
+                    last_arrival: now,
                 });
             assert!(
                 !entry.received[flit.seq as usize],
@@ -325,6 +352,7 @@ impl NodeInterface {
             );
             entry.received[flit.seq as usize] = true;
             entry.received_count += 1;
+            entry.last_arrival = now;
             entry.min_injected_at = entry.min_injected_at.min(flit.injected_at);
             entry.total_hops += flit.hops as u32;
             entry.total_deflections += flit.deflections as u32;
@@ -362,12 +390,24 @@ impl NodeInterface {
     ///
     /// A packet with copies still waiting in the retransmit queue is not
     /// re-fired — the previous attempt has not yet left the NI.
+    ///
+    /// With `max_attempts > 0`, a packet whose deadline passes after that
+    /// many retransmissions is *given up*: removed from the outstanding
+    /// table, its queued-but-uninjected copies discarded (counted as
+    /// `flits_abandoned`), and a structured [`UnreachablePacket`] record
+    /// emitted instead of another retry — the clean termination for
+    /// destinations a permanent link kill made unreachable.
     pub fn check_timeouts(&mut self, now: Cycle, stats: &mut NetworkStats) {
         let Some(rec) = &mut self.recovery else {
             return;
         };
+        let mut gave_up: Vec<PacketId> = Vec::new();
         for (id, out) in rec.outstanding.iter_mut() {
             if out.next_deadline > now {
+                continue;
+            }
+            if rec.cfg.max_attempts > 0 && out.attempts >= rec.cfg.max_attempts {
+                gave_up.push(*id);
                 continue;
             }
             if self.retransmit.iter().any(|f| f.packet == *id) {
@@ -383,6 +423,34 @@ impl NodeInterface {
             let backoff = out.attempts.min(rec.cfg.backoff_cap);
             out.next_deadline = now + (rec.cfg.timeout << backoff);
         }
+        for id in gave_up {
+            let out = rec.outstanding.remove(&id).expect("collected above");
+            let before = self.retransmit.len();
+            self.retransmit.retain(|f| f.packet != id);
+            stats.flits_abandoned += (before - self.retransmit.len()) as u64;
+            stats.packets_unreachable += 1;
+            self.unreachable_outbox.push(UnreachablePacket {
+                id,
+                src: out.desc.src,
+                dest: out.desc.dest,
+                attempts: out.attempts,
+                gave_up_at: now,
+            });
+        }
+
+        // Destination-side cleanup: a partial reassembly whose flit stream
+        // has gone quiet for the recovery TTL will never complete on its
+        // own — its source either gave up (bounded retransmit) or a
+        // permanent fault keeps eating the missing flits. Discard it so
+        // the NI can go idle; a still-retrying source rebuilds the entry
+        // from scratch on its next full copy (late duplicates of the
+        // purged flits are fresh arrivals to an empty entry, not
+        // conservation leaks — every copy still retires exactly once).
+        let ttl = rec.cfg.reassembly_ttl();
+        let before = self.reassembly.len();
+        self.reassembly
+            .retain(|_, e| now.saturating_sub(e.last_arrival) < ttl);
+        stats.reassemblies_expired += (before - self.reassembly.len()) as u64;
     }
 
     /// Handles a NACK that has travelled back to this source.
@@ -441,6 +509,12 @@ impl NodeInterface {
     /// Takes the pending end-to-end acknowledgements `(source, packet)`.
     pub fn take_acks(&mut self) -> Vec<(NodeId, PacketId)> {
         std::mem::take(&mut self.acks_outbox)
+    }
+
+    /// Appends the given-up-packet records produced since the last drain to
+    /// `out` (the network accumulates them into its run-wide log).
+    pub fn drain_unreachable_into(&mut self, out: &mut Vec<UnreachablePacket>) {
+        out.append(&mut self.unreachable_outbox);
     }
 
     /// Takes the packets completed since the last call.
@@ -510,6 +584,7 @@ impl NodeInterface {
             w.put_u64(e.min_injected_at);
             w.put_u32(e.total_hops);
             w.put_u32(e.total_deflections);
+            w.put_u64(e.last_arrival);
         }
         w.put_usize(self.delivered.len());
         for d in &self.delivered {
@@ -521,6 +596,7 @@ impl NodeInterface {
                 w.put_bool(true);
                 w.put_u64(rec.cfg.timeout);
                 w.put_u32(rec.cfg.backoff_cap);
+                w.put_u32(rec.cfg.max_attempts);
                 w.put_usize(rec.outstanding.len());
                 for (id, out) in &rec.outstanding {
                     w.put_u64(id.0);
@@ -544,6 +620,14 @@ impl NodeInterface {
         for (node, id) in &self.acks_outbox {
             w.put_usize(node.index());
             w.put_u64(id.0);
+        }
+        w.put_usize(self.unreachable_outbox.len());
+        for u in &self.unreachable_outbox {
+            w.put_u64(u.id.0);
+            w.put_usize(u.src.index());
+            w.put_usize(u.dest.index());
+            w.put_u32(u.attempts);
+            w.put_u64(u.gave_up_at);
         }
     }
 
@@ -612,6 +696,7 @@ impl NodeInterface {
                 min_injected_at: r.get_u64("ni reassembly injected_at")?,
                 total_hops: r.get_u32("ni reassembly hops")?,
                 total_deflections: r.get_u32("ni reassembly deflections")?,
+                last_arrival: r.get_u64("ni reassembly last arrival")?,
             };
             if self.reassembly.insert(desc.id, entry).is_some() {
                 return Err(SnapshotError::Malformed {
@@ -628,6 +713,7 @@ impl NodeInterface {
             let cfg = RetransmitConfig {
                 timeout: r.get_u64("ni recovery timeout")?,
                 backoff_cap: r.get_u32("ni recovery backoff cap")?,
+                max_attempts: r.get_u32("ni recovery max attempts")?,
             };
             let mut outstanding = BTreeMap::new();
             for _ in 0..r.get_usize("ni outstanding count")? {
@@ -662,6 +748,16 @@ impl NodeInterface {
             let id = PacketId(r.get_u64("ni ack packet")?);
             self.acks_outbox.push((node, id));
         }
+        self.unreachable_outbox.clear();
+        for _ in 0..r.get_usize("ni unreachable outbox length")? {
+            self.unreachable_outbox.push(UnreachablePacket {
+                id: PacketId(r.get_u64("ni unreachable packet")?),
+                src: NodeId::new(r.get_usize("ni unreachable src")?),
+                dest: NodeId::new(r.get_usize("ni unreachable dest")?),
+                attempts: r.get_u32("ni unreachable attempts")?,
+                gave_up_at: r.get_u64("ni unreachable cycle")?,
+            });
+        }
         Ok(())
     }
 
@@ -674,6 +770,7 @@ impl NodeInterface {
             && self.delivered.is_empty()
             && self.corrupt_outbox.is_empty()
             && self.acks_outbox.is_empty()
+            && self.unreachable_outbox.is_empty()
             && self.outstanding_packets() == 0
     }
 }
@@ -871,6 +968,58 @@ mod tests {
     }
 
     #[test]
+    fn bounded_retransmit_gives_up_with_structured_record() {
+        let mut ni = NodeInterface::new(NodeId::new(0), 1);
+        ni.enable_recovery(RetransmitConfig {
+            timeout: 10,
+            backoff_cap: 0,
+            max_attempts: 2,
+        });
+        let mut stats = NetworkStats::new();
+        let mut router = SinkRouter {
+            accept: true,
+            ..SinkRouter::default()
+        };
+        ni.enqueue(desc(1, 0, 5, 0, 2), &mut stats);
+        ni.try_inject(&mut router, 0, &mut stats);
+        ni.try_inject(&mut router, 1, &mut stats);
+        assert_eq!(ni.outstanding_packets(), 1);
+        // Two timeouts fire (attempts 1 and 2); the router refuses from now
+        // on, so the second attempt's copies sit in the retransmit queue.
+        ni.check_timeouts(11, &mut stats);
+        ni.try_inject(&mut router, 12, &mut stats);
+        ni.try_inject(&mut router, 13, &mut stats);
+        ni.check_timeouts(25, &mut stats);
+        router.accept = false;
+        assert_eq!(stats.retransmit_timeouts, 2);
+        assert_eq!(ni.pending_retransmits(), 2);
+        // Third deadline: attempts == max_attempts, so the packet is
+        // retired — queue purged, structured record emitted.
+        ni.check_timeouts(40, &mut stats);
+        assert_eq!(ni.outstanding_packets(), 0);
+        assert_eq!(ni.pending_retransmits(), 0);
+        assert_eq!(stats.packets_unreachable, 1);
+        assert_eq!(stats.flits_abandoned, 2);
+        let mut records = Vec::new();
+        ni.drain_unreachable_into(&mut records);
+        assert_eq!(
+            records,
+            vec![UnreachablePacket {
+                id: PacketId(1),
+                src: NodeId::new(0),
+                dest: NodeId::new(5),
+                attempts: 2,
+                gave_up_at: 40,
+            }]
+        );
+        assert!(ni.is_idle());
+        // No further timeouts fire for the retired packet.
+        ni.check_timeouts(100, &mut stats);
+        assert_eq!(stats.retransmit_timeouts, 2);
+        assert_eq!(stats.packets_unreachable, 1);
+    }
+
+    #[test]
     #[should_panic(expected = "return to the source")]
     fn retransmit_at_wrong_node_panics() {
         let mut ni = NodeInterface::new(NodeId::new(4), 1);
@@ -883,6 +1032,7 @@ mod tests {
         ni.enable_recovery(RetransmitConfig {
             timeout: 100,
             backoff_cap: 3,
+            max_attempts: 2,
         });
         let mut stats = NetworkStats::new();
         let mut router = SinkRouter {

@@ -10,9 +10,14 @@
 //!   of its routers' outgoing channels, flits from those of its incoming
 //!   channels — walking each router's incident channels in ascending
 //!   channel order, which reproduces the serial engine's per-router
-//!   mutation sequence exactly. The main thread additionally retires the
-//!   NACK/ack queues (phase 2a), which touch only NI/queue state disjoint
-//!   from every shard's phase-1 writes.
+//!   mutation sequence exactly. Deliveries cross the *deterministic* fault
+//!   plane here: a flit or credit on a permanently killed channel is eaten
+//!   (the only fault kind the fast path admits — kills draw no RNG), with
+//!   the event recorded in the shard delta tagged by channel index so the
+//!   epilogue can replay the fault log in the serial engine's channel
+//!   order. The main thread additionally retires the NACK/ack queues and
+//!   scans NI retransmit timeouts (phase 2a), which touch only NI/queue
+//!   state disjoint from every shard's phase-1 writes.
 //! * **Region B** (phases 2b + 3, fused): each shard injects from its own
 //!   NIs, then steps its own routers. Produced flits go straight into the
 //!   forward half of the router's outgoing channels (owned by this
@@ -24,9 +29,11 @@
 //! * **Region C** (phase 4): each shard advances its own channels,
 //!   re-staging next cycle's deliveries.
 //! * **Epilogue**: the main thread folds per-shard deltas (stats,
-//!   conservation counters, dropped-flit NACKs) in ascending shard order —
-//!   which equals the serial engine's accumulation order — and runs the
-//!   watchdogs.
+//!   conservation counters, dropped-flit NACKs, fault events) in ascending
+//!   shard order — which equals the serial engine's accumulation order —
+//!   drains NI sideband buffers (corrupt NACKs, end-to-end acks,
+//!   unreachable-packet records; serial phase 3b) in NI order, and runs
+//!   the watchdogs.
 //!
 //! ## Why the output is byte-identical at any thread count
 //!
@@ -55,6 +62,7 @@
 
 use crate::channel::{Channel, Delivery};
 use crate::error::SimError;
+use crate::faults::{FaultEvent, FaultEventKind};
 use crate::flit::{Cycle, Flit};
 use crate::geom::{DirMap, Direction, NodeId, PortId};
 use crate::network::{ChannelEnds, Network};
@@ -96,6 +104,10 @@ struct Plan {
     /// end (receives credits/control).
     events: Vec<(u32, bool)>,
     ev_off: Vec<u32>,
+    /// Cycle from which channel `c` is permanently dead (`Cycle::MAX` when
+    /// never killed). The fast path admits only deterministic fault plans,
+    /// whose entire effect this table captures.
+    killed_at: Vec<Cycle>,
     mesh: Mesh,
     link_latency: u64,
     max_flit_age: u64,
@@ -139,12 +151,24 @@ impl Plan {
             ev_off[j + 1] = events.len() as u32;
         }
 
+        let killed_at: Vec<Cycle> = net
+            .ends
+            .iter()
+            .map(|e| {
+                net.config
+                    .faults
+                    .first_kill_at(&net.mesh, e.from, e.dir)
+                    .unwrap_or(Cycle::MAX)
+            })
+            .collect();
+
         Plan {
             shards,
             node_start,
             chan_start,
             events,
             ev_off,
+            killed_at,
             mesh: net.mesh.clone(),
             link_latency: net.config.link_latency,
             max_flit_age: net.config.max_flit_age,
@@ -186,12 +210,18 @@ struct ShardDelta {
     stats: NetworkStats,
     credits_delivered: u64,
     credits_pushed: u64,
+    credits_faulted: u64,
     in_flight: i64,
     retx_queued: i64,
     mode_counts: [i64; 3],
     ni_hw_max: usize,
     /// Dropped flits (NACK circuit), in this shard's router-walk order.
     dropped: Vec<(Cycle, Flit)>,
+    /// Fault-plane events, tagged `(channel, is_flit_event)`. The epilogue
+    /// stable-sorts the union by that key, which reproduces the serial
+    /// engine's fault-log order (ascending channel, credits before the
+    /// flit within one channel's delivery).
+    fault_events: Vec<(u32, bool, FaultEvent)>,
     scratch: RouterOutputs,
     /// First/minimal terminal error: `(phase, component index, error)`.
     error: Option<(u8, u32, SimError)>,
@@ -204,11 +234,13 @@ impl ShardDelta {
             stats: NetworkStats::new(),
             credits_delivered: 0,
             credits_pushed: 0,
+            credits_faulted: 0,
             in_flight: 0,
             retx_queued: 0,
             mode_counts: [0; 3],
             ni_hw_max: 0,
             dropped: Vec::new(),
+            fault_events: Vec::new(),
             scratch: RouterOutputs::new(),
             error: None,
             panic: None,
@@ -219,11 +251,13 @@ impl ShardDelta {
         self.stats = NetworkStats::new();
         self.credits_delivered = 0;
         self.credits_pushed = 0;
+        self.credits_faulted = 0;
         self.in_flight = 0;
         self.retx_queued = 0;
         self.mode_counts = [0; 3];
         self.ni_hw_max = 0;
         self.dropped.clear();
+        self.fault_events.clear();
         self.error = None;
         self.panic = None;
     }
@@ -433,6 +467,24 @@ unsafe fn region_a(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta)
             let pend = &*(job.pending.add(c) as *const Delivery);
             if is_fwd {
                 let Some(flit) = pend.flit else { continue };
+                if plan.killed_at[c] <= now {
+                    // Deterministic fault plane: the link is dead, the flit
+                    // is eaten — exactly the serial engine's `flit_fate`,
+                    // which runs before the age check (a killed flit can
+                    // never be the serial run's first error).
+                    if delta.error.is_none() {
+                        let ends = &*job.ends.add(c);
+                        delta.stats.flits_lost_to_faults += 1;
+                        delta.stats.faults_injected += 1;
+                        delta.in_flight -= 1;
+                        delta.fault_events.push((
+                            c32,
+                            true,
+                            FaultEvent::for_flit(now, ends.from, ends.dir, &flit, true),
+                        ));
+                    }
+                    continue;
+                }
                 if plan.max_flit_age > 0 {
                     let age = now.saturating_sub(flit.injected_at);
                     if age > plan.max_flit_age {
@@ -464,11 +516,33 @@ unsafe fn region_a(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta)
                 if delta.error.is_some() {
                     continue;
                 }
-                let dir = (*job.ends.add(c)).dir;
-                for &credit in pend.credits() {
-                    delta.credits_delivered += 1;
-                    set_bit(job.router_active, j);
-                    router.receive_credit(PortId::Net(dir), credit, now);
+                let ends = &*job.ends.add(c);
+                let dir = ends.dir;
+                if plan.killed_at[c] <= now {
+                    // A dead link loses its credits too (serial
+                    // `credit_lost`); control signals are sideband and
+                    // still cross, keeping fault gossip alive.
+                    for _ in pend.credits() {
+                        delta.stats.credits_lost += 1;
+                        delta.stats.faults_injected += 1;
+                        delta.credits_faulted += 1;
+                        delta.fault_events.push((
+                            c32,
+                            false,
+                            FaultEvent {
+                                cycle: now,
+                                from: ends.from,
+                                dir,
+                                kind: FaultEventKind::CreditLost,
+                            },
+                        ));
+                    }
+                } else {
+                    for &credit in pend.credits() {
+                        delta.credits_delivered += 1;
+                        set_bit(job.router_active, j);
+                        router.receive_credit(PortId::Net(dir), credit, now);
+                    }
                 }
                 for &signal in pend.control() {
                     set_bit(job.router_active, j);
@@ -708,32 +782,36 @@ fn worker_loop(shared: &Shared, plan: &Plan, shard: usize) {
 }
 
 /// Serial-equivalent phase 2a, run by the main thread inside region A: the
-/// NACK/ack queues and the NI send queues it touches are disjoint from
-/// every shard's phase-1 writes (routers + staged deliveries).
+/// NACK/ack queues, the retransmit timeout scan, and the NI send queues it
+/// touches are disjoint from every shard's phase-1 writes (routers +
+/// staged deliveries).
 ///
 /// # Safety
 /// Must run between sync1 and sync4's exclusivity window with a valid
 /// `Job`; only the main thread may call it.
 unsafe fn run_phase_2a(net: &mut Network, job: &Job) {
     let now = job.now;
+    let recovery = net.config.retransmit.is_some();
     if !net.nack_queue.is_empty() {
-        // Fast path implies no end-to-end recovery: a NACK requeues the
-        // flit directly at its source NI.
         let mut i = 0;
         while i < net.nack_queue.len() {
             if net.nack_queue[i].0 <= now {
                 let (_, flit) = net.nack_queue.swap_remove(i);
                 let src = flit.src.index();
                 (&mut *job.nis.add(src)).nack(flit, now, &mut net.stats);
-                net.retx_queued += 1;
+                if !recovery {
+                    // Without end-to-end recovery a NACK requeues the flit
+                    // directly; with it the copy is absorbed and the
+                    // timeout path re-materializes the packet.
+                    net.retx_queued += 1;
+                }
                 set_bit(job.ni_send, src);
             } else {
                 i += 1;
             }
         }
     }
-    // Acks only exist under end-to-end recovery, but a restored snapshot
-    // may carry queued ones; drain them exactly like the serial engine.
+    // End-to-end acks retire outstanding packets at their source.
     if !net.ack_queue.is_empty() {
         let mut i = 0;
         while i < net.ack_queue.len() {
@@ -744,6 +822,25 @@ unsafe fn run_phase_2a(net: &mut Network, job: &Job) {
                 i += 1;
             }
         }
+    }
+    // NI retransmit timeouts fire, mirroring the serial engine's ascending
+    // scan (bounded attempts may retire packets as unreachable here).
+    if recovery {
+        let copies0 = net.stats.flits_retransmit_copies;
+        let abandoned0 = net.stats.flits_abandoned;
+        let n = net.nis.len();
+        for i in 0..n {
+            let c0 = net.stats.flits_retransmit_copies;
+            (&mut *job.nis.add(i)).check_timeouts(now, &mut net.stats);
+            if net.stats.flits_retransmit_copies > c0 {
+                // Re-materialized copies must be visible to the masked
+                // injection walk in region B.
+                set_bit(job.ni_send, i);
+            }
+        }
+        net.retx_queued += (net.stats.flits_retransmit_copies - copies0) as usize;
+        // Copies purged when a packet was given up never inject.
+        net.retx_queued -= (net.stats.flits_abandoned - abandoned0) as usize;
     }
 }
 
@@ -850,12 +947,14 @@ fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), Sim
     let mut modes = net.mode_counts.map(|m| m as i64);
     let mut error: Option<(u8, u32, SimError)> = None;
     let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut fault_events: Vec<(u32, bool, FaultEvent)> = Vec::new();
     for cell in &shared.deltas {
         // SAFETY: workers are parked; main is the sole accessor.
         let d = unsafe { &mut *cell.get() };
         net.stats.merge(&d.stats);
         net.credits_delivered += d.credits_delivered;
         net.credits_pushed += d.credits_pushed;
+        net.credits_faulted += d.credits_faulted;
         in_flight += d.in_flight;
         retx += d.retx_queued;
         for (m, dm) in modes.iter_mut().zip(d.mode_counts) {
@@ -863,6 +962,7 @@ fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), Sim
         }
         net.ni_high_water_max = net.ni_high_water_max.max(d.ni_hw_max);
         net.nack_queue.append(&mut d.dropped);
+        fault_events.append(&mut d.fault_events);
         if let Some((p, i, e)) = d.error.take() {
             match &error {
                 Some((bp, bi, _)) if (*bp, *bi) <= (p, i) => {}
@@ -876,12 +976,43 @@ fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), Sim
     net.in_flight = in_flight as usize;
     net.retx_queued = retx as usize;
     net.mode_counts = modes.map(|m| m as u64);
+    if !fault_events.is_empty() {
+        // Serial fault-log order: ascending channel, a channel's lost
+        // credits before its dropped flit (one flit per channel per cycle,
+        // so the key is a total order up to same-channel credits, whose
+        // relative order the stable sort preserves).
+        fault_events.sort_by_key(|&(c, is_flit, _)| (c, is_flit));
+        for (_, _, ev) in fault_events {
+            net.log_fault(ev);
+        }
+    }
 
     if let Some(payload) = panic_payload {
         resume_unwind(payload);
     }
     if let Some((_, _, e)) = error {
         return Err(e);
+    }
+
+    // Serial phase 3b: corrupt arrivals join the NACK circuit, fresh acks
+    // start their trip back, unreachable-packet records are collected.
+    // Channel state (region C) and NI sideband buffers are disjoint, so
+    // running it after the barriers is byte-identical to the serial
+    // placement between phases 3 and 4.
+    if !net.config.faults.is_empty() || net.config.retransmit.is_some() {
+        for i in 0..net.nis.len() {
+            for flit in net.nis[i].take_corrupt() {
+                let dist = net.mesh.distance(NodeId::new(i), flit.src) as u64;
+                let ready = now + dist * net.config.link_latency + 2;
+                net.nack_queue.push((ready, flit));
+            }
+            for (src, id) in net.nis[i].take_acks() {
+                let dist = net.mesh.distance(NodeId::new(i), src) as u64;
+                let ready = now + dist * net.config.link_latency;
+                net.ack_queue.push((ready, src, id));
+            }
+            net.nis[i].drain_unreachable_into(&mut net.unreachable_packets);
+        }
     }
 
     net.now += 1;
@@ -908,7 +1039,8 @@ fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), Sim
         );
     }
 
-    let progress = net.stats.flits_injected + net.stats.flits_delivered;
+    let progress =
+        net.stats.flits_injected + net.stats.flits_delivered + net.stats.packets_unreachable;
     if progress != net.last_progress {
         net.last_progress = progress;
         net.last_progress_cycle = net.now;

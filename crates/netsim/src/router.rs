@@ -131,6 +131,15 @@ pub trait Router: Send {
         None
     }
 
+    /// Notifies the router that its output link toward `dir` is dead (the
+    /// engine's deterministic fault detection fired — DESIGN.md §13). The
+    /// router must stop routing flits toward `dir`, gossip the fact to its
+    /// neighbors over the control sideband, and detour still-reachable
+    /// traffic. The default no-op keeps test stubs and fault-oblivious
+    /// mechanisms compiling; such routers will simply keep wedging on dead
+    /// links as before.
+    fn note_link_fault(&mut self, _dir: crate::geom::Direction, _now: Cycle) {}
+
     /// Whether the router is *quiescent*: stepping it now — and for any
     /// number of consecutive future cycles in which it receives nothing
     /// and injects nothing — would draw nothing from its RNG, emit no

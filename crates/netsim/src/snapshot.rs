@@ -47,7 +47,11 @@ pub const MAGIC: [u8; 8] = *b"AFCSNAP\0";
 
 /// Current snapshot format version. Bump on any layout change; [`open`]
 /// refuses containers with a different version rather than guessing.
-pub const FORMAT_VERSION: u32 = 1;
+// v2: fault-tolerance state — ControlSignal::LinkFault channel entries,
+// per-router fault-awareness blocks, NI bounded-retransmit config +
+// unreachable outbox, network unreachable-packet log, and the new
+// stats/counter fields (DESIGN.md §13).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Errors raised while encoding, sealing, opening, or decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -481,6 +481,27 @@ pub struct NetworkStats {
     pub nacks_absorbed: u64,
     /// Total fault events injected by the fault plane.
     pub faults_injected: u64,
+    /// Packets the NI gave up on after `max_attempts` retransmissions: the
+    /// structured `Unreachable` outcome of DESIGN.md §13 (the per-packet
+    /// records live in [`Network::unreachable_packets`]
+    /// (crate::network::Network::unreachable_packets)).
+    pub packets_unreachable: u64,
+    /// Retransmit-queue flit copies discarded (never injected) when their
+    /// packet was declared unreachable — the balancing term that keeps the
+    /// flit-conservation audit exact under bounded retransmission.
+    pub flits_abandoned: u64,
+    /// Partial reassembly buffers discarded after going quiet for the
+    /// recovery TTL — the destination-side cleanup for packets whose
+    /// source gave up (or whose remaining flits a kill made undeliverable);
+    /// without it a half-received packet would hold its NI non-idle
+    /// forever.
+    pub reassemblies_expired: u64,
+    /// Directed links whose death the engine's deterministic fault
+    /// detection has reported to the upstream router.
+    pub links_failed: u64,
+    /// Cycles from each link kill to its local detection (the fault plan's
+    /// configured detection delay; a distribution once plans mix delays).
+    pub fault_detection_latency: LatencyStats,
     /// Network latency of delivered packets: first-flit injection to
     /// last-flit delivery.
     pub network_latency: LatencyStats,
@@ -540,6 +561,12 @@ impl NetworkStats {
         self.duplicate_flits_discarded += other.duplicate_flits_discarded;
         self.nacks_absorbed += other.nacks_absorbed;
         self.faults_injected += other.faults_injected;
+        self.packets_unreachable += other.packets_unreachable;
+        self.flits_abandoned += other.flits_abandoned;
+        self.reassemblies_expired += other.reassemblies_expired;
+        self.links_failed += other.links_failed;
+        self.fault_detection_latency
+            .merge(&other.fault_detection_latency);
         self.network_latency.merge(&other.network_latency);
         self.network_latency_hist.merge(&other.network_latency_hist);
         self.total_latency.merge(&other.total_latency);
@@ -588,9 +615,14 @@ impl NetworkStats {
             self.duplicate_flits_discarded,
             self.nacks_absorbed,
             self.faults_injected,
+            self.packets_unreachable,
+            self.flits_abandoned,
+            self.reassemblies_expired,
+            self.links_failed,
         ] {
             w.put_u64(v);
         }
+        self.fault_detection_latency.save(w);
         self.network_latency.save(w);
         self.network_latency_hist.save(w);
         self.total_latency.save(w);
@@ -621,6 +653,11 @@ impl NetworkStats {
             duplicate_flits_discarded: r.get_u64("stats duplicate_flits_discarded")?,
             nacks_absorbed: r.get_u64("stats nacks_absorbed")?,
             faults_injected: r.get_u64("stats faults_injected")?,
+            packets_unreachable: r.get_u64("stats packets_unreachable")?,
+            flits_abandoned: r.get_u64("stats flits_abandoned")?,
+            reassemblies_expired: r.get_u64("stats reassemblies_expired")?,
+            links_failed: r.get_u64("stats links_failed")?,
+            fault_detection_latency: LatencyStats::load(r)?,
             network_latency: LatencyStats::load(r)?,
             network_latency_hist: Histogram::load(r)?,
             total_latency: LatencyStats::load(r)?,

@@ -44,7 +44,9 @@
 use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
+use afc_netsim::fault_aware::{FaultAwareness, RouteOutcome};
 use afc_netsim::flit::{Cycle, Flit, PacketId, VcId};
+use afc_netsim::geom::Direction;
 use afc_netsim::geom::{NodeId, PortId, PortMap};
 use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
@@ -194,6 +196,9 @@ pub struct BackpressuredRouter {
     eligible_scratch: Vec<bool>,
     /// Reusable stage-2 winner list `(in, vc, out)`.
     winners_scratch: Vec<(PortId, usize, PortId)>,
+    /// Fault mask, gossip queue and alive-graph routing table (DESIGN.md
+    /// §13). While clean, routing stays on the historical DOR path.
+    fa: FaultAwareness,
     counters: ActivityCounters,
 }
 
@@ -253,6 +258,7 @@ impl BackpressuredRouter {
             port_occ: PortMap::default(),
             eligible_scratch: vec![false; total],
             winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
+            fa: FaultAwareness::new(node, mesh.clone()),
             counters: ActivityCounters::new(),
             layout,
         }
@@ -266,6 +272,7 @@ impl BackpressuredRouter {
     /// Zero-cycle VC allocation + route computation for every head-of-queue
     /// flit; returns nothing, marks eligibility state in the input VCs.
     fn allocate_routes_and_vcs(&mut self) {
+        let clean = self.fa.is_clean();
         for port in PortId::ALL {
             let Some(vcs) = self.inputs[port].as_mut() else {
                 continue;
@@ -297,12 +304,30 @@ impl BackpressuredRouter {
                     vc.out_vc = None;
                     vc.route_packet = None;
                 }
+                if !clean {
+                    if let Some(PortId::Net(d)) = vc.route {
+                        if self.fa.dead_out(d) {
+                            // The packet's allocated output link died under
+                            // it: release the downstream VC (its credits are
+                            // lost with the link anyway) and re-route the
+                            // remaining flits around the fault.
+                            if let Some(ovc) = vc.out_vc {
+                                if let Some(out) = self.outputs[PortId::Net(d)].as_mut() {
+                                    out[ovc].allocated = false;
+                                }
+                            }
+                            vc.route = None;
+                            vc.out_vc = None;
+                            vc.route_packet = None;
+                        }
+                    }
+                }
                 if vc.route.is_none() {
                     debug_assert!(
                         self.tolerate_orphans || hoq.is_head(),
                         "non-head flit {hoq} at HoQ without a route (VC hold violated)"
                     );
-                    let dir = match hoq.dest == self.node {
+                    let dor = match hoq.dest == self.node {
                         true => None,
                         false => Some(match self.options.routing {
                             RoutingAlgorithm::XFirst => self
@@ -314,6 +339,24 @@ impl BackpressuredRouter {
                                 .dor_route_yx(self.node, hoq.dest)
                                 .expect("non-local destination has a DOR direction"),
                         }),
+                    };
+                    let dir = if clean {
+                        dor
+                    } else {
+                        match self.fa.route(hoq.dest) {
+                            RouteOutcome::Local => None,
+                            RouteOutcome::Dir(d) => {
+                                if Some(d) != dor {
+                                    self.counters.reroutes += 1;
+                                }
+                                Some(d)
+                            }
+                            // No alive path: leave the route unset so the
+                            // VC stays ineligible; the unreachable sweep at
+                            // the top of the next step drops the packet into
+                            // the structured NACK/retransmit path.
+                            RouteOutcome::Unreachable => continue,
+                        }
                     };
                     vc.route = Some(dir.map(PortId::Net).unwrap_or(PortId::Local));
                     vc.route_packet = Some(hoq.packet);
@@ -334,6 +377,70 @@ impl BackpressuredRouter {
                             vc.out_vc = Some(free);
                             self.counters.vc_allocations += 1;
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops head-of-queue packets whose destinations have no alive path
+    /// (degraded mode only). Each dropped flit returns its buffer credit
+    /// upstream and lands in `out.dropped`, which the engine converts into
+    /// a NACK; the source NI's bounded retransmit then terminates the packet
+    /// with a structured `Unreachable` record instead of wedging the VC.
+    ///
+    /// At most two credits per network port per cycle: the reverse lane is
+    /// one wire bundle ([`LANE_CAP`](afc_netsim::channel::LANE_CAP) slots)
+    /// that must also carry this cycle's switch-traversal credit, so a
+    /// multi-flit packet drains over several cycles instead of bursting.
+    fn sweep_unreachable(&mut self, out: &mut RouterOutputs) {
+        for port in PortId::ALL {
+            if self.port_occ[port] == 0 {
+                continue;
+            }
+            let Some(vcs) = self.inputs[port].as_mut() else {
+                continue;
+            };
+            let mut budget = if port.is_network() {
+                2usize
+            } else {
+                usize::MAX
+            };
+            'port: for (vci, vc) in vcs.iter_mut().enumerate() {
+                while let Some(front) = vc.queue.front() {
+                    if budget == 0 {
+                        break 'port;
+                    }
+                    if !matches!(self.fa.route(front.dest), RouteOutcome::Unreachable) {
+                        break;
+                    }
+                    let packet = front.packet;
+                    if vc.route_packet == Some(packet) {
+                        if let (Some(p @ PortId::Net(_)), Some(ovc)) = (vc.route, vc.out_vc) {
+                            if let Some(outs) = self.outputs[p].as_mut() {
+                                outs[ovc].allocated = false;
+                            }
+                        }
+                        vc.route = None;
+                        vc.out_vc = None;
+                        vc.route_packet = None;
+                    }
+                    while vc.queue.front().is_some_and(|f| f.packet == packet) {
+                        if budget == 0 {
+                            // Mid-packet cutoff is safe: the remaining body
+                            // flits stay unreachable and drain next cycle.
+                            break 'port;
+                        }
+                        let f = vc.queue.pop_front().expect("checked non-empty");
+                        self.occ -= 1;
+                        self.port_occ[port] -= 1;
+                        self.counters.buffer_reads += 1;
+                        if port.is_network() {
+                            out.credits[port].push(Credit::Vc(VcId(vci as u8)));
+                            self.counters.credits_sent += 1;
+                            budget -= 1;
+                        }
+                        out.dropped.push(f);
                     }
                 }
             }
@@ -398,9 +505,17 @@ impl Router for BackpressuredRouter {
         );
     }
 
-    fn receive_control(&mut self, _output: PortId, _signal: ControlSignal, _now: Cycle) {
+    fn receive_control(&mut self, _output: PortId, signal: ControlSignal, now: Cycle) {
         // Credit-tracking control lines are an AFC mechanism; a homogeneous
-        // backpressured network never sees them.
+        // backpressured network never sees them. Fault gossip, however, is
+        // mechanism-independent.
+        if self.fa.on_control(signal, now) {
+            self.counters.fault_notices += 1;
+        }
+    }
+
+    fn note_link_fault(&mut self, dir: Direction, now: Cycle) {
+        self.fa.learn(self.node, dir, now);
     }
 
     fn injection_ready(&self, flit: &Flit, _now: Cycle) -> bool {
@@ -453,6 +568,10 @@ impl Router for BackpressuredRouter {
     fn step(&mut self, _now: Cycle, _rng: &mut SimRng, out: &mut RouterOutputs) {
         self.counters.cycles += 1;
         self.counters.buffer_occupancy_sum += self.occupancy() as u64;
+        if !self.fa.is_clean() {
+            self.sweep_unreachable(out);
+            self.fa.drain_gossip(out);
+        }
         self.allocate_routes_and_vcs();
 
         // Stage 1 of separable switch allocation: each input port nominates
@@ -614,8 +733,9 @@ impl Router for BackpressuredRouter {
         // VC is eligible, and no arbiter rotates (RoundRobin holds its
         // pointer when nothing requests). Open inject-VC wormholes and
         // credit state are untouched by an idle step, so the default
-        // `note_idle_cycles` replays it exactly.
-        self.occ == 0
+        // `note_idle_cycles` replays it exactly. Pending fault gossip keeps
+        // the router live: an idle step still drains the flood queue.
+        self.occ == 0 && !self.fa.has_pending_gossip()
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
@@ -663,6 +783,7 @@ impl Router for BackpressuredRouter {
             w.put_usize(*rr);
         }
         self.counters.save(w);
+        self.fa.save(w);
         Ok(())
     }
 
@@ -761,6 +882,7 @@ impl Router for BackpressuredRouter {
             *rr = v;
         }
         self.counters = ActivityCounters::load(r)?;
+        self.fa.load(r)?;
         self.occ = occ;
         Ok(())
     }

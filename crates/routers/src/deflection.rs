@@ -19,6 +19,7 @@
 use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
+use afc_netsim::fault_aware::{FaultAwareness, RouteOutcome};
 use afc_netsim::flit::{Cycle, Flit};
 use afc_netsim::geom::{Direction, NodeId, PortId};
 use afc_netsim::rng::SimRng;
@@ -78,6 +79,19 @@ impl DeflectionEngine {
         self.dirs.len()
     }
 
+    /// The network output directions present at this node.
+    pub fn dirs(&self) -> &[Direction] {
+        &self.dirs
+    }
+
+    /// Whether `dir` is a dimension-ordered productive hop for `flit` here
+    /// (reroute-stat classification for degraded-mode assignments).
+    pub fn is_productive(&self, flit: &Flit, dir: Direction) -> bool {
+        self.mesh
+            .productive_dirs(self.node, flit.dest)
+            .contains(dir)
+    }
+
     /// Orders flits by rank (mutates in place).
     pub fn rank(&self, flits: &mut [Flit], rng: &mut SimRng) {
         match self.policy {
@@ -120,6 +134,27 @@ impl DeflectionEngine {
         rng: &mut SimRng,
         out: &mut Vec<Assignment>,
     ) {
+        self.assign_with_into(flits, blocked, |_| None, rng, out);
+    }
+
+    /// [`DeflectionEngine::assign_into`] with a per-flit preferred
+    /// direction override. When `prefer` returns `Some(dir)` — degraded
+    /// mode's alive-graph next hop — that direction *replaces* the
+    /// dimension-ordered productive set: the flit takes it if free and
+    /// deflects otherwise. DOR's productive directions are fault-blind, so
+    /// near a dead node they forever pull a flit back toward the dead link
+    /// (a livelock orbit); following the alive-graph hop instead strictly
+    /// shrinks the flit's alive-distance whenever granted, restoring the
+    /// probabilistic delivery argument. With `prefer = |_| None` the RNG
+    /// draw sequence is bit-identical to the historical implementation.
+    pub fn assign_with_into(
+        &self,
+        flits: &mut [Flit],
+        blocked: &[Direction],
+        mut prefer: impl FnMut(&Flit) -> Option<Direction>,
+        rng: &mut SimRng,
+        out: &mut Vec<Assignment>,
+    ) {
         out.clear();
         // Fixed-size free list: this runs for every latched flit every
         // cycle, so it must stay off the heap. Order matches `self.dirs`
@@ -142,10 +177,14 @@ impl DeflectionEngine {
         );
         self.rank(flits, rng);
         for &flit in flits.iter() {
-            let productive = self.mesh.productive_dirs(self.node, flit.dest);
-            let choice = productive
-                .into_iter()
-                .find(|d| free[..free_len].contains(d));
+            let choice = match prefer(&flit) {
+                Some(d) => free[..free_len].contains(&d).then_some(d),
+                None => self
+                    .mesh
+                    .productive_dirs(self.node, flit.dest)
+                    .into_iter()
+                    .find(|d| free[..free_len].contains(d)),
+            };
             let (dir, deflected) = match choice {
                 Some(d) => (d, false),
                 None => {
@@ -221,6 +260,11 @@ pub struct DeflectionRouter {
     latches: Vec<Flit>,
     /// Reusable assignment buffer: the step loop must not allocate.
     assign_scratch: Vec<Assignment>,
+    /// Reusable dead-direction mask handed to the assignment engine.
+    blocked_scratch: Vec<Direction>,
+    /// Fault mask, gossip queue and alive-graph routing table (DESIGN.md
+    /// §13); clean-state steps are byte-identical to the fault-free build.
+    fa: FaultAwareness,
     counters: ActivityCounters,
 }
 
@@ -238,6 +282,8 @@ impl DeflectionRouter {
             eject_bandwidth: config.eject_bandwidth,
             latches: Vec::with_capacity(8),
             assign_scratch: Vec::with_capacity(8),
+            blocked_scratch: Vec::with_capacity(4),
+            fa: FaultAwareness::new(node, mesh.clone()),
             counters: ActivityCounters::new(),
         }
     }
@@ -272,7 +318,15 @@ impl Router for DeflectionRouter {
         // Bufferless networks have no credits.
     }
 
-    fn receive_control(&mut self, _output: PortId, _signal: ControlSignal, _now: Cycle) {}
+    fn receive_control(&mut self, _output: PortId, signal: ControlSignal, now: Cycle) {
+        if self.fa.on_control(signal, now) {
+            self.counters.fault_notices += 1;
+        }
+    }
+
+    fn note_link_fault(&mut self, dir: Direction, now: Cycle) {
+        self.fa.learn(self.node, dir, now);
+    }
 
     fn injection_ready(&self, _flit: &Flit, _now: Cycle) -> bool {
         self.free_ports_after_ejection() >= 1
@@ -286,6 +340,10 @@ impl Router for DeflectionRouter {
 
     fn step(&mut self, _now: Cycle, rng: &mut SimRng, out: &mut RouterOutputs) {
         self.counters.cycles += 1;
+        let clean = self.fa.is_clean();
+        if !clean {
+            self.fa.drain_gossip(out);
+        }
         if self.latches.is_empty() {
             return;
         }
@@ -302,14 +360,56 @@ impl Router for DeflectionRouter {
         // back with their capacity intact: no allocation in steady state.
         let mut flits = std::mem::take(&mut self.latches);
         let mut assigns = std::mem::take(&mut self.assign_scratch);
+        let mut blocked = std::mem::take(&mut self.blocked_scratch);
+        blocked.clear();
+        if !clean {
+            // Degraded mode: terminate unreachable flits through the
+            // structured drop/NACK path (order-preserving removal keeps the
+            // ranking RNG sequence deterministic), then mask dead output
+            // links — relaxed if more flits remain than alive ports, in
+            // which case the overflow deliberately sinks into the dead link
+            // where the fault plane accounts for it and retransmission
+            // recovers it.
+            let mut i = 0;
+            while i < flits.len() {
+                if matches!(self.fa.route(flits[i].dest), RouteOutcome::Unreachable) {
+                    out.dropped.push(flits.remove(i));
+                    self.counters.drops += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            self.fa
+                .fill_blocked(self.engine.dirs(), flits.len(), &mut blocked);
+        }
         self.counters.arbitrations += flits.len() as u64;
-        self.engine.assign_into(&mut flits, &[], rng, &mut assigns);
+        if clean {
+            self.engine
+                .assign_into(&mut flits, &blocked, rng, &mut assigns);
+        } else {
+            // Degraded mode: desire the alive-graph next hop, not the
+            // fault-blind DOR productive set (see `assign_with_into`).
+            let fa = &mut self.fa;
+            self.engine.assign_with_into(
+                &mut flits,
+                &blocked,
+                |f| match fa.route(f.dest) {
+                    RouteOutcome::Dir(d) => Some(d),
+                    RouteOutcome::Local | RouteOutcome::Unreachable => None,
+                },
+                rng,
+                &mut assigns,
+            );
+        }
+        self.blocked_scratch = blocked;
         for a in &mut assigns {
-            a.flit.hops += 1;
             if a.deflected {
                 a.flit.deflections = a.flit.deflections.saturating_add(1);
                 self.counters.deflections += 1;
+            } else if !clean && !self.engine.is_productive(&a.flit, a.dir) {
+                self.counters.reroutes += 1;
             }
+            a.flit.hops += 1;
             self.counters.crossbar_traversals += 1;
             self.counters.link_traversals += 1;
             out.flits[PortId::Net(a.dir)] = Some(a.flit);
@@ -338,7 +438,8 @@ impl Router for DeflectionRouter {
     fn is_quiescent(&self) -> bool {
         // An idle step is `cycles += 1` and an early return: no RNG, no
         // outputs, nothing `note_idle_cycles`'s default can't replay.
-        self.latches.is_empty()
+        // Pending fault gossip keeps the router live so the flood drains.
+        self.latches.is_empty() && !self.fa.has_pending_gossip()
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
@@ -347,6 +448,7 @@ impl Router for DeflectionRouter {
             snapshot::write_flit(w, f);
         }
         self.counters.save(w);
+        self.fa.save(w);
         Ok(())
     }
 
@@ -362,6 +464,7 @@ impl Router for DeflectionRouter {
             self.latches.push(snapshot::read_flit(r)?);
         }
         self.counters = ActivityCounters::load(r)?;
+        self.fa.load(r)?;
         Ok(())
     }
 }

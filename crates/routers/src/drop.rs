@@ -9,6 +9,7 @@
 use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
+use afc_netsim::fault_aware::{FaultAwareness, RouteOutcome};
 use afc_netsim::flit::{Cycle, Flit};
 use afc_netsim::geom::{Direction, NodeId, PortId};
 use afc_netsim::rng::SimRng;
@@ -30,6 +31,9 @@ pub struct DropRouter {
     policy: RankPolicy,
     eject_bandwidth: usize,
     latches: Vec<Flit>,
+    /// Fault mask, gossip queue and alive-graph routing table (DESIGN.md
+    /// §13); clean-state steps are byte-identical to the fault-free build.
+    fa: FaultAwareness,
     counters: ActivityCounters,
 }
 
@@ -48,6 +52,7 @@ impl DropRouter {
             policy,
             eject_bandwidth: config.eject_bandwidth,
             latches: Vec::with_capacity(8),
+            fa: FaultAwareness::new(node, mesh.clone()),
             counters: ActivityCounters::new(),
         }
     }
@@ -61,7 +66,15 @@ impl Router for DropRouter {
 
     fn receive_credit(&mut self, _output: PortId, _credit: Credit, _now: Cycle) {}
 
-    fn receive_control(&mut self, _output: PortId, _signal: ControlSignal, _now: Cycle) {}
+    fn receive_control(&mut self, _output: PortId, signal: ControlSignal, now: Cycle) {
+        if self.fa.on_control(signal, now) {
+            self.counters.fault_notices += 1;
+        }
+    }
+
+    fn note_link_fault(&mut self, dir: Direction, now: Cycle) {
+        self.fa.learn(self.node, dir, now);
+    }
 
     fn injection_ready(&self, _flit: &Flit, _now: Cycle) -> bool {
         // Same free-port gating as the deflection router; a losing injected
@@ -83,6 +96,10 @@ impl Router for DropRouter {
 
     fn step(&mut self, _now: Cycle, rng: &mut SimRng, out: &mut RouterOutputs) {
         self.counters.cycles += 1;
+        let clean = self.fa.is_clean();
+        if !clean {
+            self.fa.drain_gossip(out);
+        }
         if self.latches.is_empty() {
             return;
         }
@@ -107,16 +124,38 @@ impl Router for DropRouter {
         let mut free = [Direction::North; 4];
         let mut free_len = 0usize;
         for d in self.dirs.iter().copied() {
+            // Dead links are simply not output ports anymore; SCARAB-style
+            // contention for the surviving ports is unchanged.
+            if !clean && self.fa.dead_out(d) {
+                continue;
+            }
             free[free_len] = d;
             free_len += 1;
         }
         for mut flit in flits.iter().copied() {
             self.counters.arbitrations += 1;
-            let productive = self.mesh.productive_dirs(self.node, flit.dest);
-            match productive
-                .into_iter()
-                .find(|d| free[..free_len].contains(d))
-            {
+            let choice = if clean {
+                self.mesh
+                    .productive_dirs(self.node, flit.dest)
+                    .into_iter()
+                    .find(|d| free[..free_len].contains(d))
+            } else {
+                // Degraded mode: follow the alive-graph next hop. A dead,
+                // contended, local-overflow or unreachable outcome all take
+                // the established drop/NACK path — for an unreachable
+                // destination the source NI's bounded retransmit converts
+                // the repeated drops into a structured `Unreachable`.
+                match self.fa.route(flit.dest) {
+                    RouteOutcome::Dir(d) if free[..free_len].contains(&d) => {
+                        if !self.mesh.productive_dirs(self.node, flit.dest).contains(d) {
+                            self.counters.reroutes += 1;
+                        }
+                        Some(d)
+                    }
+                    _ => None,
+                }
+            };
+            match choice {
                 Some(dir) => {
                     let pos = free[..free_len]
                         .iter()
@@ -161,7 +200,8 @@ impl Router for DropRouter {
     fn is_quiescent(&self) -> bool {
         // An idle step is `cycles += 1` and an early return: no RNG, no
         // outputs, nothing `note_idle_cycles`'s default can't replay.
-        self.latches.is_empty()
+        // Pending fault gossip keeps the router live so the flood drains.
+        self.latches.is_empty() && !self.fa.has_pending_gossip()
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
@@ -170,6 +210,7 @@ impl Router for DropRouter {
             snapshot::write_flit(w, f);
         }
         self.counters.save(w);
+        self.fa.save(w);
         Ok(())
     }
 
@@ -180,6 +221,7 @@ impl Router for DropRouter {
             self.latches.push(snapshot::read_flit(r)?);
         }
         self.counters = ActivityCounters::load(r)?;
+        self.fa.load(r)?;
         Ok(())
     }
 }

@@ -99,12 +99,22 @@ pub struct FaultArgs {
     pub credit_loss: f64,
     /// Permanent link kill: `x,y:DIR:cycle` (e.g. `1,1:E:1000`).
     pub kill: Option<(u16, u16, Direction, u64)>,
+    /// Whole-node kill (all four links): `x,y:cycle`.
+    pub kill_node: Option<(u16, u16, u64)>,
+    /// Row kill (every link touching row y): `y:cycle`.
+    pub kill_row: Option<(u16, u64)>,
+    /// Column kill (every link touching column x): `x:cycle`.
+    pub kill_column: Option<(u16, u64)>,
+    /// Rectangular-region kill: `x0,y0,x1,y1:cycle` (inclusive corners).
+    pub kill_region: Option<(u16, u16, u16, u16, u64)>,
     /// Injection cycles before sources stop.
     pub cycles: u64,
     /// Drain budget after sources stop.
     pub drain: u64,
     /// Retransmit timeout in cycles (0 disables end-to-end recovery).
     pub timeout: u64,
+    /// Retransmit attempt cap (0 = retry forever).
+    pub max_retransmit: u32,
     /// RNG seed.
     pub seed: u64,
 }
@@ -217,6 +227,55 @@ fn parse_kill(s: &str) -> Result<(u16, u16, Direction, u64), String> {
     let dir = parse_direction(dir)?;
     let at = at.parse().map_err(|_| format!("bad --kill cycle {at:?}"))?;
     Ok((x, y, dir, at))
+}
+
+/// Splits a kill-storm spec `body:cycle` and parses the trailing cycle.
+fn split_kill_at<'a>(flag: &str, s: &'a str) -> Result<(&'a str, u64), String> {
+    let (body, at) = s
+        .rsplit_once(':')
+        .ok_or_else(|| format!("bad --{flag} {s:?} (missing :cycle)"))?;
+    let at = at
+        .parse()
+        .map_err(|_| format!("bad --{flag} cycle {at:?}"))?;
+    Ok((body, at))
+}
+
+/// Parses a comma-separated coordinate list of exactly `n` u16 fields.
+fn parse_coords(flag: &str, body: &str, n: usize) -> Result<Vec<u16>, String> {
+    let fields: Vec<&str> = body.split(',').collect();
+    if fields.len() != n {
+        return Err(format!(
+            "bad --{flag} {body:?} (expected {n} comma-separated coordinates)"
+        ));
+    }
+    fields
+        .iter()
+        .map(|f| {
+            f.parse()
+                .map_err(|_| format!("bad --{flag} coordinate {f:?}"))
+        })
+        .collect()
+}
+
+/// Parses a node-kill spec of the form `x,y:cycle`.
+fn parse_kill_node(s: &str) -> Result<(u16, u16, u64), String> {
+    let (body, at) = split_kill_at("kill-node", s)?;
+    let c = parse_coords("kill-node", body, 2)?;
+    Ok((c[0], c[1], at))
+}
+
+/// Parses a row/column-kill spec of the form `i:cycle`.
+fn parse_kill_line(flag: &str, s: &str) -> Result<(u16, u64), String> {
+    let (body, at) = split_kill_at(flag, s)?;
+    let c = parse_coords(flag, body, 1)?;
+    Ok((c[0], at))
+}
+
+/// Parses a region-kill spec of the form `x0,y0,x1,y1:cycle`.
+fn parse_kill_region(s: &str) -> Result<(u16, u16, u16, u16, u64), String> {
+    let (body, at) = split_kill_at("kill-region", s)?;
+    let c = parse_coords("kill-region", body, 4)?;
+    Ok((c[0], c[1], c[2], c[3], at))
 }
 
 fn parse_threads(s: &str) -> Result<usize, String> {
@@ -340,9 +399,28 @@ impl Cli {
                     corrupt: rate_flag("corrupt", "5e-4")?,
                     credit_loss: rate_flag("credit-loss", "0")?,
                     kill: flags.get("kill").map(|s| parse_kill(s)).transpose()?,
+                    kill_node: flags
+                        .get("kill-node")
+                        .map(|s| parse_kill_node(s))
+                        .transpose()?,
+                    kill_row: flags
+                        .get("kill-row")
+                        .map(|s| parse_kill_line("kill-row", s))
+                        .transpose()?,
+                    kill_column: flags
+                        .get("kill-column")
+                        .map(|s| parse_kill_line("kill-column", s))
+                        .transpose()?,
+                    kill_region: flags
+                        .get("kill-region")
+                        .map(|s| parse_kill_region(s))
+                        .transpose()?,
                     cycles: get("cycles", "5000").parse().map_err(|_| "bad --cycles")?,
                     drain: get("drain", "300000").parse().map_err(|_| "bad --drain")?,
                     timeout: get("timeout", "600").parse().map_err(|_| "bad --timeout")?,
+                    max_retransmit: get("max-retransmit", "0")
+                        .parse()
+                        .map_err(|_| "bad --max-retransmit")?,
                     seed: get("seed", "1").parse().map_err(|_| "bad --seed")?,
                 }))
             }
@@ -364,7 +442,10 @@ USAGE:
   afc-noc inspect [--workload W] [--mesh 3x3] [--cycles N] [--seed N]
   afc-noc faults  [--mechanism M] [--mesh 3x3] [--rate R] [--drop P]
                   [--corrupt P] [--credit-loss P] [--kill x,y:DIR:CYCLE]
-                  [--cycles N] [--drain N] [--timeout N] [--seed N]
+                  [--kill-node x,y:CYCLE] [--kill-row Y:CYCLE]
+                  [--kill-column X:CYCLE] [--kill-region x0,y0,x1,y1:CYCLE]
+                  [--cycles N] [--drain N] [--timeout N]
+                  [--max-retransmit N] [--seed N]
   afc-noc list
   afc-noc help
 
@@ -379,6 +460,15 @@ The faults scenario injects deterministic, seed-reproducible link faults
 per-packet checksums and NI retransmission recover end to end; a stall
 watchdog turns deadlock into a structured report instead of a hang.
 --timeout 0 disables retransmission.
+
+Permanent kills come in five shapes: a single directed link (--kill), a
+whole node (--kill-node severs all of its links), a row or column
+(--kill-row / --kill-column sever every link touching it), or an
+inclusive rectangle (--kill-region). Routers detect dead links on a
+deterministic schedule, gossip the fault map, and detour the remaining
+traffic over the alive graph (DESIGN.md §13); packets whose destination
+became unreachable are cut off after --max-retransmit attempts (0 =
+retry forever) and reported as structured unreachable outcomes.
 
 --sim-threads N steps each cycle on N worker threads (spatially sharded;
 see DESIGN.md §12). Results are byte-identical at any thread count, so
@@ -519,6 +609,31 @@ mod tests {
     }
 
     #[test]
+    fn parses_kill_storm_flags() {
+        let cli = Cli::parse(&argv(
+            "faults --kill-node 2,1:500 --kill-row 3:800 --kill-column 0:900 \
+             --kill-region 1,1,2,3:1200 --max-retransmit 3",
+        ));
+        let Cli::Faults(a) = cli else {
+            panic!("expected faults")
+        };
+        assert_eq!(a.kill_node, Some((2, 1, 500)));
+        assert_eq!(a.kill_row, Some((3, 800)));
+        assert_eq!(a.kill_column, Some((0, 900)));
+        assert_eq!(a.kill_region, Some((1, 1, 2, 3, 1200)));
+        assert_eq!(a.max_retransmit, 3);
+        // Defaults: no storm, unlimited retries.
+        let Cli::Faults(a) = Cli::parse(&argv("faults")) else {
+            panic!("expected faults")
+        };
+        assert_eq!(a.kill_node, None);
+        assert_eq!(a.kill_row, None);
+        assert_eq!(a.kill_column, None);
+        assert_eq!(a.kill_region, None);
+        assert_eq!(a.max_retransmit, 0);
+    }
+
+    #[test]
     fn rejects_bad_kill_specs() {
         for bad in [
             "faults --kill 1:E:1000",
@@ -526,6 +641,14 @@ mod tests {
             "faults --kill 1,1:E",
             "faults --kill 1,1:E:x",
             "faults --kill 1,1:E:1:2",
+            "faults --kill-node 1:500",
+            "faults --kill-node 1,2",
+            "faults --kill-node 1,2:x",
+            "faults --kill-row 1,2:500",
+            "faults --kill-column x:500",
+            "faults --kill-region 1,1,2:500",
+            "faults --kill-region 1,1,2,3,4:500",
+            "faults --max-retransmit many",
         ] {
             assert!(
                 matches!(Cli::parse(&argv(bad)), Cli::Help(Some(_))),

@@ -203,19 +203,34 @@ fn do_faults(args: &FaultArgs) -> Result<(), String> {
         plan = plan.with_credit_loss(args.credit_loss);
     }
     let mut cfg = net_config(args.mesh);
-    if let Some((x, y, dir, at)) = args.kill {
-        let mesh = cfg.mesh().map_err(|e| e.to_string())?;
-        let node = mesh.node_at(Coord::new(x, y)).ok_or_else(|| {
+    let mesh = cfg.mesh().map_err(|e| e.to_string())?;
+    let node_at = |flag: &str, x: u16, y: u16| {
+        mesh.node_at(Coord::new(x, y)).ok_or_else(|| {
             format!(
-                "--kill node {x},{y} is outside the {}x{} mesh",
+                "--{flag} node {x},{y} is outside the {}x{} mesh",
                 args.mesh.0, args.mesh.1
             )
-        })?;
-        plan = plan.kill_link(node, dir, at);
+        })
+    };
+    if let Some((x, y, dir, at)) = args.kill {
+        plan = plan.kill_link(node_at("kill", x, y)?, dir, at);
+    }
+    if let Some((x, y, at)) = args.kill_node {
+        plan = plan.kill_node(node_at("kill-node", x, y)?, at);
+    }
+    if let Some((y, at)) = args.kill_row {
+        plan = plan.kill_row(y, at);
+    }
+    if let Some((x, at)) = args.kill_column {
+        plan = plan.kill_column(x, at);
+    }
+    if let Some((x0, y0, x1, y1, at)) = args.kill_region {
+        plan = plan.kill_region(x0, y0, x1, y1, at);
     }
     cfg.faults = plan;
     cfg.retransmit = (args.timeout > 0).then_some(RetransmitConfig {
         timeout: args.timeout,
+        max_attempts: args.max_retransmit,
         ..RetransmitConfig::default()
     });
     cfg.validate().map_err(|e| e.to_string())?;
@@ -256,6 +271,11 @@ fn do_faults(args: &FaultArgs) -> Result<(), String> {
         "recovery:          {} packets recovered, {} timeouts, {} retransmitted flits, {} dup flits discarded",
         s.recovered_packets, s.retransmit_timeouts, s.flits_retransmitted,
         s.duplicate_flits_discarded
+    );
+    let reroutes = out.network.total_counters().reroutes;
+    println!(
+        "degradation:       {} links failed, {} fault-aware reroutes, {} packets unreachable, {} reassemblies expired",
+        s.links_failed, reroutes, s.packets_unreachable, s.reassemblies_expired
     );
     println!(
         "packet latency:    mean {:.1}  p99 {} cycles",

@@ -1,0 +1,231 @@
+//! Kill-storm chaos soak (DESIGN.md §13): randomized seeded kill schedules
+//! across all four mechanisms and all four engine paths.
+//!
+//! Every schedule is generated from its own deterministic RNG stream and
+//! mixes the full `LinkSelector` vocabulary — single links, whole nodes,
+//! rows, columns, and rectangular regions — including plans that partition
+//! the mesh outright. The contract under test is graceful degradation:
+//! every run must end in clean delivery of all reachable traffic (drained,
+//! conservation audits green) or a structured error — never a hang, never
+//! an audit failure. Runs rotate through the serial, parallel, full-scan,
+//! and snapshot-resume engine paths so the soak exercises each one, and a
+//! smaller cross-path golden proves bit-identity between the paths on a
+//! few schedules.
+
+use afc_noc::prelude::*;
+
+/// Seeded schedules in the soak. The acceptance floor is 100; raise via
+/// `AFC_CHAOS_SCHEDULES` for longer local soaks.
+fn schedule_count() -> u64 {
+    std::env::var("AFC_CHAOS_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}
+
+const MESH_W: u16 = 4;
+const MESH_H: u16 = 4;
+const INJECT_CYCLES: u64 = 600;
+const DRAIN_BUDGET: u64 = 40_000;
+
+fn mechanisms() -> Vec<(&'static str, Box<dyn afc_netsim::router::RouterFactory>)> {
+    vec![
+        ("backpressured", Box::new(BackpressuredFactory::new())),
+        ("backpressureless", Box::new(DeflectionFactory::new())),
+        ("drop", Box::new(DropFactory::new())),
+        ("afc", Box::new(AfcFactory::paper())),
+    ]
+}
+
+/// One to three kill events drawn from every selector kind, landing between
+/// cycle 150 and 650 (mid-injection through early drain).
+fn random_plan(rng: &mut SimRng, mesh: &Mesh) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    let events = 1 + rng.gen_index(3);
+    for _ in 0..events {
+        let at = 150 + rng.gen_range(500);
+        let x = rng.gen_range(MESH_W as u64) as u16;
+        let y = rng.gen_range(MESH_H as u64) as u16;
+        let node = mesh.node_at(Coord::new(x, y)).expect("in bounds");
+        plan = match rng.gen_index(5) {
+            0 => {
+                let dir = Direction::ALL[rng.gen_index(4)];
+                plan.kill_link(node, dir, at)
+            }
+            1 => plan.kill_node(node, at),
+            2 => plan.kill_row(y, at),
+            3 => plan.kill_column(x, at),
+            _ => {
+                let x1 = x + rng.gen_range((MESH_W - x) as u64) as u16;
+                let y1 = y + rng.gen_range((MESH_H - y) as u64) as u16;
+                plan.kill_region(x, y, x1, y1, at)
+            }
+        };
+    }
+    plan
+}
+
+fn storm_config(plan: FaultPlan) -> NetworkConfig {
+    NetworkConfig {
+        width: MESH_W,
+        height: MESH_H,
+        faults: plan,
+        retransmit: Some(RetransmitConfig {
+            timeout: 250,
+            backoff_cap: 1,
+            max_attempts: 3,
+        }),
+        ..NetworkConfig::paper_3x3()
+    }
+}
+
+fn make_sim(
+    cfg: &NetworkConfig,
+    factory: &dyn afc_netsim::router::RouterFactory,
+    seed: u64,
+) -> Simulation<OpenLoopTraffic> {
+    let network = Network::new(cfg.clone(), factory, seed).expect("validated config");
+    let traffic = OpenLoopTraffic::new(
+        RateSpec::Uniform(0.2),
+        Pattern::UniformRandom,
+        PacketMix::paper(),
+        seed ^ 0xC4A05,
+    );
+    Simulation::new(network, traffic)
+}
+
+/// Steps through the storm on one engine path and asserts the graceful-
+/// degradation contract. Returns a behavioral fingerprint for the
+/// cross-path identity golden.
+fn run_one(
+    cfg: &NetworkConfig,
+    factory: &dyn afc_netsim::router::RouterFactory,
+    seed: u64,
+    path: usize,
+    label: &str,
+) -> (String, u64) {
+    let mut sim = make_sim(cfg, factory, seed);
+    match path {
+        1 => {
+            // Parallel: force the sharded engine on even at 4x4 occupancy.
+            sim.network.set_sim_threads(4);
+            sim.network.set_parallel_threshold(0);
+        }
+        2 => sim.network.set_full_scan(true),
+        _ => {}
+    }
+    let mut error = if path == 3 {
+        // Snapshot-resume: checkpoint mid-storm, then continue from the
+        // restored copy instead of the original simulation.
+        match sim.try_run(300) {
+            Err(e) => Some(e),
+            Ok(()) => {
+                let snap = sim.snapshot().expect("mid-storm snapshot");
+                sim = make_sim(cfg, factory, seed);
+                sim.restore(&snap, "chaos soak").expect("restore");
+                sim.try_run(INJECT_CYCLES - 300).err()
+            }
+        }
+    } else {
+        sim.try_run(INJECT_CYCLES).err()
+    };
+    if error.is_none() {
+        sim.traffic.stop();
+        error = sim.try_drain(DRAIN_BUDGET).err();
+    }
+    // The contract: audits always pass, and the run either drained or
+    // surfaced a structured error. A silently exhausted drain budget is a
+    // hang and fails here.
+    sim.network
+        .audit()
+        .unwrap_or_else(|e| panic!("{label}: flit audit failed: {e}"));
+    sim.network
+        .credit_audit()
+        .unwrap_or_else(|e| panic!("{label}: credit audit failed: {e}"));
+    match &error {
+        Some(e) => {
+            // Structured terminations are legal outcomes for a storm that
+            // (for example) severs a region mid-wormhole. They must carry
+            // a cycle so reports can localize them.
+            let msg = e.to_string();
+            assert!(!msg.is_empty(), "{label}: error must render");
+        }
+        None => {
+            let (in_flight, nacks, acks, busy) = sim.network.drain_residue();
+            assert!(
+                sim.network.is_drained(),
+                "{label}: drain budget exhausted with residue \
+                 (in_flight={in_flight} nacks={nacks} acks={acks} busy_nis={busy})"
+            );
+        }
+    }
+    let s = sim.network.stats();
+    let fp = format!(
+        "error={:?} stats={:?} faults={:?} unreachable={:?}",
+        error.map(|e| e.to_string()),
+        s,
+        sim.network.fault_log(),
+        sim.network.unreachable_packets(),
+    );
+    (fp, s.links_failed)
+}
+
+/// The soak: `schedule_count()` seeded kill storms, each run under all four
+/// mechanisms, rotating the engine path per (schedule, mechanism) pair.
+#[test]
+fn kill_storm_soak_never_hangs() {
+    let mesh = Mesh::new(MESH_W, MESH_H).expect("valid mesh");
+    let mechs = mechanisms();
+    let mut outcomes = [0u64; 2]; // [clean drains, structured errors]
+    let mut detections = 0u64;
+    for si in 0..schedule_count() {
+        let mut rng = SimRng::seed_from(0xC4A0_5000 ^ si);
+        let plan = random_plan(&mut rng, &mesh);
+        let cfg = storm_config(plan);
+        cfg.validate().expect("generated plans are valid");
+        let kills = cfg.faults.kill_schedule(&mesh).len();
+        for (mi, (name, factory)) in mechs.iter().enumerate() {
+            let path = (si as usize + mi) % 4;
+            let label = format!(
+                "schedule {si} ({kills} killed links) x {name} path {}",
+                ["serial", "parallel", "full-scan", "snapshot-resume"][path],
+            );
+            let (fp, links_failed) = run_one(&cfg, factory.as_ref(), 0x50AC ^ si, path, &label);
+            outcomes[fp.starts_with("error=Some") as usize] += 1;
+            detections += links_failed;
+        }
+    }
+    // The soak is only meaningful if both outcome classes occur across the
+    // corpus: plenty of storms drain cleanly, and at least some terminate
+    // with a structured error instead of hanging.
+    assert!(
+        outcomes[0] > 0,
+        "soak produced no clean drains — storms are implausibly destructive"
+    );
+    assert!(
+        detections > 0,
+        "soak never detected a killed link — the storms are vacuous"
+    );
+}
+
+/// Cross-path bit-identity on a few schedules: the serial, parallel,
+/// full-scan, and snapshot-resume paths must agree byte-for-byte on the
+/// entire behavioral fingerprint (stats, fault log, unreachable records).
+#[test]
+fn chaos_paths_are_bit_identical() {
+    let mesh = Mesh::new(MESH_W, MESH_H).expect("valid mesh");
+    let mechs = mechanisms();
+    for si in 0..3u64 {
+        let mut rng = SimRng::seed_from(0xC4A0_5000 ^ si);
+        let cfg = storm_config(random_plan(&mut rng, &mesh));
+        cfg.validate().expect("generated plans are valid");
+        for (name, factory) in &mechs {
+            let (base, _) = run_one(&cfg, factory.as_ref(), 0x50AC ^ si, 0, "serial ref");
+            for path in 1..4usize {
+                let label = format!("schedule {si} x {name} path {path}");
+                let (fp, _) = run_one(&cfg, factory.as_ref(), 0x50AC ^ si, path, &label);
+                assert_eq!(base, fp, "{label}: diverged from the serial path");
+            }
+        }
+    }
+}
