@@ -94,6 +94,12 @@ fn make_sim(
     };
     let mut sim = Simulation::new(network, traffic);
     sim.network.set_sim_threads(threads);
+    // These tests assert `parallel_cycles > 0`: the adaptive wall-clock
+    // gate would legally fall back to serial on a loaded or single-core
+    // host and make every comparison vacuous, so it is pinned off here.
+    // (Byte-identity with the gate *on* is still covered: the gate only
+    // ever picks between two engines this suite proves identical.)
+    sim.network.set_parallel_adaptive(false);
     sim
 }
 
@@ -216,6 +222,136 @@ fn retargeting_thread_count_mid_run_changes_nothing() {
         assert_eq!(base_fp, fingerprint_of(&sim), "{}", id.label());
         assert_eq!(base_log, sim.traffic.log, "{}", id.label());
     }
+}
+
+/// Runs a fixed-cycle workload (no drain — large-mesh backlogs would make
+/// draining dominate the suite) and returns the fingerprint pieces.
+fn run_fixed(
+    config: &NetworkConfig,
+    id: MechanismId,
+    rate: f64,
+    seed: u64,
+    threads: usize,
+    cycles: u64,
+) -> (String, Vec<DeliveredPacket>, u64) {
+    let mut sim = make_sim(config, id, rate, Pattern::UniformRandom, seed, threads);
+    sim.run(cycles);
+    sim.network.audit().expect("flit conservation");
+    sim.network.credit_audit().expect("credit conservation");
+    let fp = fingerprint_of(&sim);
+    let parallel = sim.network.parallel_cycles();
+    (fp, sim.traffic.log, parallel)
+}
+
+fn mesh_config(side: u16) -> NetworkConfig {
+    NetworkConfig {
+        width: side,
+        height: side,
+        ..NetworkConfig::paper_8x8()
+    }
+}
+
+/// Under `AFC_FULL_SCAN=1` the engine legally stays serial (the full
+/// historical walk is the self-check being exercised), so the
+/// non-vacuity asserts relax: the comparison then proves full-scan
+/// serial ≡ fast-path serial instead, which is exactly that mode's
+/// contract.
+fn parallel_expected() -> bool {
+    std::env::var_os("AFC_FULL_SCAN").is_none()
+}
+
+/// 32×32: the smallest mesh where sharding pays. All four mechanisms,
+/// serial vs {2, 4, 8} threads, full fingerprint + delivery-stream
+/// byte-identity.
+#[test]
+fn mesh_32x32_thread_count_never_changes_the_outcome() {
+    let config = mesh_config(32);
+    for id in MECHANISMS {
+        let (base_fp, base_log, base_par) = run_fixed(&config, id, 0.08, 0xA11CE, 1, 250);
+        assert_eq!(base_par, 0, "serial baseline must never step parallel");
+        assert!(
+            !base_log.is_empty(),
+            "{}: vacuous comparison (nothing delivered)",
+            id.label()
+        );
+        for threads in THREAD_COUNTS {
+            let (fp, log, parallel) = run_fixed(&config, id, 0.08, 0xA11CE, threads, 250);
+            assert!(
+                parallel > 0 || !parallel_expected(),
+                "{} x{threads}: parallel engine never engaged at 32x32 saturation",
+                id.label()
+            );
+            assert_eq!(base_fp, fp, "{} x{threads}: stats diverge", id.label());
+            assert_eq!(
+                base_log,
+                log,
+                "{} x{threads}: delivered-packet streams diverge",
+                id.label()
+            );
+        }
+    }
+}
+
+/// 64×64: all four mechanisms, serial vs {2, 4, 8} threads. Shorter run —
+/// per-cycle cost is ~16× the 32×32 mesh — but still past warm-up into
+/// steady saturation.
+#[test]
+fn mesh_64x64_thread_count_never_changes_the_outcome() {
+    let config = mesh_config(64);
+    for id in MECHANISMS {
+        let (base_fp, base_log, base_par) = run_fixed(&config, id, 0.04, 0xB0B, 1, 100);
+        assert_eq!(base_par, 0, "serial baseline must never step parallel");
+        assert!(
+            !base_log.is_empty(),
+            "{}: vacuous comparison (nothing delivered)",
+            id.label()
+        );
+        for threads in THREAD_COUNTS {
+            let (fp, log, parallel) = run_fixed(&config, id, 0.04, 0xB0B, threads, 100);
+            assert!(
+                parallel > 0 || !parallel_expected(),
+                "{} x{threads}: parallel engine never engaged at 64x64 saturation",
+                id.label()
+            );
+            assert_eq!(base_fp, fp, "{} x{threads}: stats diverge", id.label());
+            assert_eq!(
+                base_log,
+                log,
+                "{} x{threads}: delivered-packet streams diverge",
+                id.label()
+            );
+        }
+    }
+}
+
+/// 128×128 smoke: the ROADMAP's 100×-beyond-the-paper scale point. One
+/// mechanism (AFC), serial vs 4 threads, byte-identical, and the whole
+/// thing — construction included — must land within a wall-clock budget
+/// (the "cycle budget" guarding against accidental O(mesh²) per-cycle or
+/// per-construction blowups).
+#[test]
+fn mesh_128x128_smoke_within_budget() {
+    let budget = std::time::Duration::from_secs(60);
+    let t0 = std::time::Instant::now();
+    let config = mesh_config(128);
+    let (base_fp, base_log, base_par) = run_fixed(&config, MechanismId::Afc, 0.02, 0x5CA1E, 1, 40);
+    assert_eq!(base_par, 0);
+    assert!(
+        !base_log.is_empty(),
+        "vacuous comparison (nothing delivered)"
+    );
+    let (fp, log, parallel) = run_fixed(&config, MechanismId::Afc, 0.02, 0x5CA1E, 4, 40);
+    assert!(
+        parallel > 0 || !parallel_expected(),
+        "parallel engine never engaged at 128x128"
+    );
+    assert_eq!(base_fp, fp, "128x128 x4: stats diverge");
+    assert_eq!(base_log, log, "128x128 x4: delivery streams diverge");
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < budget,
+        "128x128 smoke blew its cycle budget: {elapsed:?} > {budget:?}"
+    );
 }
 
 /// Snapshot invariance: a mid-run checkpoint taken under the parallel

@@ -101,6 +101,15 @@ impl LazyBank {
         self.occupancy() == 0
     }
 
+    fn heap_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<Option<Flit>>())
+            .sum::<usize>()
+            + self.slots.capacity() * std::mem::size_of::<Vec<Option<Flit>>>()
+            + self.occupied.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Free slots in one vnet.
     fn free_in(&self, vnet: usize) -> usize {
         self.slots[vnet].len() - self.occupied[vnet] as usize
@@ -852,6 +861,33 @@ impl Router for AfcRouter {
         if matches!(self.mode, AfcMode::Backpressureless) {
             self.counters.cycles_buffers_gated += 1;
         }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let banks: usize = self
+            .buffers
+            .iter()
+            .filter_map(|(_, b)| b.as_ref())
+            .map(LazyBank::heap_bytes)
+            .sum();
+        let credits: usize = self
+            .credits
+            .iter()
+            .map(|(_, c)| c.capacity() * size_of::<u64>())
+            .sum();
+        banks
+            + credits
+            + self.latches.capacity() * size_of::<Flit>()
+            + self.vnet_capacity.capacity() * size_of::<usize>()
+            + self.vnet_offset.capacity() * size_of::<usize>()
+            + self.flat_decode.capacity() * size_of::<(u32, u32)>()
+            + self.assign_scratch.capacity() * size_of::<Assignment>()
+            + self.eligible_scratch.capacity() * size_of::<Option<PortId>>()
+            + self.winners_scratch.capacity() * size_of::<(PortId, usize, PortId)>()
+            + self.blocked_scratch.capacity() * size_of::<Direction>()
+            + self.engine.heap_bytes()
+            + self.fa.heap_bytes()
     }
 
     fn counters(&self) -> &ActivityCounters {

@@ -376,6 +376,15 @@ impl Channel {
     /// switch traversal plus the (overlapped) downstream buffer write.
     pub const ROUTER_OVERHEAD: u64 = 2;
 
+    /// Heap bytes owned by this channel's pipeline rings. The rings are
+    /// sized by link latency alone, so this is mesh-size independent —
+    /// the property [`crate::network::Network::memory_footprint`] audits.
+    pub fn heap_bytes(&self) -> usize {
+        self.fwd.ring.len() * std::mem::size_of::<Option<Flit>>()
+            + self.rev.credits.len() * std::mem::size_of::<LaneSlot<Credit>>()
+            + self.rev.control.len() * std::mem::size_of::<LaneSlot<ControlSignal>>()
+    }
+
     /// Creates a channel for a link of latency `link_latency` cycles.
     ///
     /// # Panics

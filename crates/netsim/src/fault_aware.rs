@@ -204,6 +204,15 @@ impl FaultAwareness {
         self.first_fault_at
     }
 
+    /// Heap bytes owned by this awareness state. The next-hop `table` is
+    /// the only O(mesh) piece and stays unallocated until the first fault
+    /// is learned, so clean runs cost O(1) per router here.
+    pub fn heap_bytes(&self) -> usize {
+        self.known_dead.len() * std::mem::size_of::<(usize, u8)>()
+            + self.pending_gossip.capacity() * std::mem::size_of::<(NodeId, Direction)>()
+            + self.table.capacity()
+    }
+
     /// Rebuilds the per-destination next-hop table: one BFS per destination
     /// from the destination over reversed alive edges, then a tie-broken
     /// argmin over this node's alive output directions.

@@ -68,6 +68,8 @@ mod network_tests;
 pub mod ni;
 pub mod packet;
 pub(crate) mod parallel;
+#[doc(hidden)]
+pub use parallel::shard_boundaries;
 pub mod rng;
 pub mod router;
 pub mod sim;
@@ -91,7 +93,7 @@ pub mod prelude {
     };
     pub use crate::flit::{Cycle, Flit, PacketId, VcId, VirtualNetwork};
     pub use crate::geom::{Coord, Direction, NodeId, PortId, PortMap};
-    pub use crate::network::Network;
+    pub use crate::network::{MemoryFootprint, Network};
     pub use crate::ni::{NodeInterface, UnreachablePacket};
     pub use crate::packet::{PacketDescriptor, PacketKind};
     pub use crate::rng::SimRng;

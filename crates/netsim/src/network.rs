@@ -77,12 +77,23 @@ impl ActiveSet {
         self.words[i >> 6] |= 1u64 << (i & 63);
     }
 
+    /// Heap bytes of the bitmask (1 bit per component).
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
     #[inline]
     pub(crate) fn remove(&mut self, i: usize) {
         self.words[i >> 6] &= !(1u64 << (i & 63));
     }
 
     #[inline]
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i >> 6)
+            .is_some_and(|w| w & (1u64 << (i & 63)) != 0)
+    }
+
     pub(crate) fn word_count(&self) -> usize {
         self.words.len()
     }
@@ -177,6 +188,46 @@ fn read_fault_event(r: &mut SnapshotReader<'_>) -> Result<FaultEvent, SnapshotEr
         dir,
         kind,
     })
+}
+
+/// Approximate heap usage of a [`Network`], broken down by component
+/// class. Produced by [`Network::memory_footprint`].
+///
+/// Byte counts are capacity-based estimates (they track what the
+/// allocator holds, not what is momentarily initialized) and are intended
+/// for *scaling* audits — per-node cost must stay flat as the mesh grows
+/// — rather than exact accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Routers: buffers, latches, scratch, fault state.
+    pub router_bytes: usize,
+    /// Network interfaces: queues, reassembly, retransmit state.
+    pub ni_bytes: usize,
+    /// Channels: pipeline rings plus fault hold-back queues.
+    pub channel_bytes: usize,
+    /// Parallel engine: plan tables and per-shard deltas (0 when serial).
+    pub engine_bytes: usize,
+    /// Everything else: stats, staging, activity bitmasks, queues, logs.
+    pub other_bytes: usize,
+    /// Mesh nodes, for per-node normalization.
+    pub nodes: usize,
+}
+
+impl MemoryFootprint {
+    /// Sum over all component classes.
+    pub fn total_bytes(&self) -> usize {
+        self.router_bytes
+            + self.ni_bytes
+            + self.channel_bytes
+            + self.engine_bytes
+            + self.other_bytes
+    }
+
+    /// Total divided by node count — the number that must stay bounded as
+    /// the mesh scales from 8×8 to 128×128.
+    pub fn per_node_bytes(&self) -> usize {
+        self.total_bytes() / self.nodes.max(1)
+    }
 }
 
 /// A complete simulated network: routers, channels and network interfaces.
@@ -287,6 +338,15 @@ pub struct Network {
     /// Minimum active components per shard before a cycle runs parallel
     /// (see [`Network::set_parallel_threshold`]).
     pub(crate) par_min_active: usize,
+    /// Probe/commit wall-clock controller deciding serial vs parallel for
+    /// gated cycles (see [`Network::set_parallel_adaptive`]). Wall-clock
+    /// state only — never snapshotted.
+    pub(crate) par_gate: crate::parallel::AdaptiveGate,
+    /// Parallel cycles between deterministic shard re-plan points
+    /// (see [`Network::set_replan_interval`]; 0 disables re-planning).
+    pub(crate) replan_every: u64,
+    /// High-water mark of [`Network::memory_footprint`] samples.
+    pub(crate) mem_high_water: usize,
 }
 
 impl std::fmt::Debug for Network {
@@ -433,6 +493,14 @@ impl Network {
             engine: None,
             parallel_cycles: 0,
             par_min_active: crate::parallel::MIN_ACTIVE_PER_SHARD,
+            // When a whole suite is forced through the parallel engine via
+            // AFC_SIM_THREADS, the adaptive gate must not silently route
+            // cycles back to the serial walk — coverage is the point there.
+            par_gate: crate::parallel::AdaptiveGate::new(
+                std::env::var_os("AFC_SIM_THREADS").is_none(),
+            ),
+            replan_every: crate::parallel::DEFAULT_REPLAN_INTERVAL,
+            mem_high_water: 0,
         })
     }
 
@@ -504,6 +572,8 @@ impl Network {
         if threads != self.sim_threads {
             self.sim_threads = threads;
             self.engine = None;
+            // Learned ns/cycle estimates belong to the old thread budget.
+            self.par_gate.reset();
         }
     }
 
@@ -528,6 +598,103 @@ impl Network {
     /// path to engage on small meshes.
     pub fn set_parallel_threshold(&mut self, min_active_per_shard: usize) {
         self.par_min_active = min_active_per_shard;
+    }
+
+    /// Enables (default) or disables the adaptive serial/parallel gate.
+    ///
+    /// When enabled, cycles that pass the static activity threshold are
+    /// further routed by a probe/commit controller that periodically times
+    /// a few cycles of each engine and commits to the faster one with
+    /// hysteresis — so workloads where the barriers do not pay (low load,
+    /// oversubscribed hosts) fall back to the serial walk. When disabled,
+    /// every gated cycle runs parallel (the raw engine — what benchmarks
+    /// measure). Purely a wall-clock heuristic: results are byte-identical
+    /// either way. Forcing a suite through the engine with
+    /// `AFC_SIM_THREADS` disables adaptivity so coverage stays parallel.
+    pub fn set_parallel_adaptive(&mut self, on: bool) {
+        self.par_gate.set_adaptive(on);
+    }
+
+    /// Whether the adaptive serial/parallel gate is currently enabled.
+    pub fn parallel_adaptive(&self) -> bool {
+        self.par_gate.is_adaptive()
+    }
+
+    /// Sets how many parallel cycles pass between deterministic shard
+    /// re-plan points (load-proportional boundary recomputation from the
+    /// activity bitmasks); `0` disables re-planning. Output-neutral: any
+    /// contiguous partition yields byte-identical results.
+    pub fn set_replan_interval(&mut self, cycles: u64) {
+        self.replan_every = cycles;
+    }
+
+    /// The shard boundaries (node starts, channel starts) a fresh engine
+    /// would use right now for the given thread budget. Test hook for the
+    /// shard-planner property suite.
+    #[doc(hidden)]
+    pub fn debug_shard_plan(&self, threads: usize) -> (Vec<usize>, Vec<usize>) {
+        crate::parallel::plan_preview(self, threads)
+    }
+
+    /// Walks every component and totals approximate heap usage, updating
+    /// the high-water mark ([`Network::memory_high_water`]).
+    ///
+    /// This is the large-mesh leanness audit: per-node cost must stay
+    /// O(ports × VCs × traffic-through-the-node) — the only O(mesh) terms
+    /// allowed are the compact flat index tables listed in
+    /// [`MemoryFootprint::engine_bytes`] and the per-component vectors
+    /// themselves. O(n) walk; call it between runs, not per cycle.
+    pub fn memory_footprint(&mut self) -> MemoryFootprint {
+        use std::mem::size_of;
+        let router_bytes: usize = self.routers.iter().map(|r| r.heap_bytes()).sum::<usize>()
+            + self.routers.capacity() * size_of::<Box<dyn Router>>();
+        let ni_bytes: usize = self
+            .nis
+            .iter()
+            .map(NodeInterface::heap_bytes)
+            .sum::<usize>()
+            + self.nis.capacity() * size_of::<NodeInterface>();
+        let channel_bytes: usize = self.channels.iter().map(Channel::heap_bytes).sum::<usize>()
+            + self.channels.capacity() * size_of::<Channel>()
+            + self.ends.capacity() * size_of::<ChannelEnds>()
+            + self
+                .held
+                .iter()
+                .map(|h| h.capacity() * size_of::<Flit>())
+                .sum::<usize>()
+            + self.held.capacity() * size_of::<VecDeque<Flit>>();
+        let engine_bytes = self.engine.as_ref().map_or(0, |e| e.heap_bytes());
+        let other_bytes = self.stats.heap_bytes()
+            + self.scratch.heap_bytes()
+            + (self.out_chan.capacity() + self.in_chan.capacity())
+                * size_of::<DirMap<Option<usize>>>()
+            + self.pending.capacity() * size_of::<crate::channel::Delivery>()
+            + self.nack_queue.capacity() * size_of::<(Cycle, Flit)>()
+            + self.ack_queue.capacity() * size_of::<(Cycle, NodeId, PacketId)>()
+            + self.fault_log.capacity() * size_of::<FaultEvent>()
+            + self.detect_schedule.capacity() * size_of::<(Cycle, NodeId, Direction)>()
+            + self.unreachable_packets.capacity() * size_of::<UnreachablePacket>()
+            + self.accounted_upto.capacity() * size_of::<Cycle>()
+            + self.modes_cache.capacity() * size_of::<RouterMode>()
+            + self.router_active.heap_bytes()
+            + self.chan_active.heap_bytes()
+            + self.ni_send_active.heap_bytes()
+            + self.ni_delivered.heap_bytes();
+        let fp = MemoryFootprint {
+            router_bytes,
+            ni_bytes,
+            channel_bytes,
+            engine_bytes,
+            other_bytes,
+            nodes: self.routers.len(),
+        };
+        self.mem_high_water = self.mem_high_water.max(fp.total_bytes());
+        fp
+    }
+
+    /// Largest [`Network::memory_footprint`] total sampled so far.
+    pub fn memory_high_water(&self) -> usize {
+        self.mem_high_water
     }
 
     /// True when this step may take the activity-tracked fast path.
@@ -636,11 +803,28 @@ impl Network {
         // Intra-run parallel engine (DESIGN.md §12): only on the fast path
         // (the fault plane and recovery layer are inherently sequential),
         // and only when enough components are active to amortize the
-        // per-cycle barrier cost — otherwise fall through to the serial
-        // walk, which is legal because both engines are byte-identical.
-        if self.sim_threads > 1 && fast {
-            if let Some(result) = crate::parallel::try_step_parallel(self) {
-                return result;
+        // per-cycle barrier cost. Gated cycles are then routed by the
+        // adaptive probe/commit controller; serial fallback is legal
+        // because both engines are byte-identical. Probe cycles time the
+        // chosen engine; a serial probe is timed to the end of this
+        // function (the `serial_probe` tail below).
+        let mut serial_probe: Option<std::time::Instant> = None;
+        if self.sim_threads > 1 && fast && crate::parallel::static_gate(self) {
+            let (go_parallel, timed) = self.par_gate.decide();
+            if go_parallel {
+                if timed {
+                    // Thread-pool spawn must not be charged to the probe.
+                    crate::parallel::ensure_engine(self);
+                    let t0 = std::time::Instant::now();
+                    let result = crate::parallel::step_parallel(self);
+                    let ns = t0.elapsed().as_nanos() as f64;
+                    self.par_gate.feedback(true, ns);
+                    return result;
+                }
+                return crate::parallel::step_parallel(self);
+            }
+            if timed {
+                serial_probe = Some(std::time::Instant::now());
             }
         }
 
@@ -843,6 +1027,10 @@ impl Network {
                     per_router_occupancy: self.routers.iter().map(|r| r.occupancy()).collect(),
                 });
             }
+        }
+        if let Some(t0) = serial_probe {
+            self.par_gate
+                .feedback(false, t0.elapsed().as_nanos() as f64);
         }
         Ok(())
     }

@@ -544,6 +544,39 @@ impl NodeInterface {
         self.reassembly_high_water
     }
 
+    /// Approximate heap bytes owned by this interface. Every term scales
+    /// with *traffic through this node* (queued packets, open reassembly
+    /// buffers, outstanding retransmits), never with mesh size, which is
+    /// what keeps 128×128 meshes affordable.
+    pub fn heap_bytes(&self) -> usize {
+        let queues: usize = self
+            .queues
+            .iter()
+            .map(|q| q.capacity() * std::mem::size_of::<PacketDescriptor>())
+            .sum();
+        let reassembly: usize = self.reassembly.capacity()
+            * (std::mem::size_of::<PacketId>() + std::mem::size_of::<Reassembly>())
+            + self
+                .reassembly
+                .values()
+                .map(|r| r.received.capacity())
+                .sum::<usize>();
+        let recovery = self.recovery.as_ref().map_or(0, |r| {
+            r.outstanding.len()
+                * (std::mem::size_of::<PacketId>() + std::mem::size_of::<Outstanding>())
+                + r.completed.len() * std::mem::size_of::<PacketId>()
+        });
+        queues
+            + self.in_progress.capacity() * std::mem::size_of::<Option<InjectProgress>>()
+            + self.retransmit.capacity() * std::mem::size_of::<Flit>()
+            + reassembly
+            + self.delivered.capacity() * std::mem::size_of::<DeliveredPacket>()
+            + recovery
+            + self.corrupt_outbox.capacity() * std::mem::size_of::<Flit>()
+            + self.acks_outbox.capacity() * std::mem::size_of::<(NodeId, PacketId)>()
+            + self.unreachable_outbox.capacity() * std::mem::size_of::<UnreachablePacket>()
+    }
+
     /// Serializes all mutable interface state for a snapshot.
     ///
     /// The reassembly map is written in sorted packet-id order so the byte

@@ -1,39 +1,42 @@
 //! Deterministic intra-run parallel cycle engine (DESIGN.md §12).
 //!
-//! The mesh is partitioned into `T` contiguous **spatial shards** — node
-//! range `[k·n/T, (k+1)·n/T)` plus each node's ejection NI and the
-//! channels whose upstream end lies in the range. Each cycle runs as four
-//! barrier-separated regions on a persistent `std::thread` pool:
+//! The mesh is partitioned into `T` contiguous **spatial shards** — a node
+//! range plus each node's ejection NI and the channels whose upstream end
+//! lies in the range. Shard boundaries are *load-proportional*: they are
+//! re-planned at deterministic points from the activity bitmasks, which is
+//! output-neutral because byte-identity holds for **any** contiguous
+//! ascending partition (see below).
 //!
-//! * **Region A** (phase 1): every shard *pulls* the staged deliveries
-//!   incident on its own routers — credits/control from the staging slots
-//!   of its routers' outgoing channels, flits from those of its incoming
-//!   channels — walking each router's incident channels in ascending
-//!   channel order, which reproduces the serial engine's per-router
-//!   mutation sequence exactly. Deliveries cross the *deterministic* fault
-//!   plane here: a flit or credit on a permanently killed channel is eaten
-//!   (the only fault kind the fast path admits — kills draw no RNG), with
-//!   the event recorded in the shard delta tagged by channel index so the
-//!   epilogue can replay the fault log in the serial engine's channel
-//!   order. The main thread additionally retires the NACK/ack queues and
-//!   scans NI retransmit timeouts (phase 2a), which touch only NI/queue
-//!   state disjoint from every shard's phase-1 writes.
-//! * **Region B** (phases 2b + 3, fused): each shard injects from its own
-//!   NIs, then steps its own routers. Produced flits go straight into the
-//!   forward half of the router's outgoing channels (owned by this
-//!   shard); credits/control go into the *reverse* half of its incoming
-//!   channels. The channel halves ([`FwdLane`](crate::channel) /
-//!   [`RevLane`](crate::channel)) are the double-buffered boundary slots:
-//!   exactly one shard writes each half, so no ordering can depend on
-//!   thread interleaving.
-//! * **Region C** (phase 4): each shard advances its own channels,
-//!   re-staging next cycle's deliveries.
-//! * **Epilogue**: the main thread folds per-shard deltas (stats,
-//!   conservation counters, dropped-flit NACKs, fault events) in ascending
-//!   shard order — which equals the serial engine's accumulation order —
-//!   drains NI sideband buffers (corrupt NACKs, end-to-end acks,
-//!   unreachable-packet records; serial phase 3b) in NI order, and runs
-//!   the watchdogs.
+//! Each cycle runs as two barrier-separated regions on a persistent
+//! `std::thread` pool, followed by a barrier-free binomial merge tree:
+//!
+//! * **Exclusive window** (main thread, workers parked): the previous
+//!   cycle's epilogue, serial phase 2a queue retirement (NACK/ack queues —
+//!   order-sensitive `swap_remove` scans), and publication of the cycle's
+//!   `Job` (pointers + cycle number + RNG + current plan).
+//! * **Region AB** (phases 1 + 2a-scan + 2b + 3, fused): each shard pulls
+//!   the staged deliveries incident on its own routers (phase 1), scans
+//!   its own NIs' retransmit timeouts (the sharded tail of phase 2a),
+//!   injects from its own NIs (2b), then steps its own routers (3).
+//!   Produced flits go into the forward half of the router's outgoing
+//!   channels (owned by this shard); credits/control go into the *reverse*
+//!   half of its incoming channels. The channel halves
+//!   ([`FwdLane`](crate::channel) / [`RevLane`](crate::channel)) are the
+//!   double-buffered boundary slots: exactly one shard writes each half.
+//!   Fusing 1 with 3 is safe because phase 1 reads only the `pending`
+//!   staging array (written exclusively in region C, after the barrier)
+//!   while phase 3 writes only channel-lane interiors — disjoint arrays.
+//! * **Region C** (phase 4): after one full barrier, each shard advances
+//!   its own channels, re-staging next cycle's deliveries. The barrier is
+//!   required: `advance` consumes both halves of a channel, which two
+//!   different shards may have written during region AB.
+//! * **Merge tree**: per-shard deltas fold up a binomial tree — shard `k`
+//!   merges shard `k+s` for `s = 1, 2, 4, …` while `k mod 2s == 0`,
+//!   spin-waiting on the child's generation-tagged ready flag. Shard 0's
+//!   root merge therefore transitively waits on every shard, so the main
+//!   thread needs no further barrier before the epilogue: two barriers per
+//!   cycle, total. Tree order concatenates shard vectors in ascending
+//!   shard order, byte-identical to the old serial shard-order fold.
 //!
 //! ## Why the output is byte-identical at any thread count
 //!
@@ -42,11 +45,14 @@
 //! `accounted_upto` slot, activity bit), in which case the per-owner
 //! mutation order matches the serial walk (ascending index), or (b) is a
 //! commutative fold (counter sums, latency-distribution merges, idempotent
-//! bitmask inserts via atomic OR) replayed in fixed shard order by the
-//! epilogue. Router-step randomness is already thread-free: the per-step
+//! bitmask inserts via atomic OR) replayed in ascending shard order by the
+//! merge tree. Router-step randomness is already thread-free: the per-step
 //! RNG is forked as a pure function of `(seed, cycle, router)`. Hence the
 //! post-cycle state — including the bytes of a snapshot — is a function of
-//! the pre-cycle state only, never of `T` or the interleaving.
+//! the pre-cycle state only, never of `T`, the boundaries, or the
+//! interleaving. Re-planning shard boundaries mid-run is likewise
+//! unobservable: per-owner walks stay ascending and the tree fold equals
+//! ascending component order under any contiguous partition.
 //!
 //! Terminal errors keep their *identity* (the same `SimError` the serial
 //! engine would have returned first) by taking the minimum over
@@ -54,10 +60,15 @@
 //! may differ from serial, which is fine because errors are terminal — the
 //! network must not be stepped further either way.
 //!
-//! Cycles with little activity decline parallel execution (the engine
-//! falls back to the serial walk, which is legal precisely because both
-//! are byte-identical) so idle and low-load phases keep their serial-path
-//! speed.
+//! ## The adaptive gate
+//!
+//! Whether a cycle runs parallel at all is a pure wall-clock decision
+//! (both engines are byte-identical). A static activity threshold filters
+//! out near-idle cycles; on top of it, [`AdaptiveGate`] runs a
+//! probe/commit controller that periodically times a few cycles of each
+//! engine and commits to the faster one with hysteresis, so workloads
+//! where the barriers do not pay (low load, oversubscribed hosts) fall
+//! back to the serial walk instead of burning 4× the time.
 #![allow(unsafe_code)]
 
 use crate::channel::{Channel, Delivery};
@@ -75,7 +86,7 @@ use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::ptr::addr_of_mut;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Minimum active components (routers + channels + sending NIs) per shard
@@ -83,21 +94,31 @@ use std::thread::JoinHandle;
 /// declines and the cycle runs serially.
 pub(crate) const MIN_ACTIVE_PER_SHARD: usize = 16;
 
-/// Spins before the barrier falls back to `yield_now` (keeps oversubscribed
-/// hosts — e.g. single-core CI — from burning whole timeslices).
+/// Default re-plan period: every this many parallel cycles the shard
+/// boundaries are recomputed from the activity bitmasks (see
+/// [`Network::set_replan_interval`]).
+pub(crate) const DEFAULT_REPLAN_INTERVAL: u64 = 64;
+
+/// Spins before a barrier/merge waiter starts yielding its timeslice.
 const SPIN_LIMIT: u32 = 128;
+/// Yields before a barrier waiter parks on the condvar (merge waits never
+/// park — they are bounded by a fraction of one cycle).
+const YIELD_LIMIT: u32 = 64;
+
+/// Pads hot per-shard state to its own cache line pair so neighbouring
+/// shards' writes (delta accumulation, ready flags, barrier counters)
+/// never false-share.
+#[repr(align(128))]
+struct CachePadded<T>(T);
 
 // ---------------------------------------------------------------------------
 // Shard plan
 // ---------------------------------------------------------------------------
 
-/// Static partition of the mesh, built once per (topology, thread budget).
-struct Plan {
-    shards: usize,
-    /// Node range of shard `k`: `[node_start[k], node_start[k+1])`.
-    node_start: Vec<usize>,
-    /// Channel range of shard `k` (channels grouped by upstream node).
-    chan_start: Vec<usize>,
+/// The boundary-independent part of a plan, built once per engine and
+/// shared (via `Arc`) across re-plans — re-planning only recomputes the
+/// small boundary vectors, never the O(channels) tables.
+struct PlanStatic {
     /// Flattened per-router phase-1 pull lists: `(channel, is_fwd)` pairs,
     /// ascending channel index. `is_fwd` = the router is the channel's
     /// downstream end (receives the flit); otherwise it is the upstream
@@ -108,17 +129,18 @@ struct Plan {
     /// never killed). The fast path admits only deterministic fault plans,
     /// whose entire effect this table captures.
     killed_at: Vec<Cycle>,
+    /// Prefix sums of per-node outgoing-channel counts: node `j` owns
+    /// channels `[node_chan_start[j], node_chan_start[j+1])`.
+    node_chan_start: Vec<usize>,
     mesh: Mesh,
     link_latency: u64,
     max_flit_age: u64,
 }
 
-impl Plan {
-    fn build(net: &Network, threads: usize) -> Plan {
+impl PlanStatic {
+    fn build(net: &Network) -> PlanStatic {
         let n = net.routers.len();
         let chan_count = net.channels.len();
-        let shards = threads.min(n).max(1);
-        let node_start: Vec<usize> = (0..=shards).map(|k| k * n / shards).collect();
 
         // Channels are created grouped by their upstream node in ascending
         // node order (Network::new), so per-node channel ranges are
@@ -135,8 +157,7 @@ impl Plan {
         for i in 0..n {
             node_chan_start[i + 1] += node_chan_start[i];
         }
-        let chan_start: Vec<usize> = node_start.iter().map(|&ns| node_chan_start[ns]).collect();
-        debug_assert_eq!(*chan_start.last().unwrap(), chan_count);
+        debug_assert_eq!(node_chan_start[n], chan_count);
 
         let mut per: Vec<Vec<(u32, bool)>> = vec![Vec::new(); n];
         for (c, e) in net.ends.iter().enumerate() {
@@ -162,18 +183,121 @@ impl Plan {
             })
             .collect();
 
-        Plan {
-            shards,
-            node_start,
-            chan_start,
+        PlanStatic {
             events,
             ev_off,
             killed_at,
+            node_chan_start,
             mesh: net.mesh.clone(),
             link_latency: net.config.link_latency,
             max_flit_age: net.config.max_flit_age,
         }
     }
+}
+
+/// One concrete partition: the static tables plus current boundaries.
+struct Plan {
+    shards: usize,
+    /// Node range of shard `k`: `[node_start[k], node_start[k+1])`.
+    node_start: Vec<usize>,
+    /// Channel range of shard `k` (channels grouped by upstream node).
+    chan_start: Vec<usize>,
+    stat: Arc<PlanStatic>,
+}
+
+impl Plan {
+    fn with_boundaries(stat: Arc<PlanStatic>, node_start: Vec<usize>) -> Plan {
+        let shards = node_start.len() - 1;
+        let chan_start: Vec<usize> = node_start
+            .iter()
+            .map(|&ns| stat.node_chan_start[ns])
+            .collect();
+        Plan {
+            shards,
+            node_start,
+            chan_start,
+            stat,
+        }
+    }
+}
+
+/// Splits `weights.len()` nodes into `shards` contiguous non-empty ranges
+/// whose weight sums are as even as a greedy left-to-right cut allows.
+/// Returns the `shards + 1` boundary vector (`[0, …, n]`, strictly
+/// increasing). Pure and deterministic: same inputs, same cuts — the
+/// engine's re-plan points feed it bitmask-derived weights, so plans are a
+/// function of simulation state only, never of wall-clock timing.
+#[doc(hidden)]
+pub fn shard_boundaries(weights: &[u64], shards: usize) -> Vec<usize> {
+    let n = weights.len();
+    let shards = shards.min(n).max(1);
+    let mut starts = Vec::with_capacity(shards + 1);
+    starts.push(0usize);
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        for k in 1..=shards {
+            starts.push(k * n / shards);
+        }
+        return starts;
+    }
+    let mut acc: u64 = 0;
+    let mut k = 1usize;
+    for (j, &w) in weights.iter().enumerate() {
+        if k == shards {
+            break;
+        }
+        acc += w;
+        // Cut when the running sum reaches the k-th even share, or when
+        // exactly enough nodes remain to keep later shards non-empty.
+        let reached = (acc as u128) * (shards as u128) >= (k as u128) * (total as u128);
+        let forced = n - (j + 1) == shards - k;
+        if reached || forced {
+            starts.push(j + 1);
+            k += 1;
+        }
+    }
+    debug_assert_eq!(starts.len(), shards, "boundary cut invariant violated");
+    starts.push(n);
+    starts
+}
+
+/// Per-node load weights derived from the activity bitmasks: an active
+/// router dominates (it pays the pipeline step), a sending NI and each
+/// live upstream channel add smaller shares, and every node keeps a floor
+/// of 1 so idle stretches still split evenly.
+fn shard_weights(net: &Network, stat: &PlanStatic) -> Vec<u64> {
+    let n = net.routers.len();
+    let mut weights = vec![0u64; n];
+    for (j, w) in weights.iter_mut().enumerate() {
+        let mut wt = 1u64;
+        if net.router_active.contains(j) {
+            wt += 4;
+        }
+        if net.ni_send_active.contains(j) {
+            wt += 2;
+        }
+        for c in stat.node_chan_start[j]..stat.node_chan_start[j + 1] {
+            if net.chan_active.contains(c) {
+                wt += 1;
+            }
+        }
+        *w = wt;
+    }
+    weights
+}
+
+/// Builds the boundary vectors a fresh engine would use right now — the
+/// test hook behind [`Network::debug_shard_plan`].
+pub(crate) fn plan_preview(net: &Network, threads: usize) -> (Vec<usize>, Vec<usize>) {
+    let stat = PlanStatic::build(net);
+    let shards = threads.min(net.routers.len()).max(1);
+    let weights = shard_weights(net, &stat);
+    let node_start = shard_boundaries(&weights, shards);
+    let chan_start = node_start
+        .iter()
+        .map(|&ns| stat.node_chan_start[ns])
+        .collect();
+    (node_start, chan_start)
 }
 
 // ---------------------------------------------------------------------------
@@ -186,10 +310,16 @@ impl Plan {
 /// every cycle (so snapshot restores, which replace contents in place, and
 /// struct moves are both safe). Workers only ever dereference elements
 /// their shard owns — or, for activity bitmasks, go through word-level
-/// atomics — so no two threads form overlapping `&mut`.
+/// atomics — so no two threads form overlapping `&mut`. The `plan`
+/// pointer is kept alive by the engine's `Arc`, which the main thread
+/// replaces only inside the exclusive window (no worker holds a reference
+/// then — the merge-tree flags prove it).
 struct Job {
+    seq: u64,
     now: Cycle,
     rng: SimRng,
+    plan: *const Plan,
+    recovery: bool,
     routers: *mut Box<dyn Router>,
     nis: *mut NodeInterface,
     channels: *mut Channel,
@@ -205,7 +335,8 @@ struct Job {
     ni_delivered: *mut u64,
 }
 
-/// Everything a shard accumulates during a cycle, folded by the epilogue.
+/// Everything a shard accumulates during a cycle, folded by the merge
+/// tree and the epilogue.
 struct ShardDelta {
     stats: NetworkStats,
     credits_delivered: u64,
@@ -248,7 +379,7 @@ impl ShardDelta {
     }
 
     fn reset(&mut self) {
-        self.stats = NetworkStats::new();
+        self.stats.clear();
         self.credits_delivered = 0;
         self.credits_pushed = 0;
         self.credits_faulted = 0;
@@ -261,46 +392,105 @@ impl ShardDelta {
         self.error = None;
         self.panic = None;
     }
+
+    fn heap_bytes(&self) -> usize {
+        self.stats.heap_bytes()
+            + self.dropped.capacity() * std::mem::size_of::<(Cycle, Flit)>()
+            + self.fault_events.capacity() * std::mem::size_of::<(u32, bool, FaultEvent)>()
+            + self.scratch.heap_bytes()
+    }
+}
+
+/// Folds `src` into `dst`, preserving the ascending-shard concatenation
+/// order for the vectors and the `(phase, index)` minimum for errors. The
+/// binomial tree calls this bottom-up, so `dst`'s contents always cover a
+/// contiguous shard range ending right where `src`'s begins.
+fn merge_deltas(dst: &mut ShardDelta, src: &mut ShardDelta) {
+    dst.stats.merge(&src.stats);
+    dst.credits_delivered += src.credits_delivered;
+    dst.credits_pushed += src.credits_pushed;
+    dst.credits_faulted += src.credits_faulted;
+    dst.in_flight += src.in_flight;
+    dst.retx_queued += src.retx_queued;
+    for (m, s) in dst.mode_counts.iter_mut().zip(src.mode_counts) {
+        *m += s;
+    }
+    dst.ni_hw_max = dst.ni_hw_max.max(src.ni_hw_max);
+    dst.dropped.append(&mut src.dropped);
+    dst.fault_events.append(&mut src.fault_events);
+    if let Some((p, i, e)) = src.error.take() {
+        match &dst.error {
+            Some((bp, bi, _)) if (*bp, *bi) <= (p, i) => {}
+            _ => dst.error = Some((p, i, e)),
+        }
+    }
+    if dst.panic.is_none() {
+        dst.panic = src.panic.take();
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Barrier + shared pool state
 // ---------------------------------------------------------------------------
 
-/// Sense-reversing spin barrier with a bounded spin before yielding.
+/// Sense-reversing barrier: bounded spin, then bounded yielding, then a
+/// condvar park — so oversubscribed hosts (threads > cores) and workers
+/// idling between parallel cycles never burn whole timeslices.
 ///
 /// The last arriver's `fetch_add` closes the release chain over every
 /// earlier arriver's writes and its `gen` store releases them to all
 /// waiters, so crossing the barrier is an all-to-all happens-before edge —
 /// which is why the engine's bitmask ops can be `Relaxed`.
+///
+/// Wake-up correctness: a parked waiter re-checks `gen` under the mutex
+/// inside the condvar wait loop, and the releaser notifies *while holding
+/// the same mutex* after storing `gen` — the classic monitor discipline,
+/// so the store can never fall into the window between a waiter's check
+/// and its park. The uncontended lock on the release path is one CAS.
 struct SpinBarrier {
-    count: AtomicUsize,
-    gen: AtomicUsize,
+    count: CachePadded<AtomicUsize>,
+    gen: CachePadded<AtomicUsize>,
     total: usize,
+    lock: Mutex<()>,
+    cond: Condvar,
 }
 
 impl SpinBarrier {
     fn new(total: usize) -> SpinBarrier {
         SpinBarrier {
-            count: AtomicUsize::new(0),
-            gen: AtomicUsize::new(0),
+            count: CachePadded(AtomicUsize::new(0)),
+            gen: CachePadded(AtomicUsize::new(0)),
             total,
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
         }
     }
 
     fn wait(&self) {
-        let g = self.gen.load(Ordering::Relaxed);
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
-            self.count.store(0, Ordering::Relaxed);
-            self.gen.store(g.wrapping_add(1), Ordering::Release);
+        let g = self.gen.0.load(Ordering::Relaxed);
+        if self.count.0.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.0.store(0, Ordering::Relaxed);
+            self.gen.0.store(g.wrapping_add(1), Ordering::Release);
+            let guard = self.lock.lock().unwrap();
+            self.cond.notify_all();
+            drop(guard);
         } else {
             let mut spins = 0u32;
-            while self.gen.load(Ordering::Acquire) == g {
+            loop {
+                if self.gen.0.load(Ordering::Acquire) != g {
+                    return;
+                }
                 spins = spins.saturating_add(1);
                 if spins < SPIN_LIMIT {
                     std::hint::spin_loop();
-                } else {
+                } else if spins < SPIN_LIMIT + YIELD_LIMIT {
                     std::thread::yield_now();
+                } else {
+                    let mut guard = self.lock.lock().unwrap();
+                    while self.gen.0.load(Ordering::Acquire) == g {
+                        guard = self.cond.wait(guard).unwrap();
+                    }
+                    return;
                 }
             }
         }
@@ -310,20 +500,25 @@ impl SpinBarrier {
 struct Shared {
     barrier: SpinBarrier,
     job: UnsafeCell<Option<Job>>,
-    deltas: Vec<UnsafeCell<ShardDelta>>,
-    /// A shard recorded an error/panic in region A (stable once the sync2
-    /// barrier is crossed; gates region B deterministically).
-    poison_a: AtomicBool,
-    /// Same for region B (stable after sync3; gates region C).
-    poison_b: AtomicBool,
+    deltas: Vec<CachePadded<UnsafeCell<ShardDelta>>>,
+    /// Merge-tree ready flags: shard `k` stores the cycle's `seq` after its
+    /// last access to `deltas[k]`; a parent spin-waits the child's flag up
+    /// to `seq` before merging. Generation-tagging (instead of a reset
+    /// boolean) removes any cross-cycle reset race.
+    ready: Vec<CachePadded<AtomicU64>>,
+    /// `seq` of the cycle in which a shard recorded an error/panic during
+    /// region AB (stale values from earlier cycles read as clean). Gates
+    /// region C deterministically.
+    poisoned_seq: AtomicU64,
     shutdown: AtomicBool,
 }
 
 // SAFETY: `Job`'s raw pointers are only dereferenced between the barrier
-// pair that publishes them and the one that retires them, and only on
-// shard-owned elements (or via word atomics) — see the module docs. The
-// deltas are single-writer (their shard) between barriers and read by the
-// main thread only after sync4.
+// that publishes them and the merge-tree flag store that retires each
+// shard's access, and only on shard-owned elements (or via word atomics) —
+// see the module docs. The deltas are single-writer (their shard) until
+// the shard's ready flag is set, after which only the unique tree parent
+// touches them.
 #[allow(unsafe_code)]
 unsafe impl Send for Shared {}
 #[allow(unsafe_code)]
@@ -334,36 +529,47 @@ pub(crate) struct Engine {
     plan: Arc<Plan>,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Parallel cycles stepped by this engine instance — the deterministic
+    /// clock for re-plan points.
+    cycles: u64,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("shards", &self.plan.shards)
+            .field("cycles", &self.cycles)
             .finish_non_exhaustive()
     }
 }
 
 impl Engine {
     fn new(net: &Network, threads: usize) -> Engine {
-        let plan = Arc::new(Plan::build(net, threads));
+        let stat = Arc::new(PlanStatic::build(net));
+        let shards = threads.min(net.routers.len()).max(1);
+        let weights = shard_weights(net, &stat);
+        let plan = Arc::new(Plan::with_boundaries(
+            Arc::clone(&stat),
+            shard_boundaries(&weights, shards),
+        ));
         let shared = Arc::new(Shared {
             barrier: SpinBarrier::new(plan.shards),
             job: UnsafeCell::new(None),
             deltas: (0..plan.shards)
-                .map(|_| UnsafeCell::new(ShardDelta::new()))
+                .map(|_| CachePadded(UnsafeCell::new(ShardDelta::new())))
                 .collect(),
-            poison_a: AtomicBool::new(false),
-            poison_b: AtomicBool::new(false),
+            ready: (0..plan.shards)
+                .map(|_| CachePadded(AtomicU64::new(0)))
+                .collect(),
+            poisoned_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
         let workers = (1..plan.shards)
             .map(|shard| {
                 let sh = Arc::clone(&shared);
-                let pl = Arc::clone(&plan);
                 std::thread::Builder::new()
                     .name(format!("afc-sim-{shard}"))
-                    .spawn(move || worker_loop(&sh, &pl, shard))
+                    .spawn(move || worker_loop(&sh, shard))
                     .expect("failed to spawn sim worker thread")
             })
             .collect();
@@ -371,7 +577,50 @@ impl Engine {
             plan,
             shared,
             workers,
+            cycles: 0,
         }
+    }
+
+    /// Recomputes load-proportional boundaries from the current activity
+    /// bitmasks. Called only from the exclusive window (workers parked, no
+    /// in-flight `Job` references the old plan), so swapping the `Arc` is
+    /// safe; byte-identity is unaffected because any contiguous ascending
+    /// partition produces the same output.
+    fn replan(&mut self, net: &Network) {
+        let weights = shard_weights(net, &self.plan.stat);
+        let node_start = shard_boundaries(&weights, self.plan.shards);
+        if node_start != self.plan.node_start {
+            self.plan = Arc::new(Plan::with_boundaries(
+                Arc::clone(&self.plan.stat),
+                node_start,
+            ));
+        }
+    }
+
+    /// Heap bytes owned by the engine: plan tables (the only O(mesh)
+    /// terms, ≤ ~32 bytes per node/channel) plus the per-shard deltas.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let stat = &self.plan.stat;
+        let plan = stat.events.capacity() * size_of::<(u32, bool)>()
+            + stat.ev_off.capacity() * size_of::<u32>()
+            + stat.killed_at.capacity() * size_of::<Cycle>()
+            + stat.node_chan_start.capacity() * size_of::<usize>()
+            + self.plan.node_start.capacity() * size_of::<usize>()
+            + self.plan.chan_start.capacity() * size_of::<usize>();
+        // SAFETY: called only from the exclusive window between cycles
+        // (workers parked at the start barrier), where the owning thread
+        // has sole access to every delta.
+        #[allow(unsafe_code)]
+        let deltas: usize = self
+            .shared
+            .deltas
+            .iter()
+            .map(|d| unsafe { (*d.0.get()).heap_bytes() })
+            .sum();
+        plan + deltas
+            + self.shared.deltas.capacity() * size_of::<CachePadded<UnsafeCell<ShardDelta>>>()
+            + self.shared.ready.capacity() * size_of::<CachePadded<AtomicU64>>()
     }
 }
 
@@ -381,8 +630,8 @@ impl Drop for Engine {
             return;
         }
         self.shared.shutdown.store(true, Ordering::Release);
-        // Workers are parked at sync1 between cycles; one crossing releases
-        // them to observe the shutdown flag and exit.
+        // Workers are parked at the start barrier between cycles; one
+        // crossing releases them to observe the shutdown flag and exit.
         self.shared.barrier.wait();
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -452,22 +701,39 @@ fn min_error(delta: &mut ShardDelta, phase: u8, index: u32, err: SimError) {
     }
 }
 
-/// Region A: phase-1 pull for one shard's routers.
+/// Region AB: fused phases 1 (pull staged deliveries), 2a-scan (own NIs'
+/// retransmit timeouts), 2b (inject from own NIs) and 3 (step own
+/// routers, route outputs into owned channel halves).
 ///
 /// # Safety
-/// Must run between sync1 and sync2 with a valid published `Job`; only
-/// shard `shard` may call it for that shard.
-unsafe fn region_a(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta) {
+/// Must run between the start and mid barriers with a valid published
+/// `Job`; only shard `shard` may call it for that shard.
+unsafe fn region_ab(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta) {
+    let stat = &*plan.stat;
     let now = job.now;
-    for j in plan.node_start[shard]..plan.node_start[shard + 1] {
+    let (lo, hi) = (plan.node_start[shard], plan.node_start[shard + 1]);
+
+    // Phase 1: every shard pulls the staged deliveries incident on its own
+    // routers — credits/control from the staging slots of its routers'
+    // outgoing channels, flits from those of its incoming channels —
+    // walking each router's incident channels in ascending channel order,
+    // which reproduces the serial engine's per-router mutation sequence
+    // exactly. Deliveries cross the *deterministic* fault plane here: a
+    // flit or credit on a permanently killed channel is eaten (the only
+    // fault kind the fast path admits — kills draw no RNG), with the event
+    // recorded in the shard delta tagged by channel index so the epilogue
+    // can replay the fault log in the serial engine's channel order.
+    // Reading `pending` here while other shards run phase 3 is race-free:
+    // phase 3 writes channel-lane interiors, never the staging array.
+    for j in lo..hi {
         let router = &mut *job.routers.add(j);
-        let evs = &plan.events[plan.ev_off[j] as usize..plan.ev_off[j + 1] as usize];
+        let evs = &stat.events[stat.ev_off[j] as usize..stat.ev_off[j + 1] as usize];
         for &(c32, is_fwd) in evs {
             let c = c32 as usize;
             let pend = &*(job.pending.add(c) as *const Delivery);
             if is_fwd {
                 let Some(flit) = pend.flit else { continue };
-                if plan.killed_at[c] <= now {
+                if stat.killed_at[c] <= now {
                     // Deterministic fault plane: the link is dead, the flit
                     // is eaten — exactly the serial engine's `flit_fate`,
                     // which runs before the age check (a killed flit can
@@ -485,16 +751,16 @@ unsafe fn region_a(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta)
                     }
                     continue;
                 }
-                if plan.max_flit_age > 0 {
+                if stat.max_flit_age > 0 {
                     let age = now.saturating_sub(flit.injected_at);
-                    if age > plan.max_flit_age {
+                    if age > stat.max_flit_age {
                         min_error(
                             delta,
                             1,
                             c32,
                             SimError::FlitOverAge {
                                 cycle: now,
-                                limit: plan.max_flit_age,
+                                limit: stat.max_flit_age,
                                 age,
                                 node: (*job.ends.add(c)).to,
                                 flit,
@@ -518,7 +784,7 @@ unsafe fn region_a(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta)
                 }
                 let ends = &*job.ends.add(c);
                 let dir = ends.dir;
-                if plan.killed_at[c] <= now {
+                if stat.killed_at[c] <= now {
                     // A dead link loses its credits too (serial
                     // `credit_lost`); control signals are sideband and
                     // still cross, keeping fault gossip alive.
@@ -551,18 +817,35 @@ unsafe fn region_a(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta)
             }
         }
     }
-}
 
-/// Region B: fused phase 2b (inject from own NIs) + phase 3 (step own
-/// routers, route outputs into owned channel halves).
-///
-/// # Safety
-/// Must run between sync2 and sync3 with a valid published `Job`; only
-/// shard `shard` may call it for that shard.
-unsafe fn region_b(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta) {
-    let now = job.now;
-    let (lo, hi) = (plan.node_start[shard], plan.node_start[shard + 1]);
+    if delta.error.is_some() {
+        return;
+    }
 
+    // Phase 2a, sharded tail: NI retransmit timeouts fire, mirroring the
+    // serial engine's ascending scan (bounded attempts may retire packets
+    // as unreachable here). Per-NI state is shard-owned and the scan
+    // touches nothing else, so sharding it is order-preserving; the
+    // order-sensitive NACK/ack queue retirement already ran serially in
+    // the exclusive window.
+    if job.recovery {
+        for i in lo..hi {
+            let c0 = delta.stats.flits_retransmit_copies;
+            let a0 = delta.stats.flits_abandoned;
+            (&mut *job.nis.add(i)).check_timeouts(now, &mut delta.stats);
+            let copies = delta.stats.flits_retransmit_copies - c0;
+            if copies > 0 {
+                // Re-materialized copies must be visible to the masked
+                // injection walk below.
+                set_bit(job.ni_send, i);
+            }
+            delta.retx_queued += copies as i64;
+            // Copies purged when a packet was given up never inject.
+            delta.retx_queued -= (delta.stats.flits_abandoned - a0) as i64;
+        }
+    }
+
+    // Phase 2b: injection attempts from own NIs.
     walk_masked(job.ni_send, lo, hi, |i| {
         let ni = &mut *job.nis.add(i);
         let router = &mut *job.routers.add(i);
@@ -584,6 +867,7 @@ unsafe fn region_b(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta)
         true
     });
 
+    // Phase 3: step own routers.
     walk_masked(job.router_active, lo, hi, |i| {
         step_one_router(job, plan, delta, i);
         // Stop this shard at its first terminal error: within-shard router
@@ -596,6 +880,7 @@ unsafe fn region_b(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta)
 /// `Network::step_one_router`, writing into shard-owned channel halves and
 /// the shard's delta instead of the global accumulators).
 unsafe fn step_one_router(job: &Job, plan: &Plan, delta: &mut ShardDelta, i: usize) {
+    let stat = &*plan.stat;
     let now = job.now;
     let router = &mut *job.routers.add(i);
     let accounted = &mut *job.accounted_upto.add(i);
@@ -680,8 +965,8 @@ unsafe fn step_one_router(job: &Job, plan: &Plan, delta: &mut ShardDelta, i: usi
     if !delta.scratch.dropped.is_empty() {
         delta.in_flight -= delta.scratch.dropped.len() as i64;
         for flit in delta.scratch.dropped.drain(..) {
-            let dist = plan.mesh.distance(NodeId::new(i), flit.src) as u64;
-            let ready = now + dist * plan.link_latency + 2;
+            let dist = stat.mesh.distance(NodeId::new(i), flit.src) as u64;
+            let ready = now + dist * stat.link_latency + 2;
             delta.dropped.push((ready, flit));
         }
     }
@@ -703,9 +988,10 @@ unsafe fn step_one_router(job: &Job, plan: &Plan, delta: &mut ShardDelta, i: usi
 /// Region C: phase-4 channel advance for one shard's channels.
 ///
 /// # Safety
-/// Must run between sync3 and sync4 with a valid published `Job`; only
-/// shard `shard` may call it for that shard. Fast-path only (per-channel
-/// `held` queues are all empty — checked by the gate).
+/// Must run after the mid barrier (both halves of every channel are
+/// settled) with a valid published `Job`; only shard `shard` may call it
+/// for that shard. Fast-path only (per-channel `held` queues are all
+/// empty — checked by the gate).
 unsafe fn region_c(job: &Job, plan: &Plan, shard: usize) {
     walk_masked(
         job.chan_active,
@@ -726,71 +1012,111 @@ unsafe fn region_c(job: &Job, plan: &Plan, shard: usize) {
 }
 
 // ---------------------------------------------------------------------------
-// Worker loop + main-thread orchestration
+// Worker loop + merge tree + main-thread orchestration
 // ---------------------------------------------------------------------------
 
-fn run_guarded(shared: &Shared, shard: usize, region: u8, f: impl FnOnce(&mut ShardDelta)) {
-    // SAFETY: each delta is written only by its shard between barriers.
-    let delta = unsafe { &mut *shared.deltas[shard].get() };
-    let had_error = delta.error.is_some();
+fn run_guarded(shared: &Shared, shard: usize, seq: u64, f: impl FnOnce(&mut ShardDelta)) {
+    // SAFETY: each delta is written only by its shard until the shard's
+    // ready flag is set (which happens strictly after this call).
+    let delta = unsafe { &mut *shared.deltas[shard].0.get() };
     let result = catch_unwind(AssertUnwindSafe(|| f(delta)));
     // SAFETY: as above (the closure's borrow ended with the call).
-    let delta = unsafe { &mut *shared.deltas[shard].get() };
+    let delta = unsafe { &mut *shared.deltas[shard].0.get() };
     if let Err(payload) = result {
         if delta.panic.is_none() {
             delta.panic = Some(payload);
         }
     }
-    let poisoned = delta.panic.is_some() || (delta.error.is_some() && !had_error);
-    if poisoned {
-        match region {
-            1 => shared.poison_a.store(true, Ordering::Release),
-            _ => shared.poison_b.store(true, Ordering::Release),
+    if delta.panic.is_some() || delta.error.is_some() {
+        shared.poisoned_seq.store(seq, Ordering::Release);
+    }
+}
+
+/// Spin-waits (bounded, then yielding — merge waits are shorter than a
+/// cycle, so they never park) until `flag` reaches `seq`.
+fn wait_ready(flag: &AtomicU64, seq: u64) {
+    let mut spins = 0u32;
+    while flag.load(Ordering::Acquire) < seq {
+        spins = spins.saturating_add(1);
+        if spins < SPIN_LIMIT {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
         }
     }
 }
 
-fn worker_loop(shared: &Shared, plan: &Plan, shard: usize) {
+/// Binomial-tree fold: shard `k` merges shard `k + s` for
+/// `s = 1, 2, 4, …` while `k mod 2s == 0`, then publishes its own ready
+/// flag — *unconditionally*, even if a merge panicked (the payload rides
+/// up in the delta), so the tree can never deadlock. Shard 0's return
+/// therefore means every shard's full delta (and last `Job` access) is
+/// complete: the tree replaces both the final barrier and the serial
+/// shard-order fold, with an identical ascending concatenation order.
+fn merge_subtree(shared: &Shared, shard: usize, seq: u64) {
+    let shards = shared.deltas.len();
+    let mut stride = 1usize;
+    while shard.is_multiple_of(stride * 2) && shard + stride < shards {
+        let child = shard + stride;
+        wait_ready(&shared.ready[child].0, seq);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the child's flag at `seq` retires its (and its whole
+            // subtree's) delta accesses for this cycle; this shard is the
+            // unique tree parent of `child`.
+            let dst = unsafe { &mut *shared.deltas[shard].0.get() };
+            let src = unsafe { &mut *shared.deltas[child].0.get() };
+            merge_deltas(dst, src);
+        }));
+        if let Err(payload) = result {
+            // SAFETY: as above — sole accessor of both deltas right now.
+            let dst = unsafe { &mut *shared.deltas[shard].0.get() };
+            if dst.panic.is_none() {
+                dst.panic = Some(payload);
+            }
+        }
+        stride *= 2;
+    }
+    shared.ready[shard].0.store(seq, Ordering::Release);
+}
+
+fn worker_loop(shared: &Shared, shard: usize) {
     loop {
-        shared.barrier.wait(); // sync1: job published (or shutdown)
+        shared.barrier.wait(); // start barrier: job published (or shutdown)
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        // SAFETY: the job is published before sync1 and not mutated again
-        // until after sync4; reading it here is data-race free.
+        // SAFETY: the job is published before the start barrier and not
+        // mutated again until every shard's ready flag retires the cycle;
+        // reading it here is data-race free.
         let job = unsafe { (*shared.job.get()).as_ref().expect("job published") };
-        run_guarded(shared, shard, 1, |d| {
-            // SAFETY: between sync1 and sync2, on this shard.
-            unsafe { region_a(job, plan, shard, d) }
+        // SAFETY: the engine's plan Arc outlives the cycle (it is only
+        // replaced in the exclusive window, when no job is in flight).
+        let plan = unsafe { &*job.plan };
+        let seq = job.seq;
+        run_guarded(shared, shard, seq, |d| {
+            d.reset();
+            // SAFETY: between the start and mid barriers, on this shard.
+            unsafe { region_ab(job, plan, shard, d) }
         });
-        shared.barrier.wait(); // sync2
-        if !shared.poison_a.load(Ordering::Acquire) {
-            run_guarded(shared, shard, 2, |d| {
-                // SAFETY: between sync2 and sync3, on this shard.
-                unsafe { region_b(job, plan, shard, d) }
-            });
-        }
-        shared.barrier.wait(); // sync3
-        if !shared.poison_a.load(Ordering::Acquire) && !shared.poison_b.load(Ordering::Acquire) {
-            run_guarded(shared, shard, 3, |_| {
-                // SAFETY: between sync3 and sync4, on this shard.
+        shared.barrier.wait(); // mid barrier
+        if shared.poisoned_seq.load(Ordering::Acquire) != seq {
+            run_guarded(shared, shard, seq, |_| {
+                // SAFETY: after the mid barrier, on this shard.
                 unsafe { region_c(job, plan, shard) }
             });
         }
-        shared.barrier.wait(); // sync4
+        merge_subtree(shared, shard, seq);
     }
 }
 
-/// Serial-equivalent phase 2a, run by the main thread inside region A: the
-/// NACK/ack queues, the retransmit timeout scan, and the NI send queues it
-/// touches are disjoint from every shard's phase-1 writes (routers +
-/// staged deliveries).
-///
-/// # Safety
-/// Must run between sync1 and sync4's exclusivity window with a valid
-/// `Job`; only the main thread may call it.
-unsafe fn run_phase_2a(net: &mut Network, job: &Job) {
-    let now = job.now;
+/// Serial head of phase 2a, run in the exclusive window: NACKs that have
+/// reached their source become pending retransmissions and end-to-end
+/// acks retire outstanding packets. Both retire queue entries with
+/// order-sensitive `swap_remove` scans, so they stay serial; running them
+/// *before* phase 1 (instead of after, as in the serial engine) is legal
+/// because they touch only NI/queue state disjoint from phase 1's
+/// router/staging writes.
+fn phase_2a_queues(net: &mut Network, now: Cycle) {
     let recovery = net.config.retransmit.is_some();
     if !net.nack_queue.is_empty() {
         let mut i = 0;
@@ -798,93 +1124,95 @@ unsafe fn run_phase_2a(net: &mut Network, job: &Job) {
             if net.nack_queue[i].0 <= now {
                 let (_, flit) = net.nack_queue.swap_remove(i);
                 let src = flit.src.index();
-                (&mut *job.nis.add(src)).nack(flit, now, &mut net.stats);
+                net.nis[src].nack(flit, now, &mut net.stats);
                 if !recovery {
                     // Without end-to-end recovery a NACK requeues the flit
                     // directly; with it the copy is absorbed and the
                     // timeout path re-materializes the packet.
                     net.retx_queued += 1;
                 }
-                set_bit(job.ni_send, src);
+                net.ni_send_active.insert(src);
             } else {
                 i += 1;
             }
         }
     }
-    // End-to-end acks retire outstanding packets at their source.
     if !net.ack_queue.is_empty() {
         let mut i = 0;
         while i < net.ack_queue.len() {
             if net.ack_queue[i].0 <= now {
                 let (_, src, id) = net.ack_queue.swap_remove(i);
-                (&mut *job.nis.add(src.index())).acknowledge(id, &mut net.stats);
+                net.nis[src.index()].acknowledge(id, &mut net.stats);
             } else {
                 i += 1;
             }
         }
     }
-    // NI retransmit timeouts fire, mirroring the serial engine's ascending
-    // scan (bounded attempts may retire packets as unreachable here).
-    if recovery {
-        let copies0 = net.stats.flits_retransmit_copies;
-        let abandoned0 = net.stats.flits_abandoned;
-        let n = net.nis.len();
-        for i in 0..n {
-            let c0 = net.stats.flits_retransmit_copies;
-            (&mut *job.nis.add(i)).check_timeouts(now, &mut net.stats);
-            if net.stats.flits_retransmit_copies > c0 {
-                // Re-materialized copies must be visible to the masked
-                // injection walk in region B.
-                set_bit(job.ni_send, i);
-            }
-        }
-        net.retx_queued += (net.stats.flits_retransmit_copies - copies0) as usize;
-        // Copies purged when a packet was given up never inject.
-        net.retx_queued -= (net.stats.flits_abandoned - abandoned0) as usize;
-    }
 }
 
-/// Attempts one parallel cycle. Returns `None` when the cycle should run
-/// serially instead (not enough activity, residual held-back flits from a
-/// restored faulted run, or a degenerate shard count).
-pub(crate) fn try_step_parallel(net: &mut Network) -> Option<Result<(), SimError>> {
+/// Static activity gate: true when the cycle has enough live components to
+/// amortize the barrier cost and no residual held-back flits (from a
+/// restored faulted run) force the serial walk.
+pub(crate) fn static_gate(net: &Network) -> bool {
     let threads = net.sim_threads().min(net.routers.len());
     if threads < 2 {
-        return None;
+        return false;
     }
     let active =
         net.router_active.popcount() + net.chan_active.popcount() + net.ni_send_active.popcount();
     if active < net.par_min_active.saturating_mul(threads) {
-        return None;
+        return false;
     }
-    if net.held.iter().any(|h| !h.is_empty()) {
-        return None;
-    }
-    if net.engine.is_none() {
-        let engine = Engine::new(net, threads);
-        net.engine = Some(engine);
-    }
-    let (shared, plan) = {
-        let engine = net.engine.as_ref().expect("engine just ensured");
-        (Arc::clone(&engine.shared), Arc::clone(&engine.plan))
-    };
-    Some(step_cycle(net, &shared, &plan))
+    !net.held.iter().any(|h| !h.is_empty())
 }
 
-fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), SimError> {
+/// Builds the engine (plan + worker pool) if it does not exist yet, so
+/// timed gate probes never charge thread-spawn cost to a parallel sample.
+pub(crate) fn ensure_engine(net: &mut Network) {
+    if net.engine.is_none() {
+        let threads = net.sim_threads().min(net.routers.len());
+        net.engine = Some(Engine::new(net, threads));
+    }
+}
+
+/// Steps one cycle on the parallel engine. Callers must have passed
+/// [`static_gate`]; the adaptive gate's decision is made by the caller.
+pub(crate) fn step_parallel(net: &mut Network) -> Result<(), SimError> {
+    ensure_engine(net);
+    let mut engine = net.engine.take().expect("engine just ensured");
+    engine.cycles += 1;
+    let seq = engine.cycles;
+    if net.replan_every > 0 && seq.is_multiple_of(net.replan_every) {
+        engine.replan(net);
+    }
+    let shared = Arc::clone(&engine.shared);
+    let plan = Arc::clone(&engine.plan);
+    net.engine = Some(engine);
+    step_cycle(net, &shared, &plan, seq)
+}
+
+fn step_cycle(
+    net: &mut Network,
+    shared: &Shared,
+    plan: &Arc<Plan>,
+    seq: u64,
+) -> Result<(), SimError> {
     let now = net.now;
     net.parallel_cycles += 1;
-    // Exclusive window: workers are parked at sync1.
-    // SAFETY: sole accessor of the shared cells until the barrier crossing.
+
+    // Exclusive window: workers are parked at the start barrier. The
+    // serial queue head of phase 2a runs first (commutes with phase 1 —
+    // disjoint state), then the job is published.
+    phase_2a_queues(net, now);
+    // SAFETY: sole accessor of the job cell until the barrier crossing;
+    // every prior cycle's accesses were retired by its merge-tree flags.
     unsafe {
-        for d in &shared.deltas {
-            (*d.get()).reset();
-        }
-        shared.poison_a.store(false, Ordering::Relaxed);
-        shared.poison_b.store(false, Ordering::Relaxed);
         *shared.job.get() = Some(Job {
+            seq,
             now,
             rng: net.rng.clone(),
+            plan: Arc::as_ptr(plan),
+            recovery: net.config.retransmit.is_some(),
             routers: net.routers.as_mut_ptr(),
             nis: net.nis.as_mut_ptr(),
             channels: net.channels.as_mut_ptr(),
@@ -900,87 +1228,57 @@ fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), Sim
             ni_delivered: net.ni_delivered.words.as_mut_ptr(),
         });
     }
-    // SAFETY: published above; immutable until the post-sync4 window.
-    let job = unsafe { (*shared.job.get()).as_ref().expect("job just published") };
 
-    shared.barrier.wait(); // sync1
-    run_guarded(shared, 0, 1, |d| {
-        // SAFETY: between sync1 and sync2, on shard 0 (main).
-        unsafe { region_a(job, plan, 0, d) }
-    });
     {
-        // Phase 2a runs on the main thread concurrently with the other
-        // shards' region A — its state is disjoint from theirs.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            // SAFETY: main-thread-only state + shard-disjoint NI access.
-            unsafe { run_phase_2a(net, job) }
-        }));
-        if let Err(payload) = result {
-            // SAFETY: shard 0's delta is main-owned between barriers.
-            let d0 = unsafe { &mut *shared.deltas[0].get() };
-            if d0.panic.is_none() {
-                d0.panic = Some(payload);
-            }
-            shared.poison_a.store(true, Ordering::Release);
+        // SAFETY: published above; immutable until every ready flag
+        // reaches `seq` (shard 0's merge below transitively waits for
+        // that). Scoped so the borrow ends before the epilogue.
+        let job = unsafe { (*shared.job.get()).as_ref().expect("job just published") };
+        shared.barrier.wait(); // start barrier
+        run_guarded(shared, 0, seq, |d| {
+            d.reset();
+            // SAFETY: between the start and mid barriers, on shard 0.
+            unsafe { region_ab(job, plan, 0, d) }
+        });
+        shared.barrier.wait(); // mid barrier
+        if shared.poisoned_seq.load(Ordering::Acquire) != seq {
+            run_guarded(shared, 0, seq, |_| {
+                // SAFETY: after the mid barrier, on shard 0.
+                unsafe { region_c(job, plan, 0) }
+            });
         }
+        merge_subtree(shared, 0, seq);
     }
-    shared.barrier.wait(); // sync2
-    if !shared.poison_a.load(Ordering::Acquire) {
-        run_guarded(shared, 0, 2, |d| {
-            // SAFETY: between sync2 and sync3, on shard 0 (main).
-            unsafe { region_b(job, plan, 0, d) }
-        });
-    }
-    shared.barrier.wait(); // sync3
-    if !shared.poison_a.load(Ordering::Acquire) && !shared.poison_b.load(Ordering::Acquire) {
-        run_guarded(shared, 0, 3, |_| {
-            // SAFETY: between sync3 and sync4, on shard 0 (main).
-            unsafe { region_c(job, plan, 0) }
-        });
-    }
-    shared.barrier.wait(); // sync4 — workers parked again; exclusive window.
 
-    // Epilogue: fold shard deltas in ascending shard order (== ascending
-    // router ranges == the serial engine's accumulation order).
-    let mut in_flight = net.in_flight as i64;
-    let mut retx = net.retx_queued as i64;
-    let mut modes = net.mode_counts.map(|m| m as i64);
-    let mut error: Option<(u8, u32, SimError)> = None;
-    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
-    let mut fault_events: Vec<(u32, bool, FaultEvent)> = Vec::new();
-    for cell in &shared.deltas {
-        // SAFETY: workers are parked; main is the sole accessor.
-        let d = unsafe { &mut *cell.get() };
+    // Epilogue (exclusive again: the root merge waited on every shard).
+    // The tree already folded all deltas into shard 0's in ascending shard
+    // order — the serial engine's accumulation order.
+    let (fault_events, error, panic_payload) = {
+        // SAFETY: all ready flags reached `seq`; main is the sole accessor.
+        let d = unsafe { &mut *shared.deltas[0].0.get() };
         net.stats.merge(&d.stats);
         net.credits_delivered += d.credits_delivered;
         net.credits_pushed += d.credits_pushed;
         net.credits_faulted += d.credits_faulted;
-        in_flight += d.in_flight;
-        retx += d.retx_queued;
-        for (m, dm) in modes.iter_mut().zip(d.mode_counts) {
-            *m += dm;
+        net.in_flight = (net.in_flight as i64 + d.in_flight) as usize;
+        net.retx_queued = (net.retx_queued as i64 + d.retx_queued) as usize;
+        for (m, dm) in net.mode_counts.iter_mut().zip(d.mode_counts) {
+            *m = (*m as i64 + dm) as u64;
         }
         net.ni_high_water_max = net.ni_high_water_max.max(d.ni_hw_max);
         net.nack_queue.append(&mut d.dropped);
-        fault_events.append(&mut d.fault_events);
-        if let Some((p, i, e)) = d.error.take() {
-            match &error {
-                Some((bp, bi, _)) if (*bp, *bi) <= (p, i) => {}
-                _ => error = Some((p, i, e)),
-            }
-        }
-        if panic_payload.is_none() {
-            panic_payload = d.panic.take();
-        }
-    }
-    net.in_flight = in_flight as usize;
-    net.retx_queued = retx as usize;
-    net.mode_counts = modes.map(|m| m as u64);
+        (
+            std::mem::take(&mut d.fault_events),
+            d.error.take(),
+            d.panic.take(),
+        )
+    };
     if !fault_events.is_empty() {
         // Serial fault-log order: ascending channel, a channel's lost
         // credits before its dropped flit (one flit per channel per cycle,
         // so the key is a total order up to same-channel credits, whose
         // relative order the stable sort preserves).
+        let mut fault_events = fault_events;
         fault_events.sort_by_key(|&(c, is_flit, _)| (c, is_flit));
         for (_, _, ev) in fault_events {
             net.log_fault(ev);
@@ -997,7 +1295,7 @@ fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), Sim
     // Serial phase 3b: corrupt arrivals join the NACK circuit, fresh acks
     // start their trip back, unreachable-packet records are collected.
     // Channel state (region C) and NI sideband buffers are disjoint, so
-    // running it after the barriers is byte-identical to the serial
+    // running it after the regions is byte-identical to the serial
     // placement between phases 3 and 4.
     if !net.config.faults.is_empty() || net.config.retransmit.is_some() {
         for i in 0..net.nis.len() {
@@ -1059,6 +1357,139 @@ fn step_cycle(net: &mut Network, shared: &Shared, plan: &Plan) -> Result<(), Sim
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive gate
+// ---------------------------------------------------------------------------
+
+/// Cycles timed per probe burst.
+const PROBE_CYCLES: u32 = 8;
+/// Untimed cycles between probe reviews.
+const COMMIT_CYCLES: u32 = 256;
+/// Serial→parallel switches need a 10% projected win (hysteresis);
+/// parallel→serial falls back on any measured loss.
+const SWITCH_UP_MARGIN: f64 = 0.9;
+
+#[derive(Debug, Clone, Copy)]
+enum GatePhase {
+    /// Timing the currently committed engine.
+    ProbeSelf(u32),
+    /// Timing the other engine.
+    ProbeOther(u32),
+    /// Running the committed engine untimed.
+    Committed(u32),
+}
+
+/// Probe/commit wall-clock controller for the serial/parallel choice.
+///
+/// Both engines are byte-identical, so this gate can never affect results
+/// — only wall-clock time. It keeps an EWMA of ns/cycle for each engine,
+/// refreshed by brief probe bursts every [`COMMIT_CYCLES`] gated cycles,
+/// and commits to the faster one with hysteresis. Because every review
+/// probes both engines, `parallel_cycles` keeps advancing even when the
+/// gate has committed to serial (and vice versa) — the controller never
+/// starves itself of fresh evidence. Wall-clock timing is only read on
+/// probe cycles, so committed stretches pay zero timer overhead.
+#[derive(Debug)]
+pub(crate) struct AdaptiveGate {
+    adaptive: bool,
+    committed_parallel: bool,
+    phase: GatePhase,
+    serial_ns: f64,
+    parallel_ns: f64,
+}
+
+impl AdaptiveGate {
+    /// `adaptive = false` pins the gate open (always parallel when the
+    /// static gate passes) — the pre-hysteresis behavior, used by CI
+    /// equivalence suites (forced via `AFC_SIM_THREADS`) and benchmarks
+    /// that measure the raw engine.
+    pub(crate) fn new(adaptive: bool) -> AdaptiveGate {
+        AdaptiveGate {
+            adaptive,
+            committed_parallel: true,
+            phase: GatePhase::ProbeSelf(PROBE_CYCLES),
+            serial_ns: 0.0,
+            parallel_ns: 0.0,
+        }
+    }
+
+    pub(crate) fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
+        self.reset();
+    }
+
+    pub(crate) fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Forgets learned estimates (call when the thread budget changes).
+    pub(crate) fn reset(&mut self) {
+        self.committed_parallel = true;
+        self.phase = GatePhase::ProbeSelf(PROBE_CYCLES);
+        self.serial_ns = 0.0;
+        self.parallel_ns = 0.0;
+    }
+
+    /// Picks the engine for one gated cycle: `(run_parallel, timed)`.
+    /// When `timed`, the caller must report the cycle's wall-clock cost
+    /// via [`AdaptiveGate::feedback`].
+    pub(crate) fn decide(&mut self) -> (bool, bool) {
+        if !self.adaptive {
+            return (true, false);
+        }
+        match &mut self.phase {
+            GatePhase::ProbeSelf(_) => (self.committed_parallel, true),
+            GatePhase::ProbeOther(_) => (!self.committed_parallel, true),
+            GatePhase::Committed(left) => {
+                if *left > 0 {
+                    *left -= 1;
+                    (self.committed_parallel, false)
+                } else {
+                    self.phase = GatePhase::ProbeSelf(PROBE_CYCLES);
+                    (self.committed_parallel, true)
+                }
+            }
+        }
+    }
+
+    /// Feeds one timed cycle back; advances the probe state machine and,
+    /// at the end of a review, re-commits with hysteresis.
+    pub(crate) fn feedback(&mut self, was_parallel: bool, ns: f64) {
+        let est = if was_parallel {
+            &mut self.parallel_ns
+        } else {
+            &mut self.serial_ns
+        };
+        *est = if *est == 0.0 {
+            ns
+        } else {
+            0.75 * *est + 0.25 * ns
+        };
+        match &mut self.phase {
+            GatePhase::ProbeSelf(left) => {
+                *left -= 1;
+                if *left == 0 {
+                    self.phase = GatePhase::ProbeOther(PROBE_CYCLES);
+                }
+            }
+            GatePhase::ProbeOther(left) => {
+                *left -= 1;
+                if *left == 0 {
+                    if self.committed_parallel {
+                        if self.parallel_ns > self.serial_ns {
+                            self.committed_parallel = false;
+                        }
+                    } else if self.parallel_ns < SWITCH_UP_MARGIN * self.serial_ns {
+                        self.committed_parallel = true;
+                    }
+                    self.phase = GatePhase::Committed(COMMIT_CYCLES);
+                }
+            }
+            GatePhase::Committed(_) => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1114,6 +1545,147 @@ mod tests {
                 .filter(|&b| b >= lo && b < hi)
                 .collect();
             assert_eq!(got, want, "range [{lo}, {hi})");
+        }
+    }
+
+    fn check_partition(starts: &[usize], n: usize, shards: usize) {
+        assert_eq!(starts.len(), shards + 1);
+        assert_eq!(starts[0], 0);
+        assert_eq!(*starts.last().unwrap(), n);
+        for w in starts.windows(2) {
+            assert!(w[0] < w[1], "empty or inverted shard in {starts:?}");
+        }
+    }
+
+    #[test]
+    fn boundaries_partition_any_weights() {
+        // A tiny deterministic LCG stands in for arbitrary activity.
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for n in [1usize, 2, 3, 7, 9, 64, 100, 1024] {
+            for shards in [1usize, 2, 3, 5, 8, 16, 200] {
+                let eff = shards.min(n).max(1);
+                // Uniform-ish weights.
+                let weights: Vec<u64> = (0..n).map(|_| rand() % 9).collect();
+                check_partition(&shard_boundaries(&weights, shards), n, eff);
+                // All-zero weights fall back to even splits.
+                check_partition(&shard_boundaries(&vec![0; n], shards), n, eff);
+                // One node carries all the load.
+                let mut skew = vec![0u64; n];
+                skew[(rand() % n as u64) as usize] = 1 << 40;
+                check_partition(&shard_boundaries(&skew, shards), n, eff);
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_track_load() {
+        // Heavy left half → the first shard should take fewer nodes than
+        // an even split would give it.
+        let mut weights = vec![1u64; 100];
+        for w in weights.iter_mut().take(10) {
+            *w = 100;
+        }
+        let starts = shard_boundaries(&weights, 4);
+        check_partition(&starts, 100, 4);
+        assert!(
+            starts[1] <= 13,
+            "first shard should hug the hot region: {starts:?}"
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    fn process_cpu_ms() -> u64 {
+        // utime + stime from /proc/self/stat, fields 14/15 (1-indexed)
+        // after the parenthesised comm. USER_HZ is 100 on every supported
+        // Linux configuration; the test's margins are far wider than any
+        // plausible deviation.
+        let stat = std::fs::read_to_string("/proc/self/stat").unwrap();
+        let rest = &stat[stat.rfind(')').unwrap() + 2..];
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let utime: u64 = fields[11].parse().unwrap();
+        let stime: u64 = fields[12].parse().unwrap();
+        (utime + stime) * 10
+    }
+
+    /// Satellite regression: waiters parked at a barrier must not burn the
+    /// host while the releaser is busy elsewhere — even when the pool is
+    /// oversubscribed (threads = 4× cores).
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn parked_barrier_waiters_burn_no_cpu() {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let total = 4 * cores + 1;
+        let barrier = Arc::new(SpinBarrier::new(total));
+        let handles: Vec<_> = (0..total - 1)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    b.wait(); // round 1: rendezvous
+                    b.wait(); // round 2: park here while main sleeps
+                })
+            })
+            .collect();
+        barrier.wait(); // round 1 complete; workers move to round 2
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let cpu0 = process_cpu_ms();
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let cpu1 = process_cpu_ms();
+        barrier.wait(); // release round 2
+        for h in handles {
+            h.join().unwrap();
+        }
+        let burned = cpu1.saturating_sub(cpu0);
+        assert!(
+            burned < 150,
+            "parked barrier waiters burned {burned} ms of CPU over a 400 ms sleep \
+             ({total} threads on {cores} cores)"
+        );
+    }
+
+    #[test]
+    fn adaptive_gate_probes_then_commits() {
+        let mut gate = AdaptiveGate::new(true);
+        // Parallel is 4× slower: the gate must fall back to serial.
+        for _ in 0..(2 * PROBE_CYCLES) {
+            let (par, timed) = gate.decide();
+            assert!(timed);
+            gate.feedback(par, if par { 4000.0 } else { 1000.0 });
+        }
+        let (par, timed) = gate.decide();
+        assert!(!par, "gate should have committed to serial");
+        assert!(!timed, "committed cycles are untimed");
+        // Drain the committed stretch; the next review re-probes parallel.
+        let mut saw_parallel = false;
+        for _ in 0..(COMMIT_CYCLES + 2 * PROBE_CYCLES + 4) {
+            let (par, timed) = gate.decide();
+            if timed {
+                gate.feedback(par, if par { 4000.0 } else { 1000.0 });
+            }
+            saw_parallel |= par;
+        }
+        assert!(saw_parallel, "reviews must keep probing the other engine");
+        // Now parallel wins by >10%: the gate must switch back.
+        for _ in 0..(COMMIT_CYCLES + 8 * PROBE_CYCLES) as usize {
+            let (par, timed) = gate.decide();
+            if timed {
+                gate.feedback(par, if par { 500.0 } else { 1000.0 });
+            }
+        }
+        let (par, _) = gate.decide();
+        assert!(par, "gate should have switched back to parallel");
+    }
+
+    #[test]
+    fn non_adaptive_gate_is_always_parallel_untimed() {
+        let mut gate = AdaptiveGate::new(false);
+        for _ in 0..100 {
+            assert_eq!(gate.decide(), (true, false));
         }
     }
 }

@@ -69,6 +69,17 @@ impl RouterOutputs {
     pub fn flits_sent(&self) -> usize {
         self.flits.iter().filter(|(_, f)| f.is_some()).count()
     }
+
+    /// Heap bytes retained by the reusable output buffers.
+    pub fn heap_bytes(&self) -> usize {
+        let vecs: usize = self
+            .credits
+            .iter()
+            .map(|(_, c)| c.capacity() * std::mem::size_of::<Credit>())
+            .sum();
+        vecs + self.control.capacity() * std::mem::size_of::<ControlSignal>()
+            + (self.ejected.capacity() + self.dropped.capacity()) * std::mem::size_of::<Flit>()
+    }
 }
 
 /// A router: one per mesh node, implementing a flow-control mechanism.
@@ -129,6 +140,14 @@ pub trait Router: Send {
     /// routers return `None`.
     fn load_estimate(&self) -> Option<f64> {
         None
+    }
+
+    /// Approximate heap bytes owned by this router (buffers, scratch,
+    /// fault tables). Feeds [`crate::network::Network::memory_footprint`]'s
+    /// large-mesh leanness audit: per-router cost must stay O(ports × VCs),
+    /// never O(mesh), on clean runs. The default covers test stubs.
+    fn heap_bytes(&self) -> usize {
+        0
     }
 
     /// Notifies the router that its output link toward `dir` is dead (the

@@ -213,6 +213,20 @@ impl Histogram {
         })
     }
 
+    /// Zeroes all counts in place, keeping the geometry and the bucket
+    /// allocation (the parallel engine resets per-shard deltas every
+    /// cycle; reallocating here would be per-cycle churn).
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.overflow = 0;
+        self.count = 0;
+    }
+
+    /// Bytes of heap owned by this histogram (the bucket array).
+    pub fn heap_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Merges another histogram (must have identical geometry).
     ///
     /// # Panics
@@ -531,6 +545,80 @@ impl NetworkStats {
     /// Creates zeroed statistics.
     pub fn new() -> NetworkStats {
         NetworkStats::default()
+    }
+
+    /// Zeroes every counter and distribution in place, keeping the
+    /// histogram's bucket allocation (allocation-free reset for the
+    /// parallel engine's per-shard deltas). The exhaustive destructuring
+    /// makes adding a field without clearing it a compile error.
+    pub fn clear(&mut self) {
+        let NetworkStats {
+            packets_offered,
+            packets_injected,
+            packets_delivered,
+            flits_injected,
+            flits_delivered,
+            flits_retransmitted,
+            flits_corrupted,
+            flits_lost_to_faults,
+            credits_lost,
+            retransmit_timeouts,
+            flits_retransmit_copies,
+            recovered_packets,
+            duplicate_flits_discarded,
+            nacks_absorbed,
+            faults_injected,
+            packets_unreachable,
+            flits_abandoned,
+            reassemblies_expired,
+            links_failed,
+            fault_detection_latency,
+            network_latency,
+            network_latency_hist,
+            total_latency,
+            flit_hops,
+            flit_deflections,
+            cycles_backpressured,
+            cycles_backpressureless,
+            cycles_transitioning,
+            reassembly_high_water,
+            cycles,
+        } = self;
+        *packets_offered = 0;
+        *packets_injected = 0;
+        *packets_delivered = 0;
+        *flits_injected = 0;
+        *flits_delivered = 0;
+        *flits_retransmitted = 0;
+        *flits_corrupted = 0;
+        *flits_lost_to_faults = 0;
+        *credits_lost = 0;
+        *retransmit_timeouts = 0;
+        *flits_retransmit_copies = 0;
+        *recovered_packets = 0;
+        *duplicate_flits_discarded = 0;
+        *nacks_absorbed = 0;
+        *faults_injected = 0;
+        *packets_unreachable = 0;
+        *flits_abandoned = 0;
+        *reassemblies_expired = 0;
+        *links_failed = 0;
+        *fault_detection_latency = LatencyStats::default();
+        *network_latency = LatencyStats::default();
+        network_latency_hist.clear();
+        *total_latency = LatencyStats::default();
+        *flit_hops = LatencyStats::default();
+        *flit_deflections = LatencyStats::default();
+        *cycles_backpressured = 0;
+        *cycles_backpressureless = 0;
+        *cycles_transitioning = 0;
+        *reassembly_high_water = 0;
+        *cycles = 0;
+    }
+
+    /// Bytes of heap owned by the statistics (histogram buckets).
+    pub fn heap_bytes(&self) -> usize {
+        self.network_latency_hist.heap_bytes()
     }
 
     /// Folds a worker shard's statistics delta into this accumulator.

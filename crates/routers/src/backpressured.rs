@@ -690,6 +690,33 @@ impl Router for BackpressuredRouter {
         self.winners_scratch = winners;
     }
 
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.layout.vnet_of.capacity()
+            + self.layout.depth_of.capacity() * size_of::<usize>()
+            + self.layout.range_of.capacity() * size_of::<std::ops::Range<usize>>();
+        for (_, vcs) in self.inputs.iter() {
+            if let Some(vcs) = vcs {
+                bytes += vcs.capacity() * size_of::<InputVc>();
+                bytes += vcs
+                    .iter()
+                    .map(|vc| vc.queue.capacity() * size_of::<Flit>())
+                    .sum::<usize>();
+            }
+        }
+        for (_, outs) in self.outputs.iter() {
+            if let Some(outs) = outs {
+                bytes += outs.capacity() * size_of::<OutVc>();
+            }
+        }
+        bytes
+            + self.inject_vc.capacity() * size_of::<Option<usize>>()
+            + self.inject_rr.capacity() * size_of::<usize>()
+            + self.eligible_scratch.capacity()
+            + self.winners_scratch.capacity() * size_of::<(PortId, usize, PortId)>()
+            + self.fa.heap_bytes()
+    }
+
     fn counters(&self) -> &ActivityCounters {
         &self.counters
     }

@@ -84,6 +84,12 @@ impl DeflectionEngine {
         &self.dirs
     }
 
+    /// Heap bytes owned by the engine (the neighbor-direction list; the
+    /// mesh handle itself is a few words and mesh-size independent).
+    pub fn heap_bytes(&self) -> usize {
+        self.dirs.capacity() * std::mem::size_of::<Direction>()
+    }
+
     /// Whether `dir` is a dimension-ordered productive hop for `flit` here
     /// (reroute-stat classification for degraded-mode assignments).
     pub fn is_productive(&self, flit: &Flit, dir: Direction) -> bool {
@@ -417,6 +423,14 @@ impl Router for DeflectionRouter {
         flits.clear();
         self.latches = flits;
         self.assign_scratch = assigns;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.latches.capacity() * std::mem::size_of::<Flit>()
+            + self.assign_scratch.capacity() * std::mem::size_of::<Assignment>()
+            + self.blocked_scratch.capacity() * std::mem::size_of::<Direction>()
+            + self.engine.heap_bytes()
+            + self.fa.heap_bytes()
     }
 
     fn counters(&self) -> &ActivityCounters {

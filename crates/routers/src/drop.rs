@@ -181,6 +181,12 @@ impl Router for DropRouter {
         self.latches = flits;
     }
 
+    fn heap_bytes(&self) -> usize {
+        self.dirs.capacity() * std::mem::size_of::<Direction>()
+            + self.latches.capacity() * std::mem::size_of::<Flit>()
+            + self.fa.heap_bytes()
+    }
+
     fn counters(&self) -> &ActivityCounters {
         &self.counters
     }
