@@ -50,21 +50,25 @@
 //! `AFC_BENCH_THREADS` environment variable, which beats
 //! [`std::thread::available_parallelism`].
 
-use std::collections::{HashMap, HashSet};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use afc_energy::{EnergyModel, EnergyParams};
 use afc_netsim::config::{NetworkConfig, RetransmitConfig};
 use afc_netsim::faults::FaultPlan;
+use afc_netsim::network::Network;
 use afc_netsim::snapshot::fnv1a64;
 use afc_traffic::closedloop::WorkloadParams;
 use afc_traffic::openloop::{PacketMix, RateSpec};
-use afc_traffic::runner::{run_closed_loop, run_fault_scenario, run_open_loop};
+use afc_traffic::runner::{
+    run_closed_loop_with, run_fault_scenario_with, run_open_loop_with, WarmStore,
+};
 use afc_traffic::synthetic::Pattern;
 
 use crate::mechanisms::MechanismId;
@@ -341,6 +345,69 @@ pub fn run_sweep_with_progress<J, R, F, P>(
     jobs: &[J],
     f: &F,
     threads: usize,
+    progress: P,
+) -> Vec<Result<R, JobFailure>>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+    P: FnMut(usize, &Result<R, JobFailure>),
+{
+    let order: Vec<usize> = (0..jobs.len()).collect();
+    run_sweep_scheduled(name, jobs, order, 1, f, threads, progress)
+}
+
+/// [`run_sweep_with_progress`] with batched, group-aware scheduling: jobs
+/// are handed to workers as contiguous batches of a stable permutation
+/// sorted by `group` (a [`RunSpec::arena_group`]-style key), so a worker
+/// tends to see arena-compatible jobs back to back and its pooled
+/// simulation [`Network`] is reset instead of rebuilt. Results are still
+/// reassembled into spec-order slots, so output is byte-identical to the
+/// ungrouped scheduler at any worker count.
+pub fn run_sweep_grouped<J, R, F, K, P>(
+    name: &str,
+    jobs: &[J],
+    group: K,
+    f: &F,
+    threads: usize,
+    progress: P,
+) -> Vec<Result<R, JobFailure>>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+    K: Fn(usize, &J) -> u64,
+    P: FnMut(usize, &Result<R, JobFailure>),
+{
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    // Stable sort: spec order is preserved inside each group, and the
+    // group traversal order is a pure function of the keys — scheduling
+    // never depends on worker timing.
+    order.sort_by_key(|&i| group(i, &jobs[i]));
+    let workers = threads.max(1).min(jobs.len().max(1));
+    let batch = batch_size(jobs.len(), workers);
+    run_sweep_scheduled(name, jobs, order, batch, f, threads, progress)
+}
+
+/// Batch width for the grouped scheduler: large enough that a worker
+/// amortizes an arena miss over several pool hits, small enough that the
+/// tail of the sweep still load-balances across workers.
+fn batch_size(jobs: usize, workers: usize) -> usize {
+    (jobs / (workers * 4).max(1)).clamp(1, 8)
+}
+
+/// The shared scheduler core: an atomic cursor hands out contiguous
+/// `batch`-sized windows of `order` (a permutation of job indices),
+/// workers report `(index, result)` over a channel, and the collector
+/// writes each result into its spec-index slot — output order is spec
+/// order by construction, independent of `order`, `batch`, and timing.
+fn run_sweep_scheduled<J, R, F, P>(
+    name: &str,
+    jobs: &[J],
+    order: Vec<usize>,
+    batch: usize,
+    f: &F,
+    threads: usize,
     mut progress: P,
 ) -> Vec<Result<R, JobFailure>>
 where
@@ -349,40 +416,46 @@ where
     F: Fn(usize, &J) -> R + Sync,
     P: FnMut(usize, &Result<R, JobFailure>),
 {
+    debug_assert_eq!(order.len(), jobs.len());
     let workers = threads.max(1).min(jobs.len());
     if workers <= 1 {
-        return jobs
-            .iter()
-            .enumerate()
-            .map(|(i, job)| {
-                let start = Instant::now();
-                let r = run_guarded(name, i, job, f);
-                record_timing(name, i, start.elapsed().as_micros());
-                progress(i, &r);
-                r
-            })
+        // Serial path walks the grouped order too (so a single-threaded
+        // sweep still reuses its arena), but reassembles in spec order.
+        let mut slots: Vec<Option<Result<R, JobFailure>>> = (0..jobs.len()).map(|_| None).collect();
+        for &i in &order {
+            let start = Instant::now();
+            let r = run_guarded(name, i, &jobs[i], f);
+            record_timing(name, i, start.elapsed().as_micros());
+            progress(i, &r);
+            slots[i] = Some(r);
+        }
+        return slots
+            .into_iter()
+            .map(|r| r.expect("serial pass visits every job"))
             .collect();
     }
 
-    // Work-stealing pool: an atomic cursor hands out job indices, workers
-    // report (index, result) over a channel, and the collector writes each
-    // result into its index slot — spec order by construction.
     let cursor = AtomicUsize::new(0);
+    let batch = batch.max(1);
     let (tx, rx) = mpsc::channel();
     let mut slots: Vec<Option<Result<R, JobFailure>>> = (0..jobs.len()).map(|_| None).collect();
+    let order = &order;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
+            scope.spawn(move || 'steal: loop {
+                let from = cursor.fetch_add(batch, Ordering::Relaxed);
+                if from >= order.len() {
                     break;
                 }
-                let start = Instant::now();
-                let r = run_guarded(name, i, &jobs[i], f);
-                if tx.send((i, r, start.elapsed().as_micros())).is_err() {
-                    break;
+                let to = (from + batch).min(order.len());
+                for &i in &order[from..to] {
+                    let start = Instant::now();
+                    let r = run_guarded(name, i, &jobs[i], f);
+                    if tx.send((i, r, start.elapsed().as_micros())).is_err() {
+                        break 'steal;
+                    }
                 }
             });
         }
@@ -449,8 +522,40 @@ fn write_atomic_io(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// Rotated generations of each timing report kept on disk:
+/// `<binary>.tsv` is the latest, `<binary>.1.tsv` the previous run, up to
+/// `<binary>.{TIMING_REPORT_KEEP}.tsv`; older generations are deleted.
+pub const TIMING_REPORT_KEEP: usize = 5;
+
+/// Shifts existing `<binary>[.k].tsv` reports in `dir` up one generation,
+/// deleting anything past [`TIMING_REPORT_KEEP`], so repeated bench runs
+/// keep a bounded history instead of either clobbering the only report or
+/// accreting files forever.
+fn rotate_timing_reports(dir: &Path, binary: &str) -> std::io::Result<()> {
+    let generation = |k: usize| {
+        if k == 0 {
+            dir.join(format!("{binary}.tsv"))
+        } else {
+            dir.join(format!("{binary}.{k}.tsv"))
+        }
+    };
+    let oldest = generation(TIMING_REPORT_KEEP);
+    if oldest.exists() {
+        std::fs::remove_file(&oldest)?;
+    }
+    for k in (0..TIMING_REPORT_KEEP).rev() {
+        let from = generation(k);
+        if from.exists() {
+            std::fs::rename(&from, generation(k + 1))?;
+        }
+    }
+    Ok(())
+}
+
 /// Writes (and drains) the per-run timing report accumulated by every
-/// sweep since the last call, to `results/timing/<binary>.tsv`.
+/// sweep since the last call, to `results/timing/<binary>.tsv`, rotating
+/// prior reports through `<binary>.<k>.tsv` up to [`TIMING_REPORT_KEEP`]
+/// generations.
 ///
 /// Wall-clock values are inherently nondeterministic, which is why they
 /// live outside the experiment's own `results/` artifacts: byte-identity
@@ -460,8 +565,15 @@ fn write_atomic_io(path: &Path, contents: &[u8]) -> std::io::Result<()> {
 ///
 /// Propagates filesystem errors from creating or writing the report.
 pub fn write_timing_report(binary: &str) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from("results").join("timing");
+    write_timing_report_in(Path::new("results"), binary)
+}
+
+/// [`write_timing_report`] against an explicit results root (tests point
+/// this at a temp directory to exercise the retention policy).
+pub fn write_timing_report_in(results_root: &Path, binary: &str) -> std::io::Result<PathBuf> {
+    let dir = results_root.join("timing");
     std::fs::create_dir_all(&dir)?;
+    rotate_timing_reports(&dir, binary)?;
     let path = dir.join(format!("{binary}.tsv"));
     let records = std::mem::take(&mut *timings());
     let total_ms = records.iter().map(|r| r.micros).sum::<u128>() as f64 / 1_000.0;
@@ -483,6 +595,237 @@ pub fn write_timing_report(binary: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+// ---------------------------------------------------------------------------
+// Simulation arenas and the warm-start snapshot cache
+// ---------------------------------------------------------------------------
+
+// Per-worker simulation arena: each sweep worker thread keeps its most
+// recently used `Network` here and offers it to the next job. When the
+// next job has the same mechanism and configuration (which the grouped
+// scheduler arranges), `Network::reset_from_config` reinitializes it in
+// place — no allocation, no construction — and the run is byte-identical
+// to one on a freshly built network. Worker threads are scoped to one
+// sweep, so arenas are reclaimed when the sweep ends.
+thread_local! {
+    static SIM_POOL: RefCell<Option<Network>> = const { RefCell::new(None) };
+}
+
+/// Arena jobs whose pooled network matched the incoming job (reset path).
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+/// Arena jobs that found no compatible pooled network (fresh construction).
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Warm-cache lookups that found a usable post-warmup snapshot.
+static WARM_HITS: AtomicU64 = AtomicU64::new(0);
+/// Warm-cache lookups that missed (the warmup was simulated and cached).
+static WARM_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether pooled arenas are in use; `AFC_SWEEP_POOL=0` disables them
+/// (every job constructs its network from scratch).
+pub fn pool_enabled() -> bool {
+    std::env::var("AFC_SWEEP_POOL").map_or(true, |v| v != "0")
+}
+
+/// Whether the warm-start snapshot cache is in use; `AFC_SWEEP_WARM_CACHE=0`
+/// disables it (every job re-simulates its warmup prefix).
+pub fn warm_enabled() -> bool {
+    std::env::var("AFC_SWEEP_WARM_CACHE").map_or(true, |v| v != "0")
+}
+
+/// Takes this worker's pooled network if it is arena-compatible with the
+/// requested mechanism and configuration (same check
+/// [`Network::reset_from_config`] enforces). An incompatible arena is
+/// dropped — the completed job's network replaces it via [`pool_put`] — so
+/// a worker holds at most one network at a time.
+fn pool_take(factory_name: &str, cfg: &NetworkConfig) -> Option<Network> {
+    let Some(net) = SIM_POOL.with(|p| p.borrow_mut().take()) else {
+        // Cold start: this worker has no arena yet.
+        POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+        return None;
+    };
+    if net.mechanism() == factory_name && net.config() == cfg {
+        POOL_HITS.fetch_add(1, Ordering::Relaxed);
+        Some(net)
+    } else {
+        POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}
+
+/// Returns a finished job's network to this worker's arena slot.
+fn pool_put(net: Network) {
+    SIM_POOL.with(|p| *p.borrow_mut() = Some(net));
+}
+
+/// Drops this worker's pooled arena (tests use it to force cold starts).
+pub fn pool_clear() {
+    SIM_POOL.with(|p| *p.borrow_mut() = None);
+}
+
+/// Cumulative `(arena hits, arena misses, warm hits, warm misses)` across
+/// all sweeps in this process. A "hit" means the job reset a pooled
+/// network in place / restored a cached warmup snapshot; a "miss" means it
+/// constructed / simulated from scratch. First-job cold starts on each
+/// worker count as neither (there was no arena to offer).
+pub fn pool_stats() -> (u64, u64, u64, u64) {
+    (
+        POOL_HITS.load(Ordering::Relaxed),
+        POOL_MISSES.load(Ordering::Relaxed),
+        WARM_HITS.load(Ordering::Relaxed),
+        WARM_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Process-wide warm-start snapshot cache, keyed by
+/// [`afc_traffic::runner::warm_key`] — a fingerprint of the full network
+/// configuration (mesh, mechanism, fault plan, thresholds), the traffic
+/// description, the warmup length, and the seed. Values are sealed
+/// [`Simulation::snapshot`](afc_netsim::sim::Simulation::snapshot)
+/// containers taken immediately after the warmup phase; a later run with
+/// the same key restores the snapshot instead of re-simulating the
+/// warmup, and the runner verifies the container checksum and network
+/// fingerprint on restore, invalidating the entry on any mismatch.
+///
+/// The cache is bounded (FIFO eviction once `cap_bytes` is exceeded;
+/// default 256 MiB, overridable via `AFC_SWEEP_WARM_CACHE_BYTES`) and can
+/// spill to disk: set `AFC_WARM_CACHE_DIR` to a directory and entries are
+/// also written there atomically, surviving process crashes — a resumed
+/// sweep re-reads them subject to the same checksum/fingerprint
+/// verification.
+pub struct WarmCache {
+    inner: Mutex<WarmCacheInner>,
+    cap_bytes: usize,
+    disk_dir: Option<PathBuf>,
+}
+
+struct WarmCacheInner {
+    map: HashMap<u64, Arc<Vec<u8>>>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<u64>,
+    bytes: usize,
+}
+
+impl WarmCache {
+    /// An empty cache with an explicit byte cap and optional disk spill
+    /// directory (tests construct these directly; production code uses
+    /// the [`warm_cache`] singleton).
+    pub fn with_limits(cap_bytes: usize, disk_dir: Option<PathBuf>) -> WarmCache {
+        WarmCache {
+            inner: Mutex::new(WarmCacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                bytes: 0,
+            }),
+            cap_bytes,
+            disk_dir,
+        }
+    }
+
+    fn from_env() -> WarmCache {
+        let cap = std::env::var("AFC_SWEEP_WARM_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(256 << 20);
+        let dir = std::env::var("AFC_WARM_CACHE_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        WarmCache::with_limits(cap, dir)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WarmCacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn disk_path(&self, key: u64) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("warm-{key:016x}.snap")))
+    }
+
+    /// Current `(entries, bytes)` resident in memory.
+    pub fn usage(&self) -> (usize, usize) {
+        let inner = self.lock();
+        (inner.map.len(), inner.bytes)
+    }
+
+    /// Empties the in-memory cache (disk spill files are left alone).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+    }
+}
+
+impl WarmStore for WarmCache {
+    fn get(&self, key: u64) -> Option<Arc<Vec<u8>>> {
+        if let Some(bytes) = self.lock().map.get(&key).cloned() {
+            WARM_HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(bytes);
+        }
+        // Miss in memory: a crash-surviving spill file may still have it.
+        // The runner re-verifies checksum and fingerprint on restore, so a
+        // torn or stale file degrades to a re-warmed run, never a wrong one.
+        if let Some(path) = self.disk_path(key) {
+            if let Ok(bytes) = std::fs::read(&path) {
+                let bytes = Arc::new(bytes);
+                let mut inner = self.lock();
+                inner.bytes += bytes.len();
+                inner.order.push_back(key);
+                inner.map.insert(key, Arc::clone(&bytes));
+                WARM_HITS.fetch_add(1, Ordering::Relaxed);
+                return Some(bytes);
+            }
+        }
+        WARM_MISSES.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn put(&self, key: u64, bytes: Vec<u8>) {
+        let disk = self.disk_path(key);
+        let bytes = Arc::new(bytes);
+        {
+            let mut inner = self.lock();
+            if let Some(old) = inner.map.insert(key, Arc::clone(&bytes)) {
+                inner.bytes -= old.len();
+                inner.order.retain(|&k| k != key);
+            }
+            inner.bytes += bytes.len();
+            inner.order.push_back(key);
+            while inner.bytes > self.cap_bytes && inner.order.len() > 1 {
+                let victim = inner.order.pop_front().expect("order non-empty");
+                if let Some(old) = inner.map.remove(&victim) {
+                    inner.bytes -= old.len();
+                }
+            }
+        }
+        if let Some(path) = disk {
+            // Spill failures are non-fatal: the in-memory entry still works.
+            let _ = write_atomic_io(&path, &bytes);
+        }
+    }
+
+    fn invalidate(&self, key: u64) {
+        {
+            let mut inner = self.lock();
+            if let Some(old) = inner.map.remove(&key) {
+                inner.bytes -= old.len();
+                inner.order.retain(|&k| k != key);
+            }
+        }
+        if let Some(path) = self.disk_path(key) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The process-wide [`WarmCache`] singleton, configured from the
+/// environment on first use.
+pub fn warm_cache() -> &'static WarmCache {
+    static WARM: OnceLock<WarmCache> = OnceLock::new();
+    WARM.get_or_init(WarmCache::from_env)
+}
+
 /// One simulation run, described as plain data. Workers rebuild the router
 /// factory from the [`MechanismId`], so specs are freely `Clone` + `Send`.
 #[derive(Debug, Clone)]
@@ -498,7 +841,7 @@ pub struct RunSpec {
 /// The scenario of a [`RunSpec`].
 #[derive(Debug, Clone)]
 pub enum RunKind {
-    /// Closed-loop workload run ([`run_closed_loop`]).
+    /// Closed-loop workload run ([`run_closed_loop_with`]).
     ClosedLoop {
         /// Workload preset.
         workload: WorkloadParams,
@@ -509,7 +852,7 @@ pub enum RunKind {
         /// Abort budget.
         max_cycles: u64,
     },
-    /// Open-loop synthetic-traffic run ([`run_open_loop`]).
+    /// Open-loop synthetic-traffic run ([`run_open_loop_with`]).
     OpenLoop {
         /// Offered rate, flits/node/cycle.
         rate: f64,
@@ -522,7 +865,7 @@ pub enum RunKind {
         /// Measured cycles.
         measure_cycles: u64,
     },
-    /// Fault-injection inject-then-drain run ([`run_fault_scenario`]).
+    /// Fault-injection inject-then-drain run ([`run_fault_scenario_with`]).
     Fault {
         /// Offered rate, flits/node/cycle.
         rate: f64,
@@ -550,8 +893,29 @@ impl RunSpec {
         format!("{}/{}@{}", self.mechanism.label(), scenario, self.seed)
     }
 
+    /// Arena-compatibility group key: two runs with the same key (and the
+    /// same sweep-level `net_cfg`) build identical networks, so one can
+    /// reuse the other's pooled arena via [`Network::reset_from_config`].
+    /// Mechanism always discriminates; fault runs additionally fold in the
+    /// fault-plan parameters they patch into the configuration.
+    pub fn arena_group(&self) -> u64 {
+        let detail = match &self.kind {
+            RunKind::Fault {
+                drop_rate,
+                corrupt_rate,
+                ..
+            } => format!("fault|{drop_rate:?}|{corrupt_rate:?}"),
+            RunKind::ClosedLoop { .. } | RunKind::OpenLoop { .. } => String::new(),
+        };
+        fnv1a64(format!("{}|{detail}", self.mechanism.label()).as_bytes())
+    }
+
     /// Executes the run against `net_cfg` and reduces it to the flat
-    /// deterministic metrics of [`RunOutput`].
+    /// deterministic metrics of [`RunOutput`], using this worker's pooled
+    /// arena and the process-wide warm-start cache unless disabled via
+    /// `AFC_SWEEP_POOL=0` / `AFC_SWEEP_WARM_CACHE=0`. Both reuse paths are
+    /// byte-identical to cold execution, so results do not depend on pool
+    /// or cache state.
     ///
     /// # Panics
     ///
@@ -559,8 +923,17 @@ impl RunSpec {
     /// its cycle budget, mirroring the underlying runners. Inside a sweep
     /// the pool catches the unwind and reports a [`JobFailure`].
     pub fn execute(&self, net_cfg: &NetworkConfig) -> RunOutput {
+        self.execute_tuned(net_cfg, pool_enabled(), warm_enabled())
+    }
+
+    /// [`RunSpec::execute`] with explicit arena-pool and warm-cache
+    /// switches (benchmarks use this to compare fresh, pooled, and
+    /// warm-cached execution on identical specs).
+    pub fn execute_tuned(&self, net_cfg: &NetworkConfig, pool: bool, warm: bool) -> RunOutput {
         let mechanism = self.mechanism.mechanism();
+        let factory = mechanism.factory.as_ref();
         let model = EnergyModel::new(EnergyParams::micro2010_70nm());
+        let warm_store: Option<&dyn WarmStore> = if warm { Some(warm_cache()) } else { None };
         match &self.kind {
             RunKind::ClosedLoop {
                 workload,
@@ -568,8 +941,15 @@ impl RunSpec {
                 measure_txns,
                 max_cycles,
             } => {
-                let out = run_closed_loop(
-                    mechanism.factory.as_ref(),
+                let arena = if pool {
+                    pool_take(factory.name(), net_cfg)
+                } else {
+                    None
+                };
+                let out = run_closed_loop_with(
+                    arena,
+                    warm_store,
+                    factory,
                     net_cfg,
                     *workload,
                     *warmup_txns,
@@ -578,7 +958,7 @@ impl RunSpec {
                     self.seed,
                 )
                 .expect("valid configuration");
-                RunOutput {
+                let output = RunOutput {
                     label: self.label(),
                     cycles: out.measured_cycles,
                     packets_delivered: out.stats.packets_delivered,
@@ -591,7 +971,11 @@ impl RunSpec {
                     mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
                     delivered_fraction: delivered_fraction(&out.stats),
                     outcome: "ok".to_string(),
+                };
+                if pool {
+                    pool_put(out.network);
                 }
+                output
             }
             RunKind::OpenLoop {
                 rate,
@@ -600,8 +984,15 @@ impl RunSpec {
                 warmup_cycles,
                 measure_cycles,
             } => {
-                let out = run_open_loop(
-                    mechanism.factory.as_ref(),
+                let arena = if pool {
+                    pool_take(factory.name(), net_cfg)
+                } else {
+                    None
+                };
+                let out = run_open_loop_with(
+                    arena,
+                    warm_store,
+                    factory,
                     net_cfg,
                     RateSpec::Uniform(*rate),
                     pattern.clone(),
@@ -611,7 +1002,7 @@ impl RunSpec {
                     self.seed,
                 )
                 .expect("valid configuration");
-                RunOutput {
+                let output = RunOutput {
                     label: self.label(),
                     cycles: out.measured_cycles,
                     packets_delivered: out.stats.packets_delivered,
@@ -624,7 +1015,11 @@ impl RunSpec {
                     mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
                     delivered_fraction: delivered_fraction(&out.stats),
                     outcome: "ok".to_string(),
+                };
+                if pool {
+                    pool_put(out.network);
                 }
+                output
             }
             RunKind::Fault {
                 rate,
@@ -638,8 +1033,14 @@ impl RunSpec {
                     retransmit: Some(RetransmitConfig::default()),
                     ..net_cfg.clone()
                 };
-                let out = run_fault_scenario(
-                    mechanism.factory.as_ref(),
+                let arena = if pool {
+                    pool_take(factory.name(), &cfg)
+                } else {
+                    None
+                };
+                let out = run_fault_scenario_with(
+                    arena,
+                    factory,
                     &cfg,
                     RateSpec::Uniform(*rate),
                     Pattern::UniformRandom,
@@ -654,7 +1055,7 @@ impl RunSpec {
                     None if out.drained => "drained".to_string(),
                     None => "drain budget exhausted".to_string(),
                 };
-                RunOutput {
+                let output = RunOutput {
                     label: self.label(),
                     cycles: out.ran_cycles,
                     packets_delivered: out.stats.packets_delivered,
@@ -667,7 +1068,11 @@ impl RunSpec {
                     mean_deflections: out.stats.flit_deflections.mean().unwrap_or(0.0),
                     delivered_fraction: out.delivered_fraction(),
                     outcome,
+                };
+                if pool {
+                    pool_put(out.network);
                 }
+                output
             }
         }
     }
@@ -751,11 +1156,26 @@ impl SweepSpec {
     /// attempt becomes a zeroed [`RunOutput`] whose `outcome` records the
     /// failure; the other runs are unaffected.
     pub fn execute_with_threads(&self, threads: usize) -> SweepResults {
-        let results = run_sweep_failable(
+        self.execute_with_threads_tuned(threads, pool_enabled(), warm_enabled())
+    }
+
+    /// [`SweepSpec::execute_with_threads`] with explicit arena-pool and
+    /// warm-cache switches; the `sweep_throughput` benchmark uses this to
+    /// time fresh, pooled, and warm-cached execution of identical sweeps
+    /// within one process.
+    pub fn execute_with_threads_tuned(
+        &self,
+        threads: usize,
+        pool: bool,
+        warm: bool,
+    ) -> SweepResults {
+        let results = run_sweep_grouped(
             &self.name,
             &self.runs,
-            &|_, run: &RunSpec| run.execute(&self.net_cfg),
+            |_, run: &RunSpec| run.arena_group(),
+            &|_, run: &RunSpec| run.execute_tuned(&self.net_cfg, pool, warm),
             threads,
+            |_, _| {},
         );
         let outputs = self
             .runs
@@ -822,9 +1242,10 @@ impl SweepSpec {
             .filter(|i| !completed.contains_key(i))
             .collect();
         let mut save_err: Option<SweepError> = None;
-        let results = run_sweep_with_progress(
+        let results = run_sweep_grouped(
             &self.name,
             &missing,
+            |_, &idx: &usize| self.runs[idx].arena_group(),
             &|_, &idx: &usize| self.runs[idx].execute(&self.net_cfg),
             threads(),
             |k, r| {
@@ -1249,6 +1670,49 @@ impl SweepResults {
 mod tests {
     use super::*;
     use crate::mechanisms::MechanismId;
+
+    #[test]
+    fn timing_reports_rotate_and_cap_retention() {
+        let root = std::env::temp_dir().join(format!("afc-timing-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let binary = "rotation_probe";
+        // KEEP + 3 writes: the oldest two generations must fall off disk.
+        let total = TIMING_REPORT_KEEP + 3;
+        for g in 0..total {
+            timings().push(TimingRecord {
+                sweep: format!("gen-{g}"),
+                run: g,
+                micros: 1,
+            });
+            write_timing_report_in(&root, binary).expect("write report");
+        }
+        let dir = root.join("timing");
+        let path_for = |k: usize| {
+            if k == 0 {
+                dir.join(format!("{binary}.tsv"))
+            } else {
+                dir.join(format!("{binary}.{k}.tsv"))
+            }
+        };
+        // Exactly the latest report plus KEEP rotated generations survive,
+        // and generation k holds the write from k runs ago.
+        for k in 0..=TIMING_REPORT_KEEP {
+            let text = std::fs::read_to_string(path_for(k))
+                .unwrap_or_else(|e| panic!("generation {k} missing: {e}"));
+            let marker = format!("gen-{}", total - 1 - k);
+            assert!(
+                text.contains(&marker),
+                "generation {k} should hold {marker}: {text}"
+            );
+        }
+        for k in (TIMING_REPORT_KEEP + 1)..(TIMING_REPORT_KEEP + 4) {
+            assert!(
+                !path_for(k).exists(),
+                "generation {k} escaped the retention cap"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
 
     #[test]
     fn sweep_preserves_spec_order_at_any_worker_count() {

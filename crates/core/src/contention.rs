@@ -111,6 +111,15 @@ impl ContentionMonitor {
         self.ewma.decay_zero(count);
     }
 
+    /// Resets the measurement state (window + EWMA) in place to the
+    /// freshly constructed state. Thresholds and the window allocation are
+    /// untouched, so this is allocation-free — the arena-reuse path's
+    /// requirement.
+    pub fn reset(&mut self) {
+        self.window.reset();
+        self.ewma.reset();
+    }
+
     /// Serializes the monitor's mutable measurement state (window + EWMA;
     /// thresholds are configuration and stay with the constructor).
     pub fn save(&self, w: &mut SnapshotWriter) {

@@ -973,6 +973,52 @@ impl Router for AfcRouter {
         c
     }
 
+    fn reset(&mut self) -> bool {
+        // Mirrors `AfcRouter::new` on the same configuration, including the
+        // always-backpressured seeding of mode and tracking, while keeping
+        // every allocation (banks, scratch, credit vectors) in place.
+        self.monitor.reset();
+        self.mode = AfcMode::Backpressureless;
+        self.flits_this_cycle = 0;
+        self.reverse_allowed_at = 0;
+        self.latches.clear();
+        for port in PortId::ALL {
+            if let Some(bank) = self.buffers[port].as_mut() {
+                for vnet in &mut bank.slots {
+                    vnet.fill(None);
+                }
+                bank.occupied.fill(0);
+                bank.total_occupied = 0;
+            }
+            if let Some(arb) = self.input_arb[port].as_mut() {
+                arb.set_cursor(0);
+            }
+            self.output_arb[port].set_cursor(0);
+        }
+        self.tracking = DirMap::default();
+        for d in Direction::ALL {
+            for (c, cap) in self.credits[d].iter_mut().zip(self.vnet_capacity.iter()) {
+                *c = *cap as u64;
+            }
+        }
+        self.counters = ActivityCounters::new();
+        self.buffered = 0;
+        self.assign_scratch.clear();
+        self.eligible_scratch.fill(None);
+        self.winners_scratch.clear();
+        self.blocked_scratch.clear();
+        self.fa.reset();
+        if self.cfg.always_backpressured {
+            self.mode = AfcMode::Backpressured;
+            for d in Direction::ALL {
+                if self.mesh.neighbor(self.node, d).is_some() {
+                    self.tracking[d] = true;
+                }
+            }
+        }
+        true
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
         match self.mode {
             AfcMode::Backpressureless => w.put_u8(0),

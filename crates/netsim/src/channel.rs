@@ -477,6 +477,25 @@ impl Channel {
         self.fwd.count == 0 && self.rev.credit_count == 0 && self.rev.control_count == 0
     }
 
+    /// Empties both lane rings in place (contents, heads, occupancy
+    /// counts) back to the freshly constructed state without freeing the
+    /// ring allocations. Stale items beyond a cleared slot's length are
+    /// unobservable: every read and [`Channel::save`] is gated by `len`.
+    pub fn reset(&mut self) {
+        self.fwd.ring.fill(None);
+        self.fwd.head = 0;
+        self.fwd.count = 0;
+        for slot in self.rev.credits.iter_mut() {
+            slot.clear();
+        }
+        for slot in self.rev.control.iter_mut() {
+            slot.clear();
+        }
+        self.rev.head = 0;
+        self.rev.credit_count = 0;
+        self.rev.control_count = 0;
+    }
+
     /// Serializes both lane rings (contents, heads) for a snapshot.
     pub fn save(&self, w: &mut SnapshotWriter) {
         w.put_usize(self.fwd.ring.len());

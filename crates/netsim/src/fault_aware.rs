@@ -213,6 +213,21 @@ impl FaultAwareness {
             + self.table.capacity()
     }
 
+    /// Returns the awareness state to clean (fault-free) in place: every
+    /// mask, the known-dead set, the gossip queue, and the first-fault
+    /// anchor are cleared, exactly as freshly constructed. The next-hop
+    /// table keeps its allocation but is emptied (it is rebuilt lazily and
+    /// never consulted while clean).
+    pub fn reset(&mut self) {
+        self.dead_out = DirMap::default();
+        self.dead_in = DirMap::default();
+        self.known_dead.clear();
+        self.pending_gossip.clear();
+        self.table.clear();
+        self.dirty = false;
+        self.first_fault_at = None;
+    }
+
     /// Rebuilds the per-destination next-hop table: one BFS per destination
     /// from the destination over reversed alive edges, then a tie-broken
     /// argmin over this node's alive output directions.

@@ -82,6 +82,24 @@ impl ActiveSet {
         self.words.capacity() * std::mem::size_of::<u64>()
     }
 
+    /// Refills the set to all-members-present in place (the arena-reuse
+    /// counterpart of [`ActiveSet::full`]); `len` must match the length
+    /// the set was built for.
+    fn fill_full(&mut self, len: usize) {
+        debug_assert_eq!(self.words.len(), len.div_ceil(64));
+        self.words.fill(!0u64);
+        if !len.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+    }
+
+    /// Empties the set in place.
+    fn fill_empty(&mut self) {
+        self.words.fill(0);
+    }
+
     #[inline]
     pub(crate) fn remove(&mut self, i: usize) {
         self.words[i >> 6] &= !(1u64 << (i & 63));
@@ -330,8 +348,10 @@ pub struct Network {
     /// serially. Not part of snapshots: a restored run may use any value
     /// (results are byte-identical regardless — DESIGN.md §12).
     sim_threads: usize,
-    /// Lazily-built shard plan + thread pool (`sim_threads > 1` only).
-    pub(crate) engine: Option<crate::parallel::Engine>,
+    /// Lazily-built shard plans + thread pools (`sim_threads > 1` only),
+    /// one per thread count the adaptive gate probes — at most two live
+    /// (2 and the full budget), since serial needs no engine.
+    pub(crate) engines: Vec<crate::parallel::Engine>,
     /// Cycles actually stepped by the parallel engine (diagnostic only:
     /// lets tests assert non-vacuity; excluded from snapshots and stats).
     pub(crate) parallel_cycles: u64,
@@ -490,7 +510,7 @@ impl Network {
             ni_high_water_max: 0,
             check_conservation: true,
             sim_threads,
-            engine: None,
+            engines: Vec::new(),
             parallel_cycles: 0,
             par_min_active: crate::parallel::MIN_ACTIVE_PER_SHARD,
             // When a whole suite is forced through the parallel engine via
@@ -498,6 +518,7 @@ impl Network {
             // cycles back to the serial walk — coverage is the point there.
             par_gate: crate::parallel::AdaptiveGate::new(
                 std::env::var_os("AFC_SIM_THREADS").is_none(),
+                sim_threads,
             ),
             replan_every: crate::parallel::DEFAULT_REPLAN_INTERVAL,
             mem_high_water: 0,
@@ -571,9 +592,11 @@ impl Network {
         let threads = threads.max(1);
         if threads != self.sim_threads {
             self.sim_threads = threads;
-            self.engine = None;
-            // Learned ns/cycle estimates belong to the old thread budget.
-            self.par_gate.reset();
+            self.engines.clear();
+            // Learned ns/cycle estimates (and the candidate set itself)
+            // belong to the old thread budget.
+            self.par_gate =
+                crate::parallel::AdaptiveGate::new(self.par_gate.is_adaptive(), threads);
         }
     }
 
@@ -663,7 +686,7 @@ impl Network {
                 .map(|h| h.capacity() * size_of::<Flit>())
                 .sum::<usize>()
             + self.held.capacity() * size_of::<VecDeque<Flit>>();
-        let engine_bytes = self.engine.as_ref().map_or(0, |e| e.heap_bytes());
+        let engine_bytes = self.engines.iter().map(|e| e.heap_bytes()).sum();
         let other_bytes = self.stats.heap_bytes()
             + self.scratch.heap_bytes()
             + (self.out_chan.capacity() + self.in_chan.capacity())
@@ -804,24 +827,26 @@ impl Network {
         // (the fault plane and recovery layer are inherently sequential),
         // and only when enough components are active to amortize the
         // per-cycle barrier cost. Gated cycles are then routed by the
-        // adaptive probe/commit controller; serial fallback is legal
-        // because both engines are byte-identical. Probe cycles time the
-        // chosen engine; a serial probe is timed to the end of this
-        // function (the `serial_probe` tail below).
+        // adaptive probe/commit controller, which picks a *thread count*
+        // — serial, 2, or the full budget — and commits to the fastest;
+        // any choice is legal because every engine configuration is
+        // byte-identical. Probe cycles time the chosen engine; a serial
+        // probe is timed to the end of this function (the `serial_probe`
+        // tail below).
         let mut serial_probe: Option<std::time::Instant> = None;
         if self.sim_threads > 1 && fast && crate::parallel::static_gate(self) {
-            let (go_parallel, timed) = self.par_gate.decide();
-            if go_parallel {
+            let (threads, timed) = self.par_gate.decide();
+            if threads > 1 {
                 if timed {
                     // Thread-pool spawn must not be charged to the probe.
-                    crate::parallel::ensure_engine(self);
+                    crate::parallel::ensure_engine_for(self, threads);
                     let t0 = std::time::Instant::now();
-                    let result = crate::parallel::step_parallel(self);
+                    let result = crate::parallel::step_parallel_with(self, threads);
                     let ns = t0.elapsed().as_nanos() as f64;
-                    self.par_gate.feedback(true, ns);
+                    self.par_gate.feedback(threads, ns);
                     return result;
                 }
-                return crate::parallel::step_parallel(self);
+                return crate::parallel::step_parallel_with(self, threads);
             }
             if timed {
                 serial_probe = Some(std::time::Instant::now());
@@ -1029,8 +1054,7 @@ impl Network {
             }
         }
         if let Some(t0) = serial_probe {
-            self.par_gate
-                .feedback(false, t0.elapsed().as_nanos() as f64);
+            self.par_gate.feedback(1, t0.elapsed().as_nanos() as f64);
         }
         Ok(())
     }
@@ -1371,6 +1395,89 @@ impl Network {
         self.audit_baseline = self.unaccounted_flits_recount();
         self.last_progress = 0;
         self.last_progress_cycle = self.now;
+    }
+
+    /// Returns this network, in place, to the state
+    /// `Network::new(config, factory, seed)` would produce — reusing every
+    /// allocation (router buffers, channel rings, NI queues, activity
+    /// bitmasks) instead of freeing and reacquiring them. Succeeds only
+    /// when the target is *arena-compatible*: the factory names the same
+    /// mechanism and `config` equals the network's own. On `false` the
+    /// network is untouched and the caller must construct fresh.
+    ///
+    /// Routers whose [`Router::reset`] declines are rebuilt through the
+    /// factory; everything else clears in place. The parallel-engine
+    /// state (thread budget, shard plan, adaptive gate) is deliberately
+    /// carried over — it is wall-clock-only and never observable in
+    /// results, exactly as with snapshot restore (DESIGN.md §12).
+    /// Byte-identity to fresh construction is pinned by the arena test
+    /// wall via [`Network::save_state`] fingerprints.
+    pub fn reset_from_config(
+        &mut self,
+        config: &NetworkConfig,
+        factory: &dyn RouterFactory,
+        seed: u64,
+    ) -> bool {
+        if factory.name() != self.mechanism || *config != self.config {
+            return false;
+        }
+        let n = self.mesh.node_count();
+        for (i, r) in self.routers.iter_mut().enumerate() {
+            if !r.reset() {
+                *r = factory.build(NodeId::new(i), &self.mesh, &self.config);
+            }
+        }
+        for ni in &mut self.nis {
+            ni.reset();
+            if let Some(r) = self.config.retransmit {
+                ni.enable_recovery(r);
+            }
+        }
+        for c in &mut self.channels {
+            c.reset();
+        }
+        for p in &mut self.pending {
+            *p = crate::channel::Delivery::default();
+        }
+        for h in &mut self.held {
+            h.clear();
+        }
+        self.now = 0;
+        self.rng = SimRng::seed_from(seed);
+        self.fault_rng = self.rng.fork(0x00FA_0171);
+        self.stats.clear();
+        self.next_packet_id = 0;
+        self.scratch.clear();
+        self.nack_queue.clear();
+        self.ack_queue.clear();
+        self.fault_log.clear();
+        // `detect_schedule` is a pure function of the (equal) configuration
+        // and stays; only the firing cursor rewinds.
+        self.detect_next = 0;
+        self.unreachable_packets.clear();
+        self.credits_pushed = 0;
+        self.credits_delivered = 0;
+        self.credits_faulted = 0;
+        self.last_progress = 0;
+        self.last_progress_cycle = 0;
+        self.audit_baseline = 0;
+        self.offer_log = None;
+        self.router_active.fill_full(n);
+        self.chan_active.fill_full(self.channels.len());
+        self.ni_send_active.fill_full(n);
+        self.ni_delivered.fill_empty();
+        self.accounted_upto.fill(0);
+        self.mode_counts = [0u64; 3];
+        for i in 0..n {
+            self.modes_cache[i] = self.routers[i].mode();
+            self.mode_counts[Self::mode_slot(self.modes_cache[i])] += 1;
+        }
+        self.in_flight = 0;
+        self.retx_queued = 0;
+        self.ni_high_water_max = 0;
+        self.check_conservation = true;
+        self.mem_high_water = 0;
+        true
     }
 
     /// Flits currently in limbo between injection and delivery: inside

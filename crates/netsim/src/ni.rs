@@ -136,6 +136,31 @@ impl NodeInterface {
         }
     }
 
+    /// Returns the interface to its freshly constructed state in place:
+    /// queues, in-flight injections, reassembly buffers, outboxes, and the
+    /// recovery block are all emptied without freeing backing storage
+    /// (clearing a `Vec`/`VecDeque`/`HashMap` keeps its allocation;
+    /// dropping the empty `BTreeMap`/`BTreeSet` inside `Recovery` frees
+    /// nothing). The network re-enables recovery after a reset exactly as
+    /// it does after construction.
+    pub fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for slot in &mut self.in_progress {
+            *slot = None;
+        }
+        self.rr_next = 0;
+        self.retransmit.clear();
+        self.reassembly.clear();
+        self.delivered.clear();
+        self.reassembly_high_water = 0;
+        self.recovery = None;
+        self.corrupt_outbox.clear();
+        self.acks_outbox.clear();
+        self.unreachable_outbox.clear();
+    }
+
     /// Switches on end-to-end recovery: outstanding-packet tracking, timeout
     /// retransmission, and duplicate-tolerant reassembly.
     pub fn enable_recovery(&mut self, cfg: RetransmitConfig) {

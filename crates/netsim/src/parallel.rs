@@ -526,6 +526,9 @@ unsafe impl Sync for Shared {}
 
 /// Persistent shard plan + worker pool attached to a [`Network`].
 pub(crate) struct Engine {
+    /// The thread count this engine was built for (the adaptive gate may
+    /// keep one engine per probed candidate).
+    pub(crate) threads: usize,
     plan: Arc<Plan>,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -574,6 +577,7 @@ impl Engine {
             })
             .collect();
         Engine {
+            threads,
             plan,
             shared,
             workers,
@@ -1166,20 +1170,31 @@ pub(crate) fn static_gate(net: &Network) -> bool {
     !net.held.iter().any(|h| !h.is_empty())
 }
 
-/// Builds the engine (plan + worker pool) if it does not exist yet, so
-/// timed gate probes never charge thread-spawn cost to a parallel sample.
-pub(crate) fn ensure_engine(net: &mut Network) {
-    if net.engine.is_none() {
-        let threads = net.sim_threads().min(net.routers.len());
-        net.engine = Some(Engine::new(net, threads));
+/// Builds the engine (plan + worker pool) for `threads` workers if it
+/// does not exist yet, so timed gate probes never charge thread-spawn
+/// cost to a parallel sample. The cache holds one engine per thread count
+/// the adaptive gate probes — at most two ([`AdaptiveGate`]'s parallel
+/// candidates are 2 and the full budget).
+pub(crate) fn ensure_engine_for(net: &mut Network, threads: usize) {
+    let threads = threads.min(net.routers.len()).max(2);
+    if !net.engines.iter().any(|e| e.threads == threads) {
+        let engine = Engine::new(net, threads);
+        net.engines.push(engine);
     }
 }
 
-/// Steps one cycle on the parallel engine. Callers must have passed
-/// [`static_gate`]; the adaptive gate's decision is made by the caller.
-pub(crate) fn step_parallel(net: &mut Network) -> Result<(), SimError> {
-    ensure_engine(net);
-    let mut engine = net.engine.take().expect("engine just ensured");
+/// Steps one cycle on the parallel engine built for `threads` workers.
+/// Callers must have passed [`static_gate`]; the adaptive gate's decision
+/// is made by the caller.
+pub(crate) fn step_parallel_with(net: &mut Network, threads: usize) -> Result<(), SimError> {
+    ensure_engine_for(net, threads);
+    let threads = threads.min(net.routers.len()).max(2);
+    let idx = net
+        .engines
+        .iter()
+        .position(|e| e.threads == threads)
+        .expect("engine just ensured");
+    let mut engine = net.engines.swap_remove(idx);
     engine.cycles += 1;
     let seq = engine.cycles;
     if net.replan_every > 0 && seq.is_multiple_of(net.replan_every) {
@@ -1187,7 +1202,7 @@ pub(crate) fn step_parallel(net: &mut Network) -> Result<(), SimError> {
     }
     let shared = Arc::clone(&engine.shared);
     let plan = Arc::clone(&engine.plan);
-    net.engine = Some(engine);
+    net.engines.push(engine);
     step_cycle(net, &shared, &plan, seq)
 }
 
@@ -1365,51 +1380,71 @@ fn step_cycle(
 const PROBE_CYCLES: u32 = 8;
 /// Untimed cycles between probe reviews.
 const COMMIT_CYCLES: u32 = 256;
-/// Serial→parallel switches need a 10% projected win (hysteresis);
-/// parallel→serial falls back on any measured loss.
+/// Switching to a *more*-threaded candidate needs a 10% projected win
+/// (hysteresis); dropping threads happens on any measured loss.
 const SWITCH_UP_MARGIN: f64 = 0.9;
 
 #[derive(Debug, Clone, Copy)]
 enum GatePhase {
-    /// Timing the currently committed engine.
-    ProbeSelf(u32),
-    /// Timing the other engine.
-    ProbeOther(u32),
-    /// Running the committed engine untimed.
+    /// Timing candidate `cand` (an index into `candidates`), starting
+    /// with the committed candidate so its estimate stays freshest.
+    Probe {
+        /// Position in the review's probe sequence (0 = committed).
+        pos: usize,
+        /// Timed cycles left for this candidate.
+        left: u32,
+    },
+    /// Running the committed candidate untimed.
     Committed(u32),
 }
 
-/// Probe/commit wall-clock controller for the serial/parallel choice.
+/// Probe/commit wall-clock controller for the thread-count choice.
 ///
-/// Both engines are byte-identical, so this gate can never affect results
-/// — only wall-clock time. It keeps an EWMA of ns/cycle for each engine,
-/// refreshed by brief probe bursts every [`COMMIT_CYCLES`] gated cycles,
-/// and commits to the faster one with hysteresis. Because every review
-/// probes both engines, `parallel_cycles` keeps advancing even when the
-/// gate has committed to serial (and vice versa) — the controller never
-/// starves itself of fresh evidence. Wall-clock timing is only read on
-/// probe cycles, so committed stretches pay zero timer overhead.
+/// Every engine configuration is byte-identical, so this gate can never
+/// affect results — only wall-clock time. It maintains an EWMA of
+/// ns/cycle for each *candidate thread count* — serial, 2 threads, and
+/// the configured maximum (deduplicated) — refreshed by brief probe
+/// bursts every [`COMMIT_CYCLES`] gated cycles, and commits to the
+/// fastest with hysteresis: claiming more threads requires a
+/// [`SWITCH_UP_MARGIN`] projected win, shedding threads happens on any
+/// measured loss. The intermediate 2-thread candidate is what rescues
+/// small meshes, where the full thread budget loses to serial but a
+/// two-way split still pays. Because every review probes every
+/// candidate, the controller never starves itself of fresh evidence;
+/// committed stretches pay zero timer overhead.
 #[derive(Debug)]
 pub(crate) struct AdaptiveGate {
     adaptive: bool,
-    committed_parallel: bool,
+    /// Candidate thread counts, ascending, deduplicated; `candidates[0]`
+    /// is always 1 (serial) and the last entry is the configured budget.
+    candidates: Vec<usize>,
+    /// Index of the committed candidate.
+    committed: usize,
     phase: GatePhase,
-    serial_ns: f64,
-    parallel_ns: f64,
+    /// EWMA ns/cycle per candidate; 0.0 = no sample yet.
+    estimates: Vec<f64>,
 }
 
 impl AdaptiveGate {
-    /// `adaptive = false` pins the gate open (always parallel when the
-    /// static gate passes) — the pre-hysteresis behavior, used by CI
-    /// equivalence suites (forced via `AFC_SIM_THREADS`) and benchmarks
-    /// that measure the raw engine.
-    pub(crate) fn new(adaptive: bool) -> AdaptiveGate {
+    /// `adaptive = false` pins the gate open (always the full
+    /// `max_threads` budget when the static gate passes) — the
+    /// pre-hysteresis behavior, used by CI equivalence suites (forced via
+    /// `AFC_SIM_THREADS`) and benchmarks that measure the raw engine.
+    pub(crate) fn new(adaptive: bool, max_threads: usize) -> AdaptiveGate {
+        let mut candidates = vec![1usize, 2, max_threads.max(1)];
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&t| t == 1 || t <= max_threads);
+        let n = candidates.len();
         AdaptiveGate {
             adaptive,
-            committed_parallel: true,
-            phase: GatePhase::ProbeSelf(PROBE_CYCLES),
-            serial_ns: 0.0,
-            parallel_ns: 0.0,
+            candidates,
+            committed: n - 1,
+            phase: GatePhase::Probe {
+                pos: 0,
+                left: PROBE_CYCLES,
+            },
+            estimates: vec![0.0; n],
         }
     }
 
@@ -1422,70 +1457,114 @@ impl AdaptiveGate {
         self.adaptive
     }
 
-    /// Forgets learned estimates (call when the thread budget changes).
+    /// Forgets learned estimates (call when the thread budget changes —
+    /// via [`AdaptiveGate::new`] when the candidate set itself changes).
     pub(crate) fn reset(&mut self) {
-        self.committed_parallel = true;
-        self.phase = GatePhase::ProbeSelf(PROBE_CYCLES);
-        self.serial_ns = 0.0;
-        self.parallel_ns = 0.0;
+        self.committed = self.candidates.len() - 1;
+        self.phase = GatePhase::Probe {
+            pos: 0,
+            left: PROBE_CYCLES,
+        };
+        self.estimates.fill(0.0);
     }
 
-    /// Picks the engine for one gated cycle: `(run_parallel, timed)`.
-    /// When `timed`, the caller must report the cycle's wall-clock cost
-    /// via [`AdaptiveGate::feedback`].
-    pub(crate) fn decide(&mut self) -> (bool, bool) {
+    /// Maps a probe-sequence position to a candidate index: position 0 is
+    /// the committed candidate, the rest are the others in ascending
+    /// order.
+    fn probe_candidate(&self, pos: usize) -> usize {
+        if pos == 0 {
+            self.committed
+        } else {
+            // Skip the committed candidate in the ascending walk.
+            let i = pos - 1;
+            if i < self.committed {
+                i
+            } else {
+                i + 1
+            }
+        }
+    }
+
+    /// Picks the thread count for one gated cycle: `(threads, timed)`.
+    /// `threads == 1` means serial. When `timed`, the caller must report
+    /// the cycle's wall-clock cost via [`AdaptiveGate::feedback`].
+    pub(crate) fn decide(&mut self) -> (usize, bool) {
+        let max = *self.candidates.last().expect("at least one candidate");
         if !self.adaptive {
-            return (true, false);
+            return (max, false);
         }
         match &mut self.phase {
-            GatePhase::ProbeSelf(_) => (self.committed_parallel, true),
-            GatePhase::ProbeOther(_) => (!self.committed_parallel, true),
+            GatePhase::Probe { pos, .. } => {
+                let pos = *pos;
+                (self.candidates[self.probe_candidate(pos)], true)
+            }
             GatePhase::Committed(left) => {
                 if *left > 0 {
                     *left -= 1;
-                    (self.committed_parallel, false)
+                    (self.candidates[self.committed], false)
                 } else {
-                    self.phase = GatePhase::ProbeSelf(PROBE_CYCLES);
-                    (self.committed_parallel, true)
+                    self.phase = GatePhase::Probe {
+                        pos: 0,
+                        left: PROBE_CYCLES,
+                    };
+                    (self.candidates[self.committed], true)
                 }
             }
         }
     }
 
     /// Feeds one timed cycle back; advances the probe state machine and,
-    /// at the end of a review, re-commits with hysteresis.
-    pub(crate) fn feedback(&mut self, was_parallel: bool, ns: f64) {
-        let est = if was_parallel {
-            &mut self.parallel_ns
-        } else {
-            &mut self.serial_ns
-        };
-        *est = if *est == 0.0 {
-            ns
-        } else {
-            0.75 * *est + 0.25 * ns
-        };
-        match &mut self.phase {
-            GatePhase::ProbeSelf(left) => {
-                *left -= 1;
-                if *left == 0 {
-                    self.phase = GatePhase::ProbeOther(PROBE_CYCLES);
-                }
-            }
-            GatePhase::ProbeOther(left) => {
-                *left -= 1;
-                if *left == 0 {
-                    if self.committed_parallel {
-                        if self.parallel_ns > self.serial_ns {
-                            self.committed_parallel = false;
-                        }
-                    } else if self.parallel_ns < SWITCH_UP_MARGIN * self.serial_ns {
-                        self.committed_parallel = true;
-                    }
+    /// at the end of a review (every candidate probed), re-commits to the
+    /// fastest with hysteresis.
+    pub(crate) fn feedback(&mut self, threads: usize, ns: f64) {
+        if let Some(i) = self.candidates.iter().position(|&t| t == threads) {
+            let est = &mut self.estimates[i];
+            *est = if *est == 0.0 {
+                ns
+            } else {
+                0.75 * *est + 0.25 * ns
+            };
+        }
+        if let GatePhase::Probe { pos, left } = &mut self.phase {
+            *left -= 1;
+            if *left == 0 {
+                if *pos + 1 < self.candidates.len() {
+                    self.phase = GatePhase::Probe {
+                        pos: *pos + 1,
+                        left: PROBE_CYCLES,
+                    };
+                } else {
+                    self.commit();
                     self.phase = GatePhase::Committed(COMMIT_CYCLES);
                 }
             }
-            GatePhase::Committed(_) => {}
+        }
+    }
+
+    /// End-of-review commitment: the candidate with the lowest estimate
+    /// wins, but claiming *more* threads than currently committed
+    /// requires beating the incumbent by [`SWITCH_UP_MARGIN`].
+    fn commit(&mut self) {
+        let sampled = |i: usize| self.estimates[i] > 0.0;
+        let mut best = self.committed;
+        for i in 0..self.candidates.len() {
+            if !sampled(i) || i == best {
+                continue;
+            }
+            if self.estimates[i] < self.estimates[best] {
+                best = i;
+            }
+        }
+        if best == self.committed || !sampled(self.committed) {
+            self.committed = best;
+            return;
+        }
+        if self.candidates[best] > self.candidates[self.committed] {
+            if self.estimates[best] < SWITCH_UP_MARGIN * self.estimates[self.committed] {
+                self.committed = best;
+            }
+        } else if self.estimates[best] < self.estimates[self.committed] {
+            self.committed = best;
         }
     }
 }
@@ -1648,44 +1727,112 @@ mod tests {
         );
     }
 
+    /// Runs the gate for `cycles` gated cycles against a synthetic cost
+    /// model (ns per cycle as a function of thread count), returning the
+    /// last committed, untimed decision observed.
+    fn drive(gate: &mut AdaptiveGate, cycles: u32, cost: impl Fn(usize) -> f64) -> usize {
+        let mut last_committed = 0;
+        for _ in 0..cycles {
+            let (threads, timed) = gate.decide();
+            if timed {
+                gate.feedback(threads, cost(threads));
+            } else {
+                last_committed = threads;
+            }
+        }
+        last_committed
+    }
+
+    /// One full review (every candidate probed) plus a committed stretch.
+    const REVIEW: u32 = COMMIT_CYCLES + 3 * PROBE_CYCLES + 4;
+
     #[test]
-    fn adaptive_gate_probes_then_commits() {
-        let mut gate = AdaptiveGate::new(true);
-        // Parallel is 4× slower: the gate must fall back to serial.
-        for _ in 0..(2 * PROBE_CYCLES) {
-            let (par, timed) = gate.decide();
-            assert!(timed);
-            gate.feedback(par, if par { 4000.0 } else { 1000.0 });
-        }
-        let (par, timed) = gate.decide();
-        assert!(!par, "gate should have committed to serial");
-        assert!(!timed, "committed cycles are untimed");
-        // Drain the committed stretch; the next review re-probes parallel.
-        let mut saw_parallel = false;
-        for _ in 0..(COMMIT_CYCLES + 2 * PROBE_CYCLES + 4) {
-            let (par, timed) = gate.decide();
-            if timed {
-                gate.feedback(par, if par { 4000.0 } else { 1000.0 });
-            }
-            saw_parallel |= par;
-        }
-        assert!(saw_parallel, "reviews must keep probing the other engine");
-        // Now parallel wins by >10%: the gate must switch back.
-        for _ in 0..(COMMIT_CYCLES + 8 * PROBE_CYCLES) as usize {
-            let (par, timed) = gate.decide();
-            if timed {
-                gate.feedback(par, if par { 500.0 } else { 1000.0 });
-            }
-        }
-        let (par, _) = gate.decide();
-        assert!(par, "gate should have switched back to parallel");
+    fn adaptive_gate_commits_to_the_fastest_thread_count() {
+        let mut gate = AdaptiveGate::new(true, 8);
+        // Small-mesh regime: the full budget loses badly, two threads
+        // lose mildly — the gate must fall back to serial.
+        let committed = drive(&mut gate, 2 * REVIEW, |t| match t {
+            1 => 1000.0,
+            2 => 1500.0,
+            _ => 4000.0,
+        });
+        assert_eq!(committed, 1, "gate should have committed to serial");
+        // Two threads become the sweet spot (the 8×8 over-threading fix:
+        // neither serial nor the full budget wins, the middle does).
+        let committed = drive(&mut gate, 4 * REVIEW, |t| match t {
+            1 => 1000.0,
+            2 => 600.0,
+            _ => 1200.0,
+        });
+        assert_eq!(committed, 2, "gate should have committed to 2 threads");
+        // Load grows until the full budget wins by >10%: switch up.
+        let committed = drive(&mut gate, 4 * REVIEW, |t| match t {
+            1 => 4000.0,
+            2 => 2000.0,
+            _ => 900.0,
+        });
+        assert_eq!(committed, 8, "gate should have claimed the full budget");
+        // A <10% projected win must NOT unseat a smaller commitment
+        // (hysteresis): drop back to 2, then offer 8 a marginal edge.
+        let committed = drive(&mut gate, 4 * REVIEW, |t| match t {
+            1 => 2000.0,
+            2 => 1000.0,
+            _ => 1500.0,
+        });
+        assert_eq!(committed, 2);
+        let committed = drive(&mut gate, 4 * REVIEW, |t| match t {
+            1 => 2000.0,
+            2 => 1000.0,
+            _ => 950.0,
+        });
+        assert_eq!(committed, 2, "a sub-margin win must not claim more threads");
     }
 
     #[test]
-    fn non_adaptive_gate_is_always_parallel_untimed() {
-        let mut gate = AdaptiveGate::new(false);
+    fn adaptive_gate_keeps_probing_every_candidate() {
+        let mut gate = AdaptiveGate::new(true, 8);
+        // Commit to serial, then verify later reviews still time 2 and 8.
+        drive(
+            &mut gate,
+            2 * REVIEW,
+            |t| if t == 1 { 100.0 } else { 9000.0 },
+        );
+        let mut probed = [false; 3];
+        for _ in 0..(2 * REVIEW) {
+            let (threads, timed) = gate.decide();
+            if timed {
+                match threads {
+                    1 => probed[0] = true,
+                    2 => probed[1] = true,
+                    8 => probed[2] = true,
+                    other => panic!("unexpected candidate {other}"),
+                }
+                gate.feedback(threads, if threads == 1 { 100.0 } else { 9000.0 });
+            }
+        }
+        assert_eq!(
+            probed, [true; 3],
+            "reviews must keep probing every candidate"
+        );
+    }
+
+    #[test]
+    fn gate_candidates_deduplicate() {
+        // Budget 2: candidates collapse to {1, 2}.
+        let mut gate = AdaptiveGate::new(true, 2);
+        let committed = drive(&mut gate, 2 * REVIEW, |t| match t {
+            1 => 1000.0,
+            2 => 500.0,
+            other => panic!("budget-2 gate probed {other} threads"),
+        });
+        assert_eq!(committed, 2);
+    }
+
+    #[test]
+    fn non_adaptive_gate_is_always_full_budget_untimed() {
+        let mut gate = AdaptiveGate::new(false, 8);
         for _ in 0..100 {
-            assert_eq!(gate.decide(), (true, false));
+            assert_eq!(gate.decide(), (8, false));
         }
     }
 }

@@ -194,6 +194,19 @@ pub trait Router: Send {
         c
     }
 
+    /// Returns the router to its freshly constructed state *in place* —
+    /// buffers emptied, latches cleared, arbitration cursors rewound,
+    /// counters zeroed — without freeing backing storage, and reports
+    /// whether it did so. A `true` return is a strict contract: the
+    /// router's subsequent behaviour (and [`Router::save_state`] bytes)
+    /// must be indistinguishable from a router newly built by its factory
+    /// with the same configuration. The default `false` keeps unknown
+    /// implementations on the rebuild-from-factory path used by
+    /// [`Network::reset_from_config`](crate::network::Network::reset_from_config).
+    fn reset(&mut self) -> bool {
+        false
+    }
+
     /// Serializes the router's complete mutable state (buffers, latches,
     /// arbitration cursors, mode, counters) for a deterministic snapshot.
     ///

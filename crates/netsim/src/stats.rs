@@ -418,6 +418,17 @@ impl SlidingWindow {
             .min(len);
     }
 
+    /// Zeroes the window in place — contents, cursor, sum, and fill level
+    /// all return to the freshly constructed state — without touching the
+    /// backing allocation (the arena-reuse path relies on this being
+    /// allocation-free).
+    pub fn reset(&mut self) {
+        self.buf.fill(0);
+        self.next = 0;
+        self.sum = 0;
+        self.filled = 0;
+    }
+
     /// Serializes the window (contents and cursor) for a snapshot.
     pub fn save(&self, w: &mut SnapshotWriter) {
         w.put_usize(self.buf.len());

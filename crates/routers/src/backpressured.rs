@@ -765,6 +765,42 @@ impl Router for BackpressuredRouter {
         self.occ == 0 && !self.fa.has_pending_gossip()
     }
 
+    fn reset(&mut self) -> bool {
+        // Everything below is either cleared in place or config-derived
+        // (layout, options, eject bandwidth, tolerate_orphans), so the
+        // result is indistinguishable from `with_options` on the same
+        // configuration — and no backing storage is freed.
+        for port in PortId::ALL {
+            if let Some(vcs) = self.inputs[port].as_mut() {
+                for vc in vcs {
+                    vc.queue.clear();
+                    vc.route = None;
+                    vc.out_vc = None;
+                    vc.route_packet = None;
+                }
+            }
+            if let Some(outs) = self.outputs[port].as_mut() {
+                for (o, depth) in outs.iter_mut().zip(self.layout.depth_of.iter()) {
+                    o.allocated = false;
+                    o.credits = *depth;
+                }
+            }
+            if let Some(arb) = self.input_arb[port].as_mut() {
+                arb.set_cursor(0);
+            }
+            self.output_arb[port].set_cursor(0);
+        }
+        self.inject_vc.fill(None);
+        self.inject_rr.fill(0);
+        self.occ = 0;
+        self.port_occ = PortMap::default();
+        self.eligible_scratch.fill(false);
+        self.winners_scratch.clear();
+        self.fa.reset();
+        self.counters = ActivityCounters::new();
+        true
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
         for port in PortId::ALL {
             let Some(vcs) = self.inputs[port].as_ref() else {

@@ -456,6 +456,17 @@ impl Router for DeflectionRouter {
         self.latches.is_empty() && !self.fa.has_pending_gossip()
     }
 
+    fn reset(&mut self) -> bool {
+        // Latches and scratch clear in place; the engine and eject
+        // bandwidth are pure configuration.
+        self.latches.clear();
+        self.assign_scratch.clear();
+        self.blocked_scratch.clear();
+        self.fa.reset();
+        self.counters = ActivityCounters::new();
+        true
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
         w.put_usize(self.latches.len());
         for f in &self.latches {

@@ -210,6 +210,13 @@ impl Router for DropRouter {
         self.latches.is_empty() && !self.fa.has_pending_gossip()
     }
 
+    fn reset(&mut self) -> bool {
+        self.latches.clear();
+        self.fa.reset();
+        self.counters = ActivityCounters::new();
+        true
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
         w.put_usize(self.latches.len());
         for f in &self.latches {

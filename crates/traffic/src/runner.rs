@@ -59,6 +59,52 @@ impl RunOutcome {
     }
 }
 
+/// A store of post-warmup simulation snapshots, keyed by a warm-start
+/// fingerprint (see [`warm_key`]). Implemented by the sweep engine's
+/// warm cache; the runner only gets/puts sealed snapshot containers.
+///
+/// Correctness does not rest on the store: a hit is restored through
+/// [`Simulation::restore`], whose container checksum and embedded network
+/// fingerprint re-verify the bytes, and any refusal sends the run back to
+/// a cold warmup after [`WarmStore::invalidate`] — so a stale or corrupt
+/// entry can cost time, never bytes.
+pub trait WarmStore: Sync {
+    /// Looks up the sealed snapshot for `key`.
+    fn get(&self, key: u64) -> Option<std::sync::Arc<Vec<u8>>>;
+    /// Stores the sealed snapshot for `key`.
+    fn put(&self, key: u64, bytes: Vec<u8>);
+    /// Drops the entry for `key` (it failed re-verification).
+    fn invalidate(&self, key: u64);
+}
+
+/// Warm-start fingerprint: FNV-1a over every input that determines the
+/// post-warmup state — phase label, full network config (mesh, thresholds,
+/// fault plan, retransmit), mechanism name, seed, and the traffic/warmup
+/// parameters rendered via `Debug`. Two runs with equal keys are
+/// guaranteed byte-identical through warmup; anything that could diverge
+/// them must be part of `detail`.
+pub fn warm_key(phase: &str, net_cfg: &NetworkConfig, mechanism: &str, detail: &str) -> u64 {
+    let repr = format!("{phase}|{net_cfg:?}|{mechanism}|{detail}");
+    snapshot::fnv1a64(repr.as_bytes())
+}
+
+/// Reuses `arena` when it is arena-compatible with the requested run
+/// (same mechanism and config — see [`Network::reset_from_config`]),
+/// falling back to fresh construction.
+fn acquire_network(
+    arena: Option<Network>,
+    net_cfg: &NetworkConfig,
+    factory: &dyn RouterFactory,
+    seed: u64,
+) -> Result<Network, ConfigError> {
+    if let Some(mut net) = arena {
+        if net.reset_from_config(net_cfg, factory, seed) {
+            return Ok(net);
+        }
+    }
+    Network::new(net_cfg.clone(), factory, seed)
+}
+
 /// Closed-loop run: warm up for `warmup_txns` completed transactions, then
 /// measure the cycles needed to complete `measure_txns` more.
 ///
@@ -81,19 +127,93 @@ pub fn run_closed_loop(
     max_cycles: u64,
     seed: u64,
 ) -> Result<RunOutcome, ConfigError> {
-    let network = Network::new(net_cfg.clone(), factory, seed)?;
+    run_closed_loop_with(
+        None,
+        None,
+        factory,
+        net_cfg,
+        workload,
+        warmup_txns,
+        measure_txns,
+        max_cycles,
+        seed,
+    )
+}
+
+/// [`run_closed_loop`] with optional arena reuse and warm-start caching.
+///
+/// `arena` is a network to recycle in place when arena-compatible (it is
+/// consumed either way; reclaim the one in the returned
+/// [`RunOutcome::network`]). `warm` keys the post-warmup state — captured
+/// *before* [`Network::reset_metrics`] — by workload name, warmup target,
+/// seed, mechanism, and full config; a hit restores instead of
+/// re-simulating the warmup, then proceeds identically, so results are
+/// byte-identical to the cold path (the restore machinery re-verifies
+/// checksum and fingerprint, and a refused entry is invalidated and
+/// re-warmed cold).
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Network::new`].
+///
+/// # Panics
+///
+/// As [`run_closed_loop`], when a phase exceeds `max_cycles`.
+#[allow(clippy::too_many_arguments)] // a flat argument list mirrors the experiment's knobs
+pub fn run_closed_loop_with(
+    arena: Option<Network>,
+    warm: Option<&dyn WarmStore>,
+    factory: &dyn RouterFactory,
+    net_cfg: &NetworkConfig,
+    workload: WorkloadParams,
+    warmup_txns: u64,
+    measure_txns: u64,
+    max_cycles: u64,
+    seed: u64,
+) -> Result<RunOutcome, ConfigError> {
+    let key = warm_key(
+        "closed-loop",
+        net_cfg,
+        factory.name(),
+        &format!("{}|{warmup_txns}|{seed}", workload.name),
+    );
+
+    let network = acquire_network(arena, net_cfg, factory, seed)?;
     let nodes = network.mesh().node_count();
     let traffic = ClosedLoopTraffic::new(workload, nodes, seed);
     let mut sim = Simulation::new(network, traffic);
 
-    // Warmup.
-    sim.traffic.set_target(warmup_txns);
-    assert!(
-        sim.run_until_finished(max_cycles),
-        "warmup did not finish within {max_cycles} cycles ({} on {})",
-        workload.name,
-        sim.network.mechanism()
-    );
+    // Warmup: restored from the cache when possible, simulated otherwise.
+    let mut warmed = false;
+    if let Some(store) = warm {
+        if let Some(bytes) = store.get(key) {
+            match sim.restore(&bytes, "<warm cache>") {
+                Ok(()) => warmed = true,
+                Err(_) => {
+                    // A partial restore leaves the simulation indeterminate;
+                    // rebuild from scratch and warm up cold.
+                    store.invalidate(key);
+                    let network = Network::new(net_cfg.clone(), factory, seed)?;
+                    let traffic = ClosedLoopTraffic::new(workload, nodes, seed);
+                    sim = Simulation::new(network, traffic);
+                }
+            }
+        }
+    }
+    if !warmed {
+        sim.traffic.set_target(warmup_txns);
+        assert!(
+            sim.run_until_finished(max_cycles),
+            "warmup did not finish within {max_cycles} cycles ({} on {})",
+            workload.name,
+            sim.network.mechanism()
+        );
+        if let Some(store) = warm {
+            if let Ok(bytes) = sim.snapshot() {
+                store.put(key, bytes);
+            }
+        }
+    }
     sim.network.reset_metrics();
     let start = sim.network.now();
 
@@ -126,10 +246,73 @@ pub fn run_open_loop(
     measure_cycles: u64,
     seed: u64,
 ) -> Result<RunOutcome, ConfigError> {
-    let network = Network::new(net_cfg.clone(), factory, seed)?;
-    let traffic = OpenLoopTraffic::new(rates, pattern, mix, seed);
+    run_open_loop_with(
+        None,
+        None,
+        factory,
+        net_cfg,
+        rates,
+        pattern,
+        mix,
+        warmup_cycles,
+        measure_cycles,
+        seed,
+    )
+}
+
+/// [`run_open_loop`] with optional arena reuse and warm-start caching;
+/// the contract is exactly [`run_closed_loop_with`]'s, with the warm key
+/// covering rate spec, pattern, mix, warmup length, and seed.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Network::new`].
+#[allow(clippy::too_many_arguments)] // a flat argument list mirrors the experiment's knobs
+pub fn run_open_loop_with(
+    arena: Option<Network>,
+    warm: Option<&dyn WarmStore>,
+    factory: &dyn RouterFactory,
+    net_cfg: &NetworkConfig,
+    rates: RateSpec,
+    pattern: Pattern,
+    mix: PacketMix,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    seed: u64,
+) -> Result<RunOutcome, ConfigError> {
+    let key = warm_key(
+        "open-loop",
+        net_cfg,
+        factory.name(),
+        &format!("{rates:?}|{pattern:?}|{mix:?}|{warmup_cycles}|{seed}"),
+    );
+
+    let network = acquire_network(arena, net_cfg, factory, seed)?;
+    let traffic = OpenLoopTraffic::new(rates.clone(), pattern.clone(), mix, seed);
     let mut sim = Simulation::new(network, traffic);
-    sim.run(warmup_cycles);
+
+    let mut warmed = false;
+    if let Some(store) = warm {
+        if let Some(bytes) = store.get(key) {
+            match sim.restore(&bytes, "<warm cache>") {
+                Ok(()) => warmed = true,
+                Err(_) => {
+                    store.invalidate(key);
+                    let network = Network::new(net_cfg.clone(), factory, seed)?;
+                    let traffic = OpenLoopTraffic::new(rates, pattern, mix, seed);
+                    sim = Simulation::new(network, traffic);
+                }
+            }
+        }
+    }
+    if !warmed {
+        sim.run(warmup_cycles);
+        if let Some(store) = warm {
+            if let Ok(bytes) = sim.snapshot() {
+                store.put(key, bytes);
+            }
+        }
+    }
     sim.network.reset_metrics();
     sim.run(measure_cycles);
     Ok(RunOutcome::capture(sim.network, measure_cycles))
@@ -463,7 +646,39 @@ pub fn run_fault_scenario(
     drain_cycles: u64,
     seed: u64,
 ) -> Result<FaultRunOutcome, ConfigError> {
-    let network = Network::new(net_cfg.clone(), factory, seed)?;
+    run_fault_scenario_with(
+        None,
+        factory,
+        net_cfg,
+        rates,
+        pattern,
+        mix,
+        inject_cycles,
+        drain_cycles,
+        seed,
+    )
+}
+
+/// [`run_fault_scenario`] with optional arena reuse. No warm-start option:
+/// a fault scenario measures from cycle 0, so there is no warmup prefix to
+/// cache.
+///
+/// # Errors
+///
+/// As [`run_fault_scenario`].
+#[allow(clippy::too_many_arguments)] // a flat argument list mirrors the experiment's knobs
+pub fn run_fault_scenario_with(
+    arena: Option<Network>,
+    factory: &dyn RouterFactory,
+    net_cfg: &NetworkConfig,
+    rates: RateSpec,
+    pattern: Pattern,
+    mix: PacketMix,
+    inject_cycles: u64,
+    drain_cycles: u64,
+    seed: u64,
+) -> Result<FaultRunOutcome, ConfigError> {
+    let network = acquire_network(arena, net_cfg, factory, seed)?;
     let traffic = OpenLoopTraffic::new(rates, pattern, mix, seed);
     let mut sim = Simulation::new(network, traffic);
 
