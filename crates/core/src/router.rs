@@ -30,7 +30,7 @@
 use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
-use afc_netsim::fault_aware::{FaultAwareness, RouteOutcome};
+use afc_netsim::fault_aware::{FaultAwareness, LinkUpdate, RouteOutcome};
 use afc_netsim::flit::{Cycle, Flit, VcId};
 use afc_netsim::geom::{DirMap, Direction, NodeId, PortId, PortMap};
 use afc_netsim::rng::SimRng;
@@ -219,6 +219,23 @@ pub struct AfcRouter {
     /// Fault mask, gossip queue and alive-graph routing table (DESIGN.md
     /// §13); clean-state steps are byte-identical to the fault-free build.
     fa: FaultAwareness,
+    /// Set when the network injects link faults: the credit re-sync window
+    /// of a revived link can deliver an uncredited flit into a full bank,
+    /// which is then retired through the NACK path instead of panicking.
+    tolerate_faults: bool,
+    /// Tracked output ports whose credit pool is zeroed while the credit
+    /// re-sync handshake for a revived link is in flight (DESIGN.md §15).
+    /// The pool returns to full only on the downstream endpoint's
+    /// [`ControlSignal::CreditResync`].
+    resync_wait: DirMap<bool>,
+    /// Revived *input* links whose upstream endpoint still awaits our
+    /// `CreditResync` confirmation, keyed by input direction and carrying
+    /// the link epoch to echo. Sent once the port's bank is empty.
+    resync_pending: DirMap<Option<u32>>,
+    /// Flits that arrived into a full bank during a re-sync window
+    /// (fault-tolerant configs only); drained into the NACK path at the
+    /// next step.
+    overflow_scratch: Vec<Flit>,
 }
 
 impl AfcRouter {
@@ -284,6 +301,10 @@ impl AfcRouter {
             winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
             blocked_scratch: Vec::with_capacity(4),
             fa: FaultAwareness::new(node, mesh.clone()),
+            tolerate_faults: !net.faults.is_empty(),
+            resync_wait: DirMap::default(),
+            resync_pending: DirMap::default(),
+            overflow_scratch: Vec::new(),
             cfg,
         };
         if always {
@@ -367,10 +388,53 @@ impl AfcRouter {
                 self.counters.buffer_writes += 1;
                 self.buffered += 1;
             }
+            None if self.tolerate_faults => {
+                // A revived link's re-sync window can deliver an uncredited
+                // flit into a full bank (the upstream's pool is zeroed, but
+                // a deflection overflow may be forced to sink into the
+                // port). Retire it through the structured NACK path — the
+                // source NI retransmits — instead of wedging the run.
+                self.counters.drops += 1;
+                self.overflow_scratch.push(flit);
+            }
             None => panic!(
                 "lazy-credit violation: vnet {vnet} full at {} port {port}",
                 self.node
             ),
+        }
+    }
+
+    /// Reacts to an alive-state transition of a link incident to this
+    /// router (learned locally from the engine's detector or remotely via
+    /// gossip): runs this router's half of the credit re-sync handshake
+    /// (DESIGN.md §15). Mask updates and route rebuilds already happened
+    /// inside [`FaultAwareness`].
+    fn apply_link_update(&mut self, update: &LinkUpdate) {
+        if let Some((d, alive, _epoch)) = update.local_out {
+            if alive && self.tracking[d] {
+                // Own tracked output link revived: in-flight credits were
+                // lost with the link and the downstream bank may still
+                // hold pre-kill flits, so the pool is unknown. Zero it and
+                // hold the port out of arbitration until the downstream
+                // endpoint confirms its bank drained (CreditResync). An
+                // untracked link needs no handshake: the next
+                // StartCreditTracking re-seeds the pool from a provably
+                // empty bank.
+                for c in self.credits[d].iter_mut() {
+                    *c = 0;
+                }
+                self.resync_wait[d] = true;
+            } else if !alive {
+                // Killed (again): abandon any handshake in progress; the
+                // next revival restarts it under a higher epoch.
+                self.resync_wait[d] = false;
+            }
+        }
+        if let Some((d, alive, epoch)) = update.local_in {
+            // Link entering this router through input port `d`: on revival
+            // the upstream endpoint waits for our confirmation that its
+            // pre-kill flits drained from our bank before resuming.
+            self.resync_pending[d] = alive.then_some(epoch);
         }
     }
 
@@ -463,6 +527,19 @@ impl AfcRouter {
             self.fa
                 .fill_blocked(self.engine.dirs(), flits.len(), &mut blocked);
         }
+        // Hold revived links mid-handshake out of the deflection port set
+        // too (this runs even when the fault view is clean again — the
+        // handshake outlives the healed state by a few cycles): their
+        // credit pools are zeroed, so an arbitration there would be an
+        // uncredited send. Relaxed under the same overflow rule as dead
+        // links when more flits remain than open ports — the sink is then
+        // a real uncredited delivery that the downstream bank absorbs
+        // through its fault-tolerant overflow path.
+        for &d in self.engine.dirs() {
+            if self.resync_wait[d] && flits.len() + blocked.len() < self.engine.degree() {
+                blocked.push(d);
+            }
+        }
         self.counters.arbitrations += flits.len() as u64;
         if self.fa.is_clean() {
             self.engine
@@ -493,7 +570,11 @@ impl AfcRouter {
                 a.flit.deflections = a.flit.deflections.saturating_add(1);
                 self.counters.deflections += 1;
             }
-            if self.tracking[a.dir] {
+            if self.tracking[a.dir] && !self.resync_wait[a.dir] {
+                // During a re-sync wait the pool is floored at zero and the
+                // rare forced send is accounted by the downstream overflow
+                // path, so the decrement (and its underflow assert) is
+                // skipped.
                 let c = &mut self.credits[a.dir][a.flit.vnet.index()];
                 debug_assert!(*c > 0, "gossip threshold must prevent credit underflow");
                 *c = c.saturating_sub(1);
@@ -620,7 +701,13 @@ impl AfcRouter {
                     };
                     let ok = match route {
                         PortId::Local => true,
-                        PortId::Net(d) => !self.tracking[d] || self.credits[d][vnet] > 0,
+                        // A port mid-handshake is ineligible even if stale
+                        // drain credits trickled in: sending before the
+                        // CreditResync lands would break its
+                        // nothing-in-flight precondition.
+                        PortId::Net(d) => {
+                            !self.resync_wait[d] && (!self.tracking[d] || self.credits[d][vnet] > 0)
+                        }
                     };
                     if ok {
                         eligible[flat_base + slot] = Some(route);
@@ -750,22 +837,50 @@ impl Router for AfcRouter {
         match signal {
             ControlSignal::StartCreditTracking => {
                 self.tracking[d] = true;
-                // The switching neighbor's buffers start out empty.
+                // The switching neighbor's buffers start out empty — which
+                // also supersedes any credit re-sync still in flight for a
+                // revived link: a full pool over an empty bank is exact.
                 self.credits[d] = self.vnet_capacity.iter().map(|c| *c as u64).collect();
+                self.resync_wait[d] = false;
             }
             ControlSignal::StopCreditTracking => {
                 self.tracking[d] = false;
+                // The neighbor only reverse-switches with empty buffers,
+                // so an in-flight re-sync handshake is moot.
+                self.resync_wait[d] = false;
+            }
+            ControlSignal::CreditResync { node, dir, epoch } => {
+                if node == self.node
+                    && self.resync_wait[dir]
+                    && epoch == self.fa.link_epoch(self.node, dir)
+                {
+                    // The downstream bank is empty and nothing is in
+                    // flight (the port sat out arbitration throughout the
+                    // wait), so a full pool is exactly correct.
+                    self.credits[dir] = self.vnet_capacity.iter().map(|c| *c as u64).collect();
+                    self.resync_wait[dir] = false;
+                }
             }
             ControlSignal::LinkFault { .. } => {
-                if self.fa.on_control(signal, now) {
+                if let Some(update) = self.fa.on_control(signal, now) {
                     self.counters.fault_notices += 1;
+                    self.apply_link_update(&update);
                 }
             }
         }
     }
 
-    fn note_link_fault(&mut self, dir: Direction, now: Cycle) {
-        self.fa.learn(self.node, dir, now);
+    fn note_link_event(
+        &mut self,
+        node: NodeId,
+        dir: Direction,
+        epoch: u32,
+        alive: bool,
+        now: Cycle,
+    ) {
+        if let Some(update) = self.fa.learn(node, dir, epoch, alive, now) {
+            self.apply_link_update(&update);
+        }
     }
 
     fn injection_ready(&self, flit: &Flit, now: Cycle) -> bool {
@@ -796,10 +911,42 @@ impl Router for AfcRouter {
         let sample = self.flits_this_cycle;
         self.flits_this_cycle = 0;
         self.monitor.record_cycle(sample);
-        if !self.fa.is_clean() {
-            // At most 2 fault facts + 1 mode signal per cycle fit the
-            // 4-slot control lane with slack.
+        if !self.overflow_scratch.is_empty() {
+            // Re-sync-window arrivals that found a full bank: hand them to
+            // the engine's NACK circuit for retransmission.
+            out.dropped.append(&mut self.overflow_scratch);
+        }
+        if self.fa.has_pending_gossip() {
+            // At most 2 fault facts + 1 mode signal + 1 credit re-sync per
+            // cycle fit the 4-slot control lane exactly. Gossip is gated
+            // on the queue, not on cleanliness: revival facts keep
+            // flooding after the fault view empties.
             self.fa.drain_gossip(out);
+        }
+        // Downstream half of the credit re-sync handshake: once a revived
+        // input port's bank has drained every pre-kill flit, tell the
+        // upstream endpoint its credit pool may return to full. One signal
+        // per cycle keeps the control lane within LANE_CAP.
+        for d in Direction::ALL {
+            let Some(epoch) = self.resync_pending[d] else {
+                continue;
+            };
+            if self.buffers[PortId::Net(d)]
+                .as_ref()
+                .is_some_and(|b| b.total_occupied != 0)
+            {
+                continue;
+            }
+            if let Some(up) = self.mesh.neighbor(self.node, d) {
+                out.control.push(ControlSignal::CreditResync {
+                    node: up,
+                    dir: d.opposite(),
+                    epoch,
+                });
+                self.counters.control_sends += 1;
+            }
+            self.resync_pending[d] = None;
+            break;
         }
 
         // Complete an in-flight forward transition.
@@ -886,6 +1033,7 @@ impl Router for AfcRouter {
             + self.eligible_scratch.capacity() * size_of::<Option<PortId>>()
             + self.winners_scratch.capacity() * size_of::<(PortId, usize, PortId)>()
             + self.blocked_scratch.capacity() * size_of::<Direction>()
+            + self.overflow_scratch.capacity() * size_of::<Flit>()
             + self.engine.heap_bytes()
             + self.fa.heap_bytes()
     }
@@ -926,9 +1074,13 @@ impl Router for AfcRouter {
         if self.flits_this_cycle != 0 || !self.monitor.is_idle_replayable() {
             return false;
         }
-        if self.fa.has_pending_gossip() {
-            // Pending fault gossip keeps the router live so the flood
-            // drains even with no traffic.
+        if self.fa.has_pending_gossip()
+            || !self.overflow_scratch.is_empty()
+            || self.resync_pending.iter().any(|(_, p)| p.is_some())
+        {
+            // Pending fault gossip, an undrained overflow, or an unsent
+            // credit re-sync keeps the router live so each reaches the
+            // wire even with no traffic.
             return false;
         }
         match self.mode {
@@ -1008,6 +1160,9 @@ impl Router for AfcRouter {
         self.winners_scratch.clear();
         self.blocked_scratch.clear();
         self.fa.reset();
+        self.resync_wait = DirMap::default();
+        self.resync_pending = DirMap::default();
+        self.overflow_scratch.clear();
         if self.cfg.always_backpressured {
             self.mode = AfcMode::Backpressured;
             for d in Direction::ALL {
@@ -1069,6 +1224,20 @@ impl Router for AfcRouter {
             for c in &self.credits[d] {
                 w.put_u64(*c);
             }
+        }
+        for d in Direction::ALL {
+            w.put_bool(self.resync_wait[d]);
+            match self.resync_pending[d] {
+                Some(e) => {
+                    w.put_bool(true);
+                    w.put_u32(e);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_usize(self.overflow_scratch.len());
+        for f in &self.overflow_scratch {
+            snapshot::write_flit(w, f);
         }
         self.counters.save(w);
         self.fa.save(w);
@@ -1155,6 +1324,24 @@ impl Router for AfcRouter {
                 }
                 self.credits[d][v] = c;
             }
+        }
+        for d in Direction::ALL {
+            self.resync_wait[d] = r.get_bool("afc resync wait")?;
+            self.resync_pending[d] = if r.get_bool("afc resync pending presence")? {
+                Some(r.get_u32("afc resync pending epoch")?)
+            } else {
+                None
+            };
+        }
+        let n = r.get_usize("afc overflow count")?;
+        if n > PortId::ALL.len() {
+            return Err(SnapshotError::Malformed {
+                what: "afc overflow count",
+            });
+        }
+        self.overflow_scratch.clear();
+        for _ in 0..n {
+            self.overflow_scratch.push(snapshot::read_flit(r)?);
         }
         self.counters = ActivityCounters::load(r)?;
         self.fa.load(r)?;

@@ -43,13 +43,34 @@ pub enum ControlSignal {
     /// The downstream router has switched to backpressureless mode: stop
     /// counting credits and treat its buffers as empty.
     StopCreditTracking,
-    /// The directed link leaving `node` toward `dir` is dead. Flooded
-    /// hop-by-hop; receivers deduplicate and rebroadcast new facts.
+    /// The directed link leaving `node` toward `dir` transitioned to
+    /// `alive` at epoch `epoch`. Flooded hop-by-hop; receivers keep only
+    /// the highest epoch per link, so a revival supersedes a kill (and
+    /// vice versa) regardless of gossip arrival order (DESIGN.md §15).
     LinkFault {
-        /// Upstream endpoint of the dead link.
+        /// Upstream endpoint of the affected link.
         node: NodeId,
-        /// Outgoing direction of the dead link at `node`.
+        /// Outgoing direction of the affected link at `node`.
         dir: Direction,
+        /// Monotonic per-link epoch of the transition (1-based).
+        epoch: u32,
+        /// New alive state of the link.
+        alive: bool,
+    },
+    /// Credit re-sync handshake (DESIGN.md §15): the downstream router's
+    /// input buffers on the revived link `node -> dir` have fully drained,
+    /// so the upstream router may reset that output port's credit counters
+    /// to full. Sent once per revival epoch, on the revived link's own
+    /// reverse lane — FIFO lane ordering guarantees every stale drain
+    /// credit arrives before this signal.
+    CreditResync {
+        /// Upstream endpoint of the revived link (the signal's addressee).
+        node: NodeId,
+        /// Outgoing direction of the revived link at `node`.
+        dir: Direction,
+        /// Revival epoch this handshake belongs to (stale handshakes from
+        /// an earlier revival are ignored).
+        epoch: u32,
     },
 }
 
@@ -164,10 +185,23 @@ fn write_control(w: &mut SnapshotWriter, s: ControlSignal) {
     match s {
         ControlSignal::StartCreditTracking => w.put_u8(0),
         ControlSignal::StopCreditTracking => w.put_u8(1),
-        ControlSignal::LinkFault { node, dir } => {
+        ControlSignal::LinkFault {
+            node,
+            dir,
+            epoch,
+            alive,
+        } => {
             w.put_u8(2);
             w.put_usize(node.index());
             w.put_u8(dir.index() as u8);
+            w.put_u32(epoch);
+            w.put_bool(alive);
+        }
+        ControlSignal::CreditResync { node, dir, epoch } => {
+            w.put_u8(3);
+            w.put_usize(node.index());
+            w.put_u8(dir.index() as u8);
+            w.put_u32(epoch);
         }
     }
 }
@@ -183,7 +217,24 @@ fn read_control(r: &mut SnapshotReader<'_>) -> Result<ControlSignal, SnapshotErr
                     what: "control fault direction",
                 },
             )?;
-            ControlSignal::LinkFault { node, dir }
+            let epoch = r.get_u32("control fault epoch")?;
+            let alive = r.get_bool("control fault alive")?;
+            ControlSignal::LinkFault {
+                node,
+                dir,
+                epoch,
+                alive,
+            }
+        }
+        3 => {
+            let node = NodeId::new(r.get_usize("control resync node")?);
+            let dir = Direction::from_index(r.get_u8("control resync direction")? as usize).ok_or(
+                SnapshotError::Malformed {
+                    what: "control resync direction",
+                },
+            )?;
+            let epoch = r.get_u32("control resync epoch")?;
+            ControlSignal::CreditResync { node, dir, epoch }
         }
         _ => {
             return Err(SnapshotError::Malformed {

@@ -1,20 +1,36 @@
-//! Shared fault-awareness state for fault-tolerant routing (DESIGN.md §13).
+//! Shared fault-awareness state for fault-tolerant routing (DESIGN.md §13)
+//! and self-healing reconvergence (DESIGN.md §15).
 //!
 //! Every router embeds a [`FaultAwareness`]: the per-router record of which
 //! directed links are known dead, the gossip queue that floods new facts to
 //! neighbors over the control sideband, and a routing table over the *alive*
-//! graph that replaces dimension-ordered routing once any fault is known.
+//! graph that replaces dimension-ordered routing while any fault is known.
+//!
+//! ## Epoch-versioned facts
+//!
+//! Each directed link carries a monotonic **epoch**: the 1-based index of
+//! its alive-state transitions in the fault plan (epoch 0 is the implicit
+//! initial alive state; see [`FaultPlan::link_timeline`]
+//! (crate::faults::FaultPlan::link_timeline)). A fault fact is the triple
+//! `(link, epoch, alive)`; a router accepts a fact only when its epoch
+//! exceeds the stored one, so a revival supersedes a kill — and vice versa —
+//! regardless of gossip arrival order. Stale facts still in flight when a
+//! link revives are rejected on arrival instead of resurrecting the dead
+//! state. Accepted alive facts are *retained* (never purged): purging would
+//! reset the link's epoch floor to 0 and let a delayed low-epoch kill fact
+//! be re-accepted, permanently wedging the router in degraded mode.
 //!
 //! ## Determinism contract
 //!
 //! Fault knowledge changes only through two deterministic inputs: the
-//! engine's kill-detection schedule (a pure function of the fault plan) and
-//! [`ControlSignal::LinkFault`] gossip arriving over channels. The alive
-//! routing table is a pure function of the `known_dead` set, rebuilt lazily;
-//! no randomness, no wall clock. While the set is empty ([`is_clean`]
-//! (FaultAwareness::is_clean)), routers MUST take their historical routing
-//! paths untouched — fault-free runs stay bit-identical to builds that
-//! predate this module.
+//! engine's link-event detection schedule (a pure function of the fault
+//! plan) and [`ControlSignal::LinkFault`] gossip arriving over channels. The
+//! alive routing table is a pure function of the fact map, rebuilt lazily;
+//! no randomness, no wall clock. While no link is believed dead
+//! ([`is_clean`](FaultAwareness::is_clean)), routers MUST take their
+//! historical routing paths untouched — fault-free runs stay bit-identical
+//! to builds that predate this module, and a fully-healed router is
+//! byte-identical in behavior to one that never faulted.
 //!
 //! ## Routing rule
 //!
@@ -32,12 +48,12 @@ use crate::geom::{DirMap, Direction, NodeId};
 use crate::router::RouterOutputs;
 use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::topology::Mesh;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Fault notifications rebroadcast per router per cycle. The reverse-lane
 /// slot capacity is [`LANE_CAP`](crate::channel::LANE_CAP) = 4 and a router
-/// emits at most one mode-control signal per cycle, so 2 fault signals
-/// always fit with slack.
+/// emits at most one mode-control signal and at most one credit-resync
+/// signal per cycle, so 2 fault signals always fit with slack.
 pub const GOSSIP_PER_CYCLE: usize = 2;
 
 /// Next-hop table entry: direction index, local delivery, or unreachable.
@@ -55,24 +71,51 @@ pub enum RouteOutcome {
     Unreachable,
 }
 
+/// The stored state of one directed link: highest epoch seen and the alive
+/// state that epoch carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LinkFact {
+    epoch: u32,
+    alive: bool,
+}
+
+/// What a newly accepted fault fact changed *locally* — returned from
+/// [`FaultAwareness::learn`] so routers can trigger mechanism-specific
+/// reactions (port unmasking, credit re-sync) without `FaultAwareness`
+/// knowing any mechanism's internals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkUpdate {
+    /// This node's own output link changed: `(direction, new alive state,
+    /// epoch)`.
+    pub local_out: Option<(Direction, bool, u32)>,
+    /// An input port of this node changed (the link feeding it transitioned):
+    /// `(local input direction, new alive state, epoch)`.
+    pub local_in: Option<(Direction, bool, u32)>,
+}
+
 /// Per-router fault mask, gossip queue and alive-graph routing table.
 #[derive(Debug, Clone)]
 pub struct FaultAwareness {
     node: NodeId,
     mesh: Mesh,
-    /// Known-dead output links at this node (`known_dead` entries owned by
-    /// this node), cached for O(1) port masking.
+    /// Believed-dead output links at this node, cached for O(1) port
+    /// masking.
     dead_out: DirMap<bool>,
-    /// Input ports fed by a known-dead link. Once a link's death is known
-    /// here, no flit can ever arrive on that port again (kills are absolute
-    /// and detection happens strictly after the kill), which is what makes
-    /// orphaned-wormhole cleanup on these ports provably safe.
+    /// Input ports fed by a believed-dead link. While a link's death is
+    /// known here, no flit can arrive on that port (kills are absolute
+    /// until revival, and detection happens strictly after the kill), which
+    /// is what makes orphaned-wormhole cleanup on these ports provably
+    /// safe.
     dead_in: DirMap<bool>,
-    /// Every directed dead link this router knows about, network-wide.
-    /// Ordered so snapshots and table rebuilds are deterministic.
-    known_dead: BTreeSet<(usize, u8)>,
-    /// Dead links queued for rebroadcast to all neighbors.
-    pending_gossip: VecDeque<(NodeId, Direction)>,
+    /// Highest-epoch fact per directed link, network-wide. Ordered so
+    /// snapshots and table rebuilds are deterministic. Alive facts are
+    /// retained to keep the epoch floor monotonic (module docs).
+    facts: BTreeMap<(usize, u8), LinkFact>,
+    /// Number of facts whose state is dead — `is_clean()` is this reaching
+    /// zero, which re-enables the exact legacy-DOR fast path.
+    dead_count: usize,
+    /// Facts queued for rebroadcast to all neighbors.
+    pending_gossip: VecDeque<(NodeId, Direction, u32, bool)>,
     /// Per-destination next hop over the alive graph (`HOP_*` encoding);
     /// rebuilt lazily after fault knowledge changes.
     table: Vec<u8>,
@@ -90,7 +133,8 @@ impl FaultAwareness {
             mesh,
             dead_out: DirMap::default(),
             dead_in: DirMap::default(),
-            known_dead: BTreeSet::new(),
+            facts: BTreeMap::new(),
+            dead_count: 0,
             pending_gossip: VecDeque::new(),
             table: Vec::new(),
             dirty: false,
@@ -98,50 +142,90 @@ impl FaultAwareness {
         }
     }
 
-    /// True while no fault is known — routers must use their historical
-    /// (DOR) routing paths so fault-free runs stay bit-identical.
+    /// True while no link is believed dead — routers must use their
+    /// historical (DOR) routing paths so fault-free runs stay bit-identical
+    /// and a fully-healed network reconverges to the exact clean fast path.
     #[inline]
     pub fn is_clean(&self) -> bool {
-        self.known_dead.is_empty()
+        self.dead_count == 0
     }
 
-    /// Whether this node's output link toward `dir` is known dead.
+    /// Whether this node's output link toward `dir` is believed dead.
     #[inline]
     pub fn dead_out(&self, dir: Direction) -> bool {
         self.dead_out[dir]
     }
 
-    /// Whether the input port from `dir` is fed by a known-dead link.
+    /// Whether the input port from `dir` is fed by a believed-dead link.
     #[inline]
     pub fn dead_in(&self, dir: Direction) -> bool {
         self.dead_in[dir]
     }
 
-    /// Records that the directed link `node -> dir` is dead. Returns `true`
-    /// if this was new knowledge (the fact is then queued for gossip).
-    pub fn learn(&mut self, node: NodeId, dir: Direction, now: Cycle) -> bool {
-        if !self.known_dead.insert((node.index(), dir.index() as u8)) {
-            return false;
+    /// Records an epoch-versioned fact about the directed link
+    /// `node -> dir`. Returns `Some` when the fact's epoch exceeds the
+    /// stored one (new knowledge: it is applied, queued for gossip, and
+    /// the local mask changes are reported); `None` for a stale or
+    /// duplicate fact.
+    pub fn learn(
+        &mut self,
+        node: NodeId,
+        dir: Direction,
+        epoch: u32,
+        alive: bool,
+        now: Cycle,
+    ) -> Option<LinkUpdate> {
+        let key = (node.index(), dir.index() as u8);
+        let prev = self.facts.get(&key).copied();
+        if epoch <= prev.map_or(0, |f| f.epoch) {
+            return None;
         }
+        let was_alive = prev.is_none_or(|f| f.alive);
+        self.facts.insert(key, LinkFact { epoch, alive });
+        match (was_alive, alive) {
+            (true, false) => self.dead_count += 1,
+            (false, true) => self.dead_count -= 1,
+            _ => {}
+        }
+        let mut update = LinkUpdate::default();
         if node == self.node {
-            self.dead_out[dir] = true;
-            self.first_fault_at.get_or_insert(now);
+            self.dead_out[dir] = !alive;
+            if !alive {
+                self.first_fault_at.get_or_insert(now);
+            }
+            update.local_out = Some((dir, alive, epoch));
         }
         if self.mesh.neighbor(node, dir) == Some(self.node) {
-            self.dead_in[dir.opposite()] = true;
+            self.dead_in[dir.opposite()] = !alive;
+            update.local_in = Some((dir.opposite(), alive, epoch));
         }
-        self.pending_gossip.push_back((node, dir));
+        self.pending_gossip.push_back((node, dir, epoch, alive));
         self.dirty = true;
-        true
+        Some(update)
     }
 
-    /// Handles a control-sideband signal; returns `true` when it was a
-    /// [`ControlSignal::LinkFault`] carrying new knowledge.
-    pub fn on_control(&mut self, signal: ControlSignal, now: Cycle) -> bool {
+    /// Handles a control-sideband signal; returns `Some` when it was a
+    /// [`ControlSignal::LinkFault`] carrying new knowledge (see
+    /// [`FaultAwareness::learn`]). [`ControlSignal::CreditResync`] is a
+    /// router-level handshake, not a routing fact, and is ignored here.
+    pub fn on_control(&mut self, signal: ControlSignal, now: Cycle) -> Option<LinkUpdate> {
         match signal {
-            ControlSignal::LinkFault { node, dir } => self.learn(node, dir, now),
-            _ => false,
+            ControlSignal::LinkFault {
+                node,
+                dir,
+                epoch,
+                alive,
+            } => self.learn(node, dir, epoch, alive, now),
+            _ => None,
         }
+    }
+
+    /// The epoch stored for the directed link `node -> dir` (0 when no fact
+    /// is held — the implicit initial alive state).
+    pub fn link_epoch(&self, node: NodeId, dir: Direction) -> u32 {
+        self.facts
+            .get(&(node.index(), dir.index() as u8))
+            .map_or(0, |f| f.epoch)
     }
 
     /// True while fault facts await rebroadcast (the owning router must not
@@ -155,10 +239,15 @@ impl FaultAwareness {
     /// sideband (the engine broadcasts each to every neighbor).
     pub fn drain_gossip(&mut self, out: &mut RouterOutputs) {
         for _ in 0..GOSSIP_PER_CYCLE {
-            let Some((node, dir)) = self.pending_gossip.pop_front() else {
+            let Some((node, dir, epoch, alive)) = self.pending_gossip.pop_front() else {
                 return;
             };
-            out.control.push(ControlSignal::LinkFault { node, dir });
+            out.control.push(ControlSignal::LinkFault {
+                node,
+                dir,
+                epoch,
+                alive,
+            });
         }
     }
 
@@ -208,20 +297,21 @@ impl FaultAwareness {
     /// the only O(mesh) piece and stays unallocated until the first fault
     /// is learned, so clean runs cost O(1) per router here.
     pub fn heap_bytes(&self) -> usize {
-        self.known_dead.len() * std::mem::size_of::<(usize, u8)>()
-            + self.pending_gossip.capacity() * std::mem::size_of::<(NodeId, Direction)>()
+        self.facts.len() * std::mem::size_of::<((usize, u8), LinkFact)>()
+            + self.pending_gossip.capacity() * std::mem::size_of::<(NodeId, Direction, u32, bool)>()
             + self.table.capacity()
     }
 
     /// Returns the awareness state to clean (fault-free) in place: every
-    /// mask, the known-dead set, the gossip queue, and the first-fault
-    /// anchor are cleared, exactly as freshly constructed. The next-hop
-    /// table keeps its allocation but is emptied (it is rebuilt lazily and
-    /// never consulted while clean).
+    /// mask, the fact map, the gossip queue, and the first-fault anchor are
+    /// cleared, exactly as freshly constructed. The next-hop table keeps
+    /// its allocation but is emptied (it is rebuilt lazily and never
+    /// consulted while clean).
     pub fn reset(&mut self) {
         self.dead_out = DirMap::default();
         self.dead_in = DirMap::default();
-        self.known_dead.clear();
+        self.facts.clear();
+        self.dead_count = 0;
         self.pending_gossip.clear();
         self.table.clear();
         self.dirty = false;
@@ -281,10 +371,12 @@ impl FaultAwareness {
         self.dirty = false;
     }
 
-    /// Whether the directed link `from -> dir` is in the known-dead set.
+    /// Whether the directed link `from -> dir` is believed dead.
     #[inline]
     fn link_dead(&self, from: NodeId, dir: Direction) -> bool {
-        self.known_dead.contains(&(from.index(), dir.index() as u8))
+        self.facts
+            .get(&(from.index(), dir.index() as u8))
+            .is_some_and(|f| !f.alive)
     }
 
     /// Tie-break order for next-hop selection: productive X then productive
@@ -307,19 +399,23 @@ impl FaultAwareness {
         order
     }
 
-    /// Serializes the fault state (known-dead set, gossip queue, first-fault
+    /// Serializes the fault state (fact map, gossip queue, first-fault
     /// cycle). The routing table and cached masks are derived state and are
     /// rebuilt on load.
     pub fn save(&self, w: &mut SnapshotWriter) {
-        w.put_usize(self.known_dead.len());
-        for &(node, dir) in &self.known_dead {
+        w.put_usize(self.facts.len());
+        for (&(node, dir), fact) in &self.facts {
             w.put_usize(node);
             w.put_u8(dir);
+            w.put_u32(fact.epoch);
+            w.put_bool(fact.alive);
         }
         w.put_usize(self.pending_gossip.len());
-        for &(node, dir) in &self.pending_gossip {
+        for &(node, dir, epoch, alive) in &self.pending_gossip {
             w.put_usize(node.index());
             w.put_u8(dir.index() as u8);
+            w.put_u32(epoch);
+            w.put_bool(alive);
         }
         match self.first_fault_at {
             Some(cycle) => {
@@ -334,32 +430,40 @@ impl FaultAwareness {
     /// derived masks and marking the routing table for rebuild.
     pub fn load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
         let nodes = self.mesh.node_count();
-        let known = r.get_usize("fault-awareness known-dead count")?;
-        self.known_dead.clear();
+        let known = r.get_usize("fault-awareness fact count")?;
+        self.facts.clear();
+        self.dead_count = 0;
         self.dead_out = DirMap::default();
         self.dead_in = DirMap::default();
         self.pending_gossip.clear();
         self.first_fault_at = None;
         for _ in 0..known {
-            let node = r.get_usize("fault-awareness dead node")?;
-            let dir = r.get_u8("fault-awareness dead direction")?;
-            if node >= nodes || Direction::from_index(dir as usize).is_none() {
+            let node = r.get_usize("fault-awareness fact node")?;
+            let dir = r.get_u8("fault-awareness fact direction")?;
+            let epoch = r.get_u32("fault-awareness fact epoch")?;
+            let alive = r.get_bool("fault-awareness fact alive")?;
+            if node >= nodes || Direction::from_index(dir as usize).is_none() || epoch == 0 {
                 return Err(SnapshotError::Malformed {
-                    what: "fault-awareness dead link",
+                    what: "fault-awareness fact",
                 });
             }
-            self.known_dead.insert((node, dir));
+            self.facts.insert((node, dir), LinkFact { epoch, alive });
+            if !alive {
+                self.dead_count += 1;
+            }
             let d = Direction::from_index(dir as usize).expect("checked above");
             if node == self.node.index() {
-                self.dead_out[d] = true;
+                self.dead_out[d] = !alive;
             }
             if self.mesh.neighbor(NodeId::new(node), d) == Some(self.node) {
-                self.dead_in[d.opposite()] = true;
+                self.dead_in[d.opposite()] = !alive;
             }
         }
         for _ in 0..r.get_usize("fault-awareness gossip count")? {
             let node = r.get_usize("fault-awareness gossip node")?;
             let dir = r.get_u8("fault-awareness gossip direction")?;
+            let epoch = r.get_u32("fault-awareness gossip epoch")?;
+            let alive = r.get_bool("fault-awareness gossip alive")?;
             let Some(d) = Direction::from_index(dir as usize) else {
                 return Err(SnapshotError::Malformed {
                     what: "fault-awareness gossip direction",
@@ -370,12 +474,13 @@ impl FaultAwareness {
                     what: "fault-awareness gossip node",
                 });
             }
-            self.pending_gossip.push_back((NodeId::new(node), d));
+            self.pending_gossip
+                .push_back((NodeId::new(node), d, epoch, alive));
         }
         if r.get_bool("fault-awareness first-fault presence")? {
             self.first_fault_at = Some(r.get_u64("fault-awareness first-fault cycle")?);
         }
-        self.dirty = !self.known_dead.is_empty();
+        self.dirty = !self.facts.is_empty();
         self.table.clear();
         Ok(())
     }
@@ -401,13 +506,23 @@ mod tests {
     fn learn_marks_masks_and_queues_gossip() {
         let mesh = mesh3();
         let mut fa = FaultAwareness::new(NodeId::new(4), mesh);
-        assert!(fa.learn(NodeId::new(4), Direction::East, 10));
-        assert!(!fa.learn(NodeId::new(4), Direction::East, 11), "dedup");
+        let up = fa
+            .learn(NodeId::new(4), Direction::East, 1, false, 10)
+            .unwrap();
+        assert_eq!(up.local_out, Some((Direction::East, false, 1)));
+        assert!(
+            fa.learn(NodeId::new(4), Direction::East, 1, false, 11)
+                .is_none(),
+            "dedup"
+        );
         assert!(fa.dead_out(Direction::East));
         assert!(fa.has_pending_gossip());
         assert_eq!(fa.first_fault_at(), Some(10));
         // Node 3 -> East feeds node 4's West input port.
-        assert!(fa.learn(NodeId::new(3), Direction::East, 12));
+        let up = fa
+            .learn(NodeId::new(3), Direction::East, 1, false, 12)
+            .unwrap();
+        assert_eq!(up.local_in, Some((Direction::West, false, 1)));
         assert!(fa.dead_in(Direction::West));
         let mut out = RouterOutputs::new();
         fa.drain_gossip(&mut out);
@@ -416,12 +531,56 @@ mod tests {
     }
 
     #[test]
+    fn revival_supersedes_kill_regardless_of_arrival_order() {
+        let mesh = mesh3();
+        let mut fa = FaultAwareness::new(NodeId::new(4), mesh);
+        // In-order: kill (epoch 1) then revival (epoch 2).
+        assert!(fa
+            .learn(NodeId::new(4), Direction::East, 1, false, 10)
+            .is_some());
+        assert!(!fa.is_clean());
+        let up = fa
+            .learn(NodeId::new(4), Direction::East, 2, true, 50)
+            .unwrap();
+        assert_eq!(up.local_out, Some((Direction::East, true, 2)));
+        assert!(fa.is_clean(), "all links alive again");
+        assert!(!fa.dead_out(Direction::East));
+        // Out-of-order: a stale kill fact (epoch 1) arriving after the
+        // revival is rejected — the revival wins regardless of order.
+        assert!(fa
+            .learn(NodeId::new(4), Direction::East, 1, false, 60)
+            .is_none());
+        assert!(fa.is_clean());
+        assert_eq!(fa.link_epoch(NodeId::new(4), Direction::East), 2);
+        // A later kill (epoch 3) is accepted normally.
+        assert!(fa
+            .learn(NodeId::new(4), Direction::East, 3, false, 70)
+            .is_some());
+        assert!(!fa.is_clean());
+    }
+
+    #[test]
+    fn revival_first_then_stale_kill_never_wedges() {
+        // Gossip can deliver the revival (epoch 2) before the kill
+        // (epoch 1) it supersedes; the kill must be dropped on arrival.
+        let mut fa = FaultAwareness::new(NodeId::new(0), mesh3());
+        assert!(fa
+            .learn(NodeId::new(4), Direction::East, 2, true, 5)
+            .is_some());
+        assert!(fa.is_clean());
+        assert!(fa
+            .learn(NodeId::new(4), Direction::East, 1, false, 9)
+            .is_none());
+        assert!(fa.is_clean(), "stale kill must not resurrect the fault");
+    }
+
+    #[test]
     fn routes_around_a_single_dead_link() {
         // Kill 3 -> East (center row, westmost link). Node 3 must still
         // reach node 5 (same row, east side) by detouring through an
         // adjacent row.
         let mut fa = FaultAwareness::new(NodeId::new(3), mesh3());
-        fa.learn(NodeId::new(3), Direction::East, 0);
+        fa.learn(NodeId::new(3), Direction::East, 1, false, 0);
         match fa.route(NodeId::new(5)) {
             RouteOutcome::Dir(d) => {
                 assert!(d == Direction::North || d == Direction::South, "got {d:?}")
@@ -436,12 +595,24 @@ mod tests {
     }
 
     #[test]
+    fn healed_table_routes_like_dor_again() {
+        let mut fa = FaultAwareness::new(NodeId::new(3), mesh3());
+        fa.learn(NodeId::new(3), Direction::East, 1, false, 0);
+        assert_ne!(fa.route(NodeId::new(5)), RouteOutcome::Dir(Direction::East));
+        fa.learn(NodeId::new(3), Direction::East, 2, true, 40);
+        assert!(fa.is_clean());
+        // Callers stop consulting route() while clean, but if they did the
+        // rebuilt table must agree with DOR again.
+        assert_eq!(fa.route(NodeId::new(5)), RouteOutcome::Dir(Direction::East));
+    }
+
+    #[test]
     fn fully_cut_destination_is_unreachable() {
         // Kill every link entering node 8 (southeast corner).
         let mesh = mesh3();
         let mut fa = FaultAwareness::new(NodeId::new(0), mesh);
-        fa.learn(NodeId::new(7), Direction::East, 0);
-        fa.learn(NodeId::new(5), Direction::South, 0);
+        fa.learn(NodeId::new(7), Direction::East, 1, false, 0);
+        fa.learn(NodeId::new(5), Direction::South, 1, false, 0);
         assert_eq!(fa.route(NodeId::new(8)), RouteOutcome::Unreachable);
         // Other destinations unaffected.
         assert_eq!(fa.route(NodeId::new(4)), RouteOutcome::Dir(Direction::East));
@@ -452,7 +623,7 @@ mod tests {
         // No faults relevant to 0 -> 8 paths except one that forces a
         // rebuild; the table's hop for 8 must be the DOR X-first hop East.
         let mut fa = FaultAwareness::new(NodeId::new(0), mesh3());
-        fa.learn(NodeId::new(8), Direction::North, 0);
+        fa.learn(NodeId::new(8), Direction::North, 1, false, 0);
         assert_eq!(fa.route(NodeId::new(8)), RouteOutcome::Dir(Direction::East));
     }
 
@@ -460,8 +631,8 @@ mod tests {
     fn blocked_dirs_relax_under_overflow() {
         let mesh = mesh3();
         let mut fa = FaultAwareness::new(NodeId::new(4), mesh);
-        fa.learn(NodeId::new(4), Direction::East, 0);
-        fa.learn(NodeId::new(4), Direction::West, 0);
+        fa.learn(NodeId::new(4), Direction::East, 1, false, 0);
+        fa.learn(NodeId::new(4), Direction::West, 1, false, 0);
         let dirs = [
             Direction::North,
             Direction::South,
@@ -481,8 +652,9 @@ mod tests {
     fn snapshot_round_trip_is_byte_identical() {
         let mesh = mesh3();
         let mut fa = FaultAwareness::new(NodeId::new(4), mesh.clone());
-        fa.learn(NodeId::new(4), Direction::East, 7);
-        fa.learn(NodeId::new(0), Direction::South, 9);
+        fa.learn(NodeId::new(4), Direction::East, 1, false, 7);
+        fa.learn(NodeId::new(0), Direction::South, 1, false, 9);
+        fa.learn(NodeId::new(0), Direction::South, 2, true, 20);
         let mut w = SnapshotWriter::new();
         fa.save(&mut w);
         let bytes = w.into_bytes();
@@ -495,20 +667,38 @@ mod tests {
         assert_eq!(bytes, w2.into_bytes());
         assert!(restored.dead_out(Direction::East));
         assert!(restored.has_pending_gossip());
+        assert_eq!(restored.link_epoch(NodeId::new(0), Direction::South), 2);
+        assert!(!restored.is_clean());
         assert_eq!(restored.route(NodeId::new(5)), fa.route(NodeId::new(5)));
     }
 
     #[test]
     fn gossip_signal_round_trips_through_on_control() {
         let mut fa = FaultAwareness::new(NodeId::new(0), mesh3());
-        assert!(fa.on_control(
-            ControlSignal::LinkFault {
-                node: NodeId::new(4),
-                dir: Direction::East,
-            },
-            3,
-        ));
-        assert!(!fa.on_control(ControlSignal::StartCreditTracking, 4));
+        assert!(fa
+            .on_control(
+                ControlSignal::LinkFault {
+                    node: NodeId::new(4),
+                    dir: Direction::East,
+                    epoch: 1,
+                    alive: false,
+                },
+                3,
+            )
+            .is_some());
+        assert!(fa
+            .on_control(ControlSignal::StartCreditTracking, 4)
+            .is_none());
+        assert!(fa
+            .on_control(
+                ControlSignal::CreditResync {
+                    node: NodeId::new(0),
+                    dir: Direction::East,
+                    epoch: 2,
+                },
+                5,
+            )
+            .is_none());
         assert!(!fa.is_clean());
         assert_eq!(fa.first_fault_at(), None, "remote faults are not local");
     }

@@ -137,9 +137,20 @@ pub enum LinkFaultKind {
         /// Active interval.
         window: FaultWindow,
     },
-    /// Permanently kill the link: nothing arrives from cycle `at` onward.
+    /// Permanently kill the link: nothing arrives from cycle `at` onward
+    /// (until a matching [`LinkFaultKind::ReviveAt`] at or after `at`
+    /// supersedes the kill).
     KillAt {
         /// Cycle of the kill.
+        at: Cycle,
+    },
+    /// Revive the link at cycle `at`: any kill whose cycle is `<= at` is
+    /// superseded from `at` onward (a revive and a kill scheduled for the
+    /// same cycle resolve in the revive's favor). Traffic flows normally
+    /// again; the repair plane notifies both endpoints `detection_delay`
+    /// cycles later so routing state re-converges (DESIGN.md §15).
+    ReviveAt {
+        /// Cycle of the revival.
         at: Cycle,
     },
     /// Drop each arriving credit with probability `rate` inside `window`.
@@ -291,6 +302,119 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a revival of the directed link `from -> dir` at `at`.
+    pub fn revive_link(mut self, from: NodeId, dir: Direction, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Link { from, dir },
+            kind: LinkFaultKind::ReviveAt { at },
+        });
+        self
+    }
+
+    /// Adds a revival of every link entering or leaving `node` at `at`.
+    pub fn revive_node(mut self, node: NodeId, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Node { node },
+            kind: LinkFaultKind::ReviveAt { at },
+        });
+        self
+    }
+
+    /// Adds a revival of every link leaving row `y` at `at`.
+    pub fn revive_row(mut self, y: u16, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Row { y },
+            kind: LinkFaultKind::ReviveAt { at },
+        });
+        self
+    }
+
+    /// Adds a revival of every link leaving column `x` at `at`.
+    pub fn revive_column(mut self, x: u16, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Column { x },
+            kind: LinkFaultKind::ReviveAt { at },
+        });
+        self
+    }
+
+    /// Adds a revival of every link leaving the inclusive rectangle
+    /// `[x0, x1] × [y0, y1]` at `at`.
+    pub fn revive_region(mut self, x0: u16, y0: u16, x1: u16, y1: u16, at: Cycle) -> FaultPlan {
+        self.link_faults.push(LinkFault {
+            selector: LinkSelector::Region { x0, y0, x1, y1 },
+            kind: LinkFaultKind::ReviveAt { at },
+        });
+        self
+    }
+
+    /// Pairs every `KillAt` fault already in the plan with a `ReviveAt` of
+    /// the same selector `after` cycles later — the CLI's `--revive-after`
+    /// semantics: every kill heals on a fixed delay.
+    pub fn with_revive_after(mut self, after: Cycle) -> FaultPlan {
+        let revives: Vec<LinkFault> = self
+            .link_faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                LinkFaultKind::KillAt { at } => Some(LinkFault {
+                    selector: f.selector,
+                    kind: LinkFaultKind::ReviveAt {
+                        at: at.saturating_add(after),
+                    },
+                }),
+                _ => None,
+            })
+            .collect();
+        self.link_faults.extend(revives);
+        self
+    }
+
+    /// Appends a deterministic churn schedule: every `period` cycles one
+    /// pseudo-randomly chosen directed link is killed, then revived
+    /// `duty * period` cycles later, until `horizon`. The schedule is a
+    /// pure function of `(mesh, seed, period, duty, horizon)` — only
+    /// `KillAt`/`ReviveAt` entries are produced, so the plan stays
+    /// deterministic and parallel-engine eligible.
+    pub fn with_churn(
+        mut self,
+        mesh: &Mesh,
+        seed: u64,
+        period: Cycle,
+        duty: f64,
+        horizon: Cycle,
+    ) -> FaultPlan {
+        assert!(period > 0, "churn period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&duty),
+            "churn duty must be in [0, 1], got {duty}"
+        );
+        let mut rng = SimRng::seed_from(seed ^ 0x6368_7572_6e00);
+        let dead_for = ((period as f64) * duty).round() as Cycle;
+        let mut at = period;
+        while at < horizon {
+            // Rejection-sample a directed link that exists in the mesh.
+            let (from, dir) = loop {
+                let node = NodeId::new(rng.gen_range(mesh.node_count() as u64) as usize);
+                let dir = Direction::ALL[rng.gen_range(4) as usize];
+                if mesh.neighbor(node, dir).is_some() {
+                    break (node, dir);
+                }
+            };
+            self.link_faults.push(LinkFault {
+                selector: LinkSelector::Link { from, dir },
+                kind: LinkFaultKind::KillAt { at },
+            });
+            self.link_faults.push(LinkFault {
+                selector: LinkSelector::Link { from, dir },
+                kind: LinkFaultKind::ReviveAt {
+                    at: at.saturating_add(dead_for),
+                },
+            });
+            at = at.saturating_add(period);
+        }
+        self
+    }
+
     /// Overrides the link-kill detection latency.
     pub fn with_detection_delay(mut self, cycles: Cycle) -> FaultPlan {
         self.detection_delay = cycles;
@@ -298,16 +422,27 @@ impl FaultPlan {
     }
 
     /// True when the plan's entire effect is a pure function of the cycle
-    /// counter: only permanent link kills, no probabilistic faults, no
-    /// router stalls. Deterministic plans never draw from the fault RNG and
-    /// never create held-back flits, which is what lets the engine keep the
-    /// activity-tracked and intra-run-parallel paths enabled under them.
+    /// counter: only permanent link kills and revivals, no probabilistic
+    /// faults, no router stalls. Deterministic plans never draw from the
+    /// fault RNG and never create held-back flits, which is what lets the
+    /// engine keep the activity-tracked and intra-run-parallel paths
+    /// enabled under them.
     pub fn is_deterministic(&self) -> bool {
         self.router_stalls.is_empty()
-            && self
-                .link_faults
-                .iter()
-                .all(|f| matches!(f.kind, LinkFaultKind::KillAt { .. }))
+            && self.link_faults.iter().all(|f| {
+                matches!(
+                    f.kind,
+                    LinkFaultKind::KillAt { .. } | LinkFaultKind::ReviveAt { .. }
+                )
+            })
+    }
+
+    /// True when any fault in the plan is a revival (the repair plane is
+    /// active).
+    pub fn has_revivals(&self) -> bool {
+        self.link_faults
+            .iter()
+            .any(|f| matches!(f.kind, LinkFaultKind::ReviveAt { .. }))
     }
 
     /// Earliest cycle at which the directed link `from -> dir` is
@@ -323,12 +458,102 @@ impl FaultPlan {
             .min()
     }
 
-    /// The deterministic link-kill detection schedule: one entry per killed
-    /// directed link, `(detect_cycle, upstream node, direction)`, sorted by
-    /// `(cycle, node, dir)`. `detect_cycle = kill_at + detection_delay`
-    /// (saturating). The engine dispatches each entry once, notifying the
-    /// upstream router so it can mask the output and gossip the fault.
-    pub fn kill_schedule(&self, mesh: &Mesh) -> Vec<(Cycle, NodeId, Direction)> {
+    /// Whether a matching revival supersedes a kill of `from -> dir` taken
+    /// at `kill_at`, as observed at `now`: true iff some `ReviveAt` covers
+    /// the link with `kill_at <= at <= now` (the inclusive lower bound is
+    /// the revive-wins-ties rule). Draws no randomness, so kill-only plans
+    /// are byte-identical with or without this check.
+    fn revived_since(
+        &self,
+        mesh: &Mesh,
+        from: NodeId,
+        dir: Direction,
+        kill_at: Cycle,
+        now: Cycle,
+    ) -> bool {
+        self.link_faults.iter().any(|f| match f.kind {
+            LinkFaultKind::ReviveAt { at } => {
+                kill_at <= at && at <= now && f.selector.matches(mesh, from, dir)
+            }
+            _ => false,
+        })
+    }
+
+    /// The alive-state transition timeline of the directed link
+    /// `from -> dir`: `(cycle, alive)` entries in increasing cycle order,
+    /// starting from the implicit alive state at cycle 0 (which is *not* an
+    /// entry). The 1-based index of each transition is the link's **epoch**
+    /// at and after that cycle — the monotonic version number fault gossip
+    /// carries so a revival supersedes a kill (and vice versa) regardless
+    /// of arrival order. Kills and revivals scheduled for the same cycle
+    /// coalesce in the revival's favor.
+    pub fn link_timeline(&self, mesh: &Mesh, from: NodeId, dir: Direction) -> Vec<(Cycle, bool)> {
+        let mut events: Vec<(Cycle, bool)> = self
+            .link_faults
+            .iter()
+            .filter(|f| f.selector.matches(mesh, from, dir))
+            .filter_map(|f| match f.kind {
+                LinkFaultKind::KillAt { at } => Some((at, false)),
+                LinkFaultKind::ReviveAt { at } => Some((at, true)),
+                _ => None,
+            })
+            .collect();
+        if events.is_empty() {
+            return events;
+        }
+        // Within one cycle a revival wins; sorting kills first makes the
+        // last state seen at each cycle the winning one.
+        events.sort_unstable_by_key(|&(at, alive)| (at, alive));
+        let mut timeline = Vec::new();
+        let mut i = 0;
+        let mut alive = true;
+        while i < events.len() {
+            let cycle = events[i].0;
+            let mut state = alive;
+            while i < events.len() && events[i].0 == cycle {
+                state = events[i].1;
+                i += 1;
+            }
+            if state != alive {
+                alive = state;
+                timeline.push((cycle, alive));
+            }
+        }
+        timeline
+    }
+
+    /// The half-open cycle intervals `[dead_from, alive_from)` during which
+    /// the directed link `from -> dir` is dead (the last interval ends at
+    /// `Cycle::MAX` if the link never revives). The parallel engine's fault
+    /// plane consumes this — for deterministic plans an interval test is
+    /// exactly equivalent to [`FaultPlan::flit_fate`].
+    pub fn dead_windows(&self, mesh: &Mesh, from: NodeId, dir: Direction) -> Vec<(Cycle, Cycle)> {
+        let mut windows = Vec::new();
+        let mut dead_from = None;
+        for (cycle, alive) in self.link_timeline(mesh, from, dir) {
+            if alive {
+                if let Some(start) = dead_from.take() {
+                    windows.push((start, cycle));
+                }
+            } else {
+                dead_from = Some(cycle);
+            }
+        }
+        if let Some(start) = dead_from {
+            windows.push((start, Cycle::MAX));
+        }
+        windows
+    }
+
+    /// The deterministic link-event detection schedule: one entry per
+    /// alive-state *transition* of each directed link, sorted by
+    /// `(detect_cycle, node, dir, epoch)`. `detect_cycle = transition_at +
+    /// detection_delay` (saturating). The engine dispatches each entry
+    /// once: a death to the upstream router (which masks the output and
+    /// gossips the fact), a revival to both endpoints (the upstream router
+    /// unmasks and re-gossips; the downstream router clears its input mask
+    /// and starts the credit re-sync handshake).
+    pub fn event_schedule(&self, mesh: &Mesh) -> Vec<LinkEvent> {
         let mut schedule = Vec::new();
         if self.link_faults.is_empty() {
             return schedule;
@@ -338,13 +563,43 @@ impl FaultPlan {
                 if mesh.neighbor(node, dir).is_none() {
                     continue;
                 }
-                if let Some(at) = self.first_kill_at(mesh, node, dir) {
-                    schedule.push((at.saturating_add(self.detection_delay), node, dir));
+                for (i, (at, alive)) in self.link_timeline(mesh, node, dir).into_iter().enumerate()
+                {
+                    schedule.push(LinkEvent {
+                        detect_at: at.saturating_add(self.detection_delay),
+                        node,
+                        dir,
+                        alive,
+                        epoch: (i + 1) as u32,
+                    });
                 }
             }
         }
-        schedule.sort_unstable_by_key(|&(cycle, node, dir)| (cycle, node.index(), dir.index()));
+        schedule.sort_unstable_by_key(|e| (e.detect_at, e.node.index(), e.dir.index(), e.epoch));
         schedule
+    }
+
+    /// The deterministic link-kill detection schedule: the dead-transition
+    /// entries of [`FaultPlan::event_schedule`] as `(detect_cycle, upstream
+    /// node, direction)` tuples.
+    pub fn kill_schedule(&self, mesh: &Mesh) -> Vec<(Cycle, NodeId, Direction)> {
+        self.event_schedule(mesh)
+            .into_iter()
+            .filter(|e| !e.alive)
+            .map(|e| (e.detect_at, e.node, e.dir))
+            .collect()
+    }
+
+    /// The deterministic link-revival detection schedule: the
+    /// alive-transition entries of [`FaultPlan::event_schedule`] as
+    /// `(detect_cycle, upstream node, direction)` tuples — symmetric to
+    /// [`FaultPlan::kill_schedule`].
+    pub fn revive_schedule(&self, mesh: &Mesh) -> Vec<(Cycle, NodeId, Direction)> {
+        self.event_schedule(mesh)
+            .into_iter()
+            .filter(|e| e.alive)
+            .map(|e| (e.detect_at, e.node, e.dir))
+            .collect()
     }
 
     /// Adds uniform credit loss on every link for the whole run.
@@ -417,7 +672,7 @@ impl FaultPlan {
                 LinkFaultKind::TransientDrop { rate, window }
                 | LinkFaultKind::TransientCorrupt { rate, window }
                 | LinkFaultKind::CreditLoss { rate, window } => (rate, Some(window)),
-                LinkFaultKind::KillAt { .. } => (0.0, None),
+                LinkFaultKind::KillAt { .. } | LinkFaultKind::ReviveAt { .. } => (0.0, None),
             };
             if !(0.0..=1.0).contains(&rate) {
                 return Err(ConfigError::OutOfRange {
@@ -461,7 +716,11 @@ impl FaultPlan {
                 continue;
             }
             match f.kind {
-                LinkFaultKind::KillAt { at } if now >= at => return FlitFate::Drop,
+                LinkFaultKind::KillAt { at }
+                    if now >= at && !self.revived_since(mesh, from, dir, at, now) =>
+                {
+                    return FlitFate::Drop;
+                }
                 LinkFaultKind::TransientDrop { rate, window }
                     if window.contains(now) && rate > 0.0 && rng.gen_bool(rate) =>
                 {
@@ -492,7 +751,11 @@ impl FaultPlan {
                 continue;
             }
             match f.kind {
-                LinkFaultKind::KillAt { at } if now >= at => return true,
+                LinkFaultKind::KillAt { at }
+                    if now >= at && !self.revived_since(mesh, from, dir, at, now) =>
+                {
+                    return true;
+                }
                 LinkFaultKind::CreditLoss { rate, window }
                     if window.contains(now) && rate > 0.0 && rng.gen_bool(rate) =>
                 {
@@ -503,6 +766,25 @@ impl FaultPlan {
         }
         false
     }
+}
+
+/// One entry of the deterministic link-event detection schedule: the
+/// directed link `node -> dir` transitioned to `alive` (epoch `epoch`) and
+/// the engine reports it at `detect_at` (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// Cycle the engine dispatches the notification (transition cycle plus
+    /// the plan's detection delay).
+    pub detect_at: Cycle,
+    /// Upstream endpoint of the link.
+    pub node: NodeId,
+    /// Outgoing direction at the upstream endpoint.
+    pub dir: Direction,
+    /// New alive state of the link.
+    pub alive: bool,
+    /// Monotonic per-link epoch of the transition (1-based; epoch 0 is the
+    /// implicit initial alive state).
+    pub epoch: u32,
 }
 
 /// Outcome of evaluating the fault plane for one arriving flit.
@@ -791,5 +1073,164 @@ mod tests {
         // Center of a 3x3: 4 outgoing + 4 incoming directed links.
         assert_eq!(schedule.len(), 8);
         assert!(schedule.iter().all(|&(cycle, _, _)| cycle == 50));
+    }
+
+    #[test]
+    fn revival_supersedes_kill_in_flit_fate() {
+        let plan = FaultPlan::none()
+            .kill_link(NodeId::new(3), Direction::North, 50)
+            .revive_link(NodeId::new(3), Direction::North, 200);
+        let mesh = mesh3();
+        let mut rng = SimRng::seed_from(3);
+        let mut fate = |now| plan.flit_fate(&mesh, NodeId::new(3), Direction::North, now, &mut rng);
+        assert_eq!(fate(49), FlitFate::Deliver);
+        assert_eq!(fate(50), FlitFate::Drop);
+        assert_eq!(fate(199), FlitFate::Drop);
+        // The revival cycle itself is alive (half-open dead window).
+        assert_eq!(fate(200), FlitFate::Deliver);
+        assert_eq!(fate(10_000), FlitFate::Deliver);
+        let mut rng = SimRng::seed_from(3);
+        assert!(plan.credit_lost(&mesh, NodeId::new(3), Direction::North, 199, &mut rng));
+        assert!(!plan.credit_lost(&mesh, NodeId::new(3), Direction::North, 200, &mut rng));
+        assert!(plan.is_deterministic(), "revivals stay parallel-eligible");
+        assert!(plan.has_revivals());
+        assert!(!FaultPlan::none()
+            .kill_link(NodeId::new(3), Direction::North, 50)
+            .has_revivals());
+    }
+
+    #[test]
+    fn same_cycle_tie_goes_to_the_revival() {
+        let plan = FaultPlan::none()
+            .kill_link(NodeId::new(1), Direction::East, 80)
+            .revive_link(NodeId::new(1), Direction::East, 80);
+        let mesh = mesh3();
+        // The coalesced timeline has no transition at all: the link never
+        // observably dies.
+        assert!(plan
+            .link_timeline(&mesh, NodeId::new(1), Direction::East)
+            .is_empty());
+        assert!(plan
+            .dead_windows(&mesh, NodeId::new(1), Direction::East)
+            .is_empty());
+        let mut rng = SimRng::seed_from(4);
+        assert_eq!(
+            plan.flit_fate(&mesh, NodeId::new(1), Direction::East, 80, &mut rng),
+            FlitFate::Deliver
+        );
+    }
+
+    #[test]
+    fn link_timeline_coalesces_and_orders_transitions() {
+        let plan = FaultPlan::none()
+            .kill_link(NodeId::new(0), Direction::East, 300)
+            // Redundant second kill while already dead: no transition.
+            .kill_link(NodeId::new(0), Direction::East, 350)
+            .revive_link(NodeId::new(0), Direction::East, 500)
+            .kill_link(NodeId::new(0), Direction::East, 700);
+        let mesh = mesh3();
+        assert_eq!(
+            plan.link_timeline(&mesh, NodeId::new(0), Direction::East),
+            vec![(300, false), (500, true), (700, false)]
+        );
+        assert_eq!(
+            plan.dead_windows(&mesh, NodeId::new(0), Direction::East),
+            vec![(300, 500), (700, Cycle::MAX)]
+        );
+        // An unrelated link has an empty timeline.
+        assert!(plan
+            .link_timeline(&mesh, NodeId::new(0), Direction::South)
+            .is_empty());
+    }
+
+    #[test]
+    fn event_schedule_epochs_are_monotonic_per_link() {
+        let plan = FaultPlan::none()
+            .kill_link(NodeId::new(4), Direction::West, 100)
+            .revive_link(NodeId::new(4), Direction::West, 250)
+            .kill_link(NodeId::new(4), Direction::West, 400)
+            .kill_link(NodeId::new(0), Direction::East, 150)
+            .with_detection_delay(10);
+        let mesh = mesh3();
+        let schedule = plan.event_schedule(&mesh);
+        assert_eq!(schedule.len(), 4);
+        // Sorted by detection cycle across links.
+        assert!(schedule
+            .windows(2)
+            .all(|w| w[0].detect_at <= w[1].detect_at));
+        let west: Vec<&LinkEvent> = schedule
+            .iter()
+            .filter(|e| e.node == NodeId::new(4) && e.dir == Direction::West)
+            .collect();
+        assert_eq!(
+            west.iter()
+                .map(|e| (e.detect_at, e.epoch, e.alive))
+                .collect::<Vec<_>>(),
+            vec![(110, 1, false), (260, 2, true), (410, 3, false)]
+        );
+        // The other link's epoch numbering is independent.
+        let east: Vec<&LinkEvent> = schedule
+            .iter()
+            .filter(|e| e.node == NodeId::new(0) && e.dir == Direction::East)
+            .collect();
+        assert_eq!(
+            east.iter()
+                .map(|e| (e.detect_at, e.epoch, e.alive))
+                .collect::<Vec<_>>(),
+            vec![(160, 1, false)]
+        );
+        // revive_schedule / kill_schedule are the alive/dead projections.
+        assert_eq!(
+            plan.revive_schedule(&mesh),
+            vec![(260, NodeId::new(4), Direction::West)]
+        );
+        assert_eq!(plan.kill_schedule(&mesh).len(), 3);
+    }
+
+    #[test]
+    fn with_revive_after_heals_every_kill_shape() {
+        let plan = FaultPlan::none()
+            .kill_node(NodeId::new(4), 50)
+            .kill_row(0, 100)
+            .with_revive_after(75);
+        let mesh = mesh3();
+        let kills = plan.kill_schedule(&mesh);
+        let revives = plan.revive_schedule(&mesh);
+        assert!(!kills.is_empty());
+        assert_eq!(kills.len(), revives.len());
+        // Every directed link's dead window is exactly 75 cycles wide.
+        for node in mesh.nodes() {
+            for dir in Direction::ALL {
+                for (kill, revive) in plan.dead_windows(&mesh, node, dir) {
+                    assert_eq!(revive - kill, 75, "link {node:?} {dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_is_a_pure_function_of_its_arguments() {
+        let mesh = mesh3();
+        let a = FaultPlan::none().with_churn(&mesh, 9, 100, 0.5, 1_000);
+        let b = FaultPlan::none().with_churn(&mesh, 9, 100, 0.5, 1_000);
+        assert_eq!(a.event_schedule(&mesh), b.event_schedule(&mesh));
+        let c = FaultPlan::none().with_churn(&mesh, 10, 100, 0.5, 1_000);
+        assert_ne!(a.event_schedule(&mesh), c.event_schedule(&mesh));
+        // Every churn kill is paired with a revival 50 cycles later, and
+        // nothing is scheduled at or past the horizon.
+        assert!(a.is_deterministic());
+        let events = a.event_schedule(&mesh);
+        assert!(!events.is_empty());
+        let (kills, revives): (Vec<&LinkEvent>, Vec<&LinkEvent>) =
+            events.iter().partition(|e| !e.alive);
+        assert_eq!(kills.len(), revives.len());
+        for node in mesh.nodes() {
+            for dir in Direction::ALL {
+                for (kill, revive) in a.dead_windows(&mesh, node, dir) {
+                    assert!((100..1_000).contains(&kill));
+                    assert_eq!(revive, kill + 50);
+                }
+            }
+        }
     }
 }

@@ -18,7 +18,7 @@ use crate::channel::Channel;
 use crate::config::NetworkConfig;
 use crate::counters::ActivityCounters;
 use crate::error::SimError;
-use crate::faults::{FaultEvent, FaultEventKind, FlitFate};
+use crate::faults::{FaultEvent, FaultEventKind, FlitFate, LinkEvent};
 use crate::flit::{Cycle, Flit, PacketId};
 use crate::geom::{DirMap, Direction, NodeId, PortId};
 use crate::ni::{NodeInterface, UnreachablePacket};
@@ -289,9 +289,9 @@ pub struct Network {
     /// Log of injected faults (capped at [`Network::FAULT_LOG_CAP`]).
     pub(crate) fault_log: Vec<FaultEvent>,
     /// Deterministic fault-detection schedule derived from the fault plan's
-    /// permanent kills: `(detection cycle, upstream node, direction)` in
-    /// firing order. Static per configuration — not snapshotted.
-    detect_schedule: Vec<(Cycle, NodeId, Direction)>,
+    /// alive-state timeline (kills *and* revivals), in firing order with
+    /// per-link epochs. Static per configuration — not snapshotted.
+    detect_schedule: Vec<LinkEvent>,
     /// Next [`Network::detect_schedule`] entry to fire (derived from `now`
     /// on snapshot load).
     detect_next: usize,
@@ -383,6 +383,12 @@ impl Network {
     /// Maximum fault events retained in the fault log.
     pub const FAULT_LOG_CAP: usize = 65_536;
 
+    /// Maximum [`UnreachablePacket`] records retained; the log is a ring —
+    /// the *oldest* records are dropped past the cap, and
+    /// [`NetworkStats::unreachable_records_dropped`] counts the evictions.
+    /// Long churn runs would otherwise grow the log without bound.
+    pub const UNREACHABLE_LOG_CAP: usize = 16_384;
+
     /// Builds a network from a validated configuration, a router factory and
     /// an RNG seed.
     ///
@@ -453,7 +459,7 @@ impl Network {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(config.sim_threads);
-        let detect_schedule = config.faults.kill_schedule(&mesh);
+        let detect_schedule = config.faults.event_schedule(&mesh);
         let modes_cache: Vec<RouterMode> = routers.iter().map(|r| r.mode()).collect();
         let mut mode_counts = [0u64; 3];
         for m in &modes_cache {
@@ -695,7 +701,7 @@ impl Network {
             + self.nack_queue.capacity() * size_of::<(Cycle, Flit)>()
             + self.ack_queue.capacity() * size_of::<(Cycle, NodeId, PacketId)>()
             + self.fault_log.capacity() * size_of::<FaultEvent>()
-            + self.detect_schedule.capacity() * size_of::<(Cycle, NodeId, Direction)>()
+            + self.detect_schedule.capacity() * size_of::<LinkEvent>()
             + self.unreachable_packets.capacity() * size_of::<UnreachablePacket>()
             + self.accounted_upto.capacity() * size_of::<Cycle>()
             + self.modes_cache.capacity() * size_of::<RouterMode>()
@@ -805,22 +811,36 @@ impl Network {
         let faults_active = !self.config.faults.is_empty();
         let fast = self.fast_path();
 
-        // Phase 0: deterministic fault detection. Each permanently killed
-        // link is reported to its upstream router a fixed number of cycles
-        // after the kill (the plan's detection delay — modeling a local
-        // credit/progress timeout without any wall clock). Runs before the
-        // parallel gate so both engines share one dispatch path.
+        // Phase 0: deterministic fault/repair detection. Each alive-state
+        // transition of a link is reported a fixed number of cycles after
+        // it happens (the plan's detection delay — modeling a local
+        // credit/progress timeout without any wall clock). Kills go to the
+        // upstream router only; revivals go to *both* endpoints at the
+        // same cycle so the downstream end can run its half of the credit
+        // re-sync handshake (DESIGN.md §15) — the gossiped duplicate the
+        // downstream would otherwise relearn later is rejected by the
+        // epoch filter. Runs before the parallel gate so both engines
+        // share one dispatch path.
         while self.detect_next < self.detect_schedule.len()
-            && self.detect_schedule[self.detect_next].0 <= now
+            && self.detect_schedule[self.detect_next].detect_at <= now
         {
-            let (_, node, dir) = self.detect_schedule[self.detect_next];
+            let ev = self.detect_schedule[self.detect_next];
             self.detect_next += 1;
-            self.routers[node.index()].note_link_fault(dir, now);
-            self.router_active.insert(node.index());
-            self.stats.links_failed += 1;
-            self.stats
-                .fault_detection_latency
-                .record(self.config.faults.detection_delay);
+            self.routers[ev.node.index()].note_link_event(ev.node, ev.dir, ev.epoch, ev.alive, now);
+            self.router_active.insert(ev.node.index());
+            if ev.alive {
+                if let Some(down) = self.mesh.neighbor(ev.node, ev.dir) {
+                    self.routers[down.index()]
+                        .note_link_event(ev.node, ev.dir, ev.epoch, ev.alive, now);
+                    self.router_active.insert(down.index());
+                }
+                self.stats.links_revived += 1;
+            } else {
+                self.stats.links_failed += 1;
+                self.stats
+                    .fault_detection_latency
+                    .record(self.config.faults.detection_delay);
+            }
         }
 
         // Intra-run parallel engine (DESIGN.md §12): only on the fast path
@@ -984,6 +1004,7 @@ impl Network {
                 }
                 self.nis[i].drain_unreachable_into(&mut self.unreachable_packets);
             }
+            self.cap_unreachable_log();
         }
 
         // Phase 4: advance channels; stage next cycle's deliveries. An
@@ -1347,11 +1368,23 @@ impl Network {
         &self.fault_log
     }
 
-    /// Structured per-packet records of every packet retired as
-    /// unreachable (bounded retransmission exhausted), in give-up order.
-    /// [`NetworkStats::packets_unreachable`] is always this list's length.
+    /// Structured per-packet records of packets retired as unreachable
+    /// (bounded retransmission exhausted), in give-up order. Bounded at
+    /// [`Network::UNREACHABLE_LOG_CAP`] records (oldest evicted first);
+    /// [`NetworkStats::packets_unreachable`] keeps the true count and
+    /// [`NetworkStats::unreachable_records_dropped`] the evictions.
     pub fn unreachable_packets(&self) -> &[UnreachablePacket] {
         &self.unreachable_packets
+    }
+
+    /// Enforces [`Network::UNREACHABLE_LOG_CAP`] on the unreachable log,
+    /// evicting oldest records and counting them in the stats.
+    pub(crate) fn cap_unreachable_log(&mut self) {
+        if self.unreachable_packets.len() > Self::UNREACHABLE_LOG_CAP {
+            let excess = self.unreachable_packets.len() - Self::UNREACHABLE_LOG_CAP;
+            self.unreachable_packets.drain(..excess);
+            self.stats.unreachable_records_dropped += excess as u64;
+        }
     }
 
     pub(crate) fn log_fault(&mut self, ev: FaultEvent) {
@@ -1795,7 +1828,13 @@ impl Network {
             self.fault_log.push(read_fault_event(r)?);
         }
         self.unreachable_packets.clear();
-        for _ in 0..r.get_usize("unreachable log length")? {
+        let unreachable = r.get_usize("unreachable log length")?;
+        if unreachable > Self::UNREACHABLE_LOG_CAP {
+            return Err(SnapshotError::Malformed {
+                what: "unreachable log length",
+            });
+        }
+        for _ in 0..unreachable {
             self.unreachable_packets.push(UnreachablePacket {
                 id: PacketId(r.get_u64("unreachable packet id")?),
                 src: NodeId::new(r.get_usize("unreachable src")?),
@@ -1859,9 +1898,48 @@ impl Network {
         self.detect_next = self
             .detect_schedule
             .iter()
-            .position(|&(cycle, _, _)| cycle >= self.now)
+            .position(|ev| ev.detect_at >= self.now)
             .unwrap_or(self.detect_schedule.len());
         self.scratch.clear();
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::ni::UnreachablePacket;
+    use crate::testutil::FifoFactory;
+
+    #[test]
+    fn unreachable_log_is_capped_with_oldest_evicted() {
+        let mut net = Network::new(NetworkConfig::paper_3x3(), &FifoFactory { lossy: false }, 1)
+            .expect("valid config");
+        let record = |i: u64| UnreachablePacket {
+            id: crate::flit::PacketId(i),
+            src: NodeId::new(0),
+            dest: NodeId::new(8),
+            attempts: 1,
+            gave_up_at: i,
+        };
+        for i in 0..(Network::UNREACHABLE_LOG_CAP as u64 + 10) {
+            net.unreachable_packets.push(record(i));
+        }
+        net.cap_unreachable_log();
+        assert_eq!(
+            net.unreachable_packets().len(),
+            Network::UNREACHABLE_LOG_CAP
+        );
+        assert_eq!(net.stats().unreachable_records_dropped, 10);
+        // Oldest records went first: the head is now record 10.
+        assert_eq!(net.unreachable_packets()[0].id, crate::flit::PacketId(10));
+        // Under the cap, a second sweep is a no-op.
+        net.cap_unreachable_log();
+        assert_eq!(net.stats().unreachable_records_dropped, 10);
+        assert_eq!(
+            net.unreachable_packets().len(),
+            Network::UNREACHABLE_LOG_CAP
+        );
     }
 }

@@ -413,14 +413,15 @@ impl NodeInterface {
     /// injection timestamp, and its next deadline backs off exponentially
     /// (capped).
     ///
-    /// A packet with copies still waiting in the retransmit queue is not
-    /// re-fired — the previous attempt has not yet left the NI.
+    /// A packet with copies still waiting in the retransmit queue is
+    /// neither re-fired nor given up — the previous attempt has not yet
+    /// left the NI, so it must reach the wire (where a revived route may
+    /// yet deliver it) before it can count against the attempt budget.
     ///
     /// With `max_attempts > 0`, a packet whose deadline passes after that
-    /// many retransmissions is *given up*: removed from the outstanding
-    /// table, its queued-but-uninjected copies discarded (counted as
-    /// `flits_abandoned`), and a structured [`UnreachablePacket`] record
-    /// emitted instead of another retry — the clean termination for
+    /// many retransmissions have fully left the NI is *given up*: removed
+    /// from the outstanding table, and a structured [`UnreachablePacket`]
+    /// record emitted instead of another retry — the clean termination for
     /// destinations a permanent link kill made unreachable.
     pub fn check_timeouts(&mut self, now: Cycle, stats: &mut NetworkStats) {
         let Some(rec) = &mut self.recovery else {
@@ -431,11 +432,17 @@ impl NodeInterface {
             if out.next_deadline > now {
                 continue;
             }
-            if rec.cfg.max_attempts > 0 && out.attempts >= rec.cfg.max_attempts {
-                gave_up.push(*id);
+            if self.retransmit.iter().any(|f| f.packet == *id) {
+                // The previous attempt's copies have not even left the NI
+                // (e.g. the network wedged and then healed): give them
+                // their shot before the give-up check below — checking
+                // attempts first would charge the packet for an attempt
+                // that never reached the wire and retire it one retry
+                // early.
                 continue;
             }
-            if self.retransmit.iter().any(|f| f.packet == *id) {
+            if rec.cfg.max_attempts > 0 && out.attempts >= rec.cfg.max_attempts {
+                gave_up.push(*id);
                 continue;
             }
             out.attempts += 1;
@@ -1042,22 +1049,24 @@ mod tests {
         ni.try_inject(&mut router, 0, &mut stats);
         ni.try_inject(&mut router, 1, &mut stats);
         assert_eq!(ni.outstanding_packets(), 1);
-        // Two timeouts fire (attempts 1 and 2); the router refuses from now
-        // on, so the second attempt's copies sit in the retransmit queue.
+        // Two timeouts fire (attempts 1 and 2) and both attempts' copies
+        // fully leave the NI.
         ni.check_timeouts(11, &mut stats);
         ni.try_inject(&mut router, 12, &mut stats);
         ni.try_inject(&mut router, 13, &mut stats);
         ni.check_timeouts(25, &mut stats);
-        router.accept = false;
+        ni.try_inject(&mut router, 26, &mut stats);
+        ni.try_inject(&mut router, 27, &mut stats);
         assert_eq!(stats.retransmit_timeouts, 2);
-        assert_eq!(ni.pending_retransmits(), 2);
-        // Third deadline: attempts == max_attempts, so the packet is
-        // retired — queue purged, structured record emitted.
+        assert_eq!(ni.pending_retransmits(), 0);
+        // Third deadline: both attempts reached the wire and attempts ==
+        // max_attempts, so the packet is retired — structured record
+        // emitted. Nothing was queued, so nothing is abandoned.
         ni.check_timeouts(40, &mut stats);
         assert_eq!(ni.outstanding_packets(), 0);
         assert_eq!(ni.pending_retransmits(), 0);
         assert_eq!(stats.packets_unreachable, 1);
-        assert_eq!(stats.flits_abandoned, 2);
+        assert_eq!(stats.flits_abandoned, 0);
         let mut records = Vec::new();
         ni.drain_unreachable_into(&mut records);
         assert_eq!(
@@ -1075,6 +1084,64 @@ mod tests {
         ni.check_timeouts(100, &mut stats);
         assert_eq!(stats.retransmit_timeouts, 2);
         assert_eq!(stats.packets_unreachable, 1);
+    }
+
+    #[test]
+    fn queued_retransmit_copies_defer_give_up() {
+        // Regression for an off-by-one in the attempt accounting: while a
+        // retransmit attempt's copies are still queued in the NI (the
+        // network wedged — e.g. the route died), a passing deadline must
+        // neither fire another attempt nor count toward give-up. The
+        // attempt has to reach the wire (where a revived route may yet
+        // deliver it) before it can be charged against max_attempts;
+        // otherwise a packet waiting out a dead link would be retired one
+        // wire-attempt early.
+        let mut ni = NodeInterface::new(NodeId::new(0), 1);
+        ni.enable_recovery(RetransmitConfig {
+            timeout: 10,
+            backoff_cap: 0,
+            max_attempts: 2,
+        });
+        let mut stats = NetworkStats::new();
+        let mut router = SinkRouter {
+            accept: true,
+            ..SinkRouter::default()
+        };
+        ni.enqueue(desc(1, 0, 5, 0, 2), &mut stats);
+        ni.try_inject(&mut router, 0, &mut stats);
+        ni.try_inject(&mut router, 1, &mut stats);
+        // Attempt 1 fires, then the router wedges: the copies never leave.
+        ni.check_timeouts(11, &mut stats);
+        router.accept = false;
+        ni.try_inject(&mut router, 12, &mut stats);
+        assert_eq!(ni.pending_retransmits(), 2);
+        // Deadlines keep passing while the copies are queued: no new
+        // attempt, no give-up — even far past max_attempts' worth of
+        // timeouts.
+        ni.check_timeouts(30, &mut stats);
+        ni.check_timeouts(100, &mut stats);
+        assert_eq!(stats.retransmit_timeouts, 1);
+        assert_eq!(ni.outstanding_packets(), 1);
+        assert_eq!(stats.packets_unreachable, 0);
+        assert_eq!(ni.pending_retransmits(), 2);
+        // The network heals: the queued copies reach the wire, the next
+        // deadline fires attempt 2, and only after *that* attempt has also
+        // left does give-up trigger.
+        router.accept = true;
+        ni.try_inject(&mut router, 101, &mut stats);
+        ni.try_inject(&mut router, 102, &mut stats);
+        assert_eq!(ni.pending_retransmits(), 0);
+        ni.check_timeouts(150, &mut stats);
+        assert_eq!(stats.retransmit_timeouts, 2);
+        ni.try_inject(&mut router, 151, &mut stats);
+        ni.try_inject(&mut router, 152, &mut stats);
+        ni.check_timeouts(200, &mut stats);
+        assert_eq!(ni.outstanding_packets(), 0);
+        assert_eq!(stats.packets_unreachable, 1);
+        let mut records = Vec::new();
+        ni.drain_unreachable_into(&mut records);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].attempts, 2);
     }
 
     #[test]

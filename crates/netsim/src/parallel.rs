@@ -125,10 +125,12 @@ struct PlanStatic {
     /// end (receives credits/control).
     events: Vec<(u32, bool)>,
     ev_off: Vec<u32>,
-    /// Cycle from which channel `c` is permanently dead (`Cycle::MAX` when
-    /// never killed). The fast path admits only deterministic fault plans,
-    /// whose entire effect this table captures.
-    killed_at: Vec<Cycle>,
+    /// Flattened half-open dead windows `[kill, revive)` of channel `c`
+    /// (empty for a never-killed link; `Cycle::MAX` end when never
+    /// revived), ascending and disjoint. The fast path admits only
+    /// deterministic fault plans, whose entire effect this table captures.
+    dead_windows: Vec<(Cycle, Cycle)>,
+    dw_off: Vec<u32>,
     /// Prefix sums of per-node outgoing-channel counts: node `j` owns
     /// channels `[node_chan_start[j], node_chan_start[j+1])`.
     node_chan_start: Vec<usize>,
@@ -172,26 +174,34 @@ impl PlanStatic {
             ev_off[j + 1] = events.len() as u32;
         }
 
-        let killed_at: Vec<Cycle> = net
-            .ends
-            .iter()
-            .map(|e| {
-                net.config
-                    .faults
-                    .first_kill_at(&net.mesh, e.from, e.dir)
-                    .unwrap_or(Cycle::MAX)
-            })
-            .collect();
+        let mut dead_windows = Vec::new();
+        let mut dw_off = vec![0u32; chan_count + 1];
+        for (c, e) in net.ends.iter().enumerate() {
+            dead_windows.extend(net.config.faults.dead_windows(&net.mesh, e.from, e.dir));
+            dw_off[c + 1] = dead_windows.len() as u32;
+        }
 
         PlanStatic {
             events,
             ev_off,
-            killed_at,
+            dead_windows,
+            dw_off,
             node_chan_start,
             mesh: net.mesh.clone(),
             link_latency: net.config.link_latency,
             max_flit_age: net.config.max_flit_age,
         }
+    }
+
+    /// Whether channel `c` is inside a dead window at `now` — exactly the
+    /// serial engine's `flit_fate`/`credit_lost` aliveness (a link revived
+    /// at `now` is already alive). Channels have 0–2 windows in practice,
+    /// so a linear scan wins over binary search.
+    #[inline]
+    fn link_dead(&self, c: usize, now: Cycle) -> bool {
+        self.dead_windows[self.dw_off[c] as usize..self.dw_off[c + 1] as usize]
+            .iter()
+            .any(|&(kill, revive)| kill <= now && now < revive)
     }
 }
 
@@ -608,7 +618,8 @@ impl Engine {
         let stat = &self.plan.stat;
         let plan = stat.events.capacity() * size_of::<(u32, bool)>()
             + stat.ev_off.capacity() * size_of::<u32>()
-            + stat.killed_at.capacity() * size_of::<Cycle>()
+            + stat.dead_windows.capacity() * size_of::<(Cycle, Cycle)>()
+            + stat.dw_off.capacity() * size_of::<u32>()
             + stat.node_chan_start.capacity() * size_of::<usize>()
             + self.plan.node_start.capacity() * size_of::<usize>()
             + self.plan.chan_start.capacity() * size_of::<usize>();
@@ -737,7 +748,7 @@ unsafe fn region_ab(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta
             let pend = &*(job.pending.add(c) as *const Delivery);
             if is_fwd {
                 let Some(flit) = pend.flit else { continue };
-                if stat.killed_at[c] <= now {
+                if stat.link_dead(c, now) {
                     // Deterministic fault plane: the link is dead, the flit
                     // is eaten — exactly the serial engine's `flit_fate`,
                     // which runs before the age check (a killed flit can
@@ -788,7 +799,7 @@ unsafe fn region_ab(job: &Job, plan: &Plan, shard: usize, delta: &mut ShardDelta
                 }
                 let ends = &*job.ends.add(c);
                 let dir = ends.dir;
-                if stat.killed_at[c] <= now {
+                if stat.link_dead(c, now) {
                     // A dead link loses its credits too (serial
                     // `credit_lost`); control signals are sideband and
                     // still cross, keeping fault gossip alive.
@@ -1326,6 +1337,7 @@ fn step_cycle(
             }
             net.nis[i].drain_unreachable_into(&mut net.unreachable_packets);
         }
+        net.cap_unreachable_log();
     }
 
     net.now += 1;

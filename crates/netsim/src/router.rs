@@ -150,14 +150,28 @@ pub trait Router: Send {
         0
     }
 
-    /// Notifies the router that its output link toward `dir` is dead (the
-    /// engine's deterministic fault detection fired — DESIGN.md §13). The
-    /// router must stop routing flits toward `dir`, gossip the fact to its
-    /// neighbors over the control sideband, and detour still-reachable
-    /// traffic. The default no-op keeps test stubs and fault-oblivious
-    /// mechanisms compiling; such routers will simply keep wedging on dead
-    /// links as before.
-    fn note_link_fault(&mut self, _dir: crate::geom::Direction, _now: Cycle) {}
+    /// Notifies the router of an alive-state transition of a link incident
+    /// to it (the engine's deterministic fault/repair detection fired —
+    /// DESIGN.md §13/§15). `node -> dir` is the directed link; `node` is
+    /// this router for its own output links, or the upstream neighbor when
+    /// a revived *input* link is being announced (kills are announced
+    /// upstream-only; revivals go to both endpoints so the downstream end
+    /// can run the credit re-sync handshake). `epoch` is the link's
+    /// monotonic transition epoch and `alive` its new state. On a death
+    /// the router must stop routing flits toward `dir`, gossip the fact,
+    /// and detour still-reachable traffic; on a revival it must unmask the
+    /// port, re-gossip, and re-sync credit flow. The default no-op keeps
+    /// test stubs and fault-oblivious mechanisms compiling; such routers
+    /// will simply keep wedging on dead links as before.
+    fn note_link_event(
+        &mut self,
+        _node: crate::geom::NodeId,
+        _dir: crate::geom::Direction,
+        _epoch: u32,
+        _alive: bool,
+        _now: Cycle,
+    ) {
+    }
 
     /// Whether the router is *quiescent*: stepping it now — and for any
     /// number of consecutive future cycles in which it receives nothing

@@ -51,7 +51,11 @@ pub const MAGIC: [u8; 8] = *b"AFCSNAP\0";
 // per-router fault-awareness blocks, NI bounded-retransmit config +
 // unreachable outbox, network unreachable-packet log, and the new
 // stats/counter fields (DESIGN.md §13).
-pub const FORMAT_VERSION: u32 = 2;
+// v3: repair-plane state — epoch-versioned fault facts (LinkFault gained an
+// epoch + alive flag, ControlSignal::CreditResync), per-router credit
+// re-sync handshake fields, AFC overflow scratch, bounded unreachable log,
+// and the links_revived / unreachable_records_dropped stats (DESIGN.md §15).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Errors raised while encoding, sealing, opening, or decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -721,6 +725,27 @@ mod tests {
             open(&bad_version, "f"),
             Err(SnapshotError::BadVersion { .. })
         ));
+    }
+
+    #[test]
+    fn open_refuses_previous_format_version() {
+        // A v2 (pre-repair-plane) container must be refused outright, not
+        // half-decoded: v3 added epoch-versioned fault facts, credit re-sync
+        // handshake state, and new stats fields that v2 payloads lack.
+        let mut old = seal(SnapshotWriter::new());
+        old[8..12].copy_from_slice(&(FORMAT_VERSION - 1).to_le_bytes());
+        let body_len = old.len() - 8;
+        let sum = fnv1a64(&old[..body_len]);
+        old[body_len..].copy_from_slice(&sum.to_le_bytes());
+        match open(&old, "old.snap") {
+            Err(SnapshotError::BadVersion {
+                found, expected, ..
+            }) => {
+                assert_eq!(found, FORMAT_VERSION - 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
     }
 
     #[test]

@@ -524,6 +524,13 @@ pub struct NetworkStats {
     /// Directed links whose death the engine's deterministic fault
     /// detection has reported to the upstream router.
     pub links_failed: u64,
+    /// Directed links whose revival the engine's deterministic repair
+    /// detection has reported to both endpoints (DESIGN.md §15).
+    pub links_revived: u64,
+    /// [`UnreachablePacket`](crate::ni::UnreachablePacket) records evicted
+    /// from the bounded unreachable log (oldest first) once it exceeded
+    /// [`Network::UNREACHABLE_LOG_CAP`](crate::network::Network::UNREACHABLE_LOG_CAP).
+    pub unreachable_records_dropped: u64,
     /// Cycles from each link kill to its local detection (the fault plan's
     /// configured detection delay; a distribution once plans mix delays).
     pub fault_detection_latency: LatencyStats,
@@ -583,6 +590,8 @@ impl NetworkStats {
             flits_abandoned,
             reassemblies_expired,
             links_failed,
+            links_revived,
+            unreachable_records_dropped,
             fault_detection_latency,
             network_latency,
             network_latency_hist,
@@ -614,6 +623,8 @@ impl NetworkStats {
         *flits_abandoned = 0;
         *reassemblies_expired = 0;
         *links_failed = 0;
+        *links_revived = 0;
+        *unreachable_records_dropped = 0;
         *fault_detection_latency = LatencyStats::default();
         *network_latency = LatencyStats::default();
         network_latency_hist.clear();
@@ -664,6 +675,8 @@ impl NetworkStats {
         self.flits_abandoned += other.flits_abandoned;
         self.reassemblies_expired += other.reassemblies_expired;
         self.links_failed += other.links_failed;
+        self.links_revived += other.links_revived;
+        self.unreachable_records_dropped += other.unreachable_records_dropped;
         self.fault_detection_latency
             .merge(&other.fault_detection_latency);
         self.network_latency.merge(&other.network_latency);
@@ -718,6 +731,8 @@ impl NetworkStats {
             self.flits_abandoned,
             self.reassemblies_expired,
             self.links_failed,
+            self.links_revived,
+            self.unreachable_records_dropped,
         ] {
             w.put_u64(v);
         }
@@ -756,6 +771,8 @@ impl NetworkStats {
             flits_abandoned: r.get_u64("stats flits_abandoned")?,
             reassemblies_expired: r.get_u64("stats reassemblies_expired")?,
             links_failed: r.get_u64("stats links_failed")?,
+            links_revived: r.get_u64("stats links_revived")?,
+            unreachable_records_dropped: r.get_u64("stats unreachable_records_dropped")?,
             fault_detection_latency: LatencyStats::load(r)?,
             network_latency: LatencyStats::load(r)?,
             network_latency_hist: Histogram::load(r)?,

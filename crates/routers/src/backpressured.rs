@@ -44,10 +44,10 @@
 use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
-use afc_netsim::fault_aware::{FaultAwareness, RouteOutcome};
+use afc_netsim::fault_aware::{FaultAwareness, LinkUpdate, RouteOutcome};
 use afc_netsim::flit::{Cycle, Flit, PacketId, VcId};
 use afc_netsim::geom::Direction;
-use afc_netsim::geom::{NodeId, PortId, PortMap};
+use afc_netsim::geom::{DirMap, NodeId, PortId, PortMap};
 use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
@@ -199,6 +199,15 @@ pub struct BackpressuredRouter {
     /// Fault mask, gossip queue and alive-graph routing table (DESIGN.md
     /// §13). While clean, routing stays on the historical DOR path.
     fa: FaultAwareness,
+    /// Output ports held ineligible while the credit re-sync handshake for
+    /// a revived link is in flight (DESIGN.md §15): the credit pool was
+    /// zeroed at the revival and is restored to full depth only by the
+    /// downstream endpoint's [`ControlSignal::CreditResync`].
+    resync_wait: DirMap<bool>,
+    /// Revived *input* links whose upstream endpoint still awaits our
+    /// `CreditResync` confirmation, keyed by input direction and carrying
+    /// the link epoch to echo. Sent once the port's buffers are empty.
+    resync_pending: DirMap<Option<u32>>,
     counters: ActivityCounters,
 }
 
@@ -259,6 +268,8 @@ impl BackpressuredRouter {
             eligible_scratch: vec![false; total],
             winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
             fa: FaultAwareness::new(node, mesh.clone()),
+            resync_wait: DirMap::default(),
+            resync_pending: DirMap::default(),
             counters: ActivityCounters::new(),
             layout,
         }
@@ -447,6 +458,41 @@ impl BackpressuredRouter {
         }
     }
 
+    /// Reacts to an alive-state transition of a link incident to this
+    /// router (learned locally from the engine's detector or remotely via
+    /// gossip): runs this router's half of the credit re-sync handshake
+    /// (DESIGN.md §15). Mask updates and route rebuilds already happened
+    /// inside [`FaultAwareness`].
+    fn apply_link_update(&mut self, update: &LinkUpdate) {
+        if let Some((d, alive, _epoch)) = update.local_out {
+            if alive {
+                // Own output link revived: in-flight credits were lost with
+                // the link and the downstream buffers may still hold
+                // pre-kill flits, so the credit pool is unknown. Zero it
+                // and hold the port ineligible until the downstream
+                // endpoint confirms its buffers drained (CreditResync), at
+                // which point a full pool is exactly correct — nothing is
+                // in flight while the port is blocked.
+                if let Some(outs) = self.outputs[PortId::Net(d)].as_mut() {
+                    for o in outs.iter_mut() {
+                        o.credits = 0;
+                    }
+                }
+                self.resync_wait[d] = true;
+            } else {
+                // Killed (again): abandon any handshake in progress; the
+                // next revival restarts it under a higher epoch.
+                self.resync_wait[d] = false;
+            }
+        }
+        if let Some((d, alive, epoch)) = update.local_in {
+            // Link entering this router through input port `d`: on revival
+            // the upstream endpoint waits for our confirmation that its
+            // pre-kill flits drained from our buffers before resuming.
+            self.resync_pending[d] = alive.then_some(epoch);
+        }
+    }
+
     /// Whether input VC `vc` of `port` may compete for the switch this
     /// cycle.
     fn eligible(&self, port: PortId, vc: usize) -> bool {
@@ -459,6 +505,10 @@ impl BackpressuredRouter {
         }
         match ivc.route {
             Some(PortId::Local) => true,
+            // A port mid-handshake is ineligible even if stale drain
+            // credits trickled in: sending before the CreditResync lands
+            // would break its nothing-in-flight precondition.
+            Some(PortId::Net(d)) if self.resync_wait[d] => false,
             Some(PortId::Net(d)) => match ivc.out_vc {
                 Some(ovc) => self.outputs[PortId::Net(d)]
                     .as_ref()
@@ -507,15 +557,42 @@ impl Router for BackpressuredRouter {
 
     fn receive_control(&mut self, _output: PortId, signal: ControlSignal, now: Cycle) {
         // Credit-tracking control lines are an AFC mechanism; a homogeneous
-        // backpressured network never sees them. Fault gossip, however, is
-        // mechanism-independent.
-        if self.fa.on_control(signal, now) {
+        // backpressured network never sees them. Fault gossip and the
+        // credit re-sync handshake, however, are mechanism-independent.
+        if let ControlSignal::CreditResync { node, dir, epoch } = signal {
+            if node == self.node
+                && self.resync_wait[dir]
+                && epoch == self.fa.link_epoch(self.node, dir)
+            {
+                // The downstream buffers are empty and nothing is in
+                // flight (the port was ineligible throughout the wait), so
+                // a full credit pool is exactly correct.
+                if let Some(outs) = self.outputs[PortId::Net(dir)].as_mut() {
+                    for (o, depth) in outs.iter_mut().zip(self.layout.depth_of.iter()) {
+                        o.credits = *depth;
+                    }
+                }
+                self.resync_wait[dir] = false;
+            }
+            return;
+        }
+        if let Some(update) = self.fa.on_control(signal, now) {
             self.counters.fault_notices += 1;
+            self.apply_link_update(&update);
         }
     }
 
-    fn note_link_fault(&mut self, dir: Direction, now: Cycle) {
-        self.fa.learn(self.node, dir, now);
+    fn note_link_event(
+        &mut self,
+        node: NodeId,
+        dir: Direction,
+        epoch: u32,
+        alive: bool,
+        now: Cycle,
+    ) {
+        if let Some(update) = self.fa.learn(node, dir, epoch, alive, now) {
+            self.apply_link_update(&update);
+        }
     }
 
     fn injection_ready(&self, flit: &Flit, _now: Cycle) -> bool {
@@ -570,7 +647,34 @@ impl Router for BackpressuredRouter {
         self.counters.buffer_occupancy_sum += self.occupancy() as u64;
         if !self.fa.is_clean() {
             self.sweep_unreachable(out);
+        }
+        if self.fa.has_pending_gossip() {
+            // Gossip is gated on the queue, not on cleanliness: revival
+            // facts must keep flooding after the fault view empties (the
+            // router is already clean again when it re-gossips them).
             self.fa.drain_gossip(out);
+        }
+        // Downstream half of the credit re-sync handshake: once a revived
+        // input port has drained every pre-kill flit, tell the upstream
+        // endpoint its credit pool may return to full. One signal per
+        // cycle keeps the control lane within LANE_CAP alongside gossip.
+        for d in Direction::ALL {
+            let Some(epoch) = self.resync_pending[d] else {
+                continue;
+            };
+            if self.port_occ[PortId::Net(d)] != 0 {
+                continue;
+            }
+            if let Some(up) = self.mesh.neighbor(self.node, d) {
+                out.control.push(ControlSignal::CreditResync {
+                    node: up,
+                    dir: d.opposite(),
+                    epoch,
+                });
+                self.counters.control_sends += 1;
+            }
+            self.resync_pending[d] = None;
+            break;
         }
         self.allocate_routes_and_vcs();
 
@@ -761,8 +865,11 @@ impl Router for BackpressuredRouter {
         // pointer when nothing requests). Open inject-VC wormholes and
         // credit state are untouched by an idle step, so the default
         // `note_idle_cycles` replays it exactly. Pending fault gossip keeps
-        // the router live: an idle step still drains the flood queue.
-        self.occ == 0 && !self.fa.has_pending_gossip()
+        // the router live: an idle step still drains the flood queue. A
+        // pending credit re-sync likewise: the step must emit the signal.
+        self.occ == 0
+            && !self.fa.has_pending_gossip()
+            && self.resync_pending.iter().all(|(_, p)| p.is_none())
     }
 
     fn reset(&mut self) -> bool {
@@ -797,6 +904,8 @@ impl Router for BackpressuredRouter {
         self.eligible_scratch.fill(false);
         self.winners_scratch.clear();
         self.fa.reset();
+        self.resync_wait = DirMap::default();
+        self.resync_pending = DirMap::default();
         self.counters = ActivityCounters::new();
         true
     }
@@ -844,6 +953,16 @@ impl Router for BackpressuredRouter {
         }
         for rr in &self.inject_rr {
             w.put_usize(*rr);
+        }
+        for d in Direction::ALL {
+            w.put_bool(self.resync_wait[d]);
+            match self.resync_pending[d] {
+                Some(e) => {
+                    w.put_bool(true);
+                    w.put_u32(e);
+                }
+                None => w.put_bool(false),
+            }
         }
         self.counters.save(w);
         self.fa.save(w);
@@ -943,6 +1062,14 @@ impl Router for BackpressuredRouter {
                 });
             }
             *rr = v;
+        }
+        for d in Direction::ALL {
+            self.resync_wait[d] = r.get_bool("resync wait")?;
+            self.resync_pending[d] = if r.get_bool("resync pending presence")? {
+                Some(r.get_u32("resync pending epoch")?)
+            } else {
+                None
+            };
         }
         self.counters = ActivityCounters::load(r)?;
         self.fa.load(r)?;

@@ -325,13 +325,23 @@ impl Router for DeflectionRouter {
     }
 
     fn receive_control(&mut self, _output: PortId, signal: ControlSignal, now: Cycle) {
-        if self.fa.on_control(signal, now) {
+        if self.fa.on_control(signal, now).is_some() {
             self.counters.fault_notices += 1;
         }
     }
 
-    fn note_link_fault(&mut self, dir: Direction, now: Cycle) {
-        self.fa.learn(self.node, dir, now);
+    fn note_link_event(
+        &mut self,
+        node: NodeId,
+        dir: Direction,
+        epoch: u32,
+        alive: bool,
+        now: Cycle,
+    ) {
+        // Bufferless and creditless: masks and the gossip flood are the
+        // whole reaction. A revival re-admits the direction into the
+        // deflection engine's usable port set via the cleared dead mask.
+        self.fa.learn(node, dir, epoch, alive, now);
     }
 
     fn injection_ready(&self, _flit: &Flit, _now: Cycle) -> bool {
@@ -347,7 +357,9 @@ impl Router for DeflectionRouter {
     fn step(&mut self, _now: Cycle, rng: &mut SimRng, out: &mut RouterOutputs) {
         self.counters.cycles += 1;
         let clean = self.fa.is_clean();
-        if !clean {
+        if self.fa.has_pending_gossip() {
+            // Revival facts keep flooding even after this router's own
+            // fault view is all-alive (clean) again.
             self.fa.drain_gossip(out);
         }
         if self.latches.is_empty() {

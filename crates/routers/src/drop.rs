@@ -67,13 +67,22 @@ impl Router for DropRouter {
     fn receive_credit(&mut self, _output: PortId, _credit: Credit, _now: Cycle) {}
 
     fn receive_control(&mut self, _output: PortId, signal: ControlSignal, now: Cycle) {
-        if self.fa.on_control(signal, now) {
+        if self.fa.on_control(signal, now).is_some() {
             self.counters.fault_notices += 1;
         }
     }
 
-    fn note_link_fault(&mut self, dir: Direction, now: Cycle) {
-        self.fa.learn(self.node, dir, now);
+    fn note_link_event(
+        &mut self,
+        node: NodeId,
+        dir: Direction,
+        epoch: u32,
+        alive: bool,
+        now: Cycle,
+    ) {
+        // Bufferless and creditless: masks and the gossip flood are the
+        // whole reaction, for deaths and revivals alike.
+        self.fa.learn(node, dir, epoch, alive, now);
     }
 
     fn injection_ready(&self, _flit: &Flit, _now: Cycle) -> bool {
@@ -97,7 +106,10 @@ impl Router for DropRouter {
     fn step(&mut self, _now: Cycle, rng: &mut SimRng, out: &mut RouterOutputs) {
         self.counters.cycles += 1;
         let clean = self.fa.is_clean();
-        if !clean {
+        if self.fa.has_pending_gossip() {
+            // Gossip drains even when the fault view is all-alive again:
+            // revival facts must keep flooding after the router itself has
+            // reconverged to the clean fast path.
             self.fa.drain_gossip(out);
         }
         if self.latches.is_empty() {

@@ -107,6 +107,10 @@ pub struct FaultArgs {
     pub kill_column: Option<(u16, u64)>,
     /// Rectangular-region kill: `x0,y0,x1,y1:cycle` (inclusive corners).
     pub kill_region: Option<(u16, u16, u16, u16, u64)>,
+    /// Revive every killed link this many cycles after its kill.
+    pub revive_after: Option<u64>,
+    /// Random link churn: `seed,period,duty` (see `FaultPlan::with_churn`).
+    pub fault_churn: Option<(u64, u64, f64)>,
     /// Injection cycles before sources stop.
     pub cycles: u64,
     /// Drain budget after sources stop.
@@ -227,6 +231,32 @@ fn parse_kill(s: &str) -> Result<(u16, u16, Direction, u64), String> {
     let dir = parse_direction(dir)?;
     let at = at.parse().map_err(|_| format!("bad --kill cycle {at:?}"))?;
     Ok((x, y, dir, at))
+}
+
+/// Parses a churn spec of the form `seed,period,duty` (e.g. `7,4000,0.75`).
+fn parse_fault_churn(s: &str) -> Result<(u64, u64, f64), String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    let [seed, period, duty] = parts.as_slice() else {
+        return Err(format!(
+            "bad --fault-churn {s:?} (expected seed,period,duty)"
+        ));
+    };
+    let seed = seed
+        .parse()
+        .map_err(|_| format!("bad --fault-churn seed {seed:?}"))?;
+    let period: u64 = period
+        .parse()
+        .map_err(|_| format!("bad --fault-churn period {period:?}"))?;
+    if period == 0 {
+        return Err("bad --fault-churn (period must be >= 1)".into());
+    }
+    let duty: f64 = duty
+        .parse()
+        .map_err(|_| format!("bad --fault-churn duty {duty:?}"))?;
+    if !(0.0..=1.0).contains(&duty) {
+        return Err("bad --fault-churn (duty must be in [0, 1])".into());
+    }
+    Ok((seed, period, duty))
 }
 
 /// Splits a kill-storm spec `body:cycle` and parses the trailing cycle.
@@ -415,6 +445,14 @@ impl Cli {
                         .get("kill-region")
                         .map(|s| parse_kill_region(s))
                         .transpose()?,
+                    revive_after: flags
+                        .get("revive-after")
+                        .map(|s| s.parse().map_err(|_| format!("bad --revive-after {s:?}")))
+                        .transpose()?,
+                    fault_churn: flags
+                        .get("fault-churn")
+                        .map(|s| parse_fault_churn(s))
+                        .transpose()?,
                     cycles: get("cycles", "5000").parse().map_err(|_| "bad --cycles")?,
                     drain: get("drain", "300000").parse().map_err(|_| "bad --drain")?,
                     timeout: get("timeout", "600").parse().map_err(|_| "bad --timeout")?,
@@ -444,6 +482,7 @@ USAGE:
                   [--corrupt P] [--credit-loss P] [--kill x,y:DIR:CYCLE]
                   [--kill-node x,y:CYCLE] [--kill-row Y:CYCLE]
                   [--kill-column X:CYCLE] [--kill-region x0,y0,x1,y1:CYCLE]
+                  [--revive-after N] [--fault-churn SEED,PERIOD,DUTY]
                   [--cycles N] [--drain N] [--timeout N]
                   [--max-retransmit N] [--seed N]
   afc-noc list
@@ -469,6 +508,15 @@ deterministic schedule, gossip the fault map, and detour the remaining
 traffic over the alive graph (DESIGN.md §13); packets whose destination
 became unreachable are cut off after --max-retransmit attempts (0 =
 retry forever) and reported as structured unreachable outcomes.
+
+Links can also come back. --revive-after N schedules a revival of every
+killed link N cycles after its kill; --fault-churn SEED,PERIOD,DUTY
+kills one seed-reproducibly chosen link every PERIOD cycles and revives
+it DUTY*PERIOD cycles later, a rolling wave of link outages.
+Revivals propagate through the same epoch-versioned gossip as kills, a
+credit re-sync handshake restores the revived link's flow control, and
+a fully healed network reconverges to the exact clean fast path
+(DESIGN.md §15).
 
 --sim-threads N steps each cycle on N worker threads (spatially sharded;
 see DESIGN.md §12). Results are byte-identical at any thread count, so
@@ -631,6 +679,36 @@ mod tests {
         assert_eq!(a.kill_column, None);
         assert_eq!(a.kill_region, None);
         assert_eq!(a.max_retransmit, 0);
+    }
+
+    #[test]
+    fn parses_revival_flags() {
+        let cli = Cli::parse(&argv(
+            "faults --kill 1,1:E:1000 --revive-after 2000 --fault-churn 7,4000,0.75",
+        ));
+        let Cli::Faults(a) = cli else {
+            panic!("expected faults")
+        };
+        assert_eq!(a.revive_after, Some(2000));
+        assert_eq!(a.fault_churn, Some((7, 4000, 0.75)));
+        // Defaults: kills stay permanent, no churn.
+        let Cli::Faults(a) = Cli::parse(&argv("faults")) else {
+            panic!("expected faults")
+        };
+        assert_eq!(a.revive_after, None);
+        assert_eq!(a.fault_churn, None);
+        for bad in [
+            "faults --revive-after soon",
+            "faults --fault-churn 7,4000",
+            "faults --fault-churn 7,0,0.5",
+            "faults --fault-churn 7,4000,1.5",
+            "faults --fault-churn x,4000,0.5",
+        ] {
+            assert!(
+                matches!(Cli::parse(&argv(bad)), Cli::Help(Some(_))),
+                "{bad} should be rejected"
+            );
+        }
     }
 
     #[test]

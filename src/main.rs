@@ -227,6 +227,12 @@ fn do_faults(args: &FaultArgs) -> Result<(), String> {
     if let Some((x0, y0, x1, y1, at)) = args.kill_region {
         plan = plan.kill_region(x0, y0, x1, y1, at);
     }
+    if let Some(after) = args.revive_after {
+        plan = plan.with_revive_after(after);
+    }
+    if let Some((seed, period, duty)) = args.fault_churn {
+        plan = plan.with_churn(&mesh, seed, period, duty, args.cycles);
+    }
     cfg.faults = plan;
     cfg.retransmit = (args.timeout > 0).then_some(RetransmitConfig {
         timeout: args.timeout,
@@ -274,8 +280,8 @@ fn do_faults(args: &FaultArgs) -> Result<(), String> {
     );
     let reroutes = out.network.total_counters().reroutes;
     println!(
-        "degradation:       {} links failed, {} fault-aware reroutes, {} packets unreachable, {} reassemblies expired",
-        s.links_failed, reroutes, s.packets_unreachable, s.reassemblies_expired
+        "degradation:       {} links failed, {} revived, {} fault-aware reroutes, {} packets unreachable, {} reassemblies expired",
+        s.links_failed, s.links_revived, reroutes, s.packets_unreachable, s.reassemblies_expired
     );
     println!(
         "packet latency:    mean {:.1}  p99 {} cycles",
