@@ -21,12 +21,19 @@ const SAMPLES: u32 = 7;
 /// A named collection of benchmark cases sharing one report table.
 pub struct Group {
     name: &'static str,
+    quiet: bool,
 }
 
 /// Starts a benchmark group, printing its header.
 pub fn group(name: &'static str) -> Group {
     println!("\n== {name} ==");
-    Group { name }
+    Group { name, quiet: false }
+}
+
+/// Starts a benchmark group that prints nothing: measurements are only
+/// returned to the caller (for `--json-only` artifact regeneration).
+pub fn group_quiet(name: &'static str) -> Group {
+    Group { name, quiet: true }
 }
 
 impl Group {
@@ -53,7 +60,9 @@ impl Group {
             let ns = t.elapsed().as_nanos() as f64 / batch as f64;
             best = best.min(ns);
         }
-        println!("{}/{label:<36} {best:>12.1} ns/iter", self.name);
+        if !self.quiet {
+            println!("{}/{label:<36} {best:>12.1} ns/iter", self.name);
+        }
     }
 
     /// Times `body` over `repeats` fresh states from `setup` and returns
@@ -81,7 +90,9 @@ impl Group {
             black_box(&mut state);
             best = best.min(ns);
         }
-        println!("{}/{label:<36} {best:>12.1} ns/unit", self.name);
+        if !self.quiet {
+            println!("{}/{label:<36} {best:>12.1} ns/unit", self.name);
+        }
         best
     }
 

@@ -31,7 +31,7 @@ use afc_netsim::channel::{ControlSignal, Credit};
 use afc_netsim::config::NetworkConfig;
 use afc_netsim::counters::ActivityCounters;
 use afc_netsim::fault_aware::{FaultAwareness, LinkUpdate, RouteOutcome};
-use afc_netsim::flit::{Cycle, Flit, VcId};
+use afc_netsim::flit::{Cycle, Flit, PacketId, VcId};
 use afc_netsim::geom::{DirMap, Direction, NodeId, PortId, PortMap};
 use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
@@ -45,6 +45,10 @@ use crate::contention::{ContentionMonitor, LoadLevel};
 
 /// Flit width in bits (32-bit payload + 17 control bits, Section IV).
 pub const FLIT_WIDTH_BITS: u32 = 49;
+
+/// Port count (4 directions + local); slab stripes are sized for all five
+/// even on edge routers whose boundary ports are absent.
+const PORTS: usize = PortId::ALL.len();
 
 /// The AFC-internal mode, including the forward-transition window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,92 +65,6 @@ pub enum AfcMode {
     },
     /// Credit-based operation over lazy one-flit VCs.
     Backpressured,
-}
-
-/// Per-vnet one-flit-VC input buffer bank for one port.
-#[derive(Debug, Clone)]
-struct LazyBank {
-    /// `slots[vnet][vc]` — `None` is a free lazy VC.
-    slots: Vec<Vec<Option<Flit>>>,
-    /// Occupied slots per vnet, maintained by `insert`/`take` (and rebuilt
-    /// on snapshot restore) so the arbitration hot path can skip empty
-    /// vnets — and whole empty ports — without scanning slots.
-    occupied: Vec<u32>,
-    /// Sum of `occupied`.
-    total_occupied: u32,
-}
-
-impl LazyBank {
-    fn new(capacity_per_vnet: &[usize]) -> LazyBank {
-        LazyBank {
-            slots: capacity_per_vnet.iter().map(|c| vec![None; *c]).collect(),
-            occupied: vec![0; capacity_per_vnet.len()],
-            total_occupied: 0,
-        }
-    }
-
-    fn occupancy(&self) -> usize {
-        debug_assert_eq!(
-            self.total_occupied as usize,
-            self.slots
-                .iter()
-                .flat_map(|v| v.iter())
-                .filter(|s| s.is_some())
-                .count()
-        );
-        self.total_occupied as usize
-    }
-
-    fn is_empty(&self) -> bool {
-        self.occupancy() == 0
-    }
-
-    fn heap_bytes(&self) -> usize {
-        self.slots
-            .iter()
-            .map(|v| v.capacity() * std::mem::size_of::<Option<Flit>>())
-            .sum::<usize>()
-            + self.slots.capacity() * std::mem::size_of::<Vec<Option<Flit>>>()
-            + self.occupied.capacity() * std::mem::size_of::<u32>()
-    }
-
-    /// Free slots in one vnet.
-    fn free_in(&self, vnet: usize) -> usize {
-        self.slots[vnet].len() - self.occupied[vnet] as usize
-    }
-
-    /// Lazily allocates a VC: places the flit in the first free slot of its
-    /// vnet and returns the slot index, or `None` if the vnet is full.
-    fn insert(&mut self, flit: Flit) -> Option<usize> {
-        let vnet = flit.vnet.index();
-        let bank = &mut self.slots[vnet];
-        let idx = bank.iter().position(|s| s.is_none())?;
-        bank[idx] = Some(flit);
-        self.occupied[vnet] += 1;
-        self.total_occupied += 1;
-        Some(idx)
-    }
-
-    /// Removes and returns the flit in `(vnet, slot)`, keeping the
-    /// occupancy counters in sync.
-    fn take(&mut self, vnet: usize, slot: usize) -> Option<Flit> {
-        let flit = self.slots[vnet][slot].take();
-        if flit.is_some() {
-            self.occupied[vnet] -= 1;
-            self.total_occupied -= 1;
-        }
-        flit
-    }
-
-    /// Recomputes the occupancy counters from slot contents (snapshot
-    /// restore writes slots directly).
-    fn rebuild_counts(&mut self) {
-        self.total_occupied = 0;
-        for (v, bank) in self.slots.iter().enumerate() {
-            self.occupied[v] = bank.iter().filter(|s| s.is_some()).count() as u32;
-            self.total_occupied += self.occupied[v];
-        }
-    }
 }
 
 /// A point-in-time view of an AFC router's adaptive state, for tooling and
@@ -183,12 +101,29 @@ pub struct AfcRouter {
     flits_this_cycle: u32,
     /// Backpressureless-mode input latches.
     latches: Vec<Flit>,
-    /// Backpressured-mode lazy VC banks, per present port.
-    buffers: PortMap<Option<LazyBank>>,
+    /// Lazy one-flit VCs for all five ports as one contiguous slab: port
+    /// `p`'s flat slot `s` lives at `p * total_slots + s` (flat slot order
+    /// is vnet-major, matching `flat_decode`). Absent boundary ports keep
+    /// their always-empty stripe so addressing stays a single multiply-add.
+    slots: Box<[Flit]>,
+    /// Clean-mode output of each occupied slot (`Direction` index, or 4
+    /// for local ejection), stamped at buffer-write time: DOR against a
+    /// static mesh never changes over a flit's buffered lifetime, so the
+    /// arbitration hot loop replaces a per-cycle route computation with a
+    /// byte load. Degraded (faulty) cycles ignore the cache and ask the
+    /// alive-graph table per flit.
+    slot_route: Box<[u8]>,
+    /// Per-port slot-occupancy bitword (bit = flat slot index).
+    occ_bits: [u64; PORTS],
+    /// Flat-slot mask of each vnet's stripe.
+    vnet_mask: Box<[u64]>,
+    /// Which ports exist (local always; boundary dirs vary).
+    in_present: [bool; PORTS],
+    /// Lazy VCs per port (sum of `vnet_capacity`); at most 64 so a port's
+    /// occupancy fits one bitword.
+    total_slots: usize,
     /// Per-vnet lazy VC capacity.
     vnet_capacity: Vec<usize>,
-    /// Flat-slot offset of each vnet (prefix sums of `vnet_capacity`).
-    vnet_offset: Vec<usize>,
     /// Flat slot index -> `(vnet, slot)`, precomputed so the arbitration
     /// inner loop decodes in O(1).
     flat_decode: Vec<(u32, u32)>,
@@ -210,8 +145,6 @@ pub struct AfcRouter {
     /// Reusable deflection-assignment buffer (capacity retained across
     /// cycles; no steady-state allocation).
     assign_scratch: Vec<Assignment>,
-    /// Reusable stage-1 eligibility map for backpressured arbitration.
-    eligible_scratch: Vec<Option<PortId>>,
     /// Reusable stage-2 winner list `(input, flat slot, output)`.
     winners_scratch: Vec<(PortId, usize, PortId)>,
     /// Reusable dead-direction mask for deflect-mode assignment.
@@ -250,11 +183,19 @@ impl AfcRouter {
         cfg.validate(net).expect("AFC configuration must be valid");
         let vnet_capacity: Vec<usize> = net.vnets.iter().map(|v| cfg.lazy_vcs(v.class)).collect();
         let total_slots: usize = vnet_capacity.iter().sum();
-        let mut vnet_offset = Vec::with_capacity(vnet_capacity.len());
+        assert!(
+            total_slots <= 64,
+            "occupancy bitwords hold at most 64 lazy VCs per port"
+        );
+        let mut vnet_mask = Vec::with_capacity(vnet_capacity.len());
         let mut flat_decode = Vec::with_capacity(total_slots);
         let mut off = 0usize;
         for (v, cap) in vnet_capacity.iter().enumerate() {
-            vnet_offset.push(off);
+            vnet_mask.push(if *cap == 0 {
+                0
+            } else {
+                (u64::MAX >> (64 - *cap)) << off
+            });
             for slot in 0..*cap {
                 flat_decode.push((v as u32, slot as u32));
             }
@@ -263,12 +204,12 @@ impl AfcRouter {
         let class = mesh.router_class(node);
         let (hi, lo) = cfg.thresholds.for_class(class);
         let monitor = ContentionMonitor::new(hi, lo, cfg.ewma_weight, cfg.load_window);
-        let buffers = PortMap::from_fn(|p| match p {
-            PortId::Local => Some(LazyBank::new(&vnet_capacity)),
-            PortId::Net(d) => mesh
-                .neighbor(node, d)
-                .map(|_| LazyBank::new(&vnet_capacity)),
-        });
+        let in_present: [bool; PORTS] =
+            std::array::from_fn(|i| match PortId::from_index(i).expect("port index") {
+                PortId::Local => true,
+                PortId::Net(d) => mesh.neighbor(node, d).is_some(),
+            });
+        let filler = Flit::test_flit(PacketId(0), NodeId::new(0), NodeId::new(0));
         let input_arb = PortMap::from_fn(|p| match p {
             PortId::Local => Some(RoundRobin::new(total_slots)),
             PortId::Net(d) => mesh.neighbor(node, d).map(|_| RoundRobin::new(total_slots)),
@@ -285,19 +226,22 @@ impl AfcRouter {
             mode: AfcMode::Backpressureless,
             flits_this_cycle: 0,
             latches: Vec::with_capacity(8),
-            buffers,
+            slots: vec![filler; PORTS * total_slots].into_boxed_slice(),
+            slot_route: vec![0; PORTS * total_slots].into_boxed_slice(),
+            occ_bits: [0; PORTS],
+            vnet_mask: vnet_mask.into_boxed_slice(),
+            in_present,
+            total_slots,
             input_arb,
             output_arb: PortMap::from_fn(|_| RoundRobin::new(PortId::ALL.len())),
             tracking: DirMap::default(),
             credits: DirMap::from_fn(|_| vnet_capacity.iter().map(|c| *c as u64).collect()),
             reverse_allowed_at: 0,
             vnet_capacity,
-            vnet_offset,
             flat_decode,
             counters: ActivityCounters::new(),
             buffered: 0,
             assign_scratch: Vec::with_capacity(8),
-            eligible_scratch: vec![None; total_slots],
             winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
             blocked_scratch: Vec::with_capacity(4),
             fa: FaultAwareness::new(node, mesh.clone()),
@@ -363,32 +307,44 @@ impl AfcRouter {
     }
 
     fn buffers_empty(&self) -> bool {
-        debug_assert_eq!(
-            self.buffered == 0,
-            PortId::ALL
-                .into_iter()
-                .filter_map(|p| self.buffers[p].as_ref())
-                .all(LazyBank::is_empty)
-        );
+        debug_assert_eq!(self.buffered == 0, self.occ_bits.iter().all(|b| *b == 0));
         self.buffered == 0
+    }
+
+    /// Clean-mode output of `flit` from this node (`Direction` index, or 4
+    /// for local ejection) — the value cached in `slot_route`.
+    fn clean_route8(&self, flit: &Flit) -> u8 {
+        if flit.dest == self.node {
+            PortId::Local.index() as u8
+        } else {
+            self.mesh
+                .dor_route(self.node, flit.dest)
+                .expect("non-local flit has a route")
+                .index() as u8
+        }
+    }
+
+    /// Free lazy VCs in `vnet` at `port` (test observability).
+    #[cfg(test)]
+    fn bank_free_in(&self, port: PortId, vnet: usize) -> usize {
+        (!self.occ_bits[port.index()] & self.vnet_mask[vnet]).count_ones() as usize
+    }
+
+    /// Occupied lazy VCs at `port` (test observability).
+    #[cfg(test)]
+    fn bank_occupancy(&self, port: PortId) -> usize {
+        self.occ_bits[port.index()].count_ones() as usize
     }
 
     fn buffer_insert(&mut self, port: PortId, flit: Flit) {
         let vnet = flit.vnet.index();
-        let offset = self.vnet_offset[vnet];
-        let bank = self.buffers[port]
-            .as_mut()
-            .unwrap_or_else(|| panic!("flit {flit} arrived on absent port {port}"));
-        match bank.insert(flit) {
-            Some(slot) => {
-                // Lazy VC allocation: the slot index *is* the VC id, stamped
-                // at buffer-write time (Section III-E).
-                bank.slots[vnet][slot].as_mut().expect("just inserted").vc =
-                    Some(VcId((offset + slot) as u8));
-                self.counters.buffer_writes += 1;
-                self.buffered += 1;
-            }
-            None if self.tolerate_faults => {
+        let pi = port.index();
+        if !self.in_present[pi] {
+            panic!("flit {flit} arrived on absent port {port}");
+        }
+        let free = !self.occ_bits[pi] & self.vnet_mask[vnet];
+        if free == 0 {
+            if self.tolerate_faults {
                 // A revived link's re-sync window can deliver an uncredited
                 // flit into a full bank (the upstream's pool is zeroed, but
                 // a deflection overflow may be forced to sink into the
@@ -396,12 +352,25 @@ impl AfcRouter {
                 // source NI retransmits — instead of wedging the run.
                 self.counters.drops += 1;
                 self.overflow_scratch.push(flit);
+                return;
             }
-            None => panic!(
+            panic!(
                 "lazy-credit violation: vnet {vnet} full at {} port {port}",
                 self.node
-            ),
+            );
         }
+        // Lowest free slot of the vnet's stripe. Lazy VC allocation: the
+        // slot index *is* the VC id, stamped at buffer-write time
+        // (Section III-E).
+        let flat = free.trailing_zeros() as usize;
+        let mut flit = flit;
+        flit.vc = Some(VcId(flat as u8));
+        let lane = pi * self.total_slots + flat;
+        self.slot_route[lane] = self.clean_route8(&flit);
+        self.slots[lane] = flit;
+        self.occ_bits[pi] |= 1 << flat;
+        self.counters.buffer_writes += 1;
+        self.buffered += 1;
     }
 
     /// Reacts to an alive-state transition of a link incident to this
@@ -436,11 +405,6 @@ impl AfcRouter {
             // pre-kill flits drained from our bank before resuming.
             self.resync_pending[d] = alive.then_some(epoch);
         }
-    }
-
-    fn flat_to_vnet_slot(&self, flat: usize) -> (usize, usize) {
-        let (v, s) = self.flat_decode[flat];
-        (v as usize, s as usize)
     }
 
     /// Free output ports this cycle under backpressureless operation.
@@ -600,10 +564,8 @@ impl AfcRouter {
     /// full bank drains over several cycles instead of bursting.
     fn sweep_unreachable_buffers(&mut self, out: &mut RouterOutputs) {
         for port in PortId::ALL {
-            let Some(bank) = self.buffers[port].as_mut() else {
-                continue;
-            };
-            if bank.total_occupied == 0 {
+            let pi = port.index();
+            if self.occ_bits[pi] == 0 {
                 continue;
             }
             let mut budget = if port.is_network() {
@@ -611,32 +573,30 @@ impl AfcRouter {
             } else {
                 usize::MAX
             };
-            'port: for vnet in 0..self.vnet_capacity.len() {
-                if bank.occupied[vnet] == 0 {
+            let base = pi * self.total_slots;
+            // Ascending bit order is the pre-slab per-vnet scan order.
+            let mut w = self.occ_bits[pi];
+            while w != 0 {
+                let flat = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let flit = self.slots[base + flat];
+                if !matches!(self.fa.route(flit.dest), RouteOutcome::Unreachable) {
                     continue;
                 }
-                for slot in 0..self.vnet_capacity[vnet] {
-                    let Some(flit) = bank.slots[vnet][slot] else {
-                        continue;
-                    };
-                    if !matches!(self.fa.route(flit.dest), RouteOutcome::Unreachable) {
-                        continue;
-                    }
-                    if budget == 0 {
-                        // Remaining unreachable flits drain next cycle.
-                        break 'port;
-                    }
-                    let flit = bank.take(vnet, slot).expect("checked occupied");
-                    self.buffered -= 1;
-                    self.counters.buffer_reads += 1;
-                    self.counters.drops += 1;
-                    if port.is_network() {
-                        out.credits[port].push(Credit::Vnet(flit.vnet));
-                        self.counters.credits_sent += 1;
-                        budget -= 1;
-                    }
-                    out.dropped.push(flit);
+                if budget == 0 {
+                    // Remaining unreachable flits drain next cycle.
+                    break;
                 }
+                self.occ_bits[pi] &= !(1u64 << flat);
+                self.buffered -= 1;
+                self.counters.buffer_reads += 1;
+                self.counters.drops += 1;
+                if port.is_network() {
+                    out.credits[port].push(Credit::Vnet(flit.vnet));
+                    self.counters.credits_sent += 1;
+                    budget -= 1;
+                }
+                out.dropped.push(flit);
             }
         }
     }
@@ -649,97 +609,95 @@ impl AfcRouter {
             self.sweep_unreachable_buffers(out);
         }
 
-        // Stage 1: each input port nominates one eligible slot. The
-        // eligibility map is a reusable scratch vector, re-zeroed per port.
-        // Ports with an empty bank are skipped outright — identical to the
-        // full scan, which would find no eligible slot and `continue`
-        // before touching the arbiter or the arbitration counter — and so
-        // are empty vnets within a bank. At saturation most ports are
-        // occupied in only one or two vnets, so this is the AFC router's
-        // main hot-path saving.
-        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        // Stage 1: each input port nominates one eligible slot, resolved
+        // as a bitword kernel: walk the port's occupancy word, test each
+        // flit's cached route for credit/handshake eligibility, and hand
+        // the resulting request mask to the arbiter. Ports with an empty
+        // word are skipped outright — identical to the full scan, which
+        // would find no eligible slot and `continue` before touching the
+        // arbiter or the arbitration counter.
         let mut any_candidate = false;
         let mut candidates: PortMap<Option<(usize, PortId)>> = PortMap::default();
         for port in PortId::ALL {
-            let Some(bank) = self.buffers[port].as_ref() else {
-                continue;
-            };
-            if bank.total_occupied == 0 {
+            let pi = port.index();
+            let occ = self.occ_bits[pi];
+            if occ == 0 {
                 continue;
             }
-            for e in eligible.iter_mut() {
-                *e = None;
-            }
-            let mut any = false;
-            for (vnet, &cap) in self.vnet_capacity.iter().enumerate() {
-                if bank.occupied[vnet] == 0 {
-                    continue;
-                }
-                let flat_base = self.vnet_offset[vnet];
-                for slot in 0..cap {
-                    let Some(flit) = bank.slots[vnet][slot] else {
-                        continue;
-                    };
-                    let route = if flit.dest == self.node {
-                        PortId::Local
-                    } else if clean {
-                        PortId::Net(
-                            self.mesh
-                                .dor_route(self.node, flit.dest)
-                                .expect("non-local flit has a route"),
-                        )
+            let base = pi * self.total_slots;
+            let mut routes = [0u8; 64];
+            let mut mask = 0u64;
+            let mut w = occ;
+            while w != 0 {
+                let flat = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let route = if clean {
+                    self.slot_route[base + flat]
+                } else {
+                    // Degraded mode: per-flit alive-graph next hop (AFC
+                    // routes statelessly, so masking is this simple). A
+                    // doomed flit the budget-limited sweep has not reached
+                    // yet simply sits out arbitration until a later sweep
+                    // retires it.
+                    let flit = &self.slots[base + flat];
+                    if flit.dest == self.node {
+                        PortId::Local.index() as u8
                     } else {
-                        // Degraded mode: per-flit alive-graph next hop (AFC
-                        // routes statelessly, so masking is this simple).
-                        // A doomed flit the budget-limited sweep has not
-                        // reached yet simply sits out arbitration until a
-                        // later sweep retires it.
                         match self.fa.route(flit.dest) {
-                            RouteOutcome::Dir(d) => PortId::Net(d),
+                            RouteOutcome::Dir(d) => d.index() as u8,
                             RouteOutcome::Local | RouteOutcome::Unreachable => continue,
                         }
-                    };
-                    let ok = match route {
-                        PortId::Local => true,
-                        // A port mid-handshake is ineligible even if stale
-                        // drain credits trickled in: sending before the
-                        // CreditResync lands would break its
-                        // nothing-in-flight precondition.
-                        PortId::Net(d) => {
-                            !self.resync_wait[d] && (!self.tracking[d] || self.credits[d][vnet] > 0)
-                        }
-                    };
-                    if ok {
-                        eligible[flat_base + slot] = Some(route);
-                        any = true;
                     }
+                };
+                let ok = match Direction::ALL.get(route as usize) {
+                    // A port mid-handshake is ineligible even if stale
+                    // drain credits trickled in: sending before the
+                    // CreditResync lands would break its
+                    // nothing-in-flight precondition.
+                    Some(&d) => {
+                        !self.resync_wait[d]
+                            && (!self.tracking[d]
+                                || self.credits[d][self.flat_decode[flat].0 as usize] > 0)
+                    }
+                    // Route 4: local ejection, always eligible.
+                    None => true,
+                };
+                if ok {
+                    routes[flat] = route;
+                    mask |= 1 << flat;
                 }
             }
-            if !any {
+            if mask == 0 {
                 continue;
             }
             let arb = self.input_arb[port].as_mut().expect("arb exists with port");
-            if let Some(flat) = arb.grant(|i| eligible[i].is_some()) {
-                candidates[port] = Some((flat, eligible[flat].expect("granted is eligible")));
+            if let Some(flat) = arb.grant_masked(mask) {
+                let route = match Direction::ALL.get(routes[flat] as usize) {
+                    Some(&d) => PortId::Net(d),
+                    None => PortId::Local,
+                };
+                candidates[port] = Some((flat, route));
                 any_candidate = true;
                 self.counters.arbitrations += 1;
             }
         }
-        self.eligible_scratch = eligible;
         if !any_candidate && self.occupancy() > 0 {
             self.counters.credit_stall_cycles += 1;
         }
 
-        // Stage 2: output ports grant among nominating inputs; the local
-        // port grants up to the ejection bandwidth.
+        // Stage 2: output ports grant among nominating inputs (a 5-bit
+        // request mask per output port); the local port grants up to the
+        // ejection bandwidth, clearing each winner's request bit.
+        let mut requests = [0u64; PORTS];
+        for port in PortId::ALL {
+            if let Some((_, route)) = candidates[port] {
+                requests[route.index()] |= 1 << port.index();
+            }
+        }
         let mut winners = std::mem::take(&mut self.winners_scratch);
         for out_port in PortId::ALL {
-            if out_port.is_network()
-                && self
-                    .mesh
-                    .neighbor(self.node, out_port.direction().expect("net"))
-                    .is_none()
-            {
+            let oi = out_port.index();
+            if out_port.is_network() && !self.in_present[oi] {
                 continue;
             }
             let grants = if out_port == PortId::Local {
@@ -748,14 +706,11 @@ impl AfcRouter {
                 1
             };
             for _ in 0..grants {
-                let request = |i: usize| {
-                    let in_port = PortId::from_index(i).expect("valid index");
-                    matches!(candidates[in_port], Some((_, route)) if route == out_port)
-                };
-                let Some(i) = self.output_arb[out_port].grant(request) else {
+                let Some(i) = self.output_arb[out_port].grant_masked(requests[oi]) else {
                     break;
                 };
                 self.counters.arbitrations += 1;
+                requests[oi] &= !(1u64 << i);
                 let in_port = PortId::from_index(i).expect("valid index");
                 let (flat, _) = candidates[in_port].take().expect("granted candidate");
                 winners.push((in_port, flat, out_port));
@@ -764,9 +719,9 @@ impl AfcRouter {
 
         // Traversal.
         for &(in_port, flat, out_port) in &winners {
-            let (vnet, slot) = self.flat_to_vnet_slot(flat);
-            let bank = self.buffers[in_port].as_mut().expect("winner port");
-            let mut flit = bank.take(vnet, slot).expect("winner slot occupied");
+            let pi = in_port.index();
+            self.occ_bits[pi] &= !(1u64 << flat);
+            let mut flit = self.slots[pi * self.total_slots + flat];
             self.buffered -= 1;
             self.counters.buffer_reads += 1;
             self.counters.crossbar_traversals += 1;
@@ -781,6 +736,7 @@ impl AfcRouter {
                 }
                 PortId::Net(d) => {
                     if self.tracking[d] {
+                        let vnet = self.flat_decode[flat].0 as usize;
                         let c = &mut self.credits[d][vnet];
                         debug_assert!(*c > 0, "eligibility checked credits");
                         *c = c.saturating_sub(1);
@@ -885,11 +841,7 @@ impl Router for AfcRouter {
 
     fn injection_ready(&self, flit: &Flit, now: Cycle) -> bool {
         if self.buffering(now) {
-            self.buffers[PortId::Local]
-                .as_ref()
-                .expect("local bank")
-                .free_in(flit.vnet.index())
-                > 0
+            (!self.occ_bits[PortId::Local.index()] & self.vnet_mask[flit.vnet.index()]) != 0
         } else {
             self.free_ports_after_ejection() >= 1
         }
@@ -931,10 +883,7 @@ impl Router for AfcRouter {
             let Some(epoch) = self.resync_pending[d] else {
                 continue;
             };
-            if self.buffers[PortId::Net(d)]
-                .as_ref()
-                .is_some_and(|b| b.total_occupied != 0)
-            {
+            if self.occ_bits[PortId::Net(d).index()] != 0 {
                 continue;
             }
             if let Some(up) = self.mesh.neighbor(self.node, d) {
@@ -1012,25 +961,19 @@ impl Router for AfcRouter {
 
     fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        let banks: usize = self
-            .buffers
-            .iter()
-            .filter_map(|(_, b)| b.as_ref())
-            .map(LazyBank::heap_bytes)
-            .sum();
         let credits: usize = self
             .credits
             .iter()
             .map(|(_, c)| c.capacity() * size_of::<u64>())
             .sum();
-        banks
+        self.slots.len() * size_of::<Flit>()
+            + self.slot_route.len() * size_of::<u8>()
+            + self.vnet_mask.len() * size_of::<u64>()
             + credits
             + self.latches.capacity() * size_of::<Flit>()
             + self.vnet_capacity.capacity() * size_of::<usize>()
-            + self.vnet_offset.capacity() * size_of::<usize>()
             + self.flat_decode.capacity() * size_of::<(u32, u32)>()
             + self.assign_scratch.capacity() * size_of::<Assignment>()
-            + self.eligible_scratch.capacity() * size_of::<Option<PortId>>()
             + self.winners_scratch.capacity() * size_of::<(PortId, usize, PortId)>()
             + self.blocked_scratch.capacity() * size_of::<Direction>()
             + self.overflow_scratch.capacity() * size_of::<Flit>()
@@ -1057,10 +1000,9 @@ impl Router for AfcRouter {
     fn occupancy(&self) -> usize {
         debug_assert_eq!(
             self.buffered,
-            PortId::ALL
-                .into_iter()
-                .filter_map(|p| self.buffers[p].as_ref())
-                .map(LazyBank::occupancy)
+            self.occ_bits
+                .iter()
+                .map(|b| b.count_ones() as usize)
                 .sum::<usize>(),
         );
         self.buffered + self.latches.len()
@@ -1134,14 +1076,10 @@ impl Router for AfcRouter {
         self.flits_this_cycle = 0;
         self.reverse_allowed_at = 0;
         self.latches.clear();
+        // Stale slot/route contents behind a cleared occupancy bit are
+        // never read, so zeroing the bitwords is the whole buffer reset.
+        self.occ_bits = [0; PORTS];
         for port in PortId::ALL {
-            if let Some(bank) = self.buffers[port].as_mut() {
-                for vnet in &mut bank.slots {
-                    vnet.fill(None);
-                }
-                bank.occupied.fill(0);
-                bank.total_occupied = 0;
-            }
             if let Some(arb) = self.input_arb[port].as_mut() {
                 arb.set_cursor(0);
             }
@@ -1156,7 +1094,6 @@ impl Router for AfcRouter {
         self.counters = ActivityCounters::new();
         self.buffered = 0;
         self.assign_scratch.clear();
-        self.eligible_scratch.fill(None);
         self.winners_scratch.clear();
         self.blocked_scratch.clear();
         self.fa.reset();
@@ -1192,20 +1129,20 @@ impl Router for AfcRouter {
             snapshot::write_flit(w, f);
         }
         // Bank geometry (present ports, per-vnet capacities) is rebuilt from
-        // configuration; only slot contents travel.
+        // configuration; only slot contents travel. Flat ascending slot
+        // order is vnet-major, so the byte stream matches the pre-slab
+        // per-vnet layout exactly.
         for port in PortId::ALL {
-            let Some(bank) = self.buffers[port].as_ref() else {
+            let pi = port.index();
+            if !self.in_present[pi] {
                 continue;
-            };
-            for vnet in &bank.slots {
-                for slot in vnet {
-                    match slot {
-                        Some(f) => {
-                            w.put_bool(true);
-                            snapshot::write_flit(w, f);
-                        }
-                        None => w.put_bool(false),
-                    }
+            }
+            for flat in 0..self.total_slots {
+                if self.occ_bits[pi] >> flat & 1 != 0 {
+                    w.put_bool(true);
+                    snapshot::write_flit(w, &self.slots[pi * self.total_slots + flat]);
+                } else {
+                    w.put_bool(false);
                 }
             }
         }
@@ -1274,20 +1211,24 @@ impl Router for AfcRouter {
         }
         let mut buffered = 0usize;
         for port in PortId::ALL {
-            let Some(bank) = self.buffers[port].as_mut() else {
+            let pi = port.index();
+            if !self.in_present[pi] {
                 continue;
-            };
-            for vnet in bank.slots.iter_mut() {
-                for slot in vnet.iter_mut() {
-                    *slot = if r.get_bool("afc buffer slot occupancy")? {
-                        buffered += 1;
-                        Some(snapshot::read_flit(r)?)
-                    } else {
-                        None
-                    };
+            }
+            let mut occ = 0u64;
+            for flat in 0..self.total_slots {
+                if r.get_bool("afc buffer slot occupancy")? {
+                    let f = snapshot::read_flit(r)?;
+                    let lane = pi * self.total_slots + flat;
+                    // The clean-route cache is derived state: recompute it
+                    // rather than persist it.
+                    self.slot_route[lane] = self.clean_route8(&f);
+                    self.slots[lane] = f;
+                    occ |= 1u64 << flat;
+                    buffered += 1;
                 }
             }
-            bank.rebuild_counts();
+            self.occ_bits[pi] = occ;
         }
         self.buffered = buffered;
         for port in PortId::ALL {
@@ -1469,7 +1410,7 @@ mod tests {
                 .into_iter()
                 .enumerate()
             {
-                if !r.buffering(now) || r.buffers[PortId::Net(d)].as_ref().unwrap().free_in(0) > 0 {
+                if !r.buffering(now) || r.bank_free_in(PortId::Net(d), 0) > 0 {
                     r.receive_flit(PortId::Net(d), flit(now * 10 + i as u64, dest, 0), now);
                 }
             }
@@ -1642,9 +1583,11 @@ mod tests {
         let far = NodeId::new(0);
         r.receive_flit(PortId::Net(Direction::East), flit(1, far, 2), 7);
         r.receive_flit(PortId::Net(Direction::East), flit(2, far, 2), 7);
-        let bank = r.buffers[PortId::Net(Direction::East)].as_ref().unwrap();
-        assert_eq!(bank.free_in(2), AfcConfig::paper().data_vcs - 2);
-        assert_eq!(bank.occupancy(), 2);
+        assert_eq!(
+            r.bank_free_in(PortId::Net(Direction::East), 2),
+            AfcConfig::paper().data_vcs - 2
+        );
+        assert_eq!(r.bank_occupancy(PortId::Net(Direction::East)), 2);
     }
 
     #[test]

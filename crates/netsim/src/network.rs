@@ -248,6 +248,51 @@ impl MemoryFootprint {
     }
 }
 
+/// Wall-clock attribution of [`Network::try_step`] time to engine phases,
+/// accumulated while [`Network::set_phase_profiling`] is enabled.
+///
+/// Categories follow the cycle structure (see `try_step`): `channel_ns`
+/// covers delivery (phase 1) and advance (phase 4); `ni_ns` covers the
+/// NACK/ack/timeout plumbing and injection (phases 2a/2b/3b); `router_ns`
+/// is the router pipeline walk (phase 3); `merge_ns` is time spent inside
+/// the parallel engine (shard step + merge tree — zero on serial runs);
+/// `other_ns` is fault detection, stats and watchdog bookkeeping.
+///
+/// This is an observer, not simulation state: it is never snapshotted and
+/// enabling it changes no results. The `Instant` reads themselves cost a
+/// few tens of nanoseconds per phase boundary, so profiled ns/cycle runs
+/// slightly above an unprofiled run — compare phase *shares* against an
+/// unprofiled total, not absolute sums.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Channel delivery + advance (phases 1 and 4).
+    pub channel_ns: u64,
+    /// NI work: NACK/ack/timeouts, injection, corrupt/ack pickup (2a/2b/3b).
+    pub ni_ns: u64,
+    /// Router pipeline steps (phase 3).
+    pub router_ns: u64,
+    /// Parallel engine cycles: shard stepping plus output merge (0 serial).
+    pub merge_ns: u64,
+    /// Fault detection, stats, watchdog, and remaining bookkeeping.
+    pub other_ns: u64,
+    /// Cycles accumulated into the counters above.
+    pub cycles: u64,
+}
+
+/// Advances a lap timer: returns nanoseconds since the previous lap and
+/// restarts it. A `None` timer (profiling disabled) costs one branch.
+#[inline]
+fn lap_ns(lap: &mut Option<std::time::Instant>) -> u64 {
+    match lap.as_mut() {
+        Some(t) => {
+            let ns = t.elapsed().as_nanos() as u64;
+            *t = std::time::Instant::now();
+            ns
+        }
+        None => 0,
+    }
+}
+
 /// A complete simulated network: routers, channels and network interfaces.
 ///
 /// Construct via [`Network::new`] with a [`RouterFactory`] selecting the
@@ -367,6 +412,10 @@ pub struct Network {
     pub(crate) replan_every: u64,
     /// High-water mark of [`Network::memory_footprint`] samples.
     pub(crate) mem_high_water: usize,
+    /// Per-phase wall-clock attribution (see [`PhaseProfile`]); `None`
+    /// unless enabled. Observer state: never snapshotted, carried over by
+    /// arena resets exactly like the adaptive gate.
+    phase_profile: Option<Box<PhaseProfile>>,
 }
 
 impl std::fmt::Debug for Network {
@@ -528,6 +577,7 @@ impl Network {
             ),
             replan_every: crate::parallel::DEFAULT_REPLAN_INTERVAL,
             mem_high_water: 0,
+            phase_profile: None,
         })
     }
 
@@ -587,6 +637,20 @@ impl Network {
     /// Whether the full-scan self-check walk is currently forced.
     pub fn full_scan(&self) -> bool {
         self.full_scan
+    }
+
+    /// Enables (or disables) per-phase wall-clock attribution; enabling
+    /// resets the accumulated [`PhaseProfile`]. Purely an observer —
+    /// results are byte-identical either way, only `try_step` gains a few
+    /// `Instant` reads per cycle while enabled.
+    pub fn set_phase_profiling(&mut self, on: bool) {
+        self.phase_profile = on.then(|| Box::new(PhaseProfile::default()));
+    }
+
+    /// Accumulated per-phase attribution since profiling was enabled, or
+    /// `None` when [`Network::set_phase_profiling`] is off.
+    pub fn phase_profile(&self) -> Option<PhaseProfile> {
+        self.phase_profile.as_deref().copied()
     }
 
     /// Sets the intra-run parallel engine's thread budget (`1` = serial).
@@ -810,6 +874,7 @@ impl Network {
         let now = self.now;
         let faults_active = !self.config.faults.is_empty();
         let fast = self.fast_path();
+        let mut lap = self.phase_profile.is_some().then(std::time::Instant::now);
 
         // Phase 0: deterministic fault/repair detection. Each alive-state
         // transition of a link is reported a fixed number of cycles after
@@ -842,6 +907,9 @@ impl Network {
                     .record(self.config.faults.detection_delay);
             }
         }
+        if let Some(p) = self.phase_profile.as_deref_mut() {
+            p.other_ns += lap_ns(&mut lap);
+        }
 
         // Intra-run parallel engine (DESIGN.md §12): only on the fast path
         // (the fault plane and recovery layer are inherently sequential),
@@ -857,13 +925,22 @@ impl Network {
         if self.sim_threads > 1 && fast && crate::parallel::static_gate(self) {
             let (threads, timed) = self.par_gate.decide();
             if threads > 1 {
-                if timed {
+                if let Some(p) = self.phase_profile.as_deref_mut() {
+                    p.other_ns += lap_ns(&mut lap);
+                }
+                if timed || lap.is_some() {
                     // Thread-pool spawn must not be charged to the probe.
                     crate::parallel::ensure_engine_for(self, threads);
                     let t0 = std::time::Instant::now();
                     let result = crate::parallel::step_parallel_with(self, threads);
                     let ns = t0.elapsed().as_nanos() as f64;
-                    self.par_gate.feedback(threads, ns);
+                    if timed {
+                        self.par_gate.feedback(threads, ns);
+                    }
+                    if let Some(p) = self.phase_profile.as_deref_mut() {
+                        p.merge_ns += ns as u64;
+                        p.cycles += 1;
+                    }
                     return result;
                 }
                 return crate::parallel::step_parallel_with(self, threads);
@@ -890,6 +967,9 @@ impl Network {
             for c in 0..self.channels.len() {
                 self.deliver_channel(c, now, faults_active)?;
             }
+        }
+        if let Some(p) = self.phase_profile.as_deref_mut() {
+            p.channel_ns += lap_ns(&mut lap);
         }
 
         // Phase 2a: NACKs that have reached their source become pending
@@ -961,6 +1041,9 @@ impl Network {
                 self.inject_at(i, now);
             }
         }
+        if let Some(p) = self.phase_profile.as_deref_mut() {
+            p.ni_ns += lap_ns(&mut lap);
+        }
 
         // Phase 3: router pipeline steps (stalled routers skip their step
         // but still accrue mode residency via the cached mode counts).
@@ -985,6 +1068,9 @@ impl Network {
                 self.step_one_router(i, now)?;
             }
         }
+        if let Some(p) = self.phase_profile.as_deref_mut() {
+            p.router_ns += lap_ns(&mut lap);
+        }
 
         // Phase 3b: corrupt arrivals join the NACK circuit; fresh end-to-end
         // acks start their trip back to the source. Corrupt flits exist only
@@ -1006,6 +1092,9 @@ impl Network {
             }
             self.cap_unreachable_log();
         }
+        if let Some(p) = self.phase_profile.as_deref_mut() {
+            p.ni_ns += lap_ns(&mut lap);
+        }
 
         // Phase 4: advance channels; stage next cycle's deliveries. An
         // inactive channel is fully empty, so skipping its advance() only
@@ -1023,6 +1112,9 @@ impl Network {
             for c in 0..self.channels.len() {
                 self.advance_channel(c);
             }
+        }
+        if let Some(p) = self.phase_profile.as_deref_mut() {
+            p.channel_ns += lap_ns(&mut lap);
         }
         self.now += 1;
         self.stats.cycles += 1;
@@ -1076,6 +1168,10 @@ impl Network {
         }
         if let Some(t0) = serial_probe {
             self.par_gate.feedback(1, t0.elapsed().as_nanos() as f64);
+        }
+        if let Some(p) = self.phase_profile.as_deref_mut() {
+            p.other_ns += lap_ns(&mut lap);
+            p.cycles += 1;
         }
         Ok(())
     }

@@ -1,4 +1,7 @@
-//! Round-robin arbitration primitives used by the switch allocators.
+//! Round-robin arbitration primitives used by the switch allocators, plus
+//! the shared free-output-port list of the single-cycle allocators.
+
+use afc_netsim::geom::Direction;
 
 /// A rotating-priority (round-robin) arbiter over `n` requesters.
 ///
@@ -72,6 +75,36 @@ impl RoundRobin {
         self.next = next;
     }
 
+    /// Mask form of [`RoundRobin::grant`]: bit `i` of `mask` set means
+    /// requester `i` requests. Semantically identical to
+    /// `grant(|i| mask >> i & 1 != 0)` — same winner, same cursor update,
+    /// cursor untouched when nothing requests — but resolved with two
+    /// count-trailing-zeros instead of a scan, so the hot arbitration
+    /// kernels stay branch-light.
+    ///
+    /// Bits at or above `len()` are ignored. Only meaningful for arbiters
+    /// of at most 64 requesters (every router arbiter: ≤ 64 VCs, 5 ports).
+    pub fn grant_masked(&mut self, mask: u64) -> Option<usize> {
+        debug_assert!(self.n <= 64, "grant_masked requires <= 64 requesters");
+        let m = if self.n >= 64 {
+            mask
+        } else {
+            mask & ((1u64 << self.n) - 1)
+        };
+        if m == 0 {
+            return None;
+        }
+        // First requester at or after the cursor, else wrap to the lowest.
+        let hi = m >> self.next;
+        let i = if hi != 0 {
+            self.next + hi.trailing_zeros() as usize
+        } else {
+            m.trailing_zeros() as usize
+        };
+        self.next = (i + 1) % self.n;
+        Some(i)
+    }
+
     /// Like [`RoundRobin::grant`] but does not rotate priority — useful for
     /// "peek" style eligibility checks.
     pub fn peek(&self, mut requesting: impl FnMut(usize) -> bool) -> Option<usize> {
@@ -82,6 +115,102 @@ impl RoundRobin {
             }
         }
         None
+    }
+}
+
+/// An order-preserving list of free output directions for single-cycle
+/// output allocation, shared by the deflection and drop arbitration paths.
+///
+/// Fixed-size (a mesh router has at most 4 network ports) so the per-cycle
+/// hot loops never touch the heap. Iteration order follows insertion order
+/// and [`FreeDirs::take`] removal is order-preserving (`copy_within`),
+/// which keeps the RNG draw sequence of deflection ranking bit-identical
+/// to an equivalent `Vec::remove`-based implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct FreeDirs {
+    dirs: [Direction; 4],
+    len: usize,
+}
+
+impl Default for FreeDirs {
+    fn default() -> FreeDirs {
+        FreeDirs::new()
+    }
+}
+
+impl FreeDirs {
+    /// An empty list.
+    pub fn new() -> FreeDirs {
+        FreeDirs {
+            dirs: [Direction::North; 4],
+            len: 0,
+        }
+    }
+
+    /// Collects the directions of `dirs` for which `usable` holds,
+    /// preserving order.
+    pub fn fill(
+        dirs: impl IntoIterator<Item = Direction>,
+        mut usable: impl FnMut(Direction) -> bool,
+    ) -> FreeDirs {
+        let mut free = FreeDirs::new();
+        for d in dirs {
+            if usable(d) {
+                free.push(d);
+            }
+        }
+        free
+    }
+
+    /// Appends a direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via the slice bound) past four entries.
+    pub fn push(&mut self, d: Direction) {
+        self.dirs[self.len] = d;
+        self.len += 1;
+    }
+
+    /// Number of free directions left.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no direction is free.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `d` is still free.
+    pub fn contains(&self, d: Direction) -> bool {
+        self.dirs[..self.len].contains(&d)
+    }
+
+    /// The `i`-th free direction in order (for the random deflection pick).
+    pub fn get(&self, i: usize) -> Direction {
+        debug_assert!(i < self.len, "free-list index in range");
+        self.dirs[i]
+    }
+
+    /// The first of `candidates` that is still free.
+    pub fn first_free(&self, candidates: impl IntoIterator<Item = Direction>) -> Option<Direction> {
+        candidates.into_iter().find(|d| self.contains(*d))
+    }
+
+    /// Removes `d`, preserving the order of the remaining entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not free — the caller allocated a port it never
+    /// held.
+    pub fn take(&mut self, d: Direction) {
+        let pos = self.dirs[..self.len]
+            .iter()
+            .position(|x| *x == d)
+            .expect("assigned direction must be free");
+        self.dirs.copy_within(pos + 1..self.len, pos);
+        self.len -= 1;
     }
 }
 
@@ -135,5 +264,97 @@ mod tests {
     #[should_panic(expected = "at least one requester")]
     fn zero_requesters_rejected() {
         let _ = RoundRobin::new(0);
+    }
+
+    #[test]
+    fn grant_masked_matches_closure_grant_exhaustively() {
+        // Every (n, cursor, mask) for small n: same winner, same cursor
+        // afterwards — grant_masked is a drop-in for the closure form.
+        for n in 1..=8usize {
+            for cursor in 0..n {
+                for mask in 0u64..(1 << n) {
+                    let mut a = RoundRobin::new(n);
+                    a.set_cursor(cursor);
+                    let mut b = a.clone();
+                    let ga = a.grant(|i| mask >> i & 1 != 0);
+                    let gb = b.grant_masked(mask);
+                    assert_eq!(
+                        ga, gb,
+                        "winner mismatch n={n} cursor={cursor} mask={mask:b}"
+                    );
+                    assert_eq!(
+                        a.cursor(),
+                        b.cursor(),
+                        "cursor mismatch n={n} mask={mask:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grant_masked_ignores_out_of_range_bits() {
+        let mut arb = RoundRobin::new(3);
+        assert_eq!(arb.grant_masked(0b1111_1000), None);
+        assert_eq!(arb.cursor(), 0, "no request leaves the cursor alone");
+        assert_eq!(arb.grant_masked(u64::MAX), Some(0));
+        assert_eq!(arb.grant_masked(u64::MAX), Some(1));
+    }
+
+    #[test]
+    fn grant_masked_wraps_past_cursor() {
+        let mut arb = RoundRobin::new(8);
+        arb.set_cursor(6);
+        // Only bit 1 set: the scan wraps past the end back to requester 1.
+        assert_eq!(arb.grant_masked(0b10), Some(1));
+        assert_eq!(arb.cursor(), 2);
+    }
+
+    #[test]
+    fn grant_masked_supports_full_width() {
+        let mut arb = RoundRobin::new(64);
+        arb.set_cursor(63);
+        assert_eq!(arb.grant_masked(1 << 63), Some(63));
+        assert_eq!(arb.cursor(), 0);
+        assert_eq!(arb.grant_masked(1), Some(0));
+    }
+
+    #[test]
+    fn free_dirs_fill_filters_and_preserves_order() {
+        let free = FreeDirs::fill(Direction::ALL, |d| d != Direction::East);
+        assert_eq!(free.len(), 3);
+        assert!(!free.contains(Direction::East));
+        assert_eq!(free.get(0), Direction::North);
+        assert_eq!(free.get(1), Direction::South);
+        assert_eq!(free.get(2), Direction::West);
+    }
+
+    #[test]
+    fn free_dirs_take_is_order_preserving() {
+        let mut free = FreeDirs::fill(Direction::ALL, |_| true);
+        free.take(Direction::South);
+        assert_eq!(free.len(), 3);
+        // Survivors keep their relative order (the RNG-sequence contract).
+        assert_eq!(free.get(0), Direction::North);
+        assert_eq!(free.get(1), Direction::East);
+        assert_eq!(free.get(2), Direction::West);
+    }
+
+    #[test]
+    fn free_dirs_first_free_respects_candidate_order() {
+        let mut free = FreeDirs::fill(Direction::ALL, |_| true);
+        free.take(Direction::North);
+        assert_eq!(
+            free.first_free([Direction::North, Direction::West]),
+            Some(Direction::West)
+        );
+        assert_eq!(free.first_free([Direction::North]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned direction must be free")]
+    fn free_dirs_take_of_absent_direction_panics() {
+        let mut free = FreeDirs::fill(Direction::ALL, |d| d == Direction::West);
+        free.take(Direction::North);
     }
 }

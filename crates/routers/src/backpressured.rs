@@ -21,6 +21,22 @@
 //!  credits ◄── one per flit leaving an input VC ◄─────┘            │
 //! ```
 //!
+//! # Data-oriented layout (DESIGN.md §16)
+//!
+//! All per-port/per-VC state lives in flat structure-of-arrays slabs rather
+//! than a `Vec` of per-VC structs: one contiguous flit ring slab for all
+//! `5 × total` lanes (`lane = port_index * total + vc`), parallel
+//! `head`/`len` ring indices, `route`/`out_vc` byte arrays (`0xFF` = none),
+//! a flat `credits` array for the four network output ports, and one
+//! occupancy bitword per input port (bit `vc` set ⇔ lane non-empty) plus an
+//! allocation bitword per output port. Stage-1 eligibility and both
+//! round-robin stages are mask kernels ([`RoundRobin::grant_masked`])
+//! walking those bitwords, so an arbitration cycle touches a handful of
+//! cache lines instead of chasing `VecDeque` headers across the heap.
+//! Snapshot bytes, arbitration outcomes and counters are bit-identical to
+//! the previous array-of-structs layout: every loop below visits lanes in
+//! the same ascending (port, vc) order the old per-VC vectors did.
+//!
 //! Key properties:
 //!
 //! * VCs are allocated per **packet**: a packet holds its downstream VC from
@@ -52,13 +68,19 @@ use afc_netsim::rng::SimRng;
 use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use afc_netsim::topology::Mesh;
-use std::collections::VecDeque;
 
 use crate::arbiter::RoundRobin;
 
 /// Flit width in bits for this mechanism (32-bit payload + 9 control bits,
 /// Section IV).
 pub const FLIT_WIDTH_BITS: u32 = 41;
+
+/// Sentinel for "no route" / "no output VC" in the flat byte arrays.
+const NONE8: u8 = 0xFF;
+
+/// Number of ports (N/S/E/W/Local) and of network directions.
+const PORTS: usize = 5;
+const DIRS: usize = 4;
 
 /// Deterministic dimension-ordered routing algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -125,41 +147,16 @@ impl VcLayout {
     }
 }
 
-/// One input virtual channel: a FIFO plus the per-packet routing state of
-/// the packet currently at its head.
-#[derive(Debug, Clone)]
-struct InputVc {
-    queue: VecDeque<Flit>,
-    depth: usize,
-    /// Output port of the packet at the head of the queue.
-    route: Option<PortId>,
-    /// Downstream VC allocated to that packet (network routes only).
-    out_vc: Option<usize>,
-    /// Packet that owns the open route. In a fault-free run the tail always
-    /// closes the route, so ownership is implied; under fault injection a
-    /// dropped tail leaves the route open, and the mismatch with the packet
-    /// now at HoQ is how the stale hold is detected.
-    route_packet: Option<PacketId>,
-}
-
-impl InputVc {
-    fn new(depth: usize) -> InputVc {
-        InputVc {
-            queue: VecDeque::with_capacity(depth),
-            depth,
-            route: None,
-            out_vc: None,
-            route_packet: None,
-        }
-    }
-}
-
-/// Downstream state of one output VC: whether some packet holds it, and how
-/// many downstream buffer slots are free.
-#[derive(Debug, Clone, Copy)]
-struct OutVc {
-    allocated: bool,
-    credits: usize,
+/// Bit mask covering a contiguous VC range (for the ≤64-lane bitwords).
+#[inline]
+fn range_mask(range: &std::ops::Range<usize>) -> u64 {
+    debug_assert!(range.end <= 64);
+    let hi = if range.end == 64 {
+        u64::MAX
+    } else {
+        (1u64 << range.end) - 1
+    };
+    hi & !((1u64 << range.start) - 1)
 }
 
 /// The backpressured virtual-channel router.
@@ -168,10 +165,44 @@ pub struct BackpressuredRouter {
     mesh: Mesh,
     layout: VcLayout,
     eject_bandwidth: usize,
-    /// Input VCs, for each present port.
-    inputs: PortMap<Option<Vec<InputVc>>>,
-    /// Output VC state, for each present network port.
-    outputs: PortMap<Option<Vec<OutVc>>>,
+    /// `layout.total()`, cached for lane index math.
+    total: usize,
+    /// Sum of all VC depths — the flit-slab span of one port.
+    port_span: usize,
+    /// Slab offset of each VC's ring within a port span (prefix sums of
+    /// `layout.depth_of`).
+    vc_base: Box<[u32]>,
+    /// Which input ports exist (Local always; `Net(d)` iff neighbor).
+    in_present: [bool; PORTS],
+    /// Which network output directions exist.
+    out_present: [bool; DIRS],
+    /// Flit ring storage for all lanes: port `p`, VC `v` occupies
+    /// `[p * port_span + vc_base[v] ..][..depth_of[v]]`.
+    flits: Box<[Flit]>,
+    /// Per-lane ring head index (into the lane's own ring).
+    head: Box<[u16]>,
+    /// Per-lane ring occupancy.
+    len: Box<[u16]>,
+    /// Per-lane output port of the packet at the head of the queue
+    /// ([`PortId`] index, [`NONE8`] when unrouted).
+    route: Box<[u8]>,
+    /// Per-lane downstream VC allocated to that packet (network routes
+    /// only; [`NONE8`] when unallocated).
+    out_vc: Box<[u8]>,
+    /// Packet that owns the open route. In a fault-free run the tail always
+    /// closes the route, so ownership is implied; under fault injection a
+    /// dropped tail leaves the route open, and the mismatch with the packet
+    /// now at HoQ is how the stale hold is detected.
+    route_packet: Box<[Option<PacketId>]>,
+    /// Per-input-port occupancy word: bit `vc` set ⇔ that lane is
+    /// non-empty. The stage-1/route kernels walk set bits instead of
+    /// iterating every VC.
+    occ_bits: [u64; PORTS],
+    /// Per-output-direction allocation word: bit `vc` set ⇔ some packet
+    /// holds that downstream VC.
+    alloc_bits: [u64; DIRS],
+    /// Flat downstream credit counters, `credits[dir * total + vc]`.
+    credits: Box<[u16]>,
     /// Per-input-port VC-selection arbiters.
     input_arb: PortMap<Option<RoundRobin>>,
     /// Per-output-port (and Local) input-selection arbiters.
@@ -192,8 +223,6 @@ pub struct BackpressuredRouter {
     /// allocation and stage-1 nomination skip empty ports entirely (the
     /// dominant case at low load, where most cycles see one busy port).
     port_occ: PortMap<usize>,
-    /// Reusable stage-1 eligibility buffer (one slot per input VC).
-    eligible_scratch: Vec<bool>,
     /// Reusable stage-2 winner list `(in, vc, out)`.
     winners_scratch: Vec<(PortId, usize, PortId)>,
     /// Fault mask, gossip queue and alive-graph routing table (DESIGN.md
@@ -225,27 +254,39 @@ impl BackpressuredRouter {
         options: BackpressuredOptions,
     ) -> BackpressuredRouter {
         let layout = VcLayout::new(config);
-        let make_vcs = |layout: &VcLayout| -> Vec<InputVc> {
-            layout.depth_of.iter().map(|d| InputVc::new(*d)).collect()
-        };
-        let inputs = PortMap::from_fn(|p| match p {
-            PortId::Local => Some(make_vcs(&layout)),
-            PortId::Net(d) => mesh.neighbor(node, d).map(|_| make_vcs(&layout)),
-        });
-        let outputs = PortMap::from_fn(|p| match p {
-            PortId::Local => None,
-            PortId::Net(d) => mesh.neighbor(node, d).map(|_| {
-                layout
-                    .depth_of
-                    .iter()
-                    .map(|d| OutVc {
-                        allocated: false,
-                        credits: *d,
-                    })
-                    .collect()
-            }),
-        });
         let total = layout.total();
+        assert!(
+            total <= 64,
+            "occupancy bitwords hold at most 64 VCs per port"
+        );
+        let mut vc_base = Vec::with_capacity(total);
+        let mut span = 0u32;
+        for d in &layout.depth_of {
+            assert!(*d <= u16::MAX as usize, "ring indices are u16");
+            vc_base.push(span);
+            span += *d as u32;
+        }
+        let port_span = span as usize;
+        let in_present: [bool; PORTS] =
+            std::array::from_fn(|i| match PortId::from_index(i).expect("port index") {
+                PortId::Local => true,
+                PortId::Net(d) => mesh.neighbor(node, d).is_some(),
+            });
+        let out_present: [bool; DIRS] =
+            std::array::from_fn(|i| mesh.neighbor(node, Direction::ALL[i]).is_some());
+        let lanes = PORTS * total;
+        // The slab is sized for all five ports even on edge routers whose
+        // boundary ports are absent: the waste is a few KiB per edge node
+        // and keeps lane addressing a single multiply-add everywhere.
+        let filler = Flit::test_flit(PacketId(0), NodeId::new(0), NodeId::new(0));
+        let mut credits = vec![0u16; DIRS * total];
+        for di in 0..DIRS {
+            if out_present[di] {
+                for (v, d) in layout.depth_of.iter().enumerate() {
+                    credits[di * total + v] = *d as u16;
+                }
+            }
+        }
         let input_arb = PortMap::from_fn(|p| match p {
             PortId::Local => Some(RoundRobin::new(total)),
             PortId::Net(d) => mesh.neighbor(node, d).map(|_| RoundRobin::new(total)),
@@ -255,8 +296,20 @@ impl BackpressuredRouter {
             node,
             mesh: mesh.clone(),
             eject_bandwidth: config.eject_bandwidth,
-            inputs,
-            outputs,
+            total,
+            port_span,
+            vc_base: vc_base.into_boxed_slice(),
+            in_present,
+            out_present,
+            flits: vec![filler; PORTS * port_span].into_boxed_slice(),
+            head: vec![0; lanes].into_boxed_slice(),
+            len: vec![0; lanes].into_boxed_slice(),
+            route: vec![NONE8; lanes].into_boxed_slice(),
+            out_vc: vec![NONE8; lanes].into_boxed_slice(),
+            route_packet: vec![None; lanes].into_boxed_slice(),
+            occ_bits: [0; PORTS],
+            alloc_bits: [0; DIRS],
+            credits: credits.into_boxed_slice(),
             input_arb,
             output_arb,
             inject_vc: vec![None; config.vnet_count()],
@@ -265,7 +318,6 @@ impl BackpressuredRouter {
             tolerate_orphans: !config.faults.is_empty(),
             occ: 0,
             port_occ: PortMap::default(),
-            eligible_scratch: vec![false; total],
             winners_scratch: Vec::with_capacity(PortId::ALL.len() + 4),
             fa: FaultAwareness::new(node, mesh.clone()),
             resync_wait: DirMap::default(),
@@ -280,60 +332,110 @@ impl BackpressuredRouter {
         self.node
     }
 
+    /// Slab offset of lane `(port, vc)`'s ring plus its capacity.
+    #[inline]
+    fn ring(&self, pi: usize, vc: usize) -> (usize, usize) {
+        (
+            pi * self.port_span + self.vc_base[vc] as usize,
+            self.layout.depth_of[vc],
+        )
+    }
+
+    /// Copy of the head-of-queue flit of a non-empty lane.
+    #[inline]
+    fn front(&self, pi: usize, vc: usize) -> Flit {
+        let lane = pi * self.total + vc;
+        debug_assert!(self.len[lane] > 0, "front of empty lane");
+        let (base, _) = self.ring(pi, vc);
+        self.flits[base + self.head[lane] as usize]
+    }
+
+    /// Appends to a lane's ring; the caller has already checked depth.
+    #[inline]
+    fn push_lane(&mut self, pi: usize, vc: usize, flit: Flit) {
+        let lane = pi * self.total + vc;
+        let (base, depth) = self.ring(pi, vc);
+        let l = self.len[lane] as usize;
+        debug_assert!(l < depth, "lane overflow");
+        let mut idx = self.head[lane] as usize + l;
+        if idx >= depth {
+            idx -= depth;
+        }
+        self.flits[base + idx] = flit;
+        self.len[lane] = (l + 1) as u16;
+        self.occ_bits[pi] |= 1 << vc;
+    }
+
+    /// Pops a lane's head flit, maintaining the occupancy bitword.
+    #[inline]
+    fn pop_lane(&mut self, pi: usize, vc: usize) -> Flit {
+        let lane = pi * self.total + vc;
+        let (base, depth) = self.ring(pi, vc);
+        let h = self.head[lane] as usize;
+        let f = self.flits[base + h];
+        self.head[lane] = if h + 1 >= depth { 0 } else { (h + 1) as u16 };
+        let l = self.len[lane] as usize - 1;
+        self.len[lane] = l as u16;
+        if l == 0 {
+            self.occ_bits[pi] &= !(1u64 << vc);
+        }
+        f
+    }
+
+    /// Releases a lane's open route: frees the downstream VC allocation (if
+    /// any) and clears the route/out-VC/owner fields.
+    #[inline]
+    fn release_lane_route(&mut self, lane: usize) {
+        let r = self.route[lane];
+        if (r as usize) < DIRS {
+            let ovc = self.out_vc[lane];
+            if ovc != NONE8 {
+                self.alloc_bits[r as usize] &= !(1u64 << ovc);
+            }
+        }
+        self.route[lane] = NONE8;
+        self.out_vc[lane] = NONE8;
+        self.route_packet[lane] = None;
+    }
+
     /// Zero-cycle VC allocation + route computation for every head-of-queue
-    /// flit; returns nothing, marks eligibility state in the input VCs.
+    /// flit; returns nothing, marks route/out-VC state in the lane arrays.
     fn allocate_routes_and_vcs(&mut self) {
         let clean = self.fa.is_clean();
-        for port in PortId::ALL {
-            let Some(vcs) = self.inputs[port].as_mut() else {
-                continue;
-            };
-            if self.port_occ[port] == 0 {
-                // Every VC queue is empty: the body below would only skip
-                // over `None` heads, so eliding the walk changes nothing.
-                continue;
-            }
-            for vc in vcs.iter_mut() {
-                let Some(hoq) = vc.queue.front() else {
-                    continue;
-                };
+        let total = self.total;
+        for pi in 0..PORTS {
+            // A zero occupancy word ⇔ every VC queue of this port is empty:
+            // the body below only visits set bits, so the skip (and the
+            // bit-walk itself) is byte-identical to the dense VC loop the
+            // old layout ran, which `continue`d on every `None` head.
+            let mut occ = self.occ_bits[pi];
+            while occ != 0 {
+                let vc = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let lane = pi * total + vc;
+                let hoq = self.front(pi, vc);
                 if self.tolerate_orphans
-                    && vc.route.is_some()
-                    && vc.route_packet != Some(hoq.packet)
+                    && self.route[lane] != NONE8
+                    && self.route_packet[lane] != Some(hoq.packet)
                 {
                     // A dropped tail left the route open for a packet that
                     // has already drained: release the stale downstream VC
                     // (otherwise the next packet would follow the old route,
                     // possibly into a wrong Local ejection) and re-route by
                     // the flit now at HoQ.
-                    if let (Some(p @ PortId::Net(_)), Some(ovc)) = (vc.route, vc.out_vc) {
-                        if let Some(out) = self.outputs[p].as_mut() {
-                            out[ovc].allocated = false;
-                        }
-                    }
-                    vc.route = None;
-                    vc.out_vc = None;
-                    vc.route_packet = None;
+                    self.release_lane_route(lane);
                 }
                 if !clean {
-                    if let Some(PortId::Net(d)) = vc.route {
-                        if self.fa.dead_out(d) {
-                            // The packet's allocated output link died under
-                            // it: release the downstream VC (its credits are
-                            // lost with the link anyway) and re-route the
-                            // remaining flits around the fault.
-                            if let Some(ovc) = vc.out_vc {
-                                if let Some(out) = self.outputs[PortId::Net(d)].as_mut() {
-                                    out[ovc].allocated = false;
-                                }
-                            }
-                            vc.route = None;
-                            vc.out_vc = None;
-                            vc.route_packet = None;
-                        }
+                    let r = self.route[lane];
+                    if (r as usize) < DIRS && self.fa.dead_out(Direction::ALL[r as usize]) {
+                        // The packet's allocated output link died under
+                        // it: release the downstream VC (its credits are
+                        // lost with the link anyway) and re-route the
+                        // remaining flits around the fault.
+                        self.release_lane_route(lane);
                     }
                 }
-                if vc.route.is_none() {
+                if self.route[lane] == NONE8 {
                     debug_assert!(
                         self.tolerate_orphans || hoq.is_head(),
                         "non-head flit {hoq} at HoQ without a route (VC hold violated)"
@@ -369,25 +471,41 @@ impl BackpressuredRouter {
                             RouteOutcome::Unreachable => continue,
                         }
                     };
-                    vc.route = Some(dir.map(PortId::Net).unwrap_or(PortId::Local));
-                    vc.route_packet = Some(hoq.packet);
+                    self.route[lane] = match dir {
+                        Some(d) => d.index() as u8,
+                        None => PortId::Local.index() as u8,
+                    };
+                    self.route_packet[lane] = Some(hoq.packet);
                 }
-                if let Some(PortId::Net(d)) = vc.route {
-                    if vc.out_vc.is_none() {
-                        let vnet = hoq.vnet.index();
-                        let range = self.layout.range_of[vnet].clone();
-                        let out = self.outputs[PortId::Net(d)]
-                            .as_mut()
-                            .expect("route goes to an existing neighbor");
-                        let atomic = self.options.atomic_vc_reallocation;
-                        let depth_of = &self.layout.depth_of;
-                        if let Some(free) = range.clone().find(|i| {
-                            !out[*i].allocated && (!atomic || out[*i].credits == depth_of[*i])
-                        }) {
-                            out[free].allocated = true;
-                            vc.out_vc = Some(free);
-                            self.counters.vc_allocations += 1;
+                let r = self.route[lane] as usize;
+                if r < DIRS && self.out_vc[lane] == NONE8 {
+                    let vnet = hoq.vnet.index();
+                    let range = &self.layout.range_of[vnet];
+                    debug_assert!(self.out_present[r], "route goes to an existing neighbor");
+                    // First unallocated VC of the vnet range (ascending, the
+                    // order the old `range.find` scanned); atomic buffers
+                    // additionally require a full credit pool.
+                    let mut free = !self.alloc_bits[r] & range_mask(range);
+                    let found = if self.options.atomic_vc_reallocation {
+                        let mut found = None;
+                        while free != 0 {
+                            let i = free.trailing_zeros() as usize;
+                            free &= free - 1;
+                            if self.credits[r * total + i] as usize == self.layout.depth_of[i] {
+                                found = Some(i);
+                                break;
+                            }
                         }
+                        found
+                    } else if free != 0 {
+                        Some(free.trailing_zeros() as usize)
+                    } else {
+                        None
+                    };
+                    if let Some(i) = found {
+                        self.alloc_bits[r] |= 1u64 << i;
+                        self.out_vc[lane] = i as u8;
+                        self.counters.vc_allocations += 1;
                     }
                 }
             }
@@ -405,44 +523,41 @@ impl BackpressuredRouter {
     /// that must also carry this cycle's switch-traversal credit, so a
     /// multi-flit packet drains over several cycles instead of bursting.
     fn sweep_unreachable(&mut self, out: &mut RouterOutputs) {
+        let total = self.total;
         for port in PortId::ALL {
             if self.port_occ[port] == 0 {
                 continue;
             }
-            let Some(vcs) = self.inputs[port].as_mut() else {
+            let pi = port.index();
+            if !self.in_present[pi] {
                 continue;
-            };
+            }
             let mut budget = if port.is_network() {
                 2usize
             } else {
                 usize::MAX
             };
-            'port: for (vci, vc) in vcs.iter_mut().enumerate() {
-                while let Some(front) = vc.queue.front() {
+            'port: for vci in 0..total {
+                let lane = pi * total + vci;
+                while self.len[lane] > 0 {
                     if budget == 0 {
                         break 'port;
                     }
+                    let front = self.front(pi, vci);
                     if !matches!(self.fa.route(front.dest), RouteOutcome::Unreachable) {
                         break;
                     }
                     let packet = front.packet;
-                    if vc.route_packet == Some(packet) {
-                        if let (Some(p @ PortId::Net(_)), Some(ovc)) = (vc.route, vc.out_vc) {
-                            if let Some(outs) = self.outputs[p].as_mut() {
-                                outs[ovc].allocated = false;
-                            }
-                        }
-                        vc.route = None;
-                        vc.out_vc = None;
-                        vc.route_packet = None;
+                    if self.route_packet[lane] == Some(packet) {
+                        self.release_lane_route(lane);
                     }
-                    while vc.queue.front().is_some_and(|f| f.packet == packet) {
+                    while self.len[lane] > 0 && self.front(pi, vci).packet == packet {
                         if budget == 0 {
                             // Mid-packet cutoff is safe: the remaining body
                             // flits stay unreachable and drain next cycle.
                             break 'port;
                         }
-                        let f = vc.queue.pop_front().expect("checked non-empty");
+                        let f = self.pop_lane(pi, vci);
                         self.occ -= 1;
                         self.port_occ[port] -= 1;
                         self.counters.buffer_reads += 1;
@@ -473,10 +588,9 @@ impl BackpressuredRouter {
                 // endpoint confirms its buffers drained (CreditResync), at
                 // which point a full pool is exactly correct — nothing is
                 // in flight while the port is blocked.
-                if let Some(outs) = self.outputs[PortId::Net(d)].as_mut() {
-                    for o in outs.iter_mut() {
-                        o.credits = 0;
-                    }
+                let di = d.index();
+                if self.out_present[di] {
+                    self.credits[di * self.total..(di + 1) * self.total].fill(0);
                 }
                 self.resync_wait[d] = true;
             } else {
@@ -493,31 +607,35 @@ impl BackpressuredRouter {
         }
     }
 
-    /// Whether input VC `vc` of `port` may compete for the switch this
-    /// cycle.
-    fn eligible(&self, port: PortId, vc: usize) -> bool {
-        let Some(vcs) = self.inputs[port].as_ref() else {
-            return false;
-        };
-        let ivc = &vcs[vc];
-        if ivc.queue.is_empty() {
-            return false;
+    /// Stage-1 eligibility word for input port `pi`: bit `vc` set ⇔ that
+    /// lane may compete for the switch this cycle. A lane is eligible when
+    /// it is non-empty and its head packet's route is Local, or a network
+    /// route whose allocated downstream VC has credits — unless the output
+    /// port is mid-resync-handshake, where sending before the CreditResync
+    /// lands would break its nothing-in-flight precondition.
+    #[inline]
+    fn eligible_mask(&self, pi: usize) -> u64 {
+        let total = self.total;
+        let mut mask = 0u64;
+        let mut occ = self.occ_bits[pi];
+        while occ != 0 {
+            let vc = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let lane = pi * total + vc;
+            let r = self.route[lane] as usize;
+            if r < DIRS {
+                if self.resync_wait[Direction::ALL[r]] {
+                    continue;
+                }
+                let ovc = self.out_vc[lane];
+                if ovc != NONE8 && self.credits[r * total + ovc as usize] > 0 {
+                    mask |= 1u64 << vc;
+                }
+            } else if r == PortId::Local.index() {
+                mask |= 1u64 << vc;
+            }
         }
-        match ivc.route {
-            Some(PortId::Local) => true,
-            // A port mid-handshake is ineligible even if stale drain
-            // credits trickled in: sending before the CreditResync lands
-            // would break its nothing-in-flight precondition.
-            Some(PortId::Net(d)) if self.resync_wait[d] => false,
-            Some(PortId::Net(d)) => match ivc.out_vc {
-                Some(ovc) => self.outputs[PortId::Net(d)]
-                    .as_ref()
-                    .map(|out| out[ovc].credits > 0)
-                    .unwrap_or(false),
-                None => false,
-            },
-            None => false,
-        }
+        mask
     }
 }
 
@@ -527,15 +645,17 @@ impl Router for BackpressuredRouter {
             .vc
             .expect("backpressured arrivals carry their VC id")
             .index();
-        let vcs = self.inputs[input]
-            .as_mut()
-            .unwrap_or_else(|| panic!("flit {flit} arrived on absent port {input}"));
+        let pi = input.index();
+        if !self.in_present[pi] {
+            panic!("flit {flit} arrived on absent port {input}");
+        }
+        let lane = pi * self.total + vc;
         assert!(
-            vcs[vc].queue.len() < vcs[vc].depth,
+            (self.len[lane] as usize) < self.layout.depth_of[vc],
             "credit violation: VC {vc} overflow at {} port {input}",
             self.node
         );
-        vcs[vc].queue.push_back(flit);
+        self.push_lane(pi, vc, flit);
         self.occ += 1;
         self.port_occ[input] += 1;
         self.counters.buffer_writes += 1;
@@ -545,12 +665,14 @@ impl Router for BackpressuredRouter {
         let Credit::Vc(vc) = credit else {
             panic!("backpressured router expects per-VC credits");
         };
-        let out = self.outputs[output]
-            .as_mut()
-            .unwrap_or_else(|| panic!("credit on absent port {output}"));
-        out[vc.index()].credits += 1;
+        let di = match output {
+            PortId::Net(d) if self.out_present[d.index()] => d.index(),
+            _ => panic!("credit on absent port {output}"),
+        };
+        let i = di * self.total + vc.index();
+        self.credits[i] += 1;
         assert!(
-            out[vc.index()].credits <= self.layout.depth_of[vc.index()],
+            self.credits[i] as usize <= self.layout.depth_of[vc.index()],
             "credit overflow on {output} {vc}"
         );
     }
@@ -567,9 +689,10 @@ impl Router for BackpressuredRouter {
                 // The downstream buffers are empty and nothing is in
                 // flight (the port was ineligible throughout the wait), so
                 // a full credit pool is exactly correct.
-                if let Some(outs) = self.outputs[PortId::Net(dir)].as_mut() {
-                    for (o, depth) in outs.iter_mut().zip(self.layout.depth_of.iter()) {
-                        o.credits = *depth;
+                let di = dir.index();
+                if self.out_present[di] {
+                    for (v, depth) in self.layout.depth_of.iter().enumerate() {
+                        self.credits[di * self.total + v] = *depth as u16;
                     }
                 }
                 self.resync_wait[dir] = false;
@@ -596,10 +719,12 @@ impl Router for BackpressuredRouter {
     }
 
     fn injection_ready(&self, flit: &Flit, _now: Cycle) -> bool {
-        let vcs = self.inputs[PortId::Local].as_ref().expect("local port");
+        let pi = PortId::Local.index();
         let vnet = flit.vnet.index();
+        let lane_free =
+            |vc: usize| (self.len[pi * self.total + vc] as usize) < self.layout.depth_of[vc];
         match self.inject_vc[vnet] {
-            Some(vc) => vcs[vc].queue.len() < vcs[vc].depth,
+            Some(vc) => lane_free(vc),
             None => {
                 // Under fault injection, a corruption NACK without recovery
                 // configured re-injects a lone mid-packet flit; it routes by
@@ -608,14 +733,13 @@ impl Router for BackpressuredRouter {
                     flit.is_head() || self.tolerate_orphans,
                     "mid-packet injection without open VC"
                 );
-                self.layout.range_of[vnet]
-                    .clone()
-                    .any(|vc| vcs[vc].queue.len() < vcs[vc].depth)
+                self.layout.range_of[vnet].clone().any(lane_free)
             }
         }
     }
 
     fn inject(&mut self, mut flit: Flit, _now: Cycle) {
+        let pi = PortId::Local.index();
         let vnet = flit.vnet.index();
         let vc = match self.inject_vc[vnet] {
             Some(vc) => vc,
@@ -623,10 +747,11 @@ impl Router for BackpressuredRouter {
                 let range = self.layout.range_of[vnet].clone();
                 let n = range.len();
                 let start = self.inject_rr[vnet];
-                let vcs = self.inputs[PortId::Local].as_ref().expect("local port");
                 let vc = (0..n)
                     .map(|i| range.start + (start + i) % n)
-                    .find(|vc| vcs[*vc].queue.len() < vcs[*vc].depth)
+                    .find(|vc| {
+                        (self.len[pi * self.total + vc] as usize) < self.layout.depth_of[*vc]
+                    })
                     .expect("injection_ready checked");
                 self.inject_rr[vnet] = (vc - range.start + 1) % n;
                 vc
@@ -634,8 +759,7 @@ impl Router for BackpressuredRouter {
         };
         self.inject_vc[vnet] = if flit.is_tail() { None } else { Some(vc) };
         flit.vc = Some(VcId(vc as u8));
-        let vcs = self.inputs[PortId::Local].as_mut().expect("local port");
-        vcs[vc].queue.push_back(flit);
+        self.push_lane(pi, vc, flit);
         self.occ += 1;
         self.port_occ[PortId::Local] += 1;
         self.counters.buffer_writes += 1;
@@ -679,33 +803,28 @@ impl Router for BackpressuredRouter {
         self.allocate_routes_and_vcs();
 
         // Stage 1 of separable switch allocation: each input port nominates
-        // one eligible VC.
+        // one eligible VC (a mask kernel over the occupancy bitword).
+        let total = self.total;
         let mut any_candidate = false;
         let mut candidates: PortMap<Option<usize>> = PortMap::default();
-        // Split borrows: evaluate eligibility immutably into the reusable
-        // scratch (moved to a local, so no per-cycle allocation), then
-        // rotate the arbiter.
-        let mut eligible = std::mem::take(&mut self.eligible_scratch);
         for port in PortId::ALL {
-            if self.inputs[port].is_none() || self.port_occ[port] == 0 {
-                // An empty port nominates nothing: eligibility is false for
-                // every VC, which would `continue` before the arbiter is
-                // consulted or the arbitration counter bumped — so the skip
-                // is byte-identical to evaluating it.
+            let pi = port.index();
+            if self.occ_bits[pi] == 0 {
+                // An empty (or absent) port nominates nothing: eligibility
+                // is zero for every VC, which would `continue` before the
+                // arbiter is consulted or the arbitration counter bumped —
+                // so the skip is byte-identical to evaluating it.
                 continue;
             }
-            for (vc, slot) in eligible.iter_mut().enumerate() {
-                *slot = self.eligible(port, vc);
-            }
-            if !eligible.iter().any(|e| *e) {
+            let mask = self.eligible_mask(pi);
+            if mask == 0 {
                 continue;
             }
             let arb = self.input_arb[port].as_mut().expect("arb exists with port");
-            candidates[port] = arb.grant(|vc| eligible[vc]);
+            candidates[port] = arb.grant_masked(mask);
             any_candidate |= candidates[port].is_some();
             self.counters.arbitrations += 1;
         }
-        self.eligible_scratch = eligible;
         if !any_candidate && self.occupancy() > 0 {
             // Flits are buffered, but every one of them is blocked on
             // downstream credits.
@@ -713,10 +832,22 @@ impl Router for BackpressuredRouter {
         }
 
         // Stage 2: each output port grants among nominating input ports.
+        // Each input's candidate requests exactly its routed output, so the
+        // per-output request sets are 5-bit words built once; a grant
+        // clears the winner's bit (the old `candidates.take()`).
+        let mut requests = [0u64; PORTS];
+        for port in PortId::ALL {
+            if let Some(vc) = candidates[port] {
+                let r = self.route[port.index() * total + vc] as usize;
+                debug_assert!(r < PORTS, "candidate lane has a route");
+                requests[r] |= 1u64 << port.index();
+            }
+        }
         // The local (ejection) port can grant up to `eject_bandwidth` times.
         let mut winners = std::mem::take(&mut self.winners_scratch); // (in, vc, out)
         for out_port in PortId::ALL {
-            if out_port.is_network() && self.outputs[out_port].is_none() {
+            let oi = out_port.index();
+            if out_port.is_network() && !self.out_present[oi] {
                 continue;
             }
             let grants = if out_port == PortId::Local {
@@ -725,19 +856,10 @@ impl Router for BackpressuredRouter {
                 1
             };
             for _ in 0..grants {
-                let request = |i: usize| {
-                    let in_port = PortId::from_index(i).expect("valid index");
-                    match candidates[in_port] {
-                        Some(vc) => {
-                            self.inputs[in_port].as_ref().expect("candidate port")[vc].route
-                                == Some(out_port)
-                        }
-                        None => false,
-                    }
-                };
-                let granted = self.output_arb[out_port].grant(request);
+                let granted = self.output_arb[out_port].grant_masked(requests[oi]);
                 let Some(i) = granted else { break };
                 self.counters.arbitrations += 1;
+                requests[oi] &= !(1u64 << i);
                 let in_port = PortId::from_index(i).expect("valid index");
                 let vc = candidates[in_port]
                     .take()
@@ -748,16 +870,17 @@ impl Router for BackpressuredRouter {
 
         // Traversal: pop winners, emit flits/credits, update VC state.
         for &(in_port, vc, out_port) in &winners {
-            let ivc = &mut self.inputs[in_port].as_mut().expect("winner port")[vc];
-            let was_alone = ivc.queue.len() == 1;
-            let mut flit = ivc.queue.pop_front().expect("winner VC nonempty");
+            let pi = in_port.index();
+            let lane = pi * total + vc;
+            let was_alone = self.len[lane] == 1;
+            let mut flit = self.pop_lane(pi, vc);
             self.occ -= 1;
             self.port_occ[in_port] -= 1;
-            let out_vc = ivc.out_vc;
+            let out_vc = self.out_vc[lane];
             if flit.is_tail() {
-                ivc.route = None;
-                ivc.out_vc = None;
-                ivc.route_packet = None;
+                self.route[lane] = NONE8;
+                self.out_vc[lane] = NONE8;
+                self.route_packet[lane] = None;
             }
             if self.options.read_bypass && was_alone {
                 // Lone flit: served from the bypass latch, SRAM read elided.
@@ -775,15 +898,16 @@ impl Router for BackpressuredRouter {
                     out.ejected.push(flit);
                     self.counters.ejections += 1;
                 }
-                PortId::Net(_) => {
-                    let ovc = out_vc.expect("network route has an allocated VC");
-                    let outs = self.outputs[out_port].as_mut().expect("present");
-                    debug_assert!(outs[ovc].credits > 0, "eligibility checked credits");
-                    outs[ovc].credits -= 1;
+                PortId::Net(d) => {
+                    debug_assert!(out_vc != NONE8, "network route has an allocated VC");
+                    let di = d.index();
+                    let ci = di * total + out_vc as usize;
+                    debug_assert!(self.credits[ci] > 0, "eligibility checked credits");
+                    self.credits[ci] -= 1;
                     if flit.is_tail() {
-                        outs[ovc].allocated = false;
+                        self.alloc_bits[di] &= !(1u64 << out_vc);
                     }
-                    flit.vc = Some(VcId(ovc as u8));
+                    flit.vc = Some(VcId(out_vc));
                     flit.hops += 1;
                     out.flits[out_port] = Some(flit);
                     self.counters.link_traversals += 1;
@@ -796,27 +920,19 @@ impl Router for BackpressuredRouter {
 
     fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        let mut bytes = self.layout.vnet_of.capacity()
+        self.layout.vnet_of.capacity()
             + self.layout.depth_of.capacity() * size_of::<usize>()
-            + self.layout.range_of.capacity() * size_of::<std::ops::Range<usize>>();
-        for (_, vcs) in self.inputs.iter() {
-            if let Some(vcs) = vcs {
-                bytes += vcs.capacity() * size_of::<InputVc>();
-                bytes += vcs
-                    .iter()
-                    .map(|vc| vc.queue.capacity() * size_of::<Flit>())
-                    .sum::<usize>();
-            }
-        }
-        for (_, outs) in self.outputs.iter() {
-            if let Some(outs) = outs {
-                bytes += outs.capacity() * size_of::<OutVc>();
-            }
-        }
-        bytes
+            + self.layout.range_of.capacity() * size_of::<std::ops::Range<usize>>()
+            + self.vc_base.len() * size_of::<u32>()
+            + self.flits.len() * size_of::<Flit>()
+            + self.head.len() * size_of::<u16>()
+            + self.len.len() * size_of::<u16>()
+            + self.route.len()
+            + self.out_vc.len()
+            + self.route_packet.len() * size_of::<Option<PacketId>>()
+            + self.credits.len() * size_of::<u16>()
             + self.inject_vc.capacity() * size_of::<Option<usize>>()
             + self.inject_rr.capacity() * size_of::<usize>()
-            + self.eligible_scratch.capacity()
             + self.winners_scratch.capacity() * size_of::<(PortId, usize, PortId)>()
             + self.fa.heap_bytes()
     }
@@ -836,23 +952,29 @@ impl Router for BackpressuredRouter {
     fn occupancy(&self) -> usize {
         debug_assert_eq!(
             self.occ,
-            PortId::ALL
-                .into_iter()
-                .filter_map(|p| self.inputs[p].as_ref())
-                .flat_map(|vcs| vcs.iter())
-                .map(|vc| vc.queue.len())
-                .sum::<usize>(),
+            self.len.iter().map(|l| *l as usize).sum::<usize>(),
             "incremental occupancy out of sync at {}",
             self.node
         );
         debug_assert!(
             PortId::ALL.into_iter().all(|p| {
+                let pi = p.index();
                 self.port_occ[p]
-                    == self.inputs[p]
-                        .as_ref()
-                        .map_or(0, |vcs| vcs.iter().map(|vc| vc.queue.len()).sum())
+                    == self.len[pi * self.total..(pi + 1) * self.total]
+                        .iter()
+                        .map(|l| *l as usize)
+                        .sum::<usize>()
             }),
             "incremental per-port occupancy out of sync at {}",
+            self.node
+        );
+        debug_assert!(
+            (0..PORTS).all(|pi| {
+                (0..self.total).all(|vc| {
+                    (self.occ_bits[pi] >> vc & 1 != 0) == (self.len[pi * self.total + vc] > 0)
+                })
+            }),
+            "occupancy bitword out of sync at {}",
             self.node
         );
         self.occ
@@ -877,21 +999,23 @@ impl Router for BackpressuredRouter {
         // (layout, options, eject bandwidth, tolerate_orphans), so the
         // result is indistinguishable from `with_options` on the same
         // configuration — and no backing storage is freed.
+        self.head.fill(0);
+        self.len.fill(0);
+        self.route.fill(NONE8);
+        self.out_vc.fill(NONE8);
+        self.route_packet.fill(None);
+        self.occ_bits = [0; PORTS];
+        self.alloc_bits = [0; DIRS];
+        for di in 0..DIRS {
+            for v in 0..self.total {
+                self.credits[di * self.total + v] = if self.out_present[di] {
+                    self.layout.depth_of[v] as u16
+                } else {
+                    0
+                };
+            }
+        }
         for port in PortId::ALL {
-            if let Some(vcs) = self.inputs[port].as_mut() {
-                for vc in vcs {
-                    vc.queue.clear();
-                    vc.route = None;
-                    vc.out_vc = None;
-                    vc.route_packet = None;
-                }
-            }
-            if let Some(outs) = self.outputs[port].as_mut() {
-                for (o, depth) in outs.iter_mut().zip(self.layout.depth_of.iter()) {
-                    o.allocated = false;
-                    o.credits = *depth;
-                }
-            }
             if let Some(arb) = self.input_arb[port].as_mut() {
                 arb.set_cursor(0);
             }
@@ -901,7 +1025,6 @@ impl Router for BackpressuredRouter {
         self.inject_rr.fill(0);
         self.occ = 0;
         self.port_occ = PortMap::default();
-        self.eligible_scratch.fill(false);
         self.winners_scratch.clear();
         self.fa.reset();
         self.resync_wait = DirMap::default();
@@ -911,33 +1034,50 @@ impl Router for BackpressuredRouter {
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        // Identical byte stream to the pre-slab layout: lanes visit in the
+        // same (port, vc) order the per-VC vectors iterated, flits in FIFO
+        // order from each ring's head.
         for port in PortId::ALL {
-            let Some(vcs) = self.inputs[port].as_ref() else {
+            let pi = port.index();
+            if !self.in_present[pi] {
                 continue;
-            };
-            for vc in vcs {
-                w.put_usize(vc.queue.len());
-                for f in &vc.queue {
-                    snapshot::write_flit(w, f);
-                }
-                match vc.route {
-                    Some(p) => {
-                        w.put_bool(true);
-                        w.put_u8(p.index() as u8);
+            }
+            for vc in 0..self.total {
+                let lane = pi * self.total + vc;
+                let (base, depth) = self.ring(pi, vc);
+                let h = self.head[lane] as usize;
+                let n = self.len[lane] as usize;
+                w.put_usize(n);
+                for k in 0..n {
+                    let mut idx = h + k;
+                    if idx >= depth {
+                        idx -= depth;
                     }
-                    None => w.put_bool(false),
+                    snapshot::write_flit(w, &self.flits[base + idx]);
                 }
-                w.put_opt_u64(vc.out_vc.map(|v| v as u64));
-                w.put_opt_u64(vc.route_packet.map(|p| p.0));
+                match self.route[lane] {
+                    NONE8 => w.put_bool(false),
+                    p => {
+                        w.put_bool(true);
+                        w.put_u8(p);
+                    }
+                }
+                w.put_opt_u64(match self.out_vc[lane] {
+                    NONE8 => None,
+                    v => Some(v as u64),
+                });
+                w.put_opt_u64(self.route_packet[lane].map(|p| p.0));
             }
         }
         for port in PortId::ALL {
-            let Some(outs) = self.outputs[port].as_ref() else {
+            let PortId::Net(d) = port else { continue };
+            let di = d.index();
+            if !self.out_present[di] {
                 continue;
-            };
-            for o in outs {
-                w.put_bool(o.allocated);
-                w.put_usize(o.credits);
+            }
+            for vc in 0..self.total {
+                w.put_bool(self.alloc_bits[di] >> vc & 1 != 0);
+                w.put_usize(self.credits[di * self.total + vc] as usize);
             }
         }
         for port in PortId::ALL {
@@ -970,61 +1110,73 @@ impl Router for BackpressuredRouter {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        let total = self.layout.total();
+        let total = self.total;
         let mut occ = 0usize;
         self.port_occ = PortMap::default();
+        self.occ_bits = [0; PORTS];
         for port in PortId::ALL {
-            let Some(vcs) = self.inputs[port].as_mut() else {
+            let pi = port.index();
+            if !self.in_present[pi] {
                 continue;
-            };
-            for vc in vcs {
+            }
+            for vc in 0..total {
+                let lane = pi * total + vc;
+                let (base, depth) = self.ring(pi, vc);
                 let n = r.get_usize("input vc queue length")?;
-                if n > vc.depth {
+                if n > depth {
                     return Err(SnapshotError::Malformed {
                         what: "input vc queue length",
                     });
                 }
-                vc.queue.clear();
-                for _ in 0..n {
-                    vc.queue.push_back(snapshot::read_flit(r)?);
+                self.head[lane] = 0;
+                for k in 0..n {
+                    self.flits[base + k] = snapshot::read_flit(r)?;
+                }
+                self.len[lane] = n as u16;
+                if n > 0 {
+                    self.occ_bits[pi] |= 1u64 << vc;
                 }
                 occ += n;
                 self.port_occ[port] += n;
-                vc.route = if r.get_bool("input vc route presence")? {
-                    Some(
-                        PortId::from_index(r.get_u8("input vc route")? as usize).ok_or(
-                            SnapshotError::Malformed {
-                                what: "input vc route",
-                            },
-                        )?,
-                    )
+                self.route[lane] = if r.get_bool("input vc route presence")? {
+                    let p = r.get_u8("input vc route")?;
+                    PortId::from_index(p as usize).ok_or(SnapshotError::Malformed {
+                        what: "input vc route",
+                    })?;
+                    p
                 } else {
-                    None
+                    NONE8
                 };
-                vc.out_vc = match r.get_opt_u64("input vc out-vc")? {
-                    Some(v) if (v as usize) < total => Some(v as usize),
+                self.out_vc[lane] = match r.get_opt_u64("input vc out-vc")? {
+                    Some(v) if (v as usize) < total => v as u8,
                     Some(_) => {
                         return Err(SnapshotError::Malformed {
                             what: "input vc out-vc",
                         })
                     }
-                    None => None,
+                    None => NONE8,
                 };
-                vc.route_packet = r.get_opt_u64("input vc route packet")?.map(PacketId);
+                self.route_packet[lane] = r.get_opt_u64("input vc route packet")?.map(PacketId);
             }
         }
+        self.alloc_bits = [0; DIRS];
         for port in PortId::ALL {
-            let Some(outs) = self.outputs[port].as_mut() else {
+            let PortId::Net(d) = port else { continue };
+            let di = d.index();
+            if !self.out_present[di] {
                 continue;
-            };
-            for (i, o) in outs.iter_mut().enumerate() {
-                o.allocated = r.get_bool("output vc allocated")?;
-                o.credits = r.get_usize("output vc credits")?;
-                if o.credits > self.layout.depth_of[i] {
+            }
+            for vc in 0..total {
+                if r.get_bool("output vc allocated")? {
+                    self.alloc_bits[di] |= 1u64 << vc;
+                }
+                let credits = r.get_usize("output vc credits")?;
+                if credits > self.layout.depth_of[vc] {
                     return Err(SnapshotError::Malformed {
                         what: "output vc credits",
                     });
                 }
+                self.credits[di * total + vc] = credits as u16;
             }
         }
         for port in PortId::ALL {
@@ -1084,6 +1236,20 @@ impl std::fmt::Debug for BackpressuredRouter {
             .field("node", &self.node)
             .field("occupancy", &self.occupancy())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+impl BackpressuredRouter {
+    /// Buffered flit count of one input lane (test observability — the
+    /// slab layout has no per-VC struct to peek at).
+    fn lane_len(&self, port: PortId, vc: usize) -> usize {
+        self.len[port.index() * self.total + vc] as usize
+    }
+
+    /// Ring capacity of VC `vc` (identical across ports).
+    fn lane_depth(&self, vc: usize) -> usize {
+        self.layout.depth_of[vc]
     }
 }
 
@@ -1342,15 +1508,11 @@ mod tests {
             assert!(r.injection_ready(&f, 0));
             r.inject(f, 0);
         }
-        let vcs = r.inputs[PortId::Local].as_ref().unwrap();
-        let used: Vec<usize> = vcs
-            .iter()
-            .enumerate()
-            .filter(|(_, vc)| !vc.queue.is_empty())
-            .map(|(i, _)| i)
+        let used: Vec<usize> = (0..r.total)
+            .filter(|vc| r.lane_len(PortId::Local, *vc) > 0)
             .collect();
         assert_eq!(used.len(), 1, "all four flits share one local VC");
-        assert_eq!(vcs[used[0]].queue.len(), 4);
+        assert_eq!(r.lane_len(PortId::Local, used[0]), 4);
     }
 
     #[test]
@@ -1378,8 +1540,7 @@ mod tests {
         for now in 0..400 {
             // Keep both ports' VC 0 topped up.
             for (i, d) in [Direction::West, Direction::North].into_iter().enumerate() {
-                let vcs = r.inputs[PortId::Net(d)].as_ref().unwrap();
-                if vcs[0].queue.len() < vcs[0].depth {
+                if r.lane_len(PortId::Net(d), 0) < r.lane_depth(0) {
                     let mut f = flit_to(dest, 0, 0, 1);
                     f.packet = PacketId(next);
                     f.tag = i as u64;
@@ -1512,6 +1673,53 @@ mod tests {
         // A backlog of 4: only the last (alone again) flit bypasses.
         assert_eq!(run(true, true), (3, 1));
         assert_eq!(run(false, true), (4, 0));
+    }
+
+    #[test]
+    fn wraparound_ring_preserves_fifo_order_and_snapshot_bytes() {
+        // Drive one lane through enough push/pop cycles that its ring head
+        // wraps, then check FIFO order survives and a snapshot of the
+        // wrapped ring round-trips to identical bytes (the snapshot stream
+        // is logical FIFO content, independent of head position).
+        let (mesh, cfg, mut r) = setup();
+        let dest = mesh.node_at(Coord::new(2, 1)).unwrap();
+        let depth = cfg.vnets[0].buffer_depth;
+        let mut rng = SimRng::seed_from(0);
+        let mut out = RouterOutputs::new();
+        let mut sent: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for now in 0..(3 * depth as u64) {
+            if r.lane_len(PortId::Net(Direction::West), 0) < depth {
+                let mut f = flit_to(dest, 0, 0, 1);
+                f.packet = PacketId(next);
+                next += 1;
+                r.receive_flit(PortId::Net(Direction::West), f, now);
+            }
+            out.clear();
+            r.step(now, &mut rng, &mut out);
+            if let Some(f) = out.flits[PortId::Net(Direction::East)] {
+                sent.push(f.packet.0);
+                r.receive_credit(PortId::Net(Direction::East), Credit::Vc(f.vc.unwrap()), now);
+            }
+        }
+        assert!(sent.len() >= depth, "ring must have wrapped");
+        assert!(sent.windows(2).all(|w| w[1] == w[0] + 1), "FIFO violated");
+        // Leave a partially-filled wrapped lane, then snapshot round-trip.
+        for i in 0..3u64 {
+            let mut f = flit_to(dest, 1, 0, 1);
+            f.packet = PacketId(1000 + i);
+            r.receive_flit(PortId::Net(Direction::West), f, 100);
+        }
+        let mut w = SnapshotWriter::new();
+        r.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r2 = BackpressuredRouter::new(r.node(), &mesh, &cfg);
+        let mut reader = SnapshotReader::new(&bytes);
+        r2.load_state(&mut reader).unwrap();
+        let mut w2 = SnapshotWriter::new();
+        r2.save_state(&mut w2).unwrap();
+        assert_eq!(bytes, w2.into_bytes(), "snapshot bytes must round-trip");
+        assert_eq!(r.occupancy(), r2.occupancy());
     }
 
     #[test]

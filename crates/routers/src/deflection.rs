@@ -27,6 +27,8 @@ use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use afc_netsim::topology::Mesh;
 
+use crate::arbiter::FreeDirs;
+
 /// Flit width in bits for this mechanism (32-bit payload + 13 control bits,
 /// Section IV).
 pub const FLIT_WIDTH_BITS: u32 = 45;
@@ -162,48 +164,29 @@ impl DeflectionEngine {
         out: &mut Vec<Assignment>,
     ) {
         out.clear();
-        // Fixed-size free list: this runs for every latched flit every
-        // cycle, so it must stay off the heap. Order matches `self.dirs`
-        // and removal is order-preserving, keeping the RNG draw sequence
-        // identical to the historical Vec-based implementation.
-        let mut free = [Direction::North; 4];
-        let mut free_len = 0usize;
-        for d in self.dirs.iter().copied() {
-            if !blocked.contains(&d) {
-                free[free_len] = d;
-                free_len += 1;
-            }
-        }
+        // The shared fixed-size free list: this runs for every latched flit
+        // every cycle, so it must stay off the heap. Order matches
+        // `self.dirs` and removal is order-preserving, keeping the RNG draw
+        // sequence identical to the historical Vec-based implementation.
+        let mut free = FreeDirs::fill(self.dirs.iter().copied(), |d| !blocked.contains(&d));
         assert!(
-            flits.len() <= free_len,
+            flits.len() <= free.len(),
             "deflection invariant violated at {}: {} flits, {} usable ports",
             self.node,
             flits.len(),
-            free_len
+            free.len()
         );
         self.rank(flits, rng);
         for &flit in flits.iter() {
             let choice = match prefer(&flit) {
-                Some(d) => free[..free_len].contains(&d).then_some(d),
-                None => self
-                    .mesh
-                    .productive_dirs(self.node, flit.dest)
-                    .into_iter()
-                    .find(|d| free[..free_len].contains(d)),
+                Some(d) => free.contains(d).then_some(d),
+                None => free.first_free(self.mesh.productive_dirs(self.node, flit.dest)),
             };
             let (dir, deflected) = match choice {
                 Some(d) => (d, false),
-                None => {
-                    let i = rng.gen_index(free_len);
-                    (free[i], true)
-                }
+                None => (free.get(rng.gen_index(free.len())), true),
             };
-            let pos = free[..free_len]
-                .iter()
-                .position(|d| *d == dir)
-                .expect("assigned direction must be free");
-            free.copy_within(pos + 1..free_len, pos);
-            free_len -= 1;
+            free.take(dir);
             out.push(Assignment {
                 flit,
                 dir,

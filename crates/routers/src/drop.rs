@@ -17,6 +17,7 @@ use afc_netsim::router::{Router, RouterFactory, RouterMode, RouterOutputs};
 use afc_netsim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use afc_netsim::topology::Mesh;
 
+use crate::arbiter::FreeDirs;
 use crate::deflection::{split_ejections_into, RankPolicy};
 
 /// Flit width in bits (same control overhead class as the deflection
@@ -131,26 +132,16 @@ impl Router for DropRouter {
             RankPolicy::Random => rng.shuffle(&mut flits),
             RankPolicy::OldestFirst => flits.sort_by_key(|f| (f.injected_at, f.packet, f.seq)),
         }
-        // Fixed-size free list (at most 4 mesh ports): avoids a heap
-        // allocation per router per cycle on the hot arbitration path.
-        let mut free = [Direction::North; 4];
-        let mut free_len = 0usize;
-        for d in self.dirs.iter().copied() {
-            // Dead links are simply not output ports anymore; SCARAB-style
-            // contention for the surviving ports is unchanged.
-            if !clean && self.fa.dead_out(d) {
-                continue;
-            }
-            free[free_len] = d;
-            free_len += 1;
-        }
+        // The shared fixed-size free list (at most 4 mesh ports): avoids a
+        // heap allocation per router per cycle on the hot arbitration path.
+        // Dead links are simply not output ports anymore; SCARAB-style
+        // contention for the surviving ports is unchanged.
+        let fa = &self.fa;
+        let mut free = FreeDirs::fill(self.dirs.iter().copied(), |d| clean || !fa.dead_out(d));
         for mut flit in flits.iter().copied() {
             self.counters.arbitrations += 1;
             let choice = if clean {
-                self.mesh
-                    .productive_dirs(self.node, flit.dest)
-                    .into_iter()
-                    .find(|d| free[..free_len].contains(d))
+                free.first_free(self.mesh.productive_dirs(self.node, flit.dest))
             } else {
                 // Degraded mode: follow the alive-graph next hop. A dead,
                 // contended, local-overflow or unreachable outcome all take
@@ -158,7 +149,7 @@ impl Router for DropRouter {
                 // destination the source NI's bounded retransmit converts
                 // the repeated drops into a structured `Unreachable`.
                 match self.fa.route(flit.dest) {
-                    RouteOutcome::Dir(d) if free[..free_len].contains(&d) => {
+                    RouteOutcome::Dir(d) if free.contains(d) => {
                         if !self.mesh.productive_dirs(self.node, flit.dest).contains(d) {
                             self.counters.reroutes += 1;
                         }
@@ -169,12 +160,7 @@ impl Router for DropRouter {
             };
             match choice {
                 Some(dir) => {
-                    let pos = free[..free_len]
-                        .iter()
-                        .position(|d| *d == dir)
-                        .expect("assigned direction must be free");
-                    free.copy_within(pos + 1..free_len, pos);
-                    free_len -= 1;
+                    free.take(dir);
                     flit.hops += 1;
                     self.counters.crossbar_traversals += 1;
                     self.counters.link_traversals += 1;
